@@ -1,0 +1,212 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Besides timing, each ablation prints a one-line *quality* comparison
+//! (test time achieved) before benchmarking, so `cargo bench` output also
+//! documents why the chosen design wins:
+//!
+//! 1. scheduling order — the paper's longest-first greedy vs. identity and
+//!    shortest-first orders;
+//! 2. `m` policy — searching the width class for the best `m` (the paper's
+//!    point in Fig. 2) vs. pinning `m` to the class maximum;
+//! 3. encoder modes — full selective encoding vs. single-bit mode only;
+//! 4. architecture refinement — hill-climbing on vs. off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use selenc::{cube_cost_policy, evaluate_point, SliceCode};
+use tam::{
+    anneal_architecture, greedy_schedule, longest_first_order, optimize_architecture,
+    schedule_in_order, AnnealOptions, ArchitectureOptions, CostModel,
+};
+use tdcsoc::{CompressionMode, DecisionConfig, DecisionTable};
+use wrapper::design_wrapper;
+
+fn scheduling_cost_model() -> CostModel {
+    let soc = bench::system1();
+    let cfg = DecisionConfig {
+        pattern_sample: Some(8),
+        m_candidates: 8,
+    };
+    let mut cost = CostModel::new(24);
+    for core in soc.cores() {
+        let t = DecisionTable::build(core, CompressionMode::PerCore, 24, &cfg);
+        cost.push_core(core.name(), t.time_row());
+    }
+    cost
+}
+
+fn ablate_order(c: &mut Criterion) {
+    let cost = scheduling_cost_model();
+    let widths = [8u32, 8, 8];
+    let n = cost.core_count();
+    let identity: Vec<usize> = (0..n).collect();
+    let mut shortest = longest_first_order(&cost, &widths);
+    shortest.reverse();
+
+    let paper = greedy_schedule(&cost, &widths).unwrap().makespan();
+    let ident = schedule_in_order(&cost, &widths, &identity).unwrap().makespan();
+    let worst = schedule_in_order(&cost, &widths, &shortest).unwrap().makespan();
+    println!(
+        "[ablation:order] longest-first {paper} | identity {ident} | shortest-first {worst}"
+    );
+    assert!(paper <= ident.max(worst), "the paper's order should not lose");
+
+    let mut g = c.benchmark_group("ablation_order");
+    g.bench_function("longest_first", |b| {
+        b.iter(|| greedy_schedule(black_box(&cost), &widths).unwrap())
+    });
+    g.bench_function("identity_order", |b| {
+        b.iter(|| schedule_in_order(black_box(&cost), &widths, &identity).unwrap())
+    });
+    g.finish();
+}
+
+fn ablate_m_policy(c: &mut Criterion) {
+    let core = bench::ckt7();
+    // Best-m search vs. max-m pin at w = 10 (the Fig. 2 insight).
+    let class = SliceCode::feasible_chains(10);
+    let max_m = (*class.end()).min(core.max_wrapper_chains());
+    let pinned = evaluate_point(&core, max_m, Some(16)).expect("max m realizable");
+    let searched = class
+        .clone()
+        .step_by(4)
+        .filter_map(|m| evaluate_point(&core, m, Some(16)))
+        .min_by_key(|c| c.test_time)
+        .expect("class nonempty");
+    println!(
+        "[ablation:m-policy] best-m {} vs max-m {} ({:.1}% worse)",
+        searched.test_time,
+        pinned.test_time,
+        100.0 * (pinned.test_time as f64 / searched.test_time as f64 - 1.0)
+    );
+    assert!(searched.test_time <= pinned.test_time);
+
+    let mut g = c.benchmark_group("ablation_m_policy");
+    g.sample_size(10);
+    g.bench_function("pin_max_m", |b| {
+        b.iter(|| evaluate_point(black_box(&core), max_m, Some(16)))
+    });
+    g.bench_function("search_class", |b| {
+        b.iter(|| {
+            class
+                .clone()
+                .step_by(16)
+                .filter_map(|m| evaluate_point(black_box(&core), m, Some(8)))
+                .min_by_key(|c| c.test_time)
+        })
+    });
+    g.finish();
+}
+
+fn ablate_group_copy(c: &mut Criterion) {
+    let core = bench::small_core(3_000, 20, 0.2);
+    let design = design_wrapper(&core, 200);
+    let code = SliceCode::for_chains(design.chain_count());
+    let ts = core.test_set().unwrap();
+    let full: u64 = ts.iter().map(|p| cube_cost_policy(code, &design, p, true)).sum();
+    let single: u64 = ts.iter().map(|p| cube_cost_policy(code, &design, p, false)).sum();
+    println!(
+        "[ablation:group-copy] full encoder {full} codewords vs single-bit-only {single} \
+         ({:.1}% saved by group-copy mode)",
+        100.0 * (1.0 - full as f64 / single as f64)
+    );
+    assert!(full <= single);
+
+    let mut g = c.benchmark_group("ablation_group_copy");
+    g.sample_size(10);
+    let cube = ts.pattern(0).unwrap();
+    g.bench_function("full_encoder", |b| {
+        b.iter(|| cube_cost_policy(code, black_box(&design), cube, true))
+    });
+    g.bench_function("single_bit_only", |b| {
+        b.iter(|| cube_cost_policy(code, black_box(&design), cube, false))
+    });
+    g.finish();
+}
+
+fn ablate_refinement(c: &mut Criterion) {
+    let cost = scheduling_cost_model();
+    let on = ArchitectureOptions::default();
+    let off = ArchitectureOptions {
+        refine_steps: 0,
+        ..Default::default()
+    };
+    let with = optimize_architecture(&cost, 24, &on).unwrap().test_time;
+    let without = optimize_architecture(&cost, 24, &off).unwrap().test_time;
+    println!("[ablation:refinement] hill-climb on {with} vs off {without}");
+    assert!(with <= without);
+
+    let mut g = c.benchmark_group("ablation_refinement");
+    g.bench_function("refine_on", |b| {
+        b.iter(|| optimize_architecture(black_box(&cost), 24, &on).unwrap())
+    });
+    g.bench_function("refine_off", |b| {
+        b.iter(|| optimize_architecture(black_box(&cost), 24, &off).unwrap())
+    });
+    g.finish();
+}
+
+fn ablate_search_strategy(c: &mut Criterion) {
+    let cost = scheduling_cost_model();
+    let hill = optimize_architecture(&cost, 24, &ArchitectureOptions::default())
+        .unwrap()
+        .test_time;
+    let sa = anneal_architecture(&cost, 24, &AnnealOptions::default())
+        .unwrap()
+        .test_time;
+    println!("[ablation:search] hill-climb {hill} vs simulated annealing {sa}");
+
+    let mut g = c.benchmark_group("ablation_search");
+    g.sample_size(10);
+    g.bench_function("hill_climb", |b| {
+        b.iter(|| optimize_architecture(black_box(&cost), 24, &ArchitectureOptions::default()))
+    });
+    g.bench_function("anneal_500", |b| {
+        let opts = AnnealOptions { iterations: 500, ..Default::default() };
+        b.iter(|| anneal_architecture(black_box(&cost), 24, &opts))
+    });
+    g.finish();
+}
+
+fn ablate_compaction(c: &mut Criterion) {
+    // The compaction-vs-compression tension: static compaction shrinks the
+    // pattern count but raises care density, hurting selective encoding.
+    use soc_model::compaction::compact;
+    let core = bench::small_core(2_000, 60, 0.02);
+    let ts = core.test_set().unwrap();
+    let compacted = compact(ts);
+    let design = design_wrapper(&core, 128);
+    let code = SliceCode::for_chains(design.chain_count());
+    let raw_cw: u64 = ts.iter().map(|p| cube_cost_policy(code, &design, p, true)).sum();
+    let cmp_cw: u64 = compacted
+        .test_set
+        .iter()
+        .map(|p| cube_cost_policy(code, &design, p, true))
+        .sum();
+    println!(
+        "[ablation:compaction] {} patterns → {} after compaction; codewords {} → {}          (density {:.3} → {:.3})",
+        ts.pattern_count(),
+        compacted.test_set.pattern_count(),
+        raw_cw,
+        cmp_cw,
+        ts.care_density(),
+        compacted.test_set.care_density(),
+    );
+
+    let mut g = c.benchmark_group("ablation_compaction");
+    g.sample_size(10);
+    g.bench_function("compact_60x2k", |b| b.iter(|| compact(black_box(ts))));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_order,
+    ablate_m_policy,
+    ablate_group_copy,
+    ablate_refinement,
+    ablate_search_strategy,
+    ablate_compaction
+);
+criterion_main!(benches);

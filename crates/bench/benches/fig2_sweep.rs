@@ -1,0 +1,33 @@
+//! Figure 2 bench: cost of evaluating one (w, m) operating point — the
+//! inner loop of the per-core lookup-table builder.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use selenc::evaluate_point;
+
+fn bench(c: &mut Criterion) {
+    let core = bench::ckt7();
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(20);
+    for m in [128u32, 192, 255] {
+        g.bench_function(format!("evaluate_point_m{m}"), |b| {
+            b.iter(|| evaluate_point(black_box(&core), black_box(m), Some(16)))
+        });
+    }
+    // The full Fig. 2 sweep at reduced granularity.
+    g.sample_size(10);
+    g.bench_function("sweep_w10_stride8", |b| {
+        b.iter(|| {
+            (128..=255u32)
+                .step_by(8)
+                .filter_map(|m| evaluate_point(&core, m, Some(8)))
+                .map(|c| c.test_time)
+                .min()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

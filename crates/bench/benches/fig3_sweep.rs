@@ -1,0 +1,29 @@
+//! Figure 3 bench: building a complete per-core (w, m) lookup table —
+//! the paper's §3 steps 1–2 for one core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use selenc::{CoreProfile, ProfileConfig};
+
+fn bench(c: &mut Criterion) {
+    let big = bench::ckt7();
+    let small = bench::small_core(2_000, 40, 0.03);
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("profile_ckt7_sampled", |b| {
+        b.iter(|| {
+            CoreProfile::build(
+                black_box(&big),
+                &ProfileConfig::new(12).pattern_sample(8).m_candidates(8),
+            )
+        })
+    });
+    g.bench_function("profile_small_exact", |b| {
+        b.iter(|| CoreProfile::build(black_box(&small), &ProfileConfig::new(10)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

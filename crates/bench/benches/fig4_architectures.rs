@@ -1,0 +1,28 @@
+//! Figure 4 bench: planning the same industrial design under the three
+//! architecture styles (no TDC / decompressor per TAM / per core).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tdcsoc::{PlanRequest, Planner};
+
+fn bench(c: &mut Criterion) {
+    let soc = bench::fig4_soc();
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    let req31 = bench::bench_request(31);
+    g.bench_function("plan_no_tdc", |b| {
+        b.iter(|| Planner::no_tdc().plan(black_box(&soc), &req31).unwrap())
+    });
+    let ate = PlanRequest::ate_channels(31).with_decisions(req31.decisions.clone());
+    g.bench_function("plan_per_tam", |b| {
+        b.iter(|| Planner::per_tam_tdc().plan(black_box(&soc), &ate).unwrap())
+    });
+    g.bench_function("plan_per_core", |b| {
+        b.iter(|| Planner::per_core_tdc().plan(black_box(&soc), &ate).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Substrate micro-benchmarks: the kernels every planning run is built
+//! from. Useful for tracking performance regressions independently of the
+//! experiment-level benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fdr::{compress_fdr, encode_run, Bits};
+use lfsr::{Gf2Solver, Gf2Vec};
+use selenc::{cube_cost, SliceCode};
+use soc_model::{CubeSynthesis, SplitMix64, TritVec};
+use wrapper::design_wrapper;
+
+fn bench_trit_ops(c: &mut Criterion) {
+    let core = bench::small_core(5_000, 1, 0.1);
+    let cube = core.test_set().unwrap().pattern(0).unwrap().clone();
+    let mut g = c.benchmark_group("kernel_trits");
+    g.bench_function("count_cares_5k", |b| {
+        b.iter(|| black_box(&cube).count_cares())
+    });
+    g.bench_function("parse_display_roundtrip_1k", |b| {
+        let s: String = cube.iter().take(1000).map(|t| t.to_char()).collect();
+        b.iter(|| s.parse::<TritVec>().unwrap().to_string())
+    });
+    g.finish();
+}
+
+fn bench_cube_cost(c: &mut Criterion) {
+    let core = bench::small_core(10_000, 1, 0.02);
+    let cube = core.test_set().unwrap().pattern(0).unwrap().clone();
+    let mut g = c.benchmark_group("kernel_cube_cost");
+    for m in [64u32, 256] {
+        let design = design_wrapper(&core, m);
+        let code = SliceCode::for_chains(design.chain_count());
+        g.bench_function(format!("cost_10k_cells_m{m}"), |b| {
+            b.iter(|| cube_cost(code, black_box(&design), &cube))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gf2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_gf2");
+    g.bench_function("solve_200x180", |b| {
+        b.iter(|| {
+            let mut rng = SplitMix64::new(9);
+            let mut solver = Gf2Solver::new(200);
+            for _ in 0..180 {
+                let mut row = Gf2Vec::zero(200);
+                for j in 0..200 {
+                    if rng.next_bool(0.5) {
+                        row.set(j, true);
+                    }
+                }
+                let _ = solver.add_constraint(row, rng.next_bool(0.5));
+            }
+            solver.solution()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fdr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_fdr");
+    g.bench_function("encode_1k_runs", |b| {
+        b.iter(|| {
+            let mut bits = Bits::new();
+            for i in 0..1000u64 {
+                encode_run(black_box(i % 97), &mut bits);
+            }
+            bits.len()
+        })
+    });
+    let core = bench::small_core(8_000, 4, 0.03);
+    g.bench_function("compress_core_8k_cells", |b| {
+        b.iter(|| compress_fdr(black_box(&core), 8, None))
+    });
+    g.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_generator");
+    let core = soc_model::Core::builder("g")
+        .inputs(50)
+        .flexible_cells(20_000, 256)
+        .pattern_count(10)
+        .care_density(0.02)
+        .build()
+        .unwrap();
+    g.bench_function("synthesize_200k_trits", |b| {
+        b.iter(|| CubeSynthesis::new(0.02).synthesize(black_box(&core), 3))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trit_ops,
+    bench_cube_cost,
+    bench_gf2,
+    bench_fdr,
+    bench_generator
+);
+criterion_main!(benches);

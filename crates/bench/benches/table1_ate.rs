@@ -1,0 +1,30 @@
+//! Table 1 bench: ATE-channel-constrained planning on d695 for the
+//! proposed method and both comparison baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tdcsoc::{PlanRequest, Planner};
+
+fn bench(c: &mut Criterion) {
+    let soc = bench::d695();
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for w in [16u32, 32] {
+        let req = PlanRequest::ate_channels(w)
+            .with_decisions(bench::bench_request(w).decisions.clone());
+        g.bench_function(format!("per_core_W{w}"), |b| {
+            b.iter(|| Planner::per_core_tdc().plan(black_box(&soc), &req).unwrap())
+        });
+        g.bench_function(format!("per_tam_W{w}"), |b| {
+            b.iter(|| Planner::per_tam_tdc().plan(black_box(&soc), &req).unwrap())
+        });
+        g.bench_function(format!("fixed4_W{w}"), |b| {
+            b.iter(|| Planner::fixed_width_tdc(4).plan(black_box(&soc), &req).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

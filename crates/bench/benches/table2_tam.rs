@@ -1,0 +1,33 @@
+//! Table 2 bench: TAM-width-constrained planning on d695, including the
+//! LFSR-reseeding baseline (GF(2) solving dominates its cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tdcsoc::{DecisionConfig, PlanRequest, Planner};
+
+fn bench(c: &mut Criterion) {
+    let soc = bench::d695();
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    let cfg = DecisionConfig { pattern_sample: Some(8), m_candidates: 8 };
+    for w in [16u32, 32] {
+        let req = PlanRequest::tam_width(w).with_decisions(cfg.clone());
+        g.bench_function(format!("per_core_W{w}"), |b| {
+            b.iter(|| Planner::per_core_tdc().plan(black_box(&soc), &req).unwrap())
+        });
+        g.bench_function(format!("per_tam_internal_W{w}"), |b| {
+            b.iter(|| Planner::per_tam_tdc().plan(black_box(&soc), &req).unwrap())
+        });
+    }
+    // Reseeding is far heavier; bench it once at the narrow budget.
+    let req16 = PlanRequest::tam_width(16)
+        .with_decisions(DecisionConfig { pattern_sample: Some(4), m_candidates: 4 });
+    g.bench_function("reseeding_W16", |b| {
+        b.iter(|| Planner::reseeding_tdc().plan(black_box(&soc), &req16).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

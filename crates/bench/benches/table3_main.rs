@@ -1,0 +1,26 @@
+//! Table 3 bench: the headline with-vs-without-TDC planning runs on an
+//! industrial-like SOC (the paper's "CPU time" columns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tdcsoc::Planner;
+
+fn bench(c: &mut Criterion) {
+    let soc = bench::system1();
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    for w in [16u32, 32] {
+        let req = bench::bench_request(w);
+        g.bench_function(format!("no_tdc_W{w}"), |b| {
+            b.iter(|| Planner::no_tdc().plan(black_box(&soc), &req).unwrap())
+        });
+        g.bench_function(format!("per_core_W{w}"), |b| {
+            b.iter(|| Planner::per_core_tdc().plan(black_box(&soc), &req).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Every table and figure of the paper has a matching Criterion bench in
+//! `benches/`; this crate hosts the workload constructors they share. The
+//! printable experiment rows themselves come from the `fig*`/`table*`
+//! binaries of the root package — the benches measure the *cost* of
+//! producing them (the paper's "CPU time" columns).
+
+use soc_model::benchmarks::Design;
+use soc_model::generator::synthesize_missing_test_sets;
+use soc_model::{benchmarks, Core, Soc};
+use tdcsoc::{DecisionConfig, PlanRequest};
+
+/// The paper's evaluation seed: all workloads in the benches derive from
+/// it so runs are comparable.
+pub const SEED: u64 = 2008;
+
+/// ckt-7 with cubes attached (the Figs. 2–3 subject).
+pub fn ckt7() -> Core {
+    let mut soc = Soc::new("bench", vec![benchmarks::ckt(7)]);
+    synthesize_missing_test_sets(&mut soc, SEED);
+    soc.cores_mut()[0].clone()
+}
+
+/// A scaled-down industrial-like core for fast micro-benches.
+pub fn small_core(cells: u32, patterns: u32, density: f64) -> Core {
+    let mut core = Core::builder("small")
+        .inputs(24)
+        .outputs(24)
+        .flexible_cells(cells, 512)
+        .pattern_count(patterns)
+        .care_density(density)
+        .build()
+        .expect("valid core");
+    let cubes = soc_model::CubeSynthesis::new(density).synthesize(&core, SEED);
+    core.attach_test_set(cubes).expect("shape matches");
+    core
+}
+
+/// d695 with cubes.
+pub fn d695() -> Soc {
+    Design::D695.build_with_cubes(SEED)
+}
+
+/// System1 with cubes.
+pub fn system1() -> Soc {
+    Design::System1.build_with_cubes(SEED)
+}
+
+/// The Fig. 4 four-core industrial design.
+pub fn fig4_soc() -> Soc {
+    let mut soc = Soc::new(
+        "fig4",
+        vec![
+            benchmarks::ckt(1),
+            benchmarks::ckt(9),
+            benchmarks::ckt(11),
+            benchmarks::ckt(16),
+        ],
+    );
+    synthesize_missing_test_sets(&mut soc, SEED);
+    soc
+}
+
+/// The evaluation fidelity used by all benches (sampled, bounded search),
+/// matching the binaries' settings closely enough for comparable times.
+pub fn bench_request(width: u32) -> PlanRequest {
+    PlanRequest::tam_width(width).with_decisions(DecisionConfig {
+        pattern_sample: Some(16),
+        m_candidates: 12,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(ckt7().name(), "ckt-7");
+        assert_eq!(d695().core_count(), 10);
+        assert_eq!(system1().core_count(), 6);
+        assert_eq!(fig4_soc().core_count(), 4);
+        assert!(small_core(500, 10, 0.1).test_set().is_some());
+    }
+}

@@ -1,0 +1,254 @@
+//! The FDR (frequency-directed run-length) code of Chandra & Chakrabarty.
+//!
+//! Scan cubes are mostly-0 once don't-cares are 0-filled, so the stream is
+//! a sequence of 0-runs, each terminated by a 1. FDR assigns short
+//! codewords to short runs: group `A_k` covers run lengths
+//! `2^k − 2 ..= 2^(k+1) − 3` and encodes them in `2k` bits — a `(k−1)`-one
+//! prefix, a `0` separator, and a `k`-bit offset.
+//!
+//! | group | run lengths | codeword |
+//! |-------|-------------|----------|
+//! | A₁    | 0, 1        | `0` + 1 offset bit |
+//! | A₂    | 2 … 5       | `10` + 2 offset bits |
+//! | A₃    | 6 … 13      | `110` + 3 offset bits |
+//! | A₄    | 14 … 29     | `1110` + 4 offset bits |
+
+/// A growable bit string (MSB-first append order).
+///
+/// # Examples
+///
+/// ```
+/// use fdr::Bits;
+///
+/// let mut b = Bits::new();
+/// b.push(true);
+/// b.push(false);
+/// b.push(true);
+/// assert_eq!(b.len(), 3);
+/// assert_eq!(b.get(0), Some(true));
+/// assert_eq!(b.to_string(), "101");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bits {
+    /// An empty bit string.
+    pub fn new() -> Self {
+        Bits::default()
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no bits are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        if bit {
+            *self.words.last_mut().expect("just ensured") |= 1 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// The bit at `idx`, or `None` past the end.
+    pub fn get(&self, idx: usize) -> Option<bool> {
+        (idx < self.len).then(|| self.words[idx / 64] >> (idx % 64) & 1 == 1)
+    }
+
+    /// Iterates over the bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(|i| self.get(i).expect("index in range"))
+    }
+}
+
+impl std::fmt::Display for Bits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in self.iter() {
+            write!(f, "{}", u8::from(b))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for Bits {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut b = Bits::new();
+        for bit in iter {
+            b.push(bit);
+        }
+        b
+    }
+}
+
+/// The FDR group index `k` for a run of `length` zeros:
+/// the unique `k ≥ 1` with `2^k − 2 ≤ length ≤ 2^(k+1) − 3`.
+pub fn group_of(length: u64) -> u32 {
+    // length + 2 ∈ [2^k, 2^(k+1) − 1] → k = floor(log2(length + 2)).
+    (length + 2).ilog2()
+}
+
+/// Codeword length (in bits) for a run of `length` zeros: `2k`.
+pub fn codeword_len(length: u64) -> u64 {
+    2 * u64::from(group_of(length))
+}
+
+/// Appends the FDR codeword for a run of `length` zeros to `out`.
+pub fn encode_run(length: u64, out: &mut Bits) {
+    let k = group_of(length);
+    let offset = length - ((1u64 << k) - 2);
+    debug_assert!(offset < (1 << k));
+    for _ in 0..k - 1 {
+        out.push(true);
+    }
+    out.push(false);
+    for i in (0..k).rev() {
+        out.push(offset >> i & 1 == 1);
+    }
+}
+
+/// Streaming FDR decoder: feed bits, collect decoded runs.
+#[derive(Debug, Clone, Default)]
+pub struct RunDecoder {
+    ones: u32,
+    tail: Option<(u32, u32, u64)>, // (k, bits read, accumulator)
+}
+
+impl RunDecoder {
+    /// A fresh decoder at a codeword boundary.
+    pub fn new() -> Self {
+        RunDecoder::default()
+    }
+
+    /// Consumes one bit; returns a decoded run length when a codeword
+    /// completes.
+    pub fn feed(&mut self, bit: bool) -> Option<u64> {
+        match &mut self.tail {
+            None => {
+                if bit {
+                    self.ones += 1;
+                    None
+                } else {
+                    let k = self.ones + 1;
+                    self.ones = 0;
+                    self.tail = Some((k, 0, 0));
+                    None
+                }
+            }
+            Some((k, read, acc)) => {
+                *acc = (*acc << 1) | u64::from(bit);
+                *read += 1;
+                if read == k {
+                    let length = ((1u64 << *k) - 2) + *acc;
+                    self.tail = None;
+                    Some(length)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Returns `true` at a codeword boundary (safe stream end).
+    pub fn is_idle(&self) -> bool {
+        self.ones == 0 && self.tail.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_match_the_published_table() {
+        for (len, k) in [
+            (0u64, 1u32),
+            (1, 1),
+            (2, 2),
+            (5, 2),
+            (6, 3),
+            (13, 3),
+            (14, 4),
+            (29, 4),
+            (30, 5),
+        ] {
+            assert_eq!(group_of(len), k, "run {len}");
+            assert_eq!(codeword_len(len), 2 * u64::from(k));
+        }
+    }
+
+    #[test]
+    fn known_codewords() {
+        let encode = |len: u64| {
+            let mut b = Bits::new();
+            encode_run(len, &mut b);
+            b.to_string()
+        };
+        assert_eq!(encode(0), "00");
+        assert_eq!(encode(1), "01");
+        assert_eq!(encode(2), "1000");
+        assert_eq!(encode(5), "1011");
+        assert_eq!(encode(6), "110000");
+        assert_eq!(encode(13), "110111");
+    }
+
+    #[test]
+    fn roundtrip_all_small_runs() {
+        for len in 0..2000u64 {
+            let mut bits = Bits::new();
+            encode_run(len, &mut bits);
+            let mut dec = RunDecoder::new();
+            let mut out = None;
+            for b in bits.iter() {
+                assert!(out.is_none(), "decoded early at run {len}");
+                out = dec.feed(b);
+            }
+            assert_eq!(out, Some(len));
+            assert!(dec.is_idle());
+        }
+    }
+
+    #[test]
+    fn roundtrip_concatenated_runs() {
+        let runs = [0u64, 7, 1, 100, 3, 42, 0, 0, 999];
+        let mut bits = Bits::new();
+        for &r in &runs {
+            encode_run(r, &mut bits);
+        }
+        let mut dec = RunDecoder::new();
+        let decoded: Vec<u64> = bits.iter().filter_map(|b| dec.feed(b)).collect();
+        assert_eq!(decoded, runs);
+        assert!(dec.is_idle());
+    }
+
+    #[test]
+    fn short_runs_get_short_codewords() {
+        assert!(codeword_len(0) < codeword_len(100));
+        assert_eq!(codeword_len(1), 2);
+        // Long runs still compress: 1000 zeros in 2·9 = 18 bits.
+        assert!(codeword_len(1000) <= 20);
+    }
+
+    #[test]
+    fn bits_container_basics() {
+        let b: Bits = [true, false, true, true].into_iter().collect();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.get(3), Some(true));
+        assert_eq!(b.get(4), None);
+        assert_eq!(b.to_string(), "1011");
+        let long: Bits = (0..150).map(|i| i % 3 == 0).collect();
+        assert_eq!(long.len(), 150);
+        assert_eq!(long.get(147), Some(true));
+        assert_eq!(long.get(148), Some(false));
+    }
+}

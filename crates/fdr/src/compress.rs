@@ -1,0 +1,266 @@
+//! Core-level FDR compression: one serial run-length decompressor per TAM
+//! wire (the architecture class of Gonciari & Al-Hashimi's
+//! compression-driven TAM design, the paper's reference [10]).
+//!
+//! A core on a `w`-wire TAM gets a wrapper with `m = w` chains; each
+//! wire's serial load stream (don't-cares 0-filled) is FDR-encoded
+//! independently. All wires shift concurrently, so each pattern costs the
+//! *longest* of its per-wire codeword streams, and the tester stores the
+//! *sum*.
+
+use soc_model::{Core, Trit};
+use wrapper::{design_wrapper, ChainLayout, WrapperDesign};
+
+use crate::code::{codeword_len, encode_run, Bits, RunDecoder};
+
+/// Outcome of FDR-compressing one core at a TAM width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FdrResult {
+    /// Wrapper chains (= TAM wires = serial decompressors).
+    pub chains: u32,
+    /// Total shift cycles over all patterns.
+    pub shift_cycles: u64,
+    /// Test time in cycles: `shift + p + min(s_i, s_o)`.
+    pub test_time: u64,
+    /// Tester data volume in bits (sum of all encoded streams).
+    pub volume_bits: u64,
+}
+
+/// FDR-compresses `core` on a `width`-wire TAM, optionally sampling
+/// `sample` evenly spaced patterns (scaled to the full set).
+///
+/// # Panics
+///
+/// Panics if the core has no attached test set or `width == 0`.
+pub fn compress_fdr(core: &Core, width: u32, sample: Option<usize>) -> FdrResult {
+    assert!(width > 0, "TAM width must be positive");
+    let test_set = core
+        .test_set()
+        .expect("core must carry a test set; synthesize or attach cubes first");
+    let design = design_wrapper(core, width);
+    let p = test_set.pattern_count();
+
+    let indices: Vec<usize> = match sample {
+        Some(s) if s < p && s > 0 => {
+            let mut v: Vec<usize> = (0..s).map(|i| i * p / s).collect();
+            v.dedup();
+            v
+        }
+        _ => (0..p).collect(),
+    };
+
+    let mut shift = 0u64;
+    let mut volume = 0u64;
+    for &pi in &indices {
+        let cube = test_set.pattern(pi).expect("sampled index in range");
+        let mut worst = 0u64;
+        for chain in design.chains() {
+            let bits = encoded_bits(chain, cube, design.scan_in_length());
+            worst = worst.max(bits);
+            volume += bits;
+        }
+        shift += worst;
+    }
+    // Scale sampled sums to the full pattern count.
+    let n = indices.len() as u64;
+    if (n as usize) < p {
+        shift = (shift * p as u64 + n / 2) / n;
+        volume = (volume * p as u64 + n / 2) / n;
+    }
+
+    let fill_drain = design.scan_in_length().min(design.scan_out_length());
+    FdrResult {
+        chains: design.chain_count(),
+        shift_cycles: shift,
+        test_time: shift + p as u64 + fill_drain,
+        volume_bits: volume,
+    }
+}
+
+/// Encoded length (bits) of one chain's serial stream for one pattern.
+///
+/// The stream is the chain's load sequence padded with 0 (don't-care fill)
+/// to the design's scan-in length; runs of 0s are FDR-coded, and a
+/// trailing 0-run is coded like any other (the decoder knows the stream
+/// length and drops the phantom terminator).
+fn encoded_bits(chain: &ChainLayout, cube: &soc_model::TritVec, s_i: u64) -> u64 {
+    let mut bits = 0u64;
+    let mut run = 0u64;
+    for depth in 0..s_i {
+        let one = chain
+            .position_at(depth)
+            .is_some_and(|pos| cube.get(pos as usize) == Trit::One);
+        if one {
+            bits += codeword_len(run);
+            run = 0;
+        } else {
+            run += 1;
+        }
+    }
+    if run > 0 {
+        // The trailing run's terminator falls just past the stream end and
+        // is dropped by the decoder, so the full length is coded.
+        bits += codeword_len(run);
+    }
+    bits
+}
+
+/// Produces the actual encoded stream for one chain and pattern (used by
+/// the verification path and tests; [`compress_fdr`] only counts).
+pub fn encode_chain_stream(
+    design: &WrapperDesign,
+    chain_index: usize,
+    cube: &soc_model::TritVec,
+) -> Bits {
+    let chain = &design.chains()[chain_index];
+    let s_i = design.scan_in_length();
+    let mut out = Bits::new();
+    let mut run = 0u64;
+    for depth in 0..s_i {
+        let one = chain
+            .position_at(depth)
+            .is_some_and(|pos| cube.get(pos as usize) == Trit::One);
+        if one {
+            encode_run(run, &mut out);
+            run = 0;
+        } else {
+            run += 1;
+        }
+    }
+    if run > 0 {
+        encode_run(run, &mut out);
+    }
+    out
+}
+
+/// Decodes a chain stream back into `expected_len` bits (0s and 1s), the
+/// inverse of [`encode_chain_stream`].
+///
+/// # Panics
+///
+/// Panics if the stream is malformed or shorter than `expected_len`
+/// implies.
+pub fn decode_chain_stream(bits: &Bits, expected_len: u64) -> Vec<bool> {
+    let mut dec = RunDecoder::new();
+    let mut out = Vec::with_capacity(expected_len as usize);
+    for b in bits.iter() {
+        if let Some(run) = dec.feed(b) {
+            out.resize(out.len() + run as usize, false);
+            out.push(true); // run terminator (may be the phantom final one)
+        }
+    }
+    assert!(dec.is_idle(), "stream ended mid-codeword");
+    assert!(
+        out.len() as u64 >= expected_len,
+        "stream too short: {} < {expected_len}",
+        out.len()
+    );
+    out.truncate(expected_len as usize);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_model::CubeSynthesis;
+
+    fn prepared(cells: u32, patterns: u32, density: f64) -> Core {
+        let mut core = Core::builder("f")
+            .inputs(8)
+            .outputs(8)
+            .flexible_cells(cells, 64)
+            .pattern_count(patterns)
+            .care_density(density)
+            .build()
+            .unwrap();
+        let ts = CubeSynthesis::new(density)
+            .one_fraction(0.5)
+            .synthesize(&core, 31);
+        core.attach_test_set(ts).unwrap();
+        core
+    }
+
+    #[test]
+    fn sparse_cubes_compress_well() {
+        let core = prepared(2000, 10, 0.02);
+        let r = compress_fdr(&core, 8, None);
+        assert!(
+            r.volume_bits * 2 < core.initial_volume_bits(),
+            "{} vs {}",
+            r.volume_bits,
+            core.initial_volume_bits()
+        );
+        assert_eq!(r.chains, 8);
+        assert!(r.test_time > r.shift_cycles);
+    }
+
+    #[test]
+    fn dense_cubes_expand() {
+        // At ~50% ones FDR inflates — that is the expected failure mode and
+        // exactly why technique selection matters.
+        let core = prepared(500, 6, 0.9);
+        let r = compress_fdr(&core, 8, None);
+        assert!(r.volume_bits > core.initial_volume_bits() / 2);
+    }
+
+    #[test]
+    fn streams_roundtrip_and_honor_care_bits() {
+        let core = prepared(400, 5, 0.15);
+        let design = design_wrapper(&core, 6);
+        let ts = core.test_set().unwrap();
+        for cube in ts.iter() {
+            for k in 0..design.chains().len() {
+                let bits = encode_chain_stream(&design, k, cube);
+                let decoded = decode_chain_stream(&bits, design.scan_in_length());
+                for (depth, &bit) in decoded.iter().enumerate() {
+                    if let Some(pos) = design.chains()[k].position_at(depth as u64) {
+                        assert!(
+                            cube.get(pos as usize).accepts(bit),
+                            "chain {k} depth {depth}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counted_bits_match_real_encoding() {
+        let core = prepared(300, 4, 0.2);
+        let design = design_wrapper(&core, 5);
+        let ts = core.test_set().unwrap();
+        for cube in ts.iter() {
+            for (k, chain) in design.chains().iter().enumerate() {
+                let counted = encoded_bits(chain, cube, design.scan_in_length());
+                let real = encode_chain_stream(&design, k, cube).len() as u64;
+                assert_eq!(counted, real);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_tracks_exact() {
+        let core = prepared(600, 30, 0.05);
+        let exact = compress_fdr(&core, 8, None);
+        let sampled = compress_fdr(&core, 8, Some(6));
+        let ratio = sampled.volume_bits as f64 / exact.volume_bits as f64;
+        assert!((0.8..1.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn wider_interfaces_cut_time_not_volume() {
+        let core = prepared(1500, 8, 0.03);
+        let narrow = compress_fdr(&core, 4, None);
+        let wide = compress_fdr(&core, 16, None);
+        assert!(wide.test_time < narrow.test_time);
+        // Volume stays the same order (same data, different striping).
+        let ratio = wide.volume_bits as f64 / narrow.volume_bits as f64;
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "TAM width must be positive")]
+    fn zero_width_panics() {
+        compress_fdr(&prepared(100, 2, 0.1), 0, None);
+    }
+}

@@ -1,0 +1,200 @@
+//! Golomb run-length coding — the predecessor of FDR (Chandra &
+//! Chakrabarty, VTS 2000) and a useful comparison point: Golomb needs its
+//! group parameter tuned to the run-length distribution, while FDR adapts
+//! automatically. The comparison reproduced in the tests: FDR beats every
+//! single Golomb parameter on mixed-regime run distributions (real scan
+//! data), and stays close to an ideally-tuned Golomb even on clean
+//! geometric runs — with no tuning at all.
+//!
+//! A run of `L` zeros with parameter `m = 2^k` encodes as `⌊L/m⌋` ones, a
+//! zero separator, and `k` remainder bits — `⌊L/m⌋ + 1 + k` bits total.
+
+use crate::code::Bits;
+
+/// Codeword length (bits) of a run of `length` zeros under parameter
+/// `2^log2_m`.
+pub fn golomb_codeword_len(length: u64, log2_m: u32) -> u64 {
+    (length >> log2_m) + 1 + u64::from(log2_m)
+}
+
+/// Appends the Golomb codeword for a run of `length` zeros.
+pub fn golomb_encode_run(length: u64, log2_m: u32, out: &mut Bits) {
+    for _ in 0..(length >> log2_m) {
+        out.push(true);
+    }
+    out.push(false);
+    for i in (0..log2_m).rev() {
+        out.push(length >> i & 1 == 1);
+    }
+}
+
+/// Streaming Golomb decoder for a fixed parameter.
+#[derive(Debug, Clone)]
+pub struct GolombDecoder {
+    log2_m: u32,
+    quotient: u64,
+    tail: Option<(u32, u64)>, // (bits read, accumulator)
+}
+
+impl GolombDecoder {
+    /// A decoder for parameter `2^log2_m`.
+    pub fn new(log2_m: u32) -> Self {
+        GolombDecoder {
+            log2_m,
+            quotient: 0,
+            tail: None,
+        }
+    }
+
+    /// Consumes one bit; returns a run length when a codeword completes.
+    pub fn feed(&mut self, bit: bool) -> Option<u64> {
+        match &mut self.tail {
+            None => {
+                if bit {
+                    self.quotient += 1;
+                    None
+                } else if self.log2_m == 0 {
+                    let len = self.quotient;
+                    self.quotient = 0;
+                    Some(len)
+                } else {
+                    self.tail = Some((0, 0));
+                    None
+                }
+            }
+            Some((read, acc)) => {
+                *acc = (*acc << 1) | u64::from(bit);
+                *read += 1;
+                if *read == self.log2_m {
+                    let len = (self.quotient << self.log2_m) | *acc;
+                    self.quotient = 0;
+                    self.tail = None;
+                    Some(len)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Returns `true` at a codeword boundary.
+    pub fn is_idle(&self) -> bool {
+        self.quotient == 0 && self.tail.is_none()
+    }
+}
+
+/// Total Golomb-coded bits for a run-length multiset, at the *best*
+/// power-of-two parameter in `0..=max_log2_m`; returns `(log2_m, bits)`.
+pub fn best_golomb(runs: &[u64], max_log2_m: u32) -> (u32, u64) {
+    (0..=max_log2_m)
+        .map(|k| {
+            (
+                k,
+                runs.iter().map(|&r| golomb_codeword_len(r, k)).sum::<u64>(),
+            )
+        })
+        .min_by_key(|&(_, bits)| bits)
+        .expect("range is nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::codeword_len as fdr_len;
+    use soc_model::SplitMix64;
+
+    #[test]
+    fn known_codewords() {
+        let encode = |len: u64, k: u32| {
+            let mut b = Bits::new();
+            golomb_encode_run(len, k, &mut b);
+            b.to_string()
+        };
+        // m = 4 (k = 2): L = 9 → quotient 2, remainder 01.
+        assert_eq!(encode(9, 2), "11001");
+        assert_eq!(encode(0, 2), "000");
+        // k = 0: pure unary.
+        assert_eq!(encode(3, 0), "1110");
+    }
+
+    #[test]
+    fn roundtrip_across_parameters() {
+        for k in 0..6u32 {
+            let runs = [0u64, 1, 5, 17, 100, 3, 64];
+            let mut bits = Bits::new();
+            for &r in &runs {
+                golomb_encode_run(r, k, &mut bits);
+            }
+            let mut dec = GolombDecoder::new(k);
+            let decoded: Vec<u64> = bits.iter().filter_map(|b| dec.feed(b)).collect();
+            assert_eq!(decoded, runs, "k={k}");
+            assert!(dec.is_idle());
+        }
+    }
+
+    #[test]
+    fn parameter_matters_for_golomb() {
+        let runs: Vec<u64> = (0..200).map(|i| 40 + (i % 17)).collect();
+        let (_, best) = best_golomb(&runs, 10);
+        let worst: u64 = runs.iter().map(|&r| golomb_codeword_len(r, 0)).sum();
+        assert!(best * 3 < worst, "tuning should matter: {best} vs {worst}");
+    }
+
+    #[test]
+    fn fdr_competitive_with_tuned_golomb_on_scan_like_runs() {
+        // Geometric run lengths (what sparse scan streams produce).
+        let mut rng = SplitMix64::new(5);
+        let runs: Vec<u64> = (0..2_000)
+            .map(|_| {
+                let mut l = 0u64;
+                while rng.next_bool(0.97) && l < 4_000 {
+                    l += 1;
+                }
+                l
+            })
+            .collect();
+        let fdr_bits: u64 = runs.iter().map(|&r| fdr_len(r)).sum();
+        let (k, golomb_bits) = best_golomb(&runs, 12);
+        // On a *pure* geometric distribution an ideally-tuned Golomb code
+        // is near-entropy, so FDR trails it somewhat — but stays within
+        // 35% with no parameter at all, and crushes a mis-tuned Golomb.
+        // (FDR's win in the literature is on real scan data, whose run
+        // distribution mixes regimes no single Golomb parameter covers.)
+        assert!(
+            fdr_bits as f64 <= golomb_bits as f64 * 1.35,
+            "FDR {fdr_bits} vs tuned Golomb(2^{k}) {golomb_bits}"
+        );
+        let mistuned: u64 = runs.iter().map(|&r| golomb_codeword_len(r, 0)).sum();
+        assert!(fdr_bits * 2 < mistuned);
+
+        // Mixed-regime runs (short bursts + occasional very long gaps):
+        // here FDR beats every single Golomb parameter.
+        let mut rng = SplitMix64::new(9);
+        let mixed: Vec<u64> = (0..2_000)
+            .map(|i| {
+                if i % 10 == 0 {
+                    500 + rng.next_below(3_000)
+                } else {
+                    rng.next_below(4)
+                }
+            })
+            .collect();
+        let fdr_mixed: u64 = mixed.iter().map(|&r| fdr_len(r)).sum();
+        let (km, golomb_mixed) = best_golomb(&mixed, 12);
+        assert!(
+            fdr_mixed <= golomb_mixed,
+            "FDR {fdr_mixed} vs tuned Golomb(2^{km}) {golomb_mixed} on mixed runs"
+        );
+    }
+
+    #[test]
+    fn shared_run_decoder_unaffected() {
+        // Sanity: FDR's decoder still handles its own streams after Golomb
+        // shares the Bits container.
+        let mut bits = Bits::new();
+        crate::code::encode_run(7, &mut bits);
+        let mut dec = crate::code::RunDecoder::new();
+        let out: Vec<u64> = bits.iter().filter_map(|b| dec.feed(b)).collect();
+        assert_eq!(out, vec![7]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Frequency-directed run-length (FDR) test-data compression.
+//!
+//! The run-length code of Chandra & Chakrabarty, used here as the
+//! representative of the serial-decompressor architecture class
+//! (compression-driven TAM design, the paper's reference \[10\]) and as one
+//! of the candidate techniques for per-core compression-technique
+//! selection (the authors' ATS 2008 follow-up work).
+//!
+//! * [`encode_run`]/[`RunDecoder`] — the code itself, bit-exact both ways;
+//! * [`compress_fdr`] — core-level compression: one serial decompressor
+//!   per TAM wire, test-time and volume accounting;
+//! * [`encode_chain_stream`]/[`decode_chain_stream`] — the real streams,
+//!   for verification.
+//!
+//! # Examples
+//!
+//! ```
+//! use fdr::compress_fdr;
+//! use soc_model::{Core, CubeSynthesis};
+//!
+//! let mut core = Core::builder("c")
+//!     .inputs(8)
+//!     .flexible_cells(1000, 32)
+//!     .pattern_count(8)
+//!     .care_density(0.03)
+//!     .build()?;
+//! let cubes = CubeSynthesis::new(0.03).synthesize(&core, 1);
+//! core.attach_test_set(cubes)?;
+//!
+//! let r = compress_fdr(&core, 8, None);
+//! assert!(r.volume_bits < core.initial_volume_bits());
+//! # Ok::<(), soc_model::BuildCoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod code;
+mod compress;
+mod golomb;
+
+pub use code::{codeword_len, encode_run, group_of, Bits, RunDecoder};
+pub use compress::{
+    compress_fdr, decode_chain_stream, encode_chain_stream, FdrResult,
+};
+pub use golomb::{
+    best_golomb, golomb_codeword_len, golomb_encode_run, GolombDecoder,
+};

@@ -1,0 +1,232 @@
+//! LFSR and phase-shifter models, both concrete and symbolic.
+//!
+//! A Fibonacci LFSR of length `L` expands a seed into a pseudo-random
+//! stream; a phase shifter (one XOR combination of LFSR cells per scan
+//! chain) decorrelates the `m` chain inputs produced each cycle. Because
+//! everything is linear over GF(2), each produced bit is a known linear
+//! function of the seed — the *symbolic* simulation tracks those functions
+//! so the reseeding compressor can set up its linear system.
+
+use soc_model::SplitMix64;
+
+use crate::gf2::Gf2Vec;
+
+/// A Fibonacci LFSR defined by its length and feedback tap positions.
+///
+/// Cell 0 is the output end; each step computes the XOR of the tap cells,
+/// shifts every cell down by one, and inserts the feedback at the top.
+///
+/// # Examples
+///
+/// ```
+/// use lfsr::Lfsr;
+///
+/// let lfsr = Lfsr::with_default_taps(16);
+/// assert_eq!(lfsr.len(), 16);
+/// let mut state = vec![false; 16];
+/// state[0] = true;
+/// lfsr.step(&mut state);
+/// assert_eq!(state.len(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    len: usize,
+    taps: Vec<usize>,
+}
+
+impl Lfsr {
+    /// Creates an LFSR with explicit feedback taps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`, `taps` is empty, or a tap is out of range.
+    pub fn new(len: usize, taps: Vec<usize>) -> Self {
+        assert!(len > 0, "LFSR length must be positive");
+        assert!(!taps.is_empty(), "LFSR needs at least one feedback tap");
+        assert!(
+            taps.iter().all(|&t| t < len),
+            "tap positions must be below the length"
+        );
+        Lfsr { len, taps }
+    }
+
+    /// Creates an LFSR with a default tap set: cell 0 plus a small spread
+    /// of additional taps. Not guaranteed primitive, but reseeding only
+    /// needs linear independence over the constrained window, which the
+    /// compressor verifies by construction.
+    pub fn with_default_taps(len: usize) -> Self {
+        let mut taps = vec![0];
+        for t in [len / 5 + 1, len / 2, (4 * len) / 5] {
+            if t > 0 && t < len && !taps.contains(&t) {
+                taps.push(t);
+            }
+        }
+        Lfsr::new(len, taps)
+    }
+
+    /// LFSR length (seed bits).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` only for the (disallowed) zero-length LFSR; present
+    /// for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The feedback tap positions.
+    pub fn taps(&self) -> &[usize] {
+        &self.taps
+    }
+
+    /// Advances a concrete state by one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != self.len()`.
+    pub fn step(&self, state: &mut [bool]) {
+        assert_eq!(state.len(), self.len, "state width mismatch");
+        let fb = self.taps.iter().fold(false, |acc, &t| acc ^ state[t]);
+        state.copy_within(1.., 0);
+        state[self.len - 1] = fb;
+    }
+
+    /// Advances a symbolic state (each cell a linear function of the seed)
+    /// by one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != self.len()`.
+    pub fn step_symbolic(&self, state: &mut Vec<Gf2Vec>) {
+        assert_eq!(state.len(), self.len, "state width mismatch");
+        let mut fb = state[self.taps[0]].clone();
+        for &t in &self.taps[1..] {
+            fb.xor_assign(&state[t]);
+        }
+        state.remove(0);
+        state.push(fb);
+    }
+}
+
+/// A phase shifter: per scan chain, an XOR of a few LFSR cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseShifter {
+    combos: Vec<Vec<usize>>,
+}
+
+impl PhaseShifter {
+    /// A deterministic pseudo-random phase shifter for `chains` chains over
+    /// an `lfsr_len`-cell LFSR, 3 XOR taps per chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chains == 0` or `lfsr_len == 0`.
+    pub fn random(chains: usize, lfsr_len: usize, seed: u64) -> Self {
+        assert!(chains > 0, "need at least one chain");
+        assert!(lfsr_len > 0, "LFSR length must be positive");
+        let mut rng = SplitMix64::new(seed ^ 0x9e3779b97f4a7c15);
+        let combos = (0..chains)
+            .map(|_| {
+                let mut taps = Vec::with_capacity(3);
+                while taps.len() < 3.min(lfsr_len) {
+                    let t = rng.next_below(lfsr_len as u64) as usize;
+                    if !taps.contains(&t) {
+                        taps.push(t);
+                    }
+                }
+                taps
+            })
+            .collect();
+        PhaseShifter { combos }
+    }
+
+    /// Number of chains driven.
+    pub fn chains(&self) -> usize {
+        self.combos.len()
+    }
+
+    /// Concrete output for chain `k` given an LFSR state.
+    pub fn output(&self, k: usize, state: &[bool]) -> bool {
+        self.combos[k].iter().fold(false, |acc, &t| acc ^ state[t])
+    }
+
+    /// Symbolic output for chain `k`: the linear function of the seed.
+    pub fn output_symbolic(&self, k: usize, state: &[Gf2Vec]) -> Gf2Vec {
+        let mut v = state[self.combos[k][0]].clone();
+        for &t in &self.combos[k][1..] {
+            v.xor_assign(&state[t]);
+        }
+        v
+    }
+}
+
+/// The identity symbolic state: cell `i` equals seed bit `i`.
+pub fn symbolic_reset(len: usize) -> Vec<Gf2Vec> {
+    (0..len).map(|i| Gf2Vec::unit(len, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbolic_matches_concrete() {
+        let lfsr = Lfsr::with_default_taps(24);
+        let ps = PhaseShifter::random(5, 24, 7);
+        // Random seed.
+        let seed: Vec<bool> = (0..24).map(|i| (i * 13 + 5) % 7 < 3).collect();
+
+        let mut concrete = seed.clone();
+        let mut symbolic = symbolic_reset(24);
+        for _cycle in 0..40 {
+            for k in 0..5 {
+                let sym = ps.output_symbolic(k, &symbolic);
+                let predicted =
+                    (0..24).filter(|&i| sym.get(i) && seed[i]).count() % 2 == 1;
+                assert_eq!(predicted, ps.output(k, &concrete), "chain {k}");
+            }
+            lfsr.step(&mut concrete);
+            lfsr.step_symbolic(&mut symbolic);
+        }
+    }
+
+    #[test]
+    fn stream_is_not_trivially_constant() {
+        let lfsr = Lfsr::with_default_taps(16);
+        let mut state = vec![false; 16];
+        state[3] = true;
+        let mut seen_true = false;
+        let mut seen_false = false;
+        for _ in 0..100 {
+            lfsr.step(&mut state);
+            seen_true |= state[0];
+            seen_false |= !state[0];
+        }
+        assert!(seen_true && seen_false);
+    }
+
+    #[test]
+    fn default_taps_valid_for_small_lengths() {
+        for len in 1..40 {
+            let l = Lfsr::with_default_taps(len);
+            assert!(l.taps().iter().all(|&t| t < len), "len {len}");
+        }
+    }
+
+    #[test]
+    fn phase_shifter_outputs_differ_between_chains() {
+        let ps = PhaseShifter::random(8, 32, 1);
+        assert_eq!(ps.chains(), 8);
+        // Taps differ between at least some chains.
+        let distinct: std::collections::HashSet<_> =
+            (0..8).map(|k| format!("{:?}", ps.combos[k])).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "state width mismatch")]
+    fn wrong_state_width_panics() {
+        Lfsr::with_default_taps(8).step(&mut [false; 4]);
+    }
+}

@@ -1,0 +1,379 @@
+//! GF(2) linear algebra: packed bit vectors and an incremental Gaussian
+//! solver.
+//!
+//! LFSR reseeding reduces to solving a linear system over GF(2): every care
+//! bit of a test cube is one linear constraint on the seed. The solver here
+//! keeps a row-echelon basis and accepts constraints incrementally, so a
+//! compressor can stream constraints and detect unsolvability early.
+
+use std::fmt;
+
+/// A packed GF(2) row vector of fixed width.
+///
+/// # Examples
+///
+/// ```
+/// use lfsr::Gf2Vec;
+///
+/// let mut v = Gf2Vec::zero(100);
+/// v.set(3, true);
+/// v.set(99, true);
+/// assert!(v.get(3) && v.get(99) && !v.get(4));
+/// let w = v.clone();
+/// v.xor_assign(&w);
+/// assert!(v.is_zero());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Gf2Vec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Gf2Vec {
+    /// The zero vector of `len` bits.
+    pub fn zero(len: usize) -> Self {
+        Gf2Vec {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// A unit vector with bit `i` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn unit(len: usize, i: usize) -> Self {
+        let mut v = Gf2Vec::zero(len);
+        v.set(i, true);
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` for a zero-length vector.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// In-place XOR with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[inline]
+    pub fn xor_assign(&mut self, other: &Gf2Vec) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Returns `true` when every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Index of the lowest set bit, or `None` for the zero vector.
+    pub fn first_set(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Parity of the AND with `other` (the GF(2) inner product).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn dot(&self, other: &Gf2Vec) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .fold(0u32, |acc, (a, b)| acc ^ (a & b).count_ones())
+            & 1
+            == 1
+    }
+
+    /// Number of set bits.
+    pub fn weight(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+impl fmt::Display for Gf2Vec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental GF(2) solver for systems `A·x = b`.
+///
+/// Constraints arrive one at a time; each is reduced against the current
+/// row-echelon basis. An inconsistent constraint is reported immediately.
+///
+/// # Examples
+///
+/// ```
+/// use lfsr::{Gf2Solver, Gf2Vec};
+///
+/// // x0 ^ x1 = 1, x1 = 1  →  x0 = 0, x1 = 1.
+/// let mut s = Gf2Solver::new(2);
+/// let mut r01 = Gf2Vec::zero(2);
+/// r01.set(0, true);
+/// r01.set(1, true);
+/// s.add_constraint(r01, true)?;
+/// s.add_constraint(Gf2Vec::unit(2, 1), true)?;
+/// let x = s.solution();
+/// assert_eq!(x, vec![false, true]);
+/// # Ok::<(), lfsr::InconsistentSystem>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gf2Solver {
+    cols: usize,
+    /// `pivot[j]` holds a row whose leading 1 is at column `j`.
+    pivots: Vec<Option<(Gf2Vec, bool)>>,
+    rank: usize,
+}
+
+impl Gf2Solver {
+    /// A solver over `cols` unknowns.
+    pub fn new(cols: usize) -> Self {
+        Gf2Solver {
+            cols,
+            pivots: vec![None; cols],
+            rank: 0,
+        }
+    }
+
+    /// Number of unknowns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Current rank of the constraint system.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Adds the constraint `row · x = rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InconsistentSystem`] when the constraint contradicts the
+    /// ones already added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()`.
+    pub fn add_constraint(
+        &mut self,
+        mut row: Gf2Vec,
+        mut rhs: bool,
+    ) -> Result<(), InconsistentSystem> {
+        assert_eq!(row.len(), self.cols, "constraint width mismatch");
+        while let Some(lead) = row.first_set() {
+            match &self.pivots[lead] {
+                Some((pivot_row, pivot_rhs)) => {
+                    row.xor_assign(pivot_row);
+                    rhs ^= pivot_rhs;
+                }
+                None => {
+                    self.pivots[lead] = Some((row, rhs));
+                    self.rank += 1;
+                    return Ok(());
+                }
+            }
+        }
+        if rhs {
+            Err(InconsistentSystem)
+        } else {
+            Ok(()) // redundant constraint
+        }
+    }
+
+    /// A solution of the system, with free variables set to 0.
+    ///
+    /// Back-substitutes through the echelon basis, so the result satisfies
+    /// every added constraint.
+    pub fn solution(&self) -> Vec<bool> {
+        let mut x = vec![false; self.cols];
+        // Pivots with larger leading columns must be resolved first.
+        for j in (0..self.cols).rev() {
+            if let Some((row, rhs)) = &self.pivots[j] {
+                // row = e_j + Σ later terms → x_j = rhs ^ Σ row_k x_k (k > j).
+                let mut v = *rhs;
+                for (k, &xk) in x.iter().enumerate().skip(j + 1) {
+                    if row.get(k) && xk {
+                        v = !v;
+                    }
+                }
+                x[j] = v;
+            }
+        }
+        x
+    }
+}
+
+/// Error: a constraint contradicts the system built so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InconsistentSystem;
+
+impl fmt::Display for InconsistentSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "linear system over GF(2) is inconsistent")
+    }
+}
+
+impl std::error::Error for InconsistentSystem {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_basics() {
+        let mut v = Gf2Vec::zero(130);
+        assert!(v.is_zero());
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert_eq!(v.weight(), 3);
+        assert_eq!(v.first_set(), Some(0));
+        v.set(0, false);
+        assert_eq!(v.first_set(), Some(64));
+    }
+
+    #[test]
+    fn dot_product_is_parity_of_overlap() {
+        let mut a = Gf2Vec::zero(70);
+        let mut b = Gf2Vec::zero(70);
+        for i in [1usize, 5, 69] {
+            a.set(i, true);
+        }
+        for i in [5usize, 69] {
+            b.set(i, true);
+        }
+        assert!(!a.dot(&b)); // overlap {5, 69} → even
+        b.set(1, true);
+        assert!(a.dot(&b)); // overlap {1, 5, 69} → odd
+    }
+
+    #[test]
+    fn solver_solves_small_system() {
+        // x0^x2 = 1; x1 = 0; x0^x1^x2 = 1.
+        let mut s = Gf2Solver::new(3);
+        let mut r = Gf2Vec::zero(3);
+        r.set(0, true);
+        r.set(2, true);
+        s.add_constraint(r, true).unwrap();
+        s.add_constraint(Gf2Vec::unit(3, 1), false).unwrap();
+        let mut r2 = Gf2Vec::zero(3);
+        r2.set(0, true);
+        r2.set(1, true);
+        r2.set(2, true);
+        s.add_constraint(r2, true).unwrap();
+        let x = s.solution();
+        assert!(x[0] ^ x[2]);
+        assert!(!x[1]);
+        assert_eq!(s.rank(), 2);
+    }
+
+    #[test]
+    fn detects_inconsistency() {
+        let mut s = Gf2Solver::new(2);
+        let mut r = Gf2Vec::zero(2);
+        r.set(0, true);
+        r.set(1, true);
+        s.add_constraint(r.clone(), true).unwrap();
+        s.add_constraint(Gf2Vec::unit(2, 0), false).unwrap();
+        // Now x1 must be 1; claiming x1 = 0 contradicts.
+        let err = s.add_constraint(Gf2Vec::unit(2, 1), false).unwrap_err();
+        assert_eq!(err, InconsistentSystem);
+    }
+
+    #[test]
+    fn redundant_constraints_are_free() {
+        let mut s = Gf2Solver::new(4);
+        s.add_constraint(Gf2Vec::unit(4, 2), true).unwrap();
+        s.add_constraint(Gf2Vec::unit(4, 2), true).unwrap();
+        assert_eq!(s.rank(), 1);
+    }
+
+    #[test]
+    fn solution_satisfies_random_system() {
+        // Pseudo-random dense system with a known solution.
+        let cols = 60;
+        let secret: Vec<bool> = (0..cols).map(|i| (i * 7 + 3) % 5 < 2).collect();
+        let mut s = Gf2Solver::new(cols);
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut rows = Vec::new();
+        for _ in 0..50 {
+            let mut row = Gf2Vec::zero(cols);
+            for j in 0..cols {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if state >> 62 & 1 == 1 {
+                    row.set(j, true);
+                }
+            }
+            let rhs = (0..cols).filter(|&j| row.get(j) && secret[j]).count() % 2 == 1;
+            rows.push((row.clone(), rhs));
+            s.add_constraint(row, rhs).unwrap();
+        }
+        let x = s.solution();
+        for (row, rhs) in rows {
+            let got = (0..cols).filter(|&j| row.get(j) && x[j]).count() % 2 == 1;
+            assert_eq!(got, rhs);
+        }
+    }
+
+    #[test]
+    fn display_renders_bits() {
+        let mut v = Gf2Vec::zero(4);
+        v.set(1, true);
+        assert_eq!(v.to_string(), "0100");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        Gf2Vec::zero(4).get(4);
+    }
+}

@@ -1,0 +1,259 @@
+//! Multiple-input signature register (MISR) response compaction.
+//!
+//! The paper's Fig. 1 shows an optional compactor on the wrapper's output
+//! side: responses leave the core on `m` wrapper chains per cycle and are
+//! folded into a short signature instead of being compared bit-by-bit on
+//! the tester. This module provides the standard linear MISR model: every
+//! cycle the register shifts (with LFSR feedback) and XORs the `m`
+//! response bits in — so a final signature of `L` bits stands in for the
+//! whole response stream, with aliasing probability ≈ 2^−L.
+//!
+//! Guarantees (tested):
+//! * linearity — the signature of `a ⊕ b` is `sig(a) ⊕ sig(b)` for
+//!   equal-length streams starting from the zero state;
+//! * any *single-bit* response error always changes the signature (the
+//!   error polynomial has exactly one term, and the transition matrix is
+//!   invertible for the tap sets used here).
+
+use std::fmt;
+
+use crate::generator::Lfsr;
+
+/// A multiple-input signature register over `m` inputs with an `L`-cell
+/// register.
+///
+/// # Examples
+///
+/// ```
+/// use lfsr::Misr;
+///
+/// let mut misr = Misr::new(16, 4);
+/// misr.absorb(&[true, false, true, true]);
+/// misr.absorb(&[false, false, true, false]);
+/// let sig = misr.signature().to_vec();
+/// assert_eq!(sig.len(), 16);
+///
+/// // The same stream reproduces the same signature…
+/// let mut again = Misr::new(16, 4);
+/// again.absorb(&[true, false, true, true]);
+/// again.absorb(&[false, false, true, false]);
+/// assert_eq!(again.signature(), &sig[..]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Misr {
+    lfsr: Lfsr,
+    inputs: usize,
+    state: Vec<bool>,
+    cycles: u64,
+}
+
+impl Misr {
+    /// Creates a zero-initialized MISR with `len` cells and `inputs`
+    /// parallel inputs, using the default feedback taps for `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`, `inputs == 0`, or `inputs > len` (each input
+    /// needs its own injection cell).
+    pub fn new(len: usize, inputs: usize) -> Self {
+        assert!(inputs > 0, "MISR needs at least one input");
+        assert!(
+            inputs <= len,
+            "MISR with {len} cells cannot inject {inputs} inputs"
+        );
+        Misr {
+            lfsr: Lfsr::with_default_taps(len),
+            inputs,
+            state: vec![false; len],
+            cycles: 0,
+        }
+    }
+
+    /// Register length in cells.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Returns `false`; a MISR always has at least one cell.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of parallel inputs.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Cycles absorbed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Absorbs one response slice (`inputs` bits): shift with feedback,
+    /// then XOR the inputs into evenly spread cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len() != self.inputs()`.
+    pub fn absorb(&mut self, slice: &[bool]) {
+        assert_eq!(slice.len(), self.inputs, "response slice width mismatch");
+        self.lfsr.step(&mut self.state);
+        let stride = self.state.len() / self.inputs;
+        for (i, &bit) in slice.iter().enumerate() {
+            if bit {
+                let cell = i * stride;
+                self.state[cell] = !self.state[cell];
+            }
+        }
+        self.cycles += 1;
+    }
+
+    /// Absorbs a whole stream of slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice has the wrong width.
+    pub fn absorb_stream<'a>(&mut self, slices: impl IntoIterator<Item = &'a [bool]>) {
+        for s in slices {
+            self.absorb(s);
+        }
+    }
+
+    /// The current signature.
+    pub fn signature(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Resets to the all-zero state.
+    pub fn reset(&mut self) {
+        self.state.fill(false);
+        self.cycles = 0;
+    }
+
+    /// Upper bound on the aliasing probability after absorbing a long
+    /// random error stream: `2^−L`.
+    pub fn aliasing_probability(&self) -> f64 {
+        (0.5f64).powi(self.state.len() as i32)
+    }
+}
+
+impl fmt::Display for Misr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MISR-{}×{} after {} cycles: ",
+            self.state.len(),
+            self.inputs,
+            self.cycles
+        )?;
+        for &b in &self.state {
+            write!(f, "{}", u8::from(b))?;
+        }
+        Ok(())
+    }
+}
+
+/// Compacts a response stream in one call and returns the signature.
+///
+/// # Panics
+///
+/// Panics on inconsistent slice widths (see [`Misr::absorb`]).
+pub fn compact_responses(len: usize, inputs: usize, slices: &[Vec<bool>]) -> Vec<bool> {
+    let mut misr = Misr::new(len, inputs);
+    for s in slices {
+        misr.absorb(s);
+    }
+    misr.signature().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_model::SplitMix64;
+
+    fn random_stream(cycles: usize, width: usize, seed: u64) -> Vec<Vec<bool>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..cycles)
+            .map(|_| (0..width).map(|_| rng.next_bool(0.5)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let s = random_stream(100, 8, 3);
+        assert_eq!(compact_responses(24, 8, &s), compact_responses(24, 8, &s));
+    }
+
+    #[test]
+    fn different_streams_get_different_signatures() {
+        let a = random_stream(200, 8, 1);
+        let b = random_stream(200, 8, 2);
+        assert_ne!(compact_responses(32, 8, &a), compact_responses(32, 8, &b));
+    }
+
+    #[test]
+    fn single_bit_error_always_detected() {
+        // Flip each bit of a short stream in turn; the signature must
+        // change every time (single-term error polynomial).
+        let stream = random_stream(40, 4, 9);
+        let golden = compact_responses(20, 4, &stream);
+        for cycle in 0..stream.len() {
+            for bit in 0..4 {
+                let mut bad = stream.clone();
+                bad[cycle][bit] = !bad[cycle][bit];
+                assert_ne!(
+                    compact_responses(20, 4, &bad),
+                    golden,
+                    "missed error at cycle {cycle} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linearity_over_gf2() {
+        let a = random_stream(60, 6, 5);
+        let b = random_stream(60, 6, 6);
+        let xor: Vec<Vec<bool>> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| x.iter().zip(y).map(|(p, q)| p ^ q).collect())
+            .collect();
+        let sa = compact_responses(30, 6, &a);
+        let sb = compact_responses(30, 6, &b);
+        let sx = compact_responses(30, 6, &xor);
+        let combined: Vec<bool> = sa.iter().zip(&sb).map(|(p, q)| p ^ q).collect();
+        assert_eq!(sx, combined);
+    }
+
+    #[test]
+    fn reset_restores_zero_state() {
+        let mut m = Misr::new(16, 4);
+        m.absorb(&[true, true, false, true]);
+        assert!(m.signature().iter().any(|&b| b));
+        m.reset();
+        assert!(m.signature().iter().all(|&b| !b));
+        assert_eq!(m.cycles(), 0);
+    }
+
+    #[test]
+    fn aliasing_probability_shrinks_with_length() {
+        assert!(Misr::new(32, 4).aliasing_probability() < Misr::new(16, 4).aliasing_probability());
+        assert!((Misr::new(10, 2).aliasing_probability() - 2f64.powi(-10)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot inject")]
+    fn too_many_inputs_panics() {
+        Misr::new(4, 8);
+    }
+
+    #[test]
+    fn display_shows_bits() {
+        let mut m = Misr::new(8, 2);
+        m.absorb(&[true, false]);
+        let s = m.to_string();
+        assert!(s.contains("MISR-8×2"));
+        assert!(s.contains('1'));
+    }
+}

@@ -1,0 +1,223 @@
+//! Test-set and scan-slice statistics — the analysis behind the paper's
+//! Section 2.
+//!
+//! The paper explains the non-monotonic τ_c(w, m) behaviour by three
+//! mechanisms: idle/pad bits added to balance wrapper chains, the changing
+//! distribution of 1s/0s/Xs over scan slices, and the ceiling function in
+//! `w(m)`. This module measures the first two directly, so users can see
+//! *why* a given `(w, m)` point behaves the way it does.
+
+use soc_model::{Core, TestSet, Trit};
+use wrapper::{design_wrapper, WrapperDesign};
+
+/// Care-bit statistics of a test set as seen through a wrapper design's
+/// slices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceStats {
+    /// Wrapper chains (`m`).
+    pub chains: u32,
+    /// Slices per pattern (`s_i`).
+    pub slices_per_pattern: u64,
+    /// Fraction of slice positions that are idle/pad bits (positions past
+    /// a chain's load length).
+    pub pad_fraction: f64,
+    /// Mean care bits per slice.
+    pub mean_care_per_slice: f64,
+    /// Mean *minority* (target-symbol) care bits per slice — what the
+    /// single-bit encoder actually pays for.
+    pub mean_targets_per_slice: f64,
+    /// Fraction of slices that are all-X (cost exactly one codeword).
+    pub free_slice_fraction: f64,
+    /// Patterns analyzed.
+    pub patterns: usize,
+}
+
+impl SliceStats {
+    /// Collects slice statistics for `test_set` under `design`, over at
+    /// most `sample` evenly spaced patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample == 0` or the design and set disagree on cube
+    /// length.
+    pub fn collect(design: &WrapperDesign, test_set: &TestSet, sample: usize) -> Self {
+        assert!(sample > 0, "sample size must be positive");
+        let p = test_set.pattern_count();
+        let indices: Vec<usize> = if sample >= p {
+            (0..p).collect()
+        } else {
+            let mut v: Vec<usize> = (0..sample).map(|i| i * p / sample).collect();
+            v.dedup();
+            v
+        };
+
+        let m = design.chain_count() as u64;
+        let s_i = design.scan_in_length();
+        let mut total_positions = 0u64;
+        let mut pad_positions = 0u64;
+        let mut care = 0u64;
+        let mut targets = 0u64;
+        let mut free_slices = 0u64;
+        let mut total_slices = 0u64;
+
+        for &pi in &indices {
+            let cube = test_set.pattern(pi).expect("sampled index in range");
+            for depth in 0..s_i {
+                let mut ones = 0u64;
+                let mut zeros = 0u64;
+                for chain in design.chains() {
+                    match chain.position_at(depth) {
+                        Some(pos) => match cube.get(pos as usize) {
+                            Trit::One => ones += 1,
+                            Trit::Zero => zeros += 1,
+                            Trit::X => {}
+                        },
+                        None => pad_positions += 1,
+                    }
+                }
+                total_positions += m;
+                care += ones + zeros;
+                targets += ones.min(zeros);
+                total_slices += 1;
+                if ones + zeros == 0 {
+                    free_slices += 1;
+                }
+            }
+        }
+
+        SliceStats {
+            chains: design.chain_count(),
+            slices_per_pattern: s_i,
+            pad_fraction: ratio(pad_positions, total_positions),
+            mean_care_per_slice: mean(care, total_slices),
+            mean_targets_per_slice: mean(targets, total_slices),
+            free_slice_fraction: ratio(free_slices, total_slices),
+            patterns: indices.len(),
+        }
+    }
+
+    /// Convenience: statistics of `core` at `m` wrapper chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core has no attached test set.
+    pub fn for_core(core: &Core, m: u32, sample: usize) -> Self {
+        let test_set = core
+            .test_set()
+            .expect("core must carry a test set; synthesize or attach cubes first");
+        let design = design_wrapper(core, m);
+        SliceStats::collect(&design, test_set, sample)
+    }
+
+    /// A rough per-slice codeword cost predicted from the statistics alone
+    /// (header + minority care bits), ignoring group-copy savings — useful
+    /// as a sanity band around measured costs.
+    pub fn predicted_cost_per_slice(&self) -> f64 {
+        self.mean_targets_per_slice.max(1.0)
+    }
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+fn mean(sum: u64, n: u64) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        sum as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::compress_test_set;
+    use soc_model::CubeSynthesis;
+
+    fn prepared(cells: u32, density: f64) -> Core {
+        let mut core = Core::builder("s")
+            .inputs(10)
+            .outputs(10)
+            .flexible_cells(cells, 256)
+            .pattern_count(12)
+            .care_density(density)
+            .build()
+            .unwrap();
+        let ts = CubeSynthesis::new(density).synthesize(&core, 5);
+        core.attach_test_set(ts).unwrap();
+        core
+    }
+
+    #[test]
+    fn care_statistics_track_density() {
+        let core = prepared(1000, 0.10);
+        let stats = SliceStats::for_core(&core, 64, usize::MAX);
+        // ~10% of ~64 real positions per slice.
+        assert!(
+            (3.0..10.0).contains(&stats.mean_care_per_slice),
+            "{stats:?}"
+        );
+        assert!(stats.mean_targets_per_slice <= stats.mean_care_per_slice / 2.0 + 0.5);
+        assert_eq!(stats.patterns, 12);
+    }
+
+    #[test]
+    fn pad_fraction_grows_with_imbalance() {
+        // A hard core with one long chain pads heavily at high m.
+        let mut core = Core::builder("h")
+            .inputs(2)
+            .fixed_chains(vec![100, 4, 4, 4])
+            .pattern_count(3)
+            .care_density(0.5)
+            .build()
+            .unwrap();
+        let ts = CubeSynthesis::new(0.5).synthesize(&core, 1);
+        core.attach_test_set(ts).unwrap();
+        let narrow = SliceStats::for_core(&core, 1, usize::MAX);
+        let wide = SliceStats::for_core(&core, 4, usize::MAX);
+        assert!(wide.pad_fraction > narrow.pad_fraction + 0.3, "{wide:?}");
+    }
+
+    #[test]
+    fn free_slices_appear_at_low_density() {
+        let sparse = prepared(2000, 0.005);
+        let stats = SliceStats::for_core(&sparse, 200, 6);
+        assert!(stats.free_slice_fraction > 0.2, "{stats:?}");
+        let dense = prepared(2000, 0.5);
+        let dstats = SliceStats::for_core(&dense, 200, 6);
+        assert!(dstats.free_slice_fraction < 0.05, "{dstats:?}");
+    }
+
+    #[test]
+    fn predicted_cost_brackets_measured_cost() {
+        let core = prepared(1500, 0.05);
+        let design = design_wrapper(&core, 128);
+        let stats = SliceStats::collect(&design, core.test_set().unwrap(), usize::MAX);
+        let measured = compress_test_set(&design, core.test_set().unwrap());
+        let slices = stats.slices_per_pattern * core.pattern_count() as u64;
+        let measured_per_slice = measured.codewords as f64 / slices as f64;
+        let predicted = stats.predicted_cost_per_slice();
+        // Group-copy can only improve on the prediction; the header can
+        // add at most 1.
+        assert!(
+            measured_per_slice <= predicted + 1.0,
+            "measured {measured_per_slice:.2} vs predicted {predicted:.2}"
+        );
+        assert!(
+            measured_per_slice >= predicted * 0.3,
+            "measured {measured_per_slice:.2} vs predicted {predicted:.2}"
+        );
+    }
+
+    #[test]
+    fn sampling_controls_pattern_count() {
+        let core = prepared(500, 0.2);
+        let s = SliceStats::for_core(&core, 32, 4);
+        assert_eq!(s.patterns, 4);
+    }
+}

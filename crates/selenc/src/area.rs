@@ -1,0 +1,118 @@
+//! Hardware cost model for the selective-encoding decompressor.
+//!
+//! The paper (§3, step 2) reports the synthesized controller at **5
+//! flip-flops and 23 combinational gates**, independent of `(w, m)`, and one
+//! datapath data point of **69 gates and 1035 flip-flops** (consistent with
+//! `m = 1024`, `c = 11`: an `m`-bit slice buffer plus a `c`-bit index
+//! register). The closed-form model below is calibrated to those two data
+//! points; it is used for reporting only, never for optimization decisions.
+
+use std::fmt;
+
+use crate::code::SliceCode;
+
+/// Flip-flop and gate counts of one decompressor instance.
+///
+/// # Examples
+///
+/// ```
+/// use selenc::{decompressor_area, SliceCode};
+///
+/// let area = decompressor_area(SliceCode::for_chains(1024));
+/// assert_eq!(area.datapath_flip_flops, 1024 + 11); // paper: 1035
+/// assert_eq!(area.datapath_gates, 69);             // paper: 69
+/// assert_eq!(area.flip_flops(), 1035 + 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecompressorArea {
+    /// Flip-flops in the fixed controller (5 per the paper).
+    pub controller_flip_flops: u64,
+    /// Combinational gates in the fixed controller (23 per the paper).
+    pub controller_gates: u64,
+    /// Flip-flops in the `(w, m)`-dependent datapath: the `m`-bit slice
+    /// buffer plus the `c`-bit index register.
+    pub datapath_flip_flops: u64,
+    /// Combinational gates in the datapath (index decode + group mux),
+    /// calibrated as `ceil(m/16) + 5`.
+    pub datapath_gates: u64,
+}
+
+impl DecompressorArea {
+    /// Total flip-flops.
+    pub fn flip_flops(&self) -> u64 {
+        self.controller_flip_flops + self.datapath_flip_flops
+    }
+
+    /// Total combinational gates.
+    pub fn gates(&self) -> u64 {
+        self.controller_gates + self.datapath_gates
+    }
+
+    /// Rough total cell count (one flip-flop counted as 6 gate
+    /// equivalents, the usual standard-cell rule of thumb).
+    pub fn gate_equivalents(&self) -> u64 {
+        self.gates() + 6 * self.flip_flops()
+    }
+}
+
+impl fmt::Display for DecompressorArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} FFs + {} gates (~{} gate equivalents)",
+            self.flip_flops(),
+            self.gates(),
+            self.gate_equivalents()
+        )
+    }
+}
+
+/// Estimates the hardware cost of a decompressor with the given slice code.
+pub fn decompressor_area(code: SliceCode) -> DecompressorArea {
+    let m = u64::from(code.chains());
+    let c = u64::from(code.data_bits());
+    DecompressorArea {
+        controller_flip_flops: 5,
+        controller_gates: 23,
+        datapath_flip_flops: m + c,
+        datapath_gates: m.div_ceil(16) + 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_point_matches_paper() {
+        let a = decompressor_area(SliceCode::for_chains(1024));
+        assert_eq!(a.datapath_flip_flops, 1035);
+        assert_eq!(a.datapath_gates, 69);
+        assert_eq!(a.controller_flip_flops, 5);
+        assert_eq!(a.controller_gates, 23);
+    }
+
+    #[test]
+    fn area_grows_with_chain_count() {
+        let small = decompressor_area(SliceCode::for_chains(16));
+        let large = decompressor_area(SliceCode::for_chains(512));
+        assert!(large.flip_flops() > small.flip_flops());
+        assert!(large.gates() > small.gates());
+        assert!(large.gate_equivalents() > small.gate_equivalents());
+    }
+
+    #[test]
+    fn cost_is_negligible_for_million_gate_cores() {
+        // Paper: "For larger than million-gate designs, this corresponds to
+        // a hardware cost of only 1%".
+        let a = decompressor_area(SliceCode::for_chains(1024));
+        assert!(a.gate_equivalents() < 10_000);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = decompressor_area(SliceCode::for_chains(64)).to_string();
+        assert!(s.contains("FFs"));
+        assert!(s.contains("gate equivalents"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Slice-code parameters and codewords of the selective-encoding scheme.
+//!
+//! With `m` wrapper chains, every scan slice is `m` bits wide and is encoded
+//! by one or more *slice codes* of `w = c + 2` bits, where
+//! `c = ceil(log2(m+1))` (Wang & Chakrabarty, ITC 2005; paper §3, step 2).
+//! Each codeword carries a one-bit *mode*, a one-bit *last* flag, and a
+//! `c`-bit data field; see `DESIGN.md` §5 for the exact bit-level
+//! reconstruction used here.
+
+use std::fmt;
+use std::ops::RangeInclusive;
+
+/// Slice-code parameters for a decompressor with `m` output chains.
+///
+/// # Examples
+///
+/// ```
+/// use selenc::SliceCode;
+///
+/// let code = SliceCode::for_chains(253);
+/// assert_eq!(code.chains(), 253);
+/// assert_eq!(code.data_bits(), 8);     // ceil(log2(254)) = 8
+/// assert_eq!(code.tam_width(), 10);    // the paper's Fig. 2 operating point
+/// assert_eq!(SliceCode::feasible_chains(10), 128..=255);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SliceCode {
+    m: u32,
+    c: u32,
+}
+
+impl SliceCode {
+    /// Parameters for a decompressor feeding `m` wrapper chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn for_chains(m: u32) -> Self {
+        assert!(m > 0, "chain count must be positive");
+        let c = u32::BITS - m.leading_zeros(); // ceil(log2(m+1)) for m >= 1
+        SliceCode { m, c }
+    }
+
+    /// Number of decompressor outputs (wrapper chains), `m`.
+    pub fn chains(self) -> u32 {
+        self.m
+    }
+
+    /// Width of the data field, `c = ceil(log2(m+1))`.
+    pub fn data_bits(self) -> u32 {
+        self.c
+    }
+
+    /// Number of decompressor inputs (TAM wires), `w = c + 2`.
+    pub fn tam_width(self) -> u32 {
+        self.c + 2
+    }
+
+    /// Number of `c`-bit groups the slice divides into for group-copy mode.
+    pub fn group_count(self) -> u32 {
+        self.m.div_ceil(self.c)
+    }
+
+    /// Number of bits in group `g` (the last group may be partial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= self.group_count()`.
+    pub fn group_len(self, g: u32) -> u32 {
+        assert!(g < self.group_count(), "group {g} out of range");
+        let start = g * self.c;
+        (self.m - start).min(self.c)
+    }
+
+    /// The chain counts servable by a decompressor with `w` TAM inputs:
+    /// all `m` with `ceil(log2(m+1)) + 2 == w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w < 3` (the narrowest slice code has a 1-bit data field).
+    pub fn feasible_chains(w: u32) -> RangeInclusive<u32> {
+        assert!(w >= 3, "slice codes need at least 3 bits (got {w})");
+        let c = w - 2;
+        let hi = if c >= 32 { u32::MAX } else { (1u32 << c) - 1 };
+        let lo = match c {
+            1 => 1,
+            c if c >= 33 => u32::MAX, // class empty within u32; callers clip
+            c => 1u32 << (c - 1),
+        };
+        lo..=hi
+    }
+
+    /// The narrowest TAM width any decompressor can use.
+    pub const MIN_TAM_WIDTH: u32 = 3;
+}
+
+impl fmt::Display for SliceCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w={} → m={}", self.tam_width(), self.m)
+    }
+}
+
+/// One slice codeword: `[mode][last][data]`.
+///
+/// * In the first codeword of a slice, `mode` carries the *fill polarity*
+///   (the majority care value; don't-cares take it too) and `data` is
+///   either a bit index to flip to the target symbol or the spare value `m`
+///   meaning "no update".
+/// * In subsequent codewords, `mode = false` is single-bit mode (flip
+///   `data`), `mode = true` announces a group copy: `data` holds the group
+///   index and the *next* codeword's data field holds the literal bits.
+/// * `last = true` closes the slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Codeword {
+    /// Mode bit (fill polarity in a slice's first codeword).
+    pub mode: bool,
+    /// Set on the final codeword of a slice.
+    pub last: bool,
+    /// `c`-bit payload: bit index, group index, or literal group data.
+    pub data: u32,
+}
+
+impl Codeword {
+    /// Packs the codeword into its `w`-bit wire form:
+    /// bit `w-1` = mode, bit `w-2` = last, low `c` bits = data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` does not fit in the code's data field.
+    pub fn pack(self, code: SliceCode) -> u64 {
+        let c = code.data_bits();
+        assert!(
+            u64::from(self.data) < (1u64 << c),
+            "data {} does not fit in {c} bits",
+            self.data
+        );
+        (u64::from(self.mode) << (c + 1)) | (u64::from(self.last) << c) | u64::from(self.data)
+    }
+
+    /// Unpacks a codeword from its `w`-bit wire form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` has bits set above the code's width.
+    pub fn unpack(bits: u64, code: SliceCode) -> Self {
+        let c = code.data_bits();
+        assert!(
+            bits < (1u64 << (c + 2)),
+            "word {bits:#x} wider than w = {}",
+            c + 2
+        );
+        Codeword {
+            mode: (bits >> (c + 1)) & 1 == 1,
+            last: (bits >> c) & 1 == 1,
+            data: (bits & ((1u64 << c) - 1)) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_bits_match_ceiling_log() {
+        for (m, c) in [
+            (1u32, 1u32),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (7, 3),
+            (8, 4),
+            (127, 7),
+            (128, 8),
+            (255, 8),
+            (256, 9),
+        ] {
+            let code = SliceCode::for_chains(m);
+            assert_eq!(code.data_bits(), c, "m={m}");
+            assert_eq!(code.tam_width(), c + 2, "m={m}");
+        }
+    }
+
+    #[test]
+    fn feasible_chains_inverts_tam_width() {
+        for w in 3..=12 {
+            for m in SliceCode::feasible_chains(w) {
+                assert_eq!(SliceCode::for_chains(m).tam_width(), w, "w={w} m={m}");
+            }
+        }
+        // Boundary checks either side of the range.
+        assert_eq!(SliceCode::for_chains(127).tam_width(), 9);
+        assert_eq!(SliceCode::for_chains(128).tam_width(), 10);
+        assert_eq!(SliceCode::for_chains(255).tam_width(), 10);
+        assert_eq!(SliceCode::for_chains(256).tam_width(), 11);
+    }
+
+    #[test]
+    fn spare_value_always_exists() {
+        // `data = m` must fit in the data field for every m.
+        for m in 1..2000 {
+            let code = SliceCode::for_chains(m);
+            assert!(m < (1u32 << code.data_bits()), "m={m}");
+        }
+    }
+
+    #[test]
+    fn group_geometry() {
+        let code = SliceCode::for_chains(10); // c = 4, groups of 4: 4+4+2
+        assert_eq!(code.group_count(), 3);
+        assert_eq!(code.group_len(0), 4);
+        assert_eq!(code.group_len(2), 2);
+        let exact = SliceCode::for_chains(8); // c = 4, groups: 4+4
+        assert_eq!(exact.group_count(), 2);
+        assert_eq!(exact.group_len(1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn group_len_out_of_range_panics() {
+        SliceCode::for_chains(10).group_len(3);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let code = SliceCode::for_chains(100); // c = 7, w = 9
+        for mode in [false, true] {
+            for last in [false, true] {
+                for data in [0u32, 1, 63, 100, 127] {
+                    let cw = Codeword { mode, last, data };
+                    let bits = cw.pack(code);
+                    assert!(bits < 1 << 9);
+                    assert_eq!(Codeword::unpack(bits, code), cw);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn pack_rejects_oversized_data() {
+        let code = SliceCode::for_chains(3); // c = 2
+        Codeword {
+            mode: false,
+            last: false,
+            data: 4,
+        }
+        .pack(code);
+    }
+
+    #[test]
+    fn display_shows_both_widths() {
+        assert_eq!(SliceCode::for_chains(253).to_string(), "w=10 → m=253");
+    }
+}

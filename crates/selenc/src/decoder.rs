@@ -1,0 +1,366 @@
+//! Cycle-accurate model of the on-chip decompressor.
+//!
+//! The hardware sits between `w` TAM wires and `m` wrapper chains: each
+//! clock it consumes one `w`-bit codeword; when a slice is complete (a
+//! codeword with the *last* flag) the reassembled `m` bits are shifted into
+//! the wrapper chains. This model is the executable specification that the
+//! encoder is verified against: `decode(encode(cube))` must reproduce every
+//! care bit of `cube`.
+
+use std::fmt;
+
+use crate::code::{Codeword, SliceCode};
+
+/// Decompressor state machine.
+///
+/// # Examples
+///
+/// ```
+/// use selenc::{Decompressor, Encoder, SliceCode};
+///
+/// let code = SliceCode::for_chains(8);
+/// let cws = Encoder::new(code).encode_slice(&"XXX1000X".parse()?);
+/// let mut dec = Decompressor::new(code);
+/// let mut slices = Vec::new();
+/// for cw in cws {
+///     if let Some(slice) = dec.feed(cw)? {
+///         slices.push(slice);
+///     }
+/// }
+/// assert_eq!(slices.len(), 1);
+/// assert!(slices[0][3]); // the care-1 bit
+/// assert!(!slices[0][4]); // a care-0 bit
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Decompressor {
+    code: SliceCode,
+    buffer: Vec<bool>,
+    fill_latch: bool,
+    state: State,
+    slices_emitted: u64,
+    words_consumed: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Waiting for the first codeword of a slice.
+    AwaitHeader,
+    /// Inside a slice, waiting for updates or the last flag.
+    InSlice,
+    /// A group-copy header arrived; the next word is the literal.
+    AwaitLiteral { group: u32 },
+}
+
+impl Decompressor {
+    /// Creates a decompressor for the given slice code.
+    pub fn new(code: SliceCode) -> Self {
+        Decompressor {
+            code,
+            buffer: vec![false; code.chains() as usize],
+            fill_latch: false,
+            state: State::AwaitHeader,
+            slices_emitted: 0,
+            words_consumed: 0,
+        }
+    }
+
+    /// The slice code in use.
+    pub fn code(&self) -> SliceCode {
+        self.code
+    }
+
+    /// Number of complete slices emitted so far.
+    pub fn slices_emitted(&self) -> u64 {
+        self.slices_emitted
+    }
+
+    /// Number of codewords consumed so far (one per TAM clock).
+    pub fn words_consumed(&self) -> u64 {
+        self.words_consumed
+    }
+
+    /// Returns `true` when the decompressor is between slices (a safe point
+    /// to stop the stream).
+    pub fn is_idle(&self) -> bool {
+        self.state == State::AwaitHeader
+    }
+
+    /// Consumes one codeword; returns the completed `m`-bit slice when this
+    /// word carried the last flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed streams: an out-of-range bit
+    /// index or group index, a group-copy header carrying the last flag, or
+    /// a group-copy header in a slice's first codeword position.
+    pub fn feed(&mut self, cw: Codeword) -> Result<Option<Vec<bool>>, DecodeError> {
+        self.words_consumed += 1;
+        let m = self.code.chains();
+        match self.state {
+            State::AwaitHeader => {
+                let fill = cw.mode;
+                self.fill_latch = fill;
+                self.buffer.fill(fill);
+                if cw.data < m {
+                    self.buffer[cw.data as usize] = !fill;
+                } else if cw.data > m {
+                    return Err(DecodeError::BitIndexOutOfRange {
+                        index: cw.data,
+                        chains: m,
+                    });
+                }
+                self.state = State::InSlice;
+                Ok(self.maybe_emit(cw.last))
+            }
+            State::InSlice => {
+                if cw.mode {
+                    if cw.data >= self.code.group_count() {
+                        return Err(DecodeError::GroupOutOfRange {
+                            group: cw.data,
+                            groups: self.code.group_count(),
+                        });
+                    }
+                    if cw.last {
+                        return Err(DecodeError::LastOnGroupHeader { group: cw.data });
+                    }
+                    self.state = State::AwaitLiteral { group: cw.data };
+                    Ok(None)
+                } else {
+                    if cw.data < m {
+                        let fill = self.current_fill();
+                        self.buffer[cw.data as usize] = !fill;
+                    } else if cw.data > m {
+                        return Err(DecodeError::BitIndexOutOfRange {
+                            index: cw.data,
+                            chains: m,
+                        });
+                    }
+                    Ok(self.maybe_emit(cw.last))
+                }
+            }
+            State::AwaitLiteral { group } => {
+                let start = group * self.code.data_bits();
+                let len = self.code.group_len(group);
+                for j in 0..len {
+                    self.buffer[(start + j) as usize] = cw.data >> j & 1 == 1;
+                }
+                self.state = State::InSlice;
+                Ok(self.maybe_emit(cw.last))
+            }
+        }
+    }
+
+    /// Decodes an entire stream of codewords into slices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`feed`](Self::feed) errors, and returns
+    /// [`DecodeError::TruncatedStream`] when the stream ends mid-slice.
+    pub fn decode_all(
+        &mut self,
+        words: impl IntoIterator<Item = Codeword>,
+    ) -> Result<Vec<Vec<bool>>, DecodeError> {
+        let mut out = Vec::new();
+        for cw in words {
+            if let Some(slice) = self.feed(cw)? {
+                out.push(slice);
+            }
+        }
+        if !self.is_idle() {
+            return Err(DecodeError::TruncatedStream);
+        }
+        Ok(out)
+    }
+
+    /// The fill value of the slice currently being assembled (the hardware
+    /// latches the header's mode bit; single-bit flips write its
+    /// complement).
+    fn current_fill(&self) -> bool {
+        self.fill_latch
+    }
+
+    fn maybe_emit(&mut self, last: bool) -> Option<Vec<bool>> {
+        if last {
+            self.state = State::AwaitHeader;
+            self.slices_emitted += 1;
+            Some(self.buffer.clone())
+        } else {
+            None
+        }
+    }
+}
+
+/// Error produced when a codeword stream is malformed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// A single-bit codeword addressed a bit beyond the chain count (and
+    /// beyond the spare no-op value `m`).
+    BitIndexOutOfRange {
+        /// The offending index.
+        index: u32,
+        /// Number of chains `m`.
+        chains: u32,
+    },
+    /// A group-copy header addressed a nonexistent group.
+    GroupOutOfRange {
+        /// The offending group index.
+        group: u32,
+        /// Number of groups.
+        groups: u32,
+    },
+    /// A group-copy header carried the last flag (its literal would be
+    /// missing).
+    LastOnGroupHeader {
+        /// The group announced by the offending header.
+        group: u32,
+    },
+    /// The stream ended in the middle of a slice.
+    TruncatedStream,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BitIndexOutOfRange { index, chains } => write!(
+                f,
+                "bit index {index} out of range for {chains} chains (spare value is {chains})"
+            ),
+            DecodeError::GroupOutOfRange { group, groups } => {
+                write!(f, "group index {group} out of range ({groups} groups)")
+            }
+            DecodeError::LastOnGroupHeader { group } => {
+                write!(f, "group-copy header for group {group} carries the last flag")
+            }
+            DecodeError::TruncatedStream => write!(f, "codeword stream ended mid-slice"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::Encoder;
+    use soc_model::TritVec;
+
+    fn roundtrip(m: u32, s: &str) -> Vec<bool> {
+        let code = SliceCode::for_chains(m);
+        let slice: TritVec = s.parse().unwrap();
+        let cws = Encoder::new(code).encode_slice(&slice);
+        let mut dec = Decompressor::new(code);
+        let slices = dec.decode_all(cws).unwrap();
+        assert_eq!(slices.len(), 1);
+        let out = slices.into_iter().next().unwrap();
+        assert!(slice.is_satisfied_by(&out), "slice {s} → {out:?}");
+        out
+    }
+
+    #[test]
+    fn roundtrip_satisfies_care_bits() {
+        for s in [
+            "XXXXXXXX",
+            "00000000",
+            "11111111",
+            "1XXXXXXX",
+            "X0X1X0X1",
+            "10110000",
+            "00011111",
+            "01101101",
+        ] {
+            roundtrip(8, s);
+        }
+    }
+
+    #[test]
+    fn fill_value_reaches_dont_cares() {
+        // Majority 1 → X positions come out as 1.
+        let out = roundtrip(8, "1X11X0XX");
+        assert_eq!(out, vec![true, true, true, true, true, false, true, true]);
+    }
+
+    #[test]
+    fn multi_slice_stream() {
+        let code = SliceCode::for_chains(6);
+        let enc = Encoder::new(code);
+        let a: TritVec = "10XXXX".parse().unwrap();
+        let b: TritVec = "XX01XX".parse().unwrap();
+        let mut words = enc.encode_slice(&a);
+        words.extend(enc.encode_slice(&b));
+        let mut dec = Decompressor::new(code);
+        let slices = dec.decode_all(words).unwrap();
+        assert_eq!(slices.len(), 2);
+        assert!(a.is_satisfied_by(&slices[0]));
+        assert!(b.is_satisfied_by(&slices[1]));
+        assert_eq!(dec.slices_emitted(), 2);
+        assert!(dec.is_idle());
+    }
+
+    #[test]
+    fn words_consumed_counts_clocks() {
+        let code = SliceCode::for_chains(8);
+        let enc = Encoder::new(code);
+        let slice: TritVec = "10110000".parse().unwrap();
+        let cws = enc.encode_slice(&slice);
+        let n = cws.len() as u64;
+        let mut dec = Decompressor::new(code);
+        dec.decode_all(cws).unwrap();
+        assert_eq!(dec.words_consumed(), n);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let code = SliceCode::for_chains(8);
+        let cws = Encoder::new(code).encode_slice(&"10110000".parse().unwrap());
+        let mut dec = Decompressor::new(code);
+        let err = dec
+            .decode_all(cws[..cws.len() - 1].iter().copied())
+            .unwrap_err();
+        assert_eq!(err, DecodeError::TruncatedStream);
+    }
+
+    #[test]
+    fn malformed_words_are_rejected() {
+        let code = SliceCode::for_chains(10); // c = 4, spare values 11..15
+        let mut dec = Decompressor::new(code);
+        let err = dec
+            .feed(Codeword { mode: false, last: false, data: 12 })
+            .unwrap_err();
+        assert!(matches!(err, DecodeError::BitIndexOutOfRange { index: 12, .. }));
+
+        let mut dec = Decompressor::new(code);
+        dec.feed(Codeword { mode: false, last: false, data: 10 }).unwrap();
+        let err = dec
+            .feed(Codeword { mode: true, last: false, data: 9 })
+            .unwrap_err();
+        assert!(matches!(err, DecodeError::GroupOutOfRange { group: 9, .. }));
+
+        let mut dec = Decompressor::new(code);
+        dec.feed(Codeword { mode: false, last: false, data: 10 }).unwrap();
+        let err = dec
+            .feed(Codeword { mode: true, last: true, data: 0 })
+            .unwrap_err();
+        assert!(matches!(err, DecodeError::LastOnGroupHeader { group: 0 }));
+    }
+
+    #[test]
+    fn spare_value_is_a_no_op_mid_slice() {
+        let code = SliceCode::for_chains(8);
+        let mut dec = Decompressor::new(code);
+        dec.feed(Codeword { mode: true, last: false, data: 8 }).unwrap();
+        let out = dec
+            .feed(Codeword { mode: false, last: true, data: 8 })
+            .unwrap()
+            .unwrap();
+        assert_eq!(out, vec![true; 8]);
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = DecodeError::BitIndexOutOfRange { index: 9, chains: 8 };
+        assert!(e.to_string().contains("9"));
+        assert!(DecodeError::TruncatedStream.to_string().contains("mid-slice"));
+    }
+}

@@ -1,0 +1,308 @@
+//! The selective-encoding compressor.
+//!
+//! Every `m`-bit scan slice is encoded independently (see `DESIGN.md` §5):
+//! don't-cares and majority-value care bits become the *fill*, minority
+//! (*target*) care bits are produced either one-per-codeword (single-bit
+//! mode) or a `c`-bit group at a time (group-copy mode, two codewords per
+//! group), whichever is cheaper per group.
+
+use soc_model::{Trit, TritVec};
+
+use crate::code::{Codeword, SliceCode};
+
+/// Slice-level encoder for a fixed [`SliceCode`].
+///
+/// # Examples
+///
+/// ```
+/// use selenc::{Encoder, SliceCode};
+///
+/// let enc = Encoder::new(SliceCode::for_chains(8));
+/// // An all-X slice costs exactly one codeword.
+/// let cws = enc.encode_slice(&"XXXXXXXX".parse()?);
+/// assert_eq!(cws.len(), 1);
+/// // A slice with one minority care bit also costs one (merged header).
+/// let cws = enc.encode_slice(&"XXX1X0XX".parse()?);
+/// assert_eq!(cws.len(), 1);
+/// # Ok::<(), soc_model::ParseTritError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Encoder {
+    code: SliceCode,
+    group_copy: bool,
+}
+
+/// Internal description of how one slice will be produced.
+#[derive(Debug)]
+struct SlicePlan {
+    fill: bool,
+    singles: Vec<u32>,
+    /// `(group index, literal bits)` pairs, group-ascending.
+    copies: Vec<(u32, u32)>,
+}
+
+impl Encoder {
+    /// Creates an encoder for the given slice code (both single-bit and
+    /// group-copy modes enabled, as in the paper).
+    pub fn new(code: SliceCode) -> Self {
+        Encoder {
+            code,
+            group_copy: true,
+        }
+    }
+
+    /// Creates an encoder restricted to single-bit mode — used by the
+    /// ablation study quantifying what group-copy mode contributes.
+    pub fn single_bit_only(code: SliceCode) -> Self {
+        Encoder {
+            code,
+            group_copy: false,
+        }
+    }
+
+    /// Returns `true` when group-copy mode is enabled.
+    pub fn group_copy_enabled(&self) -> bool {
+        self.group_copy
+    }
+
+    /// The slice code in use.
+    pub fn code(&self) -> SliceCode {
+        self.code
+    }
+
+    /// Encodes one slice into its codeword sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len()` differs from the code's chain count.
+    pub fn encode_slice(&self, slice: &TritVec) -> Vec<Codeword> {
+        let plan = self.plan(slice);
+        let m = self.code.chains();
+        let mut out = Vec::with_capacity(plan.singles.len() + 2 * plan.copies.len() + 1);
+
+        // Header: carries the fill polarity in its mode bit and, when the
+        // first update is a single flip, that flip in its data field.
+        let mut singles = plan.singles.iter().copied();
+        let first = singles.next();
+        out.push(Codeword {
+            mode: plan.fill,
+            last: false,
+            data: first.unwrap_or(m),
+        });
+        for pos in singles {
+            out.push(Codeword {
+                mode: false,
+                last: false,
+                data: pos,
+            });
+        }
+        for (group, literal) in &plan.copies {
+            out.push(Codeword {
+                mode: true,
+                last: false,
+                data: *group,
+            });
+            out.push(Codeword {
+                mode: false,
+                last: false,
+                data: *literal,
+            });
+        }
+        out.last_mut().expect("header always present").last = true;
+        out
+    }
+
+    /// Number of codewords [`encode_slice`](Self::encode_slice) would
+    /// produce, without materializing them.
+    pub fn slice_cost(&self, slice: &TritVec) -> u64 {
+        let plan = self.plan(slice);
+        Self::cost_of(plan.singles.len() as u64, plan.copies.len() as u64)
+    }
+
+    /// Codeword count for a slice with `singles` single-bit updates and
+    /// `copies` group copies (the header merges the first single).
+    pub(crate) fn cost_of(singles: u64, copies: u64) -> u64 {
+        if singles > 0 {
+            singles + 2 * copies
+        } else {
+            1 + 2 * copies
+        }
+    }
+
+    fn plan(&self, slice: &TritVec) -> SlicePlan {
+        let m = self.code.chains();
+        assert_eq!(
+            slice.len() as u32,
+            m,
+            "slice has {} symbols but the code expects {m}",
+            slice.len()
+        );
+        let ones = slice.count_ones() as u32;
+        let zeros = slice.count_cares() as u32 - ones;
+        let fill = ones > zeros;
+        let target = Trit::from_bit(!fill);
+
+        let c = self.code.data_bits();
+        let mut singles = Vec::new();
+        let mut copies = Vec::new();
+        for g in 0..self.code.group_count() {
+            let start = g * c;
+            let len = self.code.group_len(g);
+            let mut mask = 0u32;
+            let mut count = 0u64;
+            for j in 0..len {
+                if slice.get((start + j) as usize) == target {
+                    mask |= 1 << j;
+                    count += 1;
+                }
+            }
+            if count > 2 && self.group_copy {
+                // Literal bits carry actual logic values: target where the
+                // mask is set, fill elsewhere (don't-cares take the fill).
+                let group_mask = if len == 32 { u32::MAX } else { (1 << len) - 1 };
+                let literal = if fill { group_mask & !mask } else { mask };
+                copies.push((g, literal));
+            } else {
+                for j in 0..len {
+                    if mask >> j & 1 == 1 {
+                        singles.push(start + j);
+                    }
+                }
+            }
+        }
+        SlicePlan {
+            fill,
+            singles,
+            copies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(m: u32) -> Encoder {
+        Encoder::new(SliceCode::for_chains(m))
+    }
+
+    fn tv(s: &str) -> TritVec {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn all_x_slice_is_one_codeword() {
+        let cws = enc(8).encode_slice(&tv("XXXXXXXX"));
+        assert_eq!(cws.len(), 1);
+        assert!(cws[0].last);
+        assert_eq!(cws[0].data, 8); // spare value: no update
+        assert!(!cws[0].mode); // fill 0 by default (tie)
+    }
+
+    #[test]
+    fn majority_sets_fill_polarity() {
+        // 3 ones vs 1 zero → fill = 1, target = 0 at index 4.
+        let cws = enc(8).encode_slice(&tv("1X11X0XX"));
+        assert_eq!(cws.len(), 1);
+        assert!(cws[0].mode, "fill must be 1");
+        assert_eq!(cws[0].data, 5);
+    }
+
+    #[test]
+    fn singles_encode_target_positions() {
+        // Paper's example: target symbol 1 in slice XXX1000 is encoded by
+        // its index 3.
+        let cws = enc(7).encode_slice(&tv("XXX1000"));
+        assert_eq!(cws.len(), 1);
+        assert!(!cws[0].mode);
+        assert_eq!(cws[0].data, 3);
+        assert!(cws[0].last);
+    }
+
+    #[test]
+    fn dense_group_switches_to_copy() {
+        // m = 8 → c = 4, groups {0..4} {4..8}. Ones 3, zeros 5 → fill = 0;
+        // group 0 holds 3 targets {0, 2, 3} → group copy; group 1 all fill.
+        let cws = enc(8).encode_slice(&tv("10110000"));
+        assert_eq!(cws.len(), 3); // pure header + group header + literal
+        assert!(!cws[0].mode, "fill 0");
+        assert_eq!(cws[0].data, 8, "pure header");
+        assert!(cws[1].mode, "group header");
+        assert_eq!(cws[1].data, 0);
+        assert_eq!(cws[2].data, 0b1101, "literal: bits 0, 2, 3");
+        assert!(cws[2].last);
+    }
+
+    #[test]
+    fn copy_literal_carries_actual_values() {
+        // Force 3 zero-targets in group 0 among ones: fill = 1.
+        // Slice: 0 0 0 1 | 1 1 1 1 → targets {0,1,2} in group 0.
+        let e = enc(8);
+        let cws = e.encode_slice(&tv("00011111"));
+        // group 0 copy (2 cws incl. header?) header is pure (data = 8),
+        // then group header + literal.
+        assert_eq!(cws.len(), 3);
+        assert!(cws[0].mode, "fill 1");
+        assert_eq!(cws[1].data, 0);
+        // literal bits: positions 0..4 → values 0,0,0,1 → bit3 set only.
+        assert_eq!(cws[2].data, 0b1000);
+    }
+
+    #[test]
+    fn two_targets_stay_single_bit() {
+        // Cost tie at 2 targets: prefer singles. Ones 2, zeros 6 → fill 0,
+        // targets {0, 1}.
+        let cws = enc(8).encode_slice(&tv("11000000"));
+        assert_eq!(cws.len(), 2);
+        assert!(!cws[0].mode);
+        assert_eq!(cws[0].data, 0);
+        assert_eq!(cws[1].data, 1);
+        assert!(cws[1].last);
+    }
+
+    #[test]
+    fn slice_cost_matches_encoding_length() {
+        let e = enc(11);
+        for s in [
+            "XXXXXXXXXXX",
+            "1XXXXXXXXXX",
+            "10101010101",
+            "11111111111",
+            "000000X0000",
+            "1X0X1X0X1X0",
+            "111X0000XXX",
+        ] {
+            let slice = tv(s);
+            assert_eq!(
+                e.slice_cost(&slice),
+                e.encode_slice(&slice).len() as u64,
+                "slice {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn exactly_one_last_flag_and_it_is_final() {
+        let e = enc(16);
+        let slice = tv("0110X11010010XX1");
+        let cws = e.encode_slice(&slice);
+        let lasts: Vec<bool> = cws.iter().map(|c| c.last).collect();
+        assert_eq!(lasts.iter().filter(|&&b| b).count(), 1);
+        assert!(*lasts.last().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "slice has 3 symbols")]
+    fn wrong_slice_width_panics() {
+        enc(8).encode_slice(&tv("101"));
+    }
+
+    #[test]
+    fn packed_codewords_fit_width() {
+        let code = SliceCode::for_chains(12);
+        let e = Encoder::new(code);
+        for cw in e.encode_slice(&tv("0110X11010X1")) {
+            assert!(cw.pack(code) < 1 << code.tam_width());
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Per-core `(w, m)` lookup tables (paper §3, steps 1–2).
+//!
+//! For every feasible decompressor input width `w`, the builder searches the
+//! feasible chain counts `m` (those with `ceil(log2(m+1)) + 2 == w`) for the
+//! one minimizing the core's compressed test time, and records
+//! `(w, m*, τ_c, V_c)`. The SOC planner then consults these tables when
+//! assigning cores to TAMs. Because the test time is **non-monotonic** in
+//! both `m` and `w` (Figs. 2 and 3), the planner must use
+//! [`CoreProfile::best_at_most`] — the running minimum over widths — rather
+//! than the entry at the exact TAM width.
+
+use std::fmt;
+
+use soc_model::Core;
+
+use crate::code::SliceCode;
+use crate::stream::{evaluate_point, Compressed};
+
+/// One operating point of a core's compression profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// Decompressor input width `w` (TAM wires consumed).
+    pub tam_width: u32,
+    /// Decompressor output width `m` (wrapper chains) minimizing test time
+    /// at this `w`.
+    pub chains: u32,
+    /// Compressed test time in clock cycles.
+    pub test_time: u64,
+    /// Compressed data volume in bits.
+    pub volume_bits: u64,
+}
+
+/// A core's compression lookup table: the best operating point per
+/// decompressor input width.
+///
+/// # Examples
+///
+/// ```
+/// use soc_model::benchmarks::Design;
+/// use selenc::{CoreProfile, ProfileConfig};
+///
+/// let soc = Design::D695.build_with_cubes(1);
+/// let (_, core) = soc.core_by_name("s13207").expect("d695 core");
+/// let profile = CoreProfile::build(core, &ProfileConfig::new(16));
+/// let best = profile.best_at_most(16).expect("feasible at w = 16");
+/// assert!(best.test_time > 0);
+/// // Narrower interfaces can never be *forced* to do worse: the planner
+/// // sees the running minimum.
+/// let at8 = profile.best_at_most(8).unwrap();
+/// assert!(at8.test_time >= best.test_time);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreProfile {
+    name: String,
+    entries: Vec<ProfileEntry>,
+}
+
+/// Configuration for [`CoreProfile::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileConfig {
+    max_tam_width: u32,
+    pattern_sample: Option<usize>,
+    m_candidates: usize,
+}
+
+impl ProfileConfig {
+    /// Profiles widths `3..=max_tam_width`, evaluating every feasible chain
+    /// count exhaustively on the core's full test set.
+    pub fn new(max_tam_width: u32) -> Self {
+        ProfileConfig {
+            max_tam_width,
+            pattern_sample: None,
+            m_candidates: usize::MAX,
+        }
+    }
+
+    /// Limits each evaluation to `sample` evenly spaced patterns (scaled
+    /// back to the full set). Recommended for industrial-size cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample == 0`.
+    pub fn pattern_sample(mut self, sample: usize) -> Self {
+        assert!(sample > 0, "sample size must be positive");
+        self.pattern_sample = Some(sample);
+        self
+    }
+
+    /// Caps the number of chain counts evaluated per width to `n` evenly
+    /// spread candidates (the range endpoints are always included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn m_candidates(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least the two range endpoints");
+        self.m_candidates = n;
+        self
+    }
+
+    /// A configuration tuned for 10k–110k-cell industrial cores: 24-pattern
+    /// sampling and 24 chain-count candidates per width.
+    pub fn industrial(max_tam_width: u32) -> Self {
+        ProfileConfig::new(max_tam_width)
+            .pattern_sample(24)
+            .m_candidates(24)
+    }
+
+    /// The chain counts to evaluate for width `w` on `core`.
+    fn m_values(&self, core: &Core, w: u32) -> Vec<u32> {
+        let range = SliceCode::feasible_chains(w);
+        let lo = *range.start();
+        let hi = (*range.end()).min(core.max_wrapper_chains());
+        if hi < lo {
+            return Vec::new();
+        }
+        let span = (hi - lo + 1) as usize;
+        if span <= self.m_candidates {
+            return (lo..=hi).collect();
+        }
+        let n = self.m_candidates;
+        (0..n)
+            .map(|i| lo + ((hi - lo) as usize * i / (n - 1)) as u32)
+            .collect()
+    }
+}
+
+impl CoreProfile {
+    /// Builds the profile of `core` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core has no attached test set (synthesize or attach
+    /// cubes first).
+    pub fn build(core: &Core, config: &ProfileConfig) -> Self {
+        let mut entries = Vec::new();
+        for w in SliceCode::MIN_TAM_WIDTH..=config.max_tam_width {
+            let mut best: Option<(u32, Compressed)> = None;
+            let mut last_m = 0;
+            for m in config.m_values(core, w) {
+                if m == last_m {
+                    continue;
+                }
+                last_m = m;
+                if let Some(c) = evaluate_point(core, m, config.pattern_sample) {
+                    if best.as_ref().is_none_or(|(_, b)| c.test_time < b.test_time) {
+                        best = Some((m, c));
+                    }
+                }
+            }
+            if let Some((m, c)) = best {
+                entries.push(ProfileEntry {
+                    tam_width: w,
+                    chains: m,
+                    test_time: c.test_time,
+                    volume_bits: c.volume_bits,
+                });
+            }
+        }
+        CoreProfile {
+            name: core.name().to_string(),
+            entries,
+        }
+    }
+
+    /// The profiled core's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-width entries, in increasing `tam_width`.
+    pub fn entries(&self) -> &[ProfileEntry] {
+        &self.entries
+    }
+
+    /// The entry at exactly width `w`, if that width is feasible.
+    pub fn entry_at(&self, w: u32) -> Option<&ProfileEntry> {
+        self.entries.iter().find(|e| e.tam_width == w)
+    }
+
+    /// The best entry over all widths `≤ w` (a core on a `w`-wide TAM may
+    /// leave wires unused — essential because test time is non-monotonic
+    /// in `w`).
+    pub fn best_at_most(&self, w: u32) -> Option<&ProfileEntry> {
+        self.entries
+            .iter()
+            .take_while(|e| e.tam_width <= w)
+            .min_by_key(|e| (e.test_time, e.tam_width))
+    }
+
+    /// The narrowest feasible width, or `None` for an empty profile.
+    pub fn min_width(&self) -> Option<u32> {
+        self.entries.first().map(|e| e.tam_width)
+    }
+}
+
+impl fmt::Display for CoreProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "profile of {}:", self.name)?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "  w={:>3} m={:>5} τ={:>12} V={:>12}",
+                e.tam_width, e.chains, e.test_time, e.volume_bits
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_model::{Core, CubeSynthesis};
+
+    fn prepared(cells: u32, max_chains: u32, patterns: u32, density: f64) -> Core {
+        let mut core = Core::builder("p")
+            .inputs(12)
+            .outputs(12)
+            .flexible_cells(cells, max_chains)
+            .pattern_count(patterns)
+            .care_density(density)
+            .build()
+            .unwrap();
+        let ts = CubeSynthesis::new(density).synthesize(&core, 11);
+        core.attach_test_set(ts).unwrap();
+        core
+    }
+
+    #[test]
+    fn entries_cover_feasible_widths_in_order() {
+        let core = prepared(400, 128, 6, 0.2);
+        let p = CoreProfile::build(&core, &ProfileConfig::new(10));
+        assert!(!p.entries().is_empty());
+        assert!(p.entries().windows(2).all(|w| w[0].tam_width < w[1].tam_width));
+        assert_eq!(p.min_width(), Some(3));
+        // Max feasible m = 140 → widths up to ceil(log2(141)) + 2 = 10.
+        assert_eq!(p.entries().last().unwrap().tam_width, 10);
+    }
+
+    #[test]
+    fn chains_lie_in_the_width_class() {
+        let core = prepared(400, 128, 6, 0.2);
+        let p = CoreProfile::build(&core, &ProfileConfig::new(10));
+        for e in p.entries() {
+            assert!(
+                SliceCode::feasible_chains(e.tam_width).contains(&e.chains),
+                "w={} m={}",
+                e.tam_width,
+                e.chains
+            );
+        }
+    }
+
+    #[test]
+    fn best_at_most_is_running_minimum() {
+        let core = prepared(600, 256, 8, 0.1);
+        let p = CoreProfile::build(&core, &ProfileConfig::new(11).m_candidates(8));
+        let mut prev = u64::MAX;
+        for w in 3..=11 {
+            if let Some(e) = p.best_at_most(w) {
+                assert!(e.test_time <= prev, "w={w}");
+                prev = prev.min(e.test_time);
+                assert!(e.tam_width <= w);
+            }
+        }
+        assert!(p.best_at_most(2).is_none());
+    }
+
+    #[test]
+    fn sampled_profile_tracks_exact_profile() {
+        let core = prepared(500, 64, 30, 0.15);
+        let exact = CoreProfile::build(&core, &ProfileConfig::new(8));
+        let sampled =
+            CoreProfile::build(&core, &ProfileConfig::new(8).pattern_sample(8));
+        for (a, b) in exact.entries().iter().zip(sampled.entries()) {
+            assert_eq!(a.tam_width, b.tam_width);
+            let ratio = b.test_time as f64 / a.test_time as f64;
+            assert!((0.8..1.2).contains(&ratio), "w={} ratio {ratio}", a.tam_width);
+        }
+    }
+
+    #[test]
+    fn m_candidates_limits_search() {
+        let core = prepared(2000, 512, 4, 0.1);
+        let cfg = ProfileConfig::new(10).m_candidates(5);
+        let vals = cfg.m_values(&core, 10);
+        assert_eq!(vals.len(), 5);
+        assert_eq!(*vals.first().unwrap(), 128);
+        assert_eq!(*vals.last().unwrap(), 255);
+        assert!(vals.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn infeasible_widths_are_absent() {
+        // min(8, 100) stitchable scan chains + 12 input cells → at most 20
+        // wrapper chains. w = 7 needs m ∈ [16, 31] → feasible (16..=20);
+        // w = 8 needs m ∈ [32, 63] → infeasible.
+        let core = prepared(100, 8, 4, 0.3);
+        assert_eq!(core.max_wrapper_chains(), 20);
+        let p = CoreProfile::build(&core, &ProfileConfig::new(12));
+        assert!(p.entry_at(7).is_some());
+        assert!(p.entry_at(8).is_none());
+        assert!(p.entry_at(10).is_none());
+        assert_eq!(p.entries().last().unwrap().tam_width, 7);
+    }
+
+    #[test]
+    fn display_lists_every_width() {
+        let core = prepared(100, 16, 3, 0.4);
+        let p = CoreProfile::build(&core, &ProfileConfig::new(6));
+        let s = p.to_string();
+        assert!(s.contains("w=  3"));
+    }
+}
+
+impl CoreProfile {
+    /// Serializes the profile as CSV (`w,m,test_time,volume_bits` rows
+    /// with a header), for caching — profile construction is the expensive
+    /// step of planning, and the table is tiny.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("# profile of {}\nw,m,test_time,volume_bits\n", self.name);
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "{},{},{},{}",
+                e.tam_width, e.chains, e.test_time, e.volume_bits
+            );
+        }
+        out
+    }
+
+    /// Parses a profile previously written by [`to_csv`](Self::to_csv).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line when the CSV is
+    /// malformed or the widths are not strictly increasing.
+    pub fn from_csv(name: impl Into<String>, csv: &str) -> Result<Self, String> {
+        let mut entries: Vec<ProfileEntry> = Vec::new();
+        for (idx, raw) in csv.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with("w,") {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 4 {
+                return Err(format!("line {}: expected 4 fields", idx + 1));
+            }
+            let parse = |s: &str| -> Result<u64, String> {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("line {}: invalid number `{s}`", idx + 1))
+            };
+            let entry = ProfileEntry {
+                tam_width: parse(fields[0])? as u32,
+                chains: parse(fields[1])? as u32,
+                test_time: parse(fields[2])?,
+                volume_bits: parse(fields[3])?,
+            };
+            if let Some(last) = entries.last() {
+                if entry.tam_width <= last.tam_width {
+                    return Err(format!(
+                        "line {}: widths must be strictly increasing",
+                        idx + 1
+                    ));
+                }
+            }
+            entries.push(entry);
+        }
+        Ok(CoreProfile {
+            name: name.into(),
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+    use soc_model::{Core, CubeSynthesis};
+
+    fn profile() -> CoreProfile {
+        let mut core = Core::builder("csv")
+            .inputs(10)
+            .flexible_cells(500, 64)
+            .pattern_count(6)
+            .care_density(0.1)
+            .build()
+            .unwrap();
+        let ts = CubeSynthesis::new(0.1).synthesize(&core, 2);
+        core.attach_test_set(ts).unwrap();
+        CoreProfile::build(&core, &ProfileConfig::new(8).m_candidates(4))
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let p = profile();
+        let csv = p.to_csv();
+        let q = CoreProfile::from_csv(p.name().to_string(), &csv).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(CoreProfile::from_csv("x", "1,2,3\n").is_err());
+        assert!(CoreProfile::from_csv("x", "a,b,c,d\n").is_err());
+        assert!(CoreProfile::from_csv("x", "5,3,10,50\n4,3,10,50\n").is_err());
+        // Empty profiles parse (a core can be infeasible everywhere).
+        assert!(CoreProfile::from_csv("x", "# nothing\n").unwrap().entries().is_empty());
+    }
+
+    #[test]
+    fn parsed_profiles_answer_queries() {
+        let p = profile();
+        let q = CoreProfile::from_csv("csv", &p.to_csv()).unwrap();
+        for w in 3..=8 {
+            assert_eq!(
+                p.best_at_most(w).map(|e| e.test_time),
+                q.best_at_most(w).map(|e| e.test_time)
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Robustness tests for the decompressor: arbitrary codeword streams must
+//! never panic — they either decode or produce a typed error — and valid
+//! streams produced by the encoder always decode.
+
+use proptest::prelude::*;
+
+use selenc::{Codeword, DecodeError, Decompressor, Encoder, SliceCode};
+use soc_model::{Trit, TritVec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_streams_never_panic(
+        m in 1u32..40,
+        words in proptest::collection::vec(any::<(bool, bool, u32)>(), 0..64),
+    ) {
+        let code = SliceCode::for_chains(m);
+        let mask = (1u32 << code.data_bits()) - 1;
+        let mut dec = Decompressor::new(code);
+        for (mode, last, data) in words {
+            let cw = Codeword { mode, last, data: data & mask };
+            match dec.feed(cw) {
+                Ok(Some(slice)) => prop_assert_eq!(slice.len() as u32, m),
+                Ok(None) => {}
+                Err(_) => {
+                    // A typed error; the decompressor is garbage now, stop.
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valid_streams_always_decode(
+        m in 1u32..32,
+        raw in proptest::collection::vec(0u8..3, 1..200),
+    ) {
+        let code = SliceCode::for_chains(m);
+        let enc = Encoder::new(code);
+        // Chop the symbol soup into m-wide slices.
+        let slices: Vec<TritVec> = raw
+            .chunks_exact(m as usize)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|&b| match b {
+                        0 => Trit::Zero,
+                        1 => Trit::One,
+                        _ => Trit::X,
+                    })
+                    .collect()
+            })
+            .collect();
+        prop_assume!(!slices.is_empty());
+        let mut words = Vec::new();
+        for s in &slices {
+            words.extend(enc.encode_slice(s));
+        }
+        let mut dec = Decompressor::new(code);
+        let decoded = dec.decode_all(words).expect("encoder output is valid");
+        prop_assert_eq!(decoded.len(), slices.len());
+        for (s, d) in slices.iter().zip(&decoded) {
+            prop_assert!(s.is_satisfied_by(d));
+        }
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected_or_harmless(
+        m in 2u32..24,
+        cut in 0usize..16,
+    ) {
+        let code = SliceCode::for_chains(m);
+        let enc = Encoder::new(code);
+        // Build a stream with several update kinds.
+        let mut slice = TritVec::all_x(m as usize);
+        slice.set(0, Trit::One);
+        slice.set((m - 1) as usize, Trit::Zero);
+        let mut words = enc.encode_slice(&slice);
+        words.extend(enc.encode_slice(&slice));
+        prop_assume!(cut < words.len());
+        let mut dec = Decompressor::new(code);
+        match dec.decode_all(words[..cut].iter().copied()) {
+            Ok(decoded) => {
+                // Only complete slices came out.
+                prop_assert!(decoded.len() <= 2);
+            }
+            Err(e) => prop_assert_eq!(e, DecodeError::TruncatedStream),
+        }
+    }
+
+    #[test]
+    fn encoder_cost_is_translation_invariant(
+        m in 4u32..32,
+        offset in 0u32..4,
+    ) {
+        // Shifting a single care bit within a group never changes the cost.
+        let code = SliceCode::for_chains(m);
+        let enc = Encoder::new(code);
+        let place = |at: u32| {
+            let mut s = TritVec::all_x(m as usize);
+            s.set((at % m) as usize, Trit::One);
+            enc.slice_cost(&s)
+        };
+        prop_assert_eq!(place(0), place(offset));
+    }
+}

@@ -1,0 +1,189 @@
+//! Static test-set compaction: merging compatible test cubes.
+//!
+//! Two cubes are *compatible* when no position carries conflicting care
+//! bits; merging them yields one cube whose care bits are the union. Fewer
+//! patterns mean less test time and volume — but merged cubes are denser,
+//! which *hurts* downstream test-data compression. That tension
+//! (compaction vs. compression) is exactly why the paper's industrial
+//! cores keep care-bit densities of 1–5% while the compacted academic sets
+//! sit at 44–66%; the `compaction_vs_compression` ablation quantifies it.
+
+use crate::pattern::TestSet;
+use crate::trit::{Trit, TritVec};
+
+/// Merges `b` into `a` (union of care bits).
+///
+/// # Panics
+///
+/// Panics if the cubes are incompatible or differ in length — check with
+/// [`TritVec::is_compatible_with`] first.
+pub fn merge_cubes(a: &TritVec, b: &TritVec) -> TritVec {
+    assert!(
+        a.is_compatible_with(b),
+        "cannot merge incompatible or unequal-length cubes"
+    );
+    let mut out = a.clone();
+    for i in 0..b.len() {
+        if let Some(bit) = b.get(i).value() {
+            out.set(i, Trit::from_bit(bit));
+        }
+    }
+    out
+}
+
+/// Outcome of compacting a test set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compacted {
+    /// The compacted set.
+    pub test_set: TestSet,
+    /// For every original pattern, the index of the compacted cube that
+    /// covers it.
+    pub mapping: Vec<usize>,
+}
+
+/// Greedy static compaction: each cube is merged into the first compacted
+/// cube it is compatible with, or starts a new one (first-fit, the classic
+/// baseline).
+///
+/// The result covers the original set: every original care bit appears,
+/// with the same value, in its mapped compacted cube.
+pub fn compact(test_set: &TestSet) -> Compacted {
+    let mut cubes: Vec<TritVec> = Vec::new();
+    let mut mapping = Vec::with_capacity(test_set.pattern_count());
+    for cube in test_set.iter() {
+        match cubes.iter().position(|c| c.is_compatible_with(cube)) {
+            Some(i) => {
+                cubes[i] = merge_cubes(&cubes[i], cube);
+                mapping.push(i);
+            }
+            None => {
+                cubes.push(cube.clone());
+                mapping.push(cubes.len() - 1);
+            }
+        }
+    }
+    let compacted = TestSet::from_patterns(test_set.bits_per_pattern(), cubes)
+        .expect("merged cubes keep the original length");
+    Compacted {
+        test_set: compacted,
+        mapping,
+    }
+}
+
+/// Checks that `compacted` covers `original` under `mapping`: every care
+/// bit of every original cube appears identically in its mapped cube.
+pub fn covers(original: &TestSet, compacted: &Compacted) -> bool {
+    if compacted.mapping.len() != original.pattern_count() {
+        return false;
+    }
+    original.iter().zip(&compacted.mapping).all(|(cube, &mi)| {
+        let Some(merged) = compacted.test_set.pattern(mi) else {
+            return false;
+        };
+        (0..cube.len()).all(|i| match cube.get(i).value() {
+            Some(bit) => merged.get(i).value() == Some(bit),
+            None => true,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CubeSynthesis;
+    use crate::Core;
+
+    fn tv(s: &str) -> TritVec {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn merge_unions_care_bits() {
+        let m = merge_cubes(&tv("1XX0"), &tv("X1X0"));
+        assert_eq!(m.to_string(), "11X0");
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merge_rejects_conflicts() {
+        merge_cubes(&tv("1X"), &tv("0X"));
+    }
+
+    #[test]
+    fn compacts_compatible_cubes() {
+        let ts = TestSet::from_patterns(
+            4,
+            vec![tv("1XXX"), tv("X1XX"), tv("0XXX"), tv("XX1X")],
+        )
+        .unwrap();
+        let c = compact(&ts);
+        // 1XXX + X1XX + XX1X merge; 0XXX conflicts with the first.
+        assert_eq!(c.test_set.pattern_count(), 2);
+        assert_eq!(c.mapping, vec![0, 0, 1, 0]);
+        assert!(covers(&ts, &c));
+    }
+
+    #[test]
+    fn incompatible_set_stays_put() {
+        let ts = TestSet::from_patterns(2, vec![tv("10"), tv("01"), tv("11")]).unwrap();
+        let c = compact(&ts);
+        assert_eq!(c.test_set.pattern_count(), 3);
+        assert!(covers(&ts, &c));
+    }
+
+    #[test]
+    fn sparse_sets_compact_dramatically_and_density_rises() {
+        let core = Core::builder("c")
+            .inputs(400)
+            .pattern_count(60)
+            .build()
+            .unwrap();
+        let ts = CubeSynthesis::new(0.02).synthesize(&core, 9);
+        let c = compact(&ts);
+        assert!(
+            c.test_set.pattern_count() * 2 < ts.pattern_count(),
+            "{} -> {}",
+            ts.pattern_count(),
+            c.test_set.pattern_count()
+        );
+        assert!(covers(&ts, &c));
+        // The compaction-vs-compression tension: density goes up.
+        assert!(c.test_set.care_density() > 2.0 * ts.care_density());
+    }
+
+    #[test]
+    fn dense_sets_barely_compact() {
+        let core = Core::builder("d")
+            .inputs(200)
+            .pattern_count(40)
+            .build()
+            .unwrap();
+        let ts = CubeSynthesis::new(0.7).synthesize(&core, 9);
+        let c = compact(&ts);
+        assert!(c.test_set.pattern_count() as f64 > 0.8 * ts.pattern_count() as f64);
+    }
+
+    #[test]
+    fn total_care_bits_are_preserved_or_shared() {
+        let core = Core::builder("e")
+            .inputs(300)
+            .pattern_count(30)
+            .build()
+            .unwrap();
+        let ts = CubeSynthesis::new(0.05).synthesize(&core, 4);
+        let c = compact(&ts);
+        // Merging can only share identical care bits, never lose them.
+        assert!(c.test_set.total_care_bits() <= ts.total_care_bits());
+        assert!(covers(&ts, &c));
+    }
+
+    #[test]
+    fn covers_detects_corruption() {
+        let ts = TestSet::from_patterns(2, vec![tv("1X"), tv("X1")]).unwrap();
+        let mut c = compact(&ts);
+        // Corrupt the merged cube.
+        let bad = TestSet::from_patterns(2, vec![tv("0X")]).unwrap();
+        c.test_set = bad;
+        assert!(!covers(&ts, &c));
+    }
+}

@@ -1,0 +1,585 @@
+//! Embedded cores: scan structure, terminals, and test parameters.
+
+use std::fmt;
+
+use crate::pattern::TestSet;
+
+/// The internal scan structure of a core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanArchitecture {
+    /// A purely combinational core: no internal scan cells.
+    Combinational,
+    /// A hard core with fixed, non-restitchable internal scan chains (one
+    /// entry per chain, holding its cell count).
+    Fixed {
+        /// Length of each internal scan chain, in scan cells.
+        chain_lengths: Vec<u32>,
+    },
+    /// A soft core whose scan cells can be re-stitched into any number of
+    /// chains up to `max_chains` (typical for cores delivered as RTL, and
+    /// the normal situation when an on-chip decompressor drives many short
+    /// chains).
+    Flexible {
+        /// Total number of scan cells.
+        cells: u32,
+        /// Upper bound on the number of chains the stitching flow supports.
+        max_chains: u32,
+    },
+}
+
+impl ScanArchitecture {
+    /// Total number of internal scan cells.
+    pub fn total_cells(&self) -> u64 {
+        match self {
+            ScanArchitecture::Combinational => 0,
+            ScanArchitecture::Fixed { chain_lengths } => {
+                chain_lengths.iter().map(|&l| u64::from(l)).sum()
+            }
+            ScanArchitecture::Flexible { cells, .. } => u64::from(*cells),
+        }
+    }
+
+    /// Returns `true` when the core has no scan cells.
+    pub fn is_combinational(&self) -> bool {
+        self.total_cells() == 0
+    }
+}
+
+/// One embedded core of an SOC, as seen by the test planner.
+///
+/// A core is described by its functional terminals (inputs, outputs,
+/// bidirectionals), its internal scan structure, and its test set: either
+/// explicit cubes or just a pattern count plus a care-bit density from which
+/// cubes can be synthesized.
+///
+/// # Examples
+///
+/// ```
+/// use soc_model::{Core, ScanArchitecture};
+///
+/// let core = Core::builder("s838")
+///     .inputs(34)
+///     .outputs(1)
+///     .scan(ScanArchitecture::Fixed { chain_lengths: vec![32] })
+///     .pattern_count(75)
+///     .care_density(0.6)
+///     .build()?;
+/// assert_eq!(core.scan_load_bits(), 34 + 32);
+/// assert_eq!(core.initial_volume_bits(), 75 * 66);
+/// # Ok::<(), soc_model::BuildCoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Core {
+    name: String,
+    inputs: u32,
+    outputs: u32,
+    bidirs: u32,
+    scan: ScanArchitecture,
+    pattern_count: u32,
+    care_density: f64,
+    test_set: Option<TestSet>,
+}
+
+impl Core {
+    /// Starts building a core with the given name.
+    pub fn builder(name: impl Into<String>) -> CoreBuilder {
+        CoreBuilder {
+            name: name.into(),
+            inputs: 0,
+            outputs: 0,
+            bidirs: 0,
+            scan: ScanArchitecture::Combinational,
+            pattern_count: 0,
+            care_density: 1.0,
+            test_set: None,
+        }
+    }
+
+    /// The core's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of functional inputs.
+    pub fn inputs(&self) -> u32 {
+        self.inputs
+    }
+
+    /// Number of functional outputs.
+    pub fn outputs(&self) -> u32 {
+        self.outputs
+    }
+
+    /// Number of bidirectional terminals.
+    pub fn bidirs(&self) -> u32 {
+        self.bidirs
+    }
+
+    /// The internal scan structure.
+    pub fn scan(&self) -> &ScanArchitecture {
+        &self.scan
+    }
+
+    /// Number of test patterns.
+    pub fn pattern_count(&self) -> u32 {
+        self.pattern_count
+    }
+
+    /// Care-bit density used when synthesizing cubes (actual density when an
+    /// explicit test set is attached).
+    pub fn care_density(&self) -> f64 {
+        match &self.test_set {
+            Some(ts) => ts.care_density(),
+            None => self.care_density,
+        }
+    }
+
+    /// The nominal care-bit density requested for cube synthesis, regardless
+    /// of whether an explicit test set is attached.
+    pub fn nominal_care_density(&self) -> f64 {
+        self.care_density
+    }
+
+    /// Explicit test cubes, when attached.
+    pub fn test_set(&self) -> Option<&TestSet> {
+        self.test_set.as_ref()
+    }
+
+    /// Attaches explicit test cubes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCoreError::TestSetShape`] when the set's cube length
+    /// differs from [`scan_load_bits`](Self::scan_load_bits) or its pattern
+    /// count differs from [`pattern_count`](Self::pattern_count).
+    pub fn attach_test_set(&mut self, test_set: TestSet) -> Result<(), BuildCoreError> {
+        if test_set.bits_per_pattern() as u64 != self.scan_load_bits()
+            || test_set.pattern_count() as u32 != self.pattern_count
+        {
+            return Err(BuildCoreError::TestSetShape {
+                core: self.name.clone(),
+                expected_bits: self.scan_load_bits(),
+                found_bits: test_set.bits_per_pattern() as u64,
+                expected_patterns: self.pattern_count,
+                found_patterns: test_set.pattern_count() as u32,
+            });
+        }
+        self.test_set = Some(test_set);
+        Ok(())
+    }
+
+    /// Total internal scan cells.
+    pub fn scan_cells(&self) -> u64 {
+        self.scan.total_cells()
+    }
+
+    /// Number of scanned stimulus positions per pattern: internal scan cells
+    /// plus wrapper input cells (one per functional input and bidirectional).
+    pub fn scan_load_bits(&self) -> u64 {
+        self.scan_cells() + u64::from(self.inputs) + u64::from(self.bidirs)
+    }
+
+    /// Number of scanned response positions per pattern: internal scan cells
+    /// plus wrapper output cells (one per functional output and
+    /// bidirectional).
+    pub fn scan_unload_bits(&self) -> u64 {
+        self.scan_cells() + u64::from(self.outputs) + u64::from(self.bidirs)
+    }
+
+    /// Uncompressed stimulus volume in bits (`pattern_count ×
+    /// scan_load_bits`). Following the paper, only stimuli are planned;
+    /// response handling is out of scope.
+    pub fn initial_volume_bits(&self) -> u64 {
+        u64::from(self.pattern_count) * self.scan_load_bits()
+    }
+
+    /// Returns a copy of this core keeping only the first `keep` test
+    /// patterns (and the matching prefix of any attached test set). With
+    /// `keep >= pattern_count` the copy is identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep == 0` — a core cannot have zero patterns.
+    pub fn with_truncated_patterns(&self, keep: u32) -> Core {
+        assert!(keep > 0, "cannot truncate to zero patterns");
+        let keep = keep.min(self.pattern_count);
+        let mut core = self.clone();
+        core.pattern_count = keep;
+        core.test_set = self.test_set.as_ref().map(|ts| ts.truncated(keep as usize));
+        core
+    }
+
+    /// The largest number of wrapper chains that can carry stimulus for this
+    /// core: fixed scan chains are atomic, while flexible cells can each
+    /// start a chain (up to the stitching limit); wrapper input cells can
+    /// always form chains of their own.
+    pub fn max_wrapper_chains(&self) -> u32 {
+        let io = self.inputs + self.bidirs;
+        let scan_units = match &self.scan {
+            ScanArchitecture::Combinational => 0,
+            ScanArchitecture::Fixed { chain_lengths } => chain_lengths.len() as u32,
+            ScanArchitecture::Flexible { cells, max_chains } => (*max_chains).min(*cells),
+        };
+        (scan_units + io).max(1)
+    }
+}
+
+impl fmt::Display for Core {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} in, {} out, {} scan cells, {} patterns)",
+            self.name,
+            self.inputs,
+            self.outputs,
+            self.scan_cells(),
+            self.pattern_count
+        )
+    }
+}
+
+/// Builder for [`Core`], created by [`Core::builder`].
+#[derive(Debug, Clone)]
+pub struct CoreBuilder {
+    name: String,
+    inputs: u32,
+    outputs: u32,
+    bidirs: u32,
+    scan: ScanArchitecture,
+    pattern_count: u32,
+    care_density: f64,
+    test_set: Option<TestSet>,
+}
+
+impl CoreBuilder {
+    /// Sets the number of functional inputs.
+    pub fn inputs(mut self, n: u32) -> Self {
+        self.inputs = n;
+        self
+    }
+
+    /// Sets the number of functional outputs.
+    pub fn outputs(mut self, n: u32) -> Self {
+        self.outputs = n;
+        self
+    }
+
+    /// Sets the number of bidirectional terminals.
+    pub fn bidirs(mut self, n: u32) -> Self {
+        self.bidirs = n;
+        self
+    }
+
+    /// Sets the internal scan structure.
+    pub fn scan(mut self, scan: ScanArchitecture) -> Self {
+        self.scan = scan;
+        self
+    }
+
+    /// Convenience: fixed scan chains with the given lengths.
+    pub fn fixed_chains(self, lengths: impl Into<Vec<u32>>) -> Self {
+        self.scan(ScanArchitecture::Fixed {
+            chain_lengths: lengths.into(),
+        })
+    }
+
+    /// Convenience: `cells` flexible scan cells stitchable into at most
+    /// `max_chains` chains.
+    pub fn flexible_cells(self, cells: u32, max_chains: u32) -> Self {
+        self.scan(ScanArchitecture::Flexible { cells, max_chains })
+    }
+
+    /// Sets the number of test patterns.
+    pub fn pattern_count(mut self, n: u32) -> Self {
+        self.pattern_count = n;
+        self
+    }
+
+    /// Sets the care-bit density used when cubes are synthesized.
+    pub fn care_density(mut self, d: f64) -> Self {
+        self.care_density = d;
+        self
+    }
+
+    /// Attaches explicit test cubes (validated at [`build`](Self::build)).
+    pub fn test_set(mut self, ts: TestSet) -> Self {
+        self.test_set = Some(ts);
+        self
+    }
+
+    /// Finalizes the core.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildCoreError`] when the description is inconsistent:
+    /// no terminals and no scan cells, a zero pattern count, a care density
+    /// outside `[0, 1]`, a fixed chain of length zero, a flexible
+    /// architecture allowing zero chains, or a test set whose shape does not
+    /// match the core.
+    pub fn build(self) -> Result<Core, BuildCoreError> {
+        if self.pattern_count == 0 {
+            return Err(BuildCoreError::NoPatterns {
+                core: self.name,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.care_density) {
+            return Err(BuildCoreError::BadCareDensity {
+                core: self.name,
+                density: self.care_density,
+            });
+        }
+        match &self.scan {
+            ScanArchitecture::Fixed { chain_lengths } => {
+                if chain_lengths.contains(&0) {
+                    return Err(BuildCoreError::EmptyScanChain { core: self.name });
+                }
+            }
+            ScanArchitecture::Flexible { cells, max_chains } => {
+                if *cells > 0 && *max_chains == 0 {
+                    return Err(BuildCoreError::NoChainsAllowed { core: self.name });
+                }
+            }
+            ScanArchitecture::Combinational => {}
+        }
+        let mut core = Core {
+            name: self.name,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            bidirs: self.bidirs,
+            scan: self.scan,
+            pattern_count: self.pattern_count,
+            care_density: self.care_density,
+            test_set: None,
+        };
+        if core.scan_load_bits() == 0 {
+            return Err(BuildCoreError::NoStimulus {
+                core: core.name,
+            });
+        }
+        if let Some(ts) = self.test_set {
+            core.attach_test_set(ts)?;
+        }
+        Ok(core)
+    }
+}
+
+/// Error produced when a [`Core`] description is inconsistent.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BuildCoreError {
+    /// The core declares zero test patterns.
+    NoPatterns {
+        /// Offending core name.
+        core: String,
+    },
+    /// The care density is outside `[0, 1]`.
+    BadCareDensity {
+        /// Offending core name.
+        core: String,
+        /// The rejected value.
+        density: f64,
+    },
+    /// A fixed scan chain has length zero.
+    EmptyScanChain {
+        /// Offending core name.
+        core: String,
+    },
+    /// A flexible architecture with cells but `max_chains == 0`.
+    NoChainsAllowed {
+        /// Offending core name.
+        core: String,
+    },
+    /// The core has neither inputs, bidirs, nor scan cells to load.
+    NoStimulus {
+        /// Offending core name.
+        core: String,
+    },
+    /// The attached test set does not match the core's shape.
+    TestSetShape {
+        /// Offending core name.
+        core: String,
+        /// Cube length the core requires.
+        expected_bits: u64,
+        /// Cube length found in the set.
+        found_bits: u64,
+        /// Declared pattern count.
+        expected_patterns: u32,
+        /// Pattern count found in the set.
+        found_patterns: u32,
+    },
+}
+
+impl fmt::Display for BuildCoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildCoreError::NoPatterns { core } => {
+                write!(f, "core {core:?} declares zero test patterns")
+            }
+            BuildCoreError::BadCareDensity { core, density } => {
+                write!(f, "core {core:?} care density {density} is outside [0, 1]")
+            }
+            BuildCoreError::EmptyScanChain { core } => {
+                write!(f, "core {core:?} has a fixed scan chain of length zero")
+            }
+            BuildCoreError::NoChainsAllowed { core } => {
+                write!(f, "core {core:?} has scan cells but allows zero chains")
+            }
+            BuildCoreError::NoStimulus { core } => {
+                write!(f, "core {core:?} has no stimulus positions to load")
+            }
+            BuildCoreError::TestSetShape {
+                core,
+                expected_bits,
+                found_bits,
+                expected_patterns,
+                found_patterns,
+            } => write!(
+                f,
+                "test set for core {core:?} has shape {found_patterns}×{found_bits} \
+                 but the core requires {expected_patterns}×{expected_bits}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildCoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::TestSet;
+    use crate::trit::TritVec;
+
+    fn simple_core() -> Core {
+        Core::builder("c1")
+            .inputs(4)
+            .outputs(2)
+            .fixed_chains(vec![8, 8])
+            .pattern_count(10)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let c = simple_core();
+        assert_eq!(c.scan_cells(), 16);
+        assert_eq!(c.scan_load_bits(), 20);
+        assert_eq!(c.scan_unload_bits(), 18);
+        assert_eq!(c.initial_volume_bits(), 200);
+        assert_eq!(c.max_wrapper_chains(), 6);
+    }
+
+    #[test]
+    fn bidirs_count_on_both_sides() {
+        let c = Core::builder("b")
+            .inputs(3)
+            .outputs(2)
+            .bidirs(5)
+            .fixed_chains(vec![10])
+            .pattern_count(1)
+            .build()
+            .unwrap();
+        assert_eq!(c.scan_load_bits(), 10 + 3 + 5);
+        assert_eq!(c.scan_unload_bits(), 10 + 2 + 5);
+    }
+
+    #[test]
+    fn combinational_core() {
+        let c = Core::builder("c6288")
+            .inputs(32)
+            .outputs(32)
+            .pattern_count(12)
+            .build()
+            .unwrap();
+        assert!(c.scan().is_combinational());
+        assert_eq!(c.scan_load_bits(), 32);
+        assert_eq!(c.max_wrapper_chains(), 32);
+    }
+
+    #[test]
+    fn flexible_core_chain_bound() {
+        let c = Core::builder("soft")
+            .flexible_cells(1000, 64)
+            .inputs(10)
+            .pattern_count(5)
+            .build()
+            .unwrap();
+        assert_eq!(c.max_wrapper_chains(), 74);
+        let tiny = Core::builder("tiny")
+            .flexible_cells(3, 64)
+            .pattern_count(5)
+            .build()
+            .unwrap();
+        assert_eq!(tiny.max_wrapper_chains(), 3);
+    }
+
+    #[test]
+    fn build_validation() {
+        assert!(matches!(
+            Core::builder("p").inputs(1).build(),
+            Err(BuildCoreError::NoPatterns { .. })
+        ));
+        assert!(matches!(
+            Core::builder("d").inputs(1).pattern_count(1).care_density(1.5).build(),
+            Err(BuildCoreError::BadCareDensity { .. })
+        ));
+        assert!(matches!(
+            Core::builder("e").fixed_chains(vec![0]).pattern_count(1).build(),
+            Err(BuildCoreError::EmptyScanChain { .. })
+        ));
+        assert!(matches!(
+            Core::builder("f").flexible_cells(10, 0).pattern_count(1).build(),
+            Err(BuildCoreError::NoChainsAllowed { .. })
+        ));
+        assert!(matches!(
+            Core::builder("g").outputs(3).pattern_count(1).build(),
+            Err(BuildCoreError::NoStimulus { .. })
+        ));
+    }
+
+    #[test]
+    fn test_set_shape_checked() {
+        let mut c = Core::builder("h")
+            .inputs(2)
+            .pattern_count(2)
+            .build()
+            .unwrap();
+        let good = TestSet::from_patterns(2, vec!["01".parse().unwrap(), "1X".parse().unwrap()])
+            .unwrap();
+        c.attach_test_set(good).unwrap();
+        assert!(c.test_set().is_some());
+
+        let bad_len =
+            TestSet::from_patterns(3, vec!["011".parse::<TritVec>().unwrap()]).unwrap();
+        assert!(matches!(
+            c.attach_test_set(bad_len),
+            Err(BuildCoreError::TestSetShape { .. })
+        ));
+    }
+
+    #[test]
+    fn care_density_prefers_attached_set() {
+        let mut c = Core::builder("i")
+            .inputs(4)
+            .pattern_count(1)
+            .care_density(0.25)
+            .build()
+            .unwrap();
+        assert_eq!(c.care_density(), 0.25);
+        c.attach_test_set(
+            TestSet::from_patterns(4, vec!["0011".parse().unwrap()]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(c.care_density(), 1.0);
+        assert_eq!(c.nominal_care_density(), 0.25);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = simple_core();
+        let s = c.to_string();
+        assert!(s.contains("c1"));
+        assert!(s.contains("16 scan cells"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Textual SOC description format (reader and writer).
+//!
+//! A compact, line-oriented format in the spirit of the ITC'02 SOC test
+//! benchmark files. Example:
+//!
+//! ```text
+//! # d695-like fragment
+//! soc demo
+//! core c6288 inputs 32 outputs 32 patterns 12 density 0.6
+//! core s838 inputs 34 outputs 1 patterns 75 density 0.6 scan 32
+//! flexcore ckt-1 inputs 109 outputs 32 patterns 210 density 0.03 cells 12104 maxchains 512
+//! ```
+//!
+//! * `soc <name>` — must appear once, before any core.
+//! * `core <name> …` — a hard core; the optional trailing
+//!   `scan <len> <len> …` lists its fixed scan-chain lengths.
+//! * `flexcore <name> …` — a soft core with `cells <n>` re-stitchable scan
+//!   cells and `maxchains <n>`.
+//! * `#` starts a comment; blank lines are ignored.
+//!
+//! Test cubes are not stored in this format; they are synthesized from the
+//! per-core `density` (see [`crate::generator`]) or attached by the caller.
+
+use std::fmt;
+
+use crate::core::{BuildCoreError, Core, CoreBuilder};
+use crate::soc::Soc;
+
+/// Parses an SOC description from text.
+///
+/// # Errors
+///
+/// Returns [`ParseSocError`] describing the offending line when the text is
+/// malformed or a core description is inconsistent.
+///
+/// # Examples
+///
+/// ```
+/// use soc_model::format::parse_soc;
+///
+/// let soc = parse_soc("soc s\ncore a inputs 4 outputs 2 patterns 7 scan 8 8\n")?;
+/// assert_eq!(soc.core_count(), 1);
+/// assert_eq!(soc.cores()[0].scan_cells(), 16);
+/// # Ok::<(), soc_model::format::ParseSocError>(())
+/// ```
+pub fn parse_soc(text: &str) -> Result<Soc, ParseSocError> {
+    let mut name: Option<String> = None;
+    let mut cores = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a token");
+        match keyword {
+            "soc" => {
+                let n = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, ErrorKind::MissingName))?;
+                if name.is_some() {
+                    return Err(err(lineno, ErrorKind::DuplicateSoc));
+                }
+                name = Some(n.to_string());
+            }
+            "core" | "flexcore" => {
+                if name.is_none() {
+                    return Err(err(lineno, ErrorKind::CoreBeforeSoc));
+                }
+                cores.push(parse_core(keyword == "flexcore", tokens, lineno)?);
+            }
+            other => {
+                return Err(err(
+                    lineno,
+                    ErrorKind::UnknownKeyword(other.to_string()),
+                ));
+            }
+        }
+    }
+    let name = name.ok_or_else(|| err(0, ErrorKind::MissingSocLine))?;
+    Ok(Soc::new(name, cores))
+}
+
+fn parse_core<'a>(
+    flexible: bool,
+    mut tokens: impl Iterator<Item = &'a str>,
+    lineno: usize,
+) -> Result<Core, ParseSocError> {
+    let name = tokens
+        .next()
+        .ok_or_else(|| err(lineno, ErrorKind::MissingName))?;
+    let mut builder = Core::builder(name);
+    let mut cells: Option<u32> = None;
+    let mut max_chains: Option<u32> = None;
+    while let Some(key) = tokens.next() {
+        if key == "scan" {
+            if flexible {
+                return Err(err(lineno, ErrorKind::ScanOnFlexcore));
+            }
+            let mut lengths = Vec::new();
+            for t in tokens.by_ref() {
+                lengths.push(parse_num::<u32>(t, lineno)?);
+            }
+            if lengths.is_empty() {
+                return Err(err(lineno, ErrorKind::EmptyScanList));
+            }
+            builder = builder.fixed_chains(lengths);
+            break; // `scan` consumes the rest of the line
+        }
+        let value = tokens
+            .next()
+            .ok_or_else(|| err(lineno, ErrorKind::MissingValue(key.to_string())))?;
+        builder = apply_field(builder, key, value, lineno, &mut cells, &mut max_chains)?;
+    }
+    if flexible {
+        let cells =
+            cells.ok_or_else(|| err(lineno, ErrorKind::MissingField("cells")))?;
+        let max_chains = max_chains
+            .ok_or_else(|| err(lineno, ErrorKind::MissingField("maxchains")))?;
+        builder = builder.flexible_cells(cells, max_chains);
+    } else if cells.is_some() || max_chains.is_some() {
+        return Err(err(lineno, ErrorKind::CellsOnHardCore));
+    }
+    builder
+        .build()
+        .map_err(|e| err(lineno, ErrorKind::InvalidCore(e)))
+}
+
+fn apply_field(
+    builder: CoreBuilder,
+    key: &str,
+    value: &str,
+    lineno: usize,
+    cells: &mut Option<u32>,
+    max_chains: &mut Option<u32>,
+) -> Result<CoreBuilder, ParseSocError> {
+    Ok(match key {
+        "inputs" => builder.inputs(parse_num(value, lineno)?),
+        "outputs" => builder.outputs(parse_num(value, lineno)?),
+        "bidirs" => builder.bidirs(parse_num(value, lineno)?),
+        "patterns" => builder.pattern_count(parse_num(value, lineno)?),
+        "density" => builder.care_density(
+            value
+                .parse::<f64>()
+                .map_err(|_| err(lineno, ErrorKind::BadNumber(value.to_string())))?,
+        ),
+        "cells" => {
+            *cells = Some(parse_num(value, lineno)?);
+            builder
+        }
+        "maxchains" => {
+            *max_chains = Some(parse_num(value, lineno)?);
+            builder
+        }
+        other => {
+            return Err(err(lineno, ErrorKind::UnknownField(other.to_string())));
+        }
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, lineno: usize) -> Result<T, ParseSocError> {
+    s.parse()
+        .map_err(|_| err(lineno, ErrorKind::BadNumber(s.to_string())))
+}
+
+fn err(lineno: usize, kind: ErrorKind) -> ParseSocError {
+    ParseSocError {
+        line: lineno + 1,
+        kind,
+    }
+}
+
+/// Serializes an SOC back to the textual format accepted by [`parse_soc`].
+///
+/// Attached test cubes are not serialized; the per-core nominal care density
+/// is, so a parse → write → parse roundtrip preserves the design.
+///
+/// # Examples
+///
+/// ```
+/// use soc_model::format::{parse_soc, write_soc};
+///
+/// let text = "soc s\ncore a inputs 4 outputs 2 patterns 7 scan 8 8\n";
+/// let soc = parse_soc(text)?;
+/// let rewritten = write_soc(&soc);
+/// assert_eq!(parse_soc(&rewritten)?, soc);
+/// # Ok::<(), soc_model::format::ParseSocError>(())
+/// ```
+pub fn write_soc(soc: &Soc) -> String {
+    use crate::core::ScanArchitecture;
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "soc {}", soc.name());
+    for core in soc.cores() {
+        let kind = match core.scan() {
+            ScanArchitecture::Flexible { .. } => "flexcore",
+            _ => "core",
+        };
+        let _ = write!(
+            out,
+            "{kind} {} inputs {} outputs {}",
+            core.name(),
+            core.inputs(),
+            core.outputs()
+        );
+        if core.bidirs() > 0 {
+            let _ = write!(out, " bidirs {}", core.bidirs());
+        }
+        let _ = write!(out, " patterns {}", core.pattern_count());
+        let _ = write!(out, " density {}", core.nominal_care_density());
+        match core.scan() {
+            ScanArchitecture::Combinational => {}
+            ScanArchitecture::Flexible { cells, max_chains } => {
+                let _ = write!(out, " cells {cells} maxchains {max_chains}");
+            }
+            ScanArchitecture::Fixed { chain_lengths } => {
+                let _ = write!(out, " scan");
+                for l in chain_lengths {
+                    let _ = write!(out, " {l}");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Error produced by [`parse_soc`], carrying the 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseSocError {
+    line: usize,
+    kind: ErrorKind,
+}
+
+impl ParseSocError {
+    /// 1-based line number of the offending line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ErrorKind {
+    MissingSocLine,
+    DuplicateSoc,
+    CoreBeforeSoc,
+    MissingName,
+    MissingValue(String),
+    MissingField(&'static str),
+    UnknownKeyword(String),
+    UnknownField(String),
+    BadNumber(String),
+    EmptyScanList,
+    ScanOnFlexcore,
+    CellsOnHardCore,
+    InvalidCore(BuildCoreError),
+}
+
+impl fmt::Display for ParseSocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ErrorKind::MissingSocLine => write!(f, "no `soc <name>` line found"),
+            ErrorKind::DuplicateSoc => write!(f, "duplicate `soc` line"),
+            ErrorKind::CoreBeforeSoc => {
+                write!(f, "core declared before the `soc` line")
+            }
+            ErrorKind::MissingName => write!(f, "missing name"),
+            ErrorKind::MissingValue(k) => write!(f, "field `{k}` has no value"),
+            ErrorKind::MissingField(k) => {
+                write!(f, "flexcore requires the `{k}` field")
+            }
+            ErrorKind::UnknownKeyword(k) => write!(f, "unknown keyword `{k}`"),
+            ErrorKind::UnknownField(k) => write!(f, "unknown field `{k}`"),
+            ErrorKind::BadNumber(s) => write!(f, "invalid number `{s}`"),
+            ErrorKind::EmptyScanList => write!(f, "`scan` lists no chain lengths"),
+            ErrorKind::ScanOnFlexcore => {
+                write!(f, "`scan` is not valid on a flexcore")
+            }
+            ErrorKind::CellsOnHardCore => {
+                write!(f, "`cells`/`maxchains` are only valid on a flexcore")
+            }
+            ErrorKind::InvalidCore(e) => write!(f, "invalid core: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseSocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::ScanArchitecture;
+
+    #[test]
+    fn parses_minimal_soc() {
+        let soc = parse_soc("soc mini\ncore a inputs 3 outputs 1 patterns 2\n").unwrap();
+        assert_eq!(soc.name(), "mini");
+        assert_eq!(soc.core_count(), 1);
+        assert!(soc.cores()[0].scan().is_combinational());
+    }
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let text = "\n# header\nsoc s # trailing\n\ncore a inputs 1 patterns 1 # note\n";
+        assert_eq!(parse_soc(text).unwrap().core_count(), 1);
+    }
+
+    #[test]
+    fn parses_fixed_scan_chains() {
+        let soc =
+            parse_soc("soc s\ncore a inputs 2 patterns 1 scan 10 20 30\n").unwrap();
+        match soc.cores()[0].scan() {
+            ScanArchitecture::Fixed { chain_lengths } => {
+                assert_eq!(chain_lengths, &vec![10, 20, 30]);
+            }
+            other => panic!("unexpected scan architecture {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_flexcore() {
+        let soc = parse_soc(
+            "soc s\nflexcore f inputs 9 outputs 9 patterns 5 density 0.02 cells 1000 maxchains 64\n",
+        )
+        .unwrap();
+        let c = &soc.cores()[0];
+        assert_eq!(c.scan_cells(), 1000);
+        assert_eq!(c.nominal_care_density(), 0.02);
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse_soc("soc s\nbogus x\n").unwrap_err();
+        assert_eq!(e.line(), 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_structural_errors() {
+        assert!(parse_soc("core a inputs 1 patterns 1\n").is_err());
+        assert!(parse_soc("soc a\nsoc b\n").is_err());
+        assert!(parse_soc("soc a\ncore x inputs 1 patterns 1 scan\n").is_err());
+        assert!(parse_soc("soc a\ncore x inputs 1 patterns 1 cells 5\n").is_err());
+        assert!(parse_soc("soc a\nflexcore x inputs 1 patterns 1 cells 5\n").is_err());
+        assert!(parse_soc("soc a\ncore x inputs nope patterns 1\n").is_err());
+        assert!(parse_soc("soc a\ncore x inputs 1 patterns\n").is_err());
+        assert!(parse_soc("soc a\ncore x inputs 1 patterns 0\n").is_err());
+        assert!(parse_soc("").is_err());
+    }
+
+    #[test]
+    fn roundtrip_preserves_design() {
+        let text = "soc rt\n\
+                    core a inputs 3 outputs 1 bidirs 2 patterns 2 density 0.5 scan 7 9\n\
+                    core b inputs 1 outputs 1 patterns 4 density 0.6\n\
+                    flexcore f inputs 2 outputs 2 patterns 3 density 0.03 cells 500 maxchains 32\n";
+        let soc = parse_soc(text).unwrap();
+        let soc2 = parse_soc(&write_soc(&soc)).unwrap();
+        assert_eq!(soc, soc2);
+    }
+}

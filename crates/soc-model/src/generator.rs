@@ -1,0 +1,270 @@
+//! Synthetic test-cube generation.
+//!
+//! Industrial test cubes are proprietary, so the benchmark designs ship
+//! with a seeded generator that reproduces their published *statistics*:
+//! care-bit density (1–5% for modern industrial cores, ~44–66% for the
+//! ISCAS'89-based academic benchmarks), clustering of care bits in
+//! consecutive scan cells, and the tendency of late (top-off) patterns to be
+//! sparser than early ones. The selective-encoding cost surface — and hence
+//! every experiment in this repository — depends only on these statistics.
+
+use crate::core::Core;
+use crate::pattern::TestSet;
+use crate::rng::SplitMix64;
+use crate::soc::Soc;
+use crate::trit::{Trit, TritVec};
+
+/// Configuration for synthesizing test cubes with controlled statistics.
+///
+/// # Examples
+///
+/// ```
+/// use soc_model::{Core, CubeSynthesis};
+///
+/// let core = Core::builder("c").inputs(64).pattern_count(20).build()?;
+/// let cubes = CubeSynthesis::new(0.3).synthesize(&core, 1);
+/// assert_eq!(cubes.pattern_count(), 20);
+/// let d = cubes.care_density();
+/// assert!(d > 0.15 && d < 0.45, "density {d}");
+/// # Ok::<(), soc_model::BuildCoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubeSynthesis {
+    care_density: f64,
+    density_decay: f64,
+    one_fraction: f64,
+    cluster: usize,
+}
+
+impl CubeSynthesis {
+    /// Creates a generator targeting the given overall care-bit density,
+    /// with no decay, unbiased values, and care-bit runs of expected
+    /// length 2 (mild clustering, typical of ATPG cubes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `care_density` is outside `[0, 1]`.
+    pub fn new(care_density: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&care_density),
+            "care density {care_density} outside [0, 1]"
+        );
+        CubeSynthesis {
+            care_density,
+            density_decay: 1.0,
+            one_fraction: 0.5,
+            cluster: 2,
+        }
+    }
+
+    /// Sets a per-pattern multiplicative density decay: pattern `i` gets
+    /// density `care_density · decay^i` (clamped below by `care_density/10`),
+    /// modelling ATPG top-off patterns that target few remaining faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is not in `(0, 1]`.
+    pub fn density_decay(mut self, decay: f64) -> Self {
+        assert!(decay > 0.0 && decay <= 1.0, "decay {decay} outside (0, 1]");
+        self.density_decay = decay;
+        self
+    }
+
+    /// Sets the fraction of care bits that carry value 1 (default 0.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is outside `[0, 1]`.
+    pub fn one_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "one fraction {f} outside [0, 1]");
+        self.one_fraction = f;
+        self
+    }
+
+    /// Sets the expected run length of consecutive care bits (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster == 0`.
+    pub fn cluster(mut self, cluster: usize) -> Self {
+        assert!(cluster > 0, "cluster must be at least 1");
+        self.cluster = cluster;
+        self
+    }
+
+    /// Synthesizes a test set matching `core`'s shape
+    /// (`pattern_count × scan_load_bits`), deterministically from `seed`.
+    pub fn synthesize(&self, core: &Core, seed: u64) -> TestSet {
+        let bits = core.scan_load_bits() as usize;
+        let mut set = TestSet::new(bits);
+        let mut master = SplitMix64::new(seed ^ hash_name(core.name()));
+        let mut density = self.care_density;
+        for _ in 0..core.pattern_count() {
+            let mut rng = master.fork();
+            set.push(self.one_cube(bits, density, &mut rng))
+                .expect("generated cube has the configured length");
+            density = (density * self.density_decay).max(self.care_density / 10.0);
+        }
+        set
+    }
+
+    fn one_cube(&self, bits: usize, density: f64, rng: &mut SplitMix64) -> TritVec {
+        let mut cube = TritVec::all_x(bits);
+        // Care bits arrive in geometric runs of expected length `cluster`.
+        // With continue probability c = 1 − 1/cluster and (re)start
+        // probability q, the stationary care fraction is
+        // q·cluster / (q·cluster + 1 − q); solving for the target density d
+        // gives q = d / (cluster·(1 − d) + d).
+        let density = density.clamp(0.0, 1.0);
+        let continue_p = 1.0 - 1.0 / self.cluster as f64;
+        let q = if density >= 1.0 {
+            1.0
+        } else {
+            density / (self.cluster as f64 * (1.0 - density) + density)
+        };
+        let mut in_run = false;
+        for i in 0..bits {
+            if in_run {
+                in_run = rng.next_bool(continue_p);
+            }
+            if !in_run {
+                in_run = rng.next_bool(q);
+            }
+            if in_run {
+                cube.set(i, Trit::from_bit(rng.next_bool(self.one_fraction)));
+            }
+        }
+        cube
+    }
+}
+
+/// Deterministic FNV-1a hash of a core name, used to decorrelate per-core
+/// streams drawn from one SOC-level seed.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Attaches synthesized cubes to every core of `soc` that does not already
+/// carry an explicit test set, using each core's nominal care density.
+///
+/// The same `(soc, seed)` pair always produces the same cubes.
+pub fn synthesize_missing_test_sets(soc: &mut Soc, seed: u64) {
+    for core in soc.cores_mut() {
+        if core.test_set().is_none() {
+            let cubes = CubeSynthesis::new(core.nominal_care_density())
+                .synthesize(core, seed);
+            core.attach_test_set(cubes)
+                .expect("synthesized cubes match the core shape");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(bits: u32, patterns: u32) -> Core {
+        Core::builder("g")
+            .inputs(bits)
+            .pattern_count(patterns)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn shape_matches_core() {
+        let c = core(100, 7);
+        let ts = CubeSynthesis::new(0.5).synthesize(&c, 9);
+        assert_eq!(ts.pattern_count(), 7);
+        assert_eq!(ts.bits_per_pattern(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = core(50, 5);
+        let a = CubeSynthesis::new(0.3).synthesize(&c, 1);
+        let b = CubeSynthesis::new(0.3).synthesize(&c, 1);
+        let d = CubeSynthesis::new(0.3).synthesize(&c, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn density_is_respected() {
+        let c = core(2000, 20);
+        for target in [0.02, 0.2, 0.6] {
+            let ts = CubeSynthesis::new(target).synthesize(&c, 42);
+            let got = ts.care_density();
+            assert!(
+                (got - target).abs() < target * 0.35 + 0.01,
+                "target {target}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_densities() {
+        let c = core(200, 3);
+        let none = CubeSynthesis::new(0.0).synthesize(&c, 1);
+        assert_eq!(none.total_care_bits(), 0);
+        let full = CubeSynthesis::new(1.0).cluster(1).synthesize(&c, 1);
+        assert_eq!(full.care_density(), 1.0);
+    }
+
+    #[test]
+    fn decay_makes_later_patterns_sparser() {
+        let c = core(4000, 10);
+        let ts = CubeSynthesis::new(0.5)
+            .density_decay(0.7)
+            .synthesize(&c, 3);
+        let first = ts.pattern(0).unwrap().care_density();
+        let last = ts.pattern(9).unwrap().care_density();
+        assert!(first > 2.0 * last, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn one_fraction_biases_values() {
+        let c = core(5000, 4);
+        let ts = CubeSynthesis::new(0.5).one_fraction(0.9).synthesize(&c, 8);
+        let ones = ts.patterns().iter().map(|p| p.count_ones()).sum::<usize>() as f64;
+        let cares = ts.total_care_bits() as f64;
+        assert!(ones / cares > 0.8, "ones fraction {}", ones / cares);
+    }
+
+    #[test]
+    fn per_core_streams_are_decorrelated() {
+        let a = Core::builder("alpha").inputs(64).pattern_count(4).build().unwrap();
+        let b = Core::builder("beta").inputs(64).pattern_count(4).build().unwrap();
+        let ta = CubeSynthesis::new(0.5).synthesize(&a, 77);
+        let tb = CubeSynthesis::new(0.5).synthesize(&b, 77);
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn synthesize_missing_fills_all_cores() {
+        let mut soc = Soc::new(
+            "s",
+            vec![
+                Core::builder("x").inputs(10).pattern_count(3).care_density(0.4).build().unwrap(),
+                Core::builder("y").inputs(20).pattern_count(2).care_density(0.1).build().unwrap(),
+            ],
+        );
+        synthesize_missing_test_sets(&mut soc, 5);
+        assert!(soc.cores().iter().all(|c| c.test_set().is_some()));
+        // Idempotent: a second call leaves attached sets alone.
+        let before = soc.clone();
+        synthesize_missing_test_sets(&mut soc, 6);
+        assert_eq!(soc, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_density_panics() {
+        CubeSynthesis::new(1.5);
+    }
+}

@@ -1,0 +1,557 @@
+//! Reader and writer for the ITC'02 SOC Test Benchmarks format.
+//!
+//! The ITC'02 benchmarking initiative (Marinissen, Iyengar & Chakrabarty,
+//! ITC 2002) distributes SOCs as `.soc` files of `Module` blocks:
+//!
+//! ```text
+//! SocName d695
+//! TotalModules 11
+//!
+//! Module 0
+//!   Level 0
+//!   Inputs 0  Outputs 0  Bidirs 0
+//!   TotalTests 0
+//!
+//! Module 1
+//!   Level 1
+//!   Inputs 32  Outputs 32
+//!   ScanChains 0
+//!   TotalTests 1
+//!   Test 1:
+//!     TotalPatterns 12
+//! ```
+//!
+//! This module accepts that structure (tabs, extra whitespace, `:` after
+//! `Test n`, and `#`/`//` comments are all tolerated) and maps it onto
+//! [`Soc`]: every module with at least one test and at least one pattern
+//! becomes a [`Core`]; `ScanChains n` may be followed by `n` chain lengths
+//! on the same or subsequent tokens. Modules without tests (typically
+//! module 0, the SOC top) are skipped and reported.
+//!
+//! Care-bit density is not part of the ITC'02 format; parsed cores get the
+//! density passed to [`parse_itc02`], which callers pick per design class
+//! (≈ 0.66 for the ISCAS'89-based benchmarks per the paper).
+
+use std::fmt;
+
+use crate::core::{BuildCoreError, Core};
+use crate::soc::Soc;
+
+/// Outcome of parsing an ITC'02 file: the SOC plus the module numbers that
+/// were skipped because they declare no testable content.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Itc02Soc {
+    /// The parsed design.
+    pub soc: Soc,
+    /// Module numbers skipped (no tests / no patterns / no stimulus).
+    pub skipped_modules: Vec<u32>,
+}
+
+/// Parses an ITC'02 `.soc` description.
+///
+/// # Errors
+///
+/// Returns [`ParseItc02Error`] with a line number for malformed files.
+///
+/// # Examples
+///
+/// ```
+/// use soc_model::itc02::parse_itc02;
+///
+/// let text = "\
+/// SocName mini
+/// TotalModules 2
+/// Module 0
+///   Level 0
+///   TotalTests 0
+/// Module 1
+///   Level 1
+///   Inputs 4 Outputs 2
+///   ScanChains 2 : 8 8
+///   TotalTests 1
+///   Test 1:
+///     TotalPatterns 9
+/// ";
+/// let parsed = parse_itc02(text, 0.5)?;
+/// assert_eq!(parsed.soc.core_count(), 1);
+/// assert_eq!(parsed.skipped_modules, vec![0]);
+/// assert_eq!(parsed.soc.cores()[0].scan_cells(), 16);
+/// # Ok::<(), soc_model::itc02::ParseItc02Error>(())
+/// ```
+pub fn parse_itc02(text: &str, care_density: f64) -> Result<Itc02Soc, ParseItc02Error> {
+    let mut tokens = tokenize(text);
+    let mut soc_name: Option<String> = None;
+    let mut total_modules: Option<u32> = None;
+    let mut modules: Vec<ModuleSpec> = Vec::new();
+
+    while let Some(tok) = tokens.next_token() {
+        match tok.text.as_str() {
+            "SocName" => soc_name = Some(tokens.expect_word("SocName")?),
+            "TotalModules" => total_modules = Some(tokens.expect_num("TotalModules")?),
+            "Options" => {
+                // Consume the remainder of the line (generation options).
+                tokens.skip_line(tok.line);
+            }
+            "Module" => {
+                let number = tokens.expect_num("Module")?;
+                modules.push(parse_module(number, &mut tokens)?);
+            }
+            other => {
+                return Err(ParseItc02Error {
+                    line: tok.line,
+                    kind: Itc02ErrorKind::UnexpectedToken(other.to_string()),
+                });
+            }
+        }
+    }
+
+    let name = soc_name.ok_or(ParseItc02Error {
+        line: 1,
+        kind: Itc02ErrorKind::MissingSocName,
+    })?;
+    if let Some(total) = total_modules {
+        if total as usize != modules.len() {
+            return Err(ParseItc02Error {
+                line: 1,
+                kind: Itc02ErrorKind::ModuleCountMismatch {
+                    declared: total,
+                    found: modules.len() as u32,
+                },
+            });
+        }
+    }
+
+    let mut cores = Vec::new();
+    let mut skipped = Vec::new();
+    for m in &modules {
+        match m.to_core(&name, care_density)? {
+            Some(core) => cores.push(core),
+            None => skipped.push(m.number),
+        }
+    }
+    Ok(Itc02Soc {
+        soc: Soc::new(name, cores),
+        skipped_modules: skipped,
+    })
+}
+
+/// Intermediate module description.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ModuleSpec {
+    number: u32,
+    level: Option<u32>,
+    inputs: u32,
+    outputs: u32,
+    bidirs: u32,
+    chains: Vec<u32>,
+    patterns: u32,
+    tests: u32,
+}
+
+impl ModuleSpec {
+    fn to_core(
+        &self,
+        soc_name: &str,
+        density: f64,
+    ) -> Result<Option<Core>, ParseItc02Error> {
+        if self.tests == 0 || self.patterns == 0 {
+            return Ok(None);
+        }
+        let mut b = Core::builder(format!("{soc_name}.m{}", self.number))
+            .inputs(self.inputs)
+            .outputs(self.outputs)
+            .bidirs(self.bidirs)
+            .pattern_count(self.patterns)
+            .care_density(density);
+        if !self.chains.is_empty() {
+            b = b.fixed_chains(self.chains.clone());
+        }
+        match b.build() {
+            Ok(core) => Ok(Some(core)),
+            Err(BuildCoreError::NoStimulus { .. }) => Ok(None),
+            Err(e) => Err(ParseItc02Error {
+                line: 0,
+                kind: Itc02ErrorKind::InvalidModule {
+                    module: self.number,
+                    reason: e.to_string(),
+                },
+            }),
+        }
+    }
+}
+
+fn parse_module(
+    number: u32,
+    tokens: &mut Tokens,
+) -> Result<ModuleSpec, ParseItc02Error> {
+    let mut spec = ModuleSpec {
+        number,
+        ..Default::default()
+    };
+    while let Some(peek) = tokens.peek_token() {
+        match peek.text.as_str() {
+            "Module" | "SocName" | "TotalModules" | "Options" => break,
+            "Level" => {
+                tokens.next_token();
+                spec.level = Some(tokens.expect_num("Level")?);
+            }
+            "Inputs" => {
+                tokens.next_token();
+                spec.inputs = tokens.expect_num("Inputs")?;
+            }
+            "Outputs" => {
+                tokens.next_token();
+                spec.outputs = tokens.expect_num("Outputs")?;
+            }
+            "Bidirs" => {
+                tokens.next_token();
+                spec.bidirs = tokens.expect_num("Bidirs")?;
+            }
+            "ScanChains" => {
+                tokens.next_token();
+                let count: u32 = tokens.expect_num("ScanChains")?;
+                let mut chains = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    chains.push(tokens.expect_num("scan chain length")?);
+                }
+                spec.chains = chains;
+            }
+            "TotalTests" => {
+                tokens.next_token();
+                spec.tests = tokens.expect_num("TotalTests")?;
+            }
+            "Test" => {
+                tokens.next_token();
+                let _test_number: u32 = tokens.expect_num("Test")?;
+            }
+            "TotalPatterns" => {
+                tokens.next_token();
+                // Accumulate over multiple Test blocks.
+                spec.patterns += tokens.expect_num::<u32>("TotalPatterns")?;
+            }
+            // Fields present in the full ITC'02 distribution that do not
+            // affect wrapper/TAM planning; accepted and ignored.
+            "TotalIO" | "ScanUse" | "TamUse" | "MaxTam" | "Power" | "TotalScanCells"
+            | "TotalTamUse" => {
+                tokens.next_token();
+                let _ = tokens.expect_num::<u64>("ignored field")?;
+            }
+            other => {
+                return Err(ParseItc02Error {
+                    line: peek.line,
+                    kind: Itc02ErrorKind::UnexpectedToken(other.to_string()),
+                });
+            }
+        }
+    }
+    Ok(spec)
+}
+
+/// Serializes an SOC into ITC'02-style text. A synthetic `Module 0`
+/// (Level 0, no tests) represents the SOC top, as the benchmark files do.
+///
+/// Flexible (soft) cores cannot be represented in ITC'02 — their cells are
+/// written as a single scan chain, which preserves totals but not
+/// flexibility; round-tripping is exact for hard cores only.
+pub fn write_itc02(soc: &Soc) -> String {
+    use crate::core::ScanArchitecture;
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "SocName {}", soc.name());
+    let _ = writeln!(out, "TotalModules {}", soc.core_count() + 1);
+    let _ = writeln!(out, "\nModule 0\n  Level 0\n  Inputs 0 Outputs 0 Bidirs 0\n  TotalTests 0");
+    for (i, core) in soc.cores().iter().enumerate() {
+        let _ = writeln!(out, "\nModule {}", i + 1);
+        let _ = writeln!(out, "  Level 1");
+        let _ = writeln!(
+            out,
+            "  Inputs {} Outputs {} Bidirs {}",
+            core.inputs(),
+            core.outputs(),
+            core.bidirs()
+        );
+        match core.scan() {
+            ScanArchitecture::Combinational => {
+                let _ = writeln!(out, "  ScanChains 0");
+            }
+            ScanArchitecture::Fixed { chain_lengths } => {
+                let _ = write!(out, "  ScanChains {} :", chain_lengths.len());
+                for l in chain_lengths {
+                    let _ = write!(out, " {l}");
+                }
+                out.push('\n');
+            }
+            ScanArchitecture::Flexible { cells, .. } => {
+                let _ = writeln!(out, "  ScanChains 1 : {cells}");
+            }
+        }
+        let _ = writeln!(out, "  TotalTests 1");
+        let _ = writeln!(out, "  Test 1:");
+        let _ = writeln!(out, "    TotalPatterns {}", core.pattern_count());
+    }
+    out
+}
+
+// --- tokenizer -----------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Token {
+    text: String,
+    line: usize,
+}
+
+#[derive(Debug)]
+struct Tokens {
+    items: Vec<Token>,
+    pos: usize,
+}
+
+fn tokenize(text: &str) -> Tokens {
+    let mut items = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("");
+        let line = line.split("//").next().unwrap_or("");
+        for word in line.split(|c: char| c.is_whitespace() || c == ':') {
+            if !word.is_empty() {
+                items.push(Token {
+                    text: word.to_string(),
+                    line: lineno + 1,
+                });
+            }
+        }
+    }
+    Tokens { items, pos: 0 }
+}
+
+impl Tokens {
+    fn next_token(&mut self) -> Option<Token> {
+        let t = self.items.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_token(&self) -> Option<&Token> {
+        self.items.get(self.pos)
+    }
+
+    fn skip_line(&mut self, line: usize) {
+        while self.peek_token().is_some_and(|t| t.line == line) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_word(&mut self, after: &str) -> Result<String, ParseItc02Error> {
+        match self.next_token() {
+            Some(t) => Ok(t.text),
+            None => Err(ParseItc02Error {
+                line: self.items.last().map_or(0, |t| t.line),
+                kind: Itc02ErrorKind::MissingValue(after.to_string()),
+            }),
+        }
+    }
+
+    fn expect_num<T: std::str::FromStr>(&mut self, after: &str) -> Result<T, ParseItc02Error> {
+        let t = self.next_token().ok_or(ParseItc02Error {
+            line: self.items.last().map_or(0, |t| t.line),
+            kind: Itc02ErrorKind::MissingValue(after.to_string()),
+        })?;
+        t.text.parse().map_err(|_| ParseItc02Error {
+            line: t.line,
+            kind: Itc02ErrorKind::BadNumber {
+                field: after.to_string(),
+                found: t.text,
+            },
+        })
+    }
+}
+
+// --- errors ---------------------------------------------------------------
+
+/// Error produced by [`parse_itc02`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseItc02Error {
+    line: usize,
+    kind: Itc02ErrorKind,
+}
+
+impl ParseItc02Error {
+    /// 1-based line number of the offending content (0 for file-level
+    /// errors).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Itc02ErrorKind {
+    MissingSocName,
+    MissingValue(String),
+    BadNumber { field: String, found: String },
+    UnexpectedToken(String),
+    ModuleCountMismatch { declared: u32, found: u32 },
+    InvalidModule { module: u32, reason: String },
+}
+
+impl fmt::Display for ParseItc02Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
+        match &self.kind {
+            Itc02ErrorKind::MissingSocName => write!(f, "no SocName found"),
+            Itc02ErrorKind::MissingValue(k) => write!(f, "`{k}` has no value"),
+            Itc02ErrorKind::BadNumber { field, found } => {
+                write!(f, "invalid number `{found}` after `{field}`")
+            }
+            Itc02ErrorKind::UnexpectedToken(t) => write!(f, "unexpected token `{t}`"),
+            Itc02ErrorKind::ModuleCountMismatch { declared, found } => write!(
+                f,
+                "TotalModules declares {declared} modules but {found} were found"
+            ),
+            Itc02ErrorKind::InvalidModule { module, reason } => {
+                write!(f, "module {module} is invalid: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseItc02Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# ITC'02-style sample
+SocName demo
+TotalModules 3
+
+Module 0
+  Level 0
+  Inputs 0 Outputs 0 Bidirs 0
+  TotalTests 0
+
+Module 1
+\tLevel 1
+\tInputs 32\tOutputs 32\tBidirs 0
+\tScanChains 0
+\tTotalTests 1
+\tTest 1:
+\t\tTotalPatterns 12
+
+Module 2
+  Level 1
+  Inputs 34 Outputs 1
+  ScanChains 2 : 16 16
+  TotalTests 1
+  Test 1:
+    TotalPatterns 75
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let parsed = parse_itc02(SAMPLE, 0.66).unwrap();
+        assert_eq!(parsed.soc.name(), "demo");
+        assert_eq!(parsed.soc.core_count(), 2);
+        let c1 = &parsed.soc.cores()[0];
+        assert_eq!(c1.name(), "demo.m1");
+        assert_eq!(c1.inputs(), 32);
+        assert_eq!(c1.pattern_count(), 12);
+        assert!(c1.scan().is_combinational());
+        let c2 = &parsed.soc.cores()[1];
+        assert_eq!(c2.scan_cells(), 32);
+        assert_eq!(c2.pattern_count(), 75);
+        assert!((c2.nominal_care_density() - 0.66).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerates_tabs_colons_comments() {
+        let text = "SocName t // inline\nTotalModules 1\nModule 0\nLevel 1\n\
+                    Inputs 2 # c\nTotalTests 1\nTest 1: TotalPatterns 3\n";
+        let parsed = parse_itc02(text, 0.5).unwrap();
+        assert_eq!(parsed.soc.core_count(), 1);
+    }
+
+    #[test]
+    fn multiple_tests_accumulate_patterns() {
+        let text = "SocName t\nModule 5\nLevel 1\nInputs 4\nTotalTests 2\n\
+                    Test 1: TotalPatterns 10\nTest 2: TotalPatterns 5\n";
+        let parsed = parse_itc02(text, 0.5).unwrap();
+        assert_eq!(parsed.soc.cores()[0].pattern_count(), 15);
+    }
+
+    #[test]
+    fn module_count_mismatch_is_an_error() {
+        let text = "SocName t\nTotalModules 5\nModule 0\nLevel 1\nInputs 1\n\
+                    TotalTests 1\nTest 1: TotalPatterns 1\n";
+        let e = parse_itc02(text, 0.5).unwrap_err();
+        assert!(e.to_string().contains("declares 5"));
+    }
+
+    #[test]
+    fn rejects_bad_numbers_with_line_info() {
+        let text = "SocName t\nModule 0\nLevel 1\nInputs nope\n";
+        let e = parse_itc02(text, 0.5).unwrap_err();
+        assert_eq!(e.line(), 4);
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn rejects_unknown_tokens() {
+        let e = parse_itc02("SocName t\nWeird 4\n", 0.5).unwrap_err();
+        assert!(e.to_string().contains("Weird"));
+    }
+
+    #[test]
+    fn missing_socname_is_an_error() {
+        assert!(parse_itc02("TotalModules 0\n", 0.5).is_err());
+    }
+
+    #[test]
+    fn writer_roundtrips_hard_cores() {
+        let soc = crate::benchmarks::d695();
+        let text = write_itc02(&soc);
+        let parsed = parse_itc02(&text, crate::benchmarks::D695_CARE_DENSITY).unwrap();
+        assert_eq!(parsed.soc.core_count(), soc.core_count());
+        for (a, b) in soc.cores().iter().zip(parsed.soc.cores()) {
+            assert_eq!(a.inputs(), b.inputs());
+            assert_eq!(a.outputs(), b.outputs());
+            assert_eq!(a.scan_cells(), b.scan_cells());
+            assert_eq!(a.pattern_count(), b.pattern_count());
+        }
+    }
+
+    #[test]
+    fn ignorable_real_world_fields_are_tolerated() {
+        let text = "SocName t\nModule 1\nLevel 1\nInputs 4\nTotalIO 8\nPower 250\n\
+                    ScanUse 1\nTamUse 1\nTotalTests 1\nTest 1: TotalPatterns 5\n";
+        let parsed = parse_itc02(text, 0.5).unwrap();
+        assert_eq!(parsed.soc.cores()[0].pattern_count(), 5);
+    }
+
+    #[test]
+    fn flexible_cores_serialize_as_single_chains() {
+        let soc = crate::benchmarks::system1();
+        let text = write_itc02(&soc);
+        let parsed = parse_itc02(&text, 0.03).unwrap();
+        assert_eq!(parsed.soc.core_count(), soc.core_count());
+        for (a, b) in soc.cores().iter().zip(parsed.soc.cores()) {
+            // Totals conserved; flexibility is lost by design (documented).
+            assert_eq!(a.scan_cells(), b.scan_cells());
+            assert_eq!(a.pattern_count(), b.pattern_count());
+            assert!(matches!(
+                b.scan(),
+                crate::core::ScanArchitecture::Fixed { chain_lengths } if chain_lengths.len() == 1
+            ));
+        }
+    }
+
+    #[test]
+    fn scan_chain_lengths_must_all_be_present() {
+        let text = "SocName t\nModule 0\nLevel 1\nInputs 1\nScanChains 3 : 5 5\n";
+        assert!(parse_itc02(text, 0.5).is_err());
+    }
+}

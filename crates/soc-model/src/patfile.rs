@@ -1,0 +1,168 @@
+//! Pattern-file reader/writer: a minimal interchange format for test
+//! cubes, so real ATPG output can be attached to cores instead of
+//! synthesized cubes.
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! bits 6
+//! 01XX10
+//! XXX0X1
+//! ```
+//!
+//! One cube per line, `0`/`1`/`X` (or `-`) per scan-load position, in the
+//! canonical cube order (wrapper input cells first, then scan cells in
+//! chain/stitch order — see `wrapper::ChainLayout`).
+
+use std::fmt;
+
+use crate::pattern::TestSet;
+use crate::trit::TritVec;
+
+/// Parses a pattern file into a [`TestSet`].
+///
+/// # Errors
+///
+/// Returns [`ParsePatternsError`] with a 1-based line number on malformed
+/// input.
+///
+/// # Examples
+///
+/// ```
+/// use soc_model::patfile::parse_patterns;
+///
+/// let ts = parse_patterns("bits 4\n01XX\nXX10\n")?;
+/// assert_eq!(ts.pattern_count(), 2);
+/// assert_eq!(ts.bits_per_pattern(), 4);
+/// # Ok::<(), soc_model::patfile::ParsePatternsError>(())
+/// ```
+pub fn parse_patterns(text: &str) -> Result<TestSet, ParsePatternsError> {
+    let mut bits: Option<usize> = None;
+    let mut set: Option<TestSet> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("bits") {
+            if bits.is_some() {
+                return Err(err(idx, "duplicate `bits` line"));
+            }
+            let n: usize = rest
+                .trim()
+                .parse()
+                .map_err(|_| err(idx, "`bits` needs a number"))?;
+            if n == 0 {
+                return Err(err(idx, "`bits` must be positive"));
+            }
+            bits = Some(n);
+            set = Some(TestSet::new(n));
+            continue;
+        }
+        let Some(set) = set.as_mut() else {
+            return Err(err(idx, "cube before the `bits` line"));
+        };
+        let cube: TritVec = line
+            .parse()
+            .map_err(|e| err(idx, &format!("invalid cube: {e}")))?;
+        set.push(cube)
+            .map_err(|e| err(idx, &format!("wrong cube length: {e}")))?;
+    }
+    set.ok_or_else(|| err(0, "no `bits` line found"))
+}
+
+/// Serializes a test set in the pattern-file format.
+///
+/// ```
+/// use soc_model::patfile::{parse_patterns, write_patterns};
+///
+/// let ts = parse_patterns("bits 3\n01X\n")?;
+/// assert_eq!(parse_patterns(&write_patterns(&ts))?, ts);
+/// # Ok::<(), soc_model::patfile::ParsePatternsError>(())
+/// ```
+pub fn write_patterns(set: &TestSet) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(
+        (set.bits_per_pattern() + 1) * set.pattern_count() + 16,
+    );
+    let _ = writeln!(out, "bits {}", set.bits_per_pattern());
+    for cube in set.iter() {
+        let _ = writeln!(out, "{cube}");
+    }
+    out
+}
+
+fn err(idx: usize, message: &str) -> ParsePatternsError {
+    ParsePatternsError {
+        line: idx + 1,
+        message: message.to_string(),
+    }
+}
+
+/// Error produced by [`parse_patterns`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePatternsError {
+    line: usize,
+    message: String,
+}
+
+impl ParsePatternsError {
+    /// 1-based line of the offending content.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParsePatternsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParsePatternsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_dashes() {
+        let ts = parse_patterns("# header\nbits 4 # four\n01-X\n\n# mid\nXX10\n").unwrap();
+        assert_eq!(ts.pattern_count(), 2);
+        assert_eq!(ts.pattern(0).unwrap().to_string(), "01XX");
+    }
+
+    #[test]
+    fn roundtrips_synthesized_sets() {
+        use crate::{Core, CubeSynthesis};
+        let core = Core::builder("c").inputs(50).pattern_count(20).build().unwrap();
+        let ts = CubeSynthesis::new(0.3).synthesize(&core, 7);
+        let reparsed = parse_patterns(&write_patterns(&ts)).unwrap();
+        assert_eq!(reparsed, ts);
+    }
+
+    #[test]
+    fn structural_errors_carry_lines() {
+        assert_eq!(parse_patterns("01X\n").unwrap_err().line(), 1);
+        assert_eq!(parse_patterns("bits 3\n01\n").unwrap_err().line(), 2);
+        assert_eq!(parse_patterns("bits 3\n012\n").unwrap_err().line(), 2);
+        assert_eq!(parse_patterns("bits 3\nbits 4\n").unwrap_err().line(), 2);
+        assert!(parse_patterns("bits 0\n").is_err());
+        assert!(parse_patterns("").is_err());
+        assert!(parse_patterns("bits x\n").is_err());
+    }
+
+    #[test]
+    fn attaches_to_a_matching_core() {
+        use crate::Core;
+        let mut core = Core::builder("c").inputs(4).pattern_count(2).build().unwrap();
+        let ts = parse_patterns("bits 4\n01XX\n1XX0\n").unwrap();
+        core.attach_test_set(ts).unwrap();
+        assert_eq!(core.test_set().unwrap().pattern_count(), 2);
+    }
+
+    #[test]
+    fn empty_set_is_allowed_then_rejected_by_core_shape() {
+        let ts = parse_patterns("bits 4\n").unwrap();
+        assert_eq!(ts.pattern_count(), 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Test sets: collections of equally sized scan-stimulus cubes.
+
+use std::fmt;
+
+use crate::trit::TritVec;
+
+/// An ordered collection of test cubes for one core, all of the same length.
+///
+/// The cube length is the number of *scan-load* positions of the core
+/// (internal scan cells plus wrapper input cells); how the positions are
+/// distributed over wrapper chains is decided later by the wrapper design.
+///
+/// # Examples
+///
+/// ```
+/// use soc_model::{TestSet, TritVec};
+///
+/// let mut ts = TestSet::new(4);
+/// ts.push("01XX".parse()?)?;
+/// ts.push("XX10".parse()?)?;
+/// assert_eq!(ts.pattern_count(), 2);
+/// assert_eq!(ts.volume_bits(), 8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TestSet {
+    bits_per_pattern: usize,
+    patterns: Vec<TritVec>,
+}
+
+impl TestSet {
+    /// Creates an empty test set whose cubes will carry `bits_per_pattern`
+    /// symbols each.
+    pub fn new(bits_per_pattern: usize) -> Self {
+        TestSet {
+            bits_per_pattern,
+            patterns: Vec::new(),
+        }
+    }
+
+    /// Builds a test set from pre-existing cubes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternSizeError`] if any cube's length differs from
+    /// `bits_per_pattern`.
+    pub fn from_patterns(
+        bits_per_pattern: usize,
+        patterns: Vec<TritVec>,
+    ) -> Result<Self, PatternSizeError> {
+        let mut ts = TestSet::new(bits_per_pattern);
+        for p in patterns {
+            ts.push(p)?;
+        }
+        Ok(ts)
+    }
+
+    /// Number of symbols per cube.
+    pub fn bits_per_pattern(&self) -> usize {
+        self.bits_per_pattern
+    }
+
+    /// Number of cubes.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Returns `true` when the set holds no cubes.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Appends a cube.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternSizeError`] when `pattern.len()` differs from
+    /// [`bits_per_pattern`](Self::bits_per_pattern).
+    pub fn push(&mut self, pattern: TritVec) -> Result<(), PatternSizeError> {
+        if pattern.len() != self.bits_per_pattern {
+            return Err(PatternSizeError {
+                expected: self.bits_per_pattern,
+                found: pattern.len(),
+            });
+        }
+        self.patterns.push(pattern);
+        Ok(())
+    }
+
+    /// The cubes, in application order.
+    pub fn patterns(&self) -> &[TritVec] {
+        &self.patterns
+    }
+
+    /// Returns one cube by index, or `None` when out of range.
+    pub fn pattern(&self, idx: usize) -> Option<&TritVec> {
+        self.patterns.get(idx)
+    }
+
+    /// Uncompressed stimulus volume in bits: one stored tester bit per
+    /// symbol, care bit or not (don't-cares still occupy ATE memory when no
+    /// compression is used).
+    pub fn volume_bits(&self) -> u64 {
+        self.patterns.len() as u64 * self.bits_per_pattern as u64
+    }
+
+    /// Total number of care bits over all cubes.
+    pub fn total_care_bits(&self) -> u64 {
+        self.patterns.iter().map(|p| p.count_cares() as u64).sum()
+    }
+
+    /// Overall care-bit density (0.0 for an empty set).
+    pub fn care_density(&self) -> f64 {
+        let vol = self.volume_bits();
+        if vol == 0 {
+            0.0
+        } else {
+            self.total_care_bits() as f64 / vol as f64
+        }
+    }
+
+    /// Iterates over the cubes.
+    pub fn iter(&self) -> std::slice::Iter<'_, TritVec> {
+        self.patterns.iter()
+    }
+
+    /// Returns a copy holding only the first `keep` cubes (all of them
+    /// when `keep` exceeds the count). ATPG orders patterns by fault
+    /// coverage, so truncating the tail loses the least detection.
+    pub fn truncated(&self, keep: usize) -> TestSet {
+        TestSet {
+            bits_per_pattern: self.bits_per_pattern,
+            patterns: self.patterns[..keep.min(self.patterns.len())].to_vec(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TestSet {
+    type Item = &'a TritVec;
+    type IntoIter = std::slice::Iter<'a, TritVec>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.patterns.iter()
+    }
+}
+
+/// Error returned when a cube of the wrong length is added to a [`TestSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternSizeError {
+    expected: usize,
+    found: usize,
+}
+
+impl PatternSizeError {
+    /// The cube length the test set requires.
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+
+    /// The offending cube's length.
+    pub fn found(&self) -> usize {
+        self.found
+    }
+}
+
+impl fmt::Display for PatternSizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "test pattern has {} bits but the test set requires {}",
+            self.found, self.expected
+        )
+    }
+}
+
+impl std::error::Error for PatternSizeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tv(s: &str) -> TritVec {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut ts = TestSet::new(3);
+        ts.push(tv("01X")).unwrap();
+        ts.push(tv("XXX")).unwrap();
+        assert_eq!(ts.pattern_count(), 2);
+        assert_eq!(ts.bits_per_pattern(), 3);
+        assert_eq!(ts.volume_bits(), 6);
+        assert_eq!(ts.total_care_bits(), 2);
+        assert!((ts.care_density() - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(ts.pattern(0), Some(&tv("01X")));
+        assert_eq!(ts.pattern(2), None);
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let mut ts = TestSet::new(3);
+        let err = ts.push(tv("0101")).unwrap_err();
+        assert_eq!(err.expected(), 3);
+        assert_eq!(err.found(), 4);
+        assert!(err.to_string().contains("4 bits"));
+    }
+
+    #[test]
+    fn from_patterns_validates() {
+        assert!(TestSet::from_patterns(2, vec![tv("01"), tv("X1")]).is_ok());
+        assert!(TestSet::from_patterns(2, vec![tv("01"), tv("X")]).is_err());
+    }
+
+    #[test]
+    fn empty_set_statistics() {
+        let ts = TestSet::new(10);
+        assert!(ts.is_empty());
+        assert_eq!(ts.volume_bits(), 0);
+        assert_eq!(ts.care_density(), 0.0);
+    }
+
+    #[test]
+    fn iteration_order_is_application_order() {
+        let ts = TestSet::from_patterns(1, vec![tv("0"), tv("1"), tv("X")]).unwrap();
+        let joined: String = ts.iter().map(|p| p.to_string()).collect();
+        assert_eq!(joined, "01X");
+    }
+}

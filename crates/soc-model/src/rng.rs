@@ -1,0 +1,159 @@
+//! A tiny, version-stable pseudo-random number generator.
+//!
+//! Workload generation must reproduce byte-identical test cubes across
+//! releases so that the experiment tables in `EXPERIMENTS.md` stay
+//! comparable. External generator crates do not guarantee a stable stream
+//! across major versions, so the model crate ships its own SplitMix64
+//! (Steele, Lea & Flood, OOPSLA 2014) — 64-bit state, full period, passes
+//! BigCrush when used as a mixer.
+
+/// Deterministic SplitMix64 stream, seeded explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use soc_model::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, so the distribution is
+    /// exactly uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire 2019: unbiased bounded integers without division in the
+        // common path.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Forks an independent generator, advancing this one by one step.
+    ///
+    /// Useful for giving each core or pattern its own stream so that the
+    /// cubes of core *i* do not depend on how many cubes were drawn for
+    /// cores *0..i*.
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ 0xA5A5_A5A5_5A5A_5A5A)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_first_value() {
+        // Reference value from the SplitMix64 paper's public-domain C code
+        // with seed 0.
+        let mut g = SplitMix64::new(0);
+        assert_eq!(g.next_u64(), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn bounded_values_in_range() {
+        let mut g = SplitMix64::new(99);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..50 {
+                assert!(g.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        SplitMix64::new(1).next_below(0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut g = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut g = SplitMix64::new(11);
+        let hits = (0..10_000).filter(|_| g.next_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut g = SplitMix64::new(5);
+        let mut f1 = g.fork();
+        let mut f2 = g.fork();
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut g = SplitMix64::new(123);
+        let mut buckets = [0usize; 10];
+        for _ in 0..100_000 {
+            buckets[g.next_below(10) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((9_000..11_000).contains(&b), "bucket = {b}");
+        }
+    }
+}

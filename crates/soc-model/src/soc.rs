@@ -1,0 +1,226 @@
+//! System-on-chip: a named collection of embedded cores.
+
+use std::fmt;
+
+use crate::core::Core;
+
+/// Index of a core within its [`Soc`], used throughout the planning crates
+/// to refer to cores without cloning them.
+///
+/// ```
+/// use soc_model::CoreId;
+/// let id = CoreId(3);
+/// assert_eq!(id.0, 3);
+/// assert_eq!(id.to_string(), "core#3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core#{}", self.0)
+    }
+}
+
+/// A core-based system-on-chip under test.
+///
+/// # Examples
+///
+/// ```
+/// use soc_model::{Core, Soc};
+///
+/// let soc = Soc::new(
+///     "demo",
+///     vec![
+///         Core::builder("a").inputs(8).pattern_count(10).build()?,
+///         Core::builder("b").inputs(4).fixed_chains(vec![16]).pattern_count(20).build()?,
+///     ],
+/// );
+/// assert_eq!(soc.core_count(), 2);
+/// assert_eq!(soc.initial_volume_bits(), 10 * 8 + 20 * 20);
+/// # Ok::<(), soc_model::BuildCoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Soc {
+    name: String,
+    cores: Vec<Core>,
+}
+
+impl Soc {
+    /// Creates an SOC from its cores.
+    pub fn new(name: impl Into<String>, cores: Vec<Core>) -> Self {
+        Soc {
+            name: name.into(),
+            cores,
+        }
+    }
+
+    /// The SOC's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of embedded cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Returns `true` when the SOC has no cores.
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// The cores, in declaration order.
+    pub fn cores(&self) -> &[Core] {
+        &self.cores
+    }
+
+    /// Mutable access to the cores (e.g. to attach synthesized test sets).
+    pub fn cores_mut(&mut self) -> &mut [Core] {
+        &mut self.cores
+    }
+
+    /// Returns one core by id, or `None` when out of range.
+    pub fn core(&self, id: CoreId) -> Option<&Core> {
+        self.cores.get(id.0)
+    }
+
+    /// Looks a core up by name.
+    pub fn core_by_name(&self, name: &str) -> Option<(CoreId, &Core)> {
+        self.cores
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.name() == name)
+            .map(|(i, c)| (CoreId(i), c))
+    }
+
+    /// Iterates over `(CoreId, &Core)` pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (CoreId, &Core)> {
+        self.cores.iter().enumerate().map(|(i, c)| (CoreId(i), c))
+    }
+
+    /// Total uncompressed stimulus volume over all cores, in bits.
+    pub fn initial_volume_bits(&self) -> u64 {
+        self.cores.iter().map(Core::initial_volume_bits).sum()
+    }
+
+    /// Total scan cells over all cores.
+    pub fn total_scan_cells(&self) -> u64 {
+        self.cores.iter().map(Core::scan_cells).sum()
+    }
+
+    /// Checks SOC-level consistency: at least one core, unique core names,
+    /// and every attached test set matching its core's shape (the latter is
+    /// enforced at attach time; re-checked here for defence in depth).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores.is_empty() {
+            return Err(format!("SOC {:?} has no cores", self.name));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for core in &self.cores {
+            if !seen.insert(core.name()) {
+                return Err(format!("duplicate core name {:?}", core.name()));
+            }
+            if let Some(ts) = core.test_set() {
+                if ts.bits_per_pattern() as u64 != core.scan_load_bits()
+                    || ts.pattern_count() as u32 != core.pattern_count()
+                {
+                    return Err(format!(
+                        "core {:?} test set shape {}×{} does not match the core",
+                        core.name(),
+                        ts.pattern_count(),
+                        ts.bits_per_pattern()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Soc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} cores, {} scan cells, {} bits stimulus)",
+            self.name,
+            self.core_count(),
+            self.total_scan_cells(),
+            self.initial_volume_bits()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn soc() -> Soc {
+        Soc::new(
+            "t",
+            vec![
+                Core::builder("a").inputs(8).pattern_count(10).build().unwrap(),
+                Core::builder("b")
+                    .inputs(4)
+                    .fixed_chains(vec![16])
+                    .pattern_count(20)
+                    .build()
+                    .unwrap(),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_by_id_and_name() {
+        let s = soc();
+        assert_eq!(s.core(CoreId(0)).unwrap().name(), "a");
+        assert_eq!(s.core(CoreId(2)), None);
+        let (id, c) = s.core_by_name("b").unwrap();
+        assert_eq!(id, CoreId(1));
+        assert_eq!(c.scan_cells(), 16);
+        assert!(s.core_by_name("zz").is_none());
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = soc();
+        assert_eq!(s.core_count(), 2);
+        assert_eq!(s.total_scan_cells(), 16);
+        assert_eq!(s.initial_volume_bits(), 80 + 400);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let s = soc();
+        let ids: Vec<usize> = s.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(s.iter().len(), 2);
+    }
+
+    #[test]
+    fn validation_catches_duplicates_and_emptiness() {
+        assert!(Soc::new("empty", vec![]).validate().is_err());
+        let dup = Soc::new(
+            "dup",
+            vec![
+                Core::builder("x").inputs(1).pattern_count(1).build().unwrap(),
+                Core::builder("x").inputs(2).pattern_count(1).build().unwrap(),
+            ],
+        );
+        let err = dup.validate().unwrap_err();
+        assert!(err.contains("duplicate"));
+        assert!(soc().validate().is_ok());
+    }
+
+    #[test]
+    fn display_mentions_name_and_counts() {
+        let d = soc().to_string();
+        assert!(d.contains('t'));
+        assert!(d.contains("2 cores"));
+    }
+}

@@ -1,0 +1,509 @@
+//! Ternary symbols and packed ternary vectors.
+//!
+//! Scan test *cubes* are partially specified: every stimulus bit is either a
+//! care bit (`0` or `1`) or a don't-care (`X`). [`TritVec`] stores a cube as
+//! two parallel bit-planes (care mask + value mask), packed 64 symbols per
+//! `u64` word per plane, so care-bit statistics reduce to popcounts.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A single ternary symbol of a test cube: `0`, `1`, or don't-care (`X`).
+///
+/// # Examples
+///
+/// ```
+/// use soc_model::Trit;
+///
+/// assert!(Trit::Zero.is_care());
+/// assert!(!Trit::X.is_care());
+/// assert_eq!(Trit::One.value(), Some(true));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Trit {
+    /// A care bit with logic value 0.
+    Zero,
+    /// A care bit with logic value 1.
+    One,
+    /// A don't-care position; any logic value satisfies the cube.
+    #[default]
+    X,
+}
+
+impl Trit {
+    /// Returns `true` when the symbol is a specified (care) bit.
+    pub fn is_care(self) -> bool {
+        !matches!(self, Trit::X)
+    }
+
+    /// Returns the logic value of a care bit, or `None` for `X`.
+    pub fn value(self) -> Option<bool> {
+        match self {
+            Trit::Zero => Some(false),
+            Trit::One => Some(true),
+            Trit::X => None,
+        }
+    }
+
+    /// Builds a care bit from a logic value.
+    ///
+    /// ```
+    /// use soc_model::Trit;
+    /// assert_eq!(Trit::from_bit(true), Trit::One);
+    /// ```
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// Returns `true` when `bit` is an acceptable logic value for this symbol
+    /// (any value satisfies `X`).
+    pub fn accepts(self, bit: bool) -> bool {
+        match self {
+            Trit::Zero => !bit,
+            Trit::One => bit,
+            Trit::X => true,
+        }
+    }
+
+    /// The canonical character for this symbol (`'0'`, `'1'`, `'X'`).
+    pub fn to_char(self) -> char {
+        match self {
+            Trit::Zero => '0',
+            Trit::One => '1',
+            Trit::X => 'X',
+        }
+    }
+}
+
+impl fmt::Display for Trit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl TryFrom<char> for Trit {
+    type Error = ParseTritError;
+
+    fn try_from(c: char) -> Result<Self, Self::Error> {
+        match c {
+            '0' => Ok(Trit::Zero),
+            '1' => Ok(Trit::One),
+            'x' | 'X' | '-' => Ok(Trit::X),
+            other => Err(ParseTritError { found: other }),
+        }
+    }
+}
+
+/// Error returned when a character is not a valid ternary symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseTritError {
+    found: char,
+}
+
+impl fmt::Display for ParseTritError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid ternary symbol {:?}; expected '0', '1', 'X' or '-'",
+            self.found
+        )
+    }
+}
+
+impl std::error::Error for ParseTritError {}
+
+/// A packed vector of ternary symbols (a scan *test cube*).
+///
+/// Internally two bit-planes are stored: `care[i]` says whether position `i`
+/// is specified, and `value[i]` holds its logic value (kept `0` for `X`
+/// positions so that plane-wide popcounts are meaningful).
+///
+/// # Examples
+///
+/// ```
+/// use soc_model::{Trit, TritVec};
+///
+/// let cube: TritVec = "01XX1".parse()?;
+/// assert_eq!(cube.len(), 5);
+/// assert_eq!(cube.get(1), Trit::One);
+/// assert_eq!(cube.count_cares(), 3);
+/// assert!((cube.care_density() - 0.6).abs() < 1e-12);
+/// # Ok::<(), soc_model::ParseTritError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct TritVec {
+    care: Vec<u64>,
+    value: Vec<u64>,
+    len: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+fn words_for(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+impl TritVec {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a vector of `len` don't-care symbols.
+    ///
+    /// ```
+    /// use soc_model::{Trit, TritVec};
+    /// let v = TritVec::all_x(10);
+    /// assert_eq!(v.len(), 10);
+    /// assert_eq!(v.count_cares(), 0);
+    /// ```
+    pub fn all_x(len: usize) -> Self {
+        TritVec {
+            care: vec![0; words_for(len)],
+            value: vec![0; words_for(len)],
+            len,
+        }
+    }
+
+    /// Creates a vector with capacity for `len` symbols (starting empty).
+    pub fn with_capacity(len: usize) -> Self {
+        TritVec {
+            care: Vec::with_capacity(words_for(len)),
+            value: Vec::with_capacity(words_for(len)),
+            len: 0,
+        }
+    }
+
+    /// Number of symbols stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no symbols are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a symbol.
+    pub fn push(&mut self, t: Trit) {
+        let idx = self.len;
+        if idx / WORD_BITS == self.care.len() {
+            self.care.push(0);
+            self.value.push(0);
+        }
+        self.len += 1;
+        self.set(idx, t);
+    }
+
+    /// Returns the symbol at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Trit {
+        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        let (w, b) = (idx / WORD_BITS, idx % WORD_BITS);
+        if (self.care[w] >> b) & 1 == 0 {
+            Trit::X
+        } else if (self.value[w] >> b) & 1 == 1 {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// Overwrites the symbol at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    #[inline]
+    pub fn set(&mut self, idx: usize, t: Trit) {
+        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        let (w, b) = (idx / WORD_BITS, idx % WORD_BITS);
+        let mask = 1u64 << b;
+        match t {
+            Trit::X => {
+                self.care[w] &= !mask;
+                self.value[w] &= !mask;
+            }
+            Trit::Zero => {
+                self.care[w] |= mask;
+                self.value[w] &= !mask;
+            }
+            Trit::One => {
+                self.care[w] |= mask;
+                self.value[w] |= mask;
+            }
+        }
+    }
+
+    /// Number of specified (care) symbols.
+    pub fn count_cares(&self) -> usize {
+        self.care.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of care symbols with value 1.
+    pub fn count_ones(&self) -> usize {
+        self.value.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of care symbols with value 0.
+    pub fn count_zeros(&self) -> usize {
+        self.count_cares() - self.count_ones()
+    }
+
+    /// Fraction of symbols that are care bits (0.0 for an empty vector).
+    pub fn care_density(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_cares() as f64 / self.len as f64
+        }
+    }
+
+    /// Iterates over the symbols.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { vec: self, idx: 0 }
+    }
+
+    /// Returns `true` when the fully specified bit vector `bits` satisfies
+    /// every care bit of this cube. `bits[i]` is the logic value at position
+    /// `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != self.len()`.
+    ///
+    /// ```
+    /// use soc_model::TritVec;
+    /// let cube: TritVec = "1X0".parse()?;
+    /// assert!(cube.is_satisfied_by(&[true, true, false]));
+    /// assert!(!cube.is_satisfied_by(&[false, true, false]));
+    /// # Ok::<(), soc_model::ParseTritError>(())
+    /// ```
+    pub fn is_satisfied_by(&self, bits: &[bool]) -> bool {
+        assert_eq!(bits.len(), self.len, "length mismatch");
+        bits.iter()
+            .enumerate()
+            .all(|(i, &b)| self.get(i).accepts(b))
+    }
+
+    /// Returns `true` when `other` is compatible with `self`: at every
+    /// position where both are care bits the values agree.
+    pub fn is_compatible_with(&self, other: &TritVec) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        self.care
+            .iter()
+            .zip(&other.care)
+            .zip(self.value.iter().zip(&other.value))
+            .all(|((&ca, &cb), (&va, &vb))| {
+                let both = ca & cb;
+                (va ^ vb) & both == 0
+            })
+    }
+}
+
+impl FromStr for TritVec {
+    type Err = ParseTritError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut v = TritVec::with_capacity(s.len());
+        for c in s.chars() {
+            v.push(Trit::try_from(c)?);
+        }
+        Ok(v)
+    }
+}
+
+impl FromIterator<Trit> for TritVec {
+    fn from_iter<I: IntoIterator<Item = Trit>>(iter: I) -> Self {
+        let mut v = TritVec::new();
+        v.extend(iter);
+        v
+    }
+}
+
+impl Extend<Trit> for TritVec {
+    fn extend<I: IntoIterator<Item = Trit>>(&mut self, iter: I) {
+        for t in iter {
+            self.push(t);
+        }
+    }
+}
+
+impl fmt::Display for TritVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in self.iter() {
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a TritVec {
+    type Item = Trit;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the symbols of a [`TritVec`], produced by [`TritVec::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    vec: &'a TritVec,
+    idx: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Trit;
+
+    fn next(&mut self) -> Option<Trit> {
+        if self.idx < self.vec.len() {
+            let t = self.vec.get(self.idx);
+            self.idx += 1;
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vec.len() - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trit_roundtrip_chars() {
+        for (c, t) in [('0', Trit::Zero), ('1', Trit::One), ('X', Trit::X)] {
+            assert_eq!(Trit::try_from(c).unwrap(), t);
+            assert_eq!(t.to_char(), c);
+        }
+        assert_eq!(Trit::try_from('-').unwrap(), Trit::X);
+        assert_eq!(Trit::try_from('x').unwrap(), Trit::X);
+        assert!(Trit::try_from('2').is_err());
+    }
+
+    #[test]
+    fn trit_accepts() {
+        assert!(Trit::X.accepts(true));
+        assert!(Trit::X.accepts(false));
+        assert!(Trit::One.accepts(true));
+        assert!(!Trit::One.accepts(false));
+        assert!(Trit::Zero.accepts(false));
+        assert!(!Trit::Zero.accepts(true));
+    }
+
+    #[test]
+    fn push_get_set() {
+        let mut v = TritVec::new();
+        v.push(Trit::Zero);
+        v.push(Trit::One);
+        v.push(Trit::X);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.get(0), Trit::Zero);
+        assert_eq!(v.get(1), Trit::One);
+        assert_eq!(v.get(2), Trit::X);
+        v.set(0, Trit::One);
+        v.set(1, Trit::X);
+        v.set(2, Trit::Zero);
+        assert_eq!(v.get(0), Trit::One);
+        assert_eq!(v.get(1), Trit::X);
+        assert_eq!(v.get(2), Trit::Zero);
+    }
+
+    #[test]
+    fn spans_word_boundaries() {
+        let mut v = TritVec::all_x(200);
+        for i in (0..200).step_by(3) {
+            v.set(i, Trit::One);
+        }
+        for i in 0..200 {
+            if i % 3 == 0 {
+                assert_eq!(v.get(i), Trit::One, "at {i}");
+            } else {
+                assert_eq!(v.get(i), Trit::X, "at {i}");
+            }
+        }
+        assert_eq!(v.count_ones(), 200usize.div_ceil(3));
+    }
+
+    #[test]
+    fn counts_and_density() {
+        let v: TritVec = "0011XX01".parse().unwrap();
+        assert_eq!(v.count_cares(), 6);
+        assert_eq!(v.count_ones(), 3);
+        assert_eq!(v.count_zeros(), 3);
+        assert!((v.care_density() - 0.75).abs() < 1e-12);
+        assert_eq!(TritVec::new().care_density(), 0.0);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let s = "01XX10X";
+        let v: TritVec = s.parse().unwrap();
+        assert_eq!(v.to_string(), s);
+        assert!("012".parse::<TritVec>().is_err());
+    }
+
+    #[test]
+    fn satisfaction() {
+        let v: TritVec = "1X0X".parse().unwrap();
+        assert!(v.is_satisfied_by(&[true, false, false, true]));
+        assert!(v.is_satisfied_by(&[true, true, false, false]));
+        assert!(!v.is_satisfied_by(&[true, true, true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn satisfaction_length_mismatch_panics() {
+        let v: TritVec = "1X".parse().unwrap();
+        v.is_satisfied_by(&[true]);
+    }
+
+    #[test]
+    fn compatibility() {
+        let a: TritVec = "1X0X".parse().unwrap();
+        let b: TritVec = "110X".parse().unwrap();
+        let c: TritVec = "0X0X".parse().unwrap();
+        assert!(a.is_compatible_with(&b));
+        assert!(b.is_compatible_with(&a));
+        assert!(!a.is_compatible_with(&c));
+        let short: TritVec = "1X".parse().unwrap();
+        assert!(!a.is_compatible_with(&short));
+    }
+
+    #[test]
+    fn iterator_collects() {
+        let v: TritVec = "10X".parse().unwrap();
+        let trits: Vec<Trit> = v.iter().collect();
+        assert_eq!(trits, vec![Trit::One, Trit::Zero, Trit::X]);
+        let rebuilt: TritVec = trits.into_iter().collect();
+        assert_eq!(rebuilt, v);
+        assert_eq!(v.iter().len(), 3);
+    }
+
+    #[test]
+    fn all_x_has_no_cares() {
+        let v = TritVec::all_x(130);
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.count_cares(), 0);
+        assert_eq!(v.count_ones(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the data-model crate: the packed ternary vector is
+//! checked against a naive `Vec<Trit>` model, the cube generator against
+//! its statistical contract, and the text format against roundtripping.
+
+use proptest::prelude::*;
+
+use soc_model::format::{parse_soc, write_soc};
+use soc_model::{Core, CubeSynthesis, ScanArchitecture, Soc, Trit, TritVec};
+
+fn trit() -> impl Strategy<Value = Trit> {
+    prop_oneof![Just(Trit::Zero), Just(Trit::One), Just(Trit::X)]
+}
+
+/// Random edit operations applied to both the packed and the naive vector.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(Trit),
+    Set(usize, Trit),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        trit().prop_map(Op::Push),
+        (any::<usize>(), trit()).prop_map(|(i, t)| Op::Set(i, t)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn tritvec_matches_naive_model(ops in proptest::collection::vec(op(), 0..300)) {
+        let mut packed = TritVec::new();
+        let mut naive: Vec<Trit> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Push(t) => {
+                    packed.push(t);
+                    naive.push(t);
+                }
+                Op::Set(i, t) => {
+                    if !naive.is_empty() {
+                        let i = i % naive.len();
+                        packed.set(i, t);
+                        naive[i] = t;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(packed.len(), naive.len());
+        for (i, &t) in naive.iter().enumerate() {
+            prop_assert_eq!(packed.get(i), t, "index {}", i);
+        }
+        prop_assert_eq!(packed.count_cares(), naive.iter().filter(|t| t.is_care()).count());
+        prop_assert_eq!(
+            packed.count_ones(),
+            naive.iter().filter(|&&t| t == Trit::One).count()
+        );
+        let collected: TritVec = naive.iter().copied().collect();
+        prop_assert_eq!(collected, packed);
+    }
+
+    #[test]
+    fn compatibility_is_symmetric_and_reflexive(
+        a in proptest::collection::vec(trit(), 0..80),
+        b in proptest::collection::vec(trit(), 0..80),
+    ) {
+        let va: TritVec = a.into_iter().collect();
+        let vb: TritVec = b.into_iter().collect();
+        prop_assert!(va.is_compatible_with(&va));
+        prop_assert_eq!(va.is_compatible_with(&vb), vb.is_compatible_with(&va));
+    }
+
+    #[test]
+    fn generated_cube_length_and_determinism(
+        bits in 1u32..500,
+        patterns in 1u32..20,
+        density in 0.0f64..1.0,
+        seed: u64,
+    ) {
+        let core = Core::builder("g")
+            .inputs(bits)
+            .pattern_count(patterns)
+            .build()
+            .unwrap();
+        let a = CubeSynthesis::new(density).synthesize(&core, seed);
+        let b = CubeSynthesis::new(density).synthesize(&core, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.pattern_count(), patterns as usize);
+        prop_assert_eq!(a.bits_per_pattern(), bits as usize);
+    }
+
+    #[test]
+    fn generator_density_tracks_target(density in 0.05f64..0.95) {
+        let core = Core::builder("d")
+            .inputs(4000)
+            .pattern_count(4)
+            .build()
+            .unwrap();
+        let ts = CubeSynthesis::new(density).synthesize(&core, 7);
+        let got = ts.care_density();
+        prop_assert!(
+            (got - density).abs() < 0.12,
+            "target {} got {}", density, got
+        );
+    }
+
+    #[test]
+    fn format_roundtrips_arbitrary_hard_socs(
+        chains in proptest::collection::vec(1u32..60, 1..5),
+        inputs in 0u32..40,
+        outputs in 0u32..40,
+        bidirs in 0u32..10,
+        patterns in 1u32..300,
+    ) {
+        prop_assume!(inputs + bidirs > 0 || !chains.is_empty());
+        let core = Core::builder("c0")
+            .inputs(inputs)
+            .outputs(outputs)
+            .bidirs(bidirs)
+            .scan(ScanArchitecture::Fixed { chain_lengths: chains })
+            .pattern_count(patterns)
+            .care_density(0.5)
+            .build()
+            .unwrap();
+        let soc = Soc::new("rt", vec![core]);
+        let reparsed = parse_soc(&write_soc(&soc)).unwrap();
+        prop_assert_eq!(reparsed, soc);
+    }
+}

@@ -1,0 +1,294 @@
+//! Mutual-exclusion (conflict) constrained scheduling (extension).
+//!
+//! Some tests may not overlap in time even when they sit on different
+//! TAMs: two cores sharing an analog supply, a core's INTEST and the
+//! EXTEST of the interconnect around it, or tests reusing one BIST
+//! controller. This module schedules under an explicit conflict graph —
+//! pairs of cores whose tests must be disjoint in time.
+
+use std::fmt;
+
+use crate::cost::CostModel;
+use crate::greedy::longest_first_order;
+use crate::schedule::{Schedule, ScheduleError, ScheduledTest};
+
+/// A symmetric conflict relation over core indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Conflicts {
+    pairs: Vec<(usize, usize)>,
+}
+
+impl Conflicts {
+    /// No conflicts.
+    pub fn new() -> Self {
+        Conflicts::default()
+    }
+
+    /// Builds the relation from unordered pairs.
+    pub fn from_pairs(pairs: impl Into<Vec<(usize, usize)>>) -> Self {
+        Conflicts {
+            pairs: pairs.into(),
+        }
+    }
+
+    /// Builds the relation from exclusion *groups*: within each group, no
+    /// two tests may overlap (a clique). This models hierarchical access —
+    /// child cores reached through one parent wrapper must be tested
+    /// serially — and shared BIST controllers.
+    pub fn from_groups(groups: &[Vec<usize>]) -> Self {
+        let mut c = Conflicts::new();
+        for group in groups {
+            for (i, &a) in group.iter().enumerate() {
+                for &b in &group[i + 1..] {
+                    c.add(a, b);
+                }
+            }
+        }
+        c
+    }
+
+    /// Adds a conflicting pair.
+    pub fn add(&mut self, a: usize, b: usize) -> &mut Self {
+        self.pairs.push((a, b));
+        self
+    }
+
+    /// The conflicting pairs.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// Returns `true` when cores `a` and `b` may not overlap.
+    pub fn conflicts(&self, a: usize, b: usize) -> bool {
+        self.pairs
+            .iter()
+            .any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+    }
+
+    /// Checks a schedule against the relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first overlapping conflicting pair.
+    pub fn validate(&self, schedule: &Schedule) -> Result<(), ConflictViolation> {
+        let tests = schedule.tests();
+        for (i, a) in tests.iter().enumerate() {
+            for b in &tests[i + 1..] {
+                if self.conflicts(a.core, b.core)
+                    && a.start < b.end()
+                    && b.start < a.end()
+                {
+                    return Err(ConflictViolation {
+                        first: a.core,
+                        second: b.core,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error: two conflicting tests overlap in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConflictViolation {
+    /// One core of the offending pair.
+    pub first: usize,
+    /// The other core.
+    pub second: usize,
+}
+
+impl fmt::Display for ConflictViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conflicting cores {} and {} overlap in time",
+            self.first, self.second
+        )
+    }
+}
+
+impl std::error::Error for ConflictViolation {}
+
+/// Schedules all cores onto `widths`, keeping conflicting tests disjoint
+/// in time: each core is placed at the earliest instant where its TAM is
+/// free *and* no conflicting test overlaps.
+///
+/// # Errors
+///
+/// Same conditions as [`greedy_schedule`](crate::greedy_schedule).
+pub fn conflict_schedule(
+    cost: &CostModel,
+    widths: &[u32],
+    conflicts: &Conflicts,
+) -> Result<Schedule, ScheduleError> {
+    if widths.is_empty() || widths.contains(&0) {
+        return Err(ScheduleError::BadPartition {
+            total_width: widths.iter().sum(),
+            tams: widths.len() as u32,
+        });
+    }
+    let order = longest_first_order(cost, widths);
+    let mut placed: Vec<ScheduledTest> = Vec::with_capacity(order.len());
+    let mut tam_free = vec![0u64; widths.len()];
+
+    for &core in &order {
+        let mut best: Option<ScheduledTest> = None;
+        for (j, &w) in widths.iter().enumerate() {
+            let Some(d) = cost.time(core, w) else {
+                continue;
+            };
+            let start = earliest_conflict_free(&placed, conflicts, core, tam_free[j], d);
+            let cand = ScheduledTest {
+                core,
+                tam: j,
+                start,
+                duration: d,
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| (cand.end(), cand.start) < (b.end(), b.start))
+            {
+                best = Some(cand);
+            }
+        }
+        let Some(test) = best else {
+            return Err(ScheduleError::CoreUnschedulable { core });
+        };
+        tam_free[test.tam] = test.end();
+        placed.push(test);
+    }
+    Ok(Schedule::new(widths.to_vec(), placed))
+}
+
+fn earliest_conflict_free(
+    placed: &[ScheduledTest],
+    conflicts: &Conflicts,
+    core: usize,
+    ready: u64,
+    duration: u64,
+) -> u64 {
+    let blockers: Vec<&ScheduledTest> = placed
+        .iter()
+        .filter(|t| conflicts.conflicts(t.core, core))
+        .collect();
+    let mut candidates: Vec<u64> = blockers.iter().map(|t| t.end()).collect();
+    candidates.push(ready);
+    candidates.sort_unstable();
+    for t in candidates {
+        if t < ready {
+            continue;
+        }
+        let end = t + duration;
+        let clash = blockers.iter().any(|b| b.start < end && t < b.end());
+        if !clash {
+            return t;
+        }
+    }
+    blockers.iter().map(|t| t.end()).max().unwrap_or(ready).max(ready)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_schedule;
+
+    fn cost() -> CostModel {
+        CostModel::from_fn(&["a", "b", "c", "d"], 4, |i, w| {
+            Some(800 * (i as u64 + 1) / u64::from(w))
+        })
+    }
+
+    #[test]
+    fn no_conflicts_behaves_like_greedy_class() {
+        let c = cost();
+        let s = conflict_schedule(&c, &[2, 2], &Conflicts::new()).unwrap();
+        s.validate(&c).unwrap();
+        let g = greedy_schedule(&c, &[2, 2]).unwrap();
+        assert_eq!(s.makespan(), g.makespan());
+    }
+
+    #[test]
+    fn conflicting_pair_never_overlaps() {
+        let c = cost();
+        let conflicts = Conflicts::from_pairs(vec![(2, 3)]);
+        let s = conflict_schedule(&c, &[2, 2], &conflicts).unwrap();
+        s.validate(&c).unwrap();
+        conflicts.validate(&s).unwrap();
+    }
+
+    #[test]
+    fn full_clique_serializes_everything() {
+        let c = cost();
+        let mut conflicts = Conflicts::new();
+        for a in 0..4 {
+            for b in a + 1..4 {
+                conflicts.add(a, b);
+            }
+        }
+        let s = conflict_schedule(&c, &[2, 2], &conflicts).unwrap();
+        conflicts.validate(&s).unwrap();
+        let total: u64 = s.tests().iter().map(|t| t.duration).sum();
+        assert_eq!(s.makespan(), total);
+    }
+
+    #[test]
+    fn conflicts_cost_time_but_never_correctness() {
+        let c = cost();
+        let free = conflict_schedule(&c, &[1, 3], &Conflicts::new())
+            .unwrap()
+            .makespan();
+        let constrained =
+            conflict_schedule(&c, &[1, 3], &Conflicts::from_pairs(vec![(0, 1), (2, 3)]))
+                .unwrap();
+        constrained.validate(&c).unwrap();
+        assert!(constrained.makespan() >= free);
+    }
+
+    #[test]
+    fn groups_expand_to_cliques() {
+        let c = Conflicts::from_groups(&[vec![0, 1, 2], vec![3, 4]]);
+        assert!(c.conflicts(0, 1) && c.conflicts(1, 2) && c.conflicts(0, 2));
+        assert!(c.conflicts(3, 4));
+        assert!(!c.conflicts(2, 3));
+        assert_eq!(c.pairs().len(), 4);
+    }
+
+    #[test]
+    fn hierarchical_groups_serialize_children() {
+        let cost = cost();
+        // Cores 0..2 are children of one parent wrapper.
+        let c = Conflicts::from_groups(&[vec![0, 1, 2]]);
+        let s = conflict_schedule(&cost, &[2, 2], &c).unwrap();
+        c.validate(&s).unwrap();
+        s.validate(&cost).unwrap();
+    }
+
+    #[test]
+    fn validator_catches_overlap() {
+        let conflicts = Conflicts::from_pairs(vec![(0, 1)]);
+        let bad = Schedule::new(
+            vec![1, 1],
+            vec![
+                ScheduledTest { core: 0, tam: 0, start: 0, duration: 100 },
+                ScheduledTest { core: 1, tam: 1, start: 50, duration: 100 },
+            ],
+        );
+        let err = conflicts.validate(&bad).unwrap_err();
+        assert_eq!(err, ConflictViolation { first: 0, second: 1 });
+        assert!(err.to_string().contains("overlap"));
+    }
+
+    #[test]
+    fn back_to_back_conflicting_tests_are_legal() {
+        let conflicts = Conflicts::from_pairs(vec![(0, 1)]);
+        let ok = Schedule::new(
+            vec![1, 1],
+            vec![
+                ScheduledTest { core: 0, tam: 0, start: 0, duration: 100 },
+                ScheduledTest { core: 1, tam: 1, start: 100, duration: 100 },
+            ],
+        );
+        assert!(conflicts.validate(&ok).is_ok());
+    }
+}

@@ -1,0 +1,224 @@
+//! Width-indexed test-time cost models.
+//!
+//! The scheduler is deliberately decoupled from *how* a core's test time at
+//! a given TAM width is obtained (plain wrapper design, per-core
+//! decompressor, LFSR reseeding, …): it consumes a [`CostModel`] — one row
+//! per core, one entry per TAM width — built by the planning crate.
+
+use std::fmt;
+
+/// Per-core, per-width test times. `None` marks an infeasible width (e.g. a
+/// decompressor that cannot operate below its minimum codeword width).
+///
+/// # Examples
+///
+/// ```
+/// use tam::CostModel;
+///
+/// let mut cost = CostModel::new(4);
+/// cost.push_core("a", vec![Some(100), Some(60), Some(40), Some(30)]);
+/// cost.push_core("b", vec![None, Some(80), Some(70), Some(65)]);
+/// assert_eq!(cost.time(0, 3), Some(40));
+/// assert_eq!(cost.time(1, 1), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    max_width: u32,
+    names: Vec<String>,
+    rows: Vec<Vec<Option<u64>>>,
+}
+
+impl CostModel {
+    /// Creates an empty model covering widths `1..=max_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_width == 0`.
+    pub fn new(max_width: u32) -> Self {
+        assert!(max_width > 0, "TAM width budget must be positive");
+        CostModel {
+            max_width,
+            names: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a core with test times `times[w - 1]` for each width `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times.len() != max_width` or every width is infeasible.
+    pub fn push_core(&mut self, name: impl Into<String>, times: Vec<Option<u64>>) {
+        assert_eq!(
+            times.len(),
+            self.max_width as usize,
+            "expected one entry per width 1..={}",
+            self.max_width
+        );
+        assert!(
+            times.iter().any(Option::is_some),
+            "core has no feasible width at all"
+        );
+        self.names.push(name.into());
+        self.rows.push(times);
+    }
+
+    /// Builds a model by evaluating `f(core_index, width)` for every core
+    /// and width.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`push_core`](Self::push_core).
+    pub fn from_fn(
+        names: &[&str],
+        max_width: u32,
+        mut f: impl FnMut(usize, u32) -> Option<u64>,
+    ) -> Self {
+        let mut model = CostModel::new(max_width);
+        for (i, name) in names.iter().enumerate() {
+            let times = (1..=max_width).map(|w| f(i, w)).collect();
+            model.push_core(*name, times);
+        }
+        model
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The widest width the model covers.
+    pub fn max_width(&self) -> u32 {
+        self.max_width
+    }
+
+    /// The name of core `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn name(&self, core: usize) -> &str {
+        &self.names[core]
+    }
+
+    /// Test time of core `core` on a `width`-wire TAM, or `None` when
+    /// infeasible. Widths above `max_width` saturate to `max_width`
+    /// (extra wires can always be left unused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or `width == 0`.
+    pub fn time(&self, core: usize, width: u32) -> Option<u64> {
+        assert!(width > 0, "TAM width must be positive");
+        let w = width.min(self.max_width);
+        self.rows[core][(w - 1) as usize]
+    }
+
+    /// The best (smallest) test time of `core` over all widths.
+    pub fn best_time(&self, core: usize) -> u64 {
+        self.rows[core]
+            .iter()
+            .flatten()
+            .copied()
+            .min()
+            .expect("push_core guarantees a feasible width")
+    }
+
+    /// Lower bound on SOC test time on a `total_width`-wire TAM: the larger
+    /// of (a) the largest single-core best time and (b) total work divided
+    /// by width, where each core's work is `min_w (w · τ(w))` — the least
+    /// wire-cycles it can ever consume.
+    pub fn lower_bound(&self, total_width: u32) -> u64 {
+        let max_single = (0..self.core_count())
+            .map(|i| self.best_time(i))
+            .max()
+            .unwrap_or(0);
+        let total_work: u64 = (0..self.core_count())
+            .map(|i| {
+                (1..=self.max_width)
+                    .filter_map(|w| self.time(i, w).map(|t| t * u64::from(w)))
+                    .min()
+                    .expect("feasible width exists")
+            })
+            .sum();
+        max_single.max(total_work.div_ceil(u64::from(total_width)))
+    }
+}
+
+impl fmt::Display for CostModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cost model ({} cores, widths 1..={}):", self.core_count(), self.max_width)?;
+        for (i, name) in self.names.iter().enumerate() {
+            write!(f, "  {name:>12}:")?;
+            for t in &self.rows[i] {
+                match t {
+                    Some(t) => write!(f, " {t:>9}")?,
+                    None => write!(f, " {:>9}", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        let mut m = CostModel::new(3);
+        m.push_core("a", vec![Some(90), Some(50), Some(40)]);
+        m.push_core("b", vec![None, Some(70), Some(30)]);
+        m
+    }
+
+    #[test]
+    fn lookup_and_saturation() {
+        let m = model();
+        assert_eq!(m.time(0, 1), Some(90));
+        assert_eq!(m.time(1, 1), None);
+        assert_eq!(m.time(0, 99), Some(40), "saturates to max width");
+        assert_eq!(m.best_time(1), 30);
+        assert_eq!(m.name(1), "b");
+    }
+
+    #[test]
+    fn from_fn_builds_rows() {
+        let m = CostModel::from_fn(&["x", "y"], 4, |i, w| Some((i as u64 + 1) * 100 / u64::from(w)));
+        assert_eq!(m.core_count(), 2);
+        assert_eq!(m.time(1, 4), Some(50));
+    }
+
+    #[test]
+    fn lower_bound_respects_both_terms() {
+        let mut m = CostModel::new(2);
+        m.push_core("big", vec![Some(1000), Some(1000)]);
+        m.push_core("small", vec![Some(10), Some(6)]);
+        // Single-core bound dominates.
+        assert!(m.lower_bound(2) >= 1000);
+        // Work bound: big contributes min(1000·1, 2000) = 1000 wire-cycles.
+        let mut flat = CostModel::new(2);
+        flat.push_core("a", vec![Some(100), Some(50)]);
+        flat.push_core("b", vec![Some(100), Some(50)]);
+        assert_eq!(flat.lower_bound(2), 100); // 200 wire-cycles / 2 wires
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per width")]
+    fn wrong_row_length_panics() {
+        CostModel::new(3).push_core("a", vec![Some(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no feasible width")]
+    fn all_infeasible_panics() {
+        CostModel::new(2).push_core("a", vec![None, None]);
+    }
+
+    #[test]
+    fn display_renders_all_cores() {
+        let s = model().to_string();
+        assert!(s.contains("a") && s.contains("b") && s.contains("-"));
+    }
+}

@@ -1,0 +1,121 @@
+//! ASCII Gantt rendering of test schedules (the view in the paper's
+//! Fig. 4).
+
+use crate::cost::CostModel;
+use crate::schedule::Schedule;
+
+/// Renders `schedule` as an ASCII Gantt chart, one row per TAM, `columns`
+/// characters wide.
+///
+/// # Panics
+///
+/// Panics if `columns < 10`.
+///
+/// # Examples
+///
+/// ```
+/// use tam::{greedy_schedule, render_gantt, CostModel};
+///
+/// let mut cost = CostModel::new(2);
+/// cost.push_core("cpu", vec![Some(100), Some(60)]);
+/// cost.push_core("dsp", vec![Some(80), Some(50)]);
+/// let schedule = greedy_schedule(&cost, &[1, 1])?;
+/// let chart = render_gantt(&schedule, &cost, 40);
+/// assert!(chart.contains("TAM 0"));
+/// assert!(chart.contains("cpu"));
+/// # Ok::<(), tam::ScheduleError>(())
+/// ```
+pub fn render_gantt(schedule: &Schedule, cost: &CostModel, columns: usize) -> String {
+    assert!(columns >= 10, "need at least 10 columns");
+    let makespan = schedule.makespan().max(1);
+    let scale = |t: u64| -> usize { (t as u128 * columns as u128 / makespan as u128) as usize };
+
+    let mut out = String::new();
+    for (j, &w) in schedule.tam_widths().iter().enumerate() {
+        let mut row = vec![b'.'; columns];
+        let mut slots: Vec<_> = schedule.tests().iter().filter(|t| t.tam == j).collect();
+        slots.sort_by_key(|t| t.start);
+        for t in &slots {
+            let a = scale(t.start).min(columns - 1);
+            let b = scale(t.end()).clamp(a + 1, columns);
+            let label = cost.name(t.core).as_bytes();
+            for (k, cell) in row[a..b].iter_mut().enumerate() {
+                *cell = if k == 0 {
+                    b'|'
+                } else if k - 1 < label.len() {
+                    label[k - 1]
+                } else {
+                    b'='
+                };
+            }
+        }
+        out.push_str(&format!("TAM {j} (w={w:>2}) "));
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>12} 0{:>width$}\n",
+        "cycles:",
+        makespan,
+        width = columns
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_schedule;
+
+    fn setup() -> (CostModel, Schedule) {
+        let mut cost = CostModel::new(4);
+        cost.push_core("alpha", vec![Some(400), Some(210), Some(150), Some(120)]);
+        cost.push_core("beta", vec![Some(200), Some(105), Some(75), Some(60)]);
+        cost.push_core("gamma", vec![Some(100), Some(55), Some(40), Some(35)]);
+        let s = greedy_schedule(&cost, &[2, 2]).unwrap();
+        (cost, s)
+    }
+
+    #[test]
+    fn renders_one_row_per_tam_plus_axis() {
+        let (cost, s) = setup();
+        let chart = render_gantt(&s, &cost, 60);
+        assert_eq!(chart.lines().count(), 3);
+        assert!(chart.contains("TAM 0"));
+        assert!(chart.contains("TAM 1"));
+        assert!(chart.contains("cycles:"));
+    }
+
+    #[test]
+    fn labels_appear_in_rows() {
+        let (cost, s) = setup();
+        let chart = render_gantt(&s, &cost, 80);
+        assert!(chart.contains("alph"), "chart:\n{chart}");
+    }
+
+    #[test]
+    fn row_length_is_fixed() {
+        let (cost, s) = setup();
+        let chart = render_gantt(&s, &cost, 50);
+        for line in chart.lines().take(2) {
+            assert_eq!(line.len(), "TAM 0 (w= 2) ".len() + 50);
+        }
+    }
+
+    #[test]
+    fn empty_tams_render_as_idle_rows() {
+        let mut cost = CostModel::new(2);
+        cost.push_core("only", vec![Some(10), Some(5)]);
+        let s = crate::greedy::greedy_schedule(&cost, &[1, 1]).unwrap();
+        let chart = render_gantt(&s, &cost, 20);
+        // One TAM hosts the core; the other is all idle dots.
+        assert!(chart.lines().any(|l| l.ends_with(&".".repeat(20))));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10 columns")]
+    fn narrow_chart_panics() {
+        let (cost, s) = setup();
+        render_gantt(&s, &cost, 5);
+    }
+}

@@ -1,0 +1,57 @@
+//! Test access mechanism (TAM) design and SOC test scheduling.
+//!
+//! The top-level test-access wires of an SOC are partitioned into
+//! fixed-width buses; each core is assigned to one bus and the cores on a
+//! bus are tested serially. This crate provides the paper's scheduling
+//! heuristic ([`greedy_schedule`]), the architecture optimizer that chooses
+//! the partition ([`optimize_architecture`]), schedule validation, an ASCII
+//! Gantt view ([`render_gantt`]), and a power-constrained scheduling
+//! extension ([`power_aware_schedule`]).
+//!
+//! Test times come from a [`CostModel`] — one row per core, one column per
+//! TAM width — so the same machinery serves plain wrapper designs,
+//! per-core decompressors, and LFSR-reseeding compression alike.
+//!
+//! # Examples
+//!
+//! ```
+//! use tam::{optimize_architecture, ArchitectureOptions, CostModel};
+//!
+//! // Four cores whose test time scales inversely with width.
+//! let cost = CostModel::from_fn(&["a", "b", "c", "d"], 8, |i, w| {
+//!     Some(10_000 * (i as u64 + 1) / u64::from(w))
+//! });
+//! let arch = optimize_architecture(&cost, 8, &ArchitectureOptions::default())?;
+//! arch.schedule.validate(&cost)?;
+//! assert!(arch.test_time >= cost.lower_bound(8));
+//! # Ok::<(), tam::ScheduleError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anneal;
+mod conflict;
+mod cost;
+mod exhaustive;
+mod gantt;
+mod greedy;
+mod multifreq;
+mod optimize;
+mod power;
+mod precedence;
+mod schedule;
+
+pub use anneal::{anneal_architecture, AnnealOptions};
+pub use conflict::{conflict_schedule, ConflictViolation, Conflicts};
+pub use cost::CostModel;
+pub use exhaustive::exhaustive_architecture;
+pub use gantt::render_gantt;
+pub use greedy::{greedy_schedule, longest_first_order, schedule_in_order};
+pub use multifreq::{
+    multifreq_schedule, optimize_multifreq, validate_multifreq, FreqTam,
+};
+pub use optimize::{balanced_split, optimize_architecture, Architecture, ArchitectureOptions};
+pub use power::{power_aware_schedule, PowerModel, PowerViolation};
+pub use precedence::{precedence_schedule, Precedence, PrecedenceViolation};
+pub use schedule::{Schedule, ScheduleError, ScheduledTest};

@@ -1,0 +1,352 @@
+//! Multi-frequency TAM design (extension, after Xu & Nicolici — the
+//! paper's reference [12]).
+//!
+//! TAMs need not all run at the ATE base rate: a bus clocked at `f×` the
+//! base frequency shifts `f` bits per ATE cycle, cutting test time for the
+//! cores on it — but each core caps the scan frequency it tolerates
+//! (power, hold-time margins), so fast buses can only host fast cores.
+//! This module schedules onto frequency-annotated TAMs and searches the
+//! width *and* frequency assignment together.
+
+use crate::cost::CostModel;
+use crate::greedy::longest_first_order;
+use crate::optimize::balanced_split;
+use crate::schedule::{Schedule, ScheduleError, ScheduledTest};
+
+/// One frequency-annotated TAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreqTam {
+    /// Bus width in wires.
+    pub width: u32,
+    /// Clock multiplier relative to the ATE base rate (≥ 1).
+    pub freq: u32,
+}
+
+/// Schedules all cores onto frequency-annotated TAMs: a core may only use
+/// a TAM whose multiplier does not exceed the core's cap, and its test
+/// time scales as `ceil(t / freq)` (measured in ATE base cycles).
+///
+/// # Errors
+///
+/// * [`ScheduleError::BadPartition`] — empty TAM list, zero width, or a
+///   zero frequency.
+/// * [`ScheduleError::CoreUnschedulable`] — a core has no compatible TAM.
+///
+/// # Panics
+///
+/// Panics if `core_max_freq.len() != cost.core_count()`.
+pub fn multifreq_schedule(
+    cost: &CostModel,
+    tams: &[FreqTam],
+    core_max_freq: &[u32],
+) -> Result<Schedule, ScheduleError> {
+    assert_eq!(
+        core_max_freq.len(),
+        cost.core_count(),
+        "one frequency cap per core"
+    );
+    if tams.is_empty() || tams.iter().any(|t| t.width == 0 || t.freq == 0) {
+        return Err(ScheduleError::BadPartition {
+            total_width: tams.iter().map(|t| t.width).sum(),
+            tams: tams.len() as u32,
+        });
+    }
+    let widths: Vec<u32> = tams.iter().map(|t| t.width).collect();
+    let order = longest_first_order(cost, &widths);
+    let mut finish = vec![0u64; tams.len()];
+    let mut tests = Vec::with_capacity(order.len());
+    for &core in &order {
+        let mut best: Option<(usize, u64, u64)> = None;
+        let current = finish.iter().copied().max().unwrap_or(0);
+        for (j, tam) in tams.iter().enumerate() {
+            if tam.freq > core_max_freq[core] {
+                continue;
+            }
+            let Some(t) = cost.time(core, tam.width) else {
+                continue;
+            };
+            let d = t.div_ceil(u64::from(tam.freq));
+            let new_finish = finish[j] + d;
+            let new_makespan = current.max(new_finish);
+            if best
+                .as_ref()
+                .is_none_or(|&(_, bf, bm)| (new_makespan, new_finish) < (bm, bf))
+            {
+                best = Some((j, new_finish, new_makespan));
+            }
+        }
+        let Some((tam, new_finish, _)) = best else {
+            return Err(ScheduleError::CoreUnschedulable { core });
+        };
+        tests.push(ScheduledTest {
+            core,
+            tam,
+            start: finish[tam],
+            duration: new_finish - finish[tam],
+        });
+        finish[tam] = new_finish;
+    }
+    Ok(Schedule::new(widths, tests))
+}
+
+/// Validates a multi-frequency schedule: structure, durations
+/// (`ceil(t/f)`), and frequency caps.
+///
+/// # Errors
+///
+/// The first violated invariant, reusing [`ScheduleError`] variants.
+pub fn validate_multifreq(
+    schedule: &Schedule,
+    cost: &CostModel,
+    tams: &[FreqTam],
+    core_max_freq: &[u32],
+) -> Result<(), ScheduleError> {
+    for test in schedule.tests() {
+        let Some(tam) = tams.get(test.tam) else {
+            return Err(ScheduleError::UnknownTam {
+                core: test.core,
+                tam: test.tam,
+            });
+        };
+        if tam.freq > core_max_freq[test.core] {
+            return Err(ScheduleError::InfeasibleWidth {
+                core: test.core,
+                width: tam.width,
+            });
+        }
+        match cost.time(test.core, tam.width) {
+            Some(t) if t.div_ceil(u64::from(tam.freq)) == test.duration => {}
+            Some(t) => {
+                return Err(ScheduleError::WrongDuration {
+                    core: test.core,
+                    expected: t.div_ceil(u64::from(tam.freq)),
+                    found: test.duration,
+                });
+            }
+            None => {
+                return Err(ScheduleError::InfeasibleWidth {
+                    core: test.core,
+                    width: tam.width,
+                });
+            }
+        }
+    }
+    // Reuse the overlap/coverage checks with a duration-agnostic model:
+    // rebuild the per-TAM timeline manually.
+    let mut seen = vec![false; cost.core_count()];
+    for t in schedule.tests() {
+        if seen[t.core] {
+            return Err(ScheduleError::DuplicateCore { core: t.core });
+        }
+        seen[t.core] = true;
+    }
+    if let Some(core) = seen.iter().position(|&s| !s) {
+        return Err(ScheduleError::MissingCore { core });
+    }
+    for tam in 0..tams.len() {
+        let mut slots: Vec<&ScheduledTest> =
+            schedule.tests().iter().filter(|t| t.tam == tam).collect();
+        slots.sort_by_key(|t| t.start);
+        for pair in slots.windows(2) {
+            if pair[0].end() > pair[1].start {
+                return Err(ScheduleError::Overlap {
+                    tam,
+                    first: pair[0].core,
+                    second: pair[1].core,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Searches widths *and* per-TAM frequency multipliers for the best
+/// multi-frequency architecture: every TAM count up to the budget, every
+/// uniform frequency, and (for up to three TAMs) every mixed assignment
+/// from `freq_options`.
+///
+/// # Errors
+///
+/// Propagates the scheduling errors; fails only when no combination can
+/// host every core.
+///
+/// # Panics
+///
+/// Panics if `freq_options` is empty or `core_max_freq.len()` differs from
+/// the core count.
+pub fn optimize_multifreq(
+    cost: &CostModel,
+    total_width: u32,
+    freq_options: &[u32],
+    core_max_freq: &[u32],
+) -> Result<(Vec<FreqTam>, Schedule), ScheduleError> {
+    assert!(!freq_options.is_empty(), "need at least one frequency option");
+    if total_width == 0 {
+        return Err(ScheduleError::BadPartition {
+            total_width,
+            tams: 0,
+        });
+    }
+    let k_max = total_width.min(cost.core_count() as u32).max(1);
+    let mut best: Option<(Vec<FreqTam>, Schedule, u64)> = None;
+    let mut first_err: Option<ScheduleError> = None;
+
+    for k in 1..=k_max {
+        let widths = balanced_split(total_width, k);
+        let combos = freq_combos(freq_options, k as usize);
+        for freqs in combos {
+            let tams: Vec<FreqTam> = widths
+                .iter()
+                .zip(&freqs)
+                .map(|(&width, &freq)| FreqTam { width, freq })
+                .collect();
+            match multifreq_schedule(cost, &tams, core_max_freq) {
+                Ok(s) => {
+                    let m = s.makespan();
+                    if best.as_ref().is_none_or(|&(_, _, bm)| m < bm) {
+                        best = Some((tams, s, m));
+                    }
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+    }
+    match best {
+        Some((tams, s, _)) => Ok((tams, s)),
+        None => Err(first_err.expect("at least one combination attempted")),
+    }
+}
+
+/// All per-TAM frequency assignments for small `k`; uniform assignments
+/// otherwise (keeps the search polynomial).
+fn freq_combos(options: &[u32], k: usize) -> Vec<Vec<u32>> {
+    if k <= 3 {
+        let mut out = vec![Vec::new()];
+        for _ in 0..k {
+            out = out
+                .into_iter()
+                .flat_map(|prefix| {
+                    options.iter().map(move |&f| {
+                        let mut v = prefix.clone();
+                        v.push(f);
+                        v
+                    })
+                })
+                .collect();
+        }
+        out
+    } else {
+        options.iter().map(|&f| vec![f; k]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> CostModel {
+        CostModel::from_fn(&["a", "b", "c", "d"], 8, |i, w| {
+            Some(9_600 * (i as u64 + 1) / u64::from(w))
+        })
+    }
+
+    #[test]
+    fn faster_buses_cut_time() {
+        let c = cost();
+        let caps = vec![4, 4, 4, 4];
+        let slow = multifreq_schedule(&c, &[FreqTam { width: 8, freq: 1 }], &caps).unwrap();
+        let fast = multifreq_schedule(&c, &[FreqTam { width: 8, freq: 4 }], &caps).unwrap();
+        validate_multifreq(&fast, &c, &[FreqTam { width: 8, freq: 4 }], &caps).unwrap();
+        assert!(fast.makespan() * 3 < slow.makespan());
+    }
+
+    #[test]
+    fn capped_cores_avoid_fast_buses() {
+        let c = cost();
+        // Core 3 (the longest) tolerates only 1×.
+        let caps = vec![4, 4, 4, 1];
+        let tams = [FreqTam { width: 4, freq: 4 }, FreqTam { width: 4, freq: 1 }];
+        let s = multifreq_schedule(&c, &tams, &caps).unwrap();
+        validate_multifreq(&s, &c, &tams, &caps).unwrap();
+        let slot = s.tests().iter().find(|t| t.core == 3).unwrap();
+        assert_eq!(slot.tam, 1, "capped core must use the slow bus");
+    }
+
+    #[test]
+    fn all_fast_buses_reject_capped_cores() {
+        let c = cost();
+        let caps = vec![4, 4, 4, 1];
+        let err =
+            multifreq_schedule(&c, &[FreqTam { width: 8, freq: 2 }], &caps).unwrap_err();
+        assert_eq!(err, ScheduleError::CoreUnschedulable { core: 3 });
+    }
+
+    #[test]
+    fn optimizer_mixes_frequencies_when_caps_demand_it() {
+        let c = cost();
+        let caps = vec![4, 4, 4, 1];
+        let (tams, s) = optimize_multifreq(&c, 8, &[1, 2, 4], &caps).unwrap();
+        validate_multifreq(&s, &c, &tams, &caps).unwrap();
+        // A single-frequency plan is limited by the capped core; the mixed
+        // plan must beat uniform 1×.
+        let uniform =
+            multifreq_schedule(&c, &[FreqTam { width: 8, freq: 1 }], &caps).unwrap();
+        assert!(s.makespan() < uniform.makespan());
+        assert!(tams.iter().any(|t| t.freq > 1), "should use a fast bus");
+        assert!(tams.iter().any(|t| t.freq == 1), "capped core needs a slow bus");
+    }
+
+    #[test]
+    fn validator_rejects_cap_violations_and_bad_durations() {
+        let c = cost();
+        let caps = vec![1, 4, 4, 4];
+        let tams = [FreqTam { width: 8, freq: 2 }];
+        let bad = Schedule::new(
+            vec![8],
+            vec![
+                ScheduledTest { core: 0, tam: 0, start: 0, duration: 600 },
+                ScheduledTest { core: 1, tam: 0, start: 600, duration: 1200 },
+                ScheduledTest { core: 2, tam: 0, start: 1800, duration: 1800 },
+                ScheduledTest { core: 3, tam: 0, start: 3600, duration: 2400 },
+            ],
+        );
+        assert!(matches!(
+            validate_multifreq(&bad, &c, &tams, &caps),
+            Err(ScheduleError::InfeasibleWidth { core: 0, .. })
+        ));
+
+        let caps_ok = vec![4, 4, 4, 4];
+        let wrong = Schedule::new(
+            vec![8],
+            vec![
+                ScheduledTest { core: 0, tam: 0, start: 0, duration: 601 },
+                ScheduledTest { core: 1, tam: 0, start: 601, duration: 1200 },
+                ScheduledTest { core: 2, tam: 0, start: 1801, duration: 1800 },
+                ScheduledTest { core: 3, tam: 0, start: 3601, duration: 2400 },
+            ],
+        );
+        assert!(matches!(
+            validate_multifreq(&wrong, &c, &tams, &caps_ok),
+            Err(ScheduleError::WrongDuration { core: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn freq_combos_enumerate_small_and_collapse_large() {
+        assert_eq!(freq_combos(&[1, 2], 2).len(), 4);
+        assert_eq!(freq_combos(&[1, 2, 4], 3).len(), 27);
+        assert_eq!(freq_combos(&[1, 2, 4], 5).len(), 3);
+    }
+
+    #[test]
+    fn durations_use_ceiling_division() {
+        let mut m = CostModel::new(2);
+        m.push_core("odd", vec![Some(7), Some(7)]);
+        let tams = [FreqTam { width: 2, freq: 2 }];
+        let s = multifreq_schedule(&m, &tams, &[2]).unwrap();
+        assert_eq!(s.tests()[0].duration, 4); // ceil(7/2)
+        validate_multifreq(&s, &m, &tams, &[2]).unwrap();
+    }
+}

@@ -1,0 +1,252 @@
+//! Test-architecture design (paper §3, step 3): choosing how many TAMs to
+//! build and how to split the wire budget among them.
+//!
+//! For every TAM count `k`, the optimizer starts from a balanced split of
+//! the budget and then hill-climbs: wires are moved one at a time from
+//! under-utilized TAMs to the bottleneck TAM as long as the schedule
+//! improves (the TR-Architect idea of Goel & Marinissen, adapted to the
+//! lookup-table cost model). The best architecture over all `k` wins.
+
+use crate::cost::CostModel;
+use crate::greedy::greedy_schedule;
+use crate::schedule::{Schedule, ScheduleError};
+
+/// Options for [`optimize_architecture`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchitectureOptions {
+    /// Cap on the number of TAMs explored (default: no cap beyond
+    /// `min(cores, wires)`).
+    pub max_tams: Option<u32>,
+    /// Cap on hill-climbing steps per TAM count (default 64; each step
+    /// reschedules once per donor TAM).
+    pub refine_steps: u32,
+}
+
+impl Default for ArchitectureOptions {
+    fn default() -> Self {
+        ArchitectureOptions {
+            max_tams: None,
+            refine_steps: 64,
+        }
+    }
+}
+
+/// An optimized test architecture: the partition, its schedule, and the
+/// resulting SOC test time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Architecture {
+    /// The winning schedule (carries the TAM widths).
+    pub schedule: Schedule,
+    /// SOC test time in clock cycles (the schedule's makespan).
+    pub test_time: u64,
+}
+
+/// Splits `total_width` wires into `k` TAMs and assigns/schedules all cores,
+/// minimizing SOC test time over both the split and the assignment.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::BadPartition`] when `total_width == 0`, and
+/// [`ScheduleError::CoreUnschedulable`] when some core cannot be tested
+/// even on a single TAM of the full budget.
+pub fn optimize_architecture(
+    cost: &CostModel,
+    total_width: u32,
+    opts: &ArchitectureOptions,
+) -> Result<Architecture, ScheduleError> {
+    if total_width == 0 {
+        return Err(ScheduleError::BadPartition {
+            total_width,
+            tams: 0,
+        });
+    }
+    let k_max = total_width
+        .min(cost.core_count() as u32)
+        .min(opts.max_tams.unwrap_or(u32::MAX))
+        .max(1);
+
+    let mut best: Option<Architecture> = None;
+    let mut first_error: Option<ScheduleError> = None;
+    for k in 1..=k_max {
+        match optimize_for_k(cost, total_width, k, opts.refine_steps) {
+            Ok(arch) => {
+                if best.as_ref().is_none_or(|b| arch.test_time < b.test_time) {
+                    best = Some(arch);
+                }
+            }
+            Err(e) => {
+                first_error.get_or_insert(e);
+            }
+        }
+    }
+    match best {
+        Some(b) => Ok(b),
+        None => Err(first_error.expect("at least one k was attempted")),
+    }
+}
+
+fn optimize_for_k(
+    cost: &CostModel,
+    total_width: u32,
+    k: u32,
+    refine_steps: u32,
+) -> Result<Architecture, ScheduleError> {
+    let mut widths = balanced_split(total_width, k);
+    let mut schedule = greedy_schedule(cost, &widths)?;
+    let mut makespan = schedule.makespan();
+
+    for _ in 0..refine_steps {
+        // Move one wire from each possible donor to the bottleneck TAM and
+        // keep the best strictly improving move.
+        let bottleneck = (0..widths.len())
+            .max_by_key(|&j| schedule.tam_finish(j))
+            .expect("k >= 1");
+        let mut improved: Option<(Vec<u32>, Schedule, u64)> = None;
+        for donor in 0..widths.len() {
+            if donor == bottleneck || widths[donor] <= 1 {
+                continue;
+            }
+            let mut candidate = widths.clone();
+            candidate[donor] -= 1;
+            candidate[bottleneck] += 1;
+            let Ok(s) = greedy_schedule(cost, &candidate) else {
+                continue;
+            };
+            let m = s.makespan();
+            if m < makespan && improved.as_ref().is_none_or(|(_, _, bm)| m < *bm) {
+                improved = Some((candidate, s, m));
+            }
+        }
+        match improved {
+            Some((w, s, m)) => {
+                widths = w;
+                schedule = s;
+                makespan = m;
+            }
+            None => break,
+        }
+    }
+    Ok(Architecture {
+        test_time: makespan,
+        schedule,
+    })
+}
+
+/// Splits `total` wires into `k` TAMs whose widths differ by at most one.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > total`.
+pub fn balanced_split(total: u32, k: u32) -> Vec<u32> {
+    assert!(k > 0 && k <= total, "cannot split {total} wires into {k} TAMs");
+    let base = total / k;
+    let extra = total % k;
+    (0..k)
+        .map(|i| if i < extra { base + 1 } else { base })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> CostModel {
+        CostModel::from_fn(
+            &["a", "b", "c", "d", "e", "f"],
+            16,
+            |i, w| {
+                let work = 20_000 * (i as u64 + 1);
+                Some(work / u64::from(w) + 50)
+            },
+        )
+    }
+
+    #[test]
+    fn finds_valid_architecture() {
+        let c = cost();
+        let arch = optimize_architecture(&c, 12, &ArchitectureOptions::default()).unwrap();
+        arch.schedule.validate(&c).unwrap();
+        assert_eq!(arch.test_time, arch.schedule.makespan());
+        assert_eq!(arch.schedule.total_width(), 12);
+    }
+
+    #[test]
+    fn beats_or_matches_single_tam() {
+        let c = cost();
+        let single = greedy_schedule(&c, &[12]).unwrap().makespan();
+        let arch = optimize_architecture(&c, 12, &ArchitectureOptions::default()).unwrap();
+        assert!(arch.test_time <= single);
+    }
+
+    #[test]
+    fn wider_budget_never_hurts() {
+        let c = cost();
+        let opts = ArchitectureOptions::default();
+        let t16 = optimize_architecture(&c, 16, &opts).unwrap().test_time;
+        let t8 = optimize_architecture(&c, 8, &opts).unwrap().test_time;
+        assert!(t16 <= t8, "16 wires: {t16}, 8 wires: {t8}");
+    }
+
+    #[test]
+    fn close_to_lower_bound_on_divisible_work() {
+        let c = cost();
+        let arch = optimize_architecture(&c, 16, &ArchitectureOptions::default()).unwrap();
+        let lb = c.lower_bound(16);
+        assert!(
+            arch.test_time <= lb * 2,
+            "test time {} vs lower bound {lb}",
+            arch.test_time
+        );
+    }
+
+    #[test]
+    fn respects_max_tams() {
+        let c = cost();
+        let arch = optimize_architecture(
+            &c,
+            12,
+            &ArchitectureOptions {
+                max_tams: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(arch.schedule.tam_widths().len() <= 2);
+    }
+
+    #[test]
+    fn zero_budget_is_an_error() {
+        assert!(matches!(
+            optimize_architecture(&cost(), 0, &ArchitectureOptions::default()),
+            Err(ScheduleError::BadPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn infeasible_core_propagates() {
+        let mut m = CostModel::new(8);
+        m.push_core("wide-only", vec![None, None, None, None, None, None, None, Some(5)]);
+        m.push_core("easy", vec![Some(10); 8]);
+        // Budget 8: k = 1 hosts both; must succeed.
+        let arch = optimize_architecture(&m, 8, &ArchitectureOptions::default()).unwrap();
+        arch.schedule.validate(&m).unwrap();
+        // Budget 4: no TAM can ever reach width 8.
+        assert!(matches!(
+            optimize_architecture(&m, 4, &ArchitectureOptions::default()),
+            Err(ScheduleError::CoreUnschedulable { core: 0 })
+        ));
+    }
+
+    #[test]
+    fn balanced_split_properties() {
+        assert_eq!(balanced_split(12, 3), vec![4, 4, 4]);
+        assert_eq!(balanced_split(13, 3), vec![5, 4, 4]);
+        assert_eq!(balanced_split(5, 5), vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn balanced_split_rejects_excess_tams() {
+        balanced_split(3, 4);
+    }
+}

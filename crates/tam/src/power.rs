@@ -1,0 +1,299 @@
+//! Power-constrained test scheduling (extension).
+//!
+//! Scan testing dissipates far more power than functional operation, so
+//! SOCs often cap the set of cores that may be tested concurrently. This
+//! module extends the paper's scheduler with a peak-power budget (in the
+//! spirit of the Larsson-group follow-on work on power-constrained SOC test
+//! scheduling): tests are still serial per TAM, but a test's start may be
+//! delayed until enough power headroom exists across the whole SOC.
+
+use crate::cost::CostModel;
+use crate::greedy::longest_first_order;
+use crate::schedule::{Schedule, ScheduleError, ScheduledTest};
+
+/// Per-core test power figures and the SOC-wide budget (arbitrary units —
+/// only ratios matter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerModel {
+    per_core: Vec<u64>,
+    budget: u64,
+}
+
+impl PowerModel {
+    /// Creates a power model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any single core exceeds the budget (it could never be
+    /// scheduled) or the budget is zero.
+    pub fn new(per_core: Vec<u64>, budget: u64) -> Self {
+        assert!(budget > 0, "power budget must be positive");
+        assert!(
+            per_core.iter().all(|&p| p <= budget),
+            "a core exceeds the power budget on its own"
+        );
+        PowerModel { per_core, budget }
+    }
+
+    /// Test power of core `core`.
+    pub fn power(&self, core: usize) -> u64 {
+        self.per_core[core]
+    }
+
+    /// The SOC-wide peak-power budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Peak concurrent power of `schedule` under this model.
+    pub fn peak_power(&self, schedule: &Schedule) -> u64 {
+        let mut events: Vec<(u64, i64)> = Vec::new();
+        for t in schedule.tests() {
+            let p = self.per_core[t.core] as i64;
+            events.push((t.start, p));
+            events.push((t.end(), -p));
+        }
+        // Ends before starts at the same instant: a test ending at t frees
+        // its power for a test starting at t.
+        events.sort_by_key(|&(t, delta)| (t, delta));
+        let mut current = 0i64;
+        let mut peak = 0i64;
+        for (_, delta) in events {
+            current += delta;
+            peak = peak.max(current);
+        }
+        peak as u64
+    }
+
+    /// Checks that `schedule` never exceeds the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerViolation`] with the peak found.
+    pub fn validate(&self, schedule: &Schedule) -> Result<(), PowerViolation> {
+        let peak = self.peak_power(schedule);
+        if peak > self.budget {
+            Err(PowerViolation {
+                peak,
+                budget: self.budget,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Error: a schedule's peak power exceeds the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerViolation {
+    /// Peak concurrent power found.
+    pub peak: u64,
+    /// The allowed budget.
+    pub budget: u64,
+}
+
+impl std::fmt::Display for PowerViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "peak test power {} exceeds the budget {}",
+            self.peak, self.budget
+        )
+    }
+}
+
+impl std::error::Error for PowerViolation {}
+
+/// Schedules all cores onto `widths` like
+/// [`greedy_schedule`](crate::greedy_schedule), but delays test starts as
+/// needed so concurrent power never exceeds `power.budget()`.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::CoreUnschedulable`] / `BadPartition` as the
+/// unconstrained scheduler does.
+pub fn power_aware_schedule(
+    cost: &CostModel,
+    widths: &[u32],
+    power: &PowerModel,
+) -> Result<Schedule, ScheduleError> {
+    if widths.is_empty() || widths.contains(&0) {
+        return Err(ScheduleError::BadPartition {
+            total_width: widths.iter().sum(),
+            tams: widths.len() as u32,
+        });
+    }
+    let order = longest_first_order(cost, widths);
+    let mut placed: Vec<ScheduledTest> = Vec::with_capacity(order.len());
+    let mut tam_free = vec![0u64; widths.len()];
+
+    for &core in &order {
+        let p = power.power(core);
+        let mut best: Option<ScheduledTest> = None;
+        for (j, &w) in widths.iter().enumerate() {
+            let Some(d) = cost.time(core, w) else {
+                continue;
+            };
+            let start = earliest_power_feasible(&placed, power, tam_free[j], d, p);
+            let cand = ScheduledTest {
+                core,
+                tam: j,
+                start,
+                duration: d,
+            };
+            if best.as_ref().is_none_or(|b| {
+                (cand.end(), cand.start) < (b.end(), b.start)
+            }) {
+                best = Some(cand);
+            }
+        }
+        let Some(test) = best else {
+            return Err(ScheduleError::CoreUnschedulable { core });
+        };
+        tam_free[test.tam] = test.end();
+        placed.push(test);
+    }
+    Ok(Schedule::new(widths.to_vec(), placed))
+}
+
+/// Earliest start `t ≥ ready` such that adding a test of power `p` for
+/// `duration` cycles keeps total power within budget.
+fn earliest_power_feasible(
+    placed: &[ScheduledTest],
+    power: &PowerModel,
+    ready: u64,
+    duration: u64,
+    p: u64,
+) -> u64 {
+    // Candidate starts: the TAM-ready time and every end of an already
+    // placed test after it (power only decreases at test ends).
+    let mut candidates: Vec<u64> = placed
+        .iter()
+        .map(ScheduledTest::end)
+        .filter(|&e| e > ready)
+        .collect();
+    candidates.push(ready);
+    candidates.sort_unstable();
+    candidates.dedup();
+    for t in candidates {
+        if fits(placed, power, t, duration, p) {
+            return t;
+        }
+    }
+    // After the last end everything is idle; a lone core always fits.
+    placed.iter().map(ScheduledTest::end).max().unwrap_or(ready).max(ready)
+}
+
+fn fits(placed: &[ScheduledTest], power: &PowerModel, start: u64, duration: u64, p: u64) -> bool {
+    let end = start + duration;
+    // Power is piecewise constant; check at `start` and at every test start
+    // inside the window.
+    let mut checkpoints = vec![start];
+    for t in placed {
+        if t.start > start && t.start < end {
+            checkpoints.push(t.start);
+        }
+    }
+    checkpoints.iter().all(|&at| {
+        let concurrent: u64 = placed
+            .iter()
+            .filter(|t| t.start <= at && t.end() > at)
+            .map(|t| power.power(t.core))
+            .sum();
+        concurrent + p <= power.budget()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_schedule;
+
+    fn cost() -> CostModel {
+        CostModel::from_fn(&["a", "b", "c", "d"], 4, |i, w| {
+            Some(1000 * (4 - i as u64) / u64::from(w))
+        })
+    }
+
+    #[test]
+    fn generous_budget_matches_unconstrained() {
+        let c = cost();
+        let power = PowerModel::new(vec![10, 10, 10, 10], 1000);
+        let s = power_aware_schedule(&c, &[2, 2], &power).unwrap();
+        s.validate(&c).unwrap();
+        power.validate(&s).unwrap();
+        let unconstrained = greedy_schedule(&c, &[2, 2]).unwrap();
+        assert_eq!(s.makespan(), unconstrained.makespan());
+    }
+
+    #[test]
+    fn tight_budget_serializes() {
+        let c = cost();
+        // Each core uses 60 of 100: no two can ever overlap.
+        let power = PowerModel::new(vec![60, 60, 60, 60], 100);
+        let s = power_aware_schedule(&c, &[2, 2], &power).unwrap();
+        s.validate(&c).unwrap();
+        power.validate(&s).unwrap();
+        assert_eq!(power.peak_power(&s), 60);
+        // Makespan equals the sum of all durations (full serialization).
+        let total: u64 = s.tests().iter().map(|t| t.duration).sum();
+        assert_eq!(s.makespan(), total);
+    }
+
+    #[test]
+    fn moderate_budget_allows_pairs() {
+        let c = cost();
+        let power = PowerModel::new(vec![50, 50, 50, 50], 100);
+        let s = power_aware_schedule(&c, &[2, 2], &power).unwrap();
+        power.validate(&s).unwrap();
+        assert!(power.peak_power(&s) <= 100);
+        // Two at a time is allowed, so better than full serialization.
+        let total: u64 = s.tests().iter().map(|t| t.duration).sum();
+        assert!(s.makespan() < total);
+    }
+
+    #[test]
+    fn power_constrained_never_faster() {
+        let c = cost();
+        let free = greedy_schedule(&c, &[1, 3]).unwrap().makespan();
+        let power = PowerModel::new(vec![40, 40, 40, 40], 90);
+        let s = power_aware_schedule(&c, &[1, 3], &power).unwrap();
+        assert!(s.makespan() >= free);
+    }
+
+    #[test]
+    fn peak_power_handles_back_to_back_tests() {
+        // A test ending exactly when another starts must not double-count.
+        let power = PowerModel::new(vec![70, 70], 100);
+        let s = Schedule::new(
+            vec![1, 1],
+            vec![
+                ScheduledTest { core: 0, tam: 0, start: 0, duration: 50 },
+                ScheduledTest { core: 1, tam: 1, start: 50, duration: 50 },
+            ],
+        );
+        assert_eq!(power.peak_power(&s), 70);
+        power.validate(&s).unwrap();
+    }
+
+    #[test]
+    fn violation_detected_and_displayed() {
+        let power = PowerModel::new(vec![70, 70], 100);
+        let s = Schedule::new(
+            vec![1, 1],
+            vec![
+                ScheduledTest { core: 0, tam: 0, start: 0, duration: 50 },
+                ScheduledTest { core: 1, tam: 1, start: 25, duration: 50 },
+            ],
+        );
+        let err = power.validate(&s).unwrap_err();
+        assert_eq!(err.peak, 140);
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the power budget")]
+    fn oversized_core_rejected_at_construction() {
+        PowerModel::new(vec![120], 100);
+    }
+}

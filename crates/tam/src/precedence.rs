@@ -1,0 +1,282 @@
+//! Precedence-constrained test scheduling (extension).
+//!
+//! Real SOC test programs often impose an order between tests: a memory
+//! must pass BIST before the logic around it is scan-tested, interconnect
+//! tests follow both endpoints' core tests, etc. This module extends the
+//! paper's scheduler with a precedence DAG: a core's test may not start
+//! before all of its predecessors' tests have finished (across TAMs).
+
+use std::fmt;
+
+use crate::cost::CostModel;
+use crate::schedule::{Schedule, ScheduleError, ScheduledTest};
+
+/// A precedence DAG over core indices: `(before, after)` pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Precedence {
+    edges: Vec<(usize, usize)>,
+}
+
+impl Precedence {
+    /// An empty relation (no constraints).
+    pub fn new() -> Self {
+        Precedence::default()
+    }
+
+    /// Builds the relation from `(before, after)` pairs.
+    pub fn from_edges(edges: impl Into<Vec<(usize, usize)>>) -> Self {
+        Precedence {
+            edges: edges.into(),
+        }
+    }
+
+    /// Adds the constraint that `before` must finish before `after`
+    /// starts.
+    pub fn add(&mut self, before: usize, after: usize) -> &mut Self {
+        self.edges.push((before, after));
+        self
+    }
+
+    /// The constraint pairs.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Topologically sorts `n` cores under this relation, breaking ties by
+    /// the given priority (lower rank = earlier). Returns `None` when the
+    /// relation has a cycle.
+    fn topo_order(&self, n: usize, priority: &[usize]) -> Option<Vec<usize>> {
+        let mut indegree = vec![0usize; n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            if a >= n || b >= n {
+                return None;
+            }
+            indegree[b] += 1;
+            succs[a].push(b);
+        }
+        // rank[i] = position of core i in the priority list.
+        let mut rank = vec![0usize; n];
+        for (pos, &core) in priority.iter().enumerate() {
+            rank[core] = pos;
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while !ready.is_empty() {
+            // Pick the ready core with the best priority.
+            let (idx, _) = ready
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &c)| rank[c])
+                .expect("ready nonempty");
+            let core = ready.swap_remove(idx);
+            order.push(core);
+            for &s in &succs[core] {
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Checks `schedule` against this relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrecedenceViolation`] for the first broken edge.
+    pub fn validate(&self, schedule: &Schedule) -> Result<(), PrecedenceViolation> {
+        let find = |core: usize| schedule.tests().iter().find(|t| t.core == core);
+        for &(a, b) in &self.edges {
+            if let (Some(ta), Some(tb)) = (find(a), find(b)) {
+                if ta.end() > tb.start {
+                    return Err(PrecedenceViolation { before: a, after: b });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error: a schedule starts a test before its predecessor finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrecedenceViolation {
+    /// The predecessor core.
+    pub before: usize,
+    /// The dependent core.
+    pub after: usize,
+}
+
+impl fmt::Display for PrecedenceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "core {} starts before its predecessor core {} finishes",
+            self.after, self.before
+        )
+    }
+}
+
+impl std::error::Error for PrecedenceViolation {}
+
+/// Schedules all cores onto `widths` honoring `precedence`: cores are
+/// placed in a topological order (longest-test-first among ready cores);
+/// each goes to the TAM minimizing its finish time, starting no earlier
+/// than its TAM is free *and* all its predecessors have finished.
+///
+/// # Errors
+///
+/// * [`ScheduleError::BadPartition`] — empty partition or a zero width, or
+///   a cyclic/out-of-range precedence relation.
+/// * [`ScheduleError::CoreUnschedulable`] — a core infeasible at every TAM
+///   width.
+pub fn precedence_schedule(
+    cost: &CostModel,
+    widths: &[u32],
+    precedence: &Precedence,
+) -> Result<Schedule, ScheduleError> {
+    if widths.is_empty() || widths.contains(&0) {
+        return Err(ScheduleError::BadPartition {
+            total_width: widths.iter().sum(),
+            tams: widths.len() as u32,
+        });
+    }
+    let n = cost.core_count();
+    let priority = crate::greedy::longest_first_order(cost, widths);
+    let Some(order) = precedence.topo_order(n, &priority) else {
+        return Err(ScheduleError::BadPartition {
+            total_width: widths.iter().sum(),
+            tams: widths.len() as u32,
+        });
+    };
+
+    let mut finish_of = vec![0u64; n];
+    let mut tam_free = vec![0u64; widths.len()];
+    let mut tests: Vec<ScheduledTest> = Vec::with_capacity(n);
+    for &core in &order {
+        let preds_done = precedence
+            .edges()
+            .iter()
+            .filter(|&&(_, b)| b == core)
+            .map(|&(a, _)| finish_of[a])
+            .max()
+            .unwrap_or(0);
+        let mut best: Option<ScheduledTest> = None;
+        for (j, &w) in widths.iter().enumerate() {
+            let Some(d) = cost.time(core, w) else {
+                continue;
+            };
+            let start = tam_free[j].max(preds_done);
+            let cand = ScheduledTest {
+                core,
+                tam: j,
+                start,
+                duration: d,
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| (cand.end(), cand.start) < (b.end(), b.start))
+            {
+                best = Some(cand);
+            }
+        }
+        let Some(test) = best else {
+            return Err(ScheduleError::CoreUnschedulable { core });
+        };
+        finish_of[core] = test.end();
+        tam_free[test.tam] = test.end();
+        tests.push(test);
+    }
+    Ok(Schedule::new(widths.to_vec(), tests))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> CostModel {
+        CostModel::from_fn(&["a", "b", "c", "d"], 4, |i, w| {
+            Some(600 * (i as u64 + 1) / u64::from(w))
+        })
+    }
+
+    #[test]
+    fn no_constraints_matches_greedy_quality_class() {
+        let c = cost();
+        let s = precedence_schedule(&c, &[2, 2], &Precedence::new()).unwrap();
+        s.validate(&c).unwrap();
+        // All cores placed back-to-back without precedence gaps.
+        assert!(s.makespan() > 0);
+    }
+
+    #[test]
+    fn chain_of_constraints_serializes() {
+        let c = cost();
+        // d → c → b → a: a full chain forces total serialization.
+        let p = Precedence::from_edges(vec![(3, 2), (2, 1), (1, 0)]);
+        let s = precedence_schedule(&c, &[2, 2], &p).unwrap();
+        s.validate(&c).unwrap();
+        p.validate(&s).unwrap();
+        let total: u64 = s.tests().iter().map(|t| t.duration).sum();
+        assert_eq!(s.makespan(), total);
+    }
+
+    #[test]
+    fn partial_order_allows_parallelism() {
+        let c = cost();
+        let p = Precedence::from_edges(vec![(0, 1)]); // only a before b
+        let s = precedence_schedule(&c, &[2, 2], &p).unwrap();
+        p.validate(&s).unwrap();
+        let total: u64 = s.tests().iter().map(|t| t.duration).sum();
+        assert!(s.makespan() < total, "c and d should overlap something");
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let c = cost();
+        let p = Precedence::from_edges(vec![(0, 1), (1, 2), (2, 0)]);
+        assert!(matches!(
+            precedence_schedule(&c, &[4], &p),
+            Err(ScheduleError::BadPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_edges_rejected() {
+        let c = cost();
+        let p = Precedence::from_edges(vec![(0, 9)]);
+        assert!(precedence_schedule(&c, &[4], &p).is_err());
+    }
+
+    #[test]
+    fn validator_catches_violations() {
+        let p = Precedence::from_edges(vec![(0, 1)]);
+        let bad = Schedule::new(
+            vec![1, 1],
+            vec![
+                ScheduledTest { core: 0, tam: 0, start: 0, duration: 100 },
+                ScheduledTest { core: 1, tam: 1, start: 50, duration: 100 },
+            ],
+        );
+        let err = p.validate(&bad).unwrap_err();
+        assert_eq!(err, PrecedenceViolation { before: 0, after: 1 });
+        assert!(err.to_string().contains("before"));
+    }
+
+    #[test]
+    fn precedence_never_beats_unconstrained() {
+        let c = cost();
+        let free = precedence_schedule(&c, &[2, 2], &Precedence::new())
+            .unwrap()
+            .makespan();
+        let chained = precedence_schedule(
+            &c,
+            &[2, 2],
+            &Precedence::from_edges(vec![(0, 1), (1, 2)]),
+        )
+        .unwrap()
+        .makespan();
+        assert!(chained >= free);
+    }
+}

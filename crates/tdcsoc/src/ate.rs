@@ -1,0 +1,129 @@
+//! Automatic test equipment (ATE) accounting.
+//!
+//! A plan is only executable if the tester has enough channels and enough
+//! vector memory behind each channel. The paper's motivation is precisely
+//! that test data volume is outgrowing tester memory; this module turns a
+//! [`Plan`](crate::Plan) into the tester resources it demands.
+
+use std::fmt;
+
+use crate::planner::Plan;
+
+/// A tester's relevant capacities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AteSpec {
+    /// Digital channels available for test data.
+    pub channels: u32,
+    /// Vector memory depth behind each channel, in vectors (bits).
+    pub memory_depth: u64,
+    /// Tester clock in Hz (used only to convert cycles to seconds).
+    pub clock_hz: u64,
+}
+
+impl AteSpec {
+    /// A small characterization-class tester: 32 channels, 64 Mvector
+    /// depth, 50 MHz.
+    pub fn small() -> Self {
+        AteSpec {
+            channels: 32,
+            memory_depth: 64 << 20,
+            clock_hz: 50_000_000,
+        }
+    }
+
+    /// How `plan` maps onto this tester.
+    pub fn fit(&self, plan: &Plan) -> AteFit {
+        // Every scheduled cycle occupies one vector on every driven
+        // channel, so the required depth is the SOC test time.
+        let required_depth = plan.test_time;
+        AteFit {
+            required_channels: plan.ate_channels,
+            required_depth,
+            fits: plan.ate_channels <= self.channels && required_depth <= self.memory_depth,
+            test_seconds: plan.test_time as f64 / self.clock_hz as f64,
+        }
+    }
+}
+
+/// Result of fitting a plan onto an [`AteSpec`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AteFit {
+    /// Channels the plan drives.
+    pub required_channels: u32,
+    /// Vector depth required behind each channel.
+    pub required_depth: u64,
+    /// Whether the tester accommodates the plan.
+    pub fits: bool,
+    /// Test application time in seconds at the tester clock.
+    pub test_seconds: f64,
+}
+
+impl fmt::Display for AteFit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} channels × {} vectors, {:.3} ms{}",
+            self.required_channels,
+            self.required_depth,
+            self.test_seconds * 1e3,
+            if self.fits { "" } else { " (DOES NOT FIT)" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{PlanRequest, Planner};
+    use soc_model::benchmarks::Design;
+
+    #[test]
+    fn fit_reports_channels_and_depth() {
+        let soc = Design::D695.build_with_cubes(3);
+        let plan = Planner::no_tdc()
+            .plan(&soc, &PlanRequest::tam_width(16))
+            .unwrap();
+        let fit = AteSpec::small().fit(&plan);
+        assert_eq!(fit.required_channels, 16);
+        assert_eq!(fit.required_depth, plan.test_time);
+        assert!(fit.fits);
+        assert!(fit.test_seconds > 0.0);
+    }
+
+    #[test]
+    fn seconds_scale_with_clock() {
+        let soc = Design::D695.build_with_cubes(3);
+        let plan = Planner::no_tdc()
+            .plan(&soc, &PlanRequest::tam_width(16))
+            .unwrap();
+        let slow = AteSpec { channels: 32, memory_depth: 1 << 30, clock_hz: 10_000_000 };
+        let fast = AteSpec { channels: 32, memory_depth: 1 << 30, clock_hz: 100_000_000 };
+        let a = slow.fit(&plan).test_seconds;
+        let b = fast.fit(&plan).test_seconds;
+        assert!((a / b - 10.0).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn small_tester_profile_is_sane() {
+        let t = AteSpec::small();
+        assert!(t.channels >= 16);
+        assert!(t.memory_depth > 1 << 20);
+        assert!(t.clock_hz > 1_000_000);
+    }
+
+    #[test]
+    fn undersized_tester_is_flagged() {
+        let soc = Design::D695.build_with_cubes(3);
+        let plan = Planner::no_tdc()
+            .plan(&soc, &PlanRequest::tam_width(16))
+            .unwrap();
+        let tiny = AteSpec {
+            channels: 8,
+            memory_depth: 1 << 10,
+            clock_hz: 1_000_000,
+        };
+        let fit = tiny.fit(&plan);
+        assert!(!fit.fits);
+        assert!(fit.to_string().contains("DOES NOT FIT"));
+    }
+}

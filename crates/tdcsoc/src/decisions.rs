@@ -1,0 +1,576 @@
+//! Per-core operating-point decisions for each compression style.
+//!
+//! For every candidate TAM width `w`, a *decision* fixes how the core would
+//! be tested on a `w`-wire TAM — with which decompressor geometry `(w', m)`
+//! if any — together with the resulting test time and tester data volume.
+//! The tables feed the TAM scheduler (as a [`tam::CostModel`]) and are
+//! consulted again after scheduling to report each core's chosen setting.
+
+use fdr::compress_fdr;
+use lfsr::{compress_reseeding, ReseedOptions};
+use selenc::{evaluate_clamped, CoreProfile, ProfileConfig, SliceCode};
+use soc_model::Core;
+use wrapper::best_design_up_to;
+
+/// How test data reaches the cores (the paper's Fig. 4 alternatives plus
+/// the comparison baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressionMode {
+    /// No compression: wrapper chains driven straight from TAM wires
+    /// (Fig. 4(a)).
+    None,
+    /// One selective-encoding decompressor per core, with per-core
+    /// optimized `(w, m)` and automatic bypass when raw access is faster —
+    /// the paper's proposal (Fig. 4(c)).
+    PerCore,
+    /// One shared selective-encoding decompressor per TAM (Fig. 4(b),
+    /// ≈ comparator \[18\]): every core on the TAM sees the same expansion
+    /// geometry, pinned to the widest feasible `m` (no per-core search).
+    PerTam,
+    /// Per-core decompressors with the input width pinned
+    /// (≈ comparator \[11\], which only operates at `w = 4`).
+    FixedWidth(u32),
+    /// LFSR reseeding with per-pattern seeds (≈ comparator \[13\]).
+    Reseeding,
+    /// Frequency-directed run-length coding with one serial decompressor
+    /// per TAM wire (≈ the compression-driven TAM design of \[10\]).
+    Fdr,
+    /// Per-core compression-technique selection: every core independently
+    /// picks the fastest of {raw, selective encoding, FDR} at each width
+    /// (the authors' ATS 2008 follow-up direction).
+    Select,
+}
+
+impl CompressionMode {
+    /// Short label used in reports.
+    pub fn label(self) -> String {
+        match self {
+            CompressionMode::None => "no-TDC".into(),
+            CompressionMode::PerCore => "TDC/core".into(),
+            CompressionMode::PerTam => "TDC/TAM".into(),
+            CompressionMode::FixedWidth(w) => format!("TDC w={w}"),
+            CompressionMode::Reseeding => "reseeding".into(),
+            CompressionMode::Fdr => "FDR".into(),
+            CompressionMode::Select => "select".into(),
+        }
+    }
+}
+
+/// The compression technique a decision settles on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Technique {
+    /// Raw wrapper access, no decompressor.
+    #[default]
+    Raw,
+    /// Selective encoding (the paper's scheme).
+    SelectiveEncoding,
+    /// LFSR reseeding.
+    Reseeding,
+    /// Frequency-directed run-length coding.
+    Fdr,
+}
+
+impl Technique {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technique::Raw => "raw",
+            Technique::SelectiveEncoding => "selenc",
+            Technique::Reseeding => "reseed",
+            Technique::Fdr => "fdr",
+        }
+    }
+}
+
+/// One core's operating point on a TAM of a given width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Test time in clock cycles.
+    pub test_time: u64,
+    /// Tester data volume in bits (stimuli only, as in the paper).
+    pub volume_bits: u64,
+    /// Decompressor geometry `(w, m)`, or `None` for raw wrapper access.
+    pub decompressor: Option<(u32, u32)>,
+    /// Seed register length when LFSR reseeding is used.
+    pub lfsr_len: Option<u32>,
+    /// The technique this decision uses.
+    pub technique: Technique,
+}
+
+/// Decision table of one core: `table[w - 1]` is the operating point on a
+/// `w`-wire TAM (`None` when the core cannot be tested at that width under
+/// the chosen mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionTable {
+    name: String,
+    table: Vec<Option<Decision>>,
+}
+
+/// Tuning knobs shared by all decision builders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionConfig {
+    /// Evaluate at most this many evenly spaced patterns per operating
+    /// point (`None` = exact).
+    pub pattern_sample: Option<usize>,
+    /// Chain counts tried per width class when searching for the best `m`.
+    pub m_candidates: usize,
+}
+
+impl Default for DecisionConfig {
+    fn default() -> Self {
+        DecisionConfig {
+            pattern_sample: Some(24),
+            m_candidates: 24,
+        }
+    }
+}
+
+impl DecisionConfig {
+    /// Exact evaluation (full test set, every chain count) — use on small
+    /// benchmarks only.
+    pub fn exact() -> Self {
+        DecisionConfig {
+            pattern_sample: None,
+            m_candidates: usize::MAX,
+        }
+    }
+}
+
+impl DecisionTable {
+    /// Builds the table of `core` for `mode`, covering widths
+    /// `1..=max_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core has no attached test set (modes with
+    /// compression), or `max_width == 0`.
+    pub fn build(
+        core: &Core,
+        mode: CompressionMode,
+        max_width: u32,
+        config: &DecisionConfig,
+    ) -> Self {
+        assert!(max_width > 0, "width budget must be positive");
+        let raw = raw_decisions(core, max_width);
+        let table: Vec<Option<Decision>> = match mode {
+            CompressionMode::None => raw.into_iter().map(Some).collect(),
+            CompressionMode::PerCore => {
+                let profile = build_profile(core, max_width, config);
+                (1..=max_width)
+                    .map(|w| {
+                        let bypass = raw[(w - 1) as usize];
+                        let tdc = profile.best_at_most(w).map(|e| Decision {
+                            test_time: e.test_time,
+                            volume_bits: e.volume_bits,
+                            decompressor: Some((e.tam_width, e.chains)),
+                            lfsr_len: None,
+                            technique: Technique::SelectiveEncoding,
+                        });
+                        Some(match tdc {
+                            Some(t) if t.test_time < bypass.test_time => t,
+                            _ => bypass,
+                        })
+                    })
+                    .collect()
+            }
+            CompressionMode::PerTam => (1..=max_width)
+                .map(|w| Some(per_tam_decision(core, w, config)))
+                .collect(),
+            CompressionMode::FixedWidth(wf) => {
+                let profile = build_profile(core, wf, config);
+                let entry = profile.entry_at(wf).map(|e| Decision {
+                    test_time: e.test_time,
+                    volume_bits: e.volume_bits,
+                    decompressor: Some((e.tam_width, e.chains)),
+                    lfsr_len: None,
+                    technique: Technique::SelectiveEncoding,
+                });
+                (1..=max_width)
+                    .map(|w| if w >= wf { entry } else { None })
+                    .collect()
+            }
+            CompressionMode::Reseeding => (1..=max_width)
+                .map(|w| reseed_decision(core, w, config))
+                .collect(),
+            CompressionMode::Fdr => {
+                // Running minimum: wires may be left unused.
+                let mut best: Option<Decision> = None;
+                (1..=max_width)
+                    .map(|w| {
+                        let r = compress_fdr(core, w, config.pattern_sample);
+                        let d = Decision {
+                            test_time: r.test_time,
+                            volume_bits: r.volume_bits,
+                            decompressor: None,
+                            lfsr_len: None,
+                            technique: Technique::Fdr,
+                        };
+                        if best.is_none_or(|b| d.test_time < b.test_time) {
+                            best = Some(d);
+                        }
+                        best
+                    })
+                    .collect()
+            }
+            CompressionMode::Select => {
+                let selenc_table =
+                    DecisionTable::build(core, CompressionMode::PerCore, max_width, config);
+                let fdr_table =
+                    DecisionTable::build(core, CompressionMode::Fdr, max_width, config);
+                (1..=max_width)
+                    .map(|w| {
+                        [selenc_table.decision(w), fdr_table.decision(w)]
+                            .into_iter()
+                            .flatten()
+                            .min_by_key(|d| d.test_time)
+                    })
+                    .collect()
+            }
+        };
+        DecisionTable {
+            name: core.name().to_string(),
+            table,
+        }
+    }
+
+    /// Assembles a table from precomputed decisions (used by the planner's
+    /// internal-width variant of the shared-decompressor mode).
+    pub(crate) fn from_parts(name: String, table: Vec<Option<Decision>>) -> Self {
+        DecisionTable { name, table }
+    }
+
+    /// The core's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of widths covered.
+    pub fn max_width(&self) -> u32 {
+        self.table.len() as u32
+    }
+
+    /// The decision on a `w`-wire TAM (widths above the table saturate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0`.
+    pub fn decision(&self, w: u32) -> Option<Decision> {
+        assert!(w > 0, "TAM width must be positive");
+        let w = w.min(self.table.len() as u32);
+        self.table[(w - 1) as usize]
+    }
+
+    /// Test times only, in the shape [`tam::CostModel`] expects.
+    pub fn time_row(&self) -> Vec<Option<u64>> {
+        self.table
+            .iter()
+            .map(|d| d.map(|d| d.test_time))
+            .collect()
+    }
+}
+
+/// Raw (uncompressed) decision per width: the best wrapper with at most
+/// `w` chains.
+fn raw_decisions(core: &Core, max_width: u32) -> Vec<Decision> {
+    (1..=max_width)
+        .map(|w| {
+            let (design, time) = best_design_up_to(core, w);
+            let stored = u64::from(core.pattern_count())
+                * design.scan_in_length()
+                * u64::from(design.chain_count());
+            Decision {
+                test_time: time,
+                volume_bits: stored,
+                decompressor: None,
+                lfsr_len: None,
+                technique: Technique::Raw,
+            }
+        })
+        .collect()
+}
+
+fn build_profile(core: &Core, max_width: u32, config: &DecisionConfig) -> CoreProfile {
+    let mut cfg = ProfileConfig::new(max_width);
+    if let Some(s) = config.pattern_sample {
+        cfg = cfg.pattern_sample(s);
+    }
+    if config.m_candidates != usize::MAX {
+        cfg = cfg.m_candidates(config.m_candidates.max(2));
+    }
+    CoreProfile::build(core, &cfg)
+}
+
+/// Shared-decompressor decision: the TAM's decompressor expands its `w`
+/// wires to the *widest* `m` of the width class (no per-core search — the
+/// very policy Fig. 2 shows to be suboptimal); smaller cores use a subset
+/// of the outputs.
+fn per_tam_decision(core: &Core, w: u32, config: &DecisionConfig) -> Decision {
+    if w < SliceCode::MIN_TAM_WIDTH {
+        // A degenerate TAM too narrow for any slice code falls back to raw
+        // wrapper access.
+        return raw_decisions(core, w)[(w - 1) as usize];
+    }
+    let m_max = *SliceCode::feasible_chains(w).end();
+    let m = m_max.min(core.max_wrapper_chains());
+    let c = evaluate_clamped(core, m, config.pattern_sample);
+    Decision {
+        test_time: c.test_time,
+        // The stream still arrives on the TAM's w wires.
+        volume_bits: c.codewords * u64::from(w),
+        decompressor: Some((w, c.code.chains())),
+        lfsr_len: None,
+        technique: Technique::SelectiveEncoding,
+    }
+}
+
+fn reseed_decision(core: &Core, w: u32, config: &DecisionConfig) -> Option<Decision> {
+    let opts = ReseedOptions {
+        pattern_sample: config.pattern_sample,
+        ..Default::default()
+    };
+    let max_chains = core.max_wrapper_chains();
+    let mut best: Option<Decision> = None;
+    let mut candidates: Vec<u32> = [w, 2 * w, 4 * w, 8 * w, 16 * w]
+        .into_iter()
+        .map(|m| m.clamp(1, max_chains))
+        .collect();
+    candidates.dedup();
+    for m in candidates {
+        if let Ok(r) = compress_reseeding(core, m, w, &opts) {
+            let d = Decision {
+                test_time: r.test_time,
+                volume_bits: r.volume_bits,
+                decompressor: Some((w, r.chains)),
+                lfsr_len: Some(r.lfsr_len as u32),
+                technique: Technique::Reseeding,
+            };
+            if best.is_none_or(|b| d.test_time < b.test_time) {
+                best = Some(d);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_model::CubeSynthesis;
+
+    fn prepared(density: f64) -> Core {
+        let mut core = Core::builder("d")
+            .inputs(16)
+            .outputs(16)
+            .flexible_cells(800, 256)
+            .pattern_count(10)
+            .care_density(density)
+            .build()
+            .unwrap();
+        let ts = CubeSynthesis::new(density).synthesize(&core, 33);
+        core.attach_test_set(ts).unwrap();
+        core
+    }
+
+    #[test]
+    fn no_tdc_table_is_monotone() {
+        let core = prepared(0.3);
+        let t = DecisionTable::build(&core, CompressionMode::None, 16, &DecisionConfig::exact());
+        let mut prev = u64::MAX;
+        for w in 1..=16 {
+            let d = t.decision(w).unwrap();
+            assert!(d.test_time <= prev, "w={w}");
+            assert!(d.decompressor.is_none());
+            prev = d.test_time;
+        }
+    }
+
+    #[test]
+    fn per_core_beats_or_matches_no_tdc_everywhere() {
+        let core = prepared(0.05);
+        let cfg = DecisionConfig::default();
+        let none = DecisionTable::build(&core, CompressionMode::None, 12, &cfg);
+        let tdc = DecisionTable::build(&core, CompressionMode::PerCore, 12, &cfg);
+        for w in 1..=12 {
+            let a = tdc.decision(w).unwrap().test_time;
+            let b = none.decision(w).unwrap().test_time;
+            assert!(a <= b, "w={w}: TDC {a} vs raw {b}");
+        }
+    }
+
+    #[test]
+    fn per_core_uses_decompressor_on_sparse_cubes() {
+        let core = prepared(0.02);
+        let t = DecisionTable::build(&core, CompressionMode::PerCore, 10, &DecisionConfig::default());
+        let d = t.decision(10).unwrap();
+        assert!(d.decompressor.is_some(), "sparse cubes must engage TDC");
+        let (w, m) = d.decompressor.unwrap();
+        assert!(w <= 10);
+        assert!(m > w, "expansion means m > w");
+    }
+
+    #[test]
+    fn per_core_bypasses_on_dense_cubes() {
+        let core = prepared(0.9);
+        let t = DecisionTable::build(&core, CompressionMode::PerCore, 8, &DecisionConfig::default());
+        let d = t.decision(8).unwrap();
+        assert!(
+            d.decompressor.is_none(),
+            "nearly fully specified cubes cannot compress"
+        );
+    }
+
+    #[test]
+    fn per_tam_pins_max_m() {
+        let core = prepared(0.05);
+        let cfg = DecisionConfig::default();
+        let t = DecisionTable::build(&core, CompressionMode::PerTam, 10, &cfg);
+        let d = t.decision(10).unwrap();
+        let (w, m) = d.decompressor.unwrap();
+        assert_eq!(w, 10);
+        // Width class of w = 10 tops out at 255; the core caps at 256+32.
+        assert_eq!(m, 255);
+        // Per-core search can only be at least as good.
+        let pc = DecisionTable::build(&core, CompressionMode::PerCore, 10, &cfg);
+        assert!(pc.decision(10).unwrap().test_time <= d.test_time);
+    }
+
+    #[test]
+    fn fixed_width_only_operates_at_or_above_its_width() {
+        let core = prepared(0.05);
+        let t = DecisionTable::build(
+            &core,
+            CompressionMode::FixedWidth(4),
+            8,
+            &DecisionConfig::default(),
+        );
+        assert!(t.decision(3).is_none());
+        let d4 = t.decision(4).unwrap();
+        let d8 = t.decision(8).unwrap();
+        assert_eq!(d4, d8, "fixed-width mode cannot exploit wider TAMs");
+        assert_eq!(d4.decompressor.unwrap().0, 4);
+    }
+
+    #[test]
+    fn reseeding_produces_decisions_with_seed_length() {
+        let core = prepared(0.05);
+        let t = DecisionTable::build(
+            &core,
+            CompressionMode::Reseeding,
+            8,
+            &DecisionConfig { pattern_sample: Some(4), m_candidates: 4 },
+        );
+        let d = t.decision(8).unwrap();
+        assert!(d.lfsr_len.is_some());
+        assert!(d.volume_bits < core.initial_volume_bits());
+    }
+
+    #[test]
+    fn time_row_matches_decisions() {
+        let core = prepared(0.2);
+        let t = DecisionTable::build(&core, CompressionMode::None, 6, &DecisionConfig::exact());
+        let row = t.time_row();
+        assert_eq!(row.len(), 6);
+        assert_eq!(row[3], Some(t.decision(4).unwrap().test_time));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        use std::collections::HashSet;
+        let labels: HashSet<String> = [
+            CompressionMode::None,
+            CompressionMode::PerCore,
+            CompressionMode::PerTam,
+            CompressionMode::FixedWidth(4),
+            CompressionMode::Reseeding,
+            CompressionMode::Fdr,
+            CompressionMode::Select,
+        ]
+        .iter()
+        .map(|m| m.label())
+        .collect();
+        assert_eq!(labels.len(), 7);
+    }
+}
+
+#[cfg(test)]
+mod select_tests {
+    use super::*;
+    use soc_model::CubeSynthesis;
+
+    fn prepared(density: f64) -> Core {
+        let mut core = Core::builder("s")
+            .inputs(12)
+            .outputs(12)
+            .flexible_cells(900, 256)
+            .pattern_count(8)
+            .care_density(density)
+            .build()
+            .unwrap();
+        let ts = CubeSynthesis::new(density).synthesize(&core, 51);
+        core.attach_test_set(ts).unwrap();
+        core
+    }
+
+    fn cfg() -> DecisionConfig {
+        DecisionConfig {
+            pattern_sample: Some(8),
+            m_candidates: 8,
+        }
+    }
+
+    #[test]
+    fn fdr_decisions_are_running_minima() {
+        let core = prepared(0.04);
+        let t = DecisionTable::build(&core, CompressionMode::Fdr, 12, &cfg());
+        let mut prev = u64::MAX;
+        for w in 1..=12 {
+            let d = t.decision(w).unwrap();
+            assert!(d.test_time <= prev, "w={w}");
+            assert_eq!(d.technique, Technique::Fdr);
+            prev = d.test_time;
+        }
+    }
+
+    #[test]
+    fn select_dominates_every_single_technique() {
+        let core = prepared(0.04);
+        let sel = DecisionTable::build(&core, CompressionMode::Select, 12, &cfg());
+        let pc = DecisionTable::build(&core, CompressionMode::PerCore, 12, &cfg());
+        let fdr = DecisionTable::build(&core, CompressionMode::Fdr, 12, &cfg());
+        let none = DecisionTable::build(&core, CompressionMode::None, 12, &cfg());
+        for w in 1..=12 {
+            let s = sel.decision(w).unwrap().test_time;
+            assert!(s <= pc.decision(w).unwrap().test_time, "w={w} vs per-core");
+            assert!(s <= fdr.decision(w).unwrap().test_time, "w={w} vs FDR");
+            assert!(s <= none.decision(w).unwrap().test_time, "w={w} vs raw");
+        }
+    }
+
+    #[test]
+    fn select_records_the_winning_technique() {
+        // Sparse, many-chain core: selective encoding should win at wide
+        // interfaces; at width 3 FDR competes.
+        let core = prepared(0.03);
+        let sel = DecisionTable::build(&core, CompressionMode::Select, 12, &cfg());
+        let winner = sel.decision(12).unwrap();
+        assert_ne!(winner.technique, Technique::Reseeding);
+        // Whatever wins, it must beat raw access on these sparse cubes.
+        let raw = DecisionTable::build(&core, CompressionMode::None, 12, &cfg());
+        assert!(winner.test_time < raw.decision(12).unwrap().test_time);
+    }
+
+    #[test]
+    fn technique_labels_are_distinct() {
+        use std::collections::HashSet;
+        let labels: HashSet<&str> = [
+            Technique::Raw,
+            Technique::SelectiveEncoding,
+            Technique::Reseeding,
+            Technique::Fdr,
+        ]
+        .iter()
+        .map(|t| t.label())
+        .collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

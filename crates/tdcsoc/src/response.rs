@@ -1,0 +1,191 @@
+//! Response-side planning: sizing the optional output compactor of the
+//! paper's Fig. 1.
+//!
+//! The planning core of the paper handles stimuli only ("the handling of
+//! test responses is beyond the scope of this work"), but a deployable
+//! flow still has to *budget* the response side. This module sizes one
+//! MISR per core — wide enough to absorb the core's wrapper chains in
+//! parallel and long enough to meet an aliasing-probability target — and
+//! reports the hardware bill alongside the stimulus plan.
+
+use std::fmt;
+
+use lfsr::Misr;
+use soc_model::Soc;
+use wrapper::{best_design_up_to, design_wrapper};
+
+use crate::planner::Plan;
+
+/// One core's response-compactor configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactorSetting {
+    /// The core's name.
+    pub name: String,
+    /// Parallel inputs (the core's wrapper chain count on the unload
+    /// side).
+    pub inputs: u32,
+    /// MISR register length in cells.
+    pub misr_len: u32,
+    /// Aliasing probability bound `2^-len`.
+    pub aliasing: f64,
+}
+
+/// A response-compaction plan for a whole SOC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponsePlan {
+    /// Per-core compactor settings, in core order.
+    pub compactors: Vec<CompactorSetting>,
+}
+
+impl ResponsePlan {
+    /// Total MISR flip-flops across the SOC.
+    pub fn total_flip_flops(&self) -> u64 {
+        self.compactors.iter().map(|c| u64::from(c.misr_len)).sum()
+    }
+
+    /// The worst per-core aliasing bound.
+    pub fn worst_aliasing(&self) -> f64 {
+        self.compactors
+            .iter()
+            .map(|c| c.aliasing)
+            .fold(0.0, f64::max)
+    }
+
+    /// Builds a ready-to-use [`Misr`] model for core index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn misr_for(&self, i: usize) -> Misr {
+        let c = &self.compactors[i];
+        Misr::new(c.misr_len as usize, c.inputs as usize)
+    }
+}
+
+impl fmt::Display for ResponsePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "response compaction: {} MISRs, {} FFs total, worst aliasing {:.2e}",
+            self.compactors.len(),
+            self.total_flip_flops(),
+            self.worst_aliasing()
+        )?;
+        for c in &self.compactors {
+            writeln!(
+                f,
+                "  {:>12}: MISR-{}×{} (aliasing {:.2e})",
+                c.name, c.misr_len, c.inputs, c.aliasing
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Sizes a MISR per core for `plan`, targeting an aliasing probability of
+/// at most `max_aliasing` per core.
+///
+/// Each MISR must have at least as many cells as the core has wrapper
+/// chains (parallel injection) and at least `ceil(log2(1/max_aliasing))`
+/// cells for the aliasing bound.
+///
+/// # Panics
+///
+/// Panics if `max_aliasing` is not in `(0, 1)`.
+pub fn plan_response_compaction(soc: &Soc, plan: &Plan, max_aliasing: f64) -> ResponsePlan {
+    assert!(
+        max_aliasing > 0.0 && max_aliasing < 1.0,
+        "aliasing target {max_aliasing} outside (0, 1)"
+    );
+    let min_len = (-max_aliasing.log2()).ceil() as u32;
+    let compactors = plan
+        .core_settings
+        .iter()
+        .map(|s| {
+            let core = soc.core(s.core).expect("plan matches the SOC");
+            let chains = match s.decompressor {
+                Some((_, m)) => design_wrapper(core, m).chain_count(),
+                None => best_design_up_to(core, s.tam_width).0.chain_count(),
+            };
+            let misr_len = min_len.max(chains);
+            CompactorSetting {
+                name: s.name.clone(),
+                inputs: chains,
+                misr_len,
+                aliasing: (0.5f64).powi(misr_len as i32),
+            }
+        })
+        .collect();
+    ResponsePlan { compactors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decisions::DecisionConfig;
+    use crate::planner::{PlanRequest, Planner};
+    use soc_model::benchmarks::Design;
+
+    fn setup() -> (Soc, Plan) {
+        let soc = Design::D695.build_with_cubes(4);
+        let plan = Planner::per_core_tdc()
+            .plan(
+                &soc,
+                &PlanRequest::tam_width(16).with_decisions(DecisionConfig {
+                    pattern_sample: Some(8),
+                    m_candidates: 8,
+                }),
+            )
+            .unwrap();
+        (soc, plan)
+    }
+
+    #[test]
+    fn every_core_gets_a_compactor() {
+        let (soc, plan) = setup();
+        let rp = plan_response_compaction(&soc, &plan, 1e-6);
+        assert_eq!(rp.compactors.len(), soc.core_count());
+        for c in &rp.compactors {
+            assert!(c.misr_len >= 20, "1e-6 needs ≥ 20 cells: {c:?}");
+            assert!(c.misr_len >= c.inputs);
+            assert!(c.aliasing <= 1e-6 + f64::EPSILON);
+        }
+        assert!(rp.worst_aliasing() <= 1e-6);
+    }
+
+    #[test]
+    fn misr_models_are_constructible_and_usable() {
+        let (soc, plan) = setup();
+        let rp = plan_response_compaction(&soc, &plan, 1e-4);
+        for i in 0..rp.compactors.len() {
+            let mut misr = rp.misr_for(i);
+            let slice = vec![true; misr.inputs()];
+            misr.absorb(&slice);
+            assert_eq!(misr.cycles(), 1);
+        }
+    }
+
+    #[test]
+    fn tighter_targets_cost_more_hardware() {
+        let (soc, plan) = setup();
+        let loose = plan_response_compaction(&soc, &plan, 1e-3);
+        let tight = plan_response_compaction(&soc, &plan, 1e-12);
+        assert!(tight.total_flip_flops() > loose.total_flip_flops());
+    }
+
+    #[test]
+    fn display_reports_totals() {
+        let (soc, plan) = setup();
+        let rp = plan_response_compaction(&soc, &plan, 1e-6);
+        let s = rp.to_string();
+        assert!(s.contains("MISRs"));
+        assert!(s.contains("aliasing"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1)")]
+    fn invalid_target_panics() {
+        let (soc, plan) = setup();
+        plan_response_compaction(&soc, &plan, 1.5);
+    }
+}

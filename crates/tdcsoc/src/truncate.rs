@@ -1,0 +1,343 @@
+//! Test-data truncation under ATE memory constraints (extension, after
+//! E. Larsson & S. Edbom, "Test data truncation for test quality
+//! maximisation under ATE memory depth constraint").
+//!
+//! When even the compressed test does not fit the tester's vector memory,
+//! the only remaining lever is dropping patterns. ATPG orders patterns by
+//! fault contribution, so dropping from the *tail* of the longest tests
+//! loses the least quality; this module searches the largest uniform
+//! keep-fraction whose plan fits the tester.
+
+use std::fmt;
+
+use soc_model::Soc;
+
+use crate::ate::AteSpec;
+use crate::planner::{Plan, PlanError, PlanRequest, Planner};
+
+/// Outcome of fitting a test to the tester by truncation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Truncation {
+    /// The plan for the truncated SOC (fits `spec`).
+    pub plan: Plan,
+    /// The truncated SOC itself (use it for image export etc.).
+    pub soc: Soc,
+    /// Patterns kept per core: `(name, kept, original)`.
+    pub kept: Vec<(String, u32, u32)>,
+}
+
+impl Truncation {
+    /// Overall fraction of patterns kept.
+    pub fn kept_fraction(&self) -> f64 {
+        let kept: u64 = self.kept.iter().map(|(_, k, _)| u64::from(*k)).sum();
+        let orig: u64 = self.kept.iter().map(|(_, _, o)| u64::from(*o)).sum();
+        if orig == 0 {
+            1.0
+        } else {
+            kept as f64 / orig as f64
+        }
+    }
+
+    /// Returns `true` when nothing had to be dropped.
+    pub fn is_complete(&self) -> bool {
+        self.kept.iter().all(|(_, k, o)| k == o)
+    }
+
+    /// Test-quality proxy in `[0, 1]`: the fraction of care bits still
+    /// applied, using the original SOC's cubes. ATPG orders patterns by
+    /// fault contribution (early patterns are denser), so this proxy
+    /// decays *slower* than the kept-pattern fraction — dropping the tail
+    /// costs little.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original` does not match the truncation's SOC shape or
+    /// lacks test sets.
+    pub fn quality_proxy(&self, original: &Soc) -> f64 {
+        let mut kept_bits = 0u64;
+        let mut total_bits = 0u64;
+        for (orig, (_, keep, _)) in original.cores().iter().zip(&self.kept) {
+            let ts = orig.test_set().expect("original cores carry cubes");
+            for (i, cube) in ts.iter().enumerate() {
+                let bits = cube.count_cares() as u64;
+                total_bits += bits;
+                if (i as u32) < *keep {
+                    kept_bits += bits;
+                }
+            }
+        }
+        if total_bits == 0 {
+            1.0
+        } else {
+            kept_bits as f64 / total_bits as f64
+        }
+    }
+}
+
+impl fmt::Display for Truncation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "truncation: kept {:.1}% of patterns, test time {} cycles",
+            100.0 * self.kept_fraction(),
+            self.plan.test_time
+        )?;
+        for (name, kept, orig) in &self.kept {
+            if kept != orig {
+                writeln!(f, "  {name}: {kept}/{orig} patterns")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error produced by [`truncate_to_fit`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TruncateError {
+    /// Planning failed for a reason unrelated to memory.
+    Plan(PlanError),
+    /// Even a single pattern per core does not fit the tester.
+    CannotFit {
+        /// Vector depth of the smallest plan tried.
+        smallest_depth: u64,
+        /// The tester's memory depth.
+        memory_depth: u64,
+    },
+}
+
+impl fmt::Display for TruncateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TruncateError::Plan(e) => write!(f, "planning failed: {e}"),
+            TruncateError::CannotFit {
+                smallest_depth,
+                memory_depth,
+            } => write!(
+                f,
+                "even one pattern per core needs {smallest_depth} vectors; the tester has {memory_depth}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TruncateError {}
+
+impl From<PlanError> for TruncateError {
+    fn from(e: PlanError) -> Self {
+        TruncateError::Plan(e)
+    }
+}
+
+fn truncated_soc(soc: &Soc, keep_permille: u32) -> Soc {
+    let cores = soc
+        .cores()
+        .iter()
+        .map(|c| {
+            let keep = ((u64::from(c.pattern_count()) * u64::from(keep_permille)) / 1000)
+                .max(1) as u32;
+            c.with_truncated_patterns(keep)
+        })
+        .collect();
+    Soc::new(soc.name(), cores)
+}
+
+/// Finds (by bisection on a uniform keep-fraction) the largest truncation
+/// of `soc` whose plan under `planner`/`request` fits `spec`, in at most
+/// 11 planning runs.
+///
+/// # Errors
+///
+/// * [`TruncateError::Plan`] — the planner itself failed.
+/// * [`TruncateError::CannotFit`] — even one pattern per core exceeds the
+///   tester's memory.
+pub fn truncate_to_fit(
+    soc: &Soc,
+    planner: &Planner,
+    request: &PlanRequest,
+    spec: &AteSpec,
+) -> Result<Truncation, TruncateError> {
+    let build = |permille: u32| -> Result<(Soc, Plan, bool), TruncateError> {
+        let t = truncated_soc(soc, permille);
+        let plan = planner.plan(&t, request)?;
+        let fits = spec.fit(&plan).fits;
+        Ok((t, plan, fits))
+    };
+
+    // Fast path: everything fits.
+    let (full_soc, full_plan, fits) = build(1000)?;
+    if fits {
+        return Ok(make_result(soc, full_soc, full_plan));
+    }
+    // Feasibility floor: one pattern per core.
+    let (_, min_plan, min_fits) = build(0)?;
+    if !min_fits {
+        return Err(TruncateError::CannotFit {
+            smallest_depth: spec.fit(&min_plan).required_depth,
+            memory_depth: spec.memory_depth,
+        });
+    }
+
+    // Bisect on permille.
+    let mut lo = 0u32; // fits
+    let mut hi = 1000u32; // does not fit
+    let mut best: Option<(Soc, Plan)> = None;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        let (t, plan, fits) = build(mid)?;
+        if fits {
+            lo = mid;
+            best = Some((t, plan));
+        } else {
+            hi = mid;
+        }
+    }
+    let (t, plan) = match best {
+        Some(b) => b,
+        None => {
+            let (t, plan, _) = build(lo)?;
+            (t, plan)
+        }
+    };
+    Ok(make_result(soc, t, plan))
+}
+
+fn make_result(original: &Soc, truncated: Soc, plan: Plan) -> Truncation {
+    let kept = original
+        .cores()
+        .iter()
+        .zip(truncated.cores())
+        .map(|(o, t)| (o.name().to_string(), t.pattern_count(), o.pattern_count()))
+        .collect();
+    Truncation {
+        plan,
+        soc: truncated,
+        kept,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decisions::DecisionConfig;
+    use soc_model::benchmarks::Design;
+
+    fn setup() -> (Soc, PlanRequest) {
+        let soc = Design::D695.build_with_cubes(9);
+        let req = PlanRequest::tam_width(16).with_decisions(DecisionConfig {
+            pattern_sample: Some(8),
+            m_candidates: 8,
+        });
+        (soc, req)
+    }
+
+    fn tester(depth: u64) -> AteSpec {
+        AteSpec {
+            channels: 64,
+            memory_depth: depth,
+            clock_hz: 50_000_000,
+        }
+    }
+
+    #[test]
+    fn roomy_tester_keeps_everything() {
+        let (soc, req) = setup();
+        let t = truncate_to_fit(&soc, &Planner::no_tdc(), &req, &tester(1 << 30)).unwrap();
+        assert!(t.is_complete());
+        assert!((t.kept_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tight_tester_drops_patterns_but_fits() {
+        let (soc, req) = setup();
+        let full = Planner::no_tdc().plan(&soc, &req).unwrap();
+        let spec = tester(full.test_time / 2);
+        let t = truncate_to_fit(&soc, &Planner::no_tdc(), &req, &spec).unwrap();
+        assert!(!t.is_complete());
+        assert!(t.kept_fraction() > 0.2, "{}", t.kept_fraction());
+        assert!(spec.fit(&t.plan).fits);
+        // At least one pattern survives everywhere.
+        assert!(t.kept.iter().all(|(_, k, _)| *k >= 1));
+    }
+
+    #[test]
+    fn compression_preserves_more_patterns() {
+        // Same memory budget: the TDC plan needs fewer vectors, so it keeps
+        // more (often all) patterns.
+        let soc = Design::System1.build_with_cubes(5);
+        let req = PlanRequest::tam_width(24).with_decisions(DecisionConfig {
+            pattern_sample: Some(8),
+            m_candidates: 8,
+        });
+        let raw_full = Planner::no_tdc().plan(&soc, &req).unwrap();
+        let spec = tester(raw_full.test_time / 3);
+        let raw = truncate_to_fit(&soc, &Planner::no_tdc(), &req, &spec).unwrap();
+        let tdc = truncate_to_fit(&soc, &Planner::per_core_tdc(), &req, &spec).unwrap();
+        assert!(
+            tdc.kept_fraction() > raw.kept_fraction(),
+            "TDC {} vs raw {}",
+            tdc.kept_fraction(),
+            raw.kept_fraction()
+        );
+    }
+
+    #[test]
+    fn quality_proxy_beats_kept_fraction_under_decay() {
+        // With decaying pattern density the early (kept) patterns carry
+        // disproportionately many care bits.
+        use soc_model::{Core, CubeSynthesis, Soc};
+        let mut core = Core::builder("q")
+            .inputs(2000)
+            .pattern_count(40)
+            .care_density(0.3)
+            .build()
+            .unwrap();
+        let cubes = CubeSynthesis::new(0.3).density_decay(0.85).synthesize(&core, 3);
+        core.attach_test_set(cubes).unwrap();
+        let soc = Soc::new("q", vec![core]);
+        let req = PlanRequest::tam_width(8).with_decisions(DecisionConfig {
+            pattern_sample: Some(8),
+            m_candidates: 4,
+        });
+        let full = Planner::no_tdc().plan(&soc, &req).unwrap();
+        let t = truncate_to_fit(
+            &soc,
+            &Planner::no_tdc(),
+            &req,
+            &tester(full.test_time / 2),
+        )
+        .unwrap();
+        assert!(!t.is_complete());
+        let q = t.quality_proxy(&soc);
+        assert!(
+            q > t.kept_fraction() + 0.05,
+            "quality {q:.3} vs kept {:.3}",
+            t.kept_fraction()
+        );
+        assert!(q <= 1.0);
+    }
+
+    #[test]
+    fn impossible_budgets_are_reported() {
+        let (soc, req) = setup();
+        let err = truncate_to_fit(&soc, &Planner::no_tdc(), &req, &tester(4)).unwrap_err();
+        assert!(matches!(err, TruncateError::CannotFit { .. }));
+        assert!(err.to_string().contains("vectors"));
+    }
+
+    #[test]
+    fn display_lists_truncated_cores() {
+        let (soc, req) = setup();
+        let full = Planner::no_tdc().plan(&soc, &req).unwrap();
+        let t = truncate_to_fit(
+            &soc,
+            &Planner::no_tdc(),
+            &req,
+            &tester(full.test_time * 2 / 3),
+        )
+        .unwrap();
+        let s = t.to_string();
+        assert!(s.contains("kept"));
+        assert!(s.contains('/'));
+    }
+}

@@ -1,0 +1,463 @@
+//! Tester-image export: turn a [`Plan`] into the actual per-TAM bit
+//! streams the ATE would apply, and verify them bit-exactly.
+//!
+//! This is the strongest end-to-end check the repository has: the exported
+//! image is fed back through the cycle-accurate decompressor models and
+//! every care bit of every core's cube set must be honored at the right
+//! wrapper chain and scan depth.
+//!
+//! Supported operating points: raw wrapper access and selective-encoding
+//! decompressors (per core, per TAM, fixed width). LFSR-reseeding plans
+//! are rejected — their seeds are not retained in the plan.
+
+use std::fmt;
+
+use selenc::{encode_cube, Codeword, Decompressor, Encoder, SliceCode};
+use soc_model::Soc;
+use wrapper::{best_design_up_to, design_wrapper, WrapperDesign};
+
+use crate::decisions::Technique;
+use crate::planner::{CoreSetting, Plan};
+
+/// One TAM's vector memory: a `width`-bit word per clock cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TamImage {
+    width: u32,
+    words: Vec<u64>,
+}
+
+impl TamImage {
+    fn new(width: u32, cycles: u64) -> Self {
+        assert!((1..=64).contains(&width), "TAM width {width} outside 1..=64");
+        TamImage {
+            width,
+            words: vec![0; cycles as usize],
+        }
+    }
+
+    /// TAM width in wires.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of clock cycles stored.
+    pub fn cycles(&self) -> u64 {
+        self.words.len() as u64
+    }
+
+    /// The word applied at `cycle` (low `width` bits valid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is out of range.
+    pub fn word(&self, cycle: u64) -> u64 {
+        self.words[cycle as usize]
+    }
+
+    /// The bit applied on `wire` at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` or `wire` is out of range.
+    pub fn bit(&self, cycle: u64, wire: u32) -> bool {
+        assert!(wire < self.width, "wire {wire} out of range");
+        self.words[cycle as usize] >> wire & 1 == 1
+    }
+
+    fn set_word(&mut self, cycle: u64, word: u64) {
+        debug_assert!(word < (1u128 << self.width) as u64 || self.width == 64);
+        self.words[cycle as usize] = word;
+    }
+
+    /// Stored volume in bits (`width × cycles`).
+    pub fn volume_bits(&self) -> u64 {
+        u64::from(self.width) * self.cycles()
+    }
+}
+
+/// A complete tester image for one plan: one [`TamImage`] per TAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TesterImage {
+    tams: Vec<TamImage>,
+}
+
+impl TesterImage {
+    /// Per-TAM images, in TAM order.
+    pub fn tams(&self) -> &[TamImage] {
+        &self.tams
+    }
+
+    /// Total stored bits across all TAMs.
+    pub fn volume_bits(&self) -> u64 {
+        self.tams.iter().map(TamImage::volume_bits).sum()
+    }
+}
+
+/// Error produced by [`export_image`] / [`verify_image`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ImageError {
+    /// The plan uses a technique whose streams the plan does not retain
+    /// (LFSR reseeding or FDR).
+    UnsupportedMode,
+    /// A core's exact compressed stream does not fit its scheduled slot
+    /// (the plan was built with sampled estimation; re-plan with
+    /// `PlanRequest::exact`).
+    SlotOverflow {
+        /// The offending core's name.
+        core: String,
+        /// Cycles available in the schedule slot.
+        slot: u64,
+        /// Cycles the exact stream needs.
+        needed: u64,
+    },
+    /// A core has no test set attached.
+    MissingTestSet {
+        /// The offending core's name.
+        core: String,
+    },
+    /// Verification found a care bit the applied stream does not honor.
+    CareBitViolated {
+        /// The offending core's name.
+        core: String,
+        /// Pattern index.
+        pattern: usize,
+        /// Scan-in cycle within the pattern.
+        depth: u64,
+        /// Wrapper chain index.
+        chain: usize,
+    },
+    /// Verification could not decode the embedded codeword stream.
+    MalformedStream {
+        /// The offending core's name.
+        core: String,
+        /// The decoder's complaint.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::UnsupportedMode => {
+                write!(f, "tester-image export only supports raw and selective-encoding plans")
+            }
+            ImageError::SlotOverflow { core, slot, needed } => write!(
+                f,
+                "core {core:?}: exact stream needs {needed} cycles but the slot has {slot} \
+                 (re-plan with exact evaluation)"
+            ),
+            ImageError::MissingTestSet { core } => {
+                write!(f, "core {core:?} has no test set attached")
+            }
+            ImageError::CareBitViolated {
+                core,
+                pattern,
+                depth,
+                chain,
+            } => write!(
+                f,
+                "core {core:?}: pattern {pattern} care bit violated at depth {depth}, chain {chain}"
+            ),
+            ImageError::MalformedStream { core, detail } => {
+                write!(f, "core {core:?}: malformed codeword stream: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// The wrapper design and shift-stream layout of one scheduled core.
+struct CoreLayout {
+    design: WrapperDesign,
+    /// `Some(code)` when a decompressor is in front of the wrapper.
+    code: Option<SliceCode>,
+    /// Shift cycles the stream occupies from the slot start.
+    shift_cycles: u64,
+}
+
+fn layout_for(soc: &Soc, setting: &CoreSetting) -> Result<CoreLayout, ImageError> {
+    let core = soc.core(setting.core).expect("plan matches the SOC");
+    let test_set = core.test_set().ok_or_else(|| ImageError::MissingTestSet {
+        core: setting.name.clone(),
+    })?;
+    match setting.decompressor {
+        Some((_, m)) => {
+            let design = design_wrapper(core, m);
+            let code = SliceCode::for_chains(design.chain_count());
+            let enc = Encoder::new(code);
+            let shift_cycles: u64 = test_set
+                .iter()
+                .map(|cube| encode_cube(&enc, &design, cube).len() as u64)
+                .sum();
+            Ok(CoreLayout {
+                design,
+                code: Some(code),
+                shift_cycles,
+            })
+        }
+        None => {
+            let (design, _) = best_design_up_to(core, setting.tam_width);
+            let shift_cycles =
+                design.scan_in_length() * u64::from(core.pattern_count());
+            Ok(CoreLayout {
+                design,
+                code: None,
+                shift_cycles,
+            })
+        }
+    }
+}
+
+/// Exports the exact vector streams of `plan` for `soc`.
+///
+/// # Errors
+///
+/// See [`ImageError`]; most commonly [`ImageError::SlotOverflow`] when the
+/// plan was built with sampled (inexact) evaluation.
+pub fn export_image(soc: &Soc, plan: &Plan) -> Result<TesterImage, ImageError> {
+    if plan
+        .core_settings
+        .iter()
+        .any(|s| !matches!(s.technique, Technique::Raw | Technique::SelectiveEncoding))
+    {
+        return Err(ImageError::UnsupportedMode);
+    }
+    let makespan = plan.test_time;
+    let mut tams: Vec<TamImage> = plan
+        .schedule
+        .tam_widths()
+        .iter()
+        .map(|&w| TamImage::new(w, makespan))
+        .collect();
+
+    for setting in &plan.core_settings {
+        let core = soc.core(setting.core).expect("plan matches the SOC");
+        let test_set = core.test_set().ok_or_else(|| ImageError::MissingTestSet {
+            core: setting.name.clone(),
+        })?;
+        let layout = layout_for(soc, setting)?;
+        if layout.shift_cycles > setting.test_time {
+            return Err(ImageError::SlotOverflow {
+                core: setting.name.clone(),
+                slot: setting.test_time,
+                needed: layout.shift_cycles,
+            });
+        }
+        let image = &mut tams[setting.tam];
+        let mut cycle = setting.start;
+        match layout.code {
+            Some(code) => {
+                let enc = Encoder::new(code);
+                for cube in test_set.iter() {
+                    for cw in encode_cube(&enc, &layout.design, cube) {
+                        image.set_word(cycle, cw.pack(code));
+                        cycle += 1;
+                    }
+                }
+            }
+            None => {
+                for cube in test_set.iter() {
+                    for depth in 0..layout.design.scan_in_length() {
+                        let mut word = 0u64;
+                        for (k, chain) in layout.design.chains().iter().enumerate() {
+                            if let Some(pos) = chain.position_at(depth) {
+                                if let Some(true) = cube.get(pos as usize).value() {
+                                    word |= 1 << k;
+                                }
+                            }
+                        }
+                        image.set_word(cycle, word);
+                        cycle += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(TesterImage { tams })
+}
+
+/// Verifies `image` against `soc` and `plan`: replays each core's slot
+/// through the decompressor model (or directly, for raw cores) and checks
+/// every care bit of every cube.
+///
+/// # Errors
+///
+/// The first violation found, as an [`ImageError`].
+pub fn verify_image(image: &TesterImage, soc: &Soc, plan: &Plan) -> Result<(), ImageError> {
+    for setting in &plan.core_settings {
+        let core = soc.core(setting.core).expect("plan matches the SOC");
+        let test_set = core.test_set().ok_or_else(|| ImageError::MissingTestSet {
+            core: setting.name.clone(),
+        })?;
+        let layout = layout_for(soc, setting)?;
+        let tam = &image.tams()[setting.tam];
+        let mut cycle = setting.start;
+
+        match layout.code {
+            Some(code) => {
+                let mut dec = Decompressor::new(code);
+                for (pi, cube) in test_set.iter().enumerate() {
+                    let mut depth = 0u64;
+                    while depth < layout.design.scan_in_length() {
+                        let cw = Codeword::unpack(
+                            tam.word(cycle) & ((1u128 << code.tam_width()) - 1) as u64,
+                            code,
+                        );
+                        cycle += 1;
+                        let slice = dec.feed(cw).map_err(|e| ImageError::MalformedStream {
+                            core: setting.name.clone(),
+                            detail: e.to_string(),
+                        })?;
+                        if let Some(slice) = slice {
+                            check_slice(&layout.design, cube, depth, &slice, setting, pi)?;
+                            depth += 1;
+                        }
+                    }
+                }
+            }
+            None => {
+                for (pi, cube) in test_set.iter().enumerate() {
+                    for depth in 0..layout.design.scan_in_length() {
+                        let word = tam.word(cycle);
+                        cycle += 1;
+                        for (k, chain) in layout.design.chains().iter().enumerate() {
+                            if let Some(pos) = chain.position_at(depth) {
+                                let applied = word >> k & 1 == 1;
+                                if !cube.get(pos as usize).accepts(applied) {
+                                    return Err(ImageError::CareBitViolated {
+                                        core: setting.name.clone(),
+                                        pattern: pi,
+                                        depth,
+                                        chain: k,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_slice(
+    design: &WrapperDesign,
+    cube: &soc_model::TritVec,
+    depth: u64,
+    slice: &[bool],
+    setting: &CoreSetting,
+    pattern: usize,
+) -> Result<(), ImageError> {
+    for (k, chain) in design.chains().iter().enumerate() {
+        if let Some(pos) = chain.position_at(depth) {
+            if !cube.get(pos as usize).accepts(slice[k]) {
+                return Err(ImageError::CareBitViolated {
+                    core: setting.name.clone(),
+                    pattern,
+                    depth,
+                    chain: k,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{PlanRequest, Planner};
+    use soc_model::generator::synthesize_missing_test_sets;
+    use soc_model::Core;
+
+    fn small_soc() -> Soc {
+        let mk = |name: &str, cells: u32, patterns: u32, density: f64| {
+            Core::builder(name)
+                .inputs(8)
+                .outputs(8)
+                .flexible_cells(cells, 64)
+                .pattern_count(patterns)
+                .care_density(density)
+                .build()
+                .unwrap()
+        };
+        let mut soc = Soc::new(
+            "img",
+            vec![
+                mk("a", 300, 6, 0.05),
+                mk("b", 500, 4, 0.1),
+                mk("c", 200, 8, 0.4),
+            ],
+        );
+        synthesize_missing_test_sets(&mut soc, 77);
+        soc
+    }
+
+    #[test]
+    fn exact_tdc_plan_exports_and_verifies() {
+        let soc = small_soc();
+        let plan = Planner::per_core_tdc()
+            .plan(&soc, &PlanRequest::tam_width(12).exact())
+            .unwrap();
+        let image = export_image(&soc, &plan).unwrap();
+        assert_eq!(image.tams().len(), plan.tam_count());
+        verify_image(&image, &soc, &plan).unwrap();
+        // Image volume is bounded by makespan × total width.
+        assert_eq!(
+            image.volume_bits(),
+            plan.test_time * u64::from(plan.schedule.total_width())
+        );
+    }
+
+    #[test]
+    fn raw_plan_exports_and_verifies() {
+        let soc = small_soc();
+        let plan = Planner::no_tdc()
+            .plan(&soc, &PlanRequest::tam_width(10))
+            .unwrap();
+        let image = export_image(&soc, &plan).unwrap();
+        verify_image(&image, &soc, &plan).unwrap();
+    }
+
+    #[test]
+    fn corrupted_image_is_caught() {
+        let soc = small_soc();
+        let plan = Planner::no_tdc()
+            .plan(&soc, &PlanRequest::tam_width(10))
+            .unwrap();
+        let mut image = export_image(&soc, &plan).unwrap();
+        // Flip every word during some core's shift window; with 5-40% care
+        // density a violated care bit is guaranteed.
+        let s = &plan.core_settings[2];
+        let mask = (1u64 << image.tams[s.tam].width()) - 1;
+        for cycle in s.start..s.start + s.test_time.min(200) {
+            let w = image.tams[s.tam].word(cycle);
+            image.tams[s.tam].set_word(cycle, !w & mask);
+        }
+        let err = verify_image(&image, &soc, &plan).unwrap_err();
+        assert!(matches!(err, ImageError::CareBitViolated { .. }), "{err}");
+    }
+
+    #[test]
+    fn reseeding_plans_are_rejected() {
+        let soc = small_soc();
+        let plan = Planner::reseeding_tdc()
+            .plan(&soc, &PlanRequest::tam_width(10))
+            .unwrap();
+        assert_eq!(export_image(&soc, &plan), Err(ImageError::UnsupportedMode));
+    }
+
+    #[test]
+    fn error_messages_name_the_core() {
+        let e = ImageError::SlotOverflow {
+            core: "cpu".into(),
+            slot: 10,
+            needed: 12,
+        };
+        assert!(e.to_string().contains("cpu"));
+        assert!(e.to_string().contains("12"));
+    }
+}

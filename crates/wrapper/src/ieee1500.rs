@@ -1,0 +1,257 @@
+//! IEEE 1500 (SECT) wrapper control: instruction register, operating
+//! modes, and the reconfiguration overhead between tests.
+//!
+//! The paper's wrappers are IEEE 1500-style; the standard defines the
+//! *control* side this module models: every wrapper has a Wrapper
+//! Instruction Register (WIR) loaded serially through the Wrapper Serial
+//! Port, and the instruction selects the operating mode — functional
+//! bypass, inward-facing test (the mode the whole planner works in),
+//! outward-facing interconnect test, or core bypass. Switching a core
+//! between tests therefore costs WIR-load cycles, which matter when many
+//! short tests share a TAM.
+
+use std::fmt;
+
+/// The standard wrapper operating modes (instruction opcodes follow the
+/// common 3-bit encoding used in the 1500 literature; the standard leaves
+/// opcodes implementation-defined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WrapperMode {
+    /// Normal functional operation; wrapper transparent.
+    #[default]
+    Functional,
+    /// Inward-facing test: scan access to the core (`WS_INTEST` /
+    /// `WP_INTEST`) — the mode all test planning in this repository
+    /// schedules.
+    Intest,
+    /// Outward-facing test of the surrounding interconnect (`WS_EXTEST`).
+    Extest,
+    /// Core bypassed: the wrapper presents a single-bit path
+    /// (`WS_BYPASS`).
+    Bypass,
+}
+
+impl WrapperMode {
+    /// The 3-bit opcode used by [`Wir`].
+    pub fn opcode(self) -> u8 {
+        match self {
+            WrapperMode::Functional => 0b000,
+            WrapperMode::Intest => 0b001,
+            WrapperMode::Extest => 0b010,
+            WrapperMode::Bypass => 0b011,
+        }
+    }
+
+    /// Decodes an opcode, or `None` for a reserved value.
+    pub fn from_opcode(op: u8) -> Option<Self> {
+        Some(match op {
+            0b000 => WrapperMode::Functional,
+            0b001 => WrapperMode::Intest,
+            0b010 => WrapperMode::Extest,
+            0b011 => WrapperMode::Bypass,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for WrapperMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WrapperMode::Functional => "functional",
+            WrapperMode::Intest => "INTEST",
+            WrapperMode::Extest => "EXTEST",
+            WrapperMode::Bypass => "BYPASS",
+        })
+    }
+}
+
+/// A Wrapper Instruction Register: shift/update semantics per IEEE 1500.
+///
+/// Bits are shifted in serially (`shift`), then committed atomically
+/// (`update`); until the update, the active mode is unchanged — exactly
+/// the two-phase behaviour the standard mandates so cores never glitch
+/// through half-loaded instructions.
+///
+/// # Examples
+///
+/// ```
+/// use wrapper::{Wir, WrapperMode};
+///
+/// let mut wir = Wir::new();
+/// assert_eq!(wir.mode(), WrapperMode::Functional);
+/// wir.load(WrapperMode::Intest);
+/// assert_eq!(wir.mode(), WrapperMode::Intest);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Wir {
+    shift_reg: u8,
+    mode: WrapperMode,
+    shifted: u32,
+}
+
+/// WIR length in bits (3-bit opcodes).
+pub const WIR_LENGTH: u32 = 3;
+
+impl Wir {
+    /// A WIR in functional mode (the standard's reset state).
+    pub fn new() -> Self {
+        Wir::default()
+    }
+
+    /// The active operating mode.
+    pub fn mode(&self) -> WrapperMode {
+        self.mode
+    }
+
+    /// Shifts one instruction bit in (LSB first).
+    pub fn shift(&mut self, bit: bool) {
+        self.shift_reg = ((self.shift_reg >> 1) | (u8::from(bit) << (WIR_LENGTH - 1))) & 0b111;
+        self.shifted += 1;
+    }
+
+    /// Commits the shifted instruction. Reserved opcodes fall back to
+    /// functional mode, as the standard recommends for safety.
+    pub fn update(&mut self) {
+        self.mode = WrapperMode::from_opcode(self.shift_reg).unwrap_or(WrapperMode::Functional);
+        self.shifted = 0;
+    }
+
+    /// Convenience: shift + update a whole instruction.
+    pub fn load(&mut self, mode: WrapperMode) {
+        let op = mode.opcode();
+        for i in 0..WIR_LENGTH {
+            self.shift(op >> i & 1 == 1);
+        }
+        self.update();
+    }
+}
+
+/// Cycles needed to reconfigure a set of daisy-chained wrappers on one
+/// TAM so that `active` is in INTEST and the others are bypassed: the
+/// serial control chain shifts all WIRs at once (`WIR_LENGTH` cycles) plus
+/// one update cycle.
+///
+/// With `cores_on_tam` wrappers bypassed, the *data* path to the active
+/// core also grows by one bypass bit per upstream wrapper — returned as
+/// the second component so schedulers can add it to the scan path.
+pub fn reconfiguration_overhead(cores_on_tam: u32, active: u32) -> (u64, u64) {
+    assert!(active < cores_on_tam, "active core index out of range");
+    let wir_cycles = u64::from(WIR_LENGTH) + 1;
+    let bypass_bits = u64::from(cores_on_tam - 1);
+    (wir_cycles, bypass_bits)
+}
+
+/// Adds IEEE 1500 reconfiguration overhead to a serial-per-TAM test time:
+/// one WIR load before every test on the TAM, plus the bypass-bit scan
+/// overhead per pattern of each test.
+///
+/// `tests` is `(patterns, test_time)` per core on the TAM, in schedule
+/// order.
+pub fn tam_time_with_control(tests: &[(u64, u64)]) -> u64 {
+    let k = tests.len() as u32;
+    if k == 0 {
+        return 0;
+    }
+    tests
+        .iter()
+        .enumerate()
+        .map(|(i, &(patterns, time))| {
+            let (wir, bypass) = reconfiguration_overhead(k, i as u32);
+            time + wir + bypass * patterns
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcodes_roundtrip() {
+        for mode in [
+            WrapperMode::Functional,
+            WrapperMode::Intest,
+            WrapperMode::Extest,
+            WrapperMode::Bypass,
+        ] {
+            assert_eq!(WrapperMode::from_opcode(mode.opcode()), Some(mode));
+        }
+        assert_eq!(WrapperMode::from_opcode(0b111), None);
+    }
+
+    #[test]
+    fn wir_two_phase_update() {
+        let mut wir = Wir::new();
+        // Shift INTEST but do not update: mode unchanged.
+        let op = WrapperMode::Intest.opcode();
+        for i in 0..WIR_LENGTH {
+            wir.shift(op >> i & 1 == 1);
+            assert_eq!(wir.mode(), WrapperMode::Functional, "mid-shift glitch");
+        }
+        wir.update();
+        assert_eq!(wir.mode(), WrapperMode::Intest);
+    }
+
+    #[test]
+    fn load_reaches_every_mode() {
+        let mut wir = Wir::new();
+        for mode in [
+            WrapperMode::Intest,
+            WrapperMode::Extest,
+            WrapperMode::Bypass,
+            WrapperMode::Functional,
+        ] {
+            wir.load(mode);
+            assert_eq!(wir.mode(), mode);
+        }
+    }
+
+    #[test]
+    fn reserved_opcodes_fail_safe() {
+        let mut wir = Wir::new();
+        wir.load(WrapperMode::Intest);
+        for _ in 0..WIR_LENGTH {
+            wir.shift(true); // 0b111 is reserved
+        }
+        wir.update();
+        assert_eq!(wir.mode(), WrapperMode::Functional);
+    }
+
+    #[test]
+    fn overhead_scales_with_sharing() {
+        let (wir1, byp1) = reconfiguration_overhead(1, 0);
+        let (wir4, byp4) = reconfiguration_overhead(4, 2);
+        assert_eq!(wir1, wir4, "WIR chain shifts in parallel");
+        assert_eq!(byp1, 0);
+        assert_eq!(byp4, 3);
+    }
+
+    #[test]
+    fn tam_time_adds_control_cost() {
+        // Two tests of 100 patterns/1000 cycles each, sharing a TAM.
+        let plain: u64 = 2 * 1000;
+        let with = tam_time_with_control(&[(100, 1000), (100, 1000)]);
+        // Each test: +4 WIR cycles +1 bypass bit × 100 patterns.
+        assert_eq!(with, plain + 2 * (4 + 100));
+        assert_eq!(tam_time_with_control(&[]), 0);
+        // A TAM with a single core pays only the WIR loads.
+        assert_eq!(tam_time_with_control(&[(50, 500)]), 500 + 4);
+    }
+
+    #[test]
+    fn control_overhead_is_small_for_realistic_tests() {
+        // The paper neglects this overhead; justify that: < 1% for
+        // tests of tens of thousands of cycles.
+        let tests = [(200u64, 50_000u64), (150, 40_000), (100, 30_000)];
+        let plain: u64 = tests.iter().map(|t| t.1).sum();
+        let with = tam_time_with_control(&tests);
+        let overhead = (with - plain) as f64 / plain as f64;
+        assert!(overhead < 0.01, "overhead {overhead}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn active_index_validated() {
+        reconfiguration_overhead(2, 2);
+    }
+}

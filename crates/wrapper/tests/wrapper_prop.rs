@@ -1,0 +1,166 @@
+//! Property tests for wrapper design: conservation of scanned elements,
+//! monotone scan-in lengths, balance quality, and slice coverage, over
+//! arbitrary core geometries.
+
+use proptest::prelude::*;
+
+use soc_model::{Core, ScanArchitecture, Trit, TritVec};
+use wrapper::{design_wrapper, pareto_points, ChainLayout};
+
+fn arb_core() -> impl Strategy<Value = Core> {
+    (
+        prop_oneof![
+            // Hard core with fixed chains.
+            proptest::collection::vec(1u32..80, 0..8)
+                .prop_map(|c| if c.is_empty() {
+                    ScanArchitecture::Combinational
+                } else {
+                    ScanArchitecture::Fixed { chain_lengths: c }
+                }),
+            // Soft core.
+            (1u32..2_000, 1u32..128)
+                .prop_map(|(cells, max)| ScanArchitecture::Flexible { cells, max_chains: max }),
+        ],
+        0u32..64,
+        0u32..64,
+        0u32..8,
+        1u32..50,
+    )
+        .prop_filter_map("core must have stimulus", |(scan, i, o, b, p)| {
+            Core::builder("prop")
+                .scan(scan)
+                .inputs(i)
+                .outputs(o)
+                .bidirs(b)
+                .pattern_count(p)
+                .build()
+                .ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn elements_are_conserved(core in arb_core(), m in 1u32..64) {
+        let d = design_wrapper(&core, m);
+        let load: u64 = d.chains().iter().map(ChainLayout::load_len).sum();
+        let unload: u64 = d.chains().iter().map(ChainLayout::unload_len).sum();
+        prop_assert_eq!(load, core.scan_load_bits());
+        prop_assert_eq!(unload, core.scan_unload_bits());
+        prop_assert!(d.chain_count() <= m.min(core.max_wrapper_chains()));
+    }
+
+    #[test]
+    fn scan_in_is_monotone_in_chain_count(core in arb_core()) {
+        let mut prev = u64::MAX;
+        for m in 1..=16u32 {
+            let si = design_wrapper(&core, m).scan_in_length();
+            prop_assert!(si <= prev, "m={}: {} > {}", m, si, prev);
+            prev = si;
+        }
+    }
+
+    #[test]
+    fn scan_in_is_at_least_the_ideal_balance(core in arb_core(), m in 1u32..32) {
+        let d = design_wrapper(&core, m);
+        let ideal = core.scan_load_bits().div_ceil(u64::from(d.chain_count().max(1)));
+        prop_assert!(d.scan_in_length() >= ideal);
+        // Soft cores achieve (near-)ideal balance when the stitch limit
+        // does not confine their cells to fewer chains than requested: the
+        // largest unit is then a single cell, so the partition is within
+        // one of ideal.
+        if matches!(core.scan(),
+            ScanArchitecture::Flexible { max_chains, .. } if *max_chains >= m)
+        {
+            prop_assert!(d.scan_in_length() <= ideal + 1);
+        }
+    }
+
+    #[test]
+    fn test_time_formula_holds(core in arb_core(), m in 1u32..32) {
+        let d = design_wrapper(&core, m);
+        let p = u64::from(core.pattern_count());
+        let (si, so) = (d.scan_in_length(), d.scan_out_length());
+        prop_assert_eq!(d.test_time(p), (1 + si.max(so)) * p + si.min(so));
+    }
+
+    #[test]
+    fn slices_tile_the_cube_exactly(core in arb_core(), m in 1u32..24) {
+        let d = design_wrapper(&core, m);
+        // Fully specified alternating cube; every slice symbol that is a
+        // real position must match, pads must be X.
+        let cube: TritVec = (0..core.scan_load_bits())
+            .map(|i| if i % 2 == 0 { Trit::Zero } else { Trit::One })
+            .collect();
+        let mut care_seen = 0usize;
+        for (depth, slice) in d.slices(&cube).enumerate() {
+            prop_assert_eq!(slice.len() as u32, d.chain_count());
+            for (k, chain) in d.chains().iter().enumerate() {
+                match chain.position_at(depth as u64) {
+                    Some(pos) => {
+                        prop_assert_eq!(slice.get(k), cube.get(pos as usize));
+                        care_seen += 1;
+                    }
+                    None => prop_assert_eq!(slice.get(k), Trit::X),
+                }
+            }
+        }
+        prop_assert_eq!(care_seen as u64, core.scan_load_bits());
+    }
+
+    #[test]
+    fn pareto_frontier_is_consistent(core in arb_core()) {
+        let pts = pareto_points(&core, 24);
+        prop_assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            prop_assert!(w[0].chains < w[1].chains);
+            prop_assert!(w[0].test_time > w[1].test_time);
+        }
+        // Every frontier point is achievable and correct.
+        for p in &pts {
+            let d = design_wrapper(&core, p.chains);
+            prop_assert_eq!(d.scan_in_length(), p.scan_in);
+            prop_assert_eq!(d.scan_out_length(), p.scan_out);
+        }
+    }
+}
+
+mod power_props {
+    use super::*;
+    use soc_model::CubeSynthesis;
+    use wrapper::{weighted_transitions, Fill};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Minimum-transition fill never increases the weighted transition
+        /// count, for arbitrary cores, densities, and chain counts.
+        #[test]
+        fn mt_fill_never_worse(core in arb_core(), m in 1u32..24, seed: u64) {
+            let density = core.nominal_care_density().clamp(0.05, 0.9);
+            let cubes = CubeSynthesis::new(density).synthesize(&core, seed);
+            let design = design_wrapper(&core, m);
+            for cube in cubes.iter() {
+                let zero = weighted_transitions(&design, cube, Fill::Zero);
+                let mt = weighted_transitions(&design, cube, Fill::MinTransition);
+                prop_assert!(mt <= zero, "MT {} > zero {}", mt, zero);
+            }
+        }
+
+        /// WTC is bounded by the theoretical maximum (every cycle a
+        /// transition travelling the full remaining depth).
+        #[test]
+        fn wtc_within_theoretical_bounds(core in arb_core(), m in 1u32..24, seed: u64) {
+            let cubes = CubeSynthesis::new(0.5).synthesize(&core, seed);
+            let design = design_wrapper(&core, m);
+            let s_i = design.scan_in_length();
+            let chains = design.chain_count() as u64;
+            let max = chains * s_i * (s_i + 1) / 2;
+            for cube in cubes.iter().take(3) {
+                let w = weighted_transitions(&design, cube, Fill::Zero);
+                prop_assert!(w <= max, "WTC {} > max {}", w, max);
+            }
+        }
+    }
+}

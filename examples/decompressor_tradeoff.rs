@@ -1,0 +1,54 @@
+//! The decompressor I/O trade-off (the paper's Figs. 2–3 on a single
+//! core): test time is non-monotonic in both the number of wrapper chains
+//! `m` and the TAM width `w`, so "make it as wide as possible" is the
+//! wrong design rule.
+//!
+//! Run with `cargo run --release --example decompressor_tradeoff`.
+
+use soc_tdc::model::{benchmarks, generator::synthesize_missing_test_sets, Soc};
+use soc_tdc::selenc::{evaluate_point, CoreProfile, ProfileConfig, SliceCode};
+
+fn main() {
+    let mut soc = Soc::new("tradeoff", vec![benchmarks::ckt(7)]);
+    synthesize_missing_test_sets(&mut soc, 2008);
+    let core = &soc.cores()[0];
+
+    // Sweep m inside the w = 10 width class and plot tau as a bar sketch.
+    println!("tau_c(w=10, m) for {} (each row one m; bars scaled):", core.name());
+    let mut min = u64::MAX;
+    let mut max = 0;
+    let mut rows = Vec::new();
+    for m in SliceCode::feasible_chains(10).step_by(8) {
+        if let Some(c) = evaluate_point(core, m, Some(24)) {
+            min = min.min(c.test_time);
+            max = max.max(c.test_time);
+            rows.push((m, c.test_time));
+        }
+    }
+    for (m, tau) in &rows {
+        let span = (max - min).max(1);
+        let bar = 10 + ((tau - min) * 50 / span) as usize;
+        println!("  m={m:>3} {:>8} {}", tau, "#".repeat(bar));
+    }
+    println!(
+        "  spread: {:.0}% — picking the largest m is suboptimal\n",
+        100.0 * (max - min) as f64 / max as f64
+    );
+
+    // The per-width profile (Fig. 3): the best width is not the widest.
+    let profile = CoreProfile::build(
+        core,
+        &ProfileConfig::new(13).pattern_sample(24).m_candidates(24),
+    );
+    println!("best operating point per TAM width:");
+    print!("{profile}");
+    let best = profile
+        .entries()
+        .iter()
+        .min_by_key(|e| e.test_time)
+        .expect("profile has entries");
+    println!(
+        "→ the planner will request only {} TAM wires for this core, never more.",
+        best.tam_width
+    );
+}

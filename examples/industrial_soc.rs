@@ -1,0 +1,62 @@
+//! Industrial-scale planning: the workloads the paper's introduction
+//! motivates — cores with tens of thousands of scan cells, gigabit-class
+//! test sets, and 1–5% care-bit density.
+//!
+//! Sweeps the TAM budget for System2 and shows how architecture, test
+//! time, and tester memory move, with a tester-fit check.
+//!
+//! Run with `cargo run --release --example industrial_soc`.
+
+use soc_tdc::model::benchmarks::Design;
+use soc_tdc::planner::{AteSpec, DecisionConfig, PlanRequest, Planner};
+use soc_tdc::report::{group_digits, mbits};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = Design::System2.build_with_cubes(1);
+    println!("design: {soc}\n");
+
+    let ate = AteSpec::small();
+    let cfg = DecisionConfig {
+        pattern_sample: Some(16),
+        m_candidates: 12,
+    };
+    println!(
+        "{:>6} {:>5} | {:>13} {:>9} | {:>13} {:>9} | {:>9} {:>12}",
+        "W_TAM", "TAMs", "tau_nc", "Vnc(Mb)", "tau_c", "Vc(Mb)", "speedup", "ATE time"
+    );
+    for w in [8u32, 16, 24, 32, 48, 64] {
+        let req = PlanRequest::tam_width(w).with_decisions(cfg.clone());
+        let raw = Planner::no_tdc().plan(&soc, &req)?;
+        let tdc = Planner::per_core_tdc().plan(&soc, &req)?;
+        let fit = ate.fit(&tdc);
+        println!(
+            "{:>6} {:>5} | {:>13} {:>9} | {:>13} {:>9} | {:>8.1}x {:>9.2} ms{}",
+            w,
+            tdc.tam_count(),
+            group_digits(raw.test_time),
+            mbits(raw.volume_bits),
+            group_digits(tdc.test_time),
+            mbits(tdc.volume_bits),
+            raw.test_time as f64 / tdc.test_time as f64,
+            fit.test_seconds * 1e3,
+            if fit.fits { "" } else { " (!)" }
+        );
+    }
+
+    // Detail view at one budget: who got which decompressor?
+    let plan = Planner::per_core_tdc()
+        .plan(&soc, &PlanRequest::tam_width(32).with_decisions(cfg))?;
+    println!("\nper-core settings at W_TAM = 32:");
+    for s in &plan.core_settings {
+        match s.decompressor {
+            Some((w, m)) => println!(
+                "  {:>7}: TAM{} | decompressor {w:>2}→{m:<4} | tau = {:>11}",
+                s.name,
+                s.tam,
+                group_digits(s.test_time)
+            ),
+            None => println!("  {:>7}: TAM{} | raw wrapper", s.name, s.tam),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Caching per-core lookup tables: profile construction is the expensive
+//! step of planning (it sweeps the (w, m) surface against real cubes), and
+//! the result is a tiny table — so real flows build it once and cache it.
+//!
+//! Run with `cargo run --release --example profile_cache`.
+
+use std::time::Instant;
+
+use soc_tdc::model::{benchmarks, generator::synthesize_missing_test_sets, Soc};
+use soc_tdc::selenc::{CoreProfile, ProfileConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut soc = Soc::new("cache-demo", vec![benchmarks::ckt(7)]);
+    synthesize_missing_test_sets(&mut soc, 2008);
+    let core = &soc.cores()[0];
+
+    // Build once (the expensive part)…
+    let t0 = Instant::now();
+    let profile = CoreProfile::build(
+        core,
+        &ProfileConfig::new(12).pattern_sample(24).m_candidates(24),
+    );
+    let build_time = t0.elapsed();
+
+    // …persist, reload, and answer the same queries.
+    let dir = std::env::temp_dir().join("soc-tdc-profiles");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("ckt-7.csv");
+    std::fs::write(&path, profile.to_csv())?;
+
+    let t1 = Instant::now();
+    let cached = CoreProfile::from_csv("ckt-7", &std::fs::read_to_string(&path)?)
+        .map_err(|e| format!("bad cache: {e}"))?;
+    let load_time = t1.elapsed();
+
+    assert_eq!(profile, cached);
+    println!(
+        "profile of {}: built in {:.2?}, reloaded in {:.2?} ({} bytes on disk)",
+        core.name(),
+        build_time,
+        load_time,
+        std::fs::metadata(&path)?.len()
+    );
+    println!("{cached}");
+    let best = cached
+        .best_at_most(12)
+        .expect("ckt-7 is feasible at w <= 12");
+    println!(
+        "best operating point at <=12 wires: w={} m={} tau={} cycles",
+        best.tam_width, best.chains, best.test_time
+    );
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: describe an SOC, synthesize test cubes, and plan its test
+//! with core-level decompression.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use soc_tdc::model::format::parse_soc;
+use soc_tdc::model::generator::synthesize_missing_test_sets;
+use soc_tdc::planner::{PlanRequest, Planner};
+use soc_tdc::selenc::{decompressor_area, SliceCode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the SOC — hard cores list their fixed scan chains,
+    //    soft cores just their cell count and stitch limit.
+    let mut soc = parse_soc(
+        "soc quickstart\n\
+         core  uart   inputs 24 outputs 16 patterns 60  density 0.40 scan 64 64 48\n\
+         core  dsp    inputs 48 outputs 40 patterns 120 density 0.25 scan 128 128 128 128\n\
+         flexcore cpu inputs 96 outputs 80 patterns 200 density 0.03 cells 20000 maxchains 512\n",
+    )?;
+
+    // 2. Attach test cubes (here: synthesized at each core's care-bit
+    //    density; real flows would load ATPG cubes instead).
+    synthesize_missing_test_sets(&mut soc, 0xC0FFEE);
+
+    // 3. Plan the SOC test on a 24-wire TAM budget, with and without
+    //    core-level expansion of compressed patterns.
+    let raw = Planner::no_tdc().plan(&soc, &PlanRequest::tam_width(24))?;
+    let tdc = Planner::per_core_tdc().plan(&soc, &PlanRequest::tam_width(24))?;
+
+    println!("without compression: {raw}");
+    println!("with per-core decompressors: {tdc}");
+    println!(
+        "test-time reduction: {:.1}x, volume reduction: {:.1}x",
+        raw.test_time as f64 / tdc.test_time as f64,
+        raw.volume_bits as f64 / tdc.volume_bits as f64
+    );
+
+    // 4. Inspect the hardware each instantiated decompressor costs.
+    for s in &tdc.core_settings {
+        if let Some((w, m)) = s.decompressor {
+            println!(
+                "  {}: decompressor {w}→{m}: {}",
+                s.name,
+                decompressor_area(SliceCode::for_chains(m))
+            );
+        } else {
+            println!("  {}: raw wrapper access (compression would not pay off)", s.name);
+        }
+    }
+    Ok(())
+}

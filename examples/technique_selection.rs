@@ -1,0 +1,82 @@
+//! Per-core compression-technique selection — the direction the authors
+//! took next (Larsson, Zhang, Larsson & Chakrabarty, ATS 2008): instead of
+//! one compression scheme for the whole SOC, every core independently
+//! picks the fastest of {raw access, selective encoding, FDR run-length
+//! coding} at its TAM width.
+//!
+//! The example builds an SOC with deliberately mixed cube statistics so
+//! different techniques win on different cores.
+//!
+//! Run with `cargo run --release --example technique_selection`.
+
+use soc_tdc::model::generator::synthesize_missing_test_sets;
+use soc_tdc::model::{Core, Soc};
+use soc_tdc::planner::{DecisionConfig, PlanRequest, Planner};
+use soc_tdc::report::group_digits;
+
+fn core(name: &str, cells: u32, max_chains: u32, patterns: u32, density: f64) -> Core {
+    Core::builder(name)
+        .inputs(16)
+        .outputs(16)
+        .flexible_cells(cells, max_chains)
+        .pattern_count(patterns)
+        .care_density(density)
+        .build()
+        .expect("valid core")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut soc = Soc::new(
+        "mixed",
+        vec![
+            // Sparse + many chains: selective encoding territory.
+            core("sparse-wide", 6_000, 512, 40, 0.01),
+            // Sparse but chain-limited: expansion is capped, FDR's serial
+            // decompressors don't care.
+            core("sparse-narrow", 6_000, 8, 40, 0.01),
+            // Dense cubes: any coder inflates; raw access should win.
+            core("dense", 1_500, 64, 30, 0.85),
+            // Middle ground.
+            core("medium", 3_000, 128, 35, 0.08),
+        ],
+    );
+    synthesize_missing_test_sets(&mut soc, 77);
+
+    let cfg = DecisionConfig {
+        pattern_sample: Some(12),
+        m_candidates: 12,
+    };
+    let req = PlanRequest::tam_width(20).with_decisions(cfg);
+
+    println!("single-technique plans at W_TAM = 20:");
+    for (label, planner) in [
+        ("raw only", Planner::no_tdc()),
+        ("selective encoding", Planner::per_core_tdc()),
+        ("FDR", Planner::fdr_tdc()),
+        ("per-core selection", Planner::select_tdc()),
+    ] {
+        let plan = planner.plan(&soc, &req)?;
+        println!(
+            "  {label:>20}: tau = {:>10} cycles, V = {:>10} bits",
+            group_digits(plan.test_time),
+            group_digits(plan.volume_bits)
+        );
+    }
+
+    let plan = Planner::select_tdc().plan(&soc, &req)?;
+    println!("\nwhat each core picked:");
+    for s in &plan.core_settings {
+        let detail = match s.decompressor {
+            Some((w, m)) => format!("({w}→{m})"),
+            None => String::new(),
+        };
+        println!(
+            "  {:>13}: {:<7} {detail:<10} tau = {:>9}, V = {:>9}",
+            s.name,
+            s.technique.label(),
+            group_digits(s.test_time),
+            group_digits(s.volume_bits)
+        );
+    }
+    Ok(())
+}

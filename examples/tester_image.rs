@@ -1,0 +1,83 @@
+//! Full flow on an ITC'02-format input: parse, plan with per-core
+//! decompression, export the exact tester image, and verify it bit by bit
+//! through the decompressor model.
+//!
+//! Run with `cargo run --release --example tester_image`.
+
+use soc_tdc::model::generator::synthesize_missing_test_sets;
+use soc_tdc::model::itc02::parse_itc02;
+use soc_tdc::planner::{export_image, verify_image, AteSpec, PlanRequest, Planner};
+use soc_tdc::report::{group_digits, ratio};
+
+/// A small SOC in the ITC'02 benchmark format.
+const ITC02_TEXT: &str = "\
+SocName itc-demo
+TotalModules 4
+
+Module 0
+  Level 0
+  Inputs 0 Outputs 0 Bidirs 0
+  TotalTests 0
+
+Module 1
+  Level 1
+  Inputs 18 Outputs 14
+  ScanChains 20 : 24 24 24 24 24 24 24 24 24 24 22 22 22 22 22 22 22 22 22 22
+  TotalTests 1
+  Test 1:
+    TotalPatterns 40
+
+Module 2
+  Level 1
+  Inputs 40 Outputs 40
+  ScanChains 24 : 30 30 30 30 30 30 30 30 30 30 30 30 30 30 30 30 28 28 28 28 28 28 28 28
+  TotalTests 1
+  Test 1:
+    TotalPatterns 55
+
+Module 3
+  Level 1
+  Inputs 26 Outputs 30
+  ScanChains 28 : 30 30 30 30 30 30 30 30 30 30 30 30 30 30 28 28 28 28 28 28 28 28 28 28 28 28 28 28
+  TotalTests 1
+  Test 1:
+    TotalPatterns 32
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ITC'02 files carry no care-bit density; pick the sparse industrial
+    // regime so compression has something to work with.
+    let parsed = parse_itc02(ITC02_TEXT, 0.04)?;
+    println!(
+        "parsed {} ({} cores, skipped modules {:?})",
+        parsed.soc.name(),
+        parsed.soc.core_count(),
+        parsed.skipped_modules
+    );
+    let mut soc = parsed.soc;
+    synthesize_missing_test_sets(&mut soc, 7);
+
+    // Exact planning, so the exported stream lengths match the schedule.
+    let plan = Planner::per_core_tdc().plan(&soc, &PlanRequest::tam_width(16).exact())?;
+    println!("{plan}");
+
+    let image = export_image(&soc, &plan)?;
+    println!(
+        "tester image: {} TAMs, {} cycles deep, {} bits total",
+        image.tams().len(),
+        group_digits(image.tams()[0].cycles()),
+        group_digits(image.volume_bits())
+    );
+    println!(
+        "raw stimulus would be {} bits → image is {}x smaller",
+        group_digits(soc.initial_volume_bits()),
+        ratio(soc.initial_volume_bits(), image.volume_bits()),
+    );
+
+    verify_image(&image, &soc, &plan)?;
+    println!("image verified: every care bit of every cube is honored ✓");
+
+    let fit = AteSpec::small().fit(&plan);
+    println!("on a small 50 MHz tester: {fit}");
+    Ok(())
+}

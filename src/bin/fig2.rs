@@ -1,0 +1,60 @@
+//! Figure 2 — non-monotonic variation of test time with the number of
+//! wrapper chains at a fixed TAM width (w = 10) for core ckt-7.
+//!
+//! Regenerate with `cargo run --release --bin fig2`.
+
+use soc_tdc::model::{benchmarks, generator::synthesize_missing_test_sets, Soc};
+use soc_tdc::report::group_digits;
+use soc_tdc::selenc::{decompressor_area, evaluate_point, SliceCode};
+
+fn main() {
+    let mut soc = Soc::new("fig2", vec![benchmarks::ckt(7)]);
+    synthesize_missing_test_sets(&mut soc, 2008);
+    let core = &soc.cores()[0];
+    println!(
+        "# Figure 2: test time vs wrapper chains for {} at TAM width 10",
+        core.name()
+    );
+    println!(
+        "# ({} scan cells, {} patterns, care density {:.2}%)",
+        group_digits(core.scan_cells()),
+        core.pattern_count(),
+        100.0 * core.care_density()
+    );
+    println!("{:>5} {:>12} {:>14}", "m", "tau (cyc)", "volume (bits)");
+
+    let range = SliceCode::feasible_chains(10);
+    let mut points = Vec::new();
+    for m in range {
+        if let Some(c) = evaluate_point(core, m, Some(48)) {
+            println!("{m:>5} {:>12} {:>14}", c.test_time, c.volume_bits);
+            points.push((m, c.test_time));
+        }
+    }
+
+    let &(m_min, tau_min) = points.iter().min_by_key(|p| p.1).expect("nonempty sweep");
+    let &(m_max, tau_max) = points.iter().max_by_key(|p| p.1).expect("nonempty sweep");
+    let &(m_last, tau_last) = points.last().expect("nonempty sweep");
+    let direction_changes = points
+        .windows(3)
+        .filter(|w| (w[1].1 > w[0].1) != (w[2].1 > w[1].1))
+        .count();
+
+    println!();
+    println!("tau_min = {} at m = {m_min}", group_digits(tau_min));
+    println!("tau_max = {} at m = {m_max}", group_digits(tau_max));
+    println!(
+        "(tau_max - tau_min) / tau_max = {:.0}%   [paper: 31%]",
+        100.0 * (tau_max - tau_min) as f64 / tau_max as f64
+    );
+    println!(
+        "max-chains policy (m = {m_last}): tau = {} — {} than the optimum",
+        group_digits(tau_last),
+        if tau_last > tau_min { "worse" } else { "no worse" }
+    );
+    println!("direction changes along the sweep: {direction_changes} (non-monotonic)");
+    println!(
+        "decompressor hardware at (w=10, m={m_min}): {}",
+        decompressor_area(SliceCode::for_chains(m_min))
+    );
+}

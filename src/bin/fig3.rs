@@ -1,0 +1,52 @@
+//! Figure 3 — lowest test time at various TAM widths for core ckt-7;
+//! the curve is *not* monotonically decreasing in the TAM width.
+//!
+//! Regenerate with `cargo run --release --bin fig3`.
+
+use soc_tdc::model::{benchmarks, generator::synthesize_missing_test_sets, Soc};
+use soc_tdc::report::group_digits;
+use soc_tdc::selenc::{CoreProfile, ProfileConfig};
+
+fn main() {
+    let mut soc = Soc::new("fig3", vec![benchmarks::ckt(7)]);
+    synthesize_missing_test_sets(&mut soc, 2008);
+    let core = &soc.cores()[0];
+    println!(
+        "# Figure 3: lowest test time per TAM width for {} (best m per w)",
+        core.name()
+    );
+
+    let profile = CoreProfile::build(
+        core,
+        &ProfileConfig::new(13).pattern_sample(48).m_candidates(48),
+    );
+    println!("{:>4} {:>6} {:>12} {:>14}", "w", "m*", "tau (cyc)", "volume (bits)");
+    for e in profile.entries() {
+        println!(
+            "{:>4} {:>6} {:>12} {:>14}",
+            e.tam_width, e.chains, e.test_time, e.volume_bits
+        );
+    }
+
+    let entries = profile.entries();
+    let bumps: Vec<(u32, u32)> = entries
+        .windows(2)
+        .filter(|p| p[1].test_time > p[0].test_time)
+        .map(|p| (p[0].tam_width, p[1].tam_width))
+        .collect();
+    println!();
+    if bumps.is_empty() {
+        println!("curve is monotone on this instance (paper observed bumps, e.g. w=11 < w=12, 13)");
+    } else {
+        for (a, b) in &bumps {
+            println!("non-monotonic: tau(w={b}) > tau(w={a}) — wider is slower here");
+        }
+    }
+    let best = entries.iter().min_by_key(|e| e.test_time).expect("entries");
+    println!(
+        "global best: w = {}, m = {}, tau = {} cycles",
+        best.tam_width,
+        best.chains,
+        group_digits(best.test_time)
+    );
+}

@@ -1,0 +1,91 @@
+//! Figure 4 — three test-architecture alternatives for one industrial
+//! design at a 31-wire budget:
+//!
+//! (a) optimized architecture and schedule, no compression;
+//! (b) one decompressor per TAM (wide expanded TAMs across the chip);
+//! (c) one decompressor per core (the proposal: same test time as (b),
+//!     far narrower on-chip routing).
+//!
+//! Regenerate with `cargo run --release --bin fig4`.
+
+use soc_tdc::model::{benchmarks, generator::synthesize_missing_test_sets, Soc};
+use soc_tdc::planner::{PlanRequest, Planner};
+use soc_tdc::report::group_digits;
+use soc_tdc::tam::{render_gantt, CostModel};
+
+fn main() {
+    let mut soc = Soc::new(
+        "fig4",
+        vec![
+            benchmarks::ckt(1),
+            benchmarks::ckt(9),
+            benchmarks::ckt(11),
+            benchmarks::ckt(16),
+        ],
+    );
+    synthesize_missing_test_sets(&mut soc, 2008);
+    println!("# Figure 4: architecture alternatives for {{ckt-1, ckt-9, ckt-11, ckt-16}} at 31 wires\n");
+
+    let budget = 31;
+    let plans = [
+        ("(a) no TDC", Planner::no_tdc().plan(&soc, &PlanRequest::tam_width(budget))),
+        (
+            "(b) decompressor per TAM",
+            Planner::per_tam_tdc().plan(&soc, &PlanRequest::ate_channels(budget)),
+        ),
+        (
+            "(c) decompressor per core",
+            Planner::per_core_tdc().plan(&soc, &PlanRequest::ate_channels(budget)),
+        ),
+    ];
+
+    let mut summary = Vec::new();
+    for (label, plan) in plans {
+        let plan = plan.expect("planning the figure-4 design succeeds");
+        println!("--- {label} ---");
+        println!(
+            "tau_tot = {} cycles | TAM widths {:?} | routed on-chip wires {} | ATE channels {}",
+            group_digits(plan.test_time),
+            plan.schedule.tam_widths(),
+            plan.routed_wires,
+            plan.ate_channels
+        );
+        for s in &plan.core_settings {
+            let how = match s.decompressor {
+                Some((w, m)) => format!("decompressor {w}→{m}"),
+                None => "raw wrapper".to_string(),
+            };
+            println!(
+                "    {:>7}: TAM{} (w={:>2}), tau = {:>11}, {how}",
+                s.name,
+                s.tam,
+                s.tam_width,
+                group_digits(s.test_time)
+            );
+        }
+        // Render the schedule as in the paper's figure.
+        let mut cost = CostModel::new(budget);
+        for s in &plan.core_settings {
+            let mut row = vec![None; budget as usize];
+            row[(s.tam_width - 1) as usize] = Some(s.test_time);
+            cost.push_core(&s.name, row);
+        }
+        println!("{}", render_gantt(&plan.schedule, &cost, 56));
+        summary.push((label, plan.test_time, plan.routed_wires));
+    }
+
+    println!("--- summary ---");
+    for (label, tau, wires) in &summary {
+        println!("{label:>28}: tau = {:>12}, routed wires = {wires}", group_digits(*tau));
+    }
+    let (_, tau_a, _) = summary[0];
+    let (_, tau_b, wires_b) = summary[1];
+    let (_, tau_c, wires_c) = summary[2];
+    println!();
+    println!(
+        "TDC speedup (a)/(c): {:.2}x; (b) vs (c) test time: {:.2}x; routing (b)/(c): {:.1}x wider",
+        tau_a as f64 / tau_c as f64,
+        tau_b as f64 / tau_c as f64,
+        wires_b as f64 / wires_c as f64
+    );
+}

@@ -1,0 +1,61 @@
+//! Extension experiment — per-core compression-technique selection (the
+//! authors' ATS 2008 follow-up direction): each core independently picks
+//! the fastest of {raw, selective encoding, FDR} at its TAM width.
+//!
+//! Regenerate with `cargo run --release --bin selection`.
+
+use std::collections::BTreeMap;
+
+use soc_tdc::model::benchmarks::Design;
+use soc_tdc::planner::{DecisionConfig, PlanRequest, Planner};
+use soc_tdc::report::{group_digits, ratio};
+
+fn main() {
+    println!("# Extension: per-core compression-technique selection at W_TAM = 32");
+    println!(
+        "{:>8} | {:>12} {:>12} {:>12} {:>12} | {:>9} | technique mix",
+        "design", "raw", "selenc", "FDR", "select", "sel/best"
+    );
+
+    let cfg = DecisionConfig {
+        pattern_sample: Some(16),
+        m_candidates: 12,
+    };
+    for design in [Design::D695, Design::System1, Design::System2] {
+        let soc = design.build_with_cubes(2008);
+        let req = PlanRequest::tam_width(32).with_decisions(cfg.clone());
+        let raw = Planner::no_tdc().plan(&soc, &req).expect("raw plan");
+        let selenc = Planner::per_core_tdc().plan(&soc, &req).expect("selenc plan");
+        let fdr = Planner::fdr_tdc().plan(&soc, &req).expect("FDR plan");
+        let select = Planner::select_tdc().plan(&soc, &req).expect("select plan");
+
+        let best_single = raw.test_time.min(selenc.test_time).min(fdr.test_time);
+        let mut mix: BTreeMap<&str, usize> = BTreeMap::new();
+        for s in &select.core_settings {
+            *mix.entry(s.technique.label()).or_default() += 1;
+        }
+        let mix: Vec<String> = mix.iter().map(|(k, v)| format!("{k}×{v}")).collect();
+        println!(
+            "{:>8} | {:>12} {:>12} {:>12} {:>12} | {:>9} | {}",
+            design.name(),
+            group_digits(raw.test_time),
+            group_digits(selenc.test_time),
+            group_digits(fdr.test_time),
+            group_digits(select.test_time),
+            ratio(select.test_time, best_single),
+            mix.join(" ")
+        );
+        // Per-width decisions dominate pointwise, but greedy scheduling is
+        // subject to Graham-type anomalies: a uniformly faster cost matrix
+        // can still schedule slightly worse. Allow a small margin.
+        assert!(
+            select.test_time <= best_single * 11 / 10,
+            "selection fell more than 10% behind the best single technique"
+        );
+    }
+    println!();
+    println!("# Selection matches the best single technique per design (ratios ≈ 1.00; small
+# excursions above 1 are greedy-scheduling anomalies — per-core decisions
+# dominate pointwise, schedules need not), and the");
+    println!("# technique mix shows different cores genuinely preferring different schemes.");
+}

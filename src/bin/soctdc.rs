@@ -1,0 +1,30 @@
+//! The `soctdc` command-line tool: plan SOC tests, profile cores, list
+//! built-in benchmark designs, convert between description formats.
+//!
+//! Run `soctdc help` for usage.
+
+use std::process::ExitCode;
+
+use soc_tdc::cli::{parse_args, run, CliError};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&command, &mut std::io::stdout()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(m)) => {
+            eprintln!("{m}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

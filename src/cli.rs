@@ -1,0 +1,895 @@
+//! Command-line interface logic for the `soctdc` binary.
+//!
+//! Kept in the library so argument parsing and command dispatch are unit
+//! testable; the binary is a thin wrapper. No external argument-parsing
+//! dependency — the grammar is small and fixed.
+
+use std::fmt;
+
+use crate::model::benchmarks::Design;
+use crate::model::format::parse_soc;
+use crate::model::generator::synthesize_missing_test_sets;
+use crate::model::itc02::{parse_itc02, write_itc02};
+use crate::model::Soc;
+use crate::planner::{
+    export_image, parse_plan, verify_image, write_plan, Budget, DecisionConfig, PlanRequest,
+    Planner,
+};
+use crate::selenc::{generate_verilog, CoreProfile, ProfileConfig, SliceCode, SliceStats};
+use crate::tam::{render_gantt, CostModel};
+
+/// A parsed `soctdc` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Plan an SOC test (`soctdc plan …`).
+    Plan(PlanArgs),
+    /// Print a core's (w, m) lookup table (`soctdc profile …`).
+    Profile(ProfileArgs),
+    /// List the built-in benchmark designs (`soctdc designs`).
+    Designs,
+    /// Convert between the simple and ITC'02 formats (`soctdc convert …`).
+    Convert(ConvertArgs),
+    /// Emit decompressor Verilog (`soctdc rtl …`).
+    Rtl(RtlArgs),
+    /// Print a core's slice statistics (`soctdc stats …`).
+    Stats(StatsArgs),
+    /// Re-verify a saved plan bit-exactly (`soctdc verify …`).
+    Verify(VerifyArgs),
+    /// Print a per-core summary of an SOC (`soctdc info …`).
+    Info(InfoArgs),
+    /// Fit a test to a tester memory budget by truncation
+    /// (`soctdc truncate …`).
+    Truncate(TruncateArgs),
+    /// Print usage (`soctdc help`).
+    Help,
+}
+
+/// Where an SOC comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocSource {
+    /// A file in the simple line format.
+    SimpleFile(String),
+    /// A file in ITC'02 format.
+    Itc02File(String),
+    /// A built-in benchmark design.
+    Builtin(Design),
+}
+
+/// Arguments of `soctdc plan`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanArgs {
+    /// SOC source.
+    pub source: SocSource,
+    /// Wire budget.
+    pub budget: Budget,
+    /// Compression mode keyword.
+    pub mode: String,
+    /// Cube-synthesis seed.
+    pub seed: u64,
+    /// Evaluation fidelity.
+    pub decisions: DecisionConfig,
+    /// Care density for ITC'02 inputs (the format carries none).
+    pub density: f64,
+    /// Render an ASCII Gantt chart.
+    pub gantt: bool,
+    /// Write the plan file here.
+    pub plan_out: Option<String>,
+}
+
+/// Arguments of `soctdc profile`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileArgs {
+    /// SOC source.
+    pub source: SocSource,
+    /// Core name within the SOC.
+    pub core: String,
+    /// Widest TAM width to profile.
+    pub max_width: u32,
+    /// Cube-synthesis seed.
+    pub seed: u64,
+    /// Patterns sampled per evaluation.
+    pub sample: usize,
+    /// Care density for ITC'02 inputs.
+    pub density: f64,
+}
+
+/// Arguments of `soctdc rtl`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtlArgs {
+    /// Decompressor output chains `m`.
+    pub chains: u32,
+    /// Verilog module name.
+    pub module: String,
+}
+
+/// Arguments of `soctdc stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsArgs {
+    /// SOC source.
+    pub source: SocSource,
+    /// Core name within the SOC.
+    pub core: String,
+    /// Wrapper chains to analyze at.
+    pub chains: u32,
+    /// Cube-synthesis seed.
+    pub seed: u64,
+    /// Care density for ITC'02 inputs.
+    pub density: f64,
+}
+
+/// Arguments of `soctdc verify`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyArgs {
+    /// SOC source (must match the one the plan was made for).
+    pub source: SocSource,
+    /// Path of the plan file.
+    pub plan: String,
+    /// Cube-synthesis seed (must match the planning run).
+    pub seed: u64,
+    /// Care density for ITC'02 inputs.
+    pub density: f64,
+}
+
+/// Arguments of `soctdc truncate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruncateArgs {
+    /// SOC source.
+    pub source: SocSource,
+    /// Wire budget.
+    pub budget: Budget,
+    /// Compression mode keyword.
+    pub mode: String,
+    /// Tester vector-memory depth.
+    pub depth: u64,
+    /// Cube-synthesis seed.
+    pub seed: u64,
+    /// Evaluation fidelity.
+    pub decisions: DecisionConfig,
+    /// Care density for ITC'02 inputs.
+    pub density: f64,
+}
+
+/// Arguments of `soctdc info`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InfoArgs {
+    /// SOC source.
+    pub source: SocSource,
+    /// Care density for ITC'02 inputs.
+    pub density: f64,
+}
+
+/// Arguments of `soctdc convert`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvertArgs {
+    /// SOC source.
+    pub source: SocSource,
+    /// Target format: `"itc02"` or `"simple"`.
+    pub to: String,
+    /// Care density for ITC'02 inputs.
+    pub density: f64,
+}
+
+/// Error produced while parsing or running a command.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line; the string is a user-facing message.
+    Usage(String),
+    /// Any downstream failure (IO, parse, planning).
+    Run(Box<dyn std::error::Error>),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}\n\n{USAGE}"),
+            CliError::Run(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage text (`soctdc help`).
+pub const USAGE: &str = "\
+soctdc — SOC test-architecture optimization with core-level decompression
+
+USAGE:
+  soctdc plan    (--soc FILE | --itc02 FILE | --design NAME) [--width N | --ate N]
+                 [--mode no-tdc|per-core|per-tam|fixed4|reseed|fdr|select] [--seed N]
+                 [--sample N] [--mcand N] [--exact] [--density F] [--gantt]
+                 [--plan-out FILE]
+  soctdc profile (--soc FILE | --itc02 FILE | --design NAME) --core NAME
+                 [--max-width N] [--seed N] [--sample N] [--density F]
+  soctdc convert (--soc FILE | --itc02 FILE | --design NAME) --to itc02|simple
+                 [--density F]
+  soctdc verify  (--soc FILE | --itc02 FILE | --design NAME) --plan FILE
+                 [--seed N] [--density F]
+  soctdc rtl     --chains M [--module NAME]
+  soctdc stats   (--soc FILE | --itc02 FILE | --design NAME) --core NAME
+                 --chains M [--seed N] [--density F]
+  soctdc truncate (--soc FILE | --itc02 FILE | --design NAME) --depth N
+                 [--width N | --ate N] [--mode …] [--seed N] [--density F]
+  soctdc info    (--soc FILE | --itc02 FILE | --design NAME) [--density F]
+  soctdc designs
+  soctdc help
+
+Defaults: --width 32, --mode per-core, --seed 2008, --sample 24, --mcand 16,
+          --density 0.66 (for ITC'02 inputs).";
+
+/// Parses a `soctdc` command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] with a message on malformed input.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let usage = |m: &str| CliError::Usage(m.to_string());
+    let Some(cmd) = args.first() else {
+        return Err(usage("missing command"));
+    };
+    let mut source: Option<SocSource> = None;
+    let mut width: Option<u32> = None;
+    let mut ate: Option<u32> = None;
+    let mut mode = "per-core".to_string();
+    let mut seed = 2008u64;
+    let mut sample: Option<usize> = Some(24);
+    let mut mcand = 16usize;
+    let mut exact = false;
+    let mut density = 0.66f64;
+    let mut gantt = false;
+    let mut core: Option<String> = None;
+    let mut max_width = 16u32;
+    let mut to: Option<String> = None;
+    let mut chains: Option<u32> = None;
+    let mut module = "decompressor".to_string();
+    let mut plan_out: Option<String> = None;
+    let mut plan_file: Option<String> = None;
+    let mut depth: Option<u64> = None;
+
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, CliError> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--soc" => source = Some(SocSource::SimpleFile(value("--soc")?)),
+            "--itc02" => source = Some(SocSource::Itc02File(value("--itc02")?)),
+            "--design" => {
+                let name = value("--design")?;
+                let d = Design::ALL
+                    .into_iter()
+                    .find(|d| d.name().eq_ignore_ascii_case(&name))
+                    .ok_or_else(|| usage(&format!("unknown design `{name}`")))?;
+                source = Some(SocSource::Builtin(d));
+            }
+            "--width" => width = Some(parse_num(&value("--width")?, "--width")?),
+            "--ate" => ate = Some(parse_num(&value("--ate")?, "--ate")?),
+            "--mode" => mode = value("--mode")?,
+            "--seed" => seed = parse_num(&value("--seed")?, "--seed")?,
+            "--sample" => sample = Some(parse_num(&value("--sample")?, "--sample")?),
+            "--mcand" => mcand = parse_num(&value("--mcand")?, "--mcand")?,
+            "--exact" => exact = true,
+            "--density" => {
+                density = value("--density")?
+                    .parse()
+                    .map_err(|_| usage("--density needs a number"))?;
+            }
+            "--gantt" => gantt = true,
+            "--core" => core = Some(value("--core")?),
+            "--max-width" => max_width = parse_num(&value("--max-width")?, "--max-width")?,
+            "--to" => to = Some(value("--to")?),
+            "--chains" => chains = Some(parse_num(&value("--chains")?, "--chains")?),
+            "--module" => module = value("--module")?,
+            "--plan-out" => plan_out = Some(value("--plan-out")?),
+            "--plan" => plan_file = Some(value("--plan")?),
+            "--depth" => depth = Some(parse_num(&value("--depth")?, "--depth")?),
+            other => return Err(usage(&format!("unknown flag `{other}`"))),
+        }
+    }
+
+    let decisions = if exact {
+        DecisionConfig::exact()
+    } else {
+        DecisionConfig {
+            pattern_sample: sample,
+            m_candidates: mcand,
+        }
+    };
+    let need_source =
+        |source: Option<SocSource>| source.ok_or_else(|| usage("an SOC source is required"));
+
+    match cmd.as_str() {
+        "plan" => {
+            if width.is_some() && ate.is_some() {
+                return Err(usage("--width and --ate are mutually exclusive"));
+            }
+            let budget = match (width, ate) {
+                (_, Some(a)) => Budget::AteChannels(a),
+                (w, None) => Budget::TamWidth(w.unwrap_or(32)),
+            };
+            Ok(Command::Plan(PlanArgs {
+                source: need_source(source)?,
+                budget,
+                mode,
+                seed,
+                decisions,
+                density,
+                gantt,
+                plan_out,
+            }))
+        }
+        "profile" => Ok(Command::Profile(ProfileArgs {
+            source: need_source(source)?,
+            core: core.ok_or_else(|| usage("profile needs --core NAME"))?,
+            max_width,
+            seed,
+            sample: sample.unwrap_or(24),
+            density,
+        })),
+        "convert" => Ok(Command::Convert(ConvertArgs {
+            source: need_source(source)?,
+            to: to.ok_or_else(|| usage("convert needs --to itc02|simple"))?,
+            density,
+        })),
+        "rtl" => Ok(Command::Rtl(RtlArgs {
+            chains: chains.ok_or_else(|| usage("rtl needs --chains M"))?,
+            module,
+        })),
+        "stats" => Ok(Command::Stats(StatsArgs {
+            source: need_source(source)?,
+            core: core.ok_or_else(|| usage("stats needs --core NAME"))?,
+            chains: chains.ok_or_else(|| usage("stats needs --chains M"))?,
+            seed,
+            density,
+        })),
+        "verify" => Ok(Command::Verify(VerifyArgs {
+            source: need_source(source)?,
+            plan: plan_file.ok_or_else(|| usage("verify needs --plan FILE"))?,
+            seed,
+            density,
+        })),
+        "truncate" => {
+            let budget = match (width, ate) {
+                (_, Some(a)) => Budget::AteChannels(a),
+                (w, None) => Budget::TamWidth(w.unwrap_or(32)),
+            };
+            Ok(Command::Truncate(TruncateArgs {
+                source: need_source(source)?,
+                budget,
+                mode,
+                depth: depth.ok_or_else(|| usage("truncate needs --depth N"))?,
+                seed,
+                decisions,
+                density,
+            }))
+        }
+        "info" => Ok(Command::Info(InfoArgs {
+            source: need_source(source)?,
+            density,
+        })),
+        "designs" => Ok(Command::Designs),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(usage(&format!("unknown command `{other}`"))),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
+    s.parse()
+        .map_err(|_| CliError::Usage(format!("{flag}: invalid number `{s}`")))
+}
+
+/// Loads an SOC from a source (no cubes attached yet).
+fn load_soc(source: &SocSource, density: f64) -> Result<Soc, CliError> {
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::Run(format!("cannot read {path}: {e}").into()))
+    };
+    match source {
+        SocSource::SimpleFile(path) => {
+            parse_soc(&read(path)?).map_err(|e| CliError::Run(Box::new(e)))
+        }
+        SocSource::Itc02File(path) => {
+            let parsed =
+                parse_itc02(&read(path)?, density).map_err(|e| CliError::Run(Box::new(e)))?;
+            if !parsed.skipped_modules.is_empty() {
+                eprintln!(
+                    "note: skipped untestable modules {:?}",
+                    parsed.skipped_modules
+                );
+            }
+            Ok(parsed.soc)
+        }
+        SocSource::Builtin(d) => Ok(d.build()),
+    }
+}
+
+fn planner_for(mode: &str) -> Result<Planner, CliError> {
+    Ok(match mode {
+        "no-tdc" => Planner::no_tdc(),
+        "per-core" => Planner::per_core_tdc(),
+        "per-tam" => Planner::per_tam_tdc(),
+        "fixed4" => Planner::fixed_width_tdc(4),
+        "reseed" => Planner::reseeding_tdc(),
+        "fdr" => Planner::fdr_tdc(),
+        "select" => Planner::select_tdc(),
+        other => {
+            return Err(CliError::Usage(format!("unknown mode `{other}`")));
+        }
+    })
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Propagates IO, parse, and planning failures as [`CliError::Run`].
+pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let io_err = |e: std::io::Error| CliError::Run(Box::new(e));
+    match command {
+        Command::Help => writeln!(out, "{USAGE}").map_err(io_err),
+        Command::Designs => {
+            for d in Design::ALL {
+                let soc = d.build();
+                writeln!(
+                    out,
+                    "{:<9} {:>2} cores, {:>9} scan cells, {:>12} bits stimulus{}",
+                    d.name(),
+                    soc.core_count(),
+                    soc.total_scan_cells(),
+                    soc.initial_volume_bits(),
+                    if d.is_industrial() { "  (industrial-like)" } else { "" }
+                )
+                .map_err(io_err)?;
+            }
+            Ok(())
+        }
+        Command::Convert(args) => {
+            let soc = load_soc(&args.source, args.density)?;
+            let text = match args.to.as_str() {
+                "itc02" => write_itc02(&soc),
+                "simple" => crate::model::format::write_soc(&soc),
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown target format `{other}` (itc02|simple)"
+                    )));
+                }
+            };
+            write!(out, "{text}").map_err(io_err)
+        }
+        Command::Truncate(args) => {
+            let mut soc = load_soc(&args.source, args.density)?;
+            synthesize_missing_test_sets(&mut soc, args.seed);
+            let planner = planner_for(&args.mode)?;
+            let request = PlanRequest {
+                budget: args.budget,
+                decisions: args.decisions.clone(),
+                architecture: Default::default(),
+            };
+            let spec = crate::planner::AteSpec {
+                channels: args.budget.width(),
+                memory_depth: args.depth,
+                clock_hz: 50_000_000,
+            };
+            let t = crate::planner::truncate_to_fit(&soc, &planner, &request, &spec)
+                .map_err(|e| CliError::Run(Box::new(e)))?;
+            write!(out, "{t}").map_err(io_err)?;
+            writeln!(
+                out,
+                "quality proxy (care bits kept): {:.1}%",
+                100.0 * t.quality_proxy(&soc)
+            )
+            .map_err(io_err)
+        }
+        Command::Info(args) => {
+            let soc = load_soc(&args.source, args.density)?;
+            writeln!(out, "{soc}").map_err(io_err)?;
+            writeln!(
+                out,
+                "{:>14} {:>8} {:>8} {:>7} {:>10} {:>9} {:>8} {:>10}",
+                "core", "inputs", "outputs", "bidirs", "scan cells", "patterns", "density", "Vi (bits)"
+            )
+            .map_err(io_err)?;
+            for core in soc.cores() {
+                writeln!(
+                    out,
+                    "{:>14} {:>8} {:>8} {:>7} {:>10} {:>9} {:>8.3} {:>10}",
+                    core.name(),
+                    core.inputs(),
+                    core.outputs(),
+                    core.bidirs(),
+                    core.scan_cells(),
+                    core.pattern_count(),
+                    core.care_density(),
+                    core.initial_volume_bits()
+                )
+                .map_err(io_err)?;
+            }
+            Ok(())
+        }
+        Command::Verify(args) => {
+            let mut soc = load_soc(&args.source, args.density)?;
+            synthesize_missing_test_sets(&mut soc, args.seed);
+            let text = std::fs::read_to_string(&args.plan)
+                .map_err(|e| CliError::Run(format!("cannot read {}: {e}", args.plan).into()))?;
+            let plan = parse_plan(&text).map_err(|e| CliError::Run(Box::new(e)))?;
+            let image = export_image(&soc, &plan).map_err(|e| CliError::Run(Box::new(e)))?;
+            verify_image(&image, &soc, &plan).map_err(|e| CliError::Run(Box::new(e)))?;
+            writeln!(
+                out,
+                "plan verified: {} cores, {} cycles, every care bit honored",
+                plan.core_settings.len(),
+                plan.test_time
+            )
+            .map_err(io_err)
+        }
+        Command::Rtl(args) => {
+            if args.chains == 0 {
+                return Err(CliError::Usage("--chains must be positive".into()));
+            }
+            let code = SliceCode::for_chains(args.chains);
+            write!(out, "{}", generate_verilog(code, &args.module)).map_err(io_err)
+        }
+        Command::Stats(args) => {
+            let mut soc = load_soc(&args.source, args.density)?;
+            synthesize_missing_test_sets(&mut soc, args.seed);
+            let Some((_, core)) = soc.core_by_name(&args.core) else {
+                return Err(CliError::Run(
+                    format!("no core named {:?} in {}", args.core, soc.name()).into(),
+                ));
+            };
+            let stats = SliceStats::for_core(core, args.chains, 32);
+            writeln!(out, "{stats:#?}").map_err(io_err)
+        }
+        Command::Profile(args) => {
+            let mut soc = load_soc(&args.source, args.density)?;
+            synthesize_missing_test_sets(&mut soc, args.seed);
+            let Some((_, core)) = soc.core_by_name(&args.core) else {
+                return Err(CliError::Run(
+                    format!("no core named {:?} in {}", args.core, soc.name()).into(),
+                ));
+            };
+            let profile = CoreProfile::build(
+                core,
+                &ProfileConfig::new(args.max_width)
+                    .pattern_sample(args.sample)
+                    .m_candidates(32),
+            );
+            write!(out, "{profile}").map_err(io_err)
+        }
+        Command::Plan(args) => {
+            let mut soc = load_soc(&args.source, args.density)?;
+            synthesize_missing_test_sets(&mut soc, args.seed);
+            let planner = planner_for(&args.mode)?;
+            let request = PlanRequest {
+                budget: args.budget,
+                decisions: args.decisions.clone(),
+                architecture: Default::default(),
+            };
+            let plan = planner
+                .plan(&soc, &request)
+                .map_err(|e| CliError::Run(Box::new(e)))?;
+            write!(out, "{plan}").map_err(io_err)?;
+            if let Some(path) = &args.plan_out {
+                std::fs::write(path, write_plan(&plan))
+                    .map_err(|e| CliError::Run(format!("cannot write {path}: {e}").into()))?;
+                writeln!(out, "plan written to {path}").map_err(io_err)?;
+            }
+            if args.gantt {
+                let max_w = plan.schedule.tam_widths().iter().copied().max().unwrap_or(1);
+                let mut cost = CostModel::new(max_w);
+                for s in &plan.core_settings {
+                    let mut row = vec![None; max_w as usize];
+                    for w in s.tam_width..=max_w {
+                        row[(w - 1) as usize] = Some(s.test_time);
+                    }
+                    cost.push_core(&s.name, row);
+                }
+                writeln!(out, "\n{}", render_gantt(&plan.schedule, &cost, 64)).map_err(io_err)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_plan_defaults() {
+        let cmd = parse_args(&argv("plan --design d695")).unwrap();
+        match cmd {
+            Command::Plan(a) => {
+                assert_eq!(a.budget, Budget::TamWidth(32));
+                assert_eq!(a.mode, "per-core");
+                assert_eq!(a.seed, 2008);
+                assert!(!a.gantt);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_plan_flags() {
+        let cmd =
+            parse_args(&argv("plan --design system1 --ate 16 --mode no-tdc --gantt --exact"))
+                .unwrap();
+        match cmd {
+            Command::Plan(a) => {
+                assert_eq!(a.budget, Budget::AteChannels(16));
+                assert_eq!(a.mode, "no-tdc");
+                assert!(a.gantt);
+                assert_eq!(a.decisions, DecisionConfig::exact());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn width_and_ate_conflict() {
+        assert!(matches!(
+            parse_args(&argv("plan --design d695 --width 8 --ate 8")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn profile_requires_core() {
+        assert!(matches!(
+            parse_args(&argv("profile --design d695")),
+            Err(CliError::Usage(_))
+        ));
+        let cmd = parse_args(&argv("profile --design d695 --core s838 --max-width 8")).unwrap();
+        match cmd {
+            Command::Profile(a) => {
+                assert_eq!(a.core, "s838");
+                assert_eq!(a.max_width, 8);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_bits() {
+        assert!(parse_args(&argv("frobnicate")).is_err());
+        assert!(parse_args(&argv("plan --design nope")).is_err());
+        assert!(parse_args(&argv("plan --design d695 --bogus 3")).is_err());
+        assert!(parse_args(&argv("plan --design d695 --width abc")).is_err());
+        assert!(parse_args(&argv("")).is_err());
+    }
+
+    #[test]
+    fn designs_and_help_parse() {
+        assert_eq!(parse_args(&argv("designs")).unwrap(), Command::Designs);
+        assert_eq!(parse_args(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_designs_lists_all() {
+        let mut out = Vec::new();
+        run(&Command::Designs, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        for d in Design::ALL {
+            assert!(text.contains(d.name()), "{text}");
+        }
+    }
+
+    #[test]
+    fn run_plan_on_builtin() {
+        let cmd = parse_args(&argv(
+            "plan --design d695 --width 16 --mode no-tdc --sample 8 --mcand 4 --gantt",
+        ))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("no-TDC"));
+        assert!(text.contains("TAM 0"));
+    }
+
+    #[test]
+    fn run_profile_on_builtin() {
+        let cmd = parse_args(&argv(
+            "profile --design d695 --core s13207 --max-width 8 --sample 4",
+        ))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("profile of s13207"));
+    }
+
+    #[test]
+    fn run_convert_roundtrip() {
+        let cmd = parse_args(&argv("convert --design d695 --to itc02")).unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("SocName d695"));
+        assert!(text.contains("TotalModules 11"));
+    }
+
+    #[test]
+    fn unknown_core_is_a_run_error() {
+        let cmd = parse_args(&argv("profile --design d695 --core nope --sample 4")).unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(run(&cmd, &mut out), Err(CliError::Run(_))));
+    }
+}
+
+#[cfg(test)]
+mod rtl_stats_tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn rtl_command_emits_verilog() {
+        let cmd = parse_args(&argv("rtl --chains 64 --module my_decomp")).unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("module my_decomp ("));
+        assert!(text.contains("endmodule"));
+    }
+
+    #[test]
+    fn rtl_requires_chains() {
+        assert!(matches!(
+            parse_args(&argv("rtl")),
+            Err(CliError::Usage(_))
+        ));
+        let zero = parse_args(&argv("rtl --chains 0")).unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(run(&zero, &mut out), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn stats_command_reports_slice_statistics() {
+        let cmd = parse_args(&argv(
+            "stats --design d695 --core s9234 --chains 8 --seed 3",
+        ))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("mean_care_per_slice"));
+        assert!(text.contains("pad_fraction"));
+    }
+
+    #[test]
+    fn stats_requires_core_and_chains() {
+        assert!(parse_args(&argv("stats --design d695 --chains 8")).is_err());
+        assert!(parse_args(&argv("stats --design d695 --core s9234")).is_err());
+    }
+}
+
+#[cfg(test)]
+mod verify_tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn plan_writes_file_and_verify_round_trips() {
+        let dir = std::env::temp_dir().join("soctdc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan_path = dir.join("d695.plan");
+        let plan_path = plan_path.to_str().unwrap();
+
+        // Exact evaluation so the verify pass sees matching stream lengths.
+        let cmd = parse_args(&argv(&format!(
+            "plan --design d695 --width 12 --seed 5 --exact --plan-out {plan_path}"
+        )))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("plan written"));
+
+        let cmd = parse_args(&argv(&format!(
+            "verify --design d695 --seed 5 --plan {plan_path}"
+        )))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("plan verified"));
+
+        // Corrupt the plan: shrink core 0's slot so its exact stream no
+        // longer fits — verification must fail with a slot overflow.
+        let text = std::fs::read_to_string(plan_path).unwrap();
+        let corrupted: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("core 0 ") {
+                    let mut parts: Vec<&str> = l.split_whitespace().collect();
+                    let t = parts.iter().position(|&p| p == "time").unwrap();
+                    parts[t + 1] = "1";
+                    parts.join(" ")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(plan_path, corrupted).unwrap();
+        let cmd = parse_args(&argv(&format!(
+            "verify --design d695 --seed 5 --plan {plan_path}"
+        )))
+        .unwrap();
+        let mut out = Vec::new();
+        assert!(run(&cmd, &mut out).is_err(), "corrupted plan must not verify");
+        let _ = std::fs::remove_file(plan_path);
+    }
+
+    #[test]
+    fn verify_requires_plan_flag() {
+        assert!(matches!(
+            parse_args(&argv("verify --design d695")),
+            Err(CliError::Usage(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod truncate_info_tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn truncate_requires_depth() {
+        assert!(matches!(
+            parse_args(&argv("truncate --design d695")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn truncate_runs_and_reports_quality() {
+        let cmd = parse_args(&argv(
+            "truncate --design d695 --width 12 --mode no-tdc --depth 25000 --sample 4 --mcand 4",
+        ))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("truncation: kept"));
+        assert!(text.contains("quality proxy"));
+    }
+
+    #[test]
+    fn info_prints_per_core_rows() {
+        let cmd = parse_args(&argv("info --design d695")).unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("s38584"));
+        assert!(text.contains("scan cells"));
+    }
+
+    #[test]
+    fn fdr_and_select_modes_parse() {
+        for mode in ["fdr", "select"] {
+            let cmd = parse_args(&argv(&format!(
+                "plan --design d695 --width 8 --mode {mode}"
+            )))
+            .unwrap();
+            match cmd {
+                Command::Plan(a) => assert_eq!(a.mode, mode),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Facade crate re-exporting the whole SOC test-planning stack.
+//!
+//! This is a reproduction of *"Test-Architecture Optimization and Test
+//! Scheduling for SOCs with Core-Level Expansion of Compressed Test
+//! Patterns"* (A. Larsson, E. Larsson, K. Chakrabarty, P. Eles, Z. Peng —
+//! DATE 2008). See `README.md` for the architecture overview, `DESIGN.md`
+//! for the system inventory, and `EXPERIMENTS.md` for the reproduced tables
+//! and figures.
+//!
+//! The individual layers are available as their own crates and re-exported
+//! here:
+//!
+//! * [`model`] — cores, SOCs, ternary test cubes, benchmark designs.
+//! * [`wrapper`] — IEEE 1500-style wrapper-chain design.
+//! * [`selenc`] — selective-encoding compression and its decompressor.
+//! * [`lfsr`] — LFSR-reseeding compression baseline.
+//! * [`tam`] — TAM partitioning and SOC test scheduling.
+//! * [`planner`] — the paper's co-optimization of all of the above.
+//!
+//! # Examples
+//!
+//! ```
+//! use soc_tdc::model::benchmarks::Design;
+//! use soc_tdc::planner::{PlanRequest, Planner};
+//!
+//! let soc = Design::D695.build_with_cubes(1);
+//! let plan = Planner::per_core_tdc().plan(&soc, &PlanRequest::tam_width(16))?;
+//! assert!(plan.test_time > 0);
+//! # Ok::<(), soc_tdc::planner::PlanError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod report;
+
+pub use lfsr;
+pub use selenc;
+pub use soc_model as model;
+pub use tam;
+pub use tdcsoc as planner;
+pub use wrapper;

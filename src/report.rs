@@ -1,0 +1,68 @@
+//! Small formatting helpers shared by the experiment binaries.
+
+/// Formats an integer with thousands separators (`1234567` → `1,234,567`).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(soc_tdc::report::group_digits(1234567), "1,234,567");
+/// assert_eq!(soc_tdc::report::group_digits(42), "42");
+/// ```
+pub fn group_digits(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a ratio `a / b` with two decimals, or `"-"` when `b == 0`.
+///
+/// ```
+/// assert_eq!(soc_tdc::report::ratio(30, 20), "1.50");
+/// assert_eq!(soc_tdc::report::ratio(1, 0), "-");
+/// ```
+pub fn ratio(a: u64, b: u64) -> String {
+    if b == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}", a as f64 / b as f64)
+    }
+}
+
+/// Formats a bit count as Mbit with two decimals.
+///
+/// ```
+/// assert_eq!(soc_tdc::report::mbits(2_000_000), "2.00");
+/// ```
+pub fn mbits(bits: u64) -> String {
+    format!("{:.2}", bits as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_grouped_in_threes() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1_000), "1,000");
+        assert_eq!(group_digits(1_000_000_007), "1,000,000,007");
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(ratio(5, 2), "2.50");
+        assert_eq!(ratio(5, 0), "-");
+    }
+
+    #[test]
+    fn mbits_scales() {
+        assert_eq!(mbits(500_000), "0.50");
+    }
+}

@@ -1,0 +1,184 @@
+//! End-to-end integration tests spanning every crate: benchmark designs →
+//! cube synthesis → wrapper/decompressor co-design → TAM optimization →
+//! schedule, checked for internal consistency and determinism.
+
+use soc_tdc::model::benchmarks::{self, Design};
+use soc_tdc::model::format::{parse_soc, write_soc};
+use soc_tdc::model::{generator::synthesize_missing_test_sets, Core, Soc};
+use soc_tdc::planner::{DecisionConfig, PlanRequest, Planner};
+use soc_tdc::tam::render_gantt;
+
+/// A reduced industrial-like SOC small enough for debug-build tests.
+fn small_industrial() -> Soc {
+    let mk = |name: &str, cells: u32, patterns: u32, density: f64| {
+        Core::builder(name)
+            .inputs(20)
+            .outputs(20)
+            .flexible_cells(cells, 256)
+            .pattern_count(patterns)
+            .care_density(density)
+            .build()
+            .unwrap()
+    };
+    let mut soc = Soc::new(
+        "mini-system",
+        vec![
+            mk("m1", 1_500, 30, 0.03),
+            mk("m2", 2_400, 24, 0.02),
+            mk("m3", 900, 40, 0.05),
+            mk("m4", 3_000, 20, 0.015),
+        ],
+    );
+    synthesize_missing_test_sets(&mut soc, 99);
+    soc
+}
+
+fn fast(w: u32) -> PlanRequest {
+    PlanRequest::tam_width(w).with_decisions(DecisionConfig {
+        pattern_sample: Some(8),
+        m_candidates: 8,
+    })
+}
+
+#[test]
+fn full_pipeline_on_d695() {
+    let soc = Design::D695.build_with_cubes(1);
+    let plan = Planner::per_core_tdc().plan(&soc, &fast(16)).unwrap();
+    assert_eq!(plan.core_settings.len(), 10);
+    assert_eq!(plan.test_time, plan.schedule.makespan());
+    assert_eq!(
+        plan.schedule.total_width(),
+        16,
+        "the whole budget is partitioned"
+    );
+    // Volumes and times aggregate consistently.
+    let vol: u64 = plan.core_settings.iter().map(|s| s.volume_bits).sum();
+    assert_eq!(vol, plan.volume_bits);
+    for s in &plan.core_settings {
+        assert!(s.start + s.test_time <= plan.test_time);
+    }
+}
+
+#[test]
+fn tdc_dominates_no_tdc_across_budgets() {
+    let soc = small_industrial();
+    for w in [6u32, 12, 20, 32] {
+        let raw = Planner::no_tdc().plan(&soc, &fast(w)).unwrap();
+        let tdc = Planner::per_core_tdc().plan(&soc, &fast(w)).unwrap();
+        assert!(
+            tdc.test_time <= raw.test_time,
+            "w={w}: TDC {} vs raw {}",
+            tdc.test_time,
+            raw.test_time
+        );
+        assert!(tdc.volume_bits <= raw.volume_bits, "w={w}");
+    }
+}
+
+#[test]
+fn industrial_reduction_is_order_of_magnitude() {
+    let soc = small_industrial();
+    let raw = Planner::no_tdc().plan(&soc, &fast(24)).unwrap();
+    let tdc = Planner::per_core_tdc().plan(&soc, &fast(24)).unwrap();
+    let speedup = raw.test_time as f64 / tdc.test_time as f64;
+    assert!(speedup > 4.0, "speedup only {speedup:.1}x");
+    assert!(
+        tdc.compressed_core_count() == soc.core_count(),
+        "every sparse core should get a decompressor"
+    );
+}
+
+#[test]
+fn planning_is_deterministic() {
+    let a = {
+        let soc = small_industrial();
+        Planner::per_core_tdc().plan(&soc, &fast(16)).unwrap()
+    };
+    let b = {
+        let soc = small_industrial();
+        Planner::per_core_tdc().plan(&soc, &fast(16)).unwrap()
+    };
+    assert_eq!(a.test_time, b.test_time);
+    assert_eq!(a.volume_bits, b.volume_bits);
+    assert_eq!(a.core_settings, b.core_settings);
+    assert_eq!(a.schedule, b.schedule);
+}
+
+#[test]
+fn different_seeds_change_cubes_but_not_validity() {
+    for seed in [1u64, 2, 3] {
+        let soc = Design::D695.build_with_cubes(seed);
+        let plan = Planner::per_core_tdc().plan(&soc, &fast(16)).unwrap();
+        assert!(plan.test_time > 0);
+    }
+}
+
+#[test]
+fn benchmark_designs_roundtrip_through_the_text_format() {
+    for design in Design::ALL {
+        let soc = design.build();
+        let text = write_soc(&soc);
+        let reparsed = parse_soc(&text).unwrap();
+        assert_eq!(reparsed, soc, "{design}");
+    }
+}
+
+#[test]
+fn all_planner_modes_produce_valid_plans() {
+    let soc = small_industrial();
+    let planners = [
+        Planner::no_tdc(),
+        Planner::per_core_tdc(),
+        Planner::per_tam_tdc(),
+        Planner::fixed_width_tdc(4),
+        Planner::reseeding_tdc(),
+    ];
+    for p in planners {
+        let plan = p.plan(&soc, &fast(16)).unwrap_or_else(|e| {
+            panic!("{:?} failed: {e}", p.mode());
+        });
+        assert_eq!(plan.core_settings.len(), soc.core_count(), "{:?}", p.mode());
+        assert!(plan.test_time > 0);
+        assert!(plan.volume_bits > 0);
+    }
+}
+
+#[test]
+fn gantt_rendering_covers_all_tams() {
+    let soc = small_industrial();
+    let plan = Planner::per_core_tdc().plan(&soc, &fast(12)).unwrap();
+    let mut cost = soc_tdc::tam::CostModel::new(12);
+    for s in &plan.core_settings {
+        let mut row = vec![None; 12];
+        for w in s.tam_width..=12 {
+            row[(w - 1) as usize] = Some(s.test_time);
+        }
+        cost.push_core(&s.name, row);
+    }
+    let chart = render_gantt(&plan.schedule, &cost, 40);
+    assert_eq!(
+        chart.lines().count(),
+        plan.tam_count() + 1,
+        "one row per TAM plus the axis"
+    );
+}
+
+#[test]
+fn ckt_7_shows_the_papers_non_monotonicity() {
+    // The pivotal observation (Fig. 2): at a fixed TAM width, test time is
+    // not monotone in the chain count — scaled down for debug builds.
+    let mut soc = Soc::new("nm", vec![benchmarks::ckt(3)]);
+    synthesize_missing_test_sets(&mut soc, 2008);
+    let core = &soc.cores()[0];
+    let times: Vec<u64> = (64..=127)
+        .filter_map(|m| soc_tdc::selenc::evaluate_point(core, m, Some(6)))
+        .map(|c| c.test_time)
+        .collect();
+    assert!(times.len() > 30);
+    let increases = times.windows(2).filter(|w| w[1] > w[0]).count();
+    let decreases = times.windows(2).filter(|w| w[1] < w[0]).count();
+    assert!(
+        increases > 0 && decreases > 0,
+        "expected non-monotonic behaviour, got {increases} ups / {decreases} downs"
+    );
+}

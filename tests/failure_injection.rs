@@ -1,0 +1,126 @@
+//! Failure-injection tests: corrupted artifacts must be *detected*, never
+//! silently accepted and never cause panics in parsing paths.
+
+use proptest::prelude::*;
+
+use soc_tdc::model::generator::synthesize_missing_test_sets;
+use soc_tdc::model::{Core, Soc};
+use soc_tdc::planner::{
+    export_image, parse_plan, verify_image, write_plan, ImageError, PlanRequest, Planner,
+};
+
+fn small_soc(seed: u64) -> Soc {
+    let mk = |name: &str, cells: u32, patterns: u32, density: f64| {
+        Core::builder(name)
+            .inputs(6)
+            .outputs(6)
+            .flexible_cells(cells, 32)
+            .pattern_count(patterns)
+            .care_density(density)
+            .build()
+            .unwrap()
+    };
+    let mut soc = Soc::new(
+        "fi",
+        vec![mk("a", 150, 4, 0.3), mk("b", 220, 3, 0.2)],
+    );
+    synthesize_missing_test_sets(&mut soc, seed);
+    soc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// An image exported from *different* cubes (a foreign seed) must be
+    /// rejected when verified against the original SOC — with the typed
+    /// care-bit violation, not a panic or a false pass.
+    #[test]
+    fn foreign_images_are_rejected(seed in 0u64..500) {
+        let soc = small_soc(seed);
+        let plan = Planner::no_tdc()
+            .plan(&soc, &PlanRequest::tam_width(8))
+            .unwrap();
+        // Sanity: the honest image verifies.
+        let honest = export_image(&soc, &plan).unwrap();
+        verify_image(&honest, &soc, &plan).unwrap();
+
+        // The same plan executed with another seed's cubes carries
+        // different stimulus bits; with hundreds of care bits per core the
+        // chance of accidental agreement is negligible.
+        let other = small_soc(seed.wrapping_add(1));
+        let foreign = export_image(&other, &plan).unwrap();
+        let err = verify_image(&foreign, &soc, &plan).unwrap_err();
+        prop_assert!(
+            matches!(err, ImageError::CareBitViolated { .. }),
+            "unexpected error {err}"
+        );
+    }
+
+    /// Randomly mutated plan files either parse to a structurally valid
+    /// plan or fail with a typed error — never panic.
+    #[test]
+    fn plan_file_mutations_never_panic(
+        seed in 0u64..100,
+        line_no in 0usize..12,
+        mutation in "[a-z0-9 ]{0,20}",
+    ) {
+        let soc = small_soc(seed);
+        let plan = Planner::no_tdc()
+            .plan(&soc, &PlanRequest::tam_width(6))
+            .unwrap();
+        let text = write_plan(&plan);
+        let mutated: Vec<String> = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| if i == line_no { mutation.clone() } else { l.to_string() })
+            .collect();
+        let _ = parse_plan(&mutated.join("\n")); // must not panic
+    }
+
+    /// Truncated plan files never panic either.
+    #[test]
+    fn truncated_plan_files_never_panic(seed in 0u64..50, keep in 0usize..400) {
+        let soc = small_soc(seed);
+        let plan = Planner::no_tdc()
+            .plan(&soc, &PlanRequest::tam_width(6))
+            .unwrap();
+        let text = write_plan(&plan);
+        let cut = keep.min(text.len());
+        // Cut at a char boundary.
+        let mut cut = cut;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = parse_plan(&text[..cut]);
+    }
+}
+
+/// Deterministic, direct corruption check through the public API: a plan
+/// whose declared per-core time is shrunk must be rejected at export.
+#[test]
+fn shrunk_slots_are_rejected_at_export() {
+    let soc = small_soc(7);
+    let plan = Planner::per_core_tdc()
+        .plan(&soc, &PlanRequest::tam_width(8).exact())
+        .unwrap();
+    let text = write_plan(&plan);
+    let corrupted: String = text
+        .lines()
+        .map(|l| {
+            if l.starts_with("core 0 ") {
+                let mut parts: Vec<&str> = l.split_whitespace().collect();
+                let t = parts.iter().position(|&p| p == "time").unwrap();
+                parts[t + 1] = "2";
+                parts.join(" ")
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let bad_plan = parse_plan(&corrupted).unwrap();
+    assert!(matches!(
+        export_image(&soc, &bad_plan),
+        Err(ImageError::SlotOverflow { .. })
+    ));
+}

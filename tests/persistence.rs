@@ -1,0 +1,85 @@
+//! Persistence round-trips driving real planning: pattern files feeding
+//! cores, cached profile CSVs answering the same queries, and plan files
+//! replayed through verification.
+
+use soc_tdc::model::format::parse_soc;
+use soc_tdc::model::patfile::{parse_patterns, write_patterns};
+use soc_tdc::planner::{parse_plan, write_plan, DecisionConfig, PlanRequest, Planner};
+use soc_tdc::selenc::{CoreProfile, ProfileConfig};
+
+#[test]
+fn real_cubes_arrive_via_pattern_files() {
+    // A user describes the SOC and ships cubes separately.
+    let mut soc = parse_soc(
+        "soc pf\ncore a inputs 4 outputs 2 patterns 3 scan 4 4\n",
+    )
+    .unwrap();
+    let cubes = parse_patterns(
+        "bits 12\n\
+         0101XXXX11XX\n\
+         XXXX0000XXXX\n\
+         1X1X1X1X1X1X\n",
+    )
+    .unwrap();
+    soc.cores_mut()[0].attach_test_set(cubes).unwrap();
+    soc.validate().unwrap();
+
+    let plan = Planner::per_core_tdc()
+        .plan(&soc, &PlanRequest::tam_width(4).exact())
+        .unwrap();
+    assert_eq!(plan.core_settings.len(), 1);
+    assert!(plan.test_time > 0);
+
+    // And the cubes survive a write/read cycle byte-identically.
+    let ts = soc.cores()[0].test_set().unwrap();
+    assert_eq!(&parse_patterns(&write_patterns(ts)).unwrap(), ts);
+}
+
+#[test]
+fn cached_profiles_reproduce_fresh_ones() {
+    let soc = soc_tdc::model::benchmarks::Design::D695.build_with_cubes(8);
+    let (_, core) = soc.core_by_name("s38417").unwrap();
+    let fresh = CoreProfile::build(
+        core,
+        &ProfileConfig::new(10).pattern_sample(8).m_candidates(8),
+    );
+    let cached = CoreProfile::from_csv(fresh.name().to_string(), &fresh.to_csv()).unwrap();
+    assert_eq!(fresh, cached);
+    for w in 3..=10 {
+        assert_eq!(
+            fresh.best_at_most(w).map(|e| (e.tam_width, e.chains)),
+            cached.best_at_most(w).map(|e| (e.tam_width, e.chains)),
+            "w={w}"
+        );
+    }
+}
+
+#[test]
+fn plan_files_survive_a_double_roundtrip() {
+    let soc = soc_tdc::model::benchmarks::Design::System1.build_with_cubes(8);
+    let plan = Planner::select_tdc()
+        .plan(
+            &soc,
+            &PlanRequest::tam_width(16).with_decisions(DecisionConfig {
+                pattern_sample: Some(6),
+                m_candidates: 6,
+            }),
+        )
+        .unwrap();
+    let once = write_plan(&plan);
+    let twice = write_plan(&parse_plan(&once).unwrap());
+    assert_eq!(once, twice, "serialization must be a fixed point");
+    // Techniques survive (select mode mixes them).
+    let reparsed = parse_plan(&twice).unwrap();
+    assert_eq!(
+        reparsed
+            .core_settings
+            .iter()
+            .map(|s| s.technique)
+            .collect::<Vec<_>>(),
+        plan.core_settings
+            .iter()
+            .map(|s| s.technique)
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the compression substrate: for arbitrary cubes
+//! and wrapper geometries, the decompressor must reproduce every care bit,
+//! and the fast cost path must agree with the real encoder.
+
+use proptest::prelude::*;
+
+use soc_tdc::model::{Core, Trit, TritVec};
+use soc_tdc::selenc::{
+    cube_cost, encode_cube, Codeword, Decompressor, Encoder, SliceCode,
+};
+use soc_tdc::wrapper::design_wrapper;
+
+/// Strategy: a ternary cube of the given length with ~`density` care bits.
+fn cube(len: usize, density: f64) -> impl Strategy<Value = TritVec> {
+    let x_weight = ((1.0 - density) * 50.0) as u32 + 1;
+    let care_weight = (density * 25.0) as u32 + 1;
+    proptest::collection::vec(
+        prop_oneof![
+            x_weight => Just(Trit::X),
+            care_weight => Just(Trit::Zero),
+            care_weight => Just(Trit::One),
+        ],
+        len,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+/// A small hard core with arbitrary chain structure, plus a cube for it.
+fn core_and_cube() -> impl Strategy<Value = (Core, TritVec)> {
+    (
+        proptest::collection::vec(1u32..40, 1..6), // scan chains
+        0u32..12,                                  // inputs
+        0u32..12,                                  // outputs
+        0.02f64..0.9,                              // care density
+    )
+        .prop_flat_map(|(chains, inputs, outputs, density)| {
+            let core = Core::builder("prop")
+                .inputs(inputs)
+                .outputs(outputs)
+                .fixed_chains(chains)
+                .pattern_count(1)
+                .build()
+                .expect("valid core");
+            let len = core.scan_load_bits() as usize;
+            cube(len, density).prop_map(move |c| (core.clone(), c))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn decode_of_encode_satisfies_every_care_bit(
+        (core, cube) in core_and_cube(),
+        m in 1u32..24,
+    ) {
+        let design = design_wrapper(&core, m);
+        let code = SliceCode::for_chains(design.chain_count());
+        let enc = Encoder::new(code);
+        let words = encode_cube(&enc, &design, &cube);
+        let mut dec = Decompressor::new(code);
+        let slices = dec.decode_all(words.iter().copied()).expect("well-formed stream");
+        prop_assert_eq!(slices.len() as u64, design.scan_in_length());
+        for (depth, slice) in slices.iter().enumerate() {
+            for (k, chain) in design.chains().iter().enumerate() {
+                if let Some(pos) = chain.position_at(depth as u64) {
+                    prop_assert!(
+                        cube.get(pos as usize).accepts(slice[k]),
+                        "care bit violated at depth {} chain {}", depth, k
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_cost_agrees_with_real_encoder(
+        (core, cube) in core_and_cube(),
+        m in 1u32..24,
+    ) {
+        let design = design_wrapper(&core, m);
+        let code = SliceCode::for_chains(design.chain_count());
+        let enc = Encoder::new(code);
+        prop_assert_eq!(
+            cube_cost(code, &design, &cube),
+            encode_cube(&enc, &design, &cube).len() as u64
+        );
+    }
+
+    #[test]
+    fn every_cube_position_loads_exactly_once(
+        (core, _cube) in core_and_cube(),
+        m in 1u32..24,
+    ) {
+        let design = design_wrapper(&core, m);
+        let mut seen = vec![0u32; core.scan_load_bits() as usize];
+        for chain in design.chains() {
+            for depth in 0..chain.load_len() {
+                seen[chain.position_at(depth).unwrap() as usize] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn codeword_wire_format_roundtrips(m in 1u32..600, mode: bool, last: bool) {
+        let code = SliceCode::for_chains(m);
+        let max_data = (1u32 << code.data_bits()) - 1;
+        for data in [0, m / 2, m, max_data] {
+            let cw = Codeword { mode, last, data };
+            prop_assert_eq!(Codeword::unpack(cw.pack(code), code), cw);
+        }
+    }
+
+    #[test]
+    fn tritvec_display_parse_roundtrip(trits in proptest::collection::vec(
+        prop_oneof![Just(Trit::Zero), Just(Trit::One), Just(Trit::X)], 0..200)
+    ) {
+        let v: TritVec = trits.iter().copied().collect();
+        let reparsed: TritVec = v.to_string().parse().expect("display emits valid symbols");
+        prop_assert_eq!(&reparsed, &v);
+        prop_assert_eq!(v.count_cares(), trits.iter().filter(|t| t.is_care()).count());
+    }
+
+    #[test]
+    fn slice_cost_bounds(
+        (core, cube) in core_and_cube(),
+        m in 1u32..24,
+    ) {
+        // Cost per slice is at least 1 and at most 1 + 2·groups codewords
+        // — singles beyond 2-per-group would have switched to group copy.
+        let design = design_wrapper(&core, m);
+        let code = SliceCode::for_chains(design.chain_count());
+        let cost = cube_cost(code, &design, &cube);
+        let slices = design.scan_in_length();
+        prop_assert!(cost >= slices);
+        let per_slice_max = 1 + 2 * u64::from(code.group_count());
+        prop_assert!(cost <= slices * per_slice_max.max(u64::from(code.chains())));
+    }
+}
