@@ -45,12 +45,17 @@ fn ablate_order(c: &mut Criterion) {
     shortest.reverse();
 
     let paper = greedy_schedule(&cost, &widths).unwrap().makespan();
-    let ident = schedule_in_order(&cost, &widths, &identity).unwrap().makespan();
-    let worst = schedule_in_order(&cost, &widths, &shortest).unwrap().makespan();
-    println!(
-        "[ablation:order] longest-first {paper} | identity {ident} | shortest-first {worst}"
+    let ident = schedule_in_order(&cost, &widths, &identity)
+        .unwrap()
+        .makespan();
+    let worst = schedule_in_order(&cost, &widths, &shortest)
+        .unwrap()
+        .makespan();
+    println!("[ablation:order] longest-first {paper} | identity {ident} | shortest-first {worst}");
+    assert!(
+        paper <= ident.max(worst),
+        "the paper's order should not lose"
     );
-    assert!(paper <= ident.max(worst), "the paper's order should not lose");
 
     let mut g = c.benchmark_group("ablation_order");
     g.bench_function("longest_first", |b| {
@@ -104,8 +109,14 @@ fn ablate_group_copy(c: &mut Criterion) {
     let design = design_wrapper(&core, 200);
     let code = SliceCode::for_chains(design.chain_count());
     let ts = core.test_set().unwrap();
-    let full: u64 = ts.iter().map(|p| cube_cost_policy(code, &design, p, true)).sum();
-    let single: u64 = ts.iter().map(|p| cube_cost_policy(code, &design, p, false)).sum();
+    let full: u64 = ts
+        .iter()
+        .map(|p| cube_cost_policy(code, &design, p, true))
+        .sum();
+    let single: u64 = ts
+        .iter()
+        .map(|p| cube_cost_policy(code, &design, p, false))
+        .sum();
     println!(
         "[ablation:group-copy] full encoder {full} codewords vs single-bit-only {single} \
          ({:.1}% saved by group-copy mode)",
@@ -163,7 +174,10 @@ fn ablate_search_strategy(c: &mut Criterion) {
         b.iter(|| optimize_architecture(black_box(&cost), 24, &ArchitectureOptions::default()))
     });
     g.bench_function("anneal_500", |b| {
-        let opts = AnnealOptions { iterations: 500, ..Default::default() };
+        let opts = AnnealOptions {
+            iterations: 500,
+            ..Default::default()
+        };
         b.iter(|| anneal_architecture(black_box(&cost), 24, &opts))
     });
     g.finish();
@@ -178,7 +192,10 @@ fn ablate_compaction(c: &mut Criterion) {
     let compacted = compact(ts);
     let design = design_wrapper(&core, 128);
     let code = SliceCode::for_chains(design.chain_count());
-    let raw_cw: u64 = ts.iter().map(|p| cube_cost_policy(code, &design, p, true)).sum();
+    let raw_cw: u64 = ts
+        .iter()
+        .map(|p| cube_cost_policy(code, &design, p, true))
+        .sum();
     let cmp_cw: u64 = compacted
         .test_set
         .iter()

@@ -11,8 +11,8 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1");
     g.sample_size(10);
     for w in [16u32, 32] {
-        let req = PlanRequest::ate_channels(w)
-            .with_decisions(bench::bench_request(w).decisions.clone());
+        let req =
+            PlanRequest::ate_channels(w).with_decisions(bench::bench_request(w).decisions.clone());
         g.bench_function(format!("per_core_W{w}"), |b| {
             b.iter(|| Planner::per_core_tdc().plan(black_box(&soc), &req).unwrap())
         });
@@ -20,7 +20,11 @@ fn bench(c: &mut Criterion) {
             b.iter(|| Planner::per_tam_tdc().plan(black_box(&soc), &req).unwrap())
         });
         g.bench_function(format!("fixed4_W{w}"), |b| {
-            b.iter(|| Planner::fixed_width_tdc(4).plan(black_box(&soc), &req).unwrap())
+            b.iter(|| {
+                Planner::fixed_width_tdc(4)
+                    .plan(black_box(&soc), &req)
+                    .unwrap()
+            })
         });
     }
     g.finish();

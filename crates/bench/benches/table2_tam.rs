@@ -10,7 +10,10 @@ fn bench(c: &mut Criterion) {
     let soc = bench::d695();
     let mut g = c.benchmark_group("table2");
     g.sample_size(10);
-    let cfg = DecisionConfig { pattern_sample: Some(8), m_candidates: 8 };
+    let cfg = DecisionConfig {
+        pattern_sample: Some(8),
+        m_candidates: 8,
+    };
     for w in [16u32, 32] {
         let req = PlanRequest::tam_width(w).with_decisions(cfg.clone());
         g.bench_function(format!("per_core_W{w}"), |b| {
@@ -21,10 +24,16 @@ fn bench(c: &mut Criterion) {
         });
     }
     // Reseeding is far heavier; bench it once at the narrow budget.
-    let req16 = PlanRequest::tam_width(16)
-        .with_decisions(DecisionConfig { pattern_sample: Some(4), m_candidates: 4 });
+    let req16 = PlanRequest::tam_width(16).with_decisions(DecisionConfig {
+        pattern_sample: Some(4),
+        m_candidates: 4,
+    });
     g.bench_function("reseeding_W16", |b| {
-        b.iter(|| Planner::reseeding_tdc().plan(black_box(&soc), &req16).unwrap())
+        b.iter(|| {
+            Planner::reseeding_tdc()
+                .plan(black_box(&soc), &req16)
+                .unwrap()
+        })
     });
     g.finish();
 }

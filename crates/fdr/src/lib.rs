@@ -40,9 +40,5 @@ mod compress;
 mod golomb;
 
 pub use code::{codeword_len, encode_run, group_of, Bits, RunDecoder};
-pub use compress::{
-    compress_fdr, decode_chain_stream, encode_chain_stream, FdrResult,
-};
-pub use golomb::{
-    best_golomb, golomb_codeword_len, golomb_encode_run, GolombDecoder,
-};
+pub use compress::{compress_fdr, decode_chain_stream, encode_chain_stream, FdrResult};
+pub use golomb::{best_golomb, golomb_codeword_len, golomb_encode_run, GolombDecoder};

@@ -182,8 +182,7 @@ mod tests {
         for _cycle in 0..40 {
             for k in 0..5 {
                 let sym = ps.output_symbolic(k, &symbolic);
-                let predicted =
-                    (0..24).filter(|&i| sym.get(i) && seed[i]).count() % 2 == 1;
+                let predicted = (0..24).filter(|&i| sym.get(i) && seed[i]).count() % 2 == 1;
                 assert_eq!(predicted, ps.output(k, &concrete), "chain {k}");
             }
             lfsr.step(&mut concrete);

@@ -89,10 +89,9 @@ impl fmt::Display for ReseedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReseedError::NoTestSet => write!(f, "core has no attached test set"),
-            ReseedError::Unsolvable { lfsr_len } => write!(
-                f,
-                "a pattern remained unsolvable at LFSR length {lfsr_len}"
-            ),
+            ReseedError::Unsolvable { lfsr_len } => {
+                write!(f, "a pattern remained unsolvable at LFSR length {lfsr_len}")
+            }
         }
     }
 }
@@ -192,7 +191,9 @@ fn try_solve(
     let mut needed: HashMap<(u64, usize), crate::gf2::Gf2Vec> = HashMap::new();
     for list in constraints {
         for &(t, k, _) in list {
-            needed.entry((t, k)).or_insert_with(|| crate::gf2::Gf2Vec::zero(0));
+            needed
+                .entry((t, k))
+                .or_insert_with(|| crate::gf2::Gf2Vec::zero(0));
         }
     }
 
@@ -290,7 +291,12 @@ mod tests {
         let opts = ReseedOptions::default();
         let rs = compress_reseeding(&sparse, 16, 8, &opts).unwrap();
         let rd = compress_reseeding(&dense, 16, 8, &opts).unwrap();
-        assert!(rd.lfsr_len > 3 * rs.lfsr_len, "{} vs {}", rd.lfsr_len, rs.lfsr_len);
+        assert!(
+            rd.lfsr_len > 3 * rs.lfsr_len,
+            "{} vs {}",
+            rd.lfsr_len,
+            rs.lfsr_len
+        );
     }
 
     #[test]

@@ -130,5 +130,8 @@ fn reseeding_volume_scales_with_density_not_length() {
     // But volumes relative to raw data differ enormously.
     let ra = a.volume_bits as f64 / short_dense.initial_volume_bits() as f64;
     let rb = b.volume_bits as f64 / long_sparse.initial_volume_bits() as f64;
-    assert!(rb < ra / 2.0, "sparse core compresses much better: {ra} vs {rb}");
+    assert!(
+        rb < ra / 2.0,
+        "sparse core compresses much better: {ra} vs {rb}"
+    );
 }

@@ -142,6 +142,16 @@ impl Decompressor {
             State::AwaitLiteral { group } => {
                 let start = group * self.code.data_bits();
                 let len = self.code.group_len(group);
+                // The encoder never sets bits beyond the group's length, so
+                // a populated spare bit is a corrupted word (e.g. a channel
+                // bit-flip) — reject it rather than silently dropping it.
+                if len < 32 && cw.data >> len != 0 {
+                    return Err(DecodeError::LiteralSpareBitsSet {
+                        group,
+                        data: cw.data,
+                        len,
+                    });
+                }
                 for j in 0..len {
                     self.buffer[(start + j) as usize] = cw.data >> j & 1 == 1;
                 }
@@ -216,6 +226,16 @@ pub enum DecodeError {
         /// The group announced by the offending header.
         group: u32,
     },
+    /// A group-copy literal set bits beyond its group's length (the
+    /// encoder never does — a corrupted word).
+    LiteralSpareBitsSet {
+        /// The group the literal belongs to.
+        group: u32,
+        /// The literal's raw data field.
+        data: u32,
+        /// The group's length in bits.
+        len: u32,
+    },
     /// The stream ended in the middle of a slice.
     TruncatedStream,
 }
@@ -231,8 +251,15 @@ impl fmt::Display for DecodeError {
                 write!(f, "group index {group} out of range ({groups} groups)")
             }
             DecodeError::LastOnGroupHeader { group } => {
-                write!(f, "group-copy header for group {group} carries the last flag")
+                write!(
+                    f,
+                    "group-copy header for group {group} carries the last flag"
+                )
             }
+            DecodeError::LiteralSpareBitsSet { group, data, len } => write!(
+                f,
+                "literal {data:#b} for group {group} sets bits beyond its {len}-bit length"
+            ),
             DecodeError::TruncatedStream => write!(f, "codeword stream ended mid-slice"),
         }
     }
@@ -261,13 +288,7 @@ mod tests {
     #[test]
     fn roundtrip_satisfies_care_bits() {
         for s in [
-            "XXXXXXXX",
-            "00000000",
-            "11111111",
-            "1XXXXXXX",
-            "X0X1X0X1",
-            "10110000",
-            "00011111",
+            "XXXXXXXX", "00000000", "11111111", "1XXXXXXX", "X0X1X0X1", "10110000", "00011111",
             "01101101",
         ] {
             roundtrip(8, s);
@@ -326,21 +347,46 @@ mod tests {
         let code = SliceCode::for_chains(10); // c = 4, spare values 11..15
         let mut dec = Decompressor::new(code);
         let err = dec
-            .feed(Codeword { mode: false, last: false, data: 12 })
+            .feed(Codeword {
+                mode: false,
+                last: false,
+                data: 12,
+            })
             .unwrap_err();
-        assert!(matches!(err, DecodeError::BitIndexOutOfRange { index: 12, .. }));
+        assert!(matches!(
+            err,
+            DecodeError::BitIndexOutOfRange { index: 12, .. }
+        ));
 
         let mut dec = Decompressor::new(code);
-        dec.feed(Codeword { mode: false, last: false, data: 10 }).unwrap();
+        dec.feed(Codeword {
+            mode: false,
+            last: false,
+            data: 10,
+        })
+        .unwrap();
         let err = dec
-            .feed(Codeword { mode: true, last: false, data: 9 })
+            .feed(Codeword {
+                mode: true,
+                last: false,
+                data: 9,
+            })
             .unwrap_err();
         assert!(matches!(err, DecodeError::GroupOutOfRange { group: 9, .. }));
 
         let mut dec = Decompressor::new(code);
-        dec.feed(Codeword { mode: false, last: false, data: 10 }).unwrap();
+        dec.feed(Codeword {
+            mode: false,
+            last: false,
+            data: 10,
+        })
+        .unwrap();
         let err = dec
-            .feed(Codeword { mode: true, last: true, data: 0 })
+            .feed(Codeword {
+                mode: true,
+                last: true,
+                data: 0,
+            })
             .unwrap_err();
         assert!(matches!(err, DecodeError::LastOnGroupHeader { group: 0 }));
     }
@@ -349,9 +395,18 @@ mod tests {
     fn spare_value_is_a_no_op_mid_slice() {
         let code = SliceCode::for_chains(8);
         let mut dec = Decompressor::new(code);
-        dec.feed(Codeword { mode: true, last: false, data: 8 }).unwrap();
+        dec.feed(Codeword {
+            mode: true,
+            last: false,
+            data: 8,
+        })
+        .unwrap();
         let out = dec
-            .feed(Codeword { mode: false, last: true, data: 8 })
+            .feed(Codeword {
+                mode: false,
+                last: true,
+                data: 8,
+            })
             .unwrap()
             .unwrap();
         assert_eq!(out, vec![true; 8]);
@@ -359,8 +414,13 @@ mod tests {
 
     #[test]
     fn error_messages_are_descriptive() {
-        let e = DecodeError::BitIndexOutOfRange { index: 9, chains: 8 };
+        let e = DecodeError::BitIndexOutOfRange {
+            index: 9,
+            chains: 8,
+        };
         assert!(e.to_string().contains("9"));
-        assert!(DecodeError::TruncatedStream.to_string().contains("mid-slice"));
+        assert!(DecodeError::TruncatedStream
+            .to_string()
+            .contains("mid-slice"));
     }
 }

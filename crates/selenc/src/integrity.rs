@@ -1,0 +1,248 @@
+//! End-to-end integrity checking of compressed codeword streams.
+//!
+//! The decompressor ([`Decompressor`](crate::Decompressor)) rejects
+//! *structurally* malformed streams — out-of-range indices, truncation,
+//! spare bits set in a literal. A bit-flip can also produce a stream that
+//! is structurally valid but decodes to the *wrong bits*. [`verify_stream`]
+//! closes that gap: it decodes a stream and checks every decoded slice
+//! against the care bits of the cube the stream claims to carry, so any
+//! injected flip that touches a care bit surfaces as a typed
+//! [`StreamError`] instead of silently shipping a corrupted pattern to the
+//! core.
+
+use std::fmt;
+
+use soc_model::TritVec;
+
+use crate::code::{Codeword, SliceCode};
+use crate::decoder::{DecodeError, Decompressor};
+
+/// Decodes `words` and verifies the result against the expected slices.
+///
+/// `expected` holds the ternary scan slices the stream was encoded from
+/// (shallowest first, as produced by the wrapper's slicing). The check
+/// passes when the stream decodes cleanly, yields exactly
+/// `expected.len()` slices, and every decoded slice satisfies its cube's
+/// care bits. Don't-care positions are unconstrained — a flip there is
+/// undetectable by construction and also harmless.
+///
+/// # Errors
+///
+/// * [`StreamError::Malformed`] — the decompressor rejected the stream.
+/// * [`StreamError::SliceCountMismatch`] — flips moved a `last` flag and
+///   changed the slice count.
+/// * [`StreamError::SliceLengthMismatch`] — an expected slice does not
+///   match the code's chain count (caller error or corrupt metadata).
+/// * [`StreamError::CareBitViolation`] — a decoded bit contradicts a care
+///   bit of its cube.
+pub fn verify_stream(
+    code: SliceCode,
+    words: impl IntoIterator<Item = Codeword>,
+    expected: &[TritVec],
+) -> Result<(), StreamError> {
+    let decoded = Decompressor::new(code)
+        .decode_all(words)
+        .map_err(StreamError::Malformed)?;
+    if decoded.len() != expected.len() {
+        return Err(StreamError::SliceCountMismatch {
+            expected: expected.len(),
+            decoded: decoded.len(),
+        });
+    }
+    for (index, (bits, cube)) in decoded.iter().zip(expected).enumerate() {
+        if cube.len() != bits.len() {
+            return Err(StreamError::SliceLengthMismatch {
+                slice: index,
+                expected: cube.len(),
+                decoded: bits.len(),
+            });
+        }
+        for (chain, &bit) in bits.iter().enumerate() {
+            if !cube.get(chain).accepts(bit) {
+                return Err(StreamError::CareBitViolation {
+                    slice: index,
+                    chain,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Error produced by [`verify_stream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StreamError {
+    /// The decompressor rejected the stream as structurally malformed.
+    Malformed(DecodeError),
+    /// The stream decoded to the wrong number of slices.
+    SliceCountMismatch {
+        /// Slices the stream should carry.
+        expected: usize,
+        /// Slices it actually decoded to.
+        decoded: usize,
+    },
+    /// An expected slice's length disagrees with the decoded chain count.
+    SliceLengthMismatch {
+        /// Index of the offending slice.
+        slice: usize,
+        /// Expected (cube) length.
+        expected: usize,
+        /// Decoded length (the code's chain count).
+        decoded: usize,
+    },
+    /// A decoded bit contradicts a care bit of the expected cube.
+    CareBitViolation {
+        /// Index of the offending slice.
+        slice: usize,
+        /// Chain (bit position) within the slice.
+        chain: usize,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Malformed(e) => write!(f, "malformed codeword stream: {e}"),
+            StreamError::SliceCountMismatch { expected, decoded } => {
+                write!(f, "stream decoded to {decoded} slices, expected {expected}")
+            }
+            StreamError::SliceLengthMismatch {
+                slice,
+                expected,
+                decoded,
+            } => write!(
+                f,
+                "slice {slice}: expected {expected} chains, decoded {decoded}"
+            ),
+            StreamError::CareBitViolation { slice, chain } => {
+                write!(
+                    f,
+                    "slice {slice}, chain {chain}: decoded bit violates a care bit"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Malformed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::Encoder;
+
+    fn slices(specs: &[&str]) -> Vec<TritVec> {
+        specs.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    fn encode(code: SliceCode, cubes: &[TritVec]) -> Vec<Codeword> {
+        let enc = Encoder::new(code);
+        cubes.iter().flat_map(|s| enc.encode_slice(s)).collect()
+    }
+
+    #[test]
+    fn clean_stream_verifies() {
+        let code = SliceCode::for_chains(10);
+        let cubes = slices(&["10XX01XX10", "XXXXXXXXXX", "0110100101"]);
+        let words = encode(code, &cubes);
+        verify_stream(code, words, &cubes).unwrap();
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected_or_harmless() {
+        // Flip each wire bit of each codeword in turn. Every corrupted
+        // stream must either be rejected with a typed error or decode to
+        // slices that still satisfy all care bits (the flip landed on a
+        // don't-care). Nothing may panic.
+        let code = SliceCode::for_chains(10);
+        let cubes = slices(&["10XX01XX10", "0110100101", "X1X0X1X0X1"]);
+        let words = encode(code, &cubes);
+        let w = code.tam_width();
+        let mut detected = 0u32;
+        for i in 0..words.len() {
+            for bit in 0..w {
+                let mut flipped = words.clone();
+                let packed = flipped[i].pack(code) ^ (1 << bit);
+                flipped[i] = Codeword::unpack(packed, code);
+                if verify_stream(code, flipped, &cubes).is_err() {
+                    detected += 1;
+                }
+            }
+        }
+        assert!(detected > 0, "no flip was ever detected");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let code = SliceCode::for_chains(10);
+        let cubes = slices(&["10XX01XX10", "0110100101"]);
+        let words = encode(code, &cubes);
+        for cut in 0..words.len() {
+            let err = verify_stream(code, words[..cut].iter().copied(), &cubes).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StreamError::Malformed(DecodeError::TruncatedStream)
+                        | StreamError::SliceCountMismatch { .. }
+                        | StreamError::CareBitViolation { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn literal_spare_bits_are_rejected() {
+        // m = 10 → 4 data bits, last group holds 2 chains: bits 2..3 of its
+        // literal are spare and must be zero.
+        let code = SliceCode::for_chains(10);
+        assert_eq!(code.group_len(code.group_count() - 1), 2);
+        let words = vec![
+            Codeword {
+                mode: false,
+                last: false,
+                data: 10,
+            }, // header, no-op
+            Codeword {
+                mode: true,
+                last: false,
+                data: code.group_count() - 1,
+            },
+            Codeword {
+                mode: false,
+                last: true,
+                data: 0b0100,
+            }, // spare bit set
+        ];
+        let err = Decompressor::new(code).decode_all(words).unwrap_err();
+        assert!(
+            matches!(err, DecodeError::LiteralSpareBitsSet { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn wrong_expectation_is_reported_with_location() {
+        let code = SliceCode::for_chains(8);
+        let cubes = slices(&["1011XXXX"]);
+        let words = encode(code, &cubes);
+        let wrong = slices(&["0011XXXX"]);
+        assert_eq!(
+            verify_stream(code, words, &wrong),
+            Err(StreamError::CareBitViolation { slice: 0, chain: 0 })
+        );
+        let short = slices(&["1011"]);
+        assert!(matches!(
+            verify_stream(code, encode(code, &cubes), &short),
+            Err(StreamError::SliceLengthMismatch { .. })
+        ));
+    }
+}

@@ -50,6 +50,7 @@ mod area;
 mod code;
 mod decoder;
 mod encoder;
+mod integrity;
 mod lut;
 mod rtl;
 mod stream;
@@ -59,10 +60,10 @@ pub use area::{decompressor_area, DecompressorArea};
 pub use code::{Codeword, SliceCode};
 pub use decoder::{DecodeError, Decompressor};
 pub use encoder::Encoder;
+pub use integrity::{verify_stream, StreamError};
 pub use lut::{CoreProfile, ProfileConfig, ProfileEntry};
 pub use rtl::{generate_testbench, generate_verilog};
 pub use stream::{
     compress_sampled, compress_test_set, cube_cost, cube_cost_policy, encode_cube,
-    evaluate_clamped,
-    evaluate_point, Compressed,
+    evaluate_clamped, evaluate_point, Compressed,
 };

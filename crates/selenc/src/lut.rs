@@ -133,11 +133,35 @@ impl CoreProfile {
     /// Panics if the core has no attached test set (synthesize or attach
     /// cubes first).
     pub fn build(core: &Core, config: &ProfileConfig) -> Self {
+        Self::build_cancellable(core, config, &|| false)
+    }
+
+    /// Like [`build`](CoreProfile::build), but polls `cancelled` between
+    /// operating-point evaluations and stops early when it returns `true`.
+    ///
+    /// The result is a *prefix* of the full profile (all widths evaluated
+    /// so far) — still internally consistent, just covering fewer widths.
+    /// Callers degrade gracefully: a width without an entry simply has no
+    /// compressed operating point and falls back to raw access.
+    ///
+    /// # Panics
+    ///
+    /// As [`build`](CoreProfile::build).
+    pub fn build_cancellable(
+        core: &Core,
+        config: &ProfileConfig,
+        cancelled: &dyn Fn() -> bool,
+    ) -> Self {
         let mut entries = Vec::new();
-        for w in SliceCode::MIN_TAM_WIDTH..=config.max_tam_width {
+        'widths: for w in SliceCode::MIN_TAM_WIDTH..=config.max_tam_width {
             let mut best: Option<(u32, Compressed)> = None;
             let mut last_m = 0;
             for m in config.m_values(core, w) {
+                if cancelled() {
+                    // Keep only fully evaluated widths: a half-searched
+                    // width would mis-rank against its neighbours.
+                    break 'widths;
+                }
                 if m == last_m {
                     continue;
                 }
@@ -232,7 +256,10 @@ mod tests {
         let core = prepared(400, 128, 6, 0.2);
         let p = CoreProfile::build(&core, &ProfileConfig::new(10));
         assert!(!p.entries().is_empty());
-        assert!(p.entries().windows(2).all(|w| w[0].tam_width < w[1].tam_width));
+        assert!(p
+            .entries()
+            .windows(2)
+            .all(|w| w[0].tam_width < w[1].tam_width));
         assert_eq!(p.min_width(), Some(3));
         // Max feasible m = 140 → widths up to ceil(log2(141)) + 2 = 10.
         assert_eq!(p.entries().last().unwrap().tam_width, 10);
@@ -271,12 +298,15 @@ mod tests {
     fn sampled_profile_tracks_exact_profile() {
         let core = prepared(500, 64, 30, 0.15);
         let exact = CoreProfile::build(&core, &ProfileConfig::new(8));
-        let sampled =
-            CoreProfile::build(&core, &ProfileConfig::new(8).pattern_sample(8));
+        let sampled = CoreProfile::build(&core, &ProfileConfig::new(8).pattern_sample(8));
         for (a, b) in exact.entries().iter().zip(sampled.entries()) {
             assert_eq!(a.tam_width, b.tam_width);
             let ratio = b.test_time as f64 / a.test_time as f64;
-            assert!((0.8..1.2).contains(&ratio), "w={} ratio {ratio}", a.tam_width);
+            assert!(
+                (0.8..1.2).contains(&ratio),
+                "w={} ratio {ratio}",
+                a.tam_width
+            );
         }
     }
 
@@ -408,7 +438,10 @@ mod csv_tests {
         assert!(CoreProfile::from_csv("x", "a,b,c,d\n").is_err());
         assert!(CoreProfile::from_csv("x", "5,3,10,50\n4,3,10,50\n").is_err());
         // Empty profiles parse (a core can be infeasible everywhere).
-        assert!(CoreProfile::from_csv("x", "# nothing\n").unwrap().entries().is_empty());
+        assert!(CoreProfile::from_csv("x", "# nothing\n")
+            .unwrap()
+            .entries()
+            .is_empty());
     }
 
     #[test]

@@ -262,10 +262,7 @@ mod tests {
         let design = design_wrapper(&core, 20);
         let ts = core.test_set().unwrap();
         let c = compress_test_set(&design, ts);
-        let manual: u64 = ts
-            .iter()
-            .map(|cube| cube_cost(c.code, &design, cube))
-            .sum();
+        let manual: u64 = ts.iter().map(|cube| cube_cost(c.code, &design, cube)).sum();
         assert_eq!(c.codewords, manual);
         assert_eq!(
             c.test_time,

@@ -149,7 +149,10 @@ impl std::fmt::Display for Design {
 /// ```
 pub fn balanced_chains(total: u32, k: u32) -> Vec<u32> {
     assert!(k > 0, "chain count must be positive");
-    assert!(total >= k, "cannot split {total} cells into {k} non-empty chains");
+    assert!(
+        total >= k,
+        "cannot split {total} cells into {k} non-empty chains"
+    );
     let base = total / k;
     let extra = total % k;
     (0..k)
@@ -221,14 +224,7 @@ pub fn d2758() -> Soc {
             let scale = rep + 1;
             let name = format!("{stem}{}", rep + 1);
             let chains = balanced_chains(cells * scale, chains);
-            cores.push(iscas_core(
-                &name,
-                inp,
-                out,
-                &chains,
-                patterns + 13 * rep,
-                d,
-            ));
+            cores.push(iscas_core(&name, inp, out, &chains, patterns + 13 * rep, d));
         }
     }
     Soc::new("d2758", cores)
@@ -240,22 +236,22 @@ pub fn d2758() -> Soc {
 /// Matches the published envelope of the paper's proprietary cores: 10k to
 /// 110k scan cells, care-bit density no more than 5%.
 const CKT_TABLE: [(u32, u32, u32, u32, u32, f64); 16] = [
-    (12_104, 512, 109, 32, 210, 0.030),  // ckt-1
-    (16_408, 512, 66, 79, 180, 0.025),   // ckt-2
-    (10_240, 400, 44, 51, 150, 0.050),   // ckt-3
-    (35_200, 600, 120, 88, 260, 0.020),  // ckt-4
-    (28_650, 512, 96, 104, 200, 0.015),  // ckt-5
-    (45_056, 640, 140, 150, 300, 0.012), // ckt-6
-    (24_576, 512, 130, 120, 240, 0.020), // ckt-7 (used for Figs. 2 and 3)
-    (54_800, 768, 180, 166, 320, 0.010), // ckt-8
-    (18_200, 448, 72, 60, 170, 0.035),   // ckt-9
-    (66_000, 768, 200, 210, 360, 0.010), // ckt-10
-    (30_720, 512, 110, 96, 230, 0.018),  // ckt-11
-    (80_200, 896, 240, 220, 400, 0.008), // ckt-12
-    (14_336, 400, 58, 63, 160, 0.040),   // ckt-13
-    (92_160, 1024, 260, 255, 420, 0.008),// ckt-14
-    (22_100, 512, 84, 90, 190, 0.022),   // ckt-15
-    (110_000, 1024, 300, 280, 440, 0.006),// ckt-16
+    (12_104, 512, 109, 32, 210, 0.030),    // ckt-1
+    (16_408, 512, 66, 79, 180, 0.025),     // ckt-2
+    (10_240, 400, 44, 51, 150, 0.050),     // ckt-3
+    (35_200, 600, 120, 88, 260, 0.020),    // ckt-4
+    (28_650, 512, 96, 104, 200, 0.015),    // ckt-5
+    (45_056, 640, 140, 150, 300, 0.012),   // ckt-6
+    (24_576, 512, 130, 120, 240, 0.020),   // ckt-7 (used for Figs. 2 and 3)
+    (54_800, 768, 180, 166, 320, 0.010),   // ckt-8
+    (18_200, 448, 72, 60, 170, 0.035),     // ckt-9
+    (66_000, 768, 200, 210, 360, 0.010),   // ckt-10
+    (30_720, 512, 110, 96, 230, 0.018),    // ckt-11
+    (80_200, 896, 240, 220, 400, 0.008),   // ckt-12
+    (14_336, 400, 58, 63, 160, 0.040),     // ckt-13
+    (92_160, 1024, 260, 255, 420, 0.008),  // ckt-14
+    (22_100, 512, 84, 90, 190, 0.022),     // ckt-15
+    (110_000, 1024, 300, 280, 440, 0.006), // ckt-16
 ];
 
 /// Number of industrial-like cores available via [`ckt`].
@@ -278,8 +274,7 @@ pub fn ckt(index: u32) -> Core {
         (1..=CKT_COUNT).contains(&index),
         "ckt index {index} outside 1..={CKT_COUNT}"
     );
-    let (cells, max_chains, inputs, outputs, patterns, density) =
-        CKT_TABLE[(index - 1) as usize];
+    let (cells, max_chains, inputs, outputs, patterns, density) = CKT_TABLE[(index - 1) as usize];
     Core::builder(format!("ckt-{index}"))
         .inputs(inputs)
         .outputs(outputs)
@@ -316,8 +311,7 @@ fn p_like(name: &str, seed: u64, cores: u32, total_ffs: u64, max_patterns: u32) 
         let ffs = ((total_ffs as f64 * w) as u32).min(30_000);
         let inputs = 8 + rng.next_below(120) as u32;
         let outputs = 8 + rng.next_below(120) as u32;
-        let patterns = (12 + rng.next_below(u64::from(max_patterns - 12)) as u32)
-            .min(max_patterns);
+        let patterns = (12 + rng.next_below(u64::from(max_patterns - 12)) as u32).min(max_patterns);
         let mut b = Core::builder(format!("{name}.c{:02}", i + 1))
             .inputs(inputs)
             .outputs(outputs)

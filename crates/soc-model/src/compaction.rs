@@ -111,11 +111,8 @@ mod tests {
 
     #[test]
     fn compacts_compatible_cubes() {
-        let ts = TestSet::from_patterns(
-            4,
-            vec![tv("1XXX"), tv("X1XX"), tv("0XXX"), tv("XX1X")],
-        )
-        .unwrap();
+        let ts = TestSet::from_patterns(4, vec![tv("1XXX"), tv("X1XX"), tv("0XXX"), tv("XX1X")])
+            .unwrap();
         let c = compact(&ts);
         // 1XXX + X1XX + XX1X merge; 0XXX conflicts with the first.
         assert_eq!(c.test_set.pattern_count(), 2);

@@ -318,9 +318,7 @@ impl CoreBuilder {
     /// match the core.
     pub fn build(self) -> Result<Core, BuildCoreError> {
         if self.pattern_count == 0 {
-            return Err(BuildCoreError::NoPatterns {
-                core: self.name,
-            });
+            return Err(BuildCoreError::NoPatterns { core: self.name });
         }
         if !(0.0..=1.0).contains(&self.care_density) {
             return Err(BuildCoreError::BadCareDensity {
@@ -352,9 +350,7 @@ impl CoreBuilder {
             test_set: None,
         };
         if core.scan_load_bits() == 0 {
-            return Err(BuildCoreError::NoStimulus {
-                core: core.name,
-            });
+            return Err(BuildCoreError::NoStimulus { core: core.name });
         }
         if let Some(ts) = self.test_set {
             core.attach_test_set(ts)?;
@@ -521,15 +517,25 @@ mod tests {
             Err(BuildCoreError::NoPatterns { .. })
         ));
         assert!(matches!(
-            Core::builder("d").inputs(1).pattern_count(1).care_density(1.5).build(),
+            Core::builder("d")
+                .inputs(1)
+                .pattern_count(1)
+                .care_density(1.5)
+                .build(),
             Err(BuildCoreError::BadCareDensity { .. })
         ));
         assert!(matches!(
-            Core::builder("e").fixed_chains(vec![0]).pattern_count(1).build(),
+            Core::builder("e")
+                .fixed_chains(vec![0])
+                .pattern_count(1)
+                .build(),
             Err(BuildCoreError::EmptyScanChain { .. })
         ));
         assert!(matches!(
-            Core::builder("f").flexible_cells(10, 0).pattern_count(1).build(),
+            Core::builder("f")
+                .flexible_cells(10, 0)
+                .pattern_count(1)
+                .build(),
             Err(BuildCoreError::NoChainsAllowed { .. })
         ));
         assert!(matches!(
@@ -545,13 +551,12 @@ mod tests {
             .pattern_count(2)
             .build()
             .unwrap();
-        let good = TestSet::from_patterns(2, vec!["01".parse().unwrap(), "1X".parse().unwrap()])
-            .unwrap();
+        let good =
+            TestSet::from_patterns(2, vec!["01".parse().unwrap(), "1X".parse().unwrap()]).unwrap();
         c.attach_test_set(good).unwrap();
         assert!(c.test_set().is_some());
 
-        let bad_len =
-            TestSet::from_patterns(3, vec!["011".parse::<TritVec>().unwrap()]).unwrap();
+        let bad_len = TestSet::from_patterns(3, vec!["011".parse::<TritVec>().unwrap()]).unwrap();
         assert!(matches!(
             c.attach_test_set(bad_len),
             Err(BuildCoreError::TestSetShape { .. })
@@ -567,10 +572,8 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(c.care_density(), 0.25);
-        c.attach_test_set(
-            TestSet::from_patterns(4, vec!["0011".parse().unwrap()]).unwrap(),
-        )
-        .unwrap();
+        c.attach_test_set(TestSet::from_patterns(4, vec!["0011".parse().unwrap()]).unwrap())
+            .unwrap();
         assert_eq!(c.care_density(), 1.0);
         assert_eq!(c.nominal_care_density(), 0.25);
     }

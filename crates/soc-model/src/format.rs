@@ -70,10 +70,7 @@ pub fn parse_soc(text: &str) -> Result<Soc, ParseSocError> {
                 cores.push(parse_core(keyword == "flexcore", tokens, lineno)?);
             }
             other => {
-                return Err(err(
-                    lineno,
-                    ErrorKind::UnknownKeyword(other.to_string()),
-                ));
+                return Err(err(lineno, ErrorKind::UnknownKeyword(other.to_string())));
             }
         }
     }
@@ -113,10 +110,9 @@ fn parse_core<'a>(
         builder = apply_field(builder, key, value, lineno, &mut cells, &mut max_chains)?;
     }
     if flexible {
-        let cells =
-            cells.ok_or_else(|| err(lineno, ErrorKind::MissingField("cells")))?;
-        let max_chains = max_chains
-            .ok_or_else(|| err(lineno, ErrorKind::MissingField("maxchains")))?;
+        let cells = cells.ok_or_else(|| err(lineno, ErrorKind::MissingField("cells")))?;
+        let max_chains =
+            max_chains.ok_or_else(|| err(lineno, ErrorKind::MissingField("maxchains")))?;
         builder = builder.flexible_cells(cells, max_chains);
     } else if cells.is_some() || max_chains.is_some() {
         return Err(err(lineno, ErrorKind::CellsOnHardCore));
@@ -309,8 +305,7 @@ mod tests {
 
     #[test]
     fn parses_fixed_scan_chains() {
-        let soc =
-            parse_soc("soc s\ncore a inputs 2 patterns 1 scan 10 20 30\n").unwrap();
+        let soc = parse_soc("soc s\ncore a inputs 2 patterns 1 scan 10 20 30\n").unwrap();
         match soc.cores()[0].scan() {
             ScanArchitecture::Fixed { chain_lengths } => {
                 assert_eq!(chain_lengths, &vec![10, 20, 30]);

@@ -156,8 +156,7 @@ fn hash_name(name: &str) -> u64 {
 pub fn synthesize_missing_test_sets(soc: &mut Soc, seed: u64) {
     for core in soc.cores_mut() {
         if core.test_set().is_none() {
-            let cubes = CubeSynthesis::new(core.nominal_care_density())
-                .synthesize(core, seed);
+            let cubes = CubeSynthesis::new(core.nominal_care_density()).synthesize(core, seed);
             core.attach_test_set(cubes)
                 .expect("synthesized cubes match the core shape");
         }
@@ -219,9 +218,7 @@ mod tests {
     #[test]
     fn decay_makes_later_patterns_sparser() {
         let c = core(4000, 10);
-        let ts = CubeSynthesis::new(0.5)
-            .density_decay(0.7)
-            .synthesize(&c, 3);
+        let ts = CubeSynthesis::new(0.5).density_decay(0.7).synthesize(&c, 3);
         let first = ts.pattern(0).unwrap().care_density();
         let last = ts.pattern(9).unwrap().care_density();
         assert!(first > 2.0 * last, "first {first}, last {last}");
@@ -238,8 +235,16 @@ mod tests {
 
     #[test]
     fn per_core_streams_are_decorrelated() {
-        let a = Core::builder("alpha").inputs(64).pattern_count(4).build().unwrap();
-        let b = Core::builder("beta").inputs(64).pattern_count(4).build().unwrap();
+        let a = Core::builder("alpha")
+            .inputs(64)
+            .pattern_count(4)
+            .build()
+            .unwrap();
+        let b = Core::builder("beta")
+            .inputs(64)
+            .pattern_count(4)
+            .build()
+            .unwrap();
         let ta = CubeSynthesis::new(0.5).synthesize(&a, 77);
         let tb = CubeSynthesis::new(0.5).synthesize(&b, 77);
         assert_ne!(ta, tb);
@@ -250,8 +255,18 @@ mod tests {
         let mut soc = Soc::new(
             "s",
             vec![
-                Core::builder("x").inputs(10).pattern_count(3).care_density(0.4).build().unwrap(),
-                Core::builder("y").inputs(20).pattern_count(2).care_density(0.1).build().unwrap(),
+                Core::builder("x")
+                    .inputs(10)
+                    .pattern_count(3)
+                    .care_density(0.4)
+                    .build()
+                    .unwrap(),
+                Core::builder("y")
+                    .inputs(20)
+                    .pattern_count(2)
+                    .care_density(0.1)
+                    .build()
+                    .unwrap(),
             ],
         );
         synthesize_missing_test_sets(&mut soc, 5);

@@ -149,11 +149,7 @@ struct ModuleSpec {
 }
 
 impl ModuleSpec {
-    fn to_core(
-        &self,
-        soc_name: &str,
-        density: f64,
-    ) -> Result<Option<Core>, ParseItc02Error> {
+    fn to_core(&self, soc_name: &str, density: f64) -> Result<Option<Core>, ParseItc02Error> {
         if self.tests == 0 || self.patterns == 0 {
             return Ok(None);
         }
@@ -180,10 +176,7 @@ impl ModuleSpec {
     }
 }
 
-fn parse_module(
-    number: u32,
-    tokens: &mut Tokens,
-) -> Result<ModuleSpec, ParseItc02Error> {
+fn parse_module(number: u32, tokens: &mut Tokens) -> Result<ModuleSpec, ParseItc02Error> {
     let mut spec = ModuleSpec {
         number,
         ..Default::default()
@@ -210,7 +203,10 @@ fn parse_module(
             "ScanChains" => {
                 tokens.next_token();
                 let count: u32 = tokens.expect_num("ScanChains")?;
-                let mut chains = Vec::with_capacity(count as usize);
+                // Don't trust the declared count for the allocation: a
+                // corrupt header can claim billions of chains. The loop
+                // below fails on the first missing token anyway.
+                let mut chains = Vec::with_capacity(count.min(4096) as usize);
                 for _ in 0..count {
                     chains.push(tokens.expect_num("scan chain length")?);
                 }
@@ -260,7 +256,10 @@ pub fn write_itc02(soc: &Soc) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "SocName {}", soc.name());
     let _ = writeln!(out, "TotalModules {}", soc.core_count() + 1);
-    let _ = writeln!(out, "\nModule 0\n  Level 0\n  Inputs 0 Outputs 0 Bidirs 0\n  TotalTests 0");
+    let _ = writeln!(
+        out,
+        "\nModule 0\n  Level 0\n  Inputs 0 Outputs 0 Bidirs 0\n  TotalTests 0"
+    );
     for (i, core) in soc.cores().iter().enumerate() {
         let _ = writeln!(out, "\nModule {}", i + 1);
         let _ = writeln!(out, "  Level 1");

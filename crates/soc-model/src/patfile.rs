@@ -81,9 +81,7 @@ pub fn parse_patterns(text: &str) -> Result<TestSet, ParsePatternsError> {
 /// ```
 pub fn write_patterns(set: &TestSet) -> String {
     use std::fmt::Write as _;
-    let mut out = String::with_capacity(
-        (set.bits_per_pattern() + 1) * set.pattern_count() + 16,
-    );
+    let mut out = String::with_capacity((set.bits_per_pattern() + 1) * set.pattern_count() + 16);
     let _ = writeln!(out, "bits {}", set.bits_per_pattern());
     for cube in set.iter() {
         let _ = writeln!(out, "{cube}");
@@ -134,7 +132,11 @@ mod tests {
     #[test]
     fn roundtrips_synthesized_sets() {
         use crate::{Core, CubeSynthesis};
-        let core = Core::builder("c").inputs(50).pattern_count(20).build().unwrap();
+        let core = Core::builder("c")
+            .inputs(50)
+            .pattern_count(20)
+            .build()
+            .unwrap();
         let ts = CubeSynthesis::new(0.3).synthesize(&core, 7);
         let reparsed = parse_patterns(&write_patterns(&ts)).unwrap();
         assert_eq!(reparsed, ts);
@@ -154,7 +156,11 @@ mod tests {
     #[test]
     fn attaches_to_a_matching_core() {
         use crate::Core;
-        let mut core = Core::builder("c").inputs(4).pattern_count(2).build().unwrap();
+        let mut core = Core::builder("c")
+            .inputs(4)
+            .pattern_count(2)
+            .build()
+            .unwrap();
         let ts = parse_patterns("bits 4\n01XX\n1XX0\n").unwrap();
         core.attach_test_set(ts).unwrap();
         assert_eq!(core.test_set().unwrap().pattern_count(), 2);

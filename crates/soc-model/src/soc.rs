@@ -163,7 +163,11 @@ mod tests {
         Soc::new(
             "t",
             vec![
-                Core::builder("a").inputs(8).pattern_count(10).build().unwrap(),
+                Core::builder("a")
+                    .inputs(8)
+                    .pattern_count(10)
+                    .build()
+                    .unwrap(),
                 Core::builder("b")
                     .inputs(4)
                     .fixed_chains(vec![16])
@@ -208,8 +212,16 @@ mod tests {
         let dup = Soc::new(
             "dup",
             vec![
-                Core::builder("x").inputs(1).pattern_count(1).build().unwrap(),
-                Core::builder("x").inputs(2).pattern_count(1).build().unwrap(),
+                Core::builder("x")
+                    .inputs(1)
+                    .pattern_count(1)
+                    .build()
+                    .unwrap(),
+                Core::builder("x")
+                    .inputs(2)
+                    .pattern_count(1)
+                    .build()
+                    .unwrap(),
             ],
         );
         let err = dup.validate().unwrap_err();

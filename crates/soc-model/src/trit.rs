@@ -206,7 +206,11 @@ impl TritVec {
     /// Panics if `idx >= self.len()`.
     #[inline]
     pub fn get(&self, idx: usize) -> Trit {
-        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds (len {})",
+            self.len
+        );
         let (w, b) = (idx / WORD_BITS, idx % WORD_BITS);
         if (self.care[w] >> b) & 1 == 0 {
             Trit::X
@@ -224,7 +228,11 @@ impl TritVec {
     /// Panics if `idx >= self.len()`.
     #[inline]
     pub fn set(&mut self, idx: usize, t: Trit) {
-        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds (len {})",
+            self.len
+        );
         let (w, b) = (idx / WORD_BITS, idx % WORD_BITS);
         let mask = 1u64 << b;
         match t {

@@ -9,12 +9,14 @@
 //!
 //! [`optimize_architecture`]: crate::optimize_architecture
 
+use robust::CancelToken;
 use soc_model::SplitMix64;
 
 use crate::cost::CostModel;
 use crate::greedy::greedy_schedule;
 use crate::optimize::Architecture;
 use crate::schedule::ScheduleError;
+use crate::search::{Search, SearchStatus};
 
 /// Options for [`anneal_architecture`].
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +55,30 @@ pub fn anneal_architecture(
     total_width: u32,
     opts: &AnnealOptions,
 ) -> Result<Architecture, ScheduleError> {
+    anneal_architecture_with(cost, total_width, opts, None, &CancelToken::never())
+        .map(|search| search.architecture)
+}
+
+/// Cancellable, warm-startable variant of [`anneal_architecture`].
+///
+/// `warm_start` seeds the walk with a known-good partition (e.g. the
+/// incumbent of an earlier cascade stage) instead of the single-TAM
+/// baseline; an infeasible warm start silently falls back to the
+/// baseline. Polls `token` every iteration and returns the best
+/// architecture visited so far with [`SearchStatus::Interrupted`] when it
+/// trips.
+///
+/// # Errors
+///
+/// As [`anneal_architecture`] — the initial greedy schedule runs before
+/// the first token check, so there is always an incumbent to return.
+pub fn anneal_architecture_with(
+    cost: &CostModel,
+    total_width: u32,
+    opts: &AnnealOptions,
+    warm_start: Option<&[u32]>,
+    token: &CancelToken,
+) -> Result<Search, ScheduleError> {
     if total_width == 0 {
         return Err(ScheduleError::BadPartition {
             total_width,
@@ -60,6 +86,15 @@ pub fn anneal_architecture(
         });
     }
     let mut widths = vec![total_width];
+    if let Some(seed_widths) = warm_start {
+        let feasible = !seed_widths.is_empty()
+            && !seed_widths.contains(&0)
+            && seed_widths.iter().sum::<u32>() == total_width
+            && greedy_schedule(cost, seed_widths).is_ok();
+        if feasible {
+            widths = seed_widths.to_vec();
+        }
+    }
     let mut current = greedy_schedule(cost, &widths)?;
     let mut current_time = current.makespan();
     let mut best = Architecture {
@@ -71,7 +106,12 @@ pub fn anneal_architecture(
     let mut temp = opts.initial_temp * current_time as f64;
     let max_tams = total_width.min(cost.core_count() as u32).max(1) as usize;
 
+    let mut status = SearchStatus::Complete;
     for _ in 0..opts.iterations {
+        if token.is_cancelled() {
+            status = SearchStatus::Interrupted;
+            break;
+        }
         let candidate = propose(&widths, max_tams, &mut rng);
         temp *= opts.cooling;
         let Some(candidate) = candidate else {
@@ -97,7 +137,10 @@ pub fn anneal_architecture(
             }
         }
     }
-    Ok(best)
+    Ok(Search {
+        architecture: best,
+        status,
+    })
 }
 
 /// Proposes a neighbouring partition, or `None` when the move is a no-op.
@@ -209,13 +252,59 @@ mod tests {
     #[test]
     fn respects_infeasible_widths() {
         let mut m = CostModel::new(8);
-        m.push_core("wide", vec![None, None, None, None, None, None, None, Some(100)]);
+        m.push_core(
+            "wide",
+            vec![None, None, None, None, None, None, None, Some(100)],
+        );
         m.push_core("any", vec![Some(80); 8]);
         // Splitting is never accepted (would orphan `wide`); result must
         // still be valid.
         let arch = anneal_architecture(&m, 8, &AnnealOptions::default()).unwrap();
         arch.schedule.validate(&m).unwrap();
         assert_eq!(arch.schedule.tam_widths(), &[8]);
+    }
+
+    #[test]
+    fn cancelled_anneal_still_returns_valid_incumbent() {
+        let c = cost();
+        let token = CancelToken::expiring_in(std::time::Duration::ZERO);
+        let search =
+            anneal_architecture_with(&c, 12, &AnnealOptions::default(), None, &token).unwrap();
+        assert_eq!(search.status, SearchStatus::Interrupted);
+        search.architecture.schedule.validate(&c).unwrap();
+    }
+
+    #[test]
+    fn warm_start_is_honored_and_never_worse() {
+        let c = cost();
+        let baseline = optimize_architecture(&c, 12, &ArchitectureOptions::default()).unwrap();
+        let widths = baseline.schedule.tam_widths().to_vec();
+        let token = CancelToken::never();
+        let warm =
+            anneal_architecture_with(&c, 12, &AnnealOptions::default(), Some(&widths), &token)
+                .unwrap();
+        assert!(warm.is_complete());
+        warm.architecture.schedule.validate(&c).unwrap();
+        // The walk starts at the warm partition; its best can only improve
+        // on that starting point.
+        assert!(warm.architecture.test_time <= baseline.test_time);
+    }
+
+    #[test]
+    fn infeasible_warm_start_falls_back_to_baseline() {
+        let c = cost();
+        // Sums to the wrong total and contains a zero: both must be ignored.
+        for bad in [vec![5u32, 5], vec![12, 0]] {
+            let search = anneal_architecture_with(
+                &c,
+                12,
+                &AnnealOptions::default(),
+                Some(&bad),
+                &CancelToken::never(),
+            )
+            .unwrap();
+            search.architecture.schedule.validate(&c).unwrap();
+        }
     }
 
     #[test]

@@ -74,10 +74,7 @@ impl Conflicts {
         let tests = schedule.tests();
         for (i, a) in tests.iter().enumerate() {
             for b in &tests[i + 1..] {
-                if self.conflicts(a.core, b.core)
-                    && a.start < b.end()
-                    && b.start < a.end()
-                {
+                if self.conflicts(a.core, b.core) && a.start < b.end() && b.start < a.end() {
                     return Err(ConflictViolation {
                         first: a.core,
                         second: b.core,
@@ -185,7 +182,12 @@ fn earliest_conflict_free(
             return t;
         }
     }
-    blockers.iter().map(|t| t.end()).max().unwrap_or(ready).max(ready)
+    blockers
+        .iter()
+        .map(|t| t.end())
+        .max()
+        .unwrap_or(ready)
+        .max(ready)
 }
 
 #[cfg(test)]
@@ -239,8 +241,7 @@ mod tests {
             .unwrap()
             .makespan();
         let constrained =
-            conflict_schedule(&c, &[1, 3], &Conflicts::from_pairs(vec![(0, 1), (2, 3)]))
-                .unwrap();
+            conflict_schedule(&c, &[1, 3], &Conflicts::from_pairs(vec![(0, 1), (2, 3)])).unwrap();
         constrained.validate(&c).unwrap();
         assert!(constrained.makespan() >= free);
     }
@@ -270,12 +271,28 @@ mod tests {
         let bad = Schedule::new(
             vec![1, 1],
             vec![
-                ScheduledTest { core: 0, tam: 0, start: 0, duration: 100 },
-                ScheduledTest { core: 1, tam: 1, start: 50, duration: 100 },
+                ScheduledTest {
+                    core: 0,
+                    tam: 0,
+                    start: 0,
+                    duration: 100,
+                },
+                ScheduledTest {
+                    core: 1,
+                    tam: 1,
+                    start: 50,
+                    duration: 100,
+                },
             ],
         );
         let err = conflicts.validate(&bad).unwrap_err();
-        assert_eq!(err, ConflictViolation { first: 0, second: 1 });
+        assert_eq!(
+            err,
+            ConflictViolation {
+                first: 0,
+                second: 1
+            }
+        );
         assert!(err.to_string().contains("overlap"));
     }
 
@@ -285,8 +302,18 @@ mod tests {
         let ok = Schedule::new(
             vec![1, 1],
             vec![
-                ScheduledTest { core: 0, tam: 0, start: 0, duration: 100 },
-                ScheduledTest { core: 1, tam: 1, start: 100, duration: 100 },
+                ScheduledTest {
+                    core: 0,
+                    tam: 0,
+                    start: 0,
+                    duration: 100,
+                },
+                ScheduledTest {
+                    core: 1,
+                    tam: 1,
+                    start: 100,
+                    duration: 100,
+                },
             ],
         );
         assert!(conflicts.validate(&ok).is_ok());

@@ -147,7 +147,12 @@ impl CostModel {
 
 impl fmt::Display for CostModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "cost model ({} cores, widths 1..={}):", self.core_count(), self.max_width)?;
+        writeln!(
+            f,
+            "cost model ({} cores, widths 1..={}):",
+            self.core_count(),
+            self.max_width
+        )?;
         for (i, name) in self.names.iter().enumerate() {
             write!(f, "  {name:>12}:")?;
             for t in &self.rows[i] {
@@ -185,7 +190,9 @@ mod tests {
 
     #[test]
     fn from_fn_builds_rows() {
-        let m = CostModel::from_fn(&["x", "y"], 4, |i, w| Some((i as u64 + 1) * 100 / u64::from(w)));
+        let m = CostModel::from_fn(&["x", "y"], 4, |i, w| {
+            Some((i as u64 + 1) * 100 / u64::from(w))
+        });
         assert_eq!(m.core_count(), 2);
         assert_eq!(m.time(1, 4), Some(50));
     }

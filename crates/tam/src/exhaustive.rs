@@ -6,13 +6,21 @@
 //! `anneal_architecture`) on test-sized inputs, and usable in anger only
 //! for a handful of cores and wires.
 
+use robust::CancelToken;
+
 use crate::cost::CostModel;
 use crate::optimize::Architecture;
 use crate::schedule::{Schedule, ScheduleError, ScheduledTest};
+use crate::search::Search;
 
 /// Hard cap on the enumeration size, to protect against accidental use on
 /// real instances (`assignments = tams^cores`).
 const MAX_ASSIGNMENTS: u64 = 20_000_000;
+
+/// How many odometer steps run between cancel-token polls: cheap enough
+/// to bound overshoot to well under a millisecond, rare enough that the
+/// atomic load does not dominate the inner loop.
+const CANCEL_POLL_STRIDE: u64 = 4096;
 
 /// Finds the optimal fixed-width-TAM architecture by brute force.
 ///
@@ -27,6 +35,28 @@ pub fn exhaustive_architecture(
     total_width: u32,
     max_tams: u32,
 ) -> Result<Architecture, ScheduleError> {
+    exhaustive_architecture_with(cost, total_width, max_tams, &CancelToken::never())
+        .map(|search| search.architecture)
+}
+
+/// Cancellable variant of [`exhaustive_architecture`].
+///
+/// Polls `token` between partitions and every few thousand assignment
+/// steps. When it trips, the enumeration stops and the best architecture
+/// seen so far is returned with [`SearchStatus::Interrupted`] — a valid
+/// (but no longer provably optimal) incumbent for the caller's fallback
+/// path.
+///
+/// # Errors
+///
+/// As [`exhaustive_architecture`], plus [`ScheduleError::Interrupted`]
+/// when the token trips before any feasible assignment was evaluated.
+pub fn exhaustive_architecture_with(
+    cost: &CostModel,
+    total_width: u32,
+    max_tams: u32,
+    token: &CancelToken,
+) -> Result<Search, ScheduleError> {
     if total_width == 0 {
         return Err(ScheduleError::BadPartition {
             total_width,
@@ -37,8 +67,8 @@ pub fn exhaustive_architecture(
     let k_max = max_tams.min(total_width).min(n as u32).max(1);
 
     let mut best: Option<Architecture> = None;
-    let mut any_partition_worked = false;
-    for k in 1..=k_max {
+    let mut interrupted = false;
+    'search: for k in 1..=k_max {
         let combos = (k as u64).checked_pow(n as u32);
         if combos.is_none_or(|c| c > MAX_ASSIGNMENTS) {
             return Err(ScheduleError::BadPartition {
@@ -47,29 +77,37 @@ pub fn exhaustive_architecture(
             });
         }
         for widths in partitions(total_width, k) {
-            match best_assignment(cost, &widths) {
-                Some(arch) => {
-                    any_partition_worked = true;
-                    if best.as_ref().is_none_or(|b| arch.test_time < b.test_time) {
-                        best = Some(arch);
-                    }
+            if token.is_cancelled() {
+                interrupted = true;
+                break 'search;
+            }
+            let (arch, cut_short) = best_assignment(cost, &widths, token);
+            if let Some(arch) = arch {
+                if best.as_ref().is_none_or(|b| arch.test_time < b.test_time) {
+                    best = Some(arch);
                 }
-                None => continue,
+            }
+            if cut_short {
+                interrupted = true;
+                break 'search;
             }
         }
     }
     match best {
-        Some(b) => Ok(b),
-        None => Err(if any_partition_worked {
-            unreachable!("best is set whenever a partition worked")
+        Some(architecture) => Ok(if interrupted {
+            Search::interrupted(architecture)
         } else {
+            Search::complete(architecture)
+        }),
+        None if interrupted => Err(ScheduleError::Interrupted),
+        None => {
             // Even [total_width] failed → some core is infeasible.
-            ScheduleError::CoreUnschedulable {
+            Err(ScheduleError::CoreUnschedulable {
                 core: (0..n)
                     .find(|&i| cost.time(i, total_width).is_none())
                     .unwrap_or(0),
-            }
-        }),
+            })
+        }
     }
 }
 
@@ -78,7 +116,13 @@ pub fn exhaustive_architecture(
 fn partitions(total: u32, k: u32) -> Vec<Vec<u32>> {
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(k as usize);
-    fn rec(remaining: u32, parts: u32, max_part: u32, current: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+    fn rec(
+        remaining: u32,
+        parts: u32,
+        max_part: u32,
+        current: &mut Vec<u32>,
+        out: &mut Vec<Vec<u32>>,
+    ) {
         if parts == 0 {
             if remaining == 0 {
                 out.push(current.clone());
@@ -99,13 +143,26 @@ fn partitions(total: u32, k: u32) -> Vec<Vec<u32>> {
 }
 
 /// Optimal assignment of all cores to the given widths (exhaustive).
-fn best_assignment(cost: &CostModel, widths: &[u32]) -> Option<Architecture> {
+///
+/// Returns the best architecture over the assignments examined plus a
+/// flag saying whether the token cut the enumeration short.
+fn best_assignment(
+    cost: &CostModel,
+    widths: &[u32],
+    token: &CancelToken,
+) -> (Option<Architecture>, bool) {
     let n = cost.core_count();
     let k = widths.len();
     let mut assignment = vec![0usize; n];
     let mut best: Option<(u64, Vec<usize>)> = None;
+    let mut steps: u64 = 0;
 
     loop {
+        steps += 1;
+        if steps.is_multiple_of(CANCEL_POLL_STRIDE) && token.is_cancelled() {
+            let arch = best.map(|(makespan, a)| build_architecture(cost, widths, &a, makespan));
+            return (arch, true);
+        }
         // Evaluate: serial load per TAM.
         let mut loads = vec![0u64; k];
         let mut feasible = true;
@@ -128,8 +185,8 @@ fn best_assignment(cost: &CostModel, widths: &[u32]) -> Option<Architecture> {
         let mut i = 0;
         loop {
             if i == n {
-                let (makespan, assignment) = best?;
-                return Some(build_architecture(cost, widths, &assignment, makespan));
+                let arch = best.map(|(makespan, a)| build_architecture(cost, widths, &a, makespan));
+                return (arch, false);
             }
             assignment[i] += 1;
             if assignment[i] < k {
@@ -171,6 +228,7 @@ fn build_architecture(
 mod tests {
     use super::*;
     use crate::optimize::{optimize_architecture, ArchitectureOptions};
+    use crate::search::SearchStatus;
 
     fn cost() -> CostModel {
         CostModel::from_fn(&["a", "b", "c", "d"], 8, |i, w| {
@@ -223,6 +281,45 @@ mod tests {
             exhaustive_architecture(&m, 4, 2),
             Err(ScheduleError::CoreUnschedulable { core: 0 })
         ));
+    }
+
+    #[test]
+    fn pre_tripped_token_reports_interrupted() {
+        let c = cost();
+        let token = CancelToken::never();
+        token.cancel();
+        assert!(matches!(
+            exhaustive_architecture_with(&c, 8, 4, &token),
+            Err(ScheduleError::Interrupted)
+        ));
+    }
+
+    #[test]
+    fn cancelled_search_returns_valid_incumbent() {
+        // Big enough that the odometer passes several poll strides: the
+        // token trips via its zero deadline, and the incumbent found before
+        // the first poll must still be a valid architecture.
+        let c = CostModel::from_fn(&["x"; 12], 6, |i, w| {
+            Some(5_000 * (i as u64 + 1) / u64::from(w) + 3)
+        });
+        let token = CancelToken::expiring_in(std::time::Duration::ZERO);
+        match exhaustive_architecture_with(&c, 6, 3, &token) {
+            Ok(search) => {
+                assert_eq!(search.status, SearchStatus::Interrupted);
+                search.architecture.schedule.validate(&c).unwrap();
+            }
+            Err(ScheduleError::Interrupted) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn never_token_matches_plain_search() {
+        let c = cost();
+        let plain = exhaustive_architecture(&c, 8, 4).unwrap();
+        let with = exhaustive_architecture_with(&c, 8, 4, &CancelToken::never()).unwrap();
+        assert!(with.is_complete());
+        assert_eq!(with.architecture, plain);
     }
 
     #[test]

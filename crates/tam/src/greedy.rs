@@ -6,6 +6,8 @@
 //! finish time. Complexity `O(n·k)` for `n` cores and `k` TAMs, as in the
 //! paper.
 
+use robust::CancelToken;
+
 use crate::cost::CostModel;
 use crate::schedule::{Schedule, ScheduleError, ScheduledTest};
 
@@ -27,6 +29,28 @@ pub fn greedy_schedule(cost: &CostModel, widths: &[u32]) -> Result<Schedule, Sch
     }
     let order = longest_first_order(cost, widths);
     schedule_in_order(cost, widths, &order)
+}
+
+/// Cancellable variant of [`greedy_schedule`].
+///
+/// The pass itself is a bounded `O(n·k)` sweep, so the token is polled
+/// once up front rather than per core: a tripped token refuses to start
+/// new work, while work already under way finishes in bounded time.
+///
+/// # Errors
+///
+/// As [`greedy_schedule`], plus [`ScheduleError::Interrupted`] when the
+/// token has already tripped — greedy produces no partial incumbent, so
+/// the caller falls back to whatever schedule it already holds.
+pub fn greedy_schedule_with(
+    cost: &CostModel,
+    widths: &[u32],
+    token: &CancelToken,
+) -> Result<Schedule, ScheduleError> {
+    if token.is_cancelled() {
+        return Err(ScheduleError::Interrupted);
+    }
+    greedy_schedule(cost, widths)
 }
 
 /// The paper's core ordering: longest test time first (each core judged at

@@ -41,17 +41,20 @@ mod optimize;
 mod power;
 mod precedence;
 mod schedule;
+mod search;
 
-pub use anneal::{anneal_architecture, AnnealOptions};
+pub use anneal::{anneal_architecture, anneal_architecture_with, AnnealOptions};
 pub use conflict::{conflict_schedule, ConflictViolation, Conflicts};
 pub use cost::CostModel;
-pub use exhaustive::exhaustive_architecture;
+pub use exhaustive::{exhaustive_architecture, exhaustive_architecture_with};
 pub use gantt::render_gantt;
-pub use greedy::{greedy_schedule, longest_first_order, schedule_in_order};
-pub use multifreq::{
-    multifreq_schedule, optimize_multifreq, validate_multifreq, FreqTam,
+pub use greedy::{greedy_schedule, greedy_schedule_with, longest_first_order, schedule_in_order};
+pub use multifreq::{multifreq_schedule, optimize_multifreq, validate_multifreq, FreqTam};
+pub use optimize::{
+    balanced_split, optimize_architecture, optimize_architecture_with, Architecture,
+    ArchitectureOptions,
 };
-pub use optimize::{balanced_split, optimize_architecture, Architecture, ArchitectureOptions};
 pub use power::{power_aware_schedule, PowerModel, PowerViolation};
 pub use precedence::{precedence_schedule, Precedence, PrecedenceViolation};
 pub use schedule::{Schedule, ScheduleError, ScheduledTest};
+pub use search::{Search, SearchStatus};

@@ -180,7 +180,10 @@ pub fn optimize_multifreq(
     freq_options: &[u32],
     core_max_freq: &[u32],
 ) -> Result<(Vec<FreqTam>, Schedule), ScheduleError> {
-    assert!(!freq_options.is_empty(), "need at least one frequency option");
+    assert!(
+        !freq_options.is_empty(),
+        "need at least one frequency option"
+    );
     if total_width == 0 {
         return Err(ScheduleError::BadPartition {
             total_width,
@@ -278,8 +281,7 @@ mod tests {
     fn all_fast_buses_reject_capped_cores() {
         let c = cost();
         let caps = vec![4, 4, 4, 1];
-        let err =
-            multifreq_schedule(&c, &[FreqTam { width: 8, freq: 2 }], &caps).unwrap_err();
+        let err = multifreq_schedule(&c, &[FreqTam { width: 8, freq: 2 }], &caps).unwrap_err();
         assert_eq!(err, ScheduleError::CoreUnschedulable { core: 3 });
     }
 
@@ -291,11 +293,13 @@ mod tests {
         validate_multifreq(&s, &c, &tams, &caps).unwrap();
         // A single-frequency plan is limited by the capped core; the mixed
         // plan must beat uniform 1×.
-        let uniform =
-            multifreq_schedule(&c, &[FreqTam { width: 8, freq: 1 }], &caps).unwrap();
+        let uniform = multifreq_schedule(&c, &[FreqTam { width: 8, freq: 1 }], &caps).unwrap();
         assert!(s.makespan() < uniform.makespan());
         assert!(tams.iter().any(|t| t.freq > 1), "should use a fast bus");
-        assert!(tams.iter().any(|t| t.freq == 1), "capped core needs a slow bus");
+        assert!(
+            tams.iter().any(|t| t.freq == 1),
+            "capped core needs a slow bus"
+        );
     }
 
     #[test]
@@ -306,10 +310,30 @@ mod tests {
         let bad = Schedule::new(
             vec![8],
             vec![
-                ScheduledTest { core: 0, tam: 0, start: 0, duration: 600 },
-                ScheduledTest { core: 1, tam: 0, start: 600, duration: 1200 },
-                ScheduledTest { core: 2, tam: 0, start: 1800, duration: 1800 },
-                ScheduledTest { core: 3, tam: 0, start: 3600, duration: 2400 },
+                ScheduledTest {
+                    core: 0,
+                    tam: 0,
+                    start: 0,
+                    duration: 600,
+                },
+                ScheduledTest {
+                    core: 1,
+                    tam: 0,
+                    start: 600,
+                    duration: 1200,
+                },
+                ScheduledTest {
+                    core: 2,
+                    tam: 0,
+                    start: 1800,
+                    duration: 1800,
+                },
+                ScheduledTest {
+                    core: 3,
+                    tam: 0,
+                    start: 3600,
+                    duration: 2400,
+                },
             ],
         );
         assert!(matches!(
@@ -321,10 +345,30 @@ mod tests {
         let wrong = Schedule::new(
             vec![8],
             vec![
-                ScheduledTest { core: 0, tam: 0, start: 0, duration: 601 },
-                ScheduledTest { core: 1, tam: 0, start: 601, duration: 1200 },
-                ScheduledTest { core: 2, tam: 0, start: 1801, duration: 1800 },
-                ScheduledTest { core: 3, tam: 0, start: 3601, duration: 2400 },
+                ScheduledTest {
+                    core: 0,
+                    tam: 0,
+                    start: 0,
+                    duration: 601,
+                },
+                ScheduledTest {
+                    core: 1,
+                    tam: 0,
+                    start: 601,
+                    duration: 1200,
+                },
+                ScheduledTest {
+                    core: 2,
+                    tam: 0,
+                    start: 1801,
+                    duration: 1800,
+                },
+                ScheduledTest {
+                    core: 3,
+                    tam: 0,
+                    start: 3601,
+                    duration: 2400,
+                },
             ],
         );
         assert!(matches!(

@@ -7,9 +7,12 @@
 //! improves (the TR-Architect idea of Goel & Marinissen, adapted to the
 //! lookup-table cost model). The best architecture over all `k` wins.
 
+use robust::CancelToken;
+
 use crate::cost::CostModel;
 use crate::greedy::greedy_schedule;
 use crate::schedule::{Schedule, ScheduleError};
+use crate::search::{Search, SearchStatus};
 
 /// Options for [`optimize_architecture`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +57,26 @@ pub fn optimize_architecture(
     total_width: u32,
     opts: &ArchitectureOptions,
 ) -> Result<Architecture, ScheduleError> {
+    optimize_architecture_with(cost, total_width, opts, &CancelToken::never())
+        .map(|search| search.architecture)
+}
+
+/// Cancellable variant of [`optimize_architecture`].
+///
+/// Polls `token` between TAM counts and hill-climbing steps. When the
+/// token trips, the search returns its best architecture so far with
+/// [`SearchStatus::Interrupted`].
+///
+/// # Errors
+///
+/// As [`optimize_architecture`], plus [`ScheduleError::Interrupted`] when
+/// the token trips before even the first greedy schedule exists.
+pub fn optimize_architecture_with(
+    cost: &CostModel,
+    total_width: u32,
+    opts: &ArchitectureOptions,
+    token: &CancelToken,
+) -> Result<Search, ScheduleError> {
     if total_width == 0 {
         return Err(ScheduleError::BadPartition {
             total_width,
@@ -67,9 +90,20 @@ pub fn optimize_architecture(
 
     let mut best: Option<Architecture> = None;
     let mut first_error: Option<ScheduleError> = None;
+    let mut status = SearchStatus::Complete;
     for k in 1..=k_max {
-        match optimize_for_k(cost, total_width, k, opts.refine_steps) {
-            Ok(arch) => {
+        // Always evaluate k = 1 so an expired deadline still yields the
+        // single-TAM baseline rather than nothing at all.
+        if k > 1 && token.is_cancelled() {
+            status = SearchStatus::Interrupted;
+            break;
+        }
+        match optimize_for_k(cost, total_width, k, opts.refine_steps, token) {
+            Ok(search) => {
+                if status == SearchStatus::Complete {
+                    status = search.status;
+                }
+                let arch = search.architecture;
                 if best.as_ref().is_none_or(|b| arch.test_time < b.test_time) {
                     best = Some(arch);
                 }
@@ -80,7 +114,10 @@ pub fn optimize_architecture(
         }
     }
     match best {
-        Some(b) => Ok(b),
+        Some(architecture) => Ok(Search {
+            architecture,
+            status,
+        }),
         None => Err(first_error.expect("at least one k was attempted")),
     }
 }
@@ -90,12 +127,18 @@ fn optimize_for_k(
     total_width: u32,
     k: u32,
     refine_steps: u32,
-) -> Result<Architecture, ScheduleError> {
+    token: &CancelToken,
+) -> Result<Search, ScheduleError> {
     let mut widths = balanced_split(total_width, k);
     let mut schedule = greedy_schedule(cost, &widths)?;
     let mut makespan = schedule.makespan();
+    let mut status = SearchStatus::Complete;
 
     for _ in 0..refine_steps {
+        if token.is_cancelled() {
+            status = SearchStatus::Interrupted;
+            break;
+        }
         // Move one wire from each possible donor to the bottleneck TAM and
         // keep the best strictly improving move.
         let bottleneck = (0..widths.len())
@@ -126,9 +169,13 @@ fn optimize_for_k(
             None => break,
         }
     }
-    Ok(Architecture {
+    let architecture = Architecture {
         test_time: makespan,
         schedule,
+    };
+    Ok(Search {
+        architecture,
+        status,
     })
 }
 
@@ -138,7 +185,10 @@ fn optimize_for_k(
 ///
 /// Panics if `k == 0` or `k > total`.
 pub fn balanced_split(total: u32, k: u32) -> Vec<u32> {
-    assert!(k > 0 && k <= total, "cannot split {total} wires into {k} TAMs");
+    assert!(
+        k > 0 && k <= total,
+        "cannot split {total} wires into {k} TAMs"
+    );
     let base = total / k;
     let extra = total % k;
     (0..k)
@@ -151,14 +201,10 @@ mod tests {
     use super::*;
 
     fn cost() -> CostModel {
-        CostModel::from_fn(
-            &["a", "b", "c", "d", "e", "f"],
-            16,
-            |i, w| {
-                let work = 20_000 * (i as u64 + 1);
-                Some(work / u64::from(w) + 50)
-            },
-        )
+        CostModel::from_fn(&["a", "b", "c", "d", "e", "f"], 16, |i, w| {
+            let work = 20_000 * (i as u64 + 1);
+            Some(work / u64::from(w) + 50)
+        })
     }
 
     #[test]
@@ -225,7 +271,10 @@ mod tests {
     #[test]
     fn infeasible_core_propagates() {
         let mut m = CostModel::new(8);
-        m.push_core("wide-only", vec![None, None, None, None, None, None, None, Some(5)]);
+        m.push_core(
+            "wide-only",
+            vec![None, None, None, None, None, None, None, Some(5)],
+        );
         m.push_core("easy", vec![Some(10); 8]);
         // Budget 8: k = 1 hosts both; must succeed.
         let arch = optimize_architecture(&m, 8, &ArchitectureOptions::default()).unwrap();
@@ -235,6 +284,31 @@ mod tests {
             optimize_architecture(&m, 4, &ArchitectureOptions::default()),
             Err(ScheduleError::CoreUnschedulable { core: 0 })
         ));
+    }
+
+    #[test]
+    fn expired_deadline_still_yields_single_tam_baseline() {
+        let c = cost();
+        let token = robust::CancelToken::expiring_in(std::time::Duration::ZERO);
+        let search =
+            optimize_architecture_with(&c, 12, &ArchitectureOptions::default(), &token).unwrap();
+        assert_eq!(search.status, crate::SearchStatus::Interrupted);
+        search.architecture.schedule.validate(&c).unwrap();
+    }
+
+    #[test]
+    fn never_token_matches_plain_optimizer() {
+        let c = cost();
+        let plain = optimize_architecture(&c, 12, &ArchitectureOptions::default()).unwrap();
+        let with = optimize_architecture_with(
+            &c,
+            12,
+            &ArchitectureOptions::default(),
+            &robust::CancelToken::never(),
+        )
+        .unwrap();
+        assert!(with.is_complete());
+        assert_eq!(with.architecture, plain);
     }
 
     #[test]

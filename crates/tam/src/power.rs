@@ -141,9 +141,10 @@ pub fn power_aware_schedule(
                 start,
                 duration: d,
             };
-            if best.as_ref().is_none_or(|b| {
-                (cand.end(), cand.start) < (b.end(), b.start)
-            }) {
+            if best
+                .as_ref()
+                .is_none_or(|b| (cand.end(), cand.start) < (b.end(), b.start))
+            {
                 best = Some(cand);
             }
         }
@@ -181,7 +182,12 @@ fn earliest_power_feasible(
         }
     }
     // After the last end everything is idle; a lone core always fits.
-    placed.iter().map(ScheduledTest::end).max().unwrap_or(ready).max(ready)
+    placed
+        .iter()
+        .map(ScheduledTest::end)
+        .max()
+        .unwrap_or(ready)
+        .max(ready)
 }
 
 fn fits(placed: &[ScheduledTest], power: &PowerModel, start: u64, duration: u64, p: u64) -> bool {
@@ -268,8 +274,18 @@ mod tests {
         let s = Schedule::new(
             vec![1, 1],
             vec![
-                ScheduledTest { core: 0, tam: 0, start: 0, duration: 50 },
-                ScheduledTest { core: 1, tam: 1, start: 50, duration: 50 },
+                ScheduledTest {
+                    core: 0,
+                    tam: 0,
+                    start: 0,
+                    duration: 50,
+                },
+                ScheduledTest {
+                    core: 1,
+                    tam: 1,
+                    start: 50,
+                    duration: 50,
+                },
             ],
         );
         assert_eq!(power.peak_power(&s), 70);
@@ -282,8 +298,18 @@ mod tests {
         let s = Schedule::new(
             vec![1, 1],
             vec![
-                ScheduledTest { core: 0, tam: 0, start: 0, duration: 50 },
-                ScheduledTest { core: 1, tam: 1, start: 25, duration: 50 },
+                ScheduledTest {
+                    core: 0,
+                    tam: 0,
+                    start: 0,
+                    duration: 50,
+                },
+                ScheduledTest {
+                    core: 1,
+                    tam: 1,
+                    start: 25,
+                    duration: 50,
+                },
             ],
         );
         let err = power.validate(&s).unwrap_err();

@@ -91,7 +91,10 @@ impl Precedence {
         for &(a, b) in &self.edges {
             if let (Some(ta), Some(tb)) = (find(a), find(b)) {
                 if ta.end() > tb.start {
-                    return Err(PrecedenceViolation { before: a, after: b });
+                    return Err(PrecedenceViolation {
+                        before: a,
+                        after: b,
+                    });
                 }
             }
         }
@@ -255,12 +258,28 @@ mod tests {
         let bad = Schedule::new(
             vec![1, 1],
             vec![
-                ScheduledTest { core: 0, tam: 0, start: 0, duration: 100 },
-                ScheduledTest { core: 1, tam: 1, start: 50, duration: 100 },
+                ScheduledTest {
+                    core: 0,
+                    tam: 0,
+                    start: 0,
+                    duration: 100,
+                },
+                ScheduledTest {
+                    core: 1,
+                    tam: 1,
+                    start: 50,
+                    duration: 100,
+                },
             ],
         );
         let err = p.validate(&bad).unwrap_err();
-        assert_eq!(err, PrecedenceViolation { before: 0, after: 1 });
+        assert_eq!(
+            err,
+            PrecedenceViolation {
+                before: 0,
+                after: 1
+            }
+        );
         assert!(err.to_string().contains("before"));
     }
 
@@ -270,13 +289,10 @@ mod tests {
         let free = precedence_schedule(&c, &[2, 2], &Precedence::new())
             .unwrap()
             .makespan();
-        let chained = precedence_schedule(
-            &c,
-            &[2, 2],
-            &Precedence::from_edges(vec![(0, 1), (1, 2)]),
-        )
-        .unwrap()
-        .makespan();
+        let chained =
+            precedence_schedule(&c, &[2, 2], &Precedence::from_edges(vec![(0, 1), (1, 2)]))
+                .unwrap()
+                .makespan();
         assert!(chained >= free);
     }
 }

@@ -18,9 +18,11 @@ pub struct ScheduledTest {
 }
 
 impl ScheduledTest {
-    /// End time in clock cycles.
+    /// End time in clock cycles. Saturates instead of overflowing so a
+    /// corrupted plan file (absurd start/duration) cannot panic a debug
+    /// build; validation rejects such schedules via the duration check.
     pub fn end(&self) -> u64 {
-        self.start + self.duration
+        self.start.saturating_add(self.duration)
     }
 }
 
@@ -101,7 +103,10 @@ impl Schedule {
                 return Err(ScheduleError::UnknownCore { core: t.core });
             }
             if t.tam >= self.tam_widths.len() {
-                return Err(ScheduleError::UnknownTam { core: t.core, tam: t.tam });
+                return Err(ScheduleError::UnknownTam {
+                    core: t.core,
+                    tam: t.tam,
+                });
             }
             if seen[t.core] {
                 return Err(ScheduleError::DuplicateCore { core: t.core });
@@ -157,8 +162,7 @@ impl fmt::Display for Schedule {
             self.makespan()
         )?;
         for (j, &w) in self.tam_widths.iter().enumerate() {
-            let mut slots: Vec<&ScheduledTest> =
-                self.tests.iter().filter(|t| t.tam == j).collect();
+            let mut slots: Vec<&ScheduledTest> = self.tests.iter().filter(|t| t.tam == j).collect();
             slots.sort_by_key(|t| t.start);
             write!(f, "  TAM{j} (w={w}):")?;
             for t in slots {
@@ -233,6 +237,9 @@ pub enum ScheduleError {
         /// Number of TAMs requested.
         tams: u32,
     },
+    /// A cancellable search was stopped before it found any feasible
+    /// architecture to return as an incumbent.
+    Interrupted,
 }
 
 impl fmt::Display for ScheduleError {
@@ -266,6 +273,12 @@ impl fmt::Display for ScheduleError {
             ScheduleError::BadPartition { total_width, tams } => {
                 write!(f, "cannot split {total_width} wires into {tams} TAMs")
             }
+            ScheduleError::Interrupted => {
+                write!(
+                    f,
+                    "search cancelled before any feasible architecture was found"
+                )
+            }
         }
     }
 }
@@ -288,9 +301,24 @@ mod tests {
         Schedule::new(
             vec![1, 2],
             vec![
-                ScheduledTest { core: 0, tam: 0, start: 0, duration: 100 },
-                ScheduledTest { core: 1, tam: 1, start: 0, duration: 50 },
-                ScheduledTest { core: 2, tam: 1, start: 50, duration: 40 },
+                ScheduledTest {
+                    core: 0,
+                    tam: 0,
+                    start: 0,
+                    duration: 100,
+                },
+                ScheduledTest {
+                    core: 1,
+                    tam: 1,
+                    start: 0,
+                    duration: 50,
+                },
+                ScheduledTest {
+                    core: 2,
+                    tam: 1,
+                    start: 50,
+                    duration: 40,
+                },
             ],
         )
     }
@@ -317,20 +345,46 @@ mod tests {
         let missing = Schedule::new(
             vec![2],
             vec![
-                ScheduledTest { core: 0, tam: 0, start: 0, duration: 60 },
-                ScheduledTest { core: 1, tam: 0, start: 60, duration: 50 },
+                ScheduledTest {
+                    core: 0,
+                    tam: 0,
+                    start: 0,
+                    duration: 60,
+                },
+                ScheduledTest {
+                    core: 1,
+                    tam: 0,
+                    start: 60,
+                    duration: 50,
+                },
             ],
         );
-        assert_eq!(missing.validate(&c), Err(ScheduleError::MissingCore { core: 2 }));
+        assert_eq!(
+            missing.validate(&c),
+            Err(ScheduleError::MissingCore { core: 2 })
+        );
 
         let dup = Schedule::new(
             vec![2],
             vec![
-                ScheduledTest { core: 0, tam: 0, start: 0, duration: 60 },
-                ScheduledTest { core: 0, tam: 0, start: 60, duration: 60 },
+                ScheduledTest {
+                    core: 0,
+                    tam: 0,
+                    start: 0,
+                    duration: 60,
+                },
+                ScheduledTest {
+                    core: 0,
+                    tam: 0,
+                    start: 60,
+                    duration: 60,
+                },
             ],
         );
-        assert_eq!(dup.validate(&c), Err(ScheduleError::DuplicateCore { core: 0 }));
+        assert_eq!(
+            dup.validate(&c),
+            Err(ScheduleError::DuplicateCore { core: 0 })
+        );
     }
 
     #[test]
@@ -339,14 +393,33 @@ mod tests {
         let s = Schedule::new(
             vec![2],
             vec![
-                ScheduledTest { core: 0, tam: 0, start: 0, duration: 60 },
-                ScheduledTest { core: 1, tam: 0, start: 59, duration: 50 },
-                ScheduledTest { core: 2, tam: 0, start: 120, duration: 40 },
+                ScheduledTest {
+                    core: 0,
+                    tam: 0,
+                    start: 0,
+                    duration: 60,
+                },
+                ScheduledTest {
+                    core: 1,
+                    tam: 0,
+                    start: 59,
+                    duration: 50,
+                },
+                ScheduledTest {
+                    core: 2,
+                    tam: 0,
+                    start: 120,
+                    duration: 40,
+                },
             ],
         );
         assert_eq!(
             s.validate(&c),
-            Err(ScheduleError::Overlap { tam: 0, first: 0, second: 1 })
+            Err(ScheduleError::Overlap {
+                tam: 0,
+                first: 0,
+                second: 1
+            })
         );
     }
 
@@ -356,22 +429,56 @@ mod tests {
         let wrong = Schedule::new(
             vec![2],
             vec![
-                ScheduledTest { core: 0, tam: 0, start: 0, duration: 61 },
-                ScheduledTest { core: 1, tam: 0, start: 61, duration: 50 },
-                ScheduledTest { core: 2, tam: 0, start: 111, duration: 40 },
+                ScheduledTest {
+                    core: 0,
+                    tam: 0,
+                    start: 0,
+                    duration: 61,
+                },
+                ScheduledTest {
+                    core: 1,
+                    tam: 0,
+                    start: 61,
+                    duration: 50,
+                },
+                ScheduledTest {
+                    core: 2,
+                    tam: 0,
+                    start: 111,
+                    duration: 40,
+                },
             ],
         );
         assert!(matches!(
             wrong.validate(&c),
-            Err(ScheduleError::WrongDuration { core: 0, expected: 60, found: 61 })
+            Err(ScheduleError::WrongDuration {
+                core: 0,
+                expected: 60,
+                found: 61
+            })
         ));
 
         let infeasible = Schedule::new(
             vec![1, 1],
             vec![
-                ScheduledTest { core: 0, tam: 0, start: 0, duration: 100 },
-                ScheduledTest { core: 1, tam: 0, start: 100, duration: 80 },
-                ScheduledTest { core: 2, tam: 1, start: 0, duration: 40 },
+                ScheduledTest {
+                    core: 0,
+                    tam: 0,
+                    start: 0,
+                    duration: 100,
+                },
+                ScheduledTest {
+                    core: 1,
+                    tam: 0,
+                    start: 100,
+                    duration: 80,
+                },
+                ScheduledTest {
+                    core: 2,
+                    tam: 1,
+                    start: 0,
+                    duration: 40,
+                },
             ],
         );
         assert!(matches!(
@@ -382,7 +489,11 @@ mod tests {
 
     #[test]
     fn error_display_is_descriptive() {
-        let e = ScheduleError::Overlap { tam: 1, first: 2, second: 3 };
+        let e = ScheduleError::Overlap {
+            tam: 1,
+            first: 2,
+            second: 3,
+        };
         assert!(e.to_string().contains("overlap"));
         assert!(ScheduleError::CoreUnschedulable { core: 7 }
             .to_string()

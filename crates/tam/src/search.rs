@@ -1,0 +1,52 @@
+//! Cancellation-aware search results.
+//!
+//! Every long-running optimizer in this crate has a `*_with` variant
+//! taking a [`robust::CancelToken`]. The loops poll the token and, when
+//! it trips, stop at the next iteration boundary and return the best
+//! architecture found so far — a [`Search`] whose status says whether the
+//! search ran to completion or was interrupted. A cancellation that
+//! arrives before any feasible architecture exists surfaces as
+//! [`ScheduleError::Interrupted`](crate::ScheduleError::Interrupted)
+//! instead.
+
+use crate::optimize::Architecture;
+
+/// How a cancellable search ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStatus {
+    /// The search examined everything its algorithm intended to.
+    Complete,
+    /// The cancel token tripped; the result is the incumbent at that
+    /// point, not the algorithm's full answer.
+    Interrupted,
+}
+
+/// Outcome of a cancellable architecture search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Search {
+    /// Best architecture found before the search ended.
+    pub architecture: Architecture,
+    /// Whether the search completed or was cut short.
+    pub status: SearchStatus,
+}
+
+impl Search {
+    pub(crate) fn complete(architecture: Architecture) -> Self {
+        Search {
+            architecture,
+            status: SearchStatus::Complete,
+        }
+    }
+
+    pub(crate) fn interrupted(architecture: Architecture) -> Self {
+        Search {
+            architecture,
+            status: SearchStatus::Interrupted,
+        }
+    }
+
+    /// True when the search ran to completion.
+    pub fn is_complete(&self) -> bool {
+        self.status == SearchStatus::Complete
+    }
+}

@@ -96,8 +96,16 @@ mod tests {
         let plan = Planner::no_tdc()
             .plan(&soc, &PlanRequest::tam_width(16))
             .unwrap();
-        let slow = AteSpec { channels: 32, memory_depth: 1 << 30, clock_hz: 10_000_000 };
-        let fast = AteSpec { channels: 32, memory_depth: 1 << 30, clock_hz: 100_000_000 };
+        let slow = AteSpec {
+            channels: 32,
+            memory_depth: 1 << 30,
+            clock_hz: 10_000_000,
+        };
+        let fast = AteSpec {
+            channels: 32,
+            memory_depth: 1 << 30,
+            clock_hz: 100_000_000,
+        };
         let a = slow.fit(&plan).test_seconds;
         let b = fast.fit(&plan).test_seconds;
         assert!((a / b - 10.0).abs() < 1e-9, "{a} vs {b}");

@@ -8,6 +8,7 @@
 
 use fdr::compress_fdr;
 use lfsr::{compress_reseeding, ReseedOptions};
+use robust::CancelToken;
 use selenc::{evaluate_clamped, CoreProfile, ProfileConfig, SliceCode};
 use soc_model::Core;
 use wrapper::best_design_up_to;
@@ -150,12 +151,35 @@ impl DecisionTable {
         max_width: u32,
         config: &DecisionConfig,
     ) -> Self {
+        Self::build_with(core, mode, max_width, config, &CancelToken::never())
+    }
+
+    /// Deadline-aware variant of [`build`](DecisionTable::build): polls
+    /// `token` between operating-point evaluations and, once it trips,
+    /// fills the remaining widths with the cheap raw (uncompressed)
+    /// decision instead of searching for a decompressor.
+    ///
+    /// Every width still gets a usable decision, so planning proceeds on a
+    /// complete cost model — just at degraded fidelity for the widths the
+    /// budget did not cover.
+    ///
+    /// # Panics
+    ///
+    /// As [`build`](DecisionTable::build).
+    pub fn build_with(
+        core: &Core,
+        mode: CompressionMode,
+        max_width: u32,
+        config: &DecisionConfig,
+        token: &CancelToken,
+    ) -> Self {
         assert!(max_width > 0, "width budget must be positive");
         let raw = raw_decisions(core, max_width);
+        let cancelled = || token.is_cancelled();
         let table: Vec<Option<Decision>> = match mode {
             CompressionMode::None => raw.into_iter().map(Some).collect(),
             CompressionMode::PerCore => {
-                let profile = build_profile(core, max_width, config);
+                let profile = build_profile(core, max_width, config, token);
                 (1..=max_width)
                     .map(|w| {
                         let bypass = raw[(w - 1) as usize];
@@ -174,10 +198,16 @@ impl DecisionTable {
                     .collect()
             }
             CompressionMode::PerTam => (1..=max_width)
-                .map(|w| Some(per_tam_decision(core, w, config)))
+                .map(|w| {
+                    Some(if cancelled() {
+                        raw[(w - 1) as usize]
+                    } else {
+                        per_tam_decision(core, w, config)
+                    })
+                })
                 .collect(),
             CompressionMode::FixedWidth(wf) => {
-                let profile = build_profile(core, wf, config);
+                let profile = build_profile(core, wf, config, token);
                 let entry = profile.entry_at(wf).map(|e| Decision {
                     test_time: e.test_time,
                     volume_bits: e.volume_bits,
@@ -185,18 +215,32 @@ impl DecisionTable {
                     lfsr_len: None,
                     technique: Technique::SelectiveEncoding,
                 });
+                // A tripped token can leave the pinned width unevaluated;
+                // degrade to raw access rather than declaring the core
+                // unschedulable.
+                let entry =
+                    entry.or_else(|| cancelled().then(|| raw[(wf.min(max_width) - 1) as usize]));
                 (1..=max_width)
                     .map(|w| if w >= wf { entry } else { None })
                     .collect()
             }
             CompressionMode::Reseeding => (1..=max_width)
-                .map(|w| reseed_decision(core, w, config))
+                .map(|w| {
+                    if cancelled() {
+                        Some(raw[(w - 1) as usize])
+                    } else {
+                        reseed_decision(core, w, config)
+                    }
+                })
                 .collect(),
             CompressionMode::Fdr => {
                 // Running minimum: wires may be left unused.
                 let mut best: Option<Decision> = None;
                 (1..=max_width)
                     .map(|w| {
+                        if cancelled() {
+                            return Some(best.unwrap_or(raw[(w - 1) as usize]));
+                        }
                         let r = compress_fdr(core, w, config.pattern_sample);
                         let d = Decision {
                             test_time: r.test_time,
@@ -213,10 +257,15 @@ impl DecisionTable {
                     .collect()
             }
             CompressionMode::Select => {
-                let selenc_table =
-                    DecisionTable::build(core, CompressionMode::PerCore, max_width, config);
+                let selenc_table = DecisionTable::build_with(
+                    core,
+                    CompressionMode::PerCore,
+                    max_width,
+                    config,
+                    token,
+                );
                 let fdr_table =
-                    DecisionTable::build(core, CompressionMode::Fdr, max_width, config);
+                    DecisionTable::build_with(core, CompressionMode::Fdr, max_width, config, token);
                 (1..=max_width)
                     .map(|w| {
                         [selenc_table.decision(w), fdr_table.decision(w)]
@@ -262,10 +311,7 @@ impl DecisionTable {
 
     /// Test times only, in the shape [`tam::CostModel`] expects.
     pub fn time_row(&self) -> Vec<Option<u64>> {
-        self.table
-            .iter()
-            .map(|d| d.map(|d| d.test_time))
-            .collect()
+        self.table.iter().map(|d| d.map(|d| d.test_time)).collect()
     }
 }
 
@@ -289,7 +335,12 @@ fn raw_decisions(core: &Core, max_width: u32) -> Vec<Decision> {
         .collect()
 }
 
-fn build_profile(core: &Core, max_width: u32, config: &DecisionConfig) -> CoreProfile {
+fn build_profile(
+    core: &Core,
+    max_width: u32,
+    config: &DecisionConfig,
+    token: &CancelToken,
+) -> CoreProfile {
     let mut cfg = ProfileConfig::new(max_width);
     if let Some(s) = config.pattern_sample {
         cfg = cfg.pattern_sample(s);
@@ -297,7 +348,7 @@ fn build_profile(core: &Core, max_width: u32, config: &DecisionConfig) -> CorePr
     if config.m_candidates != usize::MAX {
         cfg = cfg.m_candidates(config.m_candidates.max(2));
     }
-    CoreProfile::build(core, &cfg)
+    CoreProfile::build_cancellable(core, &cfg, &|| token.is_cancelled())
 }
 
 /// Shared-decompressor decision: the TAM's decompressor expands its `w`
@@ -400,7 +451,12 @@ mod tests {
     #[test]
     fn per_core_uses_decompressor_on_sparse_cubes() {
         let core = prepared(0.02);
-        let t = DecisionTable::build(&core, CompressionMode::PerCore, 10, &DecisionConfig::default());
+        let t = DecisionTable::build(
+            &core,
+            CompressionMode::PerCore,
+            10,
+            &DecisionConfig::default(),
+        );
         let d = t.decision(10).unwrap();
         assert!(d.decompressor.is_some(), "sparse cubes must engage TDC");
         let (w, m) = d.decompressor.unwrap();
@@ -411,7 +467,12 @@ mod tests {
     #[test]
     fn per_core_bypasses_on_dense_cubes() {
         let core = prepared(0.9);
-        let t = DecisionTable::build(&core, CompressionMode::PerCore, 8, &DecisionConfig::default());
+        let t = DecisionTable::build(
+            &core,
+            CompressionMode::PerCore,
+            8,
+            &DecisionConfig::default(),
+        );
         let d = t.decision(8).unwrap();
         assert!(
             d.decompressor.is_none(),
@@ -457,7 +518,10 @@ mod tests {
             &core,
             CompressionMode::Reseeding,
             8,
-            &DecisionConfig { pattern_sample: Some(4), m_candidates: 4 },
+            &DecisionConfig {
+                pattern_sample: Some(4),
+                m_candidates: 4,
+            },
         );
         let d = t.decision(8).unwrap();
         assert!(d.lfsr_len.is_some());

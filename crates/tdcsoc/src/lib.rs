@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod ate;
+mod cascade;
 mod decisions;
 mod planfile;
 mod planner;
@@ -44,6 +45,7 @@ mod truncate;
 mod vectors;
 
 pub use ate::{AteFit, AteSpec};
+pub use cascade::{PlanControl, PlanOutcome, SolverStage};
 pub use decisions::{CompressionMode, Decision, DecisionConfig, DecisionTable, Technique};
 pub use planfile::{parse_plan, write_plan, ParsePlanError};
 pub use planner::{Budget, CoreSetting, Plan, PlanError, PlanRequest, Planner};

@@ -9,6 +9,7 @@
 //! budget tam 24
 //! time 94098
 //! volume 1837019
+//! outcome optimal
 //! tams 12 12
 //! core 0 ckt-1 tam 1 start 67095 time 26835 volume 265650 selenc decomp 10 204
 //! core 1 ckt-2 tam 0 start 39114 time 27612 volume 273600 selenc decomp 10 229
@@ -24,6 +25,7 @@ use std::time::Duration;
 use soc_model::CoreId;
 use tam::{Schedule, ScheduledTest};
 
+use crate::cascade::{PlanOutcome, SolverStage};
 use crate::decisions::{CompressionMode, Technique};
 use crate::planner::{Budget, CoreSetting, Plan};
 
@@ -39,6 +41,7 @@ pub fn write_plan(plan: &Plan) -> String {
     let _ = writeln!(out, "budget {kind} {width}");
     let _ = writeln!(out, "time {}", plan.test_time);
     let _ = writeln!(out, "volume {}", plan.volume_bits);
+    let _ = writeln!(out, "outcome {}", plan.outcome);
     let _ = write!(out, "tams");
     for w in plan.schedule.tam_widths() {
         let _ = write!(out, " {w}");
@@ -79,6 +82,8 @@ pub fn parse_plan(text: &str) -> Result<Plan, ParsePlanError> {
     let mut time: Option<u64> = None;
     let mut volume: Option<u64> = None;
     let mut tam_widths: Option<Vec<u32>> = None;
+    // Absent in pre-outcome files: those were written by unbounded runs.
+    let mut outcome = PlanOutcome::Optimal;
     let mut settings: Vec<CoreSetting> = Vec::new();
 
     let header = lines.next().map(|(_, l)| l.trim());
@@ -97,7 +102,9 @@ pub fn parse_plan(text: &str) -> Result<Plan, ParsePlanError> {
                 mode = Some(parse_mode(kw).ok_or_else(|| err(idx + 1, "unknown mode"))?);
             }
             Some("budget") => {
-                let kind = t.next().ok_or_else(|| err(idx + 1, "budget needs a kind"))?;
+                let kind = t
+                    .next()
+                    .ok_or_else(|| err(idx + 1, "budget needs a kind"))?;
                 let w: u32 = num(t.next(), idx)?;
                 budget = Some(match kind {
                     "tam" => Budget::TamWidth(w),
@@ -107,6 +114,7 @@ pub fn parse_plan(text: &str) -> Result<Plan, ParsePlanError> {
             }
             Some("time") => time = Some(num(t.next(), idx)?),
             Some("volume") => volume = Some(num(t.next(), idx)?),
+            Some("outcome") => outcome = parse_outcome(&mut t, idx)?,
             Some("tams") => {
                 let widths: Result<Vec<u32>, _> = t.map(|w| w.parse()).collect();
                 let widths = widths.map_err(|_| err(idx + 1, "bad TAM width"))?;
@@ -144,7 +152,10 @@ pub fn parse_plan(text: &str) -> Result<Plan, ParsePlanError> {
     // Structural re-validation: TAM indices in range, no overlap.
     for s in &settings {
         if s.tam >= schedule.tam_widths().len() {
-            return Err(err(0, &format!("core {} references unknown TAM {}", s.name, s.tam)));
+            return Err(err(
+                0,
+                &format!("core {} references unknown TAM {}", s.name, s.tam),
+            ));
         }
     }
     for tam in 0..schedule.tam_widths().len() {
@@ -152,8 +163,17 @@ pub fn parse_plan(text: &str) -> Result<Plan, ParsePlanError> {
             schedule.tests().iter().filter(|t| t.tam == tam).collect();
         slots.sort_by_key(|t| t.start);
         for pair in slots.windows(2) {
-            if pair[0].start + pair[0].duration > pair[1].start {
-                return Err(err(0, &format!("cores overlap on TAM {tam}")));
+            // checked_add: a corrupt file can carry start/duration pairs
+            // that overflow u64 — reject, never panic.
+            match pair[0].start.checked_add(pair[0].duration) {
+                Some(end) if end <= pair[1].start => {}
+                Some(_) => return Err(err(0, &format!("cores overlap on TAM {tam}"))),
+                None => {
+                    return Err(err(
+                        0,
+                        &format!("core start+duration overflows on TAM {tam}"),
+                    ))
+                }
             }
         }
     }
@@ -179,7 +199,24 @@ pub fn parse_plan(text: &str) -> Result<Plan, ParsePlanError> {
         routed_wires,
         ate_channels,
         cpu_time: Duration::ZERO,
+        outcome,
     })
+}
+
+fn parse_outcome<'a>(
+    t: &mut impl Iterator<Item = &'a str>,
+    idx: usize,
+) -> Result<PlanOutcome, ParsePlanError> {
+    let stage = |tok: Option<&str>| -> Result<SolverStage, ParsePlanError> {
+        tok.and_then(SolverStage::from_keyword)
+            .ok_or_else(|| err(idx + 1, "outcome needs a solver stage"))
+    };
+    match t.next() {
+        Some("optimal") => Ok(PlanOutcome::Optimal),
+        Some("degraded") => Ok(PlanOutcome::Degraded(stage(t.next())?)),
+        Some("interrupted") => Ok(PlanOutcome::Interrupted(stage(t.next())?)),
+        _ => Err(err(idx + 1, "outcome must be optimal|degraded|interrupted")),
+    }
 }
 
 fn parse_core_line<'a>(
@@ -351,7 +388,7 @@ mod tests {
     #[test]
     fn bad_numbers_are_located() {
         let text = write_plan(&a_plan());
-        let broken = text.replace("time", "time zzz", );
+        let broken = text.replace("time", "time zzz");
         let e = parse_plan(&broken).unwrap_err();
         assert!(e.line() > 0);
         assert!(e.to_string().contains("line"));
@@ -364,6 +401,44 @@ mod tests {
                     core 1 b tam 0 start 30 time 40 volume 3 raw\n";
         let e = parse_plan(text).unwrap_err();
         assert!(e.to_string().contains("overlap"));
+    }
+
+    #[test]
+    fn outcome_line_roundtrips_and_defaults_to_optimal() {
+        let plan = a_plan();
+        for outcome in [
+            PlanOutcome::Optimal,
+            PlanOutcome::Degraded(SolverStage::Greedy),
+            PlanOutcome::Interrupted(SolverStage::Anneal),
+        ] {
+            let mut stamped = plan.clone();
+            stamped.outcome = outcome;
+            let text = write_plan(&stamped);
+            assert_eq!(parse_plan(&text).unwrap().outcome, outcome);
+        }
+        // Pre-outcome files (written before the field existed) parse as
+        // optimal.
+        let legacy: String = write_plan(&plan)
+            .lines()
+            .filter(|l| !l.starts_with("outcome"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(parse_plan(&legacy).unwrap().outcome, PlanOutcome::Optimal);
+        // A malformed outcome is a parse error, not a panic.
+        let broken = write_plan(&plan).replace("outcome optimal", "outcome degraded warp");
+        assert!(parse_plan(&broken).is_err());
+    }
+
+    #[test]
+    fn overflowing_start_plus_duration_is_rejected() {
+        let max = u64::MAX;
+        let text = format!(
+            "plan v1\nmode no-TDC\nbudget tam 4\ntime {max}\nvolume 5\ntams 4\n\
+             core 0 a tam 0 start 1 time {max} volume 2 raw\n\
+             core 1 b tam 0 start 2 time 1 volume 3 raw\n"
+        );
+        let e = parse_plan(&text).unwrap_err();
+        assert!(e.to_string().contains("overflow"), "got: {e}");
     }
 
     #[test]
@@ -384,7 +459,10 @@ mod tests {
     #[test]
     fn comments_and_blank_lines_tolerated() {
         let text = write_plan(&a_plan());
-        let commented = format!("plan v1\n# note\n\n{}", text.strip_prefix("plan v1\n").unwrap());
+        let commented = format!(
+            "plan v1\n# note\n\n{}",
+            text.strip_prefix("plan v1\n").unwrap()
+        );
         assert!(parse_plan(&commented).is_ok());
     }
 }

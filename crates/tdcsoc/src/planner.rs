@@ -2,12 +2,14 @@
 //! sizing, TAM partitioning and test scheduling, solved together.
 
 use std::fmt;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 use selenc::{evaluate_clamped, SliceCode};
 use soc_model::{CoreId, Soc};
-use tam::{optimize_architecture, ArchitectureOptions, CostModel, Schedule, ScheduleError};
+use tam::{Architecture, ArchitectureOptions, CostModel, Schedule, ScheduleError};
 
+use crate::cascade::{self, PlanControl, PlanOutcome, SolverStage};
 use crate::decisions::{CompressionMode, Decision, DecisionConfig, DecisionTable, Technique};
 
 /// What the wire budget counts.
@@ -164,6 +166,32 @@ impl Planner {
     /// * [`PlanError::Schedule`] — no feasible architecture exists (e.g.
     ///   zero budget, or a core infeasible at every width).
     pub fn plan(&self, soc: &Soc, request: &PlanRequest) -> Result<Plan, PlanError> {
+        self.plan_with(soc, request, &PlanControl::default())
+    }
+
+    /// [`plan`](Planner::plan) under a fault-tolerant execution harness:
+    /// a wall-clock deadline, an external cancel token, and optional
+    /// checkpoint/resume (see [`PlanControl`]).
+    ///
+    /// With a bounded deadline the architecture search runs the solver
+    /// cascade (greedy → exhaustive → anneal) and the returned
+    /// [`Plan::outcome`] records how the search concluded; decision-table
+    /// evaluation degrades to raw (uncompressed) operating points for the
+    /// widths the budget did not cover. The plan is always feasible — an
+    /// already-expired deadline still yields the single-TAM baseline.
+    ///
+    /// # Errors
+    ///
+    /// As [`plan`](Planner::plan), plus
+    /// [`ScheduleError::Interrupted`] (wrapped in [`PlanError::Schedule`])
+    /// when the token was cancelled before *any* feasible architecture was
+    /// found.
+    pub fn plan_with(
+        &self,
+        soc: &Soc,
+        request: &PlanRequest,
+        control: &PlanControl,
+    ) -> Result<Plan, PlanError> {
         let start = Instant::now();
         let width = request.budget.width();
         if width == 0 {
@@ -182,6 +210,16 @@ impl Planner {
             }
         }
 
+        let token = control.token.with_deadline(control.deadline);
+        // The tables may eat the whole budget on a large SOC; reserve a
+        // slice for the architecture search so a bounded run always gets
+        // to schedule something.
+        let table_token = if token.deadline().remaining().is_some() {
+            token.with_deadline(token.deadline().fraction(TABLE_SLICE))
+        } else {
+            token.clone()
+        };
+
         let internal_budget =
             self.mode == CompressionMode::PerTam && matches!(request.budget, Budget::TamWidth(_));
         // Per-core tables are independent; build them on scoped threads
@@ -193,11 +231,12 @@ impl Planner {
                 .map(|core| {
                     let decisions = &request.decisions;
                     let mode = self.mode;
+                    let token = table_token.clone();
                     scope.spawn(move || {
                         if internal_budget {
                             build_per_tam_internal(core, width, decisions)
                         } else {
-                            DecisionTable::build(core, mode, width, decisions)
+                            DecisionTable::build_with(core, mode, width, decisions, &token)
                         }
                     })
                 })
@@ -223,51 +262,125 @@ impl Planner {
             cost.push_core(t.name(), row);
         }
 
-        let arch = optimize_architecture(&cost, width, &request.architecture)
-            .map_err(PlanError::Schedule)?;
-        debug_assert!(arch.schedule.validate(&cost).is_ok());
-
-        let mut settings = Vec::with_capacity(soc.core_count());
-        let mut volume = 0u64;
-        for test in arch.schedule.tests() {
-            let tam_width = arch.schedule.tam_widths()[test.tam];
-            let decision = tables[test.core]
-                .decision(tam_width)
-                .expect("scheduled cores have a decision at their TAM width");
-            volume += decision.volume_bits;
-            settings.push(CoreSetting {
-                core: CoreId(test.core),
-                name: tables[test.core].name().to_string(),
-                tam: test.tam,
-                tam_width,
-                start: test.start,
-                test_time: decision.test_time,
-                volume_bits: decision.volume_bits,
-                decompressor: decision.decompressor,
-                lfsr_len: decision.lfsr_len,
-                technique: decision.technique,
+        // A checkpointed schedule seeds the search when it still fits the
+        // freshly built cost model; anything stale or incompatible is
+        // discarded (a bad checkpoint must never be worse than none).
+        let incumbent: Option<(Architecture, SolverStage)> = control
+            .resume
+            .as_ref()
+            .filter(|prev| {
+                prev.schedule.total_width() == width && prev.schedule.validate(&cost).is_ok()
+            })
+            .map(|prev| {
+                (
+                    Architecture {
+                        test_time: prev.schedule.makespan(),
+                        schedule: prev.schedule.clone(),
+                    },
+                    SolverStage::Resume,
+                )
             });
-        }
-        settings.sort_by_key(|s| s.core.0);
 
-        let (routed_wires, ate_channels) = wire_accounting(
+        let mut on_improve = |arch: &Architecture, _stage: SolverStage| {
+            if let Some(path) = &control.checkpoint {
+                let plan = assemble_plan(
+                    self.mode,
+                    request.budget,
+                    &tables,
+                    arch,
+                    PlanOutcome::Optimal,
+                    start.elapsed(),
+                );
+                write_checkpoint(path, &plan);
+            }
+        };
+        let result = cascade::solve(
+            &cost,
+            width,
+            &request.architecture,
+            &token,
+            incumbent,
+            &mut on_improve,
+        )
+        .map_err(PlanError::Schedule)?;
+        debug_assert!(result.architecture.schedule.validate(&cost).is_ok());
+
+        let plan = assemble_plan(
             self.mode,
             request.budget,
-            &arch.schedule,
-            &settings,
+            &tables,
+            &result.architecture,
+            result.outcome,
+            start.elapsed(),
         );
+        if let Some(path) = &control.checkpoint {
+            write_checkpoint(path, &plan);
+        }
+        Ok(plan)
+    }
+}
 
-        Ok(Plan {
-            mode: self.mode,
-            budget: request.budget,
-            test_time: arch.test_time,
-            volume_bits: volume,
-            schedule: arch.schedule,
-            core_settings: settings,
-            routed_wires,
-            ate_channels,
-            cpu_time: start.elapsed(),
-        })
+/// Fraction of the overall budget the decision-table builds may consume
+/// before degrading to raw operating points.
+const TABLE_SLICE: f64 = 0.5;
+
+/// Turns a winning architecture into a full [`Plan`] (per-core settings,
+/// volume and wire accounting).
+fn assemble_plan(
+    mode: CompressionMode,
+    budget: Budget,
+    tables: &[DecisionTable],
+    arch: &Architecture,
+    outcome: PlanOutcome,
+    cpu_time: Duration,
+) -> Plan {
+    let mut settings = Vec::with_capacity(tables.len());
+    let mut volume = 0u64;
+    for test in arch.schedule.tests() {
+        let tam_width = arch.schedule.tam_widths()[test.tam];
+        let decision = tables[test.core]
+            .decision(tam_width)
+            .expect("scheduled cores have a decision at their TAM width");
+        volume += decision.volume_bits;
+        settings.push(CoreSetting {
+            core: CoreId(test.core),
+            name: tables[test.core].name().to_string(),
+            tam: test.tam,
+            tam_width,
+            start: test.start,
+            test_time: decision.test_time,
+            volume_bits: decision.volume_bits,
+            decompressor: decision.decompressor,
+            lfsr_len: decision.lfsr_len,
+            technique: decision.technique,
+        });
+    }
+    settings.sort_by_key(|s| s.core.0);
+
+    let (routed_wires, ate_channels) = wire_accounting(mode, budget, &arch.schedule, &settings);
+
+    Plan {
+        mode,
+        budget,
+        test_time: arch.test_time,
+        volume_bits: volume,
+        schedule: arch.schedule.clone(),
+        core_settings: settings,
+        routed_wires,
+        ate_channels,
+        cpu_time,
+        outcome,
+    }
+}
+
+/// Best-effort atomic checkpoint write: serialize next to the target and
+/// rename into place, so a reader never sees a half-written plan. I/O
+/// failures are swallowed — checkpointing must never fail the plan.
+fn write_checkpoint(path: &Path, plan: &Plan) {
+    let text = crate::planfile::write_plan(plan);
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, text).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
     }
 }
 
@@ -364,6 +477,9 @@ pub struct Plan {
     pub ate_channels: u32,
     /// Wall-clock time spent planning.
     pub cpu_time: Duration,
+    /// How the architecture search concluded (always
+    /// [`PlanOutcome::Optimal`] for unbounded [`Planner::plan`] runs).
+    pub outcome: PlanOutcome,
 }
 
 impl Plan {
@@ -528,7 +644,10 @@ mod tests {
         }
         assert_eq!(
             plan.volume_bits,
-            plan.core_settings.iter().map(|s| s.volume_bits).sum::<u64>()
+            plan.core_settings
+                .iter()
+                .map(|s| s.volume_bits)
+                .sum::<u64>()
         );
         assert_eq!(plan.test_time, plan.schedule.makespan());
     }
@@ -635,5 +754,107 @@ mod tests {
     fn budget_width_accessor() {
         assert_eq!(Budget::TamWidth(9).width(), 9);
         assert_eq!(Budget::AteChannels(4).width(), 4);
+    }
+
+    #[test]
+    fn plan_with_default_control_matches_plan() {
+        let soc = industrial_soc();
+        let req = fast(PlanRequest::tam_width(24));
+        let plain = Planner::per_core_tdc().plan(&soc, &req).unwrap();
+        let controlled = Planner::per_core_tdc()
+            .plan_with(&soc, &req, &PlanControl::default())
+            .unwrap();
+        assert_eq!(plain.test_time, controlled.test_time);
+        assert_eq!(plain.schedule, controlled.schedule);
+        assert_eq!(plain.outcome, PlanOutcome::Optimal);
+    }
+
+    #[test]
+    fn tight_deadline_on_large_soc_degrades_but_delivers() {
+        // The acceptance scenario: a deadline far below what the full
+        // search needs must still produce a valid plan, marked degraded
+        // (or interrupted), and return promptly.
+        let soc = Design::P93791.build_with_cubes(11);
+        let req = fast(PlanRequest::tam_width(32));
+        let t0 = Instant::now();
+        let plan = Planner::per_core_tdc()
+            .plan_with(
+                &soc,
+                &req,
+                &PlanControl::with_deadline(Duration::from_millis(100)),
+            )
+            .unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(20),
+            "deadline ignored: took {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(plan.core_settings.len(), soc.core_count());
+        assert_eq!(plan.test_time, plan.schedule.makespan());
+        // 100 ms cannot cover the full-fidelity table build + search on
+        // ~100k flip-flops, so the run must report it was cut short.
+        assert!(!plan.outcome.is_complete(), "outcome: {:?}", plan.outcome);
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_planning() {
+        let soc = industrial_soc();
+        let req = fast(PlanRequest::tam_width(24));
+        let control = PlanControl {
+            deadline: robust::Deadline::within(Duration::from_secs(60)),
+            ..PlanControl::default()
+        };
+        control.token.cancel();
+        let plan = Planner::per_core_tdc()
+            .plan_with(&soc, &req, &control)
+            .unwrap();
+        assert!(matches!(plan.outcome, PlanOutcome::Interrupted(_)));
+        assert_eq!(plan.core_settings.len(), soc.core_count());
+    }
+
+    #[test]
+    fn checkpoint_is_written_and_resume_seeds_the_search() {
+        let soc = industrial_soc();
+        let req = fast(PlanRequest::tam_width(24));
+        let dir = std::env::temp_dir().join("tdcsoc-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("incumbent.plan");
+        let _ = std::fs::remove_file(&path);
+
+        // A comfortable deadline: runs to completion, checkpointing along
+        // the way.
+        let control = PlanControl::with_deadline(Duration::from_secs(120)).checkpoint_to(&path);
+        let full = Planner::per_core_tdc()
+            .plan_with(&soc, &req, &control)
+            .unwrap();
+        let text = std::fs::read_to_string(&path).expect("checkpoint written");
+        let checkpoint = crate::planfile::parse_plan(&text).unwrap();
+        assert_eq!(checkpoint.test_time, full.test_time);
+
+        // Resuming from the checkpoint (same request, fresh budget): the
+        // resumed incumbent seeds the search, so the plan can never be
+        // worse than the checkpoint.
+        let control = PlanControl {
+            deadline: robust::Deadline::within(Duration::from_secs(120)),
+            resume: Some(checkpoint.clone()),
+            ..PlanControl::default()
+        };
+        let resumed = Planner::per_core_tdc()
+            .plan_with(&soc, &req, &control)
+            .unwrap();
+        assert!(resumed.test_time <= checkpoint.test_time);
+
+        // A checkpoint from an incompatible budget is discarded, not
+        // trusted.
+        let control = PlanControl {
+            deadline: robust::Deadline::within(Duration::from_secs(120)),
+            resume: Some(checkpoint),
+            ..PlanControl::default()
+        };
+        let other = Planner::per_core_tdc()
+            .plan_with(&soc, &fast(PlanRequest::tam_width(16)), &control)
+            .unwrap();
+        assert_eq!(other.schedule.total_width(), 16);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -134,8 +134,8 @@ fn truncated_soc(soc: &Soc, keep_permille: u32) -> Soc {
         .cores()
         .iter()
         .map(|c| {
-            let keep = ((u64::from(c.pattern_count()) * u64::from(keep_permille)) / 1000)
-                .max(1) as u32;
+            let keep =
+                ((u64::from(c.pattern_count()) * u64::from(keep_permille)) / 1000).max(1) as u32;
             c.with_truncated_patterns(keep)
         })
         .collect();
@@ -292,7 +292,9 @@ mod tests {
             .care_density(0.3)
             .build()
             .unwrap();
-        let cubes = CubeSynthesis::new(0.3).density_decay(0.85).synthesize(&core, 3);
+        let cubes = CubeSynthesis::new(0.3)
+            .density_decay(0.85)
+            .synthesize(&core, 3);
         core.attach_test_set(cubes).unwrap();
         let soc = Soc::new("q", vec![core]);
         let req = PlanRequest::tam_width(8).with_decisions(DecisionConfig {
@@ -300,13 +302,8 @@ mod tests {
             m_candidates: 4,
         });
         let full = Planner::no_tdc().plan(&soc, &req).unwrap();
-        let t = truncate_to_fit(
-            &soc,
-            &Planner::no_tdc(),
-            &req,
-            &tester(full.test_time / 2),
-        )
-        .unwrap();
+        let t =
+            truncate_to_fit(&soc, &Planner::no_tdc(), &req, &tester(full.test_time / 2)).unwrap();
         assert!(!t.is_complete());
         let q = t.quality_proxy(&soc);
         assert!(

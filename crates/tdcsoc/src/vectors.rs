@@ -26,13 +26,26 @@ pub struct TamImage {
     words: Vec<u64>,
 }
 
+/// Upper bound on a single TAM image's depth. Real plans in this
+/// repository run five orders of magnitude below it; anything larger is a
+/// corrupted plan trying to make the exporter allocate unbounded memory.
+const MAX_IMAGE_CYCLES: u64 = 1 << 28;
+
 impl TamImage {
-    fn new(width: u32, cycles: u64) -> Self {
-        assert!((1..=64).contains(&width), "TAM width {width} outside 1..=64");
-        TamImage {
+    fn new(width: u32, cycles: u64) -> Result<Self, ImageError> {
+        if !(1..=64).contains(&width) {
+            return Err(ImageError::UnsupportedWidth { width });
+        }
+        if cycles > MAX_IMAGE_CYCLES {
+            return Err(ImageError::ImageTooLarge {
+                cycles,
+                max: MAX_IMAGE_CYCLES,
+            });
+        }
+        Ok(TamImage {
             width,
             words: vec![0; cycles as usize],
-        }
+        })
     }
 
     /// TAM width in wires.
@@ -134,13 +147,36 @@ pub enum ImageError {
         /// The decoder's complaint.
         detail: String,
     },
+    /// The plan references a core the SOC does not have.
+    UnknownCore {
+        /// The referenced core id.
+        core: usize,
+        /// Cores in the SOC.
+        cores: usize,
+    },
+    /// A TAM width outside the exporter's 1..=64 word size.
+    UnsupportedWidth {
+        /// The offending width.
+        width: u32,
+    },
+    /// The plan's makespan exceeds the exporter's allocation cap — a
+    /// corrupted plan, not a real schedule.
+    ImageTooLarge {
+        /// The requested depth in cycles.
+        cycles: u64,
+        /// The cap.
+        max: u64,
+    },
 }
 
 impl fmt::Display for ImageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ImageError::UnsupportedMode => {
-                write!(f, "tester-image export only supports raw and selective-encoding plans")
+                write!(
+                    f,
+                    "tester-image export only supports raw and selective-encoding plans"
+                )
             }
             ImageError::SlotOverflow { core, slot, needed } => write!(
                 f,
@@ -162,6 +198,15 @@ impl fmt::Display for ImageError {
             ImageError::MalformedStream { core, detail } => {
                 write!(f, "core {core:?}: malformed codeword stream: {detail}")
             }
+            ImageError::UnknownCore { core, cores } => {
+                write!(f, "plan references core {core} but the SOC has {cores}")
+            }
+            ImageError::UnsupportedWidth { width } => {
+                write!(f, "TAM width {width} outside the supported 1..=64 range")
+            }
+            ImageError::ImageTooLarge { cycles, max } => {
+                write!(f, "image depth {cycles} cycles exceeds the {max}-cycle cap")
+            }
         }
     }
 }
@@ -177,8 +222,17 @@ struct CoreLayout {
     shift_cycles: u64,
 }
 
+/// Resolves a plan's core reference against the SOC, as a typed error
+/// (plans can come from untrusted files; a dangling id must not panic).
+fn core_of<'a>(soc: &'a Soc, setting: &CoreSetting) -> Result<&'a soc_model::Core, ImageError> {
+    soc.core(setting.core).ok_or(ImageError::UnknownCore {
+        core: setting.core.0,
+        cores: soc.core_count(),
+    })
+}
+
 fn layout_for(soc: &Soc, setting: &CoreSetting) -> Result<CoreLayout, ImageError> {
-    let core = soc.core(setting.core).expect("plan matches the SOC");
+    let core = core_of(soc, setting)?;
     let test_set = core.test_set().ok_or_else(|| ImageError::MissingTestSet {
         core: setting.name.clone(),
     })?;
@@ -199,8 +253,7 @@ fn layout_for(soc: &Soc, setting: &CoreSetting) -> Result<CoreLayout, ImageError
         }
         None => {
             let (design, _) = best_design_up_to(core, setting.tam_width);
-            let shift_cycles =
-                design.scan_in_length() * u64::from(core.pattern_count());
+            let shift_cycles = design.scan_in_length() * u64::from(core.pattern_count());
             Ok(CoreLayout {
                 design,
                 code: None,
@@ -230,10 +283,10 @@ pub fn export_image(soc: &Soc, plan: &Plan) -> Result<TesterImage, ImageError> {
         .tam_widths()
         .iter()
         .map(|&w| TamImage::new(w, makespan))
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     for setting in &plan.core_settings {
-        let core = soc.core(setting.core).expect("plan matches the SOC");
+        let core = core_of(soc, setting)?;
         let test_set = core.test_set().ok_or_else(|| ImageError::MissingTestSet {
             core: setting.name.clone(),
         })?;
@@ -287,12 +340,30 @@ pub fn export_image(soc: &Soc, plan: &Plan) -> Result<TesterImage, ImageError> {
 /// The first violation found, as an [`ImageError`].
 pub fn verify_image(image: &TesterImage, soc: &Soc, plan: &Plan) -> Result<(), ImageError> {
     for setting in &plan.core_settings {
-        let core = soc.core(setting.core).expect("plan matches the SOC");
+        let core = core_of(soc, setting)?;
         let test_set = core.test_set().ok_or_else(|| ImageError::MissingTestSet {
             core: setting.name.clone(),
         })?;
         let layout = layout_for(soc, setting)?;
-        let tam = &image.tams()[setting.tam];
+        let tam = image
+            .tams()
+            .get(setting.tam)
+            .ok_or_else(|| ImageError::MalformedStream {
+                core: setting.name.clone(),
+                detail: format!("image has no TAM {}", setting.tam),
+            })?;
+        // A corrupted stream can fail to raise `last` flags and run off
+        // the end of the image; bound every read.
+        let read = |cycle: u64| -> Result<u64, ImageError> {
+            if cycle < tam.cycles() {
+                Ok(tam.word(cycle))
+            } else {
+                Err(ImageError::MalformedStream {
+                    core: setting.name.clone(),
+                    detail: format!("stream runs past the image end at cycle {cycle}"),
+                })
+            }
+        };
         let mut cycle = setting.start;
 
         match layout.code {
@@ -302,7 +373,7 @@ pub fn verify_image(image: &TesterImage, soc: &Soc, plan: &Plan) -> Result<(), I
                     let mut depth = 0u64;
                     while depth < layout.design.scan_in_length() {
                         let cw = Codeword::unpack(
-                            tam.word(cycle) & ((1u128 << code.tam_width()) - 1) as u64,
+                            read(cycle)? & ((1u128 << code.tam_width()) - 1) as u64,
                             code,
                         );
                         cycle += 1;
@@ -320,7 +391,7 @@ pub fn verify_image(image: &TesterImage, soc: &Soc, plan: &Plan) -> Result<(), I
             None => {
                 for (pi, cube) in test_set.iter().enumerate() {
                     for depth in 0..layout.design.scan_in_length() {
-                        let word = tam.word(cycle);
+                        let word = read(cycle)?;
                         cycle += 1;
                         for (k, chain) in layout.design.chains().iter().enumerate() {
                             if let Some(pos) = chain.position_at(depth) {

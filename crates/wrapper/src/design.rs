@@ -218,8 +218,7 @@ pub fn design_wrapper(core: &Core, m: u32) -> WrapperDesign {
     match core.scan() {
         ScanArchitecture::Combinational => {}
         ScanArchitecture::Fixed { chain_lengths } => {
-            let mut units: Vec<(usize, u32)> =
-                chain_lengths.iter().copied().enumerate().collect();
+            let mut units: Vec<(usize, u32)> = chain_lengths.iter().copied().enumerate().collect();
             units.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             // Precompute each fixed chain's base position in the cube.
             let mut bases = Vec::with_capacity(chain_lengths.len());

@@ -119,10 +119,7 @@ mod tests {
     fn first_point_is_single_chain() {
         let pts = pareto_points(&core(), 16);
         assert_eq!(pts[0].chains, 1);
-        assert_eq!(
-            pts[0].test_time,
-            test_time_at(&core(), 1)
-        );
+        assert_eq!(pts[0].test_time, test_time_at(&core(), 1));
     }
 
     #[test]

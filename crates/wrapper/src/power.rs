@@ -193,8 +193,14 @@ mod tests {
         // 0↔1 transition around every care bit, MT-fill almost none.
         let (core, design) = prepared(0.05, 0.95);
         let ts = core.test_set().unwrap();
-        let zero: u64 = ts.iter().map(|c| weighted_transitions(&design, c, Fill::Zero)).sum();
-        let mt: u64 = ts.iter().map(|c| weighted_transitions(&design, c, Fill::MinTransition)).sum();
+        let zero: u64 = ts
+            .iter()
+            .map(|c| weighted_transitions(&design, c, Fill::Zero))
+            .sum();
+        let mt: u64 = ts
+            .iter()
+            .map(|c| weighted_transitions(&design, c, Fill::MinTransition))
+            .sum();
         assert!(mt * 2 < zero, "MT {mt} vs zero {zero}");
     }
 
@@ -224,7 +230,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "no patterns")]
     fn empty_test_set_panics() {
-        let core = Core::builder("e").inputs(4).pattern_count(1).build().unwrap();
+        let core = Core::builder("e")
+            .inputs(4)
+            .pattern_count(1)
+            .build()
+            .unwrap();
         let design = design_wrapper(&core, 2);
         estimate_scan_power(&design, &TestSet::new(4), Fill::Zero, 1);
     }

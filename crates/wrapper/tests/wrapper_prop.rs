@@ -11,15 +11,16 @@ fn arb_core() -> impl Strategy<Value = Core> {
     (
         prop_oneof![
             // Hard core with fixed chains.
-            proptest::collection::vec(1u32..80, 0..8)
-                .prop_map(|c| if c.is_empty() {
-                    ScanArchitecture::Combinational
-                } else {
-                    ScanArchitecture::Fixed { chain_lengths: c }
-                }),
+            proptest::collection::vec(1u32..80, 0..8).prop_map(|c| if c.is_empty() {
+                ScanArchitecture::Combinational
+            } else {
+                ScanArchitecture::Fixed { chain_lengths: c }
+            }),
             // Soft core.
-            (1u32..2_000, 1u32..128)
-                .prop_map(|(cells, max)| ScanArchitecture::Flexible { cells, max_chains: max }),
+            (1u32..2_000, 1u32..128).prop_map(|(cells, max)| ScanArchitecture::Flexible {
+                cells,
+                max_chains: max
+            }),
         ],
         0u32..64,
         0u32..64,

@@ -52,7 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "multi-frequency TAMs: tau {} → {} using {:?}",
         group_digits(free.makespan()),
         group_digits(mf.makespan()),
-        tams.iter().map(|t| format!("{}w@{}x", t.width, t.freq)).collect::<Vec<_>>()
+        tams.iter()
+            .map(|t| format!("{}w@{}x", t.width, t.freq))
+            .collect::<Vec<_>>()
     );
 
     // 3. Compaction vs compression on one core's cubes.

@@ -14,7 +14,10 @@ fn main() {
     let core = &soc.cores()[0];
 
     // Sweep m inside the w = 10 width class and plot tau as a bar sketch.
-    println!("tau_c(w=10, m) for {} (each row one m; bars scaled):", core.name());
+    println!(
+        "tau_c(w=10, m) for {} (each row one m; bars scaled):",
+        core.name()
+    );
     let mut min = u64::MAX;
     let mut max = 0;
     let mut rows = Vec::new();

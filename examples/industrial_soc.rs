@@ -44,8 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Detail view at one budget: who got which decompressor?
-    let plan = Planner::per_core_tdc()
-        .plan(&soc, &PlanRequest::tam_width(32).with_decisions(cfg))?;
+    let plan =
+        Planner::per_core_tdc().plan(&soc, &PlanRequest::tam_width(32).with_decisions(cfg))?;
     println!("\nper-core settings at W_TAM = 32:");
     for s in &plan.core_settings {
         match s.decompressor {

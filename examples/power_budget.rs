@@ -19,9 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pattern_sample: Some(12),
         m_candidates: 8,
     };
-    let plan = Planner::per_core_tdc()
-        .plan(&soc, &PlanRequest::tam_width(24).with_decisions(cfg))?;
-    println!("unconstrained plan: tau = {} cycles\n", group_digits(plan.test_time));
+    let plan =
+        Planner::per_core_tdc().plan(&soc, &PlanRequest::tam_width(24).with_decisions(cfg))?;
+    println!(
+        "unconstrained plan: tau = {} cycles\n",
+        group_digits(plan.test_time)
+    );
 
     // Rebuild the cost rows at the chosen TAM widths so the power-aware
     // scheduler can re-place the same operating points.

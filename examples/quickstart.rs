@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 decompressor_area(SliceCode::for_chains(m))
             );
         } else {
-            println!("  {}: raw wrapper access (compression would not pay off)", s.name);
+            println!(
+                "  {}: raw wrapper access (compression would not pay off)",
+                s.name
+            );
         }
     }
     Ok(())

@@ -50,7 +50,11 @@ fn main() {
     println!(
         "max-chains policy (m = {m_last}): tau = {} — {} than the optimum",
         group_digits(tau_last),
-        if tau_last > tau_min { "worse" } else { "no worse" }
+        if tau_last > tau_min {
+            "worse"
+        } else {
+            "no worse"
+        }
     );
     println!("direction changes along the sweep: {direction_changes} (non-monotonic)");
     println!(

@@ -20,7 +20,10 @@ fn main() {
         core,
         &ProfileConfig::new(13).pattern_sample(48).m_candidates(48),
     );
-    println!("{:>4} {:>6} {:>12} {:>14}", "w", "m*", "tau (cyc)", "volume (bits)");
+    println!(
+        "{:>4} {:>6} {:>12} {:>14}",
+        "w", "m*", "tau (cyc)", "volume (bits)"
+    );
     for e in profile.entries() {
         println!(
             "{:>4} {:>6} {:>12} {:>14}",

@@ -24,11 +24,16 @@ fn main() {
         ],
     );
     synthesize_missing_test_sets(&mut soc, 2008);
-    println!("# Figure 4: architecture alternatives for {{ckt-1, ckt-9, ckt-11, ckt-16}} at 31 wires\n");
+    println!(
+        "# Figure 4: architecture alternatives for {{ckt-1, ckt-9, ckt-11, ckt-16}} at 31 wires\n"
+    );
 
     let budget = 31;
     let plans = [
-        ("(a) no TDC", Planner::no_tdc().plan(&soc, &PlanRequest::tam_width(budget))),
+        (
+            "(a) no TDC",
+            Planner::no_tdc().plan(&soc, &PlanRequest::tam_width(budget)),
+        ),
         (
             "(b) decompressor per TAM",
             Planner::per_tam_tdc().plan(&soc, &PlanRequest::ate_channels(budget)),
@@ -76,7 +81,10 @@ fn main() {
 
     println!("--- summary ---");
     for (label, tau, wires) in &summary {
-        println!("{label:>28}: tau = {:>12}, routed wires = {wires}", group_digits(*tau));
+        println!(
+            "{label:>28}: tau = {:>12}, routed wires = {wires}",
+            group_digits(*tau)
+        );
     }
     let (_, tau_a, _) = summary[0];
     let (_, tau_b, wires_b) = summary[1];

@@ -25,7 +25,9 @@ fn main() {
         let soc = design.build_with_cubes(2008);
         let req = PlanRequest::tam_width(32).with_decisions(cfg.clone());
         let raw = Planner::no_tdc().plan(&soc, &req).expect("raw plan");
-        let selenc = Planner::per_core_tdc().plan(&soc, &req).expect("selenc plan");
+        let selenc = Planner::per_core_tdc()
+            .plan(&soc, &req)
+            .expect("selenc plan");
         let fdr = Planner::fdr_tdc().plan(&soc, &req).expect("FDR plan");
         let select = Planner::select_tdc().plan(&soc, &req).expect("select plan");
 
@@ -54,8 +56,10 @@ fn main() {
         );
     }
     println!();
-    println!("# Selection matches the best single technique per design (ratios ≈ 1.00; small
+    println!(
+        "# Selection matches the best single technique per design (ratios ≈ 1.00; small
 # excursions above 1 are greedy-scheduling anomalies — per-core decisions
-# dominate pointwise, schedules need not), and the");
+# dominate pointwise, schedules need not), and the"
+    );
     println!("# technique mix shows different cores genuinely preferring different schemes.");
 }

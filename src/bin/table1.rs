@@ -32,7 +32,9 @@ fn main() {
             let fixed4 = Planner::fixed_width_tdc(4)
                 .plan(&soc, &req)
                 .expect("fixed-width plan");
-            let ours = Planner::per_core_tdc().plan(&soc, &req).expect("per-core plan");
+            let ours = Planner::per_core_tdc()
+                .plan(&soc, &req)
+                .expect("per-core plan");
             println!(
                 "{:>8} {:>6} {:>14} {:>14} {:>14} {:>10} {:>10}",
                 design.name(),

@@ -25,9 +25,15 @@ fn main() {
     };
     for w_tam in [16u32, 24, 32, 40, 48, 56, 64] {
         let req = PlanRequest::tam_width(w_tam).with_decisions(cfg.clone());
-        let soc_level = Planner::per_tam_tdc().plan(&soc, &req).expect("per-TAM plan");
-        let reseed = Planner::reseeding_tdc().plan(&soc, &req).expect("reseeding plan");
-        let ours = Planner::per_core_tdc().plan(&soc, &req).expect("per-core plan");
+        let soc_level = Planner::per_tam_tdc()
+            .plan(&soc, &req)
+            .expect("per-TAM plan");
+        let reseed = Planner::reseeding_tdc()
+            .plan(&soc, &req)
+            .expect("reseeding plan");
+        let ours = Planner::per_core_tdc()
+            .plan(&soc, &req)
+            .expect("per-core plan");
         println!(
             "{:>8} {:>6} {:>14} {:>14} {:>14} {:>10} {:>10}",
             "d695",

@@ -12,10 +12,18 @@ fn main() {
     println!("# Table 3: test-time minimization at TAM-width constraint, with vs without TDC");
     println!(
         "{:>8} {:>8} {:>6} | {:>13} {:>8} {:>7} | {:>13} {:>8} {:>7} | {:>8} {:>8} {:>8}",
-        "design", "Vi(Mb)", "W_TAM",
-        "tau_nc", "Vnc(Mb)", "cpu(s)",
-        "tau_c", "Vc(Mb)", "cpu(s)",
-        "t_nc/t_c", "Vi/Vc", "Vnc/Vc"
+        "design",
+        "Vi(Mb)",
+        "W_TAM",
+        "tau_nc",
+        "Vnc(Mb)",
+        "cpu(s)",
+        "tau_c",
+        "Vc(Mb)",
+        "cpu(s)",
+        "t_nc/t_c",
+        "Vi/Vc",
+        "Vnc/Vc"
     );
 
     let designs = [
@@ -75,8 +83,7 @@ fn main() {
         vals.iter().sum::<f64>() / vals.len() as f64
     };
     let all: Vec<&(bool, f64, f64, f64)> = all_ratios.iter().collect();
-    let industrial: Vec<&(bool, f64, f64, f64)> =
-        all_ratios.iter().filter(|r| r.0).collect();
+    let industrial: Vec<&(bool, f64, f64, f64)> = all_ratios.iter().filter(|r| r.0).collect();
     println!();
     println!(
         "average (all designs):        time x{:.2}  Vi/Vc x{:.2}  Vnc/Vc x{:.2}   [paper: 12.59x / - / 12.78x]",

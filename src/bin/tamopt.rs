@@ -25,17 +25,13 @@ fn main() {
         for w in [16u32, 32, 64] {
             let mut cost = CostModel::new(w);
             for core in soc.cores() {
-                let t = DecisionTable::build(
-                    core,
-                    CompressionMode::None,
-                    w,
-                    &DecisionConfig::exact(),
-                );
+                let t =
+                    DecisionTable::build(core, CompressionMode::None, w, &DecisionConfig::exact());
                 cost.push_core(core.name(), t.time_row());
             }
             let lb = cost.lower_bound(w);
-            let hill = optimize_architecture(&cost, w, &ArchitectureOptions::default())
-                .expect("feasible");
+            let hill =
+                optimize_architecture(&cost, w, &ArchitectureOptions::default()).expect("feasible");
             let sa = anneal_architecture(
                 &cost,
                 w,

@@ -12,8 +12,8 @@ use crate::model::generator::synthesize_missing_test_sets;
 use crate::model::itc02::{parse_itc02, write_itc02};
 use crate::model::Soc;
 use crate::planner::{
-    export_image, parse_plan, verify_image, write_plan, Budget, DecisionConfig, PlanRequest,
-    Planner,
+    export_image, parse_plan, verify_image, write_plan, Budget, DecisionConfig, PlanControl,
+    PlanRequest, Planner,
 };
 use crate::selenc::{generate_verilog, CoreProfile, ProfileConfig, SliceCode, SliceStats};
 use crate::tam::{render_gantt, CostModel};
@@ -74,6 +74,12 @@ pub struct PlanArgs {
     pub gantt: bool,
     /// Write the plan file here.
     pub plan_out: Option<String>,
+    /// Wall-clock planning budget in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Checkpoint the best incumbent plan here while searching.
+    pub checkpoint: Option<String>,
+    /// Resume from a previously checkpointed plan file.
+    pub resume: Option<String>,
 }
 
 /// Arguments of `soctdc profile`.
@@ -197,7 +203,7 @@ USAGE:
   soctdc plan    (--soc FILE | --itc02 FILE | --design NAME) [--width N | --ate N]
                  [--mode no-tdc|per-core|per-tam|fixed4|reseed|fdr|select] [--seed N]
                  [--sample N] [--mcand N] [--exact] [--density F] [--gantt]
-                 [--plan-out FILE]
+                 [--plan-out FILE] [--deadline MS] [--checkpoint FILE] [--resume FILE]
   soctdc profile (--soc FILE | --itc02 FILE | --design NAME) --core NAME
                  [--max-width N] [--seed N] [--sample N] [--density F]
   soctdc convert (--soc FILE | --itc02 FILE | --design NAME) --to itc02|simple
@@ -244,6 +250,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut plan_out: Option<String> = None;
     let mut plan_file: Option<String> = None;
     let mut depth: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut resume: Option<String> = None;
 
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -284,6 +293,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--plan-out" => plan_out = Some(value("--plan-out")?),
             "--plan" => plan_file = Some(value("--plan")?),
             "--depth" => depth = Some(parse_num(&value("--depth")?, "--depth")?),
+            "--deadline" => deadline_ms = Some(parse_num(&value("--deadline")?, "--deadline")?),
+            "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
+            "--resume" => resume = Some(value("--resume")?),
             other => return Err(usage(&format!("unknown flag `{other}`"))),
         }
     }
@@ -317,6 +329,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 density,
                 gantt,
                 plan_out,
+                deadline_ms,
+                checkpoint,
+                resume,
             }))
         }
         "profile" => Ok(Command::Profile(ProfileArgs {
@@ -438,7 +453,11 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
                     soc.core_count(),
                     soc.total_scan_cells(),
                     soc.initial_volume_bits(),
-                    if d.is_industrial() { "  (industrial-like)" } else { "" }
+                    if d.is_industrial() {
+                        "  (industrial-like)"
+                    } else {
+                        ""
+                    }
                 )
                 .map_err(io_err)?;
             }
@@ -487,7 +506,14 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
             writeln!(
                 out,
                 "{:>14} {:>8} {:>8} {:>7} {:>10} {:>9} {:>8} {:>10}",
-                "core", "inputs", "outputs", "bidirs", "scan cells", "patterns", "density", "Vi (bits)"
+                "core",
+                "inputs",
+                "outputs",
+                "bidirs",
+                "scan cells",
+                "patterns",
+                "density",
+                "Vi (bits)"
             )
             .map_err(io_err)?;
             for core in soc.cores() {
@@ -566,17 +592,39 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
                 decisions: args.decisions.clone(),
                 architecture: Default::default(),
             };
+            let mut control = match args.deadline_ms {
+                Some(ms) => PlanControl::with_deadline(std::time::Duration::from_millis(ms)),
+                None => PlanControl::default(),
+            };
+            if let Some(path) = &args.checkpoint {
+                control = control.checkpoint_to(path);
+            }
+            if let Some(path) = &args.resume {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::Run(format!("cannot read {path}: {e}").into()))?;
+                let prev = parse_plan(&text).map_err(|e| CliError::Run(Box::new(e)))?;
+                control = control.resume_from(prev);
+            }
             let plan = planner
-                .plan(&soc, &request)
+                .plan_with(&soc, &request, &control)
                 .map_err(|e| CliError::Run(Box::new(e)))?;
             write!(out, "{plan}").map_err(io_err)?;
+            if !plan.outcome.is_complete() {
+                writeln!(out, "search {}: best incumbent shown", plan.outcome).map_err(io_err)?;
+            }
             if let Some(path) = &args.plan_out {
                 std::fs::write(path, write_plan(&plan))
                     .map_err(|e| CliError::Run(format!("cannot write {path}: {e}").into()))?;
                 writeln!(out, "plan written to {path}").map_err(io_err)?;
             }
             if args.gantt {
-                let max_w = plan.schedule.tam_widths().iter().copied().max().unwrap_or(1);
+                let max_w = plan
+                    .schedule
+                    .tam_widths()
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(1);
                 let mut cost = CostModel::new(max_w);
                 for s in &plan.core_settings {
                     let mut row = vec![None; max_w as usize];
@@ -616,9 +664,10 @@ mod tests {
 
     #[test]
     fn parses_plan_flags() {
-        let cmd =
-            parse_args(&argv("plan --design system1 --ate 16 --mode no-tdc --gantt --exact"))
-                .unwrap();
+        let cmd = parse_args(&argv(
+            "plan --design system1 --ate 16 --mode no-tdc --gantt --exact",
+        ))
+        .unwrap();
         match cmd {
             Command::Plan(a) => {
                 assert_eq!(a.budget, Budget::AteChannels(16));
@@ -628,6 +677,51 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_robustness_flags() {
+        let cmd = parse_args(&argv(
+            "plan --design d695 --deadline 250 --checkpoint ck.plan --resume old.plan",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Plan(a) => {
+                assert_eq!(a.deadline_ms, Some(250));
+                assert_eq!(a.checkpoint.as_deref(), Some("ck.plan"));
+                assert_eq!(a.resume.as_deref(), Some("old.plan"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&argv("plan --design d695 --deadline soon")).is_err());
+    }
+
+    #[test]
+    fn run_plan_with_deadline_reports_degraded_outcome() {
+        // An already-hopeless 1 ms budget: the plan must still come out,
+        // flagged as cut short.
+        let cmd = parse_args(&argv(
+            "plan --design d695 --width 12 --sample 4 --mcand 4 --deadline 1",
+        ))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("TAM"), "{text}");
+        assert!(
+            text.contains("search degraded") || text.contains("search interrupted"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn missing_resume_file_is_a_run_error() {
+        let cmd = parse_args(&argv(
+            "plan --design d695 --width 12 --sample 4 --mcand 4 --resume /nonexistent.plan",
+        ))
+        .unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(run(&cmd, &mut out), Err(CliError::Run(_))));
     }
 
     #[test]
@@ -743,10 +837,7 @@ mod rtl_stats_tests {
 
     #[test]
     fn rtl_requires_chains() {
-        assert!(matches!(
-            parse_args(&argv("rtl")),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(parse_args(&argv("rtl")), Err(CliError::Usage(_))));
         let zero = parse_args(&argv("rtl --chains 0")).unwrap();
         let mut out = Vec::new();
         assert!(matches!(run(&zero, &mut out), Err(CliError::Usage(_))));
@@ -827,7 +918,10 @@ mod verify_tests {
         )))
         .unwrap();
         let mut out = Vec::new();
-        assert!(run(&cmd, &mut out).is_err(), "corrupted plan must not verify");
+        assert!(
+            run(&cmd, &mut out).is_err(),
+            "corrupted plan must not verify"
+        );
         let _ = std::fs::remove_file(plan_path);
     }
 

@@ -81,8 +81,13 @@ fn planner_cost_rows_feed_multifreq_and_conflicts() {
     let widths: Vec<u32> = plan.schedule.tam_widths().to_vec();
 
     // Multi-frequency: every core tolerates 2×, two giants only 1×.
-    let caps: Vec<u32> = (0..cost.core_count()).map(|i| if i < 2 { 1 } else { 2 }).collect();
-    let tams: Vec<FreqTam> = widths.iter().map(|&w| FreqTam { width: w, freq: 1 }).collect();
+    let caps: Vec<u32> = (0..cost.core_count())
+        .map(|i| if i < 2 { 1 } else { 2 })
+        .collect();
+    let tams: Vec<FreqTam> = widths
+        .iter()
+        .map(|&w| FreqTam { width: w, freq: 1 })
+        .collect();
     let s1 = multifreq_schedule(&cost, &tams, &caps).unwrap();
     validate_multifreq(&s1, &cost, &tams, &caps).unwrap();
 
@@ -126,5 +131,8 @@ fn rtl_testbench_for_a_planned_decompressor() {
     let code = SliceCode::for_chains(design.chain_count());
     let tb = generate_testbench(code, "planned_decomp", &slices);
     assert!(tb.contains("module planned_decomp_tb;"));
-    assert_eq!(tb.matches("check(").count(), 4 + 1 /* task definition */);
+    assert_eq!(
+        tb.matches("check(").count(),
+        4 + 1 /* task definition */
+    );
 }

@@ -4,10 +4,12 @@
 use proptest::prelude::*;
 
 use soc_tdc::model::generator::synthesize_missing_test_sets;
+use soc_tdc::model::itc02::parse_itc02;
 use soc_tdc::model::{Core, Soc};
 use soc_tdc::planner::{
     export_image, parse_plan, verify_image, write_plan, ImageError, PlanRequest, Planner,
 };
+use soc_tdc::selenc::{verify_stream, Codeword, Encoder, SliceCode, StreamError};
 
 fn small_soc(seed: u64) -> Soc {
     let mk = |name: &str, cells: u32, patterns: u32, density: f64| {
@@ -20,10 +22,7 @@ fn small_soc(seed: u64) -> Soc {
             .build()
             .unwrap()
     };
-    let mut soc = Soc::new(
-        "fi",
-        vec![mk("a", 150, 4, 0.3), mk("b", 220, 3, 0.2)],
-    );
+    let mut soc = Soc::new("fi", vec![mk("a", 150, 4, 0.3), mk("b", 220, 3, 0.2)]);
     synthesize_missing_test_sets(&mut soc, seed);
     soc
 }
@@ -92,6 +91,136 @@ proptest! {
             cut -= 1;
         }
         let _ = parse_plan(&text[..cut]);
+    }
+
+    /// Numeric fields of a plan file replaced by extreme values (u64::MAX
+    /// neighbourhood) must never panic — overflow in the re-validation
+    /// arithmetic surfaces as a typed parse error instead.
+    #[test]
+    fn extreme_numbers_in_plan_files_never_panic(
+        seed in 0u64..20,
+        field in 0usize..24,
+        value in prop_oneof![
+            Just(u64::MAX),
+            Just(u64::MAX - 1),
+            Just(u64::MAX / 2 + 1),
+            any::<u64>(),
+        ],
+    ) {
+        let soc = small_soc(seed);
+        let plan = Planner::no_tdc()
+            .plan(&soc, &PlanRequest::tam_width(6))
+            .unwrap();
+        let text = write_plan(&plan);
+        // Replace the `field`-th number in the file with the hostile value.
+        let mut seen = 0usize;
+        let mutated: String = text
+            .split_inclusive(char::is_whitespace)
+            .map(|tok| {
+                let body = tok.trim_end();
+                let tail = &tok[body.len()..];
+                if body.chars().all(|c| c.is_ascii_digit()) && !body.is_empty() {
+                    seen += 1;
+                    if seen - 1 == field {
+                        return format!("{value}{tail}");
+                    }
+                }
+                tok.to_string()
+            })
+            .collect();
+        // Typed rejection is the expected outcome; when the mutation still
+        // parses, downstream export must also hold up without panicking.
+        if let Ok(plan) = parse_plan(&mutated) {
+            let _ = export_image(&soc, &plan);
+        }
+    }
+
+    /// Single-bit flips injected into a compressed codeword stream are
+    /// either rejected with a typed [`StreamError`] or decode to slices
+    /// that still honor every care bit. Never a panic, never a silent
+    /// care-bit violation.
+    #[test]
+    fn bit_flipped_codeword_streams_are_detected_or_harmless(
+        m in 6u32..24,
+        seed in 0u64..200,
+        word_pick in 0usize..64,
+        bit_pick in 0u32..8,
+    ) {
+        let code = SliceCode::for_chains(m);
+        // A couple of pseudo-random ternary slices from the seed.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(m as u64);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let cubes: Vec<soc_tdc::model::TritVec> = (0..3)
+            .map(|_| {
+                (0..m)
+                    .map(|_| match next() % 3 {
+                        0 => 'X',
+                        1 => '0',
+                        _ => '1',
+                    })
+                    .collect::<String>()
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        let enc = Encoder::new(code);
+        let words: Vec<Codeword> =
+            cubes.iter().flat_map(|c| enc.encode_slice(c)).collect();
+        // Honest stream verifies.
+        verify_stream(code, words.iter().copied(), &cubes).unwrap();
+
+        let i = word_pick % words.len();
+        let bit = bit_pick % code.tam_width();
+        let mut flipped = words.clone();
+        flipped[i] = Codeword::unpack(flipped[i].pack(code) ^ (1 << bit), code);
+        match verify_stream(code, flipped, &cubes) {
+            Ok(()) => {} // flip landed on a don't-care: harmless
+            Err(StreamError::Malformed(_))
+            | Err(StreamError::SliceCountMismatch { .. })
+            | Err(StreamError::CareBitViolation { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+        }
+    }
+
+    /// Truncated codeword streams are always rejected (the decoder can
+    /// never mistake a prefix for a complete stream of the same cubes).
+    #[test]
+    fn truncated_codeword_streams_are_rejected(m in 6u32..20, cut_frac in 0.0f64..1.0) {
+        let code = SliceCode::for_chains(m);
+        let cubes: Vec<soc_tdc::model::TritVec> = (0..2)
+            .map(|i| {
+                (0..m)
+                    .map(|j| if (i + j as usize).is_multiple_of(2) { '1' } else { '0' })
+                    .collect::<String>()
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        let enc = Encoder::new(code);
+        let words: Vec<Codeword> =
+            cubes.iter().flat_map(|c| enc.encode_slice(c)).collect();
+        let cut = ((words.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < words.len());
+        prop_assert!(verify_stream(code, words[..cut].iter().copied(), &cubes).is_err());
+    }
+
+    /// Mutated ITC'02 inputs never panic the parser — including headers
+    /// that declare absurd scan-chain counts.
+    #[test]
+    fn itc02_mutations_never_panic(
+        count in prop_oneof![Just(u32::MAX), Just(1_000_000u32), any::<u32>()],
+        junk in "[A-Za-z0-9 \n]{0,40}",
+    ) {
+        let text = format!(
+            "SocName fuzz\nTotalModules 1\nModule 1\nInputs 4\nOutputs 4\n\
+             ScanChains {count} 8 8\nTotalTests 1\nTest 1\nTotalPatterns 5\n{junk}"
+        );
+        let _ = parse_itc02(&text, 0.5); // must not panic or blow memory
     }
 }
 

@@ -5,9 +5,7 @@
 
 use soc_tdc::model::generator::synthesize_missing_test_sets;
 use soc_tdc::model::itc02::{parse_itc02, write_itc02};
-use soc_tdc::planner::{
-    export_image, verify_image, DecisionConfig, PlanRequest, Planner,
-};
+use soc_tdc::planner::{export_image, verify_image, DecisionConfig, PlanRequest, Planner};
 use soc_tdc::selenc::{generate_verilog, SliceCode, SliceStats};
 use soc_tdc::tam::{
     anneal_architecture, precedence_schedule, AnnealOptions, CostModel, Precedence,
@@ -91,7 +89,10 @@ fn rtl_is_emitted_for_every_planned_decompressor() {
             emitted += 1;
         }
     }
-    assert!(emitted > 0, "sparse cores should have received decompressors");
+    assert!(
+        emitted > 0,
+        "sparse cores should have received decompressors"
+    );
 }
 
 #[test]
@@ -119,13 +120,7 @@ fn planner_output_feeds_scheduling_extensions() {
         .unwrap();
 
     // Rebuild a cost model at the plan's operating points.
-    let max_w = plan
-        .schedule
-        .tam_widths()
-        .iter()
-        .copied()
-        .max()
-        .unwrap();
+    let max_w = plan.schedule.tam_widths().iter().copied().max().unwrap();
     let mut cost = CostModel::new(max_w);
     for s in &plan.core_settings {
         let mut row = vec![None; max_w as usize];

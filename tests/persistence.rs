@@ -10,10 +10,7 @@ use soc_tdc::selenc::{CoreProfile, ProfileConfig};
 #[test]
 fn real_cubes_arrive_via_pattern_files() {
     // A user describes the SOC and ships cubes separately.
-    let mut soc = parse_soc(
-        "soc pf\ncore a inputs 4 outputs 2 patterns 3 scan 4 4\n",
-    )
-    .unwrap();
+    let mut soc = parse_soc("soc pf\ncore a inputs 4 outputs 2 patterns 3 scan 4 4\n").unwrap();
     let cubes = parse_patterns(
         "bits 12\n\
          0101XXXX11XX\n\

@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 
 use soc_tdc::model::{Core, Trit, TritVec};
-use soc_tdc::selenc::{
-    cube_cost, encode_cube, Codeword, Decompressor, Encoder, SliceCode,
-};
+use soc_tdc::selenc::{cube_cost, encode_cube, Codeword, Decompressor, Encoder, SliceCode};
 use soc_tdc::wrapper::design_wrapper;
 
 /// Strategy: a ternary cube of the given length with ~`density` care bits.

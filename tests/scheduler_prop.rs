@@ -6,33 +6,31 @@
 use proptest::prelude::*;
 
 use soc_tdc::tam::{
-    greedy_schedule, optimize_architecture, power_aware_schedule, ArchitectureOptions,
-    CostModel, PowerModel,
+    greedy_schedule, optimize_architecture, power_aware_schedule, ArchitectureOptions, CostModel,
+    PowerModel,
 };
 
 /// Strategy: a cost model with monotone non-increasing rows (wider TAMs
 /// never slower — the planner's tables guarantee this shape).
 fn cost_model(max_width: u32) -> impl Strategy<Value = CostModel> {
-    proptest::collection::vec(
-        (1_000u64..2_000_000, 1u32..=max_width),
-        1..10,
+    proptest::collection::vec((1_000u64..2_000_000, 1u32..=max_width), 1..10).prop_map(
+        move |cores| {
+            let mut m = CostModel::new(max_width);
+            for (i, (work, min_w)) in cores.into_iter().enumerate() {
+                let row = (1..=max_width)
+                    .map(|w| {
+                        if w < min_w {
+                            None
+                        } else {
+                            Some(work / u64::from(w) + 17)
+                        }
+                    })
+                    .collect();
+                m.push_core(format!("c{i}"), row);
+            }
+            m
+        },
     )
-    .prop_map(move |cores| {
-        let mut m = CostModel::new(max_width);
-        for (i, (work, min_w)) in cores.into_iter().enumerate() {
-            let row = (1..=max_width)
-                .map(|w| {
-                    if w < min_w {
-                        None
-                    } else {
-                        Some(work / u64::from(w) + 17)
-                    }
-                })
-                .collect();
-            m.push_core(format!("c{i}"), row);
-        }
-        m
-    })
 }
 
 proptest! {
@@ -106,9 +104,7 @@ proptest! {
 
 mod oracle {
     use super::*;
-    use soc_tdc::tam::{
-        anneal_architecture, exhaustive_architecture, AnnealOptions,
-    };
+    use soc_tdc::tam::{anneal_architecture, exhaustive_architecture, AnnealOptions};
 
     fn tiny_cost_model() -> impl Strategy<Value = CostModel> {
         proptest::collection::vec(100u64..50_000, 2..6).prop_map(|works| {
