@@ -7,7 +7,9 @@ use std::hint::black_box;
 
 use fdr::{compress_fdr, encode_run, Bits};
 use lfsr::{Gf2Solver, Gf2Vec};
-use selenc::{cube_cost, SliceCode};
+use selenc::{
+    cube_cost, cube_cost_policy, cube_cost_scalar, CoreProfile, EvalCache, ProfileConfig, SliceCode,
+};
 use soc_model::{CubeSynthesis, SplitMix64, TritVec};
 use wrapper::design_wrapper;
 
@@ -36,6 +38,43 @@ fn bench_cube_cost(c: &mut Criterion) {
             b.iter(|| cube_cost(code, black_box(&design), &cube))
         });
     }
+    g.finish();
+}
+
+fn bench_cube_cost_packed_vs_scalar(c: &mut Criterion) {
+    // Head-to-head of the word-parallel kernel against the per-symbol
+    // reference it is property-tested against; the ratio is the kernel's
+    // whole reason to exist.
+    let core = bench::small_core(10_000, 1, 0.02);
+    let cube = core.test_set().unwrap().pattern(0).unwrap().clone();
+    let mut g = c.benchmark_group("kernel_cost_packed_vs_scalar");
+    for m in [64u32, 256] {
+        let design = design_wrapper(&core, m);
+        let code = SliceCode::for_chains(design.chain_count());
+        g.bench_function(format!("packed_10k_m{m}"), |b| {
+            b.iter(|| cube_cost_policy(code, black_box(&design), &cube, true))
+        });
+        g.bench_function(format!("scalar_10k_m{m}"), |b| {
+            b.iter(|| cube_cost_scalar(code, black_box(&design), &cube, true))
+        });
+    }
+    g.finish();
+}
+
+fn bench_profile_memoized_vs_cold(c: &mut Criterion) {
+    // The profile builder evaluates overlapping (m, sample) points across
+    // widths; the memoized path pays for each point once per core.
+    let core = bench::small_core(6_000, 4, 0.05);
+    let cfg = ProfileConfig::new(12).m_candidates(6);
+    let mut g = c.benchmark_group("kernel_profile_memo");
+    g.bench_function("cold_build_w12", |b| {
+        b.iter(|| CoreProfile::build(black_box(&core), &cfg))
+    });
+    g.bench_function("warm_build_w12", |b| {
+        let cache = EvalCache::new(&core);
+        CoreProfile::build_cached(&cache, &cfg); // prime
+        b.iter(|| CoreProfile::build_cached(black_box(&cache), &cfg))
+    });
     g.finish();
 }
 
@@ -97,6 +136,8 @@ criterion_group!(
     benches,
     bench_trit_ops,
     bench_cube_cost,
+    bench_cube_cost_packed_vs_scalar,
+    bench_profile_memoized_vs_cold,
     bench_gf2,
     bench_fdr,
     bench_generator

@@ -1,0 +1,238 @@
+//! A bounded work-stealing pool for deterministic planner fan-out.
+//!
+//! The planner's expensive phases — decision-table construction, profile
+//! sweeps — decompose into many independent tasks of wildly uneven cost
+//! (one core's width chunk can take 100× another's). Spawning a thread per
+//! core (the previous scheme) oversubscribes small machines and leaves big
+//! ones idle once the cheap cores finish. [`Pool`] instead runs a *bounded*
+//! set of workers (default: [`std::thread::available_parallelism`]) that
+//! self-schedule tasks off a shared queue: a worker that finishes early
+//! steals the next unclaimed task, so the long tail of expensive tasks
+//! spreads across all workers.
+//!
+//! Determinism: results are returned **in task order**, whatever the
+//! execution interleaving, and each task runs exactly once — so callers
+//! that assemble results by index produce identical output at any worker
+//! count.
+//!
+//! Cancellation: [`Pool::run_with`] polls a [`CancelToken`] between tasks.
+//! Once the token trips, unclaimed tasks are never started and report
+//! `None`; tasks already running finish normally (they are expected to
+//! poll the token themselves — the planner's tasks do).
+//!
+//! ```
+//! use parpool::Pool;
+//!
+//! let pool = Pool::new();
+//! let squares = pool.run((0u64..100).map(|i| move || i * i).collect::<Vec<_>>());
+//! assert_eq!(squares[7], 49);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use robust::CancelToken;
+
+/// A bounded pool of scoped workers; see the crate docs.
+///
+/// Construction is free — workers are spawned per [`run`](Pool::run) call
+/// and joined before it returns, so a `Pool` can live anywhere (including
+/// on the stack of a library function) without leaking threads.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pool {
+    /// A pool sized to the machine: one worker per available hardware
+    /// thread (at least one).
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::with_workers(workers)
+    }
+
+    /// A pool with exactly `workers` workers (clamped to at least 1).
+    /// `with_workers(1)` executes tasks inline on the caller's thread.
+    pub fn with_workers(workers: usize) -> Self {
+        Pool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every task to completion and returns their results in task
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// If a task panics, the panic is propagated to the caller after the
+    /// remaining workers drain.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        self.run_with(&CancelToken::never(), tasks)
+            .into_iter()
+            .map(|r| r.expect("task skipped without cancellation"))
+            .collect()
+    }
+
+    /// Like [`run`](Pool::run), but polls `token` before starting each
+    /// task: after cancellation, tasks not yet claimed are skipped and
+    /// report `None` at their index. Already-running tasks finish (and
+    /// report `Some`), so a caller still gets every result the budget paid
+    /// for.
+    pub fn run_with<T, F>(&self, token: &CancelToken, tasks: Vec<F>) -> Vec<Option<T>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            // Inline fast path: no queue, no threads, same semantics.
+            return tasks
+                .into_iter()
+                .map(|task| (!token.is_cancelled()).then(task))
+                .collect();
+        }
+
+        let queue: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (queue, results, next) = (&queue, &results, &next);
+                    scope.spawn(move || loop {
+                        if token.is_cancelled() {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let task = queue[i]
+                            .lock()
+                            .expect("task slot poisoned")
+                            .take()
+                            .expect("task claimed twice");
+                        let result = task();
+                        *results[i].lock().expect("result slot poisoned") = Some(result);
+                    })
+                })
+                .collect();
+            for h in handles {
+                // Propagate worker panics to the caller.
+                if let Err(panic) = h.join() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("result slot poisoned"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_keep_task_order_at_any_worker_count() {
+        let tasks = |n: usize| (0..n).map(|i| move || i * 10).collect::<Vec<_>>();
+        let expect: Vec<usize> = (0..37).map(|i| i * 10).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let pool = Pool::with_workers(workers);
+            assert_eq!(pool.run(tasks(37)), expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicU32::new(0);
+        let tasks: Vec<_> = (0..100)
+            .map(|_| || counter.fetch_add(1, Ordering::Relaxed))
+            .collect();
+        let results = Pool::with_workers(4).run(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        let mut seen: Vec<u32> = results;
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn pre_cancelled_token_skips_everything() {
+        let token = CancelToken::never();
+        token.cancel();
+        for workers in [1, 4] {
+            let tasks: Vec<_> = (0..10).map(|i| move || i).collect();
+            let results = Pool::with_workers(workers).run_with(&token, tasks);
+            assert!(results.iter().all(Option::is_none), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_skips_the_tail() {
+        // Inline pool: task 2 cancels, so 0..=2 ran and 3.. are skipped.
+        let token = CancelToken::never();
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0usize..10)
+            .map(|i| {
+                let token = token.clone();
+                Box::new(move || {
+                    if i == 2 {
+                        token.cancel();
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let results = Pool::with_workers(1).run_with(&token, tasks);
+        assert_eq!(results[0..3], [Some(0), Some(1), Some(2)]);
+        assert!(results[3..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn pool_reports_at_least_one_worker() {
+        assert!(Pool::new().workers() >= 1);
+        assert_eq!(Pool::with_workers(0).workers(), 1);
+    }
+
+    #[test]
+    fn uneven_task_costs_all_complete() {
+        let tasks: Vec<_> = (0u64..24)
+            .map(|i| {
+                move || {
+                    // Skewed work: some tasks do 1000× the spins of others.
+                    let spins = if i % 7 == 0 { 100_000 } else { 100 };
+                    (0..spins).fold(i, |acc, x| acc.wrapping_add(x))
+                }
+            })
+            .collect();
+        let a = Pool::with_workers(1).run(tasks.clone());
+        let b = Pool::with_workers(6).run(tasks);
+        assert_eq!(a, b);
+    }
+}

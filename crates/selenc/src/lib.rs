@@ -52,6 +52,7 @@ mod decoder;
 mod encoder;
 mod integrity;
 mod lut;
+mod memo;
 mod rtl;
 mod stream;
 
@@ -61,9 +62,10 @@ pub use code::{Codeword, SliceCode};
 pub use decoder::{DecodeError, Decompressor};
 pub use encoder::Encoder;
 pub use integrity::{verify_stream, StreamError};
-pub use lut::{CoreProfile, ProfileConfig, ProfileEntry};
+pub use lut::{profile_entry_for_width, CoreProfile, Interrupted, ProfileConfig, ProfileEntry};
+pub use memo::EvalCache;
 pub use rtl::{generate_testbench, generate_verilog};
 pub use stream::{
-    compress_sampled, compress_test_set, cube_cost, cube_cost_policy, encode_cube,
-    evaluate_clamped, evaluate_point, Compressed,
+    compress_sampled, compress_test_set, cube_cost, cube_cost_policy, cube_cost_scalar,
+    encode_cube, evaluate_clamped, evaluate_point, Compressed,
 };

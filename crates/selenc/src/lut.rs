@@ -14,7 +14,8 @@ use std::fmt;
 use soc_model::Core;
 
 use crate::code::SliceCode;
-use crate::stream::{evaluate_point, Compressed};
+use crate::memo::EvalCache;
+use crate::stream::Compressed;
 
 /// One operating point of a core's compression profile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +54,17 @@ pub struct ProfileEntry {
 pub struct CoreProfile {
     name: String,
     entries: Vec<ProfileEntry>,
+    /// `prefix_best[i]` indexes the best entry (lowest test time, then
+    /// narrowest width) among `entries[..=i]`, so
+    /// [`best_at_most`](CoreProfile::best_at_most) is a binary search plus
+    /// one lookup instead of a scan.
+    prefix_best: Vec<usize>,
 }
+
+/// Returned by [`profile_entry_for_width`] when the cancellation callback
+/// fired before the width was fully evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted;
 
 /// Configuration for [`CoreProfile::build`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,6 +136,48 @@ impl ProfileConfig {
     }
 }
 
+/// Evaluates the single profile width `w` against `cache`'s core: the best
+/// feasible chain count of `w`'s class, or `Ok(None)` when the class is
+/// infeasible for this core. `Err(Interrupted)` if `cancelled` fires
+/// mid-search (a half-searched width would mis-rank against neighbours).
+///
+/// This is the unit of work the planner's thread pool schedules; building
+/// every width `3..=max` and keeping the `Ok(Some(_))` results reproduces
+/// [`CoreProfile::build`] exactly.
+///
+/// # Panics
+///
+/// Panics if the cached core has no attached test set.
+pub fn profile_entry_for_width(
+    cache: &EvalCache<'_>,
+    w: u32,
+    config: &ProfileConfig,
+    cancelled: &dyn Fn() -> bool,
+) -> Result<Option<ProfileEntry>, Interrupted> {
+    let mut best: Option<(u32, Compressed)> = None;
+    let mut last_m = 0;
+    for m in config.m_values(cache.core(), w) {
+        if cancelled() {
+            return Err(Interrupted);
+        }
+        if m == last_m {
+            continue;
+        }
+        last_m = m;
+        if let Some(c) = cache.evaluate_point(m, config.pattern_sample) {
+            if best.as_ref().is_none_or(|(_, b)| c.test_time < b.test_time) {
+                best = Some((m, c));
+            }
+        }
+    }
+    Ok(best.map(|(m, c)| ProfileEntry {
+        tam_width: w,
+        chains: m,
+        test_time: c.test_time,
+        volume_bits: c.volume_bits,
+    }))
+}
+
 impl CoreProfile {
     /// Builds the profile of `core` under `config`.
     ///
@@ -134,6 +187,17 @@ impl CoreProfile {
     /// cubes first).
     pub fn build(core: &Core, config: &ProfileConfig) -> Self {
         Self::build_cancellable(core, config, &|| false)
+    }
+
+    /// [`build`](CoreProfile::build) against an existing [`EvalCache`],
+    /// sharing operating-point evaluations with every other consumer of the
+    /// cache (decision tables, other profile configs, benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// As [`build`](CoreProfile::build).
+    pub fn build_cached(cache: &EvalCache<'_>, config: &ProfileConfig) -> Self {
+        Self::build_inner(cache, config, &|| false)
     }
 
     /// Like [`build`](CoreProfile::build), but polls `cancelled` between
@@ -152,38 +216,49 @@ impl CoreProfile {
         config: &ProfileConfig,
         cancelled: &dyn Fn() -> bool,
     ) -> Self {
+        Self::build_inner(&EvalCache::new(core), config, cancelled)
+    }
+
+    fn build_inner(
+        cache: &EvalCache<'_>,
+        config: &ProfileConfig,
+        cancelled: &dyn Fn() -> bool,
+    ) -> Self {
         let mut entries = Vec::new();
-        'widths: for w in SliceCode::MIN_TAM_WIDTH..=config.max_tam_width {
-            let mut best: Option<(u32, Compressed)> = None;
-            let mut last_m = 0;
-            for m in config.m_values(core, w) {
-                if cancelled() {
-                    // Keep only fully evaluated widths: a half-searched
-                    // width would mis-rank against its neighbours.
-                    break 'widths;
-                }
-                if m == last_m {
-                    continue;
-                }
-                last_m = m;
-                if let Some(c) = evaluate_point(core, m, config.pattern_sample) {
-                    if best.as_ref().is_none_or(|(_, b)| c.test_time < b.test_time) {
-                        best = Some((m, c));
-                    }
-                }
-            }
-            if let Some((m, c)) = best {
-                entries.push(ProfileEntry {
-                    tam_width: w,
-                    chains: m,
-                    test_time: c.test_time,
-                    volume_bits: c.volume_bits,
-                });
+        for w in SliceCode::MIN_TAM_WIDTH..=config.max_tam_width {
+            match profile_entry_for_width(cache, w, config, cancelled) {
+                Ok(Some(entry)) => entries.push(entry),
+                Ok(None) => {}
+                // Keep only fully evaluated widths.
+                Err(Interrupted) => break,
             }
         }
+        Self::from_entries(cache.core().name(), entries)
+    }
+
+    /// Assembles a profile from per-width entries (as produced by
+    /// [`profile_entry_for_width`]), computing the prefix-minimum index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entries' widths are not strictly increasing.
+    pub fn from_entries(name: impl Into<String>, entries: Vec<ProfileEntry>) -> Self {
+        assert!(
+            entries.windows(2).all(|w| w[0].tam_width < w[1].tam_width),
+            "profile entries must have strictly increasing widths"
+        );
+        let mut prefix_best = Vec::with_capacity(entries.len());
+        let mut best = 0usize;
+        for (i, e) in entries.iter().enumerate() {
+            if e.test_time < entries[best].test_time {
+                best = i;
+            }
+            prefix_best.push(best);
+        }
         CoreProfile {
-            name: core.name().to_string(),
+            name: name.into(),
             entries,
+            prefix_best,
         }
     }
 
@@ -197,19 +272,21 @@ impl CoreProfile {
         &self.entries
     }
 
-    /// The entry at exactly width `w`, if that width is feasible.
+    /// The entry at exactly width `w`, if that width is feasible. Binary
+    /// search over the width-sorted entries.
     pub fn entry_at(&self, w: u32) -> Option<&ProfileEntry> {
-        self.entries.iter().find(|e| e.tam_width == w)
+        self.entries
+            .binary_search_by_key(&w, |e| e.tam_width)
+            .ok()
+            .map(|i| &self.entries[i])
     }
 
     /// The best entry over all widths `≤ w` (a core on a `w`-wide TAM may
     /// leave wires unused — essential because test time is non-monotonic
-    /// in `w`).
+    /// in `w`). Answered from the precomputed prefix minimum in `O(log n)`.
     pub fn best_at_most(&self, w: u32) -> Option<&ProfileEntry> {
-        self.entries
-            .iter()
-            .take_while(|e| e.tam_width <= w)
-            .min_by_key(|e| (e.test_time, e.tam_width))
+        let covered = self.entries.partition_point(|e| e.tam_width <= w);
+        (covered > 0).then(|| &self.entries[self.prefix_best[covered - 1]])
     }
 
     /// The narrowest feasible width, or `None` for an empty profile.
@@ -336,6 +413,65 @@ mod tests {
     }
 
     #[test]
+    fn cached_build_matches_plain_build() {
+        let core = prepared(500, 128, 10, 0.15);
+        let plain = CoreProfile::build(&core, &ProfileConfig::new(9).m_candidates(6));
+        let cache = EvalCache::new(&core);
+        let cached = CoreProfile::build_cached(&cache, &ProfileConfig::new(9).m_candidates(6));
+        assert_eq!(plain, cached);
+        // A second build off the same cache is also identical (warm hits).
+        let again = CoreProfile::build_cached(&cache, &ProfileConfig::new(9).m_candidates(6));
+        assert_eq!(plain, again);
+    }
+
+    #[test]
+    fn per_width_entries_reassemble_the_profile() {
+        let core = prepared(400, 96, 6, 0.2);
+        let cfg = ProfileConfig::new(9).m_candidates(5);
+        let plain = CoreProfile::build(&core, &cfg);
+        let cache = EvalCache::new(&core);
+        let entries: Vec<ProfileEntry> = (SliceCode::MIN_TAM_WIDTH..=9)
+            .filter_map(|w| {
+                profile_entry_for_width(&cache, w, &cfg, &|| false).expect("not cancelled")
+            })
+            .collect();
+        assert_eq!(plain, CoreProfile::from_entries(core.name(), entries));
+    }
+
+    #[test]
+    fn width_queries_match_linear_reference() {
+        let core = prepared(600, 256, 8, 0.1);
+        let p = CoreProfile::build(&core, &ProfileConfig::new(11).m_candidates(8));
+        for w in 0..=14 {
+            assert_eq!(
+                p.entry_at(w),
+                p.entries().iter().find(|e| e.tam_width == w),
+                "entry_at({w})"
+            );
+            assert_eq!(
+                p.best_at_most(w),
+                p.entries()
+                    .iter()
+                    .take_while(|e| e.tam_width <= w)
+                    .min_by_key(|e| (e.test_time, e.tam_width)),
+                "best_at_most({w})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_entries_rejects_unsorted_widths() {
+        let e = ProfileEntry {
+            tam_width: 5,
+            chains: 16,
+            test_time: 10,
+            volume_bits: 10,
+        };
+        let _ = CoreProfile::from_entries("x", vec![e, e]);
+    }
+
+    #[test]
     fn display_lists_every_width() {
         let core = prepared(100, 16, 3, 0.4);
         let p = CoreProfile::build(&core, &ProfileConfig::new(6));
@@ -399,10 +535,7 @@ impl CoreProfile {
             }
             entries.push(entry);
         }
-        Ok(CoreProfile {
-            name: name.into(),
-            entries,
-        })
+        Ok(CoreProfile::from_entries(name, entries))
     }
 }
 

@@ -1,0 +1,155 @@
+//! Memoized compression evaluations for one core.
+//!
+//! A [`Compressed`] result depends only on the chain count `m` and the
+//! pattern sample — not on the TAM width the caller happens to be
+//! considering — yet the decision-table builder, the per-TAM internal
+//! planner mode and the benchmarks all evaluate overlapping `m` ranges.
+//! [`EvalCache`] wraps a [`DesignCache`] and memoizes
+//! [`compress_sampled`](crate::compress_sampled) results so each distinct
+//! operating point is compressed exactly once per core, no matter how many
+//! widths, modes or threads ask for it.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use soc_model::Core;
+use wrapper::DesignCache;
+
+use crate::stream::{compress_sampled, Compressed};
+
+/// Per-core memo of sampled compression results, keyed by the effective
+/// chain count and sample size.
+///
+/// Shared by reference across planner worker threads; all methods take
+/// `&self`.
+///
+/// # Examples
+///
+/// ```
+/// use soc_model::benchmarks::Design;
+/// use selenc::{evaluate_point, EvalCache};
+///
+/// let soc = Design::D695.build_with_cubes(1);
+/// let (_, core) = soc.core_by_name("s13207").expect("d695 core");
+/// let cache = EvalCache::new(core);
+/// assert_eq!(cache.evaluate_point(8, Some(4)), evaluate_point(core, 8, Some(4)));
+/// ```
+#[derive(Debug)]
+pub struct EvalCache<'a> {
+    designs: DesignCache<'a>,
+    evals: Mutex<HashMap<(u32, Option<usize>), Compressed>>,
+}
+
+impl<'a> EvalCache<'a> {
+    /// Creates an empty cache for `core`. Nothing is computed up front.
+    pub fn new(core: &'a Core) -> Self {
+        EvalCache {
+            designs: DesignCache::new(core),
+            evals: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying wrapper-design memo.
+    pub fn designs(&self) -> &DesignCache<'a> {
+        &self.designs
+    }
+
+    /// The core this cache evaluates.
+    pub fn core(&self) -> &'a Core {
+        self.designs.core()
+    }
+
+    /// Memoized [`evaluate_clamped`](crate::evaluate_clamped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core has no attached test set or `m == 0`.
+    pub fn evaluate_clamped(&self, m: u32, sample: Option<usize>) -> Compressed {
+        assert!(m > 0, "chain count must be positive");
+        let core = self.core();
+        let test_set = core
+            .test_set()
+            .expect("core must carry a test set; call synthesize_missing_test_sets first");
+        let point = self.designs.design_at(m);
+        // Normalize the key: chain counts collapse to the effective design,
+        // and any sample covering the whole set is the exact computation.
+        let p = test_set.pattern_count();
+        let key = (point.design.chain_count(), sample.filter(|&s| s < p.max(1)));
+        if let Some(hit) = self.evals.lock().expect("eval memo poisoned").get(&key) {
+            return *hit;
+        }
+        let sample = sample.unwrap_or(p.max(1));
+        let result = compress_sampled(&point.design, test_set, sample);
+        self.evals
+            .lock()
+            .expect("eval memo poisoned")
+            .insert(key, result);
+        result
+    }
+
+    /// Memoized [`evaluate_point`](crate::evaluate_point): `None` when the
+    /// core cannot realize `m` distinct chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core has no attached test set.
+    pub fn evaluate_point(&self, m: u32, sample: Option<usize>) -> Option<Compressed> {
+        if m == 0 || self.designs.design_at(m).design.chain_count() != m {
+            return None;
+        }
+        Some(self.evaluate_clamped(m, sample))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{evaluate_clamped, evaluate_point};
+    use soc_model::{Core, CubeSynthesis};
+
+    fn prepared() -> Core {
+        let mut core = Core::builder("memo")
+            .inputs(9)
+            .outputs(4)
+            .flexible_cells(300, 64)
+            .pattern_count(12)
+            .care_density(0.2)
+            .build()
+            .unwrap();
+        let ts = CubeSynthesis::new(0.2).synthesize(&core, 5);
+        core.attach_test_set(ts).unwrap();
+        core
+    }
+
+    #[test]
+    fn matches_unmemoized_functions() {
+        let core = prepared();
+        let cache = EvalCache::new(&core);
+        for m in [1u32, 5, 16, 40, 73, 200] {
+            for sample in [None, Some(3), Some(500)] {
+                assert_eq!(
+                    cache.evaluate_point(m, sample),
+                    evaluate_point(&core, m, sample),
+                    "point m={m} sample={sample:?}"
+                );
+                assert_eq!(
+                    cache.evaluate_clamped(m, sample),
+                    evaluate_clamped(&core, m, sample),
+                    "clamped m={m} sample={sample:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collapsing_keys_share_one_evaluation() {
+        let core = prepared();
+        let cache = EvalCache::new(&core);
+        // Saturating sample == exact; both land on the None-sample key.
+        let a = cache.evaluate_clamped(10, Some(999));
+        let b = cache.evaluate_clamped(10, None);
+        assert_eq!(a, b);
+        let memo = cache.evals.lock().unwrap();
+        assert_eq!(memo.len(), 1, "saturating samples must share a key");
+    }
+}

@@ -11,8 +11,10 @@
 //! (`p` capture cycles, plus the usual pipeline fill/drain term). The
 //! compressed data volume is `codewords × w` bits.
 
-use soc_model::{Core, TestSet, Trit, TritVec};
-use wrapper::{design_wrapper, WrapperDesign};
+use std::cell::RefCell;
+
+use soc_model::{read_bits, Core, TestSet, Trit, TritVec};
+use wrapper::{design_wrapper, SliceMatrix, WrapperDesign};
 
 use crate::code::{Codeword, SliceCode};
 use crate::encoder::Encoder;
@@ -50,10 +52,96 @@ pub fn cube_cost(code: SliceCode, design: &WrapperDesign, cube: &TritVec) -> u64
 /// [`cube_cost`] with group-copy mode optionally disabled (matching
 /// [`Encoder::single_bit_only`]); used by the mode-contribution ablation.
 ///
+/// Runs the packed word-parallel kernel; [`cube_cost_scalar`] is the
+/// per-symbol reference it is tested against.
+///
 /// # Panics
 ///
 /// Panics under the same conditions as [`encode_cube`].
 pub fn cube_cost_policy(
+    code: SliceCode,
+    design: &WrapperDesign,
+    cube: &TritVec,
+    group_copy: bool,
+) -> u64 {
+    COST_SCRATCH.with(|s| cube_cost_packed(code, design, cube, group_copy, &mut s.borrow_mut()))
+}
+
+/// Reusable buffers for [`cube_cost_packed`]: the slice-major planes of the
+/// cube and the per-slice target-bit plane.
+#[derive(Debug, Default)]
+struct CostScratch {
+    slices: SliceMatrix,
+    target: Vec<u64>,
+}
+
+thread_local! {
+    // One scratch per thread makes the public cost functions allocation-free
+    // across calls without threading a handle through every caller.
+    static COST_SCRATCH: RefCell<CostScratch> = RefCell::new(CostScratch::default());
+}
+
+/// Packed slice-cost kernel: builds the cube's slice-major care/value
+/// planes once, then derives each slice's fill polarity and per-group
+/// target counts from popcounts instead of per-symbol lookups.
+fn cube_cost_packed(
+    code: SliceCode,
+    design: &WrapperDesign,
+    cube: &TritVec,
+    group_copy: bool,
+    scratch: &mut CostScratch,
+) -> u64 {
+    assert_eq!(
+        design.chain_count(),
+        code.chains(),
+        "wrapper design and slice code disagree on the chain count"
+    );
+    design.fill_slice_matrix(cube, &mut scratch.slices);
+    let c = code.data_bits() as usize;
+    let groups = code.group_count();
+    let mut total = 0u64;
+    for depth in 0..scratch.slices.depths() {
+        let care = scratch.slices.care_row(depth);
+        let value = scratch.slices.value_row(depth);
+        // The value plane is zero at don't-care and pad positions, so its
+        // popcount is the count of specified ones directly.
+        let cares: u32 = care.iter().map(|w| w.count_ones()).sum();
+        let ones: u32 = value.iter().map(|w| w.count_ones()).sum();
+        let zeros = cares - ones;
+        let fill_one = ones > zeros;
+        // Target bits: the minority symbols the encoder must place
+        // explicitly (specified zeros when filling ones, and vice versa).
+        scratch.target.clear();
+        scratch.target.extend(
+            care.iter()
+                .zip(value)
+                .map(|(&cw, &vw)| if fill_one { cw & !vw } else { vw }),
+        );
+        let mut singles = 0u64;
+        let mut copies = 0u64;
+        for g in 0..groups {
+            let glen = code.group_len(g) as usize;
+            let t = read_bits(&scratch.target, g as usize * c, glen).count_ones();
+            if t > 2 && group_copy {
+                copies += 1;
+            } else {
+                singles += u64::from(t);
+            }
+        }
+        total += Encoder::cost_of(singles, copies);
+    }
+    total
+}
+
+/// Per-symbol reference implementation of [`cube_cost_policy`]: walks every
+/// (depth, chain) pair through [`position_at`](wrapper::ChainLayout::position_at).
+/// Kept as the oracle the packed kernel is property-tested against; use
+/// [`cube_cost`] / [`cube_cost_policy`] everywhere else.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`encode_cube`].
+pub fn cube_cost_scalar(
     code: SliceCode,
     design: &WrapperDesign,
     cube: &TritVec,
@@ -170,8 +258,7 @@ pub fn compress_sampled(design: &WrapperDesign, test_set: &TestSet, sample: usiz
             sum += cube_cost(code, design, test_set.pattern(idx).expect("idx < p"));
             seen += 1;
         }
-        // Scale to the full pattern count, rounding to nearest.
-        (sum * p as u64 + seen / 2) / seen
+        scale_codewords(sum, p as u64, seen)
     };
     let fill_drain = design.scan_in_length().min(design.scan_out_length());
     Compressed {
@@ -180,6 +267,15 @@ pub fn compress_sampled(design: &WrapperDesign, test_set: &TestSet, sample: usiz
         test_time: codewords + p as u64 + fill_drain,
         volume_bits: codewords * u64::from(code.tam_width()),
     }
+}
+
+/// Scales a sampled codeword sum to the full pattern count, rounding to
+/// nearest. Widened to `u128` internally: `sum × patterns` overflows `u64`
+/// on deep industrial cores (a multi-million-cycle sample sum times
+/// hundreds of patterns) even though the scaled result always fits.
+fn scale_codewords(sum: u64, patterns: u64, seen: u64) -> u64 {
+    let scaled = (u128::from(sum) * u128::from(patterns) + u128::from(seen / 2)) / u128::from(seen);
+    u64::try_from(scaled).expect("scaled codeword count fits u64: sum/seen <= sum")
 }
 
 /// Like [`evaluate_point`], but when the core cannot realize `m` distinct
@@ -254,6 +350,40 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn packed_kernel_matches_scalar_oracle() {
+        for (cells, density) in [(120u32, 0.4), (500, 0.08), (64, 0.9)] {
+            let core = test_core(cells, 4, density);
+            let ts = core.test_set().unwrap();
+            for m in [1u32, 7, 31, 64, 130] {
+                let design = design_wrapper(&core, m);
+                let code = SliceCode::for_chains(design.chain_count());
+                for cube in ts.iter() {
+                    for group_copy in [true, false] {
+                        assert_eq!(
+                            cube_cost_policy(code, &design, cube, group_copy),
+                            cube_cost_scalar(code, &design, cube, group_copy),
+                            "cells={cells} m={m} group_copy={group_copy}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_scaling_survives_huge_codeword_sums() {
+        // sum × patterns = 3e20, past u64::MAX, while the scaled result
+        // still fits comfortably.
+        let sum = 500_000_000_000_000_000u64;
+        let patterns = 600u64;
+        let seen = 300u64;
+        assert_eq!(scale_codewords(sum, patterns, seen), sum * 2);
+        // Rounding matches the narrow formula on small inputs.
+        assert_eq!(scale_codewords(10, 3, 4), 8); // (30 + 2) / 4
+        assert_eq!(scale_codewords(7, 7, 2), 25); // (49 + 1) / 2
     }
 
     #[test]

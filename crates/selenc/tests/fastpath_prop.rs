@@ -1,0 +1,81 @@
+//! Property equivalence for the profile-build fast path.
+//!
+//! The packed word-parallel cost kernel must agree with the per-symbol
+//! reference on every (core, cube, chain count, policy) combination, and
+//! the memoized profile builder must reproduce the plain one exactly —
+//! these are the invariants that let the planner run the fast path
+//! unconditionally.
+
+use proptest::prelude::*;
+
+use selenc::{
+    cube_cost_policy, cube_cost_scalar, CoreProfile, EvalCache, ProfileConfig, SliceCode,
+};
+use soc_model::{Core, CubeSynthesis};
+use wrapper::design_wrapper;
+
+fn prepared(inputs: u32, cells: u32, max_chains: u32, patterns: u32, density: f64) -> Core {
+    let mut core = Core::builder("prop")
+        .inputs(inputs)
+        .outputs(4)
+        .flexible_cells(cells, max_chains)
+        .pattern_count(patterns)
+        .care_density(density)
+        .build()
+        .unwrap();
+    let ts = CubeSynthesis::new(density).synthesize(&core, 0xFA57);
+    core.attach_test_set(ts).unwrap();
+    core
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The packed kernel and the scalar oracle count identical codewords
+    /// for every cube, at chain counts spanning sub-word, word-boundary
+    /// and multi-word slices, with and without group-copy mode.
+    #[test]
+    fn packed_cube_cost_matches_scalar_oracle(
+        inputs in 0u32..24,
+        cells in 40u32..900,
+        max_chains in 1u32..200,
+        density in 0.02f64..0.6,
+        m in 1u32..260,
+        group_copy in any::<bool>(),
+    ) {
+        let core = prepared(inputs, cells, max_chains, 3, density);
+        let design = design_wrapper(&core, m);
+        let code = SliceCode::for_chains(design.chain_count());
+        let ts = core.test_set().unwrap();
+        for p in 0..ts.pattern_count() {
+            let cube = ts.pattern(p).unwrap();
+            prop_assert_eq!(
+                cube_cost_policy(code, &design, cube, group_copy),
+                cube_cost_scalar(code, &design, cube, group_copy),
+                "m={} chains={} pattern={} group_copy={}",
+                m, design.chain_count(), p, group_copy
+            );
+        }
+    }
+
+    /// Building a profile through the shared evaluation cache — including
+    /// rebuilding off a warm cache — yields the plain builder's profile
+    /// bit for bit.
+    #[test]
+    fn cached_profile_build_matches_plain(
+        cells in 60u32..600,
+        max_chains in 2u32..96,
+        density in 0.05f64..0.4,
+        max_width in 3u32..10,
+        candidates in 2usize..7,
+    ) {
+        let core = prepared(10, cells, max_chains, 4, density);
+        let cfg = ProfileConfig::new(max_width).m_candidates(candidates);
+        let plain = CoreProfile::build(&core, &cfg);
+        let cache = EvalCache::new(&core);
+        let cold = CoreProfile::build_cached(&cache, &cfg);
+        let warm = CoreProfile::build_cached(&cache, &cfg);
+        prop_assert_eq!(&plain, &cold);
+        prop_assert_eq!(&plain, &warm);
+    }
+}

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod benchmarks;
+mod bitmatrix;
 pub mod compaction;
 mod core;
 pub mod format;
@@ -52,6 +53,7 @@ mod rng;
 mod soc;
 mod trit;
 
+pub use crate::bitmatrix::{copy_bits, read_bits, write_bits, BitMatrix};
 pub use crate::core::{BuildCoreError, Core, CoreBuilder, ScanArchitecture};
 pub use crate::generator::CubeSynthesis;
 pub use crate::pattern::{PatternSizeError, TestSet};

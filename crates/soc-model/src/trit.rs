@@ -251,6 +251,20 @@ impl TritVec {
         }
     }
 
+    /// The packed care-mask plane: bit `i % 64` of word `i / 64` is set
+    /// when symbol `i` is a care bit. Trailing bits beyond
+    /// [`len`](Self::len) are zero.
+    pub fn care_words(&self) -> &[u64] {
+        &self.care
+    }
+
+    /// The packed value plane, aligned with [`care_words`](Self::care_words).
+    /// Don't-care positions (and trailing bits) are kept `0`, so plane-wide
+    /// popcounts count care-ones directly.
+    pub fn value_words(&self) -> &[u64] {
+        &self.value
+    }
+
     /// Number of specified (care) symbols.
     pub fn count_cares(&self) -> usize {
         self.care.iter().map(|w| w.count_ones() as usize).sum()

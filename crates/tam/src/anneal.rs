@@ -9,6 +9,8 @@
 //!
 //! [`optimize_architecture`]: crate::optimize_architecture
 
+use std::collections::HashMap;
+
 use robust::CancelToken;
 use soc_model::SplitMix64;
 
@@ -95,16 +97,23 @@ pub fn anneal_architecture_with(
             widths = seed_widths.to_vec();
         }
     }
-    let mut current = greedy_schedule(cost, &widths)?;
+    let current = greedy_schedule(cost, &widths)?;
     let mut current_time = current.makespan();
     let mut best = Architecture {
         test_time: current_time,
-        schedule: current.clone(),
+        schedule: current,
     };
 
     let mut rng = SplitMix64::new(opts.seed);
     let mut temp = opts.initial_temp * current_time as f64;
     let max_tams = total_width.min(cost.core_count() as u32).max(1) as usize;
+
+    // The walk revisits partitions constantly (a shift undone two moves
+    // later lands on a seen key), so makespans are answered from a memo,
+    // and on a miss by an allocation-free greedy sweep instead of
+    // materializing a full Schedule. Only a new best pays for one.
+    let mut eval = Evaluator::new(cost);
+    eval.seed(&widths, Some(best.test_time));
 
     let mut status = SearchStatus::Complete;
     for _ in 0..opts.iterations {
@@ -117,22 +126,21 @@ pub fn anneal_architecture_with(
         let Some(candidate) = candidate else {
             continue;
         };
-        let Ok(schedule) = greedy_schedule(cost, &candidate) else {
+        let Some(time) = eval.makespan(&candidate) else {
             continue; // infeasible partition for some core
         };
-        let time = schedule.makespan();
         let accept = time <= current_time || {
             let delta = (time - current_time) as f64;
             temp > 0.0 && rng.next_f64() < (-delta / temp).exp()
         };
         if accept {
             widths = candidate;
-            current = schedule;
             current_time = time;
             if current_time < best.test_time {
                 best = Architecture {
                     test_time: current_time,
-                    schedule: current.clone(),
+                    schedule: greedy_schedule(cost, &widths)
+                        .expect("evaluator certified this partition feasible"),
                 };
             }
         }
@@ -141,6 +149,98 @@ pub fn anneal_architecture_with(
         architecture: best,
         status,
     })
+}
+
+/// Memoized makespan oracle for [`anneal_architecture_with`]: answers
+/// "what would [`greedy_schedule`] produce for this partition?" without
+/// building the schedule. `None` means the partition is infeasible.
+///
+/// The sweep mirrors [`schedule_in_order`](crate::schedule_in_order)
+/// decision for decision (same ordering, same tie-breaks), so a makespan
+/// reported here is exactly the one the materialized schedule has — the
+/// anneal's accept/reject sequence, and therefore its RNG stream and its
+/// result, are bit-identical to evaluating every candidate the slow way.
+struct Evaluator<'a> {
+    cost: &'a CostModel,
+    memo: HashMap<Vec<u32>, Option<u64>>,
+    /// Scratch: per-core sort keys (best time within the partition).
+    keys: Vec<u64>,
+    /// Scratch: core visit order, longest first.
+    order: Vec<usize>,
+    /// Scratch: per-TAM finish times.
+    finish: Vec<u64>,
+}
+
+impl<'a> Evaluator<'a> {
+    fn new(cost: &'a CostModel) -> Self {
+        let n = cost.core_count();
+        Evaluator {
+            cost,
+            memo: HashMap::new(),
+            keys: vec![0; n],
+            order: Vec::with_capacity(n),
+            finish: Vec::new(),
+        }
+    }
+
+    /// Pre-loads a known result (e.g. the warm-start schedule's makespan).
+    fn seed(&mut self, widths: &[u32], makespan: Option<u64>) {
+        self.memo.insert(widths.to_vec(), makespan);
+    }
+
+    /// The makespan [`greedy_schedule`] would produce for `widths`, or
+    /// `None` when some core fits no TAM of the partition.
+    fn makespan(&mut self, widths: &[u32]) -> Option<u64> {
+        if let Some(&hit) = self.memo.get(widths) {
+            return hit;
+        }
+        let result = self.sweep(widths);
+        self.memo.insert(widths.to_vec(), result);
+        result
+    }
+
+    fn sweep(&mut self, widths: &[u32]) -> Option<u64> {
+        let cost = self.cost;
+        // longest_first_order: each core judged at its best width available
+        // in this partition, longest first, index as tie-break.
+        for (i, key) in self.keys.iter_mut().enumerate() {
+            *key = widths
+                .iter()
+                .filter_map(|&w| cost.time(i, w))
+                .min()
+                .unwrap_or(u64::MAX);
+        }
+        self.order.clear();
+        self.order.extend(0..cost.core_count());
+        let keys = &self.keys;
+        self.order
+            .sort_by(|&a, &b| keys[b].cmp(&keys[a]).then(a.cmp(&b)));
+
+        // schedule_in_order, minus the schedule. Its candidate comparison
+        // (least makespan increase, ties to the earlier finish, then the
+        // lower TAM index) collapses to "first TAM with the strictly
+        // smallest finish + duration": new_makespan = max(current,
+        // new_finish) is monotone in new_finish, so the makespan-then-
+        // finish lexicographic test accepts a candidate exactly when its
+        // new_finish is strictly smaller than the incumbent's.
+        self.finish.clear();
+        self.finish.resize(widths.len(), 0);
+        for &core in &self.order {
+            let mut choice: Option<(usize, u64)> = None; // (tam, new_finish)
+            for (j, &w) in widths.iter().enumerate() {
+                let Some(d) = cost.time(core, w) else {
+                    continue;
+                };
+                let new_finish = self.finish[j] + d;
+                if choice.is_none_or(|(_, bf)| new_finish < bf) {
+                    choice = Some((j, new_finish));
+                }
+            }
+            let (tam, new_finish) = choice?;
+            self.finish[tam] = new_finish;
+        }
+        Some(self.finish.iter().copied().max().unwrap_or(0))
+    }
 }
 
 /// Proposes a neighbouring partition, or `None` when the move is a no-op.
@@ -305,6 +405,42 @@ mod tests {
             .unwrap();
             search.architecture.schedule.validate(&c).unwrap();
         }
+    }
+
+    #[test]
+    fn evaluator_matches_greedy_schedule_exactly() {
+        // Mixed feasibility: `narrow` only below width 3, `wide` only at 4+.
+        let mut m = CostModel::new(6);
+        m.push_core(
+            "a",
+            vec![Some(90), Some(50), Some(40), Some(35), Some(31), Some(30)],
+        );
+        m.push_core("narrow", vec![Some(70), Some(44), None, None, None, None]);
+        m.push_core("wide", vec![None, None, None, Some(25), Some(22), Some(20)]);
+        m.push_core(
+            "b",
+            vec![Some(88), Some(51), Some(40), Some(33), Some(28), Some(26)],
+        );
+        let mut eval = Evaluator::new(&m);
+        let partitions: [&[u32]; 9] = [
+            &[6],
+            &[3, 3],
+            &[1, 5],
+            &[2, 4],
+            &[1, 1, 4],
+            &[2, 2, 2],
+            &[4, 2],
+            &[5, 1],
+            &[3, 3], // repeat: memo path must agree too
+        ];
+        for widths in partitions {
+            let expect = greedy_schedule(&m, widths).ok().map(|s| s.makespan());
+            assert_eq!(eval.makespan(widths), expect, "widths {widths:?}");
+        }
+        // `wide` fits nowhere in an all-narrow partition: infeasible, and
+        // the memo caches the verdict.
+        assert_eq!(eval.makespan(&[1, 1, 1, 1, 1, 1]), None);
+        assert_eq!(eval.makespan(&[1, 1, 1, 1, 1, 1]), None);
     }
 
     #[test]

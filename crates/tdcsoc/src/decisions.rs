@@ -6,12 +6,15 @@
 //! The tables feed the TAM scheduler (as a [`tam::CostModel`]) and are
 //! consulted again after scheduling to report each core's chosen setting.
 
+use std::ops::Range;
+
 use fdr::compress_fdr;
 use lfsr::{compress_reseeding, ReseedOptions};
 use robust::CancelToken;
-use selenc::{evaluate_clamped, CoreProfile, ProfileConfig, SliceCode};
+use selenc::{
+    profile_entry_for_width, CoreProfile, EvalCache, ProfileConfig, ProfileEntry, SliceCode,
+};
 use soc_model::Core;
-use wrapper::best_design_up_to;
 
 /// How test data reaches the cores (the paper's Fig. 4 alternatives plus
 /// the comparison baselines).
@@ -173,119 +176,9 @@ impl DecisionTable {
         config: &DecisionConfig,
         token: &CancelToken,
     ) -> Self {
-        assert!(max_width > 0, "width budget must be positive");
-        let raw = raw_decisions(core, max_width);
-        let cancelled = || token.is_cancelled();
-        let table: Vec<Option<Decision>> = match mode {
-            CompressionMode::None => raw.into_iter().map(Some).collect(),
-            CompressionMode::PerCore => {
-                let profile = build_profile(core, max_width, config, token);
-                (1..=max_width)
-                    .map(|w| {
-                        let bypass = raw[(w - 1) as usize];
-                        let tdc = profile.best_at_most(w).map(|e| Decision {
-                            test_time: e.test_time,
-                            volume_bits: e.volume_bits,
-                            decompressor: Some((e.tam_width, e.chains)),
-                            lfsr_len: None,
-                            technique: Technique::SelectiveEncoding,
-                        });
-                        Some(match tdc {
-                            Some(t) if t.test_time < bypass.test_time => t,
-                            _ => bypass,
-                        })
-                    })
-                    .collect()
-            }
-            CompressionMode::PerTam => (1..=max_width)
-                .map(|w| {
-                    Some(if cancelled() {
-                        raw[(w - 1) as usize]
-                    } else {
-                        per_tam_decision(core, w, config)
-                    })
-                })
-                .collect(),
-            CompressionMode::FixedWidth(wf) => {
-                let profile = build_profile(core, wf, config, token);
-                let entry = profile.entry_at(wf).map(|e| Decision {
-                    test_time: e.test_time,
-                    volume_bits: e.volume_bits,
-                    decompressor: Some((e.tam_width, e.chains)),
-                    lfsr_len: None,
-                    technique: Technique::SelectiveEncoding,
-                });
-                // A tripped token can leave the pinned width unevaluated;
-                // degrade to raw access rather than declaring the core
-                // unschedulable.
-                let entry =
-                    entry.or_else(|| cancelled().then(|| raw[(wf.min(max_width) - 1) as usize]));
-                (1..=max_width)
-                    .map(|w| if w >= wf { entry } else { None })
-                    .collect()
-            }
-            CompressionMode::Reseeding => (1..=max_width)
-                .map(|w| {
-                    if cancelled() {
-                        Some(raw[(w - 1) as usize])
-                    } else {
-                        reseed_decision(core, w, config)
-                    }
-                })
-                .collect(),
-            CompressionMode::Fdr => {
-                // Running minimum: wires may be left unused.
-                let mut best: Option<Decision> = None;
-                (1..=max_width)
-                    .map(|w| {
-                        if cancelled() {
-                            return Some(best.unwrap_or(raw[(w - 1) as usize]));
-                        }
-                        let r = compress_fdr(core, w, config.pattern_sample);
-                        let d = Decision {
-                            test_time: r.test_time,
-                            volume_bits: r.volume_bits,
-                            decompressor: None,
-                            lfsr_len: None,
-                            technique: Technique::Fdr,
-                        };
-                        if best.is_none_or(|b| d.test_time < b.test_time) {
-                            best = Some(d);
-                        }
-                        best
-                    })
-                    .collect()
-            }
-            CompressionMode::Select => {
-                let selenc_table = DecisionTable::build_with(
-                    core,
-                    CompressionMode::PerCore,
-                    max_width,
-                    config,
-                    token,
-                );
-                let fdr_table =
-                    DecisionTable::build_with(core, CompressionMode::Fdr, max_width, config, token);
-                (1..=max_width)
-                    .map(|w| {
-                        [selenc_table.decision(w), fdr_table.decision(w)]
-                            .into_iter()
-                            .flatten()
-                            .min_by_key(|d| d.test_time)
-                    })
-                    .collect()
-            }
-        };
-        DecisionTable {
-            name: core.name().to_string(),
-            table,
-        }
-    }
-
-    /// Assembles a table from precomputed decisions (used by the planner's
-    /// internal-width variant of the shared-decompressor mode).
-    pub(crate) fn from_parts(name: String, table: Vec<Option<Decision>>) -> Self {
-        DecisionTable { name, table }
+        let job = TableJob::new(core, mode, max_width, config);
+        let part = job.compute(job.width_range(), token);
+        job.assemble(vec![part])
     }
 
     /// The core's name.
@@ -315,62 +208,412 @@ impl DecisionTable {
     }
 }
 
-/// Raw (uncompressed) decision per width: the best wrapper with at most
-/// `w` chains.
-fn raw_decisions(core: &Core, max_width: u32) -> Vec<Decision> {
-    (1..=max_width)
-        .map(|w| {
-            let (design, time) = best_design_up_to(core, w);
-            let stored = u64::from(core.pattern_count())
-                * design.scan_in_length()
-                * u64::from(design.chain_count());
-            Decision {
-                test_time: time,
-                volume_bits: stored,
-                decompressor: None,
-                lfsr_len: None,
-                technique: Technique::Raw,
-            }
-        })
-        .collect()
+/// The per-width work computed by [`TableJob::compute`] — everything that
+/// is expensive and independent, leaving the width-coupled logic (running
+/// minima, profile assembly, raw fallbacks) to [`TableJob::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum WidthWork {
+    /// The cancel token tripped before this width was evaluated; assembly
+    /// degrades it to the raw (uncompressed) decision where the mode allows.
+    Skipped,
+    /// The mode computes nothing per width (raw-only modes).
+    Nothing,
+    /// A profile operating point (`None` = width class infeasible).
+    Entry(Option<ProfileEntry>),
+    /// A finished decision (`None` = no decision at this width).
+    Decision(Option<Decision>),
+    /// Technique selection: both candidate operating points.
+    Select {
+        /// Selective-encoding profile entry at this width.
+        entry: Option<ProfileEntry>,
+        /// FDR decision at this width (before the running minimum).
+        fdr: Option<Decision>,
+    },
 }
 
-fn build_profile(
-    core: &Core,
+/// The results of one width chunk of a [`TableJob`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TablePart {
+    /// First width covered (1-based).
+    start: u32,
+    /// Work items for widths `start..start + work.len()`.
+    work: Vec<WidthWork>,
+}
+
+impl TablePart {
+    /// A part whose whole range went unevaluated because the pool dropped
+    /// the task after cancellation; assembly degrades it like any other
+    /// skipped width.
+    pub(crate) fn skipped(range: Range<u32>) -> Self {
+        TablePart {
+            start: range.start,
+            work: range.map(|_| WidthWork::Skipped).collect(),
+        }
+    }
+}
+
+/// A decision-table build split into independently computable width
+/// chunks, sharing one [`EvalCache`] so overlapping operating points are
+/// evaluated once no matter how the chunks are scheduled.
+///
+/// The protocol: [`width_chunks`](TableJob::width_chunks) partitions the
+/// width axis, [`compute`](TableJob::compute) runs anywhere (the job is
+/// `Sync`; the planner schedules chunks on a [`parpool::Pool`]), and
+/// [`assemble`](TableJob::assemble) folds the parts — in width order —
+/// into the exact table the serial builder produces.
+#[derive(Debug)]
+pub(crate) struct TableJob<'a> {
+    core: &'a Core,
+    mode: CompressionMode,
+    /// Index the table by the TAM's internal width `m` instead of the
+    /// decompressor input width (the planner's shared-decompressor variant
+    /// under a TAM-wire budget).
+    internal: bool,
     max_width: u32,
-    config: &DecisionConfig,
-    token: &CancelToken,
-) -> CoreProfile {
-    let mut cfg = ProfileConfig::new(max_width);
-    if let Some(s) = config.pattern_sample {
-        cfg = cfg.pattern_sample(s);
-    }
-    if config.m_candidates != usize::MAX {
-        cfg = cfg.m_candidates(config.m_candidates.max(2));
-    }
-    CoreProfile::build_cancellable(core, &cfg, &|| token.is_cancelled())
+    config: &'a DecisionConfig,
+    profile_cfg: ProfileConfig,
+    cache: EvalCache<'a>,
 }
 
-/// Shared-decompressor decision: the TAM's decompressor expands its `w`
-/// wires to the *widest* `m` of the width class (no per-core search — the
-/// very policy Fig. 2 shows to be suboptimal); smaller cores use a subset
-/// of the outputs.
-fn per_tam_decision(core: &Core, w: u32, config: &DecisionConfig) -> Decision {
-    if w < SliceCode::MIN_TAM_WIDTH {
-        // A degenerate TAM too narrow for any slice code falls back to raw
-        // wrapper access.
-        return raw_decisions(core, w)[(w - 1) as usize];
+impl<'a> TableJob<'a> {
+    /// Prepares a build of `core`'s table for `mode` over widths
+    /// `1..=max_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_width == 0`.
+    pub(crate) fn new(
+        core: &'a Core,
+        mode: CompressionMode,
+        max_width: u32,
+        config: &'a DecisionConfig,
+    ) -> Self {
+        assert!(max_width > 0, "width budget must be positive");
+        let mut profile_cfg = ProfileConfig::new(max_width);
+        if let Some(s) = config.pattern_sample {
+            profile_cfg = profile_cfg.pattern_sample(s);
+        }
+        if config.m_candidates != usize::MAX {
+            profile_cfg = profile_cfg.m_candidates(config.m_candidates.max(2));
+        }
+        TableJob {
+            core,
+            mode,
+            internal: false,
+            max_width,
+            config,
+            profile_cfg,
+            cache: EvalCache::new(core),
+        }
     }
-    let m_max = *SliceCode::feasible_chains(w).end();
-    let m = m_max.min(core.max_wrapper_chains());
-    let c = evaluate_clamped(core, m, config.pattern_sample);
+
+    /// As [`new`](TableJob::new), but for the shared-decompressor mode
+    /// under an *internal* wire budget: `table[m - 1]` is the operating
+    /// point when the TAM's internal width is `m` (the decompressor input
+    /// width follows from the slice code).
+    pub(crate) fn per_tam_internal(
+        core: &'a Core,
+        max_width: u32,
+        config: &'a DecisionConfig,
+    ) -> Self {
+        let mut job = Self::new(core, CompressionMode::PerTam, max_width, config);
+        job.internal = true;
+        job
+    }
+
+    /// The full width range of this job (`1..max_width + 1`).
+    pub(crate) fn width_range(&self) -> Range<u32> {
+        1..self.max_width + 1
+    }
+
+    /// Partitions the width axis into chunks of at most `chunk` widths.
+    pub(crate) fn width_chunks(&self, chunk: u32) -> Vec<Range<u32>> {
+        let chunk = chunk.max(1);
+        (1..=self.max_width)
+            .step_by(chunk as usize)
+            .map(|start| start..(start + chunk).min(self.max_width + 1))
+            .collect()
+    }
+
+    /// Evaluates the widths of `range`, polling `token` between operating
+    /// points; after cancellation the remaining widths report
+    /// [`WidthWork::Skipped`].
+    pub(crate) fn compute(&self, range: Range<u32>, token: &CancelToken) -> TablePart {
+        let start = range.start;
+        let work = range
+            .map(|w| {
+                if token.is_cancelled() {
+                    return WidthWork::Skipped;
+                }
+                self.compute_width(w, token)
+            })
+            .collect();
+        TablePart { start, work }
+    }
+
+    fn compute_width(&self, w: u32, token: &CancelToken) -> WidthWork {
+        let cancelled = || token.is_cancelled();
+        if self.internal {
+            let m_use = w.min(self.core.max_wrapper_chains());
+            let c = self
+                .cache
+                .evaluate_clamped(m_use, self.config.pattern_sample);
+            return WidthWork::Decision(Some(Decision {
+                test_time: c.test_time,
+                volume_bits: c.volume_bits,
+                decompressor: Some((c.code.tam_width(), c.code.chains())),
+                lfsr_len: None,
+                technique: Technique::SelectiveEncoding,
+            }));
+        }
+        match self.mode {
+            CompressionMode::None => WidthWork::Nothing,
+            CompressionMode::PerCore => {
+                if w < SliceCode::MIN_TAM_WIDTH {
+                    // No slice code fits; raw bypass decides these widths.
+                    return WidthWork::Entry(None);
+                }
+                match profile_entry_for_width(&self.cache, w, &self.profile_cfg, &cancelled) {
+                    Ok(entry) => WidthWork::Entry(entry),
+                    Err(_) => WidthWork::Skipped,
+                }
+            }
+            CompressionMode::PerTam => WidthWork::Decision(Some(self.per_tam_decision(w))),
+            CompressionMode::FixedWidth(wf) => {
+                // Only the pinned width needs an evaluation; it is computed
+                // by whichever chunk covers it.
+                if w == wf && wf >= SliceCode::MIN_TAM_WIDTH {
+                    match profile_entry_for_width(&self.cache, wf, &self.profile_cfg, &cancelled) {
+                        Ok(entry) => WidthWork::Entry(entry),
+                        Err(_) => WidthWork::Skipped,
+                    }
+                } else {
+                    WidthWork::Nothing
+                }
+            }
+            CompressionMode::Reseeding => {
+                WidthWork::Decision(reseed_decision(self.core, w, self.config))
+            }
+            CompressionMode::Fdr => WidthWork::Decision(Some(self.fdr_decision(w))),
+            CompressionMode::Select => {
+                let entry = if w < SliceCode::MIN_TAM_WIDTH {
+                    None
+                } else {
+                    match profile_entry_for_width(&self.cache, w, &self.profile_cfg, &cancelled) {
+                        Ok(entry) => entry,
+                        Err(_) => return WidthWork::Skipped,
+                    }
+                };
+                if cancelled() {
+                    return WidthWork::Skipped;
+                }
+                WidthWork::Select {
+                    entry,
+                    fdr: Some(self.fdr_decision(w)),
+                }
+            }
+        }
+    }
+
+    /// Folds the parts (which must cover `1..=max_width` exactly, in
+    /// order) into the finished table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts do not tile the width range.
+    pub(crate) fn assemble(&self, parts: Vec<TablePart>) -> DecisionTable {
+        let mut work: Vec<WidthWork> = Vec::with_capacity(self.max_width as usize);
+        for part in parts {
+            assert_eq!(
+                part.start,
+                work.len() as u32 + 1,
+                "table parts must tile the width range in order"
+            );
+            work.extend(part.work);
+        }
+        assert_eq!(work.len() as u32, self.max_width, "missing width parts");
+
+        let raw: Vec<Decision> = (1..=self.max_width).map(|w| self.raw_decision(w)).collect();
+        let table: Vec<Option<Decision>> = if self.internal {
+            work.iter()
+                .enumerate()
+                .map(|(i, ww)| match ww {
+                    WidthWork::Decision(d) => *d,
+                    // Cancelled before evaluation: degrade to raw access.
+                    _ => Some(raw[i]),
+                })
+                .collect()
+        } else {
+            match self.mode {
+                CompressionMode::None => raw.iter().copied().map(Some).collect(),
+                CompressionMode::PerCore => {
+                    let profile = self.profile_from(&work);
+                    (1..=self.max_width)
+                        .map(|w| Some(merge_tdc(&profile, w, raw[(w - 1) as usize])))
+                        .collect()
+                }
+                CompressionMode::PerTam => work
+                    .iter()
+                    .enumerate()
+                    .map(|(i, ww)| match ww {
+                        WidthWork::Decision(d) => *d,
+                        _ => Some(raw[i]),
+                    })
+                    .collect(),
+                CompressionMode::FixedWidth(wf) => {
+                    let target = wf.min(self.max_width);
+                    let entry = match &work[(target - 1) as usize] {
+                        WidthWork::Entry(e) => e.map(entry_decision),
+                        // A tripped token can leave the pinned width
+                        // unevaluated; degrade to raw access rather than
+                        // declaring the core unschedulable.
+                        WidthWork::Skipped => Some(raw[(target - 1) as usize]),
+                        _ => None,
+                    };
+                    (1..=self.max_width)
+                        .map(|w| if w >= wf { entry } else { None })
+                        .collect()
+                }
+                CompressionMode::Reseeding => work
+                    .iter()
+                    .enumerate()
+                    .map(|(i, ww)| match ww {
+                        WidthWork::Decision(d) => *d,
+                        _ => Some(raw[i]),
+                    })
+                    .collect(),
+                CompressionMode::Fdr => {
+                    // Running minimum: wires may be left unused.
+                    let mut best: Option<Decision> = None;
+                    work.iter()
+                        .enumerate()
+                        .map(|(i, ww)| match ww {
+                            WidthWork::Decision(Some(d)) => {
+                                if best.is_none_or(|b| d.test_time < b.test_time) {
+                                    best = Some(*d);
+                                }
+                                best
+                            }
+                            _ => Some(best.unwrap_or(raw[i])),
+                        })
+                        .collect()
+                }
+                CompressionMode::Select => {
+                    let profile = self.profile_from(&work);
+                    let mut fdr_best: Option<Decision> = None;
+                    work.iter()
+                        .enumerate()
+                        .map(|(i, ww)| {
+                            let w = i as u32 + 1;
+                            let selenc_d = merge_tdc(&profile, w, raw[i]);
+                            let fdr_d = match ww {
+                                WidthWork::Select { fdr: Some(d), .. } => {
+                                    if fdr_best.is_none_or(|b| d.test_time < b.test_time) {
+                                        fdr_best = Some(*d);
+                                    }
+                                    fdr_best
+                                }
+                                _ => Some(fdr_best.unwrap_or(raw[i])),
+                            };
+                            [Some(selenc_d), fdr_d]
+                                .into_iter()
+                                .flatten()
+                                .min_by_key(|d| d.test_time)
+                        })
+                        .collect()
+                }
+            }
+        };
+        DecisionTable {
+            name: self.core.name().to_string(),
+            table,
+        }
+    }
+
+    /// Collects the profile entries scattered across the work items into a
+    /// [`CoreProfile`] (chunks are in width order, so entries arrive
+    /// strictly increasing).
+    fn profile_from(&self, work: &[WidthWork]) -> CoreProfile {
+        let entries: Vec<ProfileEntry> = work
+            .iter()
+            .filter_map(|ww| match ww {
+                WidthWork::Entry(e) | WidthWork::Select { entry: e, .. } => *e,
+                _ => None,
+            })
+            .collect();
+        CoreProfile::from_entries(self.core.name(), entries)
+    }
+
+    /// Raw (uncompressed) decision at width `w`: the best wrapper with at
+    /// most `w` chains, answered from the design cache's prefix minimum.
+    fn raw_decision(&self, w: u32) -> Decision {
+        let point = self.cache.designs().best_up_to(w);
+        let stored = u64::from(self.core.pattern_count())
+            * point.design.scan_in_length()
+            * u64::from(point.design.chain_count());
+        Decision {
+            test_time: point.test_time,
+            volume_bits: stored,
+            decompressor: None,
+            lfsr_len: None,
+            technique: Technique::Raw,
+        }
+    }
+
+    /// Shared-decompressor decision: the TAM's decompressor expands its
+    /// `w` wires to the *widest* `m` of the width class (no per-core
+    /// search — the very policy Fig. 2 shows to be suboptimal); smaller
+    /// cores use a subset of the outputs.
+    fn per_tam_decision(&self, w: u32) -> Decision {
+        if w < SliceCode::MIN_TAM_WIDTH {
+            // A degenerate TAM too narrow for any slice code falls back to
+            // raw wrapper access.
+            return self.raw_decision(w);
+        }
+        let m_max = *SliceCode::feasible_chains(w).end();
+        let m = m_max.min(self.core.max_wrapper_chains());
+        let c = self.cache.evaluate_clamped(m, self.config.pattern_sample);
+        Decision {
+            test_time: c.test_time,
+            // The stream still arrives on the TAM's w wires.
+            volume_bits: c.codewords * u64::from(w),
+            decompressor: Some((w, c.code.chains())),
+            lfsr_len: None,
+            technique: Technique::SelectiveEncoding,
+        }
+    }
+
+    /// FDR decision at exactly width `w` (the running minimum across
+    /// widths is applied during assembly).
+    fn fdr_decision(&self, w: u32) -> Decision {
+        let r = compress_fdr(self.core, w, self.config.pattern_sample);
+        Decision {
+            test_time: r.test_time,
+            volume_bits: r.volume_bits,
+            decompressor: None,
+            lfsr_len: None,
+            technique: Technique::Fdr,
+        }
+    }
+}
+
+/// A profile entry as a selective-encoding decision.
+fn entry_decision(e: ProfileEntry) -> Decision {
     Decision {
-        test_time: c.test_time,
-        // The stream still arrives on the TAM's w wires.
-        volume_bits: c.codewords * u64::from(w),
-        decompressor: Some((w, c.code.chains())),
+        test_time: e.test_time,
+        volume_bits: e.volume_bits,
+        decompressor: Some((e.tam_width, e.chains)),
         lfsr_len: None,
         technique: Technique::SelectiveEncoding,
+    }
+}
+
+/// The per-core TDC decision at width `w`: the profile's best operating
+/// point at `≤ w` wires, with automatic bypass when raw access is faster.
+fn merge_tdc(profile: &CoreProfile, w: u32, bypass: Decision) -> Decision {
+    match profile.best_at_most(w).map(|e| entry_decision(*e)) {
+        Some(t) if t.test_time < bypass.test_time => t,
+        _ => bypass,
     }
 }
 

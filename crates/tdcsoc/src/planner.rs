@@ -2,15 +2,19 @@
 //! sizing, TAM partitioning and test scheduling, solved together.
 
 use std::fmt;
+use std::ops::Range;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
-use selenc::{evaluate_clamped, SliceCode};
+use parpool::Pool;
+use selenc::SliceCode;
 use soc_model::{CoreId, Soc};
 use tam::{Architecture, ArchitectureOptions, CostModel, Schedule, ScheduleError};
 
 use crate::cascade::{self, PlanControl, PlanOutcome, SolverStage};
-use crate::decisions::{CompressionMode, Decision, DecisionConfig, DecisionTable, Technique};
+use crate::decisions::{
+    CompressionMode, DecisionConfig, DecisionTable, TableJob, TablePart, Technique,
+};
 
 /// What the wire budget counts.
 ///
@@ -222,30 +226,52 @@ impl Planner {
 
         let internal_budget =
             self.mode == CompressionMode::PerTam && matches!(request.budget, Budget::TamWidth(_));
-        // Per-core tables are independent; build them on scoped threads
-        // (results joined in core order, so the plan stays deterministic).
-        let tables: Vec<DecisionTable> = std::thread::scope(|scope| {
-            let handles: Vec<_> = soc
-                .cores()
-                .iter()
-                .map(|core| {
-                    let decisions = &request.decisions;
-                    let mode = self.mode;
-                    let token = table_token.clone();
-                    scope.spawn(move || {
-                        if internal_budget {
-                            build_per_tam_internal(core, width, decisions)
-                        } else {
-                            DecisionTable::build_with(core, mode, width, decisions, &token)
-                        }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("decision-table builder panicked"))
-                .collect()
-        });
+        // One job per core (sharing that core's evaluation cache), fanned
+        // out as (core × width-chunk) tasks on a bounded pool: workers that
+        // finish a cheap core's chunk steal the next, so one expensive core
+        // no longer serializes the phase and small machines are not
+        // oversubscribed with a thread per core. Results are assembled in
+        // core and width order, so the plan stays deterministic at any
+        // worker count.
+        let jobs: Vec<TableJob> = soc
+            .cores()
+            .iter()
+            .map(|core| {
+                if internal_budget {
+                    TableJob::per_tam_internal(core, width, &request.decisions)
+                } else {
+                    TableJob::new(core, self.mode, width, &request.decisions)
+                }
+            })
+            .collect();
+        let chunks: Vec<(usize, Range<u32>)> = jobs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, job)| {
+                job.width_chunks(TABLE_CHUNK)
+                    .into_iter()
+                    .map(move |r| (i, r))
+            })
+            .collect();
+        let tasks: Vec<_> = chunks
+            .iter()
+            .map(|(i, range)| {
+                let job = &jobs[*i];
+                let token = &table_token;
+                let range = range.clone();
+                move || job.compute(range, token)
+            })
+            .collect();
+        let parts = Pool::new().run_with(&table_token, tasks);
+        let mut per_core: Vec<Vec<TablePart>> = (0..jobs.len()).map(|_| Vec::new()).collect();
+        for ((i, range), part) in chunks.into_iter().zip(parts) {
+            per_core[i].push(part.unwrap_or_else(|| TablePart::skipped(range)));
+        }
+        let tables: Vec<DecisionTable> = jobs
+            .iter()
+            .zip(per_core)
+            .map(|(job, parts)| job.assemble(parts))
+            .collect();
 
         let mut cost = CostModel::new(width);
         for t in &tables {
@@ -324,6 +350,11 @@ impl Planner {
 /// before degrading to raw operating points.
 const TABLE_SLICE: f64 = 0.5;
 
+/// Widths per pool task. Small enough that uneven cores spread across
+/// workers, large enough that a chunk amortizes its scheduling overhead
+/// (consecutive widths also share cache hits within the task).
+const TABLE_CHUNK: u32 = 4;
+
 /// Turns a winning architecture into a full [`Plan`] (per-core settings,
 /// volume and wire accounting).
 fn assemble_plan(
@@ -382,30 +413,6 @@ fn write_checkpoint(path: &Path, plan: &Plan) {
     if std::fs::write(&tmp, text).is_ok() {
         let _ = std::fs::rename(&tmp, path);
     }
-}
-
-/// The shared-decompressor mode under an *internal* wire budget: the table
-/// is indexed by the TAM's internal width `m`; the decompressor input
-/// width follows from the slice code.
-fn build_per_tam_internal(
-    core: &soc_model::Core,
-    max_width: u32,
-    config: &DecisionConfig,
-) -> DecisionTable {
-    let decisions = (1..=max_width)
-        .map(|m| {
-            let m_use = m.min(core.max_wrapper_chains());
-            let c = evaluate_clamped(core, m_use, config.pattern_sample);
-            Some(Decision {
-                test_time: c.test_time,
-                volume_bits: c.volume_bits,
-                decompressor: Some((c.code.tam_width(), c.code.chains())),
-                lfsr_len: None,
-                technique: Technique::SelectiveEncoding,
-            })
-        })
-        .collect();
-    DecisionTable::from_parts(core.name().to_string(), decisions)
 }
 
 /// `(routed on-chip wires, ATE channels)` of a finished plan.

@@ -1,0 +1,178 @@
+//! Memoized wrapper designs for one core.
+//!
+//! `Design_wrapper` is deterministic in `(core, m)`, and the planner asks
+//! for the same designs over and over: every profile width, every decision
+//! table mode, and every raw-access fallback re-derives operating points
+//! from the same few hundred distinct chain counts. [`DesignCache`] computes
+//! each design at most once and shares it behind an [`Arc`], and answers
+//! the `best design with ≤ m chains` query from an incrementally extended
+//! prefix minimum instead of re-scanning `1..=m` designs per call (the
+//! raw-decision path is quadratic in the TAM width without it).
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use soc_model::Core;
+
+use crate::design::{design_wrapper, WrapperDesign};
+
+/// One memoized wrapper operating point: the design and its uncompressed
+/// test time for the core's full pattern count.
+#[derive(Debug)]
+pub struct DesignPoint {
+    /// The best-fit-decreasing wrapper design at this chain count.
+    pub design: WrapperDesign,
+    /// `design.test_time(pattern_count)`, precomputed.
+    pub test_time: u64,
+}
+
+/// Per-core memo of [`design_wrapper`] results, keyed by chain count.
+///
+/// Chain counts above [`Core::max_wrapper_chains`] produce the same design
+/// as the cap itself (every stitchable unit already has its own chain), so
+/// they share the cap's slot. All methods take `&self` and are safe to call
+/// from several worker threads at once.
+///
+/// # Examples
+///
+/// ```
+/// use soc_model::Core;
+/// use wrapper::{best_design_up_to, DesignCache};
+///
+/// let core = Core::builder("c").inputs(8).fixed_chains(vec![16, 16])
+///     .pattern_count(10).build()?;
+/// let cache = DesignCache::new(&core);
+/// let a = cache.design_at(4);
+/// let b = cache.design_at(4);
+/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // computed once
+/// let best = cache.best_up_to(16);
+/// assert_eq!(best.test_time, best_design_up_to(&core, 16).1);
+/// # Ok::<(), soc_model::BuildCoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct DesignCache<'a> {
+    core: &'a Core,
+    /// `max_wrapper_chains().max(1)`; slot index `m - 1` for `m ∈ 1..=cap`.
+    cap: u32,
+    slots: Vec<OnceLock<Arc<DesignPoint>>>,
+    /// `prefix[i]` = (chain count, test time) of the best design over
+    /// `m ∈ 1..=i+1`, ties keeping the smallest chain count. Extended
+    /// lazily as wider queries arrive.
+    prefix: Mutex<Vec<(u32, u64)>>,
+}
+
+impl<'a> DesignCache<'a> {
+    /// Creates an empty cache for `core`. Nothing is computed up front.
+    pub fn new(core: &'a Core) -> Self {
+        let cap = core.max_wrapper_chains().max(1);
+        let mut slots = Vec::new();
+        slots.resize_with(cap as usize, OnceLock::new);
+        DesignCache {
+            core,
+            cap,
+            slots,
+            prefix: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The core this cache designs wrappers for.
+    pub fn core(&self) -> &'a Core {
+        self.core
+    }
+
+    /// The memoized design at chain count `m` (clamped to `1..=cap`),
+    /// identical to [`design_wrapper(core, m)`](design_wrapper).
+    pub fn design_at(&self, m: u32) -> Arc<DesignPoint> {
+        let key = m.clamp(1, self.cap);
+        self.slots[key as usize - 1]
+            .get_or_init(|| {
+                let design = design_wrapper(self.core, key);
+                let test_time = design.test_time(u64::from(self.core.pattern_count()));
+                Arc::new(DesignPoint { design, test_time })
+            })
+            .clone()
+    }
+
+    /// The best (lowest uncompressed test time) design using at most
+    /// `max_chains` chains — the memoized equivalent of
+    /// [`best_design_up_to`](crate::best_design_up_to), returning the same
+    /// design (smallest chain count on ties) and test time.
+    pub fn best_up_to(&self, max_chains: u32) -> Arc<DesignPoint> {
+        let cap = max_chains.clamp(1, self.cap);
+        let best_m = {
+            let mut prefix = self.prefix.lock().expect("prefix poisoned");
+            while (prefix.len() as u32) < cap {
+                let m = prefix.len() as u32 + 1;
+                let t = self.design_at(m).test_time;
+                let entry = match prefix.last() {
+                    Some(&(bm, bt)) if bt <= t => (bm, bt),
+                    _ => (m, t),
+                };
+                prefix.push(entry);
+            }
+            prefix[cap as usize - 1].0
+        };
+        self.design_at(best_m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto::best_design_up_to;
+
+    fn core() -> Core {
+        Core::builder("t")
+            .inputs(10)
+            .outputs(6)
+            .fixed_chains(vec![20, 18, 16, 12, 8])
+            .pattern_count(50)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn design_at_matches_design_wrapper_and_is_shared() {
+        let c = core();
+        let cache = DesignCache::new(&c);
+        for m in [1u32, 3, 7, 15, 100] {
+            let cached = cache.design_at(m);
+            let fresh = design_wrapper(&c, m);
+            assert_eq!(cached.design.chain_count(), fresh.chain_count(), "m={m}");
+            assert_eq!(cached.design.scan_in_length(), fresh.scan_in_length());
+            assert_eq!(
+                cached.test_time,
+                fresh.test_time(u64::from(c.pattern_count()))
+            );
+            assert!(Arc::ptr_eq(&cached, &cache.design_at(m)));
+        }
+    }
+
+    #[test]
+    fn best_up_to_matches_uncached_scan() {
+        let c = core();
+        let cache = DesignCache::new(&c);
+        // Query out of order to exercise incremental prefix extension.
+        for limit in [6u32, 2, 16, 9, 1, 40] {
+            let cached = cache.best_up_to(limit);
+            let (design, time) = best_design_up_to(&c, limit);
+            assert_eq!(cached.test_time, time, "limit={limit}");
+            assert_eq!(cached.design.chain_count(), design.chain_count());
+        }
+    }
+
+    #[test]
+    fn clamped_chain_counts_share_the_cap_slot() {
+        let c = core();
+        let cache = DesignCache::new(&c);
+        let cap = c.max_wrapper_chains();
+        assert!(Arc::ptr_eq(
+            &cache.design_at(cap),
+            &cache.design_at(cap + 50)
+        ));
+        // And the shared design really is what design_wrapper produces.
+        assert_eq!(
+            cache.design_at(cap + 50).design.chain_count(),
+            design_wrapper(&c, cap + 50).chain_count()
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Packed slice-major view of one cube under a wrapper design.
+//!
+//! [`WrapperDesign::slices`](crate::WrapperDesign::slices) materializes a
+//! `TritVec` per scan depth through per-symbol `get`/`push` calls — fine
+//! for correctness work, far too slow for the profile builder that
+//! evaluates millions of slices. [`SliceMatrix`] computes the same
+//! information in bulk: the cube's care and value planes are copied
+//! chain-major (each chain's load sequence is a handful of contiguous cube
+//! ranges, so this is a few sub-word copies per chain), then a blocked bit
+//! transpose turns them slice-major. Rows then answer the encoder's
+//! questions with popcounts.
+//!
+//! Pad positions (depths past a chain's load length) hold `care = 0`,
+//! `value = 0` — exactly the don't-care encoding of
+//! [`TritVec`](soc_model::TritVec), so no masking is needed downstream.
+
+use soc_model::{copy_bits, BitMatrix, Trit, TritVec};
+
+use crate::design::WrapperDesign;
+
+/// Reusable slice-major care/value planes of one cube under one design.
+///
+/// # Examples
+///
+/// ```
+/// use soc_model::Core;
+/// use wrapper::{design_wrapper, SliceMatrix};
+///
+/// let core = Core::builder("c")
+///     .inputs(1)
+///     .fixed_chains(vec![4, 2])
+///     .pattern_count(1)
+///     .build()?;
+/// let design = design_wrapper(&core, 2);
+/// let cube = "1010101".parse()?;
+/// let mut sm = SliceMatrix::new();
+/// design.fill_slice_matrix(&cube, &mut sm);
+/// assert_eq!(sm.depths() as u64, design.scan_in_length());
+/// assert_eq!(sm.chains(), design.chain_count() as usize);
+/// // Slice rows agree with the reference slice() path.
+/// for depth in 0..design.scan_in_length() {
+///     assert_eq!(sm.slice(depth as usize), design.slice(&cube, depth));
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SliceMatrix {
+    // Chain-major staging planes (rows = chains, cols = depths).
+    stage_care: BitMatrix,
+    stage_value: BitMatrix,
+    // Slice-major planes (rows = depths, cols = chains).
+    care: BitMatrix,
+    value: BitMatrix,
+}
+
+impl SliceMatrix {
+    /// Creates an empty matrix; [`WrapperDesign::fill_slice_matrix`] gives
+    /// it a shape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of scan depths (slice rows) currently held.
+    pub fn depths(&self) -> usize {
+        self.care.rows()
+    }
+
+    /// Number of wrapper chains (bits per slice row).
+    pub fn chains(&self) -> usize {
+        self.care.cols()
+    }
+
+    /// Packed care mask of the slice at `depth` (bit `k` = chain `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth >= self.depths()`.
+    #[inline]
+    pub fn care_row(&self, depth: usize) -> &[u64] {
+        self.care.row(depth)
+    }
+
+    /// Packed value plane of the slice at `depth`, aligned with
+    /// [`care_row`](Self::care_row); don't-care chains read `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth >= self.depths()`.
+    #[inline]
+    pub fn value_row(&self, depth: usize) -> &[u64] {
+        self.value.row(depth)
+    }
+
+    /// Rebuilds the slice at `depth` as a `TritVec` — the slow reference
+    /// view, for tests and diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth >= self.depths()`.
+    pub fn slice(&self, depth: usize) -> TritVec {
+        let mut out = TritVec::with_capacity(self.chains());
+        for k in 0..self.chains() {
+            out.push(if !self.care.get(depth, k) {
+                Trit::X
+            } else if self.value.get(depth, k) {
+                Trit::One
+            } else {
+                Trit::Zero
+            });
+        }
+        out
+    }
+}
+
+impl WrapperDesign {
+    /// Fills `out` with the slice-major care/value planes of `cube` under
+    /// this design: row `depth`, bit `k` is the symbol chain `k` receives
+    /// at scan-in cycle `depth` (don't-care for pad cycles), identical to
+    /// [`slice`](WrapperDesign::slice) symbol by symbol.
+    ///
+    /// `out` is reshaped in place; reusing one matrix across cubes makes
+    /// the fill allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a chain references a cube position at or beyond
+    /// `cube.len()`.
+    pub fn fill_slice_matrix(&self, cube: &TritVec, out: &mut SliceMatrix) {
+        let chains = self.chains();
+        let depth = self.scan_in_length() as usize;
+        out.stage_care.reset(chains.len(), depth);
+        out.stage_value.reset(chains.len(), depth);
+        for (k, chain) in chains.iter().enumerate() {
+            let mut at = 0usize;
+            for seg in chain.segments() {
+                let (start, len) = (seg.start as usize, (seg.end - seg.start) as usize);
+                assert!(
+                    start + len <= cube.len(),
+                    "chain {k} references position {} beyond cube length {}",
+                    start + len - 1,
+                    cube.len()
+                );
+                copy_bits(out.stage_care.row_mut(k), at, cube.care_words(), start, len);
+                copy_bits(
+                    out.stage_value.row_mut(k),
+                    at,
+                    cube.value_words(),
+                    start,
+                    len,
+                );
+                at += len;
+            }
+        }
+        out.stage_care.transpose_into(&mut out.care);
+        out.stage_value.transpose_into(&mut out.value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::design_wrapper;
+    use soc_model::{Core, CubeSynthesis, SplitMix64};
+
+    fn hard_core(chains: Vec<u32>, inputs: u32) -> Core {
+        Core::builder("h")
+            .inputs(inputs)
+            .outputs(3)
+            .fixed_chains(chains)
+            .pattern_count(4)
+            .build()
+            .unwrap()
+    }
+
+    fn random_cube(len: usize, seed: u64) -> TritVec {
+        let mut rng = SplitMix64::new(seed);
+        (0..len)
+            .map(|_| match rng.next_below(4) {
+                0 => Trit::Zero,
+                1 => Trit::One,
+                _ => Trit::X,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_slices_across_designs() {
+        let core = hard_core(vec![17, 9, 33, 5, 12], 7);
+        let cube = random_cube(core.scan_load_bits() as usize, 11);
+        let mut sm = SliceMatrix::new();
+        for m in [1u32, 2, 3, 5, 9, 12] {
+            let design = design_wrapper(&core, m);
+            design.fill_slice_matrix(&cube, &mut sm);
+            assert_eq!(sm.depths() as u64, design.scan_in_length(), "m={m}");
+            assert_eq!(sm.chains() as u32, design.chain_count(), "m={m}");
+            for depth in 0..design.scan_in_length() {
+                assert_eq!(
+                    sm.slice(depth as usize),
+                    design.slice(&cube, depth),
+                    "m={m} depth={depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flexible_core_with_many_chains_matches_reference() {
+        let mut core = Core::builder("s")
+            .inputs(20)
+            .flexible_cells(700, 256)
+            .pattern_count(2)
+            .care_density(0.2)
+            .build()
+            .unwrap();
+        let ts = CubeSynthesis::new(0.2).synthesize(&core, 5);
+        core.attach_test_set(ts).unwrap();
+        let cube = core.test_set().unwrap().pattern(0).unwrap().clone();
+        let mut sm = SliceMatrix::new();
+        for m in [64u32, 100, 200] {
+            let design = design_wrapper(&core, m);
+            design.fill_slice_matrix(&cube, &mut sm);
+            for depth in [0, 1, design.scan_in_length() - 1] {
+                assert_eq!(
+                    sm.slice(depth as usize),
+                    design.slice(&cube, depth),
+                    "m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_reuse_reshapes_cleanly() {
+        let core = hard_core(vec![30, 30], 2);
+        let cube = random_cube(core.scan_load_bits() as usize, 3);
+        let mut sm = SliceMatrix::new();
+        let wide = design_wrapper(&core, 4);
+        wide.fill_slice_matrix(&cube, &mut sm);
+        let narrow = design_wrapper(&core, 1);
+        narrow.fill_slice_matrix(&cube, &mut sm);
+        assert_eq!(sm.chains(), 1);
+        assert_eq!(sm.depths() as u64, narrow.scan_in_length());
+        for depth in 0..narrow.scan_in_length() {
+            assert_eq!(sm.slice(depth as usize), narrow.slice(&cube, depth));
+        }
+    }
+
+    #[test]
+    fn pad_cycles_read_as_dont_care() {
+        let core = hard_core(vec![8, 2], 0);
+        let design = design_wrapper(&core, 2);
+        let cube = random_cube(core.scan_load_bits() as usize, 9);
+        let mut sm = SliceMatrix::new();
+        design.fill_slice_matrix(&cube, &mut sm);
+        // The short chain pads at the deepest slices.
+        let deepest = sm.slice(sm.depths() - 1);
+        let reference = design.slice(&cube, design.scan_in_length() - 1);
+        assert_eq!(deepest, reference);
+        assert!(reference.iter().any(|t| t == Trit::X));
+    }
+}

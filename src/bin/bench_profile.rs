@@ -1,0 +1,155 @@
+//! Machine-readable profile-build benchmark: the planner's dominant cost
+//! is tabulating per-core operating points, so this binary times exactly
+//! that path (kernel → profile → decision tables → full plan) on the
+//! bundled benchmarks and emits a JSON report for `BENCH_profile.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_profile [--label NAME] [--out FILE] [--smoke]
+//! ```
+//!
+//! `--smoke` runs a seconds-scale subset (used by CI to catch kernel
+//! regressions); the default set covers the largest bundled SOC
+//! (p93791-class, ≈98k scan flip-flops) and takes minutes on a cold
+//! machine.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use soc_tdc::model::benchmarks::{self, Design};
+use soc_tdc::model::generator::synthesize_missing_test_sets;
+use soc_tdc::model::Soc;
+use soc_tdc::planner::{CompressionMode, DecisionConfig, DecisionTable, PlanRequest, Planner};
+use soc_tdc::selenc::{cube_cost, CoreProfile, ProfileConfig, SliceCode};
+use soc_tdc::wrapper::design_wrapper;
+
+const SEED: u64 = 2008;
+
+struct Entry {
+    name: &'static str,
+    millis: f64,
+    iters: u32,
+}
+
+fn timed<F: FnMut()>(name: &'static str, iters: u32, mut f: F) -> Entry {
+    // One warm-up pass so lazily synthesized cubes and allocator warm-up
+    // don't pollute the first measurement.
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let millis = t0.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
+    eprintln!("  {name}: {millis:.1} ms");
+    Entry {
+        name,
+        millis,
+        iters,
+    }
+}
+
+fn fast() -> DecisionConfig {
+    DecisionConfig {
+        pattern_sample: Some(8),
+        m_candidates: 8,
+    }
+}
+
+fn build_tables(soc: &Soc, width: u32, cfg: &DecisionConfig) {
+    for core in soc.cores() {
+        let t = DecisionTable::build(core, CompressionMode::PerCore, width, cfg);
+        assert!(t.max_width() == width);
+    }
+}
+
+fn main() {
+    let mut label = String::from("run");
+    let mut out: Option<String> = None;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--out" => out = Some(args.next().expect("--out needs a value")),
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // Kernel: slice-cost evaluation of a full industrial test set at a
+    // wide decompressor (the inner loop of every profile build).
+    let mut ckt7 = Soc::new("bench", vec![benchmarks::ckt(7)]);
+    synthesize_missing_test_sets(&mut ckt7, SEED);
+    let core7 = &ckt7.cores()[0];
+    let ts = core7.test_set().expect("cubes attached");
+    for m in [64u32, 256] {
+        let design = design_wrapper(core7, m);
+        let code = SliceCode::for_chains(design.chain_count());
+        let name: &'static str = if m == 64 {
+            "cube_cost_ckt7_m64"
+        } else {
+            "cube_cost_ckt7_m256"
+        };
+        entries.push(timed(name, if smoke { 1 } else { 3 }, || {
+            let total: u64 = ts.iter().map(|c| cube_cost(code, &design, c)).sum();
+            assert!(total > 0);
+        }));
+    }
+
+    // Profile build of one industrial core at production fidelity.
+    entries.push(timed("profile_ckt7_w16", 1, || {
+        let p = CoreProfile::build(core7, &ProfileConfig::industrial(16));
+        assert!(!p.entries().is_empty());
+    }));
+
+    // Decision tables over a whole SOC (the planner's table phase).
+    let d695 = Design::D695.build_with_cubes(SEED);
+    entries.push(timed("tables_d695_w32", 1, || {
+        build_tables(&d695, 32, &fast());
+    }));
+
+    if !smoke {
+        // The largest bundled SOC: p93791-class, 32 cores, ~98k scan FFs.
+        let p93791 = Design::P93791.build_with_cubes(SEED);
+        entries.push(timed("tables_p93791_w24", 1, || {
+            build_tables(&p93791, 24, &fast());
+        }));
+        entries.push(timed("tables_p93791_w32_default", 1, || {
+            build_tables(&p93791, 32, &DecisionConfig::default());
+        }));
+
+        // End-to-end plan on the industrial System1.
+        let system1 = Design::System1.build_with_cubes(SEED);
+        entries.push(timed("plan_system1_w32", 1, || {
+            let req = PlanRequest::tam_width(32).with_decisions(fast());
+            let plan = Planner::per_core_tdc().plan(&system1, &req).unwrap();
+            assert!(plan.test_time > 0);
+        }));
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"suite\": \"profile-fastpath\",");
+    let _ = writeln!(json, "  \"label\": \"{label}\",");
+    let _ = writeln!(json, "  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"millis\": {:.1}, \"iters\": {} }}{comma}",
+            e.name, e.millis, e.iters
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    match out {
+        Some(path) => std::fs::write(&path, &json).expect("write report"),
+        None => print!("{json}"),
+    }
+}
