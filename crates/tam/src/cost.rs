@@ -124,6 +124,44 @@ impl CostModel {
             .expect("push_core guarantees a feasible width")
     }
 
+    /// Lower bound on SOC test time for any architecture with exactly `k`
+    /// TAMs in a `total_width`-wire budget, from the prefix-minima of the
+    /// cost rows.
+    ///
+    /// With `k` TAMs of width ≥ 1 each, no TAM is wider than
+    /// `total_width - k + 1`, so core `c` runs for at least
+    /// `lb_c = min_{w ≤ total_width - k + 1} τ_c(w)` — a width-monotone
+    /// prefix-minimum. The bound is the larger of (a) the largest single
+    /// `lb_c` (some TAM hosts that core) and (b) `⌈Σ_c lb_c / k⌉` (the
+    /// `k` TAMs run in parallel and each core occupies exactly one).
+    /// `u64::MAX` means no `k`-TAM architecture is feasible at all.
+    ///
+    /// Sound for pruning: every schedule any `k`-TAM search could return
+    /// has a makespan ≥ this value, so a `k` whose bound exceeds an
+    /// *achieved* incumbent can be skipped without changing the winner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > total_width`.
+    pub fn lower_bound_for_k(&self, total_width: u32, k: u32) -> u64 {
+        assert!(
+            k >= 1 && k <= total_width,
+            "cannot bound {k} TAMs in {total_width} wires"
+        );
+        let cap = (total_width - k + 1).min(self.max_width) as usize;
+        let mut worst = 0u64;
+        let mut sum: u128 = 0;
+        for row in &self.rows {
+            let Some(lb) = row[..cap].iter().flatten().copied().min() else {
+                return u64::MAX; // this core fits no TAM that narrow
+            };
+            worst = worst.max(lb);
+            sum += u128::from(lb);
+        }
+        let spread = sum.div_ceil(u128::from(k));
+        worst.max(u64::try_from(spread).unwrap_or(u64::MAX))
+    }
+
     /// Lower bound on SOC test time on a `total_width`-wire TAM: the larger
     /// of (a) the largest single-core best time and (b) total work divided
     /// by width, where each core's work is `min_w (w · τ(w))` — the least
@@ -209,6 +247,80 @@ mod tests {
         flat.push_core("a", vec![Some(100), Some(50)]);
         flat.push_core("b", vec![Some(100), Some(50)]);
         assert_eq!(flat.lower_bound(2), 100); // 200 wire-cycles / 2 wires
+    }
+
+    #[test]
+    fn per_k_lower_bound_is_sound() {
+        let mut m = CostModel::new(8);
+        m.push_core(
+            "a",
+            vec![
+                Some(800),
+                Some(400),
+                Some(270),
+                Some(200),
+                None,
+                None,
+                None,
+                None,
+            ],
+        );
+        m.push_core(
+            "b",
+            vec![
+                Some(400),
+                Some(200),
+                Some(135),
+                Some(100),
+                Some(80),
+                None,
+                None,
+                None,
+            ],
+        );
+        let bounds: Vec<u64> = (1..=8).map(|k| m.lower_bound_for_k(8, k)).collect();
+        // k = 1: both cores serialize on the one TAM, each at its global
+        // best: 200 + 80.
+        assert_eq!(bounds[0], 280);
+        // k = 2: widest TAM is 7 wires, so still each core's global best;
+        // the parallel-machines term ⌈(200 + 80) / 2⌉ = 140 < 200. (Note
+        // the bound is *not* monotone in k: the serialization term fades
+        // as TAMs multiply, the width cap bites as they narrow.)
+        assert_eq!(bounds[1], 200);
+        // k = 8: every TAM is a single wire; core b is feasible but the
+        // widest TAM (1 wire) forces τ_a(1) = 800.
+        assert_eq!(bounds[7], 800);
+        // The per-core width cap makes the *cap term* monotone: the bound
+        // can never dip below the widest-TAM constraint.
+        for (i, &b) in bounds.iter().enumerate() {
+            let cap = 8 - i as u32;
+            let worst = (0..2)
+                .map(|c| {
+                    (1..=cap)
+                        .filter_map(|w| m.time(c, w))
+                        .min()
+                        .unwrap_or(u64::MAX)
+                })
+                .max()
+                .unwrap();
+            assert!(b >= worst, "k={} bound {b} below cap term {worst}", i + 1);
+        }
+    }
+
+    #[test]
+    fn per_k_lower_bound_flags_infeasible_k() {
+        let mut m = CostModel::new(4);
+        m.push_core("wide-only", vec![None, None, None, Some(5)]);
+        m.push_core("easy", vec![Some(10); 4]);
+        // k = 1 can host the wide core; k = 2 caps widths at 3 wires.
+        assert_eq!(m.lower_bound_for_k(4, 1), 15);
+        assert_eq!(m.lower_bound_for_k(4, 2), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot bound")]
+    fn per_k_lower_bound_rejects_excess_tams() {
+        model().lower_bound_for_k(2, 3);
     }
 
     #[test]

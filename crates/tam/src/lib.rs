@@ -42,6 +42,7 @@ mod power;
 mod precedence;
 mod schedule;
 mod search;
+mod sweep;
 
 pub use anneal::{anneal_architecture, anneal_architecture_with, AnnealOptions};
 pub use conflict::{conflict_schedule, ConflictViolation, Conflicts};

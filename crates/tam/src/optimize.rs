@@ -6,13 +6,28 @@
 //! under-utilized TAMs to the bottleneck TAM as long as the schedule
 //! improves (the TR-Architect idea of Goel & Marinissen, adapted to the
 //! lookup-table cost model). The best architecture over all `k` wins.
+//!
+//! The per-`k` climbs are independent, so they run as a deterministic
+//! portfolio on a [`parpool::Pool`]: `k = 1` is evaluated inline first (an
+//! expired deadline still yields the single-TAM baseline), the remaining
+//! `k` fan out as pool tasks, and the results reduce by the fixed
+//! tie-break `(test_time, k, widths)` — identical winner at any worker
+//! count. A shared atomic incumbent feeds two prunes that never change the
+//! winner (see [`CostModel::lower_bound_for_k`] and
+//! [`GreedySweep`](crate::sweep::GreedySweep)): `k` values whose lower
+//! bound exceeds an achieved incumbent are skipped, and candidate-move
+//! sweeps abort once their partial bottleneck proves them non-improving.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parpool::Pool;
 use robust::CancelToken;
 
 use crate::cost::CostModel;
 use crate::greedy::greedy_schedule;
 use crate::schedule::{Schedule, ScheduleError};
 use crate::search::{Search, SearchStatus};
+use crate::sweep::{GreedySweep, SweepOutcome};
 
 /// Options for [`optimize_architecture`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +38,13 @@ pub struct ArchitectureOptions {
     /// Cap on hill-climbing steps per TAM count (default 64; each step
     /// reschedules once per donor TAM).
     pub refine_steps: u32,
+    /// Worker threads for the per-`k` portfolio (default: one per
+    /// hardware thread). The result is identical at any worker count.
+    pub workers: Option<usize>,
+    /// Skip `k` values whose lower bound already exceeds the incumbent
+    /// (default on; never changes the result — see
+    /// [`CostModel::lower_bound_for_k`]).
+    pub prune: bool,
 }
 
 impl Default for ArchitectureOptions {
@@ -30,6 +52,8 @@ impl Default for ArchitectureOptions {
         ArchitectureOptions {
             max_tams: None,
             refine_steps: 64,
+            workers: None,
+            prune: true,
         }
     }
 }
@@ -88,38 +112,116 @@ pub fn optimize_architecture_with(
         .min(opts.max_tams.unwrap_or(u32::MAX))
         .max(1);
 
-    let mut best: Option<Architecture> = None;
+    // Any published value is the makespan of an architecture some task
+    // actually built, so the eventual winner's time is never above it —
+    // pruning against it can only discard strictly worse candidates.
+    let incumbent = AtomicU64::new(u64::MAX);
+
+    // k = 1 runs inline first so an expired deadline still yields the
+    // single-TAM baseline rather than nothing at all (it also seeds the
+    // incumbent for the pruned portfolio).
+    let mut outcomes: Vec<KOutcome> = Vec::with_capacity(k_max as usize);
+    outcomes.push(KOutcome::Done(optimize_for_k(
+        cost,
+        total_width,
+        1,
+        opts.refine_steps,
+        token,
+        &incumbent,
+    )));
+    if k_max > 1 {
+        let pool = match opts.workers {
+            Some(w) => Pool::with_workers(w),
+            None => Pool::new(),
+        };
+        let tasks: Vec<_> = (2..=k_max)
+            .map(|k| {
+                let incumbent = &incumbent;
+                move || {
+                    if opts.prune
+                        && cost.lower_bound_for_k(total_width, k)
+                            > incumbent.load(Ordering::Relaxed)
+                    {
+                        return KOutcome::Pruned;
+                    }
+                    KOutcome::Done(optimize_for_k(
+                        cost,
+                        total_width,
+                        k,
+                        opts.refine_steps,
+                        token,
+                        incumbent,
+                    ))
+                }
+            })
+            .collect();
+        for outcome in pool.run_with(token, tasks) {
+            // A task skipped after cancellation counts as interrupted.
+            outcomes.push(outcome.unwrap_or(KOutcome::Skipped));
+        }
+    }
+
+    // Deterministic reduction in k order with the fixed tie-break
+    // (test_time, k, widths): the winner is identical at any worker count
+    // and to the sequential sweep.
+    let mut best: Option<(u64, u32, KResult)> = None;
     let mut first_error: Option<ScheduleError> = None;
     let mut status = SearchStatus::Complete;
-    for k in 1..=k_max {
-        // Always evaluate k = 1 so an expired deadline still yields the
-        // single-TAM baseline rather than nothing at all.
-        if k > 1 && token.is_cancelled() {
-            status = SearchStatus::Interrupted;
-            break;
-        }
-        match optimize_for_k(cost, total_width, k, opts.refine_steps, token) {
-            Ok(search) => {
-                if status == SearchStatus::Complete {
-                    status = search.status;
-                }
-                let arch = search.architecture;
-                if best.as_ref().is_none_or(|b| arch.test_time < b.test_time) {
-                    best = Some(arch);
-                }
-            }
-            Err(e) => {
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        let k = i as u32 + 1;
+        match outcome {
+            KOutcome::Skipped => status = SearchStatus::Interrupted,
+            KOutcome::Pruned => {}
+            KOutcome::Done(Err(e)) => {
                 first_error.get_or_insert(e);
+            }
+            KOutcome::Done(Ok(r)) => {
+                if r.status == SearchStatus::Interrupted {
+                    status = SearchStatus::Interrupted;
+                }
+                let better = best
+                    .as_ref()
+                    .is_none_or(|(bt, bk, br)| (r.makespan, k, &r.widths) < (*bt, *bk, &br.widths));
+                if better {
+                    best = Some((r.makespan, k, r));
+                }
             }
         }
     }
     match best {
-        Some(architecture) => Ok(Search {
-            architecture,
-            status,
-        }),
+        Some((test_time, _, r)) => {
+            // Only the winner pays for a materialized schedule; its
+            // feasibility was certified by the exact sweep.
+            let schedule = greedy_schedule(cost, &r.widths)
+                .expect("winning partition re-schedules identically");
+            debug_assert_eq!(schedule.makespan(), test_time);
+            Ok(Search {
+                architecture: Architecture {
+                    test_time,
+                    schedule,
+                },
+                status,
+            })
+        }
         None => Err(first_error.expect("at least one k was attempted")),
     }
+}
+
+/// Result of one per-`k` hill-climb: the partition and its makespan. The
+/// schedule is only materialized for the reduction winner.
+struct KResult {
+    widths: Vec<u32>,
+    makespan: u64,
+    status: SearchStatus,
+}
+
+enum KOutcome {
+    Done(Result<KResult, ScheduleError>),
+    /// Lower bound above the incumbent: running the climb could not have
+    /// produced the winner, so it was skipped.
+    Pruned,
+    /// The pool never started this task (cancellation).
+    Skipped,
 }
 
 fn optimize_for_k(
@@ -128,10 +230,17 @@ fn optimize_for_k(
     k: u32,
     refine_steps: u32,
     token: &CancelToken,
-) -> Result<Search, ScheduleError> {
+    incumbent: &AtomicU64,
+) -> Result<KResult, ScheduleError> {
     let mut widths = balanced_split(total_width, k);
-    let mut schedule = greedy_schedule(cost, &widths)?;
-    let mut makespan = schedule.makespan();
+    let mut sweep = GreedySweep::new(cost);
+    sweep.reset(&widths);
+    let mut makespan = match sweep.run(&widths, None) {
+        SweepOutcome::Exact(m) => m,
+        SweepOutcome::Infeasible(core) => return Err(ScheduleError::CoreUnschedulable { core }),
+        SweepOutcome::Cutoff => unreachable!("unbounded run cannot cut off"),
+    };
+    incumbent.fetch_min(makespan, Ordering::Relaxed);
     let mut status = SearchStatus::Complete;
 
     for _ in 0..refine_steps {
@@ -140,41 +249,52 @@ fn optimize_for_k(
             break;
         }
         // Move one wire from each possible donor to the bottleneck TAM and
-        // keep the best strictly improving move.
+        // keep the best strictly improving move. Candidates are evaluated
+        // in place — apply the move to the sweep state, run bounded,
+        // revert — instead of cloning the partition and rescheduling from
+        // scratch; the bound makes non-improving donors abort early.
         let bottleneck = (0..widths.len())
-            .max_by_key(|&j| schedule.tam_finish(j))
+            .max_by_key(|&j| sweep.finishes()[j])
             .expect("k >= 1");
-        let mut improved: Option<(Vec<u32>, Schedule, u64)> = None;
+        let mut improved: Option<(usize, u64)> = None; // (donor, makespan)
         for donor in 0..widths.len() {
             if donor == bottleneck || widths[donor] <= 1 {
                 continue;
             }
-            let mut candidate = widths.clone();
-            candidate[donor] -= 1;
-            candidate[bottleneck] += 1;
-            let Ok(s) = greedy_schedule(cost, &candidate) else {
-                continue;
-            };
-            let m = s.makespan();
-            if m < makespan && improved.as_ref().is_none_or(|(_, _, bm)| m < *bm) {
-                improved = Some((candidate, s, m));
+            let (wd, wb) = (widths[donor], widths[bottleneck]);
+            widths[donor] -= 1;
+            widths[bottleneck] += 1;
+            sweep.apply(&[wd, wb], &[wd - 1, wb + 1]);
+            // Exact results are always < bound, so this keeps exactly the
+            // strictly improving moves, ties to the earliest donor.
+            let bound = improved.map_or(makespan, |(_, bm)| bm.min(makespan));
+            let outcome = sweep.run(&widths, Some(bound));
+            widths[donor] += 1;
+            widths[bottleneck] -= 1;
+            sweep.apply(&[wd - 1, wb + 1], &[wd, wb]);
+            if let SweepOutcome::Exact(m) = outcome {
+                improved = Some((donor, m));
             }
         }
         match improved {
-            Some((w, s, m)) => {
-                widths = w;
-                schedule = s;
+            Some((donor, m)) => {
+                let (wd, wb) = (widths[donor], widths[bottleneck]);
+                widths[donor] -= 1;
+                widths[bottleneck] += 1;
+                sweep.apply(&[wd, wb], &[wd - 1, wb + 1]);
+                // Unbounded re-run refreshes the finish times for the next
+                // bottleneck pick.
+                let refreshed = sweep.run(&widths, None);
+                debug_assert_eq!(refreshed, SweepOutcome::Exact(m));
                 makespan = m;
+                incumbent.fetch_min(makespan, Ordering::Relaxed);
             }
             None => break,
         }
     }
-    let architecture = Architecture {
-        test_time: makespan,
-        schedule,
-    };
-    Ok(Search {
-        architecture,
+    Ok(KResult {
+        widths,
+        makespan,
         status,
     })
 }

@@ -40,6 +40,10 @@ const GREEDY_SLICE: f64 = 0.35;
 /// Fraction of the *then-remaining* budget granted to the exhaustive
 /// stage; the rest is kept for annealing refinement.
 const EXHAUSTIVE_SLICE: f64 = 0.5;
+/// Restart chains for the annealing stage. Fixed (not derived from the
+/// machine) so a plan is reproducible on any host; the chains share the
+/// worker pool of the surrounding search.
+const ANNEAL_CHAINS: u32 = 2;
 
 /// Execution controls for [`Planner::plan_with`](crate::Planner::plan_with).
 #[derive(Debug, Clone, Default)]
@@ -62,6 +66,24 @@ pub struct PlanControl {
     /// (robustness over strictness — a bad checkpoint must never make a
     /// plan worse than planning from scratch).
     pub resume: Option<Plan>,
+    /// When set, per-core decision profiles are cached as CSV files in
+    /// this directory: a planning run re-reads matching profiles instead
+    /// of rebuilding them (the dominant cost of a plan) and writes any it
+    /// had to build. All cache traffic is best-effort — an unreadable or
+    /// stale file simply means rebuilding, never a worse plan.
+    pub profile_cache: Option<ProfileCacheConfig>,
+}
+
+/// Where [`PlanControl::profile_cache`] keeps per-core profile CSVs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileCacheConfig {
+    /// Cache directory (created on demand).
+    pub dir: PathBuf,
+    /// Distinguishes incompatible profile generations (design, pattern
+    /// seed, sampling parameters); part of every cache file name, so
+    /// changing any generation input misses cleanly instead of reusing a
+    /// wrong profile.
+    pub tag: String,
 }
 
 impl PlanControl {
@@ -82,6 +104,15 @@ impl PlanControl {
     /// Adds a plan to resume from.
     pub fn resume_from(mut self, plan: Plan) -> Self {
         self.resume = Some(plan);
+        self
+    }
+
+    /// Caches per-core profiles as CSVs under `dir`, keyed by `tag`.
+    pub fn cache_profiles_in(mut self, dir: impl Into<PathBuf>, tag: impl Into<String>) -> Self {
+        self.profile_cache = Some(ProfileCacheConfig {
+            dir: dir.into(),
+            tag: tag.into(),
+        });
         self
     }
 }
@@ -268,13 +299,13 @@ pub(crate) fn solve(
             let warm: Option<Vec<u32>> = incumbent
                 .as_ref()
                 .map(|(best, _)| best.schedule.tam_widths().to_vec());
-            match anneal_architecture_with(
-                cost,
-                total_width,
-                &AnnealOptions::default(),
-                warm.as_deref(),
-                token,
-            ) {
+            let anneal_opts = AnnealOptions {
+                chains: ANNEAL_CHAINS,
+                workers: opts.workers,
+                ..AnnealOptions::default()
+            };
+            match anneal_architecture_with(cost, total_width, &anneal_opts, warm.as_deref(), token)
+            {
                 Ok(search) => {
                     if !search.is_complete() {
                         cut_short = true;

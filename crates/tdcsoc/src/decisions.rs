@@ -273,6 +273,11 @@ pub(crate) struct TableJob<'a> {
     config: &'a DecisionConfig,
     profile_cfg: ProfileConfig,
     cache: EvalCache<'a>,
+    /// A previously built profile for exactly this (core, width budget,
+    /// sampling) configuration: widths answer from it instead of running
+    /// the per-width operating-point search. The caller owns the cache
+    /// keying — a mismatched profile here produces a wrong table.
+    cached: Option<CoreProfile>,
 }
 
 impl<'a> TableJob<'a> {
@@ -304,7 +309,15 @@ impl<'a> TableJob<'a> {
             config,
             profile_cfg,
             cache: EvalCache::new(core),
+            cached: None,
         }
+    }
+
+    /// Supplies a cached profile (see the `cached` field). Only the
+    /// profile-driven modes (`PerCore`, `Select`) consult it.
+    pub(crate) fn with_cached_profile(mut self, profile: Option<CoreProfile>) -> Self {
+        self.cached = profile;
+        self
     }
 
     /// As [`new`](TableJob::new), but for the shared-decompressor mode
@@ -373,6 +386,11 @@ impl<'a> TableJob<'a> {
                     // No slice code fits; raw bypass decides these widths.
                     return WidthWork::Entry(None);
                 }
+                if let Some(profile) = &self.cached {
+                    // An absent entry in a complete profile means the
+                    // width is infeasible, exactly like `Ok(None)` below.
+                    return WidthWork::Entry(profile.entry_at(w).copied());
+                }
                 match profile_entry_for_width(&self.cache, w, &self.profile_cfg, &cancelled) {
                     Ok(entry) => WidthWork::Entry(entry),
                     Err(_) => WidthWork::Skipped,
@@ -398,6 +416,8 @@ impl<'a> TableJob<'a> {
             CompressionMode::Select => {
                 let entry = if w < SliceCode::MIN_TAM_WIDTH {
                     None
+                } else if let Some(profile) = &self.cached {
+                    profile.entry_at(w).copied()
                 } else {
                     match profile_entry_for_width(&self.cache, w, &self.profile_cfg, &cancelled) {
                         Ok(entry) => entry,
@@ -422,6 +442,22 @@ impl<'a> TableJob<'a> {
     ///
     /// Panics if the parts do not tile the width range.
     pub(crate) fn assemble(&self, parts: Vec<TablePart>) -> DecisionTable {
+        self.assemble_with_profile(parts).0
+    }
+
+    /// As [`assemble`](TableJob::assemble), but also hands back the
+    /// [`CoreProfile`] the profile-driven modes built along the way —
+    /// `Some` only when it is safe to cache: a profile mode, an external
+    /// width budget, and *no* width skipped by cancellation (a skipped
+    /// width in a stored profile would later read as infeasible).
+    ///
+    /// # Panics
+    ///
+    /// As [`assemble`](TableJob::assemble).
+    pub(crate) fn assemble_with_profile(
+        &self,
+        parts: Vec<TablePart>,
+    ) -> (DecisionTable, Option<CoreProfile>) {
         let mut work: Vec<WidthWork> = Vec::with_capacity(self.max_width as usize);
         for part in parts {
             assert_eq!(
@@ -434,6 +470,7 @@ impl<'a> TableJob<'a> {
         assert_eq!(work.len() as u32, self.max_width, "missing width parts");
 
         let raw: Vec<Decision> = (1..=self.max_width).map(|w| self.raw_decision(w)).collect();
+        let mut built_profile: Option<CoreProfile> = None;
         let table: Vec<Option<Decision>> = if self.internal {
             work.iter()
                 .enumerate()
@@ -448,9 +485,11 @@ impl<'a> TableJob<'a> {
                 CompressionMode::None => raw.iter().copied().map(Some).collect(),
                 CompressionMode::PerCore => {
                     let profile = self.profile_from(&work);
-                    (1..=self.max_width)
+                    let table = (1..=self.max_width)
                         .map(|w| Some(merge_tdc(&profile, w, raw[(w - 1) as usize])))
-                        .collect()
+                        .collect();
+                    built_profile = Some(profile);
+                    table
                 }
                 CompressionMode::PerTam => work
                     .iter()
@@ -501,7 +540,8 @@ impl<'a> TableJob<'a> {
                 CompressionMode::Select => {
                     let profile = self.profile_from(&work);
                     let mut fdr_best: Option<Decision> = None;
-                    work.iter()
+                    let table = work
+                        .iter()
                         .enumerate()
                         .map(|(i, ww)| {
                             let w = i as u32 + 1;
@@ -520,14 +560,20 @@ impl<'a> TableJob<'a> {
                                 .flatten()
                                 .min_by_key(|d| d.test_time)
                         })
-                        .collect()
+                        .collect();
+                    built_profile = Some(profile);
+                    table
                 }
             }
         };
-        DecisionTable {
-            name: self.core.name().to_string(),
-            table,
-        }
+        let complete = !work.iter().any(|ww| matches!(ww, WidthWork::Skipped));
+        (
+            DecisionTable {
+                name: self.core.name().to_string(),
+                table,
+            },
+            built_profile.filter(|_| complete),
+        )
     }
 
     /// Collects the profile entries scattered across the work items into a

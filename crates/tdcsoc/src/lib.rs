@@ -45,7 +45,7 @@ mod truncate;
 mod vectors;
 
 pub use ate::{AteFit, AteSpec};
-pub use cascade::{PlanControl, PlanOutcome, SolverStage};
+pub use cascade::{PlanControl, PlanOutcome, ProfileCacheConfig, SolverStage};
 pub use decisions::{CompressionMode, Decision, DecisionConfig, DecisionTable, Technique};
 pub use planfile::{parse_plan, write_plan, ParsePlanError};
 pub use planner::{Budget, CoreSetting, Plan, PlanError, PlanRequest, Planner};

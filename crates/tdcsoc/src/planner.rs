@@ -11,10 +11,11 @@ use selenc::SliceCode;
 use soc_model::{CoreId, Soc};
 use tam::{Architecture, ArchitectureOptions, CostModel, Schedule, ScheduleError};
 
-use crate::cascade::{self, PlanControl, PlanOutcome, SolverStage};
+use crate::cascade::{self, PlanControl, PlanOutcome, ProfileCacheConfig, SolverStage};
 use crate::decisions::{
     CompressionMode, DecisionConfig, DecisionTable, TableJob, TablePart, Technique,
 };
+use selenc::CoreProfile;
 
 /// What the wire budget counts.
 ///
@@ -233,14 +234,30 @@ impl Planner {
         // oversubscribed with a thread per core. Results are assembled in
         // core and width order, so the plan stays deterministic at any
         // worker count.
+        // The profile cache applies only to the profile-driven modes with
+        // an external width budget; a hit skips the per-width operating-
+        // point search entirely, a miss is recorded after assembly.
+        let cacheable_mode = !internal_budget
+            && matches!(
+                self.mode,
+                CompressionMode::PerCore | CompressionMode::Select
+            );
+        let profile_cache = control.profile_cache.as_ref().filter(|_| cacheable_mode);
+        let mut cache_hit: Vec<bool> = Vec::with_capacity(soc.cores().len());
         let jobs: Vec<TableJob> = soc
             .cores()
             .iter()
             .map(|core| {
                 if internal_budget {
+                    cache_hit.push(false);
                     TableJob::per_tam_internal(core, width, &request.decisions)
                 } else {
+                    let cached = profile_cache.and_then(|cache| {
+                        read_cached_profile(cache, core.name(), width, &request.decisions)
+                    });
+                    cache_hit.push(cached.is_some());
                     TableJob::new(core, self.mode, width, &request.decisions)
+                        .with_cached_profile(cached)
                 }
             })
             .collect();
@@ -262,7 +279,11 @@ impl Planner {
                 move || job.compute(range, token)
             })
             .collect();
-        let parts = Pool::new().run_with(&table_token, tasks);
+        let pool = match request.architecture.workers {
+            Some(w) => Pool::with_workers(w),
+            None => Pool::new(),
+        };
+        let parts = pool.run_with(&table_token, tasks);
         let mut per_core: Vec<Vec<TablePart>> = (0..jobs.len()).map(|_| Vec::new()).collect();
         for ((i, range), part) in chunks.into_iter().zip(parts) {
             per_core[i].push(part.unwrap_or_else(|| TablePart::skipped(range)));
@@ -270,7 +291,14 @@ impl Planner {
         let tables: Vec<DecisionTable> = jobs
             .iter()
             .zip(per_core)
-            .map(|(job, parts)| job.assemble(parts))
+            .zip(&cache_hit)
+            .map(|((job, parts), &hit)| {
+                let (table, profile) = job.assemble_with_profile(parts);
+                if let (Some(cache), Some(profile), false) = (profile_cache, profile, hit) {
+                    write_cached_profile(cache, &profile, width, &request.decisions);
+                }
+                table
+            })
             .collect();
 
         let mut cost = CostModel::new(width);
@@ -411,6 +439,72 @@ fn write_checkpoint(path: &Path, plan: &Plan) {
     let text = crate::planfile::write_plan(plan);
     let tmp = path.with_extension("tmp");
     if std::fs::write(&tmp, text).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// Cache file for one core's profile. Every input that shapes the profile
+/// — the caller's generation tag (design, pattern seed), the width
+/// budget, and both sampling knobs — is part of the name, so changing any
+/// of them misses cleanly instead of reusing a stale profile.
+fn profile_cache_file(
+    cache: &ProfileCacheConfig,
+    core: &str,
+    width: u32,
+    config: &DecisionConfig,
+) -> std::path::PathBuf {
+    let sample = config
+        .pattern_sample
+        .map_or_else(|| "full".to_string(), |s| s.to_string());
+    let mcand = if config.m_candidates == usize::MAX {
+        "max".to_string()
+    } else {
+        config.m_candidates.to_string()
+    };
+    let sanitize = |s: &str| -> String {
+        s.chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect()
+    };
+    let (tag, core) = (sanitize(&cache.tag), sanitize(core));
+    cache
+        .dir
+        .join(format!("{tag}-{core}-w{width}-s{sample}-m{mcand}.csv"))
+}
+
+/// Reads a cached profile, or `None` on any miss, parse failure, or name
+/// mismatch — the cache can only ever save work, never corrupt a plan.
+fn read_cached_profile(
+    cache: &ProfileCacheConfig,
+    core: &str,
+    width: u32,
+    config: &DecisionConfig,
+) -> Option<CoreProfile> {
+    let path = profile_cache_file(cache, core, width, config);
+    let csv = std::fs::read_to_string(path).ok()?;
+    CoreProfile::from_csv(core, &csv).ok()
+}
+
+/// Best-effort cache write (atomic via rename); I/O failures are
+/// swallowed — caching must never fail the plan.
+fn write_cached_profile(
+    cache: &ProfileCacheConfig,
+    profile: &CoreProfile,
+    width: u32,
+    config: &DecisionConfig,
+) {
+    if std::fs::create_dir_all(&cache.dir).is_err() {
+        return;
+    }
+    let path = profile_cache_file(cache, profile.name(), width, config);
+    let tmp = path.with_extension("csv.tmp");
+    if std::fs::write(&tmp, profile.to_csv()).is_ok() {
         let _ = std::fs::rename(&tmp, path);
     }
 }

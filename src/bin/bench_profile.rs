@@ -1,18 +1,23 @@
 //! Machine-readable profile-build benchmark: the planner's dominant cost
 //! is tabulating per-core operating points, so this binary times exactly
 //! that path (kernel → profile → decision tables → full plan) on the
-//! bundled benchmarks and emits a JSON report for `BENCH_profile.json`.
+//! bundled benchmarks, plus the architecture-search portfolio that
+//! consumes the resulting cost models, and emits a JSON report for
+//! `BENCH_profile.json`.
 //!
 //! Usage:
 //!
 //! ```text
-//! bench_profile [--label NAME] [--out FILE] [--smoke]
+//! bench_profile [--label NAME] [--out FILE] [--smoke] [--workers N]
 //! ```
 //!
 //! `--smoke` runs a seconds-scale subset (used by CI to catch kernel
 //! regressions); the default set covers the largest bundled SOC
 //! (p93791-class, ≈98k scan flip-flops) and takes minutes on a cold
-//! machine.
+//! machine. `--workers` sets the worker-thread count for the
+//! pool-dispatched workloads (architecture search, anneal portfolio,
+//! full plan); results are identical at any value, only the wall clock
+//! moves, and every JSON entry records the count it ran with.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -22,6 +27,9 @@ use soc_tdc::model::generator::synthesize_missing_test_sets;
 use soc_tdc::model::Soc;
 use soc_tdc::planner::{CompressionMode, DecisionConfig, DecisionTable, PlanRequest, Planner};
 use soc_tdc::selenc::{cube_cost, CoreProfile, ProfileConfig, SliceCode};
+use soc_tdc::tam::{
+    anneal_architecture, optimize_architecture, AnnealOptions, ArchitectureOptions, CostModel,
+};
 use soc_tdc::wrapper::design_wrapper;
 
 const SEED: u64 = 2008;
@@ -30,9 +38,10 @@ struct Entry {
     name: &'static str,
     millis: f64,
     iters: u32,
+    workers: usize,
 }
 
-fn timed<F: FnMut()>(name: &'static str, iters: u32, mut f: F) -> Entry {
+fn timed<F: FnMut()>(name: &'static str, iters: u32, workers: usize, mut f: F) -> Entry {
     // One warm-up pass so lazily synthesized cubes and allocator warm-up
     // don't pollute the first measurement.
     f();
@@ -46,6 +55,7 @@ fn timed<F: FnMut()>(name: &'static str, iters: u32, mut f: F) -> Entry {
         name,
         millis,
         iters,
+        workers,
     }
 }
 
@@ -63,16 +73,37 @@ fn build_tables(soc: &Soc, width: u32, cfg: &DecisionConfig) {
     }
 }
 
+/// The cost model the architecture-search entries run on (same tables the
+/// planner would build).
+fn cost_model(soc: &Soc, width: u32) -> CostModel {
+    let cfg = fast();
+    let mut cost = CostModel::new(width);
+    for core in soc.cores() {
+        let t = DecisionTable::build(core, CompressionMode::PerCore, width, &cfg);
+        cost.push_core(core.name(), t.time_row());
+    }
+    cost
+}
+
 fn main() {
     let mut label = String::from("run");
     let mut out: Option<String> = None;
     let mut smoke = false;
+    let mut workers = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--label" => label = args.next().expect("--label needs a value"),
             "--out" => out = Some(args.next().expect("--out needs a value")),
             "--smoke" => smoke = true,
+            "--workers" => {
+                workers = args
+                    .next()
+                    .expect("--workers needs a value")
+                    .parse()
+                    .expect("--workers needs a number");
+                assert!(workers >= 1, "--workers needs at least 1");
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
@@ -96,38 +127,79 @@ fn main() {
         } else {
             "cube_cost_ckt7_m256"
         };
-        entries.push(timed(name, if smoke { 1 } else { 3 }, || {
+        entries.push(timed(name, if smoke { 1 } else { 3 }, 1, || {
             let total: u64 = ts.iter().map(|c| cube_cost(code, &design, c)).sum();
             assert!(total > 0);
         }));
     }
 
     // Profile build of one industrial core at production fidelity.
-    entries.push(timed("profile_ckt7_w16", 1, || {
+    entries.push(timed("profile_ckt7_w16", 1, 1, || {
         let p = CoreProfile::build(core7, &ProfileConfig::industrial(16));
         assert!(!p.entries().is_empty());
     }));
 
     // Decision tables over a whole SOC (the planner's table phase).
     let d695 = Design::D695.build_with_cubes(SEED);
-    entries.push(timed("tables_d695_w32", 1, || {
+    entries.push(timed("tables_d695_w32", 1, 1, || {
         build_tables(&d695, 32, &fast());
+    }));
+
+    // Architecture search: the pruned hill-climb portfolio and the
+    // multi-chain anneal over the d695 cost model.
+    let cost_d695 = cost_model(&d695, 32);
+    entries.push(timed("arch_d695_w32", 3, workers, || {
+        let opts = ArchitectureOptions {
+            workers: Some(workers),
+            ..Default::default()
+        };
+        let a = optimize_architecture(&cost_d695, 32, &opts).unwrap();
+        assert!(a.test_time > 0);
+    }));
+    entries.push(timed("anneal_d695_w32", 3, workers, || {
+        let opts = AnnealOptions {
+            chains: 4,
+            workers: Some(workers),
+            ..Default::default()
+        };
+        let a = anneal_architecture(&cost_d695, 32, &opts).unwrap();
+        assert!(a.test_time > 0);
     }));
 
     if !smoke {
         // The largest bundled SOC: p93791-class, 32 cores, ~98k scan FFs.
         let p93791 = Design::P93791.build_with_cubes(SEED);
-        entries.push(timed("tables_p93791_w24", 1, || {
+        entries.push(timed("tables_p93791_w24", 1, 1, || {
             build_tables(&p93791, 24, &fast());
         }));
-        entries.push(timed("tables_p93791_w32_default", 1, || {
+        entries.push(timed("tables_p93791_w32_default", 1, 1, || {
             build_tables(&p93791, 32, &DecisionConfig::default());
+        }));
+
+        // Anneal portfolio on the big SOC's cost model (the dominant
+        // architecture-search workload).
+        let cost_p = cost_model(&p93791, 32);
+        entries.push(timed("anneal_p93791_w32", 3, workers, || {
+            let opts = AnnealOptions {
+                iterations: 4000,
+                chains: 4,
+                workers: Some(workers),
+                ..Default::default()
+            };
+            let a = anneal_architecture(&cost_p, 32, &opts).unwrap();
+            assert!(a.test_time > 0);
         }));
 
         // End-to-end plan on the industrial System1.
         let system1 = Design::System1.build_with_cubes(SEED);
-        entries.push(timed("plan_system1_w32", 1, || {
-            let req = PlanRequest::tam_width(32).with_decisions(fast());
+        entries.push(timed("plan_system1_w32", 1, workers, || {
+            let req = PlanRequest {
+                architecture: ArchitectureOptions {
+                    workers: Some(workers),
+                    ..Default::default()
+                },
+                ..PlanRequest::tam_width(32).with_decisions(fast())
+            };
             let plan = Planner::per_core_tdc().plan(&system1, &req).unwrap();
             assert!(plan.test_time > 0);
         }));
@@ -141,8 +213,8 @@ fn main() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{ \"name\": \"{}\", \"millis\": {:.1}, \"iters\": {} }}{comma}",
-            e.name, e.millis, e.iters
+            "    {{ \"name\": \"{}\", \"millis\": {:.1}, \"iters\": {}, \"workers\": {} }}{comma}",
+            e.name, e.millis, e.iters, e.workers
         );
     }
     let _ = writeln!(json, "  ]");

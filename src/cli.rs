@@ -16,7 +16,7 @@ use crate::planner::{
     PlanRequest, Planner,
 };
 use crate::selenc::{generate_verilog, CoreProfile, ProfileConfig, SliceCode, SliceStats};
-use crate::tam::{render_gantt, CostModel};
+use crate::tam::{render_gantt, ArchitectureOptions, CostModel};
 
 /// A parsed `soctdc` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +80,12 @@ pub struct PlanArgs {
     pub checkpoint: Option<String>,
     /// Resume from a previously checkpointed plan file.
     pub resume: Option<String>,
+    /// Worker threads for table building and architecture search
+    /// (`None` = one per available CPU; results are identical either way).
+    pub workers: Option<usize>,
+    /// Cache per-core profiles as CSVs in this directory, so repeated
+    /// planning runs over the same design skip the profile rebuild.
+    pub profile_cache: Option<String>,
 }
 
 /// Arguments of `soctdc profile`.
@@ -204,6 +210,7 @@ USAGE:
                  [--mode no-tdc|per-core|per-tam|fixed4|reseed|fdr|select] [--seed N]
                  [--sample N] [--mcand N] [--exact] [--density F] [--gantt]
                  [--plan-out FILE] [--deadline MS] [--checkpoint FILE] [--resume FILE]
+                 [--workers N] [--profile-cache DIR]
   soctdc profile (--soc FILE | --itc02 FILE | --design NAME) --core NAME
                  [--max-width N] [--seed N] [--sample N] [--density F]
   soctdc convert (--soc FILE | --itc02 FILE | --design NAME) --to itc02|simple
@@ -253,6 +260,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut deadline_ms: Option<u64> = None;
     let mut checkpoint: Option<String> = None;
     let mut resume: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut profile_cache: Option<String> = None;
 
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -296,6 +305,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--deadline" => deadline_ms = Some(parse_num(&value("--deadline")?, "--deadline")?),
             "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
             "--resume" => resume = Some(value("--resume")?),
+            "--workers" => {
+                let n: usize = parse_num(&value("--workers")?, "--workers")?;
+                if n == 0 {
+                    return Err(usage("--workers needs at least 1"));
+                }
+                workers = Some(n);
+            }
+            "--profile-cache" => profile_cache = Some(value("--profile-cache")?),
             other => return Err(usage(&format!("unknown flag `{other}`"))),
         }
     }
@@ -332,6 +349,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 deadline_ms,
                 checkpoint,
                 resume,
+                workers,
+                profile_cache,
             }))
         }
         "profile" => Ok(Command::Profile(ProfileArgs {
@@ -590,7 +609,10 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
             let request = PlanRequest {
                 budget: args.budget,
                 decisions: args.decisions.clone(),
-                architecture: Default::default(),
+                architecture: ArchitectureOptions {
+                    workers: args.workers,
+                    ..Default::default()
+                },
             };
             let mut control = match args.deadline_ms {
                 Some(ms) => PlanControl::with_deadline(std::time::Duration::from_millis(ms)),
@@ -598,6 +620,13 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
             };
             if let Some(path) = &args.checkpoint {
                 control = control.checkpoint_to(path);
+            }
+            if let Some(dir) = &args.profile_cache {
+                // The tag pins the test-set identity (design, synthesis
+                // seed, ITC'02 care density); the planner adds the width
+                // budget and fidelity knobs to each file name itself.
+                let tag = format!("{}-seed{}-d{:.3}", soc.name(), args.seed, args.density);
+                control = control.cache_profiles_in(dir, tag);
             }
             if let Some(path) = &args.resume {
                 let text = std::fs::read_to_string(path)
@@ -694,6 +723,60 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse_args(&argv("plan --design d695 --deadline soon")).is_err());
+    }
+
+    #[test]
+    fn parses_workers_and_profile_cache() {
+        let cmd = parse_args(&argv(
+            "plan --design d695 --workers 2 --profile-cache /tmp/profcache",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Plan(a) => {
+                assert_eq!(a.workers, Some(2));
+                assert_eq!(a.profile_cache.as_deref(), Some("/tmp/profcache"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let defaults = parse_args(&argv("plan --design d695")).unwrap();
+        match defaults {
+            Command::Plan(a) => {
+                assert_eq!(a.workers, None);
+                assert_eq!(a.profile_cache, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&argv("plan --design d695 --workers 0")).is_err());
+        assert!(parse_args(&argv("plan --design d695 --workers lots")).is_err());
+    }
+
+    #[test]
+    fn profile_cache_round_trip_reproduces_the_plan() {
+        let dir = std::env::temp_dir().join(format!("soctdc-profcache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = format!(
+            "plan --design d695 --width 12 --sample 4 --mcand 4 --profile-cache {}",
+            dir.display()
+        );
+        // Cold run populates the cache, warm run answers from it; the
+        // printed plan must be byte-identical.
+        let cmd = parse_args(&argv(&base)).unwrap();
+        let mut cold = Vec::new();
+        run(&cmd, &mut cold).unwrap();
+        let files = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        assert!(files > 0, "cold run wrote no profile CSVs");
+        let mut warm = Vec::new();
+        run(&cmd, &mut warm).unwrap();
+        // The header's elapsed-time annotation legitimately differs (the
+        // warm run is the fast one); everything else must be identical.
+        let strip_elapsed = |bytes: Vec<u8>| -> String {
+            let text = String::from_utf8(bytes).unwrap();
+            let (head, rest) = text.split_once('\n').unwrap();
+            let head = head.rsplit_once(" (").map_or(head, |(h, _)| h);
+            format!("{head}\n{rest}")
+        };
+        assert_eq!(strip_elapsed(cold), strip_elapsed(warm));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
