@@ -6,6 +6,9 @@
 //! binaries of the root package — the benches measure the *cost* of
 //! producing them (the paper's "CPU time" columns).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use soc_model::benchmarks::Design;
 use soc_model::generator::synthesize_missing_test_sets;
 use soc_model::{benchmarks, Core, Soc};

@@ -218,7 +218,7 @@ mod tests {
         let ps = PhaseShifter::random(8, 32, 1);
         assert_eq!(ps.chains(), 8);
         // Taps differ between at least some chains.
-        let distinct: std::collections::HashSet<_> =
+        let distinct: std::collections::BTreeSet<_> =
             (0..8).map(|k| format!("{:?}", ps.combos[k])).collect();
         assert!(distinct.len() > 1);
     }

@@ -13,7 +13,7 @@
 //! cubes are ~44–66% specified, which is exactly the regime where the
 //! paper's Table 2 comparisons live.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use soc_model::{Core, Trit};
@@ -187,8 +187,10 @@ fn try_solve(
     let lfsr = Lfsr::with_default_taps(lfsr_len);
     let ps = PhaseShifter::random(chains, lfsr_len, opts.hardware_seed);
 
-    // Union of (cycle, chain) positions needing symbolic rows.
-    let mut needed: HashMap<(u64, usize), crate::gf2::Gf2Vec> = HashMap::new();
+    // Union of (cycle, chain) positions needing symbolic rows. BTreeMap:
+    // nothing iterates it today, but keeping the container ordered means a
+    // future drain cannot silently become solver-order-dependent.
+    let mut needed: BTreeMap<(u64, usize), crate::gf2::Gf2Vec> = BTreeMap::new();
     for list in constraints {
         for &(t, k, _) in list {
             needed
@@ -234,7 +236,7 @@ fn verify_seed(
     constraints: &[(u64, usize, bool)],
     s_i: u64,
 ) {
-    let mut by_cycle: HashMap<u64, Vec<(usize, bool)>> = HashMap::new();
+    let mut by_cycle: BTreeMap<u64, Vec<(usize, bool)>> = BTreeMap::new();
     for &(t, k, v) in constraints {
         by_cycle.entry(t).or_default().push((k, v));
     }

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 
 use lfsr::{compress_reseeding, Gf2Solver, Gf2Vec, Lfsr, PhaseShifter, ReseedOptions};
-use soc_model::{Core, CubeSynthesis};
+use soc_model::{Core, CubeSynthesis, SplitMix64, TestSet};
 
 /// Brute force: does any assignment satisfy all constraints?
 fn brute_force_solvable(cols: usize, rows: &[(u32, bool)]) -> bool {
@@ -134,4 +134,58 @@ fn reseeding_volume_scales_with_density_not_length() {
         rb < ra / 2.0,
         "sparse core compresses much better: {ra} vs {rb}"
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The determinism contract, witnessed from outside: reseeding
+    /// aggregates per-pattern quantities (seed counts, solve results,
+    /// scan-in sums), so shuffling the pattern order must not change any
+    /// field of the result — including the chosen LFSR length, which the
+    /// growth loop settles from the *set* of patterns, not their order.
+    #[test]
+    fn reseeding_is_invariant_under_pattern_permutation(
+        cells in 60u32..240,
+        patterns in 2u32..8,
+        m in 1u32..6,
+        ate in 1u32..5,
+        perm_seed in any::<u64>(),
+    ) {
+        let build = || {
+            Core::builder("perm")
+                .inputs(8)
+                .flexible_cells(cells, 48)
+                .pattern_count(patterns)
+                .care_density(0.15)
+                .build()
+                .unwrap()
+        };
+        let mut base = build();
+        let ts = CubeSynthesis::new(0.15).synthesize(&base, 23);
+
+        // Fisher–Yates shuffle of the cubes, driven by the proptest seed.
+        let mut shuffled = ts.patterns().to_vec();
+        let mut rng = SplitMix64::new(perm_seed);
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            shuffled.swap(i, j);
+        }
+        let permuted_ts = TestSet::from_patterns(ts.bits_per_pattern(), shuffled).unwrap();
+
+        let mut permuted = build();
+        base.attach_test_set(ts).unwrap();
+        permuted.attach_test_set(permuted_ts).unwrap();
+
+        // Exact evaluation: `pattern_sample` picks patterns by position,
+        // which is the one knob legitimately sensitive to input order.
+        let opts = ReseedOptions {
+            pattern_sample: None,
+            ..ReseedOptions::default()
+        };
+        prop_assert_eq!(
+            compress_reseeding(&base, m, ate, &opts),
+            compress_reseeding(&permuted, m, ate, &opts)
+        );
+    }
 }

@@ -18,6 +18,7 @@
 //!   so CI can pin a small, fast, reproducible case budget globally.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod test_runner {
     //! Deterministic RNG and run configuration.

@@ -11,7 +11,7 @@
 //! planner's worker threads.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -34,6 +34,9 @@ impl Deadline {
     }
 
     /// A deadline `budget` from now.
+    // `robust` is the one crate allowed to read the wall clock: it owns the
+    // Deadline abstraction everything else threads instead.
+    #[allow(clippy::disallowed_methods)]
     pub fn within(budget: Duration) -> Self {
         Deadline {
             at: Instant::now().checked_add(budget),
@@ -46,11 +49,13 @@ impl Deadline {
     }
 
     /// Whether the deadline has passed.
+    #[allow(clippy::disallowed_methods)]
     pub fn expired(&self) -> bool {
         self.at.is_some_and(|at| Instant::now() >= at)
     }
 
     /// Time left before expiry; `None` when unbounded.
+    #[allow(clippy::disallowed_methods)]
     pub fn remaining(&self) -> Option<Duration> {
         self.at
             .map(|at| at.saturating_duration_since(Instant::now()))

@@ -9,7 +9,7 @@
 //! operating point is compressed exactly once per core, no matter how many
 //! widths, modes or threads ask for it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use soc_model::Core;
@@ -34,10 +34,13 @@ use crate::stream::{compress_sampled, Compressed};
 /// let cache = EvalCache::new(core);
 /// assert_eq!(cache.evaluate_point(8, Some(4)), evaluate_point(core, 8, Some(4)));
 /// ```
+// BTreeMap, not HashMap: the memo is lookup-only today, but it is shared
+// across planner threads and a hash-ordered drain sneaking in later would
+// be a worker-count-dependent bug. Compression dominates the lookup cost.
 #[derive(Debug)]
 pub struct EvalCache<'a> {
     designs: DesignCache<'a>,
-    evals: Mutex<HashMap<(u32, Option<usize>), Compressed>>,
+    evals: Mutex<BTreeMap<(u32, Option<usize>), Compressed>>,
 }
 
 impl<'a> EvalCache<'a> {
@@ -45,7 +48,7 @@ impl<'a> EvalCache<'a> {
     pub fn new(core: &'a Core) -> Self {
         EvalCache {
             designs: DesignCache::new(core),
-            evals: Mutex::new(HashMap::new()),
+            evals: Mutex::new(BTreeMap::new()),
         }
     }
 

@@ -115,7 +115,7 @@ pub fn parse_itc02(text: &str, care_density: f64) -> Result<Itc02Soc, ParseItc02
                 line: 1,
                 kind: Itc02ErrorKind::ModuleCountMismatch {
                     declared: total,
-                    found: modules.len() as u32,
+                    found: u32::try_from(modules.len()).unwrap_or(u32::MAX),
                 },
             });
         }

@@ -120,7 +120,7 @@ impl Soc {
         if self.cores.is_empty() {
             return Err(format!("SOC {:?} has no cores", self.name));
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for core in &self.cores {
             if !seen.insert(core.name()) {
                 return Err(format!("duplicate core name {:?}", core.name()));

@@ -1,0 +1,162 @@
+//! CLI for the workspace contract linter.
+//!
+//! ```text
+//! cargo run -p soclint -- --workspace            # lint the whole tree
+//! cargo run -p soclint -- --workspace --json     # machine-readable report
+//! cargo run -p soclint -- crates/tam/src/anneal.rs   # lint specific files
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use soclint::{lint_source, lint_workspace, to_json, Diagnostic, RULE_IDS};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut workspace = false;
+    let mut at: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--at" => match args.next() {
+                Some(p) => at = Some(p.replace('\\', "/")),
+                None => return usage("--at needs a workspace-relative path"),
+            },
+            "--list-rules" => {
+                for id in RULE_IDS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag `{other}`"));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if !workspace && files.is_empty() {
+        return usage("nothing to lint: pass --workspace or file paths");
+    }
+
+    let root = root.unwrap_or_else(find_workspace_root);
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    if workspace {
+        match lint_workspace(&root) {
+            Ok(d) => diags.extend(d),
+            Err(e) => {
+                eprintln!("soclint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if at.is_some() && files.len() != 1 {
+        return usage("--at applies to exactly one file");
+    }
+    for rel in &files {
+        let full = root.join(rel);
+        let lint_as = at.as_deref().unwrap_or(rel);
+        match std::fs::read_to_string(&full) {
+            Ok(source) => diags.extend(lint_source(&lint_as.replace('\\', "/"), &source)),
+            Err(e) => {
+                eprintln!("soclint: {}: {e}", full.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    diags.sort();
+    diags.dedup();
+
+    if json {
+        print!("{}", to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            eprintln!("soclint: clean");
+        } else {
+            eprintln!("soclint: {} violation(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks upward from the current directory to the first directory holding
+/// a `Cargo.toml` with a `[workspace]` table; falls back to `.`.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("soclint: {message}");
+    eprint!("{HELP}");
+    ExitCode::from(2)
+}
+
+const HELP: &str = "\
+soclint — workspace contract linter (determinism / robustness / hygiene)
+
+USAGE:
+    soclint --workspace [--json] [--root PATH]
+    soclint [--root PATH] [--at PATH] FILE...
+
+OPTIONS:
+    --workspace    Lint every .rs file under crates/, src/, tests/, examples/
+    --json         Emit a JSON array instead of text diagnostics
+    --root PATH    Workspace root (default: nearest [workspace] Cargo.toml)
+    --at PATH      Lint the (single) FILE as if it lived at this
+                   workspace-relative path; rule scoping is path-based, so
+                   this is how fixtures emulate in-tree locations
+    --list-rules   Print the rule ids and exit
+    -h, --help     This help
+
+Suppress a finding with an auditable scoped comment:
+    // soclint: allow(<rule>) -- <reason>
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_discovery_finds_a_workspace() {
+        // When run from the repo, the discovered root has a [workspace].
+        let root = find_workspace_root();
+        let manifest = std::fs::read_to_string(root.join("Cargo.toml")).unwrap_or_default();
+        assert!(manifest.contains("[workspace]") || root == std::path::Path::new("."));
+    }
+}

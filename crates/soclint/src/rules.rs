@@ -1,0 +1,742 @@
+//! The contract rules and the engine that applies them to one file.
+//!
+//! Every rule has a stable kebab-case id — the name used in suppression
+//! comments, `--json` output, and the fixture suite:
+//!
+//! | id | scope | contract |
+//! |----|-------|----------|
+//! | `hash-collections` | determinism crates | no `HashMap`/`HashSet` & friends — iteration order may reach decisions |
+//! | `wall-clock` | all but `robust`/bench | no `Instant::now` / `SystemTime::now` |
+//! | `os-entropy` | all but `robust`/bench | no thread ids, `RandomState`, OS RNGs |
+//! | `nan-compare` | determinism crates | no `partial_cmp` — use `total_cmp` / integer keys |
+//! | `panic-path` | untrusted parsers | no `unwrap`/`expect`/`panic!`-family |
+//! | `unchecked-index` | untrusted parsers | no `expr[...]` indexing — use `get` |
+//! | `as-narrowing` | untrusted parsers | no narrowing `as` casts — use `try_from` |
+//! | `deny-header` | `crates/*/src/lib.rs` | crate root carries the agreed `#![forbid]`/`#![deny]` header |
+//! | `cfg-test-gate` | all library code | `mod tests` must be `#[cfg(test)]`-gated |
+//! | `allow-syntax` | everywhere | suppressions must name known rules and carry `-- <reason>` |
+//!
+//! Suppression: `// soclint: allow(rule-a, rule-b) -- reason`. A trailing
+//! comment suppresses its own line; a comment alone on a line suppresses
+//! the next code line; `allow-file(rule) -- reason` anywhere in the file
+//! suppresses the whole file. The reason is mandatory — an allow without
+//! one is itself a violation, so every exception stays auditable.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::scope::{classify, test_spans, FileScope, TestSpans};
+
+/// Identifiers of every rule, in reporting order.
+pub const RULE_IDS: &[&str] = &[
+    "hash-collections",
+    "wall-clock",
+    "os-entropy",
+    "nan-compare",
+    "panic-path",
+    "unchecked-index",
+    "as-narrowing",
+    "deny-header",
+    "cfg-test-gate",
+    "allow-syntax",
+];
+
+/// One finding: file, 1-based line, rule id, human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Stable rule id (see [`RULE_IDS`]).
+    pub rule: String,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Parsed suppressions for one file.
+#[derive(Debug, Default)]
+struct Allows {
+    /// rule id -> lines on which it is suppressed.
+    lines: BTreeMap<String, BTreeSet<u32>>,
+    /// rule ids suppressed for the whole file.
+    file_wide: BTreeSet<String>,
+    /// Malformed directives found while parsing.
+    errors: Vec<(u32, String)>,
+}
+
+impl Allows {
+    fn permits(&self, rule: &str, line: u32) -> bool {
+        self.file_wide.contains(rule)
+            || self
+                .lines
+                .get(rule)
+                .is_some_and(|lines| lines.contains(&line))
+    }
+}
+
+/// Lints one file's source text under the scope its path implies.
+///
+/// `path` must be workspace-relative with `/` separators — rule scoping
+/// is path-based, so the same source text can lint differently at
+/// different paths (the fixture suite leans on this).
+pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    let scope = classify(path);
+    let tokens = lex(source);
+    let spans = test_spans(&tokens);
+    let allows = parse_allows(&tokens);
+
+    let mut out = Vec::new();
+    let mut push = |rule: &str, line: u32, message: String| {
+        if !allows.permits(rule, line) {
+            out.push(Diagnostic {
+                file: path.to_string(),
+                line,
+                rule: rule.to_string(),
+                message,
+            });
+        }
+    };
+
+    for (line, message) in &allows.errors {
+        push("allow-syntax", *line, message.clone());
+    }
+
+    let sig = tokens.significant();
+    let toks = &tokens.all;
+    let in_test = |line: u32| scope.all_test || spans.contains(line);
+
+    for (si, &ti) in sig.iter().enumerate() {
+        let t = &toks[ti];
+        let line = t.line;
+        if in_test(line) {
+            continue;
+        }
+        check_determinism(&scope, toks, &sig, si, t, &mut push);
+        check_robustness(&scope, toks, &sig, si, t, &mut push);
+        check_test_gate(&scope, toks, &sig, si, t, &spans, &mut push);
+    }
+
+    if scope.lib_root {
+        check_deny_header(&tokens, &mut push);
+    }
+
+    out.sort();
+    out
+}
+
+/// Determinism rules: hash collections, wall clock, entropy, NaN-unsafe
+/// comparisons.
+fn check_determinism(
+    scope: &FileScope,
+    toks: &[Token],
+    sig: &[usize],
+    si: usize,
+    t: &Token,
+    push: &mut impl FnMut(&str, u32, String),
+) {
+    let Some(name) = t.ident() else { return };
+    if scope.determinism {
+        const HASHED: &[&str] = &[
+            "HashMap",
+            "HashSet",
+            "FxHashMap",
+            "FxHashSet",
+            "IndexMap",
+            "IndexSet",
+            "DefaultHasher",
+        ];
+        if HASHED.contains(&name) {
+            push(
+                "hash-collections",
+                t.line,
+                format!(
+                    "`{name}` in a determinism-scoped crate: iteration order can reach \
+                     search decisions; use `BTreeMap`/`BTreeSet` or a sorted drain"
+                ),
+            );
+        }
+        if name == "partial_cmp" {
+            push(
+                "nan-compare",
+                t.line,
+                "`partial_cmp` is NaN-unsafe in a determinism-scoped crate; use \
+                 `total_cmp` or compare integer keys"
+                    .to_string(),
+            );
+        }
+    }
+    if scope.wall_clock_banned {
+        if (name == "Instant" || name == "SystemTime") && followed_by_path(toks, sig, si, "now") {
+            push(
+                "wall-clock",
+                t.line,
+                format!(
+                    "`{name}::now` outside `robust`/bench code: wall-clock reads make \
+                     results machine-dependent; thread a `robust::Deadline` instead"
+                ),
+            );
+        }
+        const ENTROPY: &[&str] = &[
+            "thread_rng",
+            "from_entropy",
+            "getrandom",
+            "OsRng",
+            "ThreadId",
+            "RandomState",
+        ];
+        if ENTROPY.contains(&name) {
+            push(
+                "os-entropy",
+                t.line,
+                format!("`{name}` draws OS entropy or thread identity; derive state from the run's seed"),
+            );
+        }
+        if name == "thread" && followed_by_path(toks, sig, si, "current") {
+            push(
+                "os-entropy",
+                t.line,
+                "`thread::current()` leaks scheduler identity into library code".to_string(),
+            );
+        }
+    }
+}
+
+/// Robustness rules for untrusted-input parsers: panic paths, unguarded
+/// indexing, narrowing casts.
+fn check_robustness(
+    scope: &FileScope,
+    toks: &[Token],
+    sig: &[usize],
+    si: usize,
+    t: &Token,
+    push: &mut impl FnMut(&str, u32, String),
+) {
+    if !scope.untrusted_parser {
+        return;
+    }
+    match &t.kind {
+        TokenKind::Ident(name) => {
+            const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+            const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+            if PANIC_METHODS.contains(&name.as_str())
+                && prev_is(toks, sig, si, '.')
+                && next_is(toks, sig, si, '(')
+            {
+                push(
+                    "panic-path",
+                    t.line,
+                    format!(
+                        "`.{name}()` on an untrusted-input path: malformed input must \
+                         surface as a typed error, never a panic"
+                    ),
+                );
+            }
+            if PANIC_MACROS.contains(&name.as_str()) && next_is(toks, sig, si, '!') {
+                push(
+                    "panic-path",
+                    t.line,
+                    format!("`{name}!` on an untrusted-input path: return a typed error instead"),
+                );
+            }
+            const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "isize"];
+            if name == "as" {
+                if let Some(target) = sig
+                    .get(si + 1)
+                    .and_then(|&j| toks[j].ident())
+                    .filter(|target| NARROW.contains(target))
+                {
+                    push(
+                        "as-narrowing",
+                        t.line,
+                        format!(
+                            "`as {target}` can silently truncate untrusted values; use \
+                             `{target}::try_from` and report the failure"
+                        ),
+                    );
+                }
+            }
+        }
+        TokenKind::Punct('[') => {
+            // `expr[...]`: an open bracket right after an identifier, `)`,
+            // or `]` is an index expression (attributes arrive after `#`,
+            // macros after `!`, types after `:`/`<`/`&` — none match).
+            let indexes = si > 0
+                && match &toks[sig[si - 1]].kind {
+                    TokenKind::Ident(prev) => prev != "as" && !is_keyword_before_bracket(prev),
+                    TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+                    _ => false,
+                };
+            if indexes {
+                push(
+                    "unchecked-index",
+                    t.line,
+                    "indexing can panic on untrusted input; use `.get(..)` and handle `None`"
+                        .to_string(),
+                );
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`let [a, b] = …` slice patterns, `return [..]`, `in [..]`, …).
+fn is_keyword_before_bracket(name: &str) -> bool {
+    matches!(
+        name,
+        "let"
+            | "for"
+            | "return"
+            | "break"
+            | "in"
+            | "if"
+            | "while"
+            | "match"
+            | "else"
+            | "move"
+            | "mut"
+            | "dyn"
+    )
+}
+
+/// Hygiene: `mod tests` must be gated.
+fn check_test_gate(
+    scope: &FileScope,
+    toks: &[Token],
+    sig: &[usize],
+    si: usize,
+    t: &Token,
+    spans: &TestSpans,
+    push: &mut impl FnMut(&str, u32, String),
+) {
+    if scope.all_test {
+        return;
+    }
+    if t.is_ident("mod")
+        && sig
+            .get(si + 1)
+            .is_some_and(|&j| toks[j].is_ident("tests") || toks[j].is_ident("test"))
+        && !spans.contains(t.line)
+    {
+        push(
+            "cfg-test-gate",
+            t.line,
+            "`mod tests` without `#[cfg(test)]`: test-only code must not ship in the \
+             library build"
+                .to_string(),
+        );
+    }
+}
+
+/// Hygiene: the crate root must carry the agreed lint header.
+fn check_deny_header(tokens: &crate::lexer::Tokens, push: &mut impl FnMut(&str, u32, String)) {
+    let sig = tokens.significant();
+    let toks = &tokens.all;
+    let mut has_forbid_unsafe = false;
+    let mut has_deny_missing_docs = false;
+    for (si, &ti) in sig.iter().enumerate() {
+        if let Some(name) = toks[ti].ident() {
+            match name {
+                "forbid" => {
+                    has_forbid_unsafe |= attr_args_contain(toks, &sig, si, "unsafe_code");
+                }
+                "deny" => {
+                    has_deny_missing_docs |= attr_args_contain(toks, &sig, si, "missing_docs");
+                }
+                _ => {}
+            }
+        }
+    }
+    if !has_forbid_unsafe {
+        push(
+            "deny-header",
+            1,
+            "library crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+    if !has_deny_missing_docs {
+        push(
+            "deny-header",
+            1,
+            "library crate root lacks `#![deny(missing_docs)]`".to_string(),
+        );
+    }
+}
+
+/// True when the ident at `si` is followed by `(... wanted ...)`.
+fn attr_args_contain(toks: &[Token], sig: &[usize], si: usize, wanted: &str) -> bool {
+    let mut j = si + 1;
+    if j >= sig.len() || !toks[sig[j]].is_punct('(') {
+        return false;
+    }
+    let mut depth = 0i32;
+    while j < sig.len() {
+        match &toks[sig[j]].kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            TokenKind::Ident(name) if name == wanted => return true,
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+/// True when the significant tokens after `si` are `:: name`.
+fn followed_by_path(toks: &[Token], sig: &[usize], si: usize, name: &str) -> bool {
+    prev_or_next_colons(toks, sig, si) && sig.get(si + 3).is_some_and(|&j| toks[j].is_ident(name))
+}
+
+fn prev_or_next_colons(toks: &[Token], sig: &[usize], si: usize) -> bool {
+    sig.get(si + 1).is_some_and(|&j| toks[j].is_punct(':'))
+        && sig.get(si + 2).is_some_and(|&j| toks[j].is_punct(':'))
+}
+
+fn prev_is(toks: &[Token], sig: &[usize], si: usize, c: char) -> bool {
+    si > 0 && toks[sig[si - 1]].is_punct(c)
+}
+
+fn next_is(toks: &[Token], sig: &[usize], si: usize, c: char) -> bool {
+    sig.get(si + 1).is_some_and(|&j| toks[j].is_punct(c))
+}
+
+/// Extracts `soclint: allow(...)` directives from comment tokens.
+fn parse_allows(tokens: &crate::lexer::Tokens) -> Allows {
+    let mut allows = Allows::default();
+    // Per code line: the first and last significant token, to decide
+    // whether a directive is trailing (suppresses its own line) or
+    // standalone (suppresses the next code line), and to step over
+    // attribute-only lines (`#[allow(...)]`) when binding forward.
+    let mut line_tokens: BTreeMap<u32, (TokenKind, TokenKind)> = BTreeMap::new();
+    for t in &tokens.all {
+        if matches!(t.kind, TokenKind::Comment(_)) {
+            continue;
+        }
+        line_tokens
+            .entry(t.line)
+            .and_modify(|(_, last)| *last = t.kind.clone())
+            .or_insert_with(|| (t.kind.clone(), t.kind.clone()));
+    }
+    let code_lines: BTreeSet<u32> = line_tokens.keys().copied().collect();
+    // A line holding nothing but an attribute: starts with `#`, ends with
+    // `]`. Standalone allows bind *through* these to the item they gate.
+    let attr_only = |line: u32| -> bool {
+        line_tokens.get(&line).is_some_and(|(first, last)| {
+            matches!(first, TokenKind::Punct('#')) && matches!(last, TokenKind::Punct(']'))
+        })
+    };
+
+    for t in &tokens.all {
+        let TokenKind::Comment(text) = &t.kind else {
+            continue;
+        };
+        // Doc comments are prose — a directive only counts in a plain
+        // `//` / `/* */` comment (lets docs *talk about* the syntax).
+        if text.starts_with("///")
+            || text.starts_with("//!")
+            || text.starts_with("/**")
+            || text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(pos) = text.find("soclint:") else {
+            continue;
+        };
+        let directive = text[pos + "soclint:".len()..].trim();
+        let (rules, file_wide) = match parse_directive(directive) {
+            Ok(parsed) => parsed,
+            Err(msg) => {
+                allows.errors.push((t.line, msg));
+                continue;
+            }
+        };
+        let target = if code_lines.contains(&t.line) {
+            t.line
+        } else {
+            // Standalone comment: bind to the next line that has code,
+            // stepping over attribute-only lines so an allow above
+            // `#[allow(clippy::…)]` still reaches the gated item.
+            match code_lines.range(t.line + 1..).find(|&&l| !attr_only(l)) {
+                Some(&next) => next,
+                None => continue,
+            }
+        };
+        for rule in rules {
+            if file_wide {
+                allows.file_wide.insert(rule);
+            } else {
+                allows.lines.entry(rule).or_default().insert(target);
+            }
+        }
+    }
+    allows
+}
+
+/// Parses the text after `soclint:` — `allow(rule, …) -- reason` or
+/// `allow-file(rule, …) -- reason`.
+fn parse_directive(text: &str) -> Result<(Vec<String>, bool), String> {
+    let (file_wide, rest) = if let Some(rest) = text.strip_prefix("allow-file") {
+        (true, rest)
+    } else if let Some(rest) = text.strip_prefix("allow") {
+        (false, rest)
+    } else {
+        return Err(format!(
+            "unknown soclint directive `{text}`; expected `allow(<rule>) -- <reason>`"
+        ));
+    };
+    let rest = rest.trim_start();
+    let inner = rest
+        .strip_prefix('(')
+        .and_then(|r| r.split_once(')'))
+        .ok_or_else(|| "allow directive needs `(<rule, …>)`".to_string())?;
+    let (list, tail) = inner;
+    let mut rules = Vec::new();
+    for rule in list.split(',') {
+        let rule = rule.trim();
+        if rule.is_empty() {
+            return Err("allow directive lists an empty rule name".to_string());
+        }
+        if !RULE_IDS.contains(&rule) {
+            return Err(format!(
+                "allow directive names unknown rule `{rule}` (known: {})",
+                RULE_IDS.join(", ")
+            ));
+        }
+        rules.push(rule.to_string());
+    }
+    if rules.is_empty() {
+        return Err("allow directive lists no rules".to_string());
+    }
+    let reason = tail
+        .trim()
+        .strip_prefix("--")
+        .map(str::trim)
+        .unwrap_or_default();
+    if reason.is_empty() {
+        return Err(
+            "allow directive is missing its mandatory `-- <reason>`: every exception \
+             must say why it is sound"
+                .to_string(),
+        );
+    }
+    Ok((rules, file_wide))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEARCH_PATH: &str = "crates/tam/src/example.rs";
+    const PARSER_PATH: &str = "crates/tdcsoc/src/planfile.rs";
+
+    fn rules_hit(path: &str, src: &str) -> Vec<String> {
+        lint_source(path, src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn hash_map_flagged_in_search_crate_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_hit(SEARCH_PATH, src), ["hash-collections"]);
+        assert!(rules_hit("crates/robust/src/util.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n  use std::collections::HashMap;\n  fn f() { x.unwrap(); }\n}\n";
+        assert!(rules_hit(SEARCH_PATH, src).is_empty());
+        assert!(rules_hit(PARSER_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_outside_robust() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(rules_hit(SEARCH_PATH, src), ["wall-clock"]);
+        assert!(rules_hit("crates/robust/src/x.rs", src).is_empty());
+        assert!(rules_hit("src/bin/bench_profile.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_paths_only_in_parser_files() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rules_hit(PARSER_PATH, src), ["panic-path"]);
+        assert!(rules_hit(SEARCH_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn free_function_named_expect_is_not_a_panic_path() {
+        // planfile.rs has a local helper `expect(tok, kw, idx)`; only the
+        // *method* `.expect(` panics.
+        let src = "fn f() { expect(a, b, c)?; }\n";
+        assert!(rules_hit(PARSER_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn indexing_flagged_with_get_exempt() {
+        assert_eq!(
+            rules_hit(PARSER_PATH, "fn f(v: &[u32], i: usize) -> u32 { v[i] }\n"),
+            ["unchecked-index"]
+        );
+        assert!(rules_hit(
+            PARSER_PATH,
+            "fn f(v: &[u32], i: usize) -> Option<&u32> { v.get(i) }\n"
+        )
+        .is_empty());
+        // Attributes, macro brackets and types are not index expressions.
+        assert!(rules_hit(
+            PARSER_PATH,
+            "#[derive(Debug)]\nstruct S { a: [u8; 4] }\nfn f() -> Vec<u32> { vec![0; 4] }\n"
+        )
+        .is_empty());
+        // Slice patterns destructure without panicking.
+        assert!(rules_hit(
+            PARSER_PATH,
+            "fn f(v: &[u32]) { for w in v.windows(2) { let [a, b] = w else { return }; g(a, b); } }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn narrowing_casts_flagged() {
+        assert_eq!(
+            rules_hit(PARSER_PATH, "fn f(x: u64) -> u32 { x as u32 }\n"),
+            ["as-narrowing"]
+        );
+        assert!(rules_hit(PARSER_PATH, "fn f(x: u32) -> u64 { x as u64 }\n").is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "use std::collections::HashMap; // soclint: allow(hash-collections) -- keys never iterated\n";
+        assert!(rules_hit(SEARCH_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_binds_to_next_code_line() {
+        let src = "// soclint: allow(hash-collections) -- lookup only, never iterated\nuse std::collections::HashMap;\n";
+        assert!(rules_hit(SEARCH_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_skips_attribute_lines() {
+        let src = "// soclint: allow(hash-collections) -- lookup-only memo\n\
+                   #[allow(clippy::disallowed_types)]\n\
+                   use std::collections::HashMap;\n";
+        assert!(rules_hit(SEARCH_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_do_not_carry_directives() {
+        // Docs may *describe* the syntax without activating it.
+        let src = "/// Suppress with `// soclint: allow(bogus-rule)` and a reason.\nfn f() {}\n";
+        assert!(rules_hit(SEARCH_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_violation() {
+        let src = "use std::collections::HashMap; // soclint: allow(hash-collections)\n";
+        let hits = rules_hit(SEARCH_PATH, src);
+        assert!(hits.contains(&"allow-syntax".to_string()), "{hits:?}");
+        assert!(hits.contains(&"hash-collections".to_string()), "{hits:?}");
+    }
+
+    #[test]
+    fn allow_unknown_rule_is_a_violation() {
+        let src = "fn f() {} // soclint: allow(made-up) -- because\n";
+        assert_eq!(rules_hit(SEARCH_PATH, src), ["allow-syntax"]);
+    }
+
+    #[test]
+    fn allow_file_spans_whole_file() {
+        let src =
+            "// soclint: allow-file(hash-collections) -- audit 2026-08: maps are lookup-only\n\
+                   use std::collections::HashMap;\nfn f() { let x: HashMap<u32, u32>; }\n";
+        assert!(rules_hit(SEARCH_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn allow_does_not_leak_to_other_lines() {
+        let src = "use std::collections::HashMap; // soclint: allow(hash-collections) -- r\n\
+                   use std::collections::HashSet;\n";
+        let hits = lint_source(SEARCH_PATH, src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn deny_header_required_on_lib_roots() {
+        let bare = "pub fn f() {}\n";
+        let hits = rules_hit("crates/tam/src/lib.rs", bare);
+        assert_eq!(hits, ["deny-header", "deny-header"]);
+        let good = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn f() {}\n";
+        assert!(rules_hit("crates/tam/src/lib.rs", good).is_empty());
+        // Non-root files don't need it.
+        assert!(rules_hit("crates/tam/src/other.rs", bare).is_empty());
+    }
+
+    #[test]
+    fn ungated_mod_tests_flagged() {
+        assert_eq!(
+            rules_hit(SEARCH_PATH, "mod tests { fn t() {} }\n"),
+            ["cfg-test-gate"]
+        );
+        assert!(rules_hit(SEARCH_PATH, "#[cfg(test)]\nmod tests { fn t() {} }\n").is_empty());
+    }
+
+    #[test]
+    fn entropy_sources_flagged() {
+        let hits = rules_hit(SEARCH_PATH, "fn f() { let id = thread::current().id(); }\n");
+        assert_eq!(hits, ["os-entropy"]);
+        assert_eq!(
+            rules_hit(
+                SEARCH_PATH,
+                "use std::collections::hash_map::RandomState;\n"
+            ),
+            ["os-entropy"]
+        );
+    }
+
+    #[test]
+    fn nan_compare_flagged() {
+        assert_eq!(
+            rules_hit(SEARCH_PATH, "fn f(a: f64, b: f64) { a.partial_cmp(&b); }\n"),
+            ["nan-compare"]
+        );
+    }
+
+    #[test]
+    fn diagnostics_carry_location_and_sort_stably() {
+        let src = "use std::collections::HashSet;\nuse std::collections::HashMap;\n";
+        let hits = lint_source(SEARCH_PATH, src);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].line, 1);
+        assert_eq!(hits[1].line, 2);
+        assert_eq!(
+            hits[0].to_string(),
+            format!("{SEARCH_PATH}:1: [hash-collections] {}", hits[0].message)
+        );
+    }
+
+    #[test]
+    fn strings_and_comments_never_trigger() {
+        let src =
+            "fn f() -> &'static str { \"HashMap Instant::now .unwrap()\" }\n// HashMap in prose\n";
+        assert!(rules_hit(SEARCH_PATH, src).is_empty());
+        assert!(rules_hit(PARSER_PATH, src).is_empty());
+    }
+}

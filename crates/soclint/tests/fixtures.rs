@@ -1,0 +1,90 @@
+//! Fixture suite: every rule has one failing and one passing fixture under
+//! `tests/fixtures/<rule>/`, linted at an emulated workspace-relative path
+//! (scoping is path-based, so the path picks which contracts apply). The
+//! final test self-applies the linter to the shipped workspace.
+
+use std::fs;
+use std::path::Path;
+
+use soclint::{lint_source, lint_workspace, RULE_IDS};
+
+/// The workspace-relative path each rule's fixtures pretend to live at.
+fn emulated_path(rule: &str) -> &'static str {
+    match rule {
+        "hash-collections" | "wall-clock" | "allow-syntax" => "crates/tam/src/fixture.rs",
+        "os-entropy" => "crates/parpool/src/fixture.rs",
+        "nan-compare" => "crates/selenc/src/fixture.rs",
+        "panic-path" | "unchecked-index" => "crates/tdcsoc/src/planfile.rs",
+        "as-narrowing" => "crates/soc-model/src/itc02.rs",
+        "deny-header" => "crates/tam/src/lib.rs",
+        "cfg-test-gate" => "crates/wrapper/src/fit.rs",
+        other => panic!("no fixture path mapped for rule {other:?}"),
+    }
+}
+
+fn fixture(rule: &str, which: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule)
+        .join(format!("{which}.rs"));
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn every_rule_has_a_tripping_fixture() {
+    for &rule in RULE_IDS {
+        let diags = lint_source(emulated_path(rule), &fixture(rule, "fail"));
+        assert!(
+            diags.iter().any(|d| d.rule == rule),
+            "fixtures/{rule}/fail.rs must trip `{rule}`, got: {diags:?}"
+        );
+        assert!(
+            diags.iter().all(|d| d.rule == rule),
+            "fixtures/{rule}/fail.rs must trip only `{rule}`, got: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_a_clean_fixture() {
+    for &rule in RULE_IDS {
+        let diags = lint_source(emulated_path(rule), &fixture(rule, "pass"));
+        assert!(
+            diags.is_empty(),
+            "fixtures/{rule}/pass.rs must lint clean, got: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn diagnostics_carry_file_line_and_known_rule() {
+    let diags = lint_source(emulated_path("panic-path"), &fixture("panic-path", "fail"));
+    let d = diags.first().expect("fail fixture trips");
+    assert_eq!(d.file, "crates/tdcsoc/src/planfile.rs");
+    assert!(d.line >= 1);
+    assert!(RULE_IDS.contains(&d.rule.as_str()));
+    assert_eq!(
+        d.to_string(),
+        format!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message)
+    );
+}
+
+/// The acceptance gate: the tree as shipped carries zero violations, so any
+/// regression shows up as a test failure, not just a CI lint step.
+#[test]
+fn shipped_workspace_is_violation_free() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/soclint sits two levels under the workspace root");
+    let diags = lint_workspace(root).expect("workspace walk");
+    assert!(
+        diags.is_empty(),
+        "workspace must lint clean:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,4 @@
+pub fn noisy() -> u32 {
+    // soclint: allow(hash-collections)
+    0
+}

@@ -1,0 +1,5 @@
+// soclint: allow-file(hash-collections) -- fixture demonstrating a well-formed file-wide suppression
+
+use std::collections::HashMap;
+
+pub type Lookup = HashMap<u32, u32>;

@@ -1,0 +1,3 @@
+pub fn module_count(modules: &[String]) -> u32 {
+    modules.len() as u32
+}

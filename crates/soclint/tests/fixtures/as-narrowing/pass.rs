@@ -1,0 +1,3 @@
+pub fn module_count(modules: &[String]) -> u32 {
+    u32::try_from(modules.len()).unwrap_or(u32::MAX)
+}

@@ -1,0 +1,6 @@
+//! A crate root missing the contract header.
+
+/// The answer.
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,9 @@
+//! A crate root carrying the contract header.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// The answer.
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,7 @@
+pub fn best(scores: &[f64]) -> Option<usize> {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+        .map(|(i, _)| i)
+}

@@ -1,0 +1,3 @@
+pub fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id())
+}

@@ -1,0 +1,3 @@
+pub fn worker_tag(index: usize) -> String {
+    format!("worker-{index}")
+}

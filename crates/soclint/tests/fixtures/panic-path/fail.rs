@@ -1,0 +1,3 @@
+pub fn parse_width(field: &str) -> u32 {
+    field.trim().parse().unwrap()
+}

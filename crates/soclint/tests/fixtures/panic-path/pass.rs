@@ -1,0 +1,3 @@
+pub fn parse_width(field: &str) -> Result<u32, std::num::ParseIntError> {
+    field.trim().parse()
+}

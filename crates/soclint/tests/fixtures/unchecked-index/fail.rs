@@ -1,0 +1,3 @@
+pub fn first_two(fields: &[u32]) -> (u32, u32) {
+    (fields[0], fields[1])
+}

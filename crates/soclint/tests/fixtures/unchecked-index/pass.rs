@@ -1,0 +1,6 @@
+pub fn first_two(fields: &[u32]) -> Option<(u32, u32)> {
+    match (fields.first(), fields.get(1)) {
+        (Some(&a), Some(&b)) => Some((a, b)),
+        _ => None,
+    }
+}

@@ -1,0 +1,7 @@
+use std::time::Instant;
+
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}

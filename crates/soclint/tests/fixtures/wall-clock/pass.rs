@@ -1,0 +1,3 @@
+pub fn remaining_us(deadline_us: u64, now_us: u64) -> u64 {
+    deadline_us.saturating_sub(now_us)
+}

@@ -828,8 +828,8 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        use std::collections::HashSet;
-        let labels: HashSet<String> = [
+        use std::collections::BTreeSet;
+        let labels: BTreeSet<String> = [
             CompressionMode::None,
             CompressionMode::PerCore,
             CompressionMode::PerTam,
@@ -914,8 +914,8 @@ mod select_tests {
 
     #[test]
     fn technique_labels_are_distinct() {
-        use std::collections::HashSet;
-        let labels: HashSet<&str> = [
+        use std::collections::BTreeSet;
+        let labels: BTreeSet<&str> = [
             Technique::Raw,
             Technique::SelectiveEncoding,
             Technique::Reseeding,

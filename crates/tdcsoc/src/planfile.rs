@@ -127,7 +127,10 @@ pub fn parse_plan(text: &str) -> Result<Plan, ParsePlanError> {
             Some(other) => {
                 return Err(err(idx + 1, &format!("unknown keyword `{other}`")));
             }
-            None => unreachable!("empty lines are skipped"),
+            // Whitespace-only lines have no first token; they were already
+            // skipped above, but a `continue` costs nothing and keeps this
+            // parser free of panic paths.
+            None => continue,
         }
     }
 
@@ -163,10 +166,11 @@ pub fn parse_plan(text: &str) -> Result<Plan, ParsePlanError> {
             schedule.tests().iter().filter(|t| t.tam == tam).collect();
         slots.sort_by_key(|t| t.start);
         for pair in slots.windows(2) {
+            let [first, second] = pair else { continue };
             // checked_add: a corrupt file can carry start/duration pairs
             // that overflow u64 — reject, never panic.
-            match pair[0].start.checked_add(pair[0].duration) {
-                Some(end) if end <= pair[1].start => {}
+            match first.start.checked_add(first.duration) {
+                Some(end) if end <= second.start => {}
                 Some(_) => return Err(err(0, &format!("cores overlap on TAM {tam}"))),
                 None => {
                     return Err(err(
@@ -187,7 +191,10 @@ pub fn parse_plan(text: &str) -> Result<Plan, ParsePlanError> {
     // authoritative.
     let widths = schedule.tam_widths().to_vec();
     for s in &mut settings {
-        s.tam_width = widths[s.tam];
+        // In range: every `s.tam` was validated against the schedule above.
+        if let Some(&w) = widths.get(s.tam) {
+            s.tam_width = w;
+        }
     }
     Ok(Plan {
         mode,

@@ -197,6 +197,8 @@ impl Planner {
         request: &PlanRequest,
         control: &PlanControl,
     ) -> Result<Plan, PlanError> {
+        // soclint: allow(wall-clock) -- stamps the reported cpu_time only; no search decision reads it
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         let width = request.budget.width();
         if width == 0 {
@@ -877,6 +879,8 @@ mod tests {
         // (or interrupted), and return promptly.
         let soc = Design::P93791.build_with_cubes(11);
         let req = fast(PlanRequest::tam_width(32));
+        // Asserting the deadline is honoured requires reading the clock.
+        #[allow(clippy::disallowed_methods)]
         let t0 = Instant::now();
         let plan = Planner::per_core_tdc()
             .plan_with(

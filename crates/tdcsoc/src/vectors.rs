@@ -62,8 +62,11 @@ impl TamImage {
     ///
     /// # Panics
     ///
-    /// Panics if `cycle` is out of range.
+    /// Panics if `cycle` is out of range. Untrusted reads inside
+    /// [`verify_image`] go through its bounds-checked `read` closure; this
+    /// accessor is for callers iterating `0..cycles()`.
     pub fn word(&self, cycle: u64) -> u64 {
+        // soclint: allow(unchecked-index) -- documented panic on a trusted in-range accessor; untrusted reads are bounds-checked at the call site
         self.words[cycle as usize]
     }
 
@@ -71,15 +74,28 @@ impl TamImage {
     ///
     /// # Panics
     ///
-    /// Panics if `cycle` or `wire` is out of range.
+    /// Panics if `cycle` or `wire` is out of range (same contract as
+    /// [`word`](Self::word)).
     pub fn bit(&self, cycle: u64, wire: u32) -> bool {
         assert!(wire < self.width, "wire {wire} out of range");
+        // soclint: allow(unchecked-index) -- documented panic on a trusted in-range accessor; untrusted reads are bounds-checked at the call site
         self.words[cycle as usize] >> wire & 1 == 1
     }
 
-    fn set_word(&mut self, cycle: u64, word: u64) {
+    /// Bounds-checked write: a plan whose slots disagree with its declared
+    /// makespan must surface as a typed error, not an exporter panic.
+    fn set_word(&mut self, cycle: u64, word: u64) -> Result<(), ImageError> {
         debug_assert!(word < (1u128 << self.width) as u64 || self.width == 64);
-        self.words[cycle as usize] = word;
+        match self.words.get_mut(cycle as usize) {
+            Some(slot) => {
+                *slot = word;
+                Ok(())
+            }
+            None => Err(ImageError::StreamOutOfBounds {
+                cycle,
+                cycles: self.words.len() as u64,
+            }),
+        }
     }
 
     /// Stored volume in bits (`width × cycles`).
@@ -167,6 +183,23 @@ pub enum ImageError {
         /// The cap.
         max: u64,
     },
+    /// A core's stream references a TAM the plan's schedule does not have.
+    UnknownTam {
+        /// The offending core's name.
+        core: String,
+        /// The referenced TAM index.
+        tam: usize,
+        /// TAMs in the schedule.
+        tams: usize,
+    },
+    /// A core's slot writes past the image depth the plan declared — the
+    /// plan's start/time fields are inconsistent with its makespan.
+    StreamOutOfBounds {
+        /// The out-of-range cycle.
+        cycle: u64,
+        /// Cycles the image actually has.
+        cycles: u64,
+    },
 }
 
 impl fmt::Display for ImageError {
@@ -206,6 +239,19 @@ impl fmt::Display for ImageError {
             }
             ImageError::ImageTooLarge { cycles, max } => {
                 write!(f, "image depth {cycles} cycles exceeds the {max}-cycle cap")
+            }
+            ImageError::UnknownTam { core, tam, tams } => {
+                write!(
+                    f,
+                    "core {core:?} references TAM {tam} but the plan has {tams}"
+                )
+            }
+            ImageError::StreamOutOfBounds { cycle, cycles } => {
+                write!(
+                    f,
+                    "stream writes cycle {cycle} but the image ends at {cycles} \
+                     (plan slots disagree with its makespan)"
+                )
             }
         }
     }
@@ -298,14 +344,21 @@ pub fn export_image(soc: &Soc, plan: &Plan) -> Result<TesterImage, ImageError> {
                 needed: layout.shift_cycles,
             });
         }
-        let image = &mut tams[setting.tam];
+        let tam_count = tams.len();
+        let image = tams
+            .get_mut(setting.tam)
+            .ok_or_else(|| ImageError::UnknownTam {
+                core: setting.name.clone(),
+                tam: setting.tam,
+                tams: tam_count,
+            })?;
         let mut cycle = setting.start;
         match layout.code {
             Some(code) => {
                 let enc = Encoder::new(code);
                 for cube in test_set.iter() {
                     for cw in encode_cube(&enc, &layout.design, cube) {
-                        image.set_word(cycle, cw.pack(code));
+                        image.set_word(cycle, cw.pack(code))?;
                         cycle += 1;
                     }
                 }
@@ -321,7 +374,7 @@ pub fn export_image(soc: &Soc, plan: &Plan) -> Result<TesterImage, ImageError> {
                                 }
                             }
                         }
-                        image.set_word(cycle, word);
+                        image.set_word(cycle, word)?;
                         cycle += 1;
                     }
                 }
@@ -424,7 +477,11 @@ fn check_slice(
 ) -> Result<(), ImageError> {
     for (k, chain) in design.chains().iter().enumerate() {
         if let Some(pos) = chain.position_at(depth) {
-            if !cube.get(pos as usize).accepts(slice[k]) {
+            let applied = slice.get(k).ok_or_else(|| ImageError::MalformedStream {
+                core: setting.name.clone(),
+                detail: format!("decoded slice has {} chains, expected {k}+", slice.len()),
+            })?;
+            if !cube.get(pos as usize).accepts(*applied) {
                 return Err(ImageError::CareBitViolated {
                     core: setting.name.clone(),
                     pattern,
@@ -506,7 +563,7 @@ mod tests {
         let mask = (1u64 << image.tams[s.tam].width()) - 1;
         for cycle in s.start..s.start + s.test_time.min(200) {
             let w = image.tams[s.tam].word(cycle);
-            image.tams[s.tam].set_word(cycle, !w & mask);
+            image.tams[s.tam].set_word(cycle, !w & mask).unwrap();
         }
         let err = verify_image(&image, &soc, &plan).unwrap_err();
         assert!(matches!(err, ImageError::CareBitViolated { .. }), "{err}");

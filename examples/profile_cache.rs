@@ -4,6 +4,9 @@
 //!
 //! Run with `cargo run --release --example profile_cache`.
 
+// Demo timing build-vs-load: reading the wall clock is the point.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use soc_tdc::model::{benchmarks, generator::synthesize_missing_test_sets, Soc};

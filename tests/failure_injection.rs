@@ -253,3 +253,41 @@ fn shrunk_slots_are_rejected_at_export() {
         Err(ImageError::SlotOverflow { .. })
     ));
 }
+
+/// A hand-corrupted plan pointing a core at a TAM that doesn't exist must
+/// surface as the typed [`ImageError::UnknownTam`] — this exact input used
+/// to panic `export_image` through direct `tams[setting.tam]` indexing.
+#[test]
+fn dangling_tam_reference_is_a_typed_error() {
+    let soc = small_soc(11);
+    let mut plan = Planner::no_tdc()
+        .plan(&soc, &PlanRequest::tam_width(8))
+        .unwrap();
+    let tams = plan.tam_count();
+    plan.core_settings[0].tam = tams + 5;
+    match export_image(&soc, &plan) {
+        Err(ImageError::UnknownTam { tam, tams: got, .. }) => {
+            assert_eq!(tam, tams + 5);
+            assert_eq!(got, tams);
+        }
+        other => panic!("expected UnknownTam, got {other:?}"),
+    }
+}
+
+/// A slot shifted past the plan's makespan must surface as the typed
+/// [`ImageError::StreamOutOfBounds`] — previously an out-of-bounds panic in
+/// the tester image's word table.
+#[test]
+fn slot_past_makespan_is_a_typed_error() {
+    let soc = small_soc(13);
+    let mut plan = Planner::no_tdc()
+        .plan(&soc, &PlanRequest::tam_width(8))
+        .unwrap();
+    plan.core_settings[0].start = plan.test_time;
+    match export_image(&soc, &plan) {
+        Err(ImageError::StreamOutOfBounds { cycle, cycles }) => {
+            assert!(cycle >= cycles, "reported cycle {cycle} within {cycles}");
+        }
+        other => panic!("expected StreamOutOfBounds, got {other:?}"),
+    }
+}
