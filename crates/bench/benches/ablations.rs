@@ -11,6 +11,8 @@
 //! 3. encoder modes — full selective encoding vs. single-bit mode only;
 //! 4. architecture refinement — hill-climbing on vs. off.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

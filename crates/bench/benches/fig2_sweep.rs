@@ -1,6 +1,8 @@
 //! Figure 2 bench: cost of evaluating one (w, m) operating point — the
 //! inner loop of the per-core lookup-table builder.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

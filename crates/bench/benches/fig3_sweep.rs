@@ -1,6 +1,8 @@
 //! Figure 3 bench: building a complete per-core (w, m) lookup table —
 //! the paper's §3 steps 1–2 for one core.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

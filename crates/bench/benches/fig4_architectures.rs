@@ -1,6 +1,8 @@
 //! Figure 4 bench: planning the same industrial design under the three
 //! architecture styles (no TDC / decompressor per TAM / per core).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

@@ -2,6 +2,8 @@
 //! from. Useful for tracking performance regressions independently of the
 //! experiment-level benches.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

@@ -1,6 +1,8 @@
 //! Table 1 bench: ATE-channel-constrained planning on d695 for the
 //! proposed method and both comparison baselines.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

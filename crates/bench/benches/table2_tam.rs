@@ -1,6 +1,8 @@
 //! Table 2 bench: TAM-width-constrained planning on d695, including the
 //! LFSR-reseeding baseline (GF(2) solving dominates its cost).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

@@ -1,6 +1,8 @@
 //! Table 3 bench: the headline with-vs-without-TDC planning runs on an
 //! industrial-like SOC (the paper's "CPU time" columns).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

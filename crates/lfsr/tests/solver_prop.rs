@@ -3,6 +3,8 @@
 //! correctly — enforced internally — and solvability is monotone in the
 //! LFSR length).
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 
 use lfsr::{compress_reseeding, Gf2Solver, Gf2Vec, Lfsr, PhaseShifter, ReseedOptions};

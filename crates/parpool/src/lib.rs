@@ -126,16 +126,19 @@ impl Pool {
                         if token.is_cancelled() {
                             break;
                         }
+                        // soclint: allow(capture-mut, relaxed-ordering) -- the ticket counter only decides which worker *claims* task i; every result lands in its own index slot, so the returned Vec is task-ordered for any claim order
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
+                        // soclint: allow(capture-mut) -- per-index slot, taken exactly once by the claiming worker; no two workers touch the same slot
                         let task = queue[i]
                             .lock()
                             .expect("task slot poisoned")
                             .take()
                             .expect("task claimed twice");
                         let result = task();
+                        // soclint: allow(capture-mut) -- write-once into the claimed index's own slot; the pool is exactly the sanctioned reduce-by-job-index mechanism this rule steers users toward
                         *results[i].lock().expect("result slot poisoned") = Some(result);
                     })
                 })

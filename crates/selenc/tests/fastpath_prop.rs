@@ -6,6 +6,8 @@
 //! these are the invariants that let the planner run the fast path
 //! unconditionally.
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 
 use selenc::{

@@ -2,6 +2,8 @@
 //! never panic — they either decode or produce a typed error — and valid
 //! streams produced by the encoder always decode.
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 
 use selenc::{Codeword, DecodeError, Decompressor, Encoder, SliceCode};

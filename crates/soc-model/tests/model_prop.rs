@@ -2,6 +2,8 @@
 //! checked against a naive `Vec<Trit>` model, the cube generator against
 //! its statistical contract, and the text format against roundtripping.
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 
 use soc_model::format::{parse_soc, write_soc};

@@ -21,13 +21,19 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod captures;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod scope;
+pub mod taint;
 
 use std::path::{Path, PathBuf};
 
-pub use rules::{lint_source, Diagnostic, RULE_IDS};
+pub use rules::{
+    lint_source, Diagnostic, BANNED_CLOCK_TYPES, BANNED_ENTROPY_SOURCES, BANNED_HASH_TYPES,
+    RULE_IDS,
+};
 
 /// Directories under the workspace root that contain lintable Rust code.
 const LINT_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
@@ -62,6 +68,18 @@ impl std::error::Error for WalkError {}
 /// Fails on unreadable directories or files; a clean workspace on a
 /// healthy filesystem never errors.
 pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, WalkError> {
+    lint_workspace_with(root, 1)
+}
+
+/// [`lint_workspace`] with an explicit worker count. Files are linted as
+/// independent `parpool` jobs; the results come back in task order and
+/// are then sorted, so the diagnostics are byte-identical at any worker
+/// count — soclint holds itself to the same contract it lints for.
+///
+/// # Errors
+///
+/// Fails on unreadable directories or files, like [`lint_workspace`].
+pub fn lint_workspace_with(root: &Path, workers: usize) -> Result<Vec<Diagnostic>, WalkError> {
     let mut files = Vec::new();
     for dir in LINT_ROOTS {
         let base = root.join(dir);
@@ -70,15 +88,24 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, WalkError> {
         }
     }
     files.sort();
-    let mut out = Vec::new();
-    for rel in files {
-        let full = root.join(&rel);
+    // Read sequentially (I/O errors must abort deterministically), lint
+    // in parallel (pure CPU per file).
+    let mut sources = Vec::with_capacity(files.len());
+    for rel in &files {
+        let full = root.join(rel);
         let source = std::fs::read_to_string(&full).map_err(|e| WalkError {
             path: full.clone(),
             message: e.to_string(),
         })?;
-        out.extend(lint_source(&rel, &source));
+        sources.push(source);
     }
+    let pool = parpool::Pool::with_workers(workers);
+    let tasks: Vec<_> = files
+        .iter()
+        .zip(&sources)
+        .map(|(rel, source)| move || lint_source(rel, source))
+        .collect();
+    let mut out: Vec<Diagnostic> = pool.run(tasks).into_iter().flatten().collect();
     out.sort();
     Ok(out)
 }

@@ -14,7 +14,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use soclint::{lint_source, lint_workspace, to_json, Diagnostic, RULE_IDS};
+use soclint::{lint_source, lint_workspace_with, to_json, Diagnostic, RULE_IDS};
 
 fn main() -> ExitCode {
     let mut json = false;
@@ -22,6 +22,7 @@ fn main() -> ExitCode {
     let mut files: Vec<String> = Vec::new();
     let mut workspace = false;
     let mut at: Option<String> = None;
+    let mut workers = 1usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -35,6 +36,10 @@ fn main() -> ExitCode {
             "--at" => match args.next() {
                 Some(p) => at = Some(p.replace('\\', "/")),
                 None => return usage("--at needs a workspace-relative path"),
+            },
+            "--workers" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => workers = n,
+                _ => return usage("--workers needs a positive integer"),
             },
             "--list-rules" => {
                 for id in RULE_IDS {
@@ -60,7 +65,7 @@ fn main() -> ExitCode {
     let mut diags: Vec<Diagnostic> = Vec::new();
 
     if workspace {
-        match lint_workspace(&root) {
+        match lint_workspace_with(&root, workers) {
             Ok(d) => diags.extend(d),
             Err(e) => {
                 eprintln!("soclint: {e}");
@@ -131,12 +136,14 @@ const HELP: &str = "\
 soclint — workspace contract linter (determinism / robustness / hygiene)
 
 USAGE:
-    soclint --workspace [--json] [--root PATH]
+    soclint --workspace [--json] [--root PATH] [--workers N]
     soclint [--root PATH] [--at PATH] FILE...
 
 OPTIONS:
     --workspace    Lint every .rs file under crates/, src/, tests/, examples/
     --json         Emit a JSON array instead of text diagnostics
+    --workers N    Lint files on N parpool workers (default 1; the report
+                   is byte-identical at any worker count)
     --root PATH    Workspace root (default: nearest [workspace] Cargo.toml)
     --at PATH      Lint the (single) FILE as if it lived at this
                    workspace-relative path; rule scoping is path-based, so

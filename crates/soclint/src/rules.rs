@@ -12,9 +12,18 @@
 //! | `panic-path` | untrusted parsers | no `unwrap`/`expect`/`panic!`-family |
 //! | `unchecked-index` | untrusted parsers | no `expr[...]` indexing — use `get` |
 //! | `as-narrowing` | untrusted parsers | no narrowing `as` casts — use `try_from` |
-//! | `deny-header` | `crates/*/src/lib.rs` | crate root carries the agreed `#![forbid]`/`#![deny]` header |
+//! | `taint-arith` | untrusted parsers | parsed values must not reach raw `+`/`-`/`*` — use `checked_*` |
+//! | `taint-index` | untrusted parsers | parsed values must not reach index/`split_at` sinks unguarded |
+//! | `capture-mut` | capture crates | job thunks must not mutate captured shared state |
+//! | `relaxed-ordering` | determinism crates | no `Ordering::Relaxed` — results may vary per run |
+//! | `order-sensitive-reduce` | capture crates | no reductions over completion-order streams |
+//! | `deny-header` | crate/bin/test roots | root carries the agreed `#![forbid]`(/`#![deny]`) header |
 //! | `cfg-test-gate` | all library code | `mod tests` must be `#[cfg(test)]`-gated |
 //! | `allow-syntax` | everywhere | suppressions must name known rules and carry `-- <reason>` |
+//!
+//! The first seven are token-pattern rules; `taint-*` and the capture
+//! family run on the pass-1 tree from [`crate::parse`] (see
+//! [`crate::taint`] and [`crate::captures`]).
 //!
 //! Suppression: `// soclint: allow(rule-a, rule-b) -- reason`. A trailing
 //! comment suppresses its own line; a comment alone on a line suppresses
@@ -36,9 +45,43 @@ pub const RULE_IDS: &[&str] = &[
     "panic-path",
     "unchecked-index",
     "as-narrowing",
+    "taint-arith",
+    "taint-index",
+    "capture-mut",
+    "relaxed-ordering",
+    "order-sensitive-reduce",
     "deny-header",
     "cfg-test-gate",
     "allow-syntax",
+];
+
+/// Hash-ordered collection types banned in determinism crates
+/// (`hash-collections`). `clippy.toml`'s `disallowed-types` must stay a
+/// subset of this list — `tests/clippy_sync.rs` pins the two layers
+/// together.
+pub const BANNED_HASH_TYPES: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "FxHashMap",
+    "FxHashSet",
+    "IndexMap",
+    "IndexSet",
+    "DefaultHasher",
+];
+
+/// Types whose `::now` constructor is banned outside `robust`/bench code
+/// (`wall-clock`). Mirrored by `clippy.toml`'s `disallowed-methods`.
+pub const BANNED_CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+
+/// Entropy / scheduler-identity sources banned outside `robust`/bench
+/// code (`os-entropy`).
+pub const BANNED_ENTROPY_SOURCES: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "getrandom",
+    "OsRng",
+    "ThreadId",
+    "RandomState",
 ];
 
 /// One finding: file, 1-based line, rule id, human-readable message.
@@ -127,8 +170,27 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
         check_test_gate(&scope, toks, &sig, si, t, &spans, &mut push);
     }
 
+    // Flow-aware passes on the pass-1 tree. The parse only runs for files
+    // some flow rule actually scopes to — the token rules above don't
+    // need it.
+    if scope.untrusted_parser || scope.capture_checked {
+        let ast = crate::parse::parse(&tokens);
+        if scope.untrusted_parser {
+            crate::taint::check(&ast, toks, &in_test, &mut push);
+        }
+        if scope.capture_checked {
+            crate::captures::check_captures(&ast, toks, &in_test, &mut push);
+            crate::captures::check_reductions(toks, &sig, &in_test, &mut push);
+        }
+    }
+    if scope.determinism {
+        crate::captures::check_orderings(toks, &sig, &in_test, &mut push);
+    }
+
     if scope.lib_root {
-        check_deny_header(&tokens, &mut push);
+        check_deny_header(&tokens, true, &mut push);
+    } else if scope.bin_root {
+        check_deny_header(&tokens, false, &mut push);
     }
 
     out.sort();
@@ -147,16 +209,7 @@ fn check_determinism(
 ) {
     let Some(name) = t.ident() else { return };
     if scope.determinism {
-        const HASHED: &[&str] = &[
-            "HashMap",
-            "HashSet",
-            "FxHashMap",
-            "FxHashSet",
-            "IndexMap",
-            "IndexSet",
-            "DefaultHasher",
-        ];
-        if HASHED.contains(&name) {
+        if BANNED_HASH_TYPES.contains(&name) {
             push(
                 "hash-collections",
                 t.line,
@@ -177,7 +230,7 @@ fn check_determinism(
         }
     }
     if scope.wall_clock_banned {
-        if (name == "Instant" || name == "SystemTime") && followed_by_path(toks, sig, si, "now") {
+        if BANNED_CLOCK_TYPES.contains(&name) && followed_by_path(toks, sig, si, "now") {
             push(
                 "wall-clock",
                 t.line,
@@ -187,15 +240,7 @@ fn check_determinism(
                 ),
             );
         }
-        const ENTROPY: &[&str] = &[
-            "thread_rng",
-            "from_entropy",
-            "getrandom",
-            "OsRng",
-            "ThreadId",
-            "RandomState",
-        ];
-        if ENTROPY.contains(&name) {
+        if BANNED_ENTROPY_SOURCES.contains(&name) {
             push(
                 "os-entropy",
                 t.line,
@@ -339,8 +384,15 @@ fn check_test_gate(
     }
 }
 
-/// Hygiene: the crate root must carry the agreed lint header.
-fn check_deny_header(tokens: &crate::lexer::Tokens, push: &mut impl FnMut(&str, u32, String)) {
+/// Hygiene: compilation roots must carry the agreed lint header. Library
+/// crate roots (`require_docs`) need both attributes; binary/test/example
+/// roots need `#![forbid(unsafe_code)]` only (doc coverage is not
+/// enforced on harnesses).
+fn check_deny_header(
+    tokens: &crate::lexer::Tokens,
+    require_docs: bool,
+    push: &mut impl FnMut(&str, u32, String),
+) {
     let sig = tokens.significant();
     let toks = &tokens.all;
     let mut has_forbid_unsafe = false;
@@ -358,18 +410,23 @@ fn check_deny_header(tokens: &crate::lexer::Tokens, push: &mut impl FnMut(&str, 
             }
         }
     }
+    let kind = if require_docs {
+        "library crate root"
+    } else {
+        "binary/test root"
+    };
     if !has_forbid_unsafe {
         push(
             "deny-header",
             1,
-            "library crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+            format!("{kind} lacks `#![forbid(unsafe_code)]`"),
         );
     }
-    if !has_deny_missing_docs {
+    if require_docs && !has_deny_missing_docs {
         push(
             "deny-header",
             1,
-            "library crate root lacks `#![deny(missing_docs)]`".to_string(),
+            format!("{kind} lacks `#![deny(missing_docs)]`"),
         );
     }
 }
@@ -568,7 +625,9 @@ mod tests {
         let src = "fn f() { let t = Instant::now(); }\n";
         assert_eq!(rules_hit(SEARCH_PATH, src), ["wall-clock"]);
         assert!(rules_hit("crates/robust/src/x.rs", src).is_empty());
-        assert!(rules_hit("src/bin/bench_profile.rs", src).is_empty());
+        // Bench bins may read clocks (they still owe the bin-root header,
+        // checked separately).
+        assert!(!rules_hit("src/bin/bench_profile.rs", src).contains(&"wall-clock".to_string()));
     }
 
     #[test]
@@ -730,6 +789,63 @@ mod tests {
             hits[0].to_string(),
             format!("{SEARCH_PATH}:1: [hash-collections] {}", hits[0].message)
         );
+    }
+
+    #[test]
+    fn taint_rules_scope_to_parser_files_only() {
+        let src = "fn f(s: &str) -> u64 { let n: u64 = s.parse().ok()?; n + 1 }\n";
+        assert_eq!(rules_hit(PARSER_PATH, src), ["taint-arith"]);
+        assert!(rules_hit(SEARCH_PATH, src).is_empty());
+        assert!(rules_hit("crates/robust/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn capture_rules_scope_to_capture_crates_only() {
+        let src = "fn f() { s.spawn(move || { shared.lock().push(1); }); }\n";
+        assert_eq!(
+            rules_hit("crates/parpool/src/pool.rs", src),
+            ["capture-mut"]
+        );
+        assert_eq!(rules_hit(SEARCH_PATH, src), ["capture-mut"]);
+        assert!(rules_hit("crates/robust/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_scopes_to_determinism_crates() {
+        let src = "fn f(n: &AtomicU64) { n.fetch_add(1, Ordering::Relaxed); }\n";
+        assert_eq!(rules_hit(SEARCH_PATH, src), ["relaxed-ordering"]);
+        // `robust` owns cancellation flags; relaxed there is fine.
+        assert!(rules_hit("crates/robust/src/cancel.rs", src).is_empty());
+    }
+
+    #[test]
+    fn order_sensitive_reduce_flagged_in_capture_crates() {
+        let src = "fn f(rx: Receiver<R>) { let best = rx.try_iter().min_by_key(|r| r.cost); }\n";
+        assert_eq!(
+            rules_hit("crates/tam/src/example.rs", src),
+            ["order-sensitive-reduce"]
+        );
+        assert!(rules_hit("crates/robust/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn taint_allow_suppresses_with_reason() {
+        let src = "fn f(s: &str) -> u64 { let n: u64 = s.parse().ok()?; \
+                   n + 1 // soclint: allow(taint-arith) -- n parsed from a 3-digit field\n }\n";
+        assert!(rules_hit(PARSER_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn bin_roots_need_forbid_unsafe_only() {
+        let bare = "fn main() { run(); }\n";
+        assert_eq!(rules_hit("src/bin/soc_tdc.rs", bare), ["deny-header"]);
+        assert_eq!(rules_hit("tests/smoke.rs", bare), ["deny-header"]);
+        assert_eq!(rules_hit("crates/tam/tests/prop.rs", bare), ["deny-header"]);
+        let good = "#![forbid(unsafe_code)]\nfn main() { run(); }\n";
+        assert!(rules_hit("src/bin/soc_tdc.rs", good).is_empty());
+        assert!(rules_hit("tests/smoke.rs", good).is_empty());
+        // Missing docs is NOT required on bin roots.
+        assert!(!rules_hit("tests/smoke.rs", good).contains(&"deny-header".to_string()));
     }
 
     #[test]

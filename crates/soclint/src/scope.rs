@@ -30,13 +30,18 @@ pub const WALL_CLOCK_CRATES: &[&str] = &["robust", "criterion", "bench"];
 
 /// Files that parse untrusted input end to end; panicking there turns bad
 /// input into a crash, so `unwrap`/`expect`/`panic!`/unguarded indexing
-/// and unchecked `as` narrowing are banned outright.
+/// and unchecked `as` narrowing are banned outright. The flow-aware
+/// taint rules (`taint-arith`, `taint-index`) run on the same set.
 pub const UNTRUSTED_PARSER_FILES: &[&str] = &[
     "crates/tdcsoc/src/planfile.rs",
     "crates/tdcsoc/src/vectors.rs",
     "crates/soc-model/src/itc02.rs",
     "crates/soc-model/src/patfile.rs",
 ];
+
+/// Crates that build or submit `parpool` job closures; the closure-capture
+/// rules (`capture-mut`, `order-sensitive-reduce`) run here.
+pub const CAPTURE_CRATES: &[&str] = &["parpool", "tam", "tdcsoc"];
 
 /// Everything soclint knows about one file before rules run.
 #[derive(Debug, Clone)]
@@ -52,8 +57,14 @@ pub struct FileScope {
     pub wall_clock_banned: bool,
     /// Robustness (no-panic) rules apply.
     pub untrusted_parser: bool,
-    /// This is a `crates/*/src/lib.rs` — hygiene header required.
+    /// Closure-capture determinism rules apply.
+    pub capture_checked: bool,
+    /// This is a `crates/*/src/lib.rs` — full hygiene header required.
     pub lib_root: bool,
+    /// A binary/test/example root (`src/bin/*.rs`, `tests/*.rs`,
+    /// `examples/*.rs`, `crates/*/{tests,examples,benches}/*.rs`) — the
+    /// `#![forbid(unsafe_code)]` half of the header is required.
+    pub bin_root: bool,
     /// The whole file is test/bench code (under `tests/`, `benches/`, or
     /// an `examples/` directory).
     pub all_test: bool,
@@ -82,7 +93,9 @@ pub fn classify(path: &str) -> FileScope {
         && !all_test
         && !bench_bin;
     let untrusted_parser = UNTRUSTED_PARSER_FILES.contains(&path);
+    let capture_checked = CAPTURE_CRATES.contains(&crate_name.as_str()) && !all_test && !bench_bin;
     let lib_root = path.starts_with("crates/") && path.ends_with("/src/lib.rs");
+    let bin_root = is_bin_root(path);
 
     FileScope {
         path: path.to_string(),
@@ -90,9 +103,37 @@ pub fn classify(path: &str) -> FileScope {
         determinism,
         wall_clock_banned,
         untrusted_parser,
+        capture_checked,
         lib_root,
+        bin_root,
         all_test,
     }
+}
+
+/// True for direct `.rs` children of the binary/test/example roots —
+/// files `rustc` compiles as their own crate, so each needs its own
+/// `#![forbid(unsafe_code)]`.
+fn is_bin_root(path: &str) -> bool {
+    let direct_child_of = |prefix: &str| -> bool {
+        path.strip_prefix(prefix)
+            .is_some_and(|rest| rest.ends_with(".rs") && !rest.contains('/'))
+    };
+    if direct_child_of("tests/") || direct_child_of("examples/") || direct_child_of("src/bin/") {
+        return true;
+    }
+    // crates/<name>/{tests,examples,benches,src/bin}/<file>.rs
+    if let Some(rest) = path.strip_prefix("crates/") {
+        if let Some((_, tail)) = rest.split_once('/') {
+            for dir in ["tests/", "examples/", "benches/", "src/bin/"] {
+                if let Some(file) = tail.strip_prefix(dir) {
+                    if file.ends_with(".rs") && !file.contains('/') {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
 }
 
 /// Line ranges (1-based, inclusive) of `#[cfg(test)]`- or `#[test]`-gated
@@ -265,6 +306,23 @@ mod tests {
 
         let root_test = classify("tests/failure_injection.rs");
         assert!(root_test.all_test);
+    }
+
+    #[test]
+    fn capture_and_bin_root_scoping() {
+        assert!(classify("crates/parpool/src/lib.rs").capture_checked);
+        assert!(classify("crates/tam/src/optimize.rs").capture_checked);
+        assert!(!classify("crates/robust/src/lib.rs").capture_checked);
+        assert!(!classify("crates/parpool/tests/pool.rs").capture_checked);
+
+        assert!(classify("tests/failure_injection.rs").bin_root);
+        assert!(classify("src/bin/bench_profile.rs").bin_root);
+        assert!(classify("examples/plan_demo.rs").bin_root);
+        assert!(classify("crates/tam/tests/portfolio_prop.rs").bin_root);
+        assert!(classify("crates/tam/benches/anneal.rs").bin_root);
+        assert!(!classify("crates/tam/src/optimize.rs").bin_root);
+        assert!(!classify("crates/tam/src/lib.rs").bin_root);
+        assert!(!classify("tests/common/util.rs").bin_root);
     }
 
     #[test]

@@ -1,0 +1,558 @@
+//! Pass 2a: untrusted-input taint analysis for the parser files.
+//!
+//! The robustness contract (DESIGN.md §9) says malformed ITC'02 / plan /
+//! pattern / vector input must surface as typed errors. The token rules
+//! (`panic-path`, `unchecked-index`, `as-narrowing`) ban the *syntactic*
+//! crash sites; this module closes the flow gap: a value that **originates
+//! from a reader or parse call** must not reach
+//!
+//! - an arithmetic sink (`+`, `-`, `*`, including compound assignment)
+//!   outside a `checked_*`/`saturating_*`/`wrapping_*`/`try_from`
+//!   construction → `taint-arith`;
+//! - an indexing sink (`expr[…]`, `copy_from_slice`, `split_at`,
+//!   `split_off`) without a *preceding bounds guard on the same binding*
+//!   → `taint-index`.
+//!
+//! Sources are the direct reader calls (`read_*`, `from_str`, `.parse()`,
+//! `from_le_bytes`-family byte loads) **plus a same-file call summary**:
+//! any function in the file whose body calls a source becomes a source
+//! itself (computed to fixpoint), so `planfile::num` — a thin wrapper
+//! around `str::parse` — taints its callers' bindings exactly like a bare
+//! `.parse()` would. Taint then propagates through `let` bindings in
+//! source order, and every diagnostic renders the full chain
+//! (`sink ← binding ← source call at line N`) so a finding is auditable
+//! without re-running the analysis.
+//!
+//! Known false-negative classes are documented in DESIGN.md §13 (taint
+//! through struct fields, through collections, and across files).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Token, TokenKind};
+use crate::parse::{Ast, FnItem};
+
+/// Method/function names that introduce taint when called.
+fn is_source_name(name: &str) -> bool {
+    name == "parse"
+        || name == "from_str"
+        || name.starts_with("read_")
+        || name == "from_le_bytes"
+        || name == "from_be_bytes"
+        || name == "from_ne_bytes"
+}
+
+/// Names whose call *sanitizes* its result: a binding built through one
+/// of these is range-checked (or explicitly wrapping) and no longer
+/// attacker-steerable into a panic/overflow.
+fn is_sanitizer_name(name: &str) -> bool {
+    name == "try_from"
+        || name == "try_into"
+        || name == "clamp"
+        || name == "min"
+        || name == "len"
+        || name.starts_with("checked_")
+        || name.starts_with("saturating_")
+        || name.starts_with("wrapping_")
+}
+
+/// Call sinks that panic on out-of-range lengths/indices.
+const SLICE_SINKS: &[&str] = &["copy_from_slice", "split_at", "split_at_mut", "split_off"];
+
+/// Where a binding's taint came from, for chain rendering.
+#[derive(Debug, Clone)]
+struct Taint {
+    chain: String,
+}
+
+/// Runs the taint rules over every function in `ast`, reporting through
+/// `push(rule, line, message)`. `in_test` exempts test-span lines.
+pub fn check(
+    ast: &Ast,
+    toks: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    push: &mut dyn FnMut(&str, u32, String),
+) {
+    let sources = derived_sources(ast, toks);
+    for f in &ast.fns {
+        check_fn(f, ast, toks, &sources, in_test, push);
+    }
+}
+
+/// Same-file source summary: seed with the builtin source names, then a
+/// fixpoint over function bodies — a fn that calls a source is a source.
+fn derived_sources(ast: &Ast, toks: &[Token]) -> BTreeSet<String> {
+    let mut sources: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for f in &ast.fns {
+            if sources.contains(&f.name) {
+                continue;
+            }
+            let (start, end) = f.body;
+            let mut calls_source = false;
+            for j in start..end.min(ast.sig.len()) {
+                if let TokenKind::Ident(name) = &toks[ast.sig[j]].kind {
+                    let called = is_call(toks, &ast.sig, j);
+                    if called && (is_source_name(name) || sources.contains(name)) {
+                        calls_source = true;
+                        break;
+                    }
+                }
+            }
+            if calls_source {
+                sources.insert(f.name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            return sources;
+        }
+    }
+}
+
+/// True when the ident at sig index `j` is called: followed by `(`,
+/// optionally through a turbofish (`parse::<u32>(`).
+fn is_call(toks: &[Token], sig: &[usize], j: usize) -> bool {
+    if at(toks, sig, j + 1, '(') {
+        return true;
+    }
+    // `name::<…>(`
+    if at(toks, sig, j + 1, ':') && at(toks, sig, j + 2, ':') && at(toks, sig, j + 3, '<') {
+        let mut depth = 0i32;
+        let mut k = j + 3;
+        while k < sig.len() {
+            match toks[sig[k]].kind {
+                TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return at(toks, sig, k + 1, '(');
+                    }
+                }
+                TokenKind::Punct(';') | TokenKind::Punct('{') => return false,
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    false
+}
+
+fn at(toks: &[Token], sig: &[usize], j: usize, c: char) -> bool {
+    sig.get(j).is_some_and(|&t| toks[t].is_punct(c))
+}
+
+fn ident_at<'t>(toks: &'t [Token], sig: &[usize], j: usize) -> Option<&'t str> {
+    sig.get(j).and_then(|&t| toks[t].ident())
+}
+
+/// The per-function linear dataflow walk. Processing significant tokens
+/// in source order gives flow sensitivity for free: a guard recognized at
+/// token *i* protects every sink at tokens *> i*.
+fn check_fn(
+    f: &FnItem,
+    ast: &Ast,
+    toks: &[Token],
+    sources: &BTreeSet<String>,
+    in_test: &dyn Fn(u32) -> bool,
+    push: &mut dyn FnMut(&str, u32, String),
+) {
+    let sig = &ast.sig;
+    let mut tainted: BTreeMap<String, Taint> = BTreeMap::new();
+    let mut guarded: BTreeSet<String> = BTreeSet::new();
+
+    // Pre-compute binding taint in source order (bindings are flattened,
+    // so this is one forward pass).
+    let mut lets = f.lets.iter().peekable();
+    let (start, end) = f.body;
+    let mut j = start;
+    while j < end.min(sig.len()) {
+        // Apply any let bindings whose initializer has been fully passed.
+        while let Some(l) = lets.peek() {
+            if l.init.1 <= j {
+                let l = lets.next().expect("peeked");
+                if let Some(taint) = init_taint(l, toks, sig, sources, &tainted) {
+                    for name in &l.names {
+                        tainted.insert(name.clone(), taint.clone());
+                        guarded.remove(name);
+                    }
+                } else {
+                    // Re-binding a name to a clean value clears its taint
+                    // (`let n = usize::try_from(n)?;`).
+                    for name in &l.names {
+                        tainted.remove(name);
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+
+        let t = &toks[sig[j]];
+        let line = t.line;
+        match &t.kind {
+            TokenKind::Ident(name) => {
+                // Guard recognition: a comparison adjacent to the binding
+                // (`n <= cap`, `cap > n`, `n == 0`), or a checked lookup
+                // (`get(n)`, `n.min(…)`).
+                if is_comparison_neighbor(toks, sig, j) {
+                    guarded.insert(name.clone());
+                }
+                if (name == "get" || name == "min" || name == "max") && at(toks, sig, j + 1, '(') {
+                    // Arguments of get/min/max become guarded.
+                    for a in idents_in_group(toks, sig, j + 1) {
+                        guarded.insert(a);
+                    }
+                }
+                // Call sinks (`copy_from_slice(n)`, `split_at(n)`).
+                if SLICE_SINKS.contains(&name.as_str()) && at(toks, sig, j + 1, '(') {
+                    for a in idents_in_group(toks, sig, j + 1) {
+                        if let Some(taint) = tainted.get(&a) {
+                            if !guarded.contains(&a) && !in_test(line) {
+                                push(
+                                    "taint-index",
+                                    line,
+                                    format!(
+                                        "`{a}` reaches `{name}(…)` unguarded ({}): a corrupt \
+                                         input can make the length panic; bounds-check `{a}` \
+                                         first or use a fallible split",
+                                        taint.chain
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            TokenKind::Punct('[') if is_index_expr(toks, sig, j) => {
+                for a in idents_in_bracket_group(toks, sig, j) {
+                    if let Some(taint) = tainted.get(&a) {
+                        if !guarded.contains(&a) && !in_test(line) {
+                            push(
+                                "taint-index",
+                                line,
+                                format!(
+                                    "`{a}` indexes a slice unguarded ({}): a corrupt input \
+                                     can push it out of bounds; check it against the length \
+                                     or use `.get({a})`",
+                                    taint.chain
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            TokenKind::Punct(op @ ('+' | '-' | '*')) if is_binary_arith(toks, sig, j) => {
+                for a in [
+                    ident_at(toks, sig, j.wrapping_sub(1)),
+                    arith_rhs(toks, sig, j),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    if let Some(taint) = tainted.get(a) {
+                        if !in_test(line) {
+                            push(
+                                "taint-arith",
+                                line,
+                                format!(
+                                    "`{a}` reaches raw `{op}` ({}): untrusted arithmetic can \
+                                     overflow; use `checked_{}`/`saturating_{}` or widen via \
+                                     `try_from`",
+                                    taint.chain,
+                                    arith_name(*op),
+                                    arith_name(*op)
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+fn arith_name(op: char) -> &'static str {
+    match op {
+        '+' => "add",
+        '-' => "sub",
+        _ => "mul",
+    }
+}
+
+/// Taint for a `let` initializer: `Some` when the init range contains a
+/// source call (or an already-tainted ident) and no sanitizer call.
+fn init_taint(
+    l: &crate::parse::LetBinding,
+    toks: &[Token],
+    sig: &[usize],
+    sources: &BTreeSet<String>,
+    tainted: &BTreeMap<String, Taint>,
+) -> Option<Taint> {
+    let (start, end) = l.init;
+    let mut found: Option<Taint> = None;
+    for j in start..end.min(sig.len()) {
+        let Some(name) = ident_at(toks, sig, j) else {
+            continue;
+        };
+        if is_call(toks, sig, j) {
+            if is_sanitizer_name(name) {
+                return None;
+            }
+            if (is_source_name(name) || sources.contains(name)) && found.is_none() {
+                found = Some(Taint {
+                    chain: format!("← `{name}(…)` at line {}", toks[sig[j]].line),
+                });
+            }
+        } else if let Some(t) = tainted.get(name) {
+            if found.is_none() {
+                // Chain through the prior binding, capped so messages
+                // stay readable.
+                let prior = truncate_chain(&t.chain);
+                found = Some(Taint {
+                    chain: format!("← `{name}` {prior}"),
+                });
+            }
+        }
+    }
+    found
+}
+
+/// Keeps at most two links of an existing chain.
+fn truncate_chain(chain: &str) -> String {
+    let mut parts: Vec<&str> = chain.split(" ← ").collect();
+    if parts.len() > 2 {
+        parts.truncate(2);
+        format!("{} ← …", parts.join(" ← "))
+    } else {
+        chain.to_string()
+    }
+}
+
+/// True when the token adjacent to `j` (either side) is a comparison
+/// operator (`<`, `>`, `<=`, `>=`, `==`, `!=`).
+fn is_comparison_neighbor(toks: &[Token], sig: &[usize], j: usize) -> bool {
+    let cmp_at = |k: usize| -> bool {
+        let Some(&t) = sig.get(k) else { return false };
+        match toks[t].kind {
+            TokenKind::Punct('<') | TokenKind::Punct('>') => true,
+            TokenKind::Punct('=') => {
+                // `==` only (a bare `=` is assignment): one neighbor must
+                // also be `=` or `!`.
+                (k > 0
+                    && matches!(
+                        toks[sig[k - 1]].kind,
+                        TokenKind::Punct('=') | TokenKind::Punct('!')
+                    ))
+                    || sig.get(k + 1).is_some_and(|&n| toks[n].is_punct('='))
+            }
+            _ => false,
+        }
+    };
+    (j > 0 && cmp_at(j - 1)) || cmp_at(j + 1)
+}
+
+/// Idents inside the group opened at sig index `open` (a `(`).
+fn idents_in_group(toks: &[Token], sig: &[usize], open: usize) -> Vec<String> {
+    idents_in_matched(toks, sig, open, '(', ')')
+}
+
+/// Idents inside the bracket group opened at sig index `open` (a `[`).
+fn idents_in_bracket_group(toks: &[Token], sig: &[usize], open: usize) -> Vec<String> {
+    idents_in_matched(toks, sig, open, '[', ']')
+}
+
+fn idents_in_matched(
+    toks: &[Token],
+    sig: &[usize],
+    open: usize,
+    oc: char,
+    cc: char,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < sig.len() {
+        match &toks[sig[j]].kind {
+            TokenKind::Punct(c) if *c == oc => depth += 1,
+            TokenKind::Punct(c) if *c == cc => {
+                depth -= 1;
+                if depth == 0 {
+                    return out;
+                }
+            }
+            TokenKind::Ident(name) if depth > 0 => out.push(name.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Mirrors the `unchecked-index` heuristic: `[` right after an operand.
+fn is_index_expr(toks: &[Token], sig: &[usize], j: usize) -> bool {
+    j > 0
+        && match &toks[sig[j - 1]].kind {
+            TokenKind::Ident(prev) => {
+                prev != "as"
+                    && !matches!(
+                        prev.as_str(),
+                        "let"
+                            | "for"
+                            | "return"
+                            | "break"
+                            | "in"
+                            | "if"
+                            | "while"
+                            | "match"
+                            | "else"
+                            | "move"
+                            | "mut"
+                            | "dyn"
+                    )
+            }
+            TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+            _ => false,
+        }
+}
+
+/// True when the `+`/`-`/`*` at `j` is a binary operator (an operand on
+/// the left) rather than a unary minus, deref, arrow, or attribute
+/// position. Compound assignment (`x += y`) counts: it is arithmetic.
+fn is_binary_arith(toks: &[Token], sig: &[usize], j: usize) -> bool {
+    let Some(p) = j.checked_sub(1) else {
+        return false;
+    };
+    let left_operand = match &toks[sig[p]].kind {
+        TokenKind::Ident(name) => !is_keywordish(name),
+        TokenKind::Literal => true,
+        TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+        _ => false,
+    };
+    if !left_operand {
+        return false;
+    }
+    // `->` is not arithmetic.
+    if toks[sig[j]].is_punct('-') && at(toks, sig, j + 1, '>') {
+        return false;
+    }
+    // `*` immediately followed by another operator is not a multiply.
+    if toks[sig[j]].is_punct('*') && sig.get(j + 1).is_none() {
+        return false;
+    }
+    true
+}
+
+fn is_keywordish(name: &str) -> bool {
+    matches!(
+        name,
+        "return" | "break" | "in" | "if" | "while" | "match" | "else" | "as" | "let" | "move"
+    )
+}
+
+/// The right-hand operand ident of the operator at `j`: the next ident,
+/// stepping over a compound-assign `=`.
+fn arith_rhs<'t>(toks: &'t [Token], sig: &[usize], j: usize) -> Option<&'t str> {
+    let mut k = j + 1;
+    if at(toks, sig, k, '=') {
+        k += 1;
+    }
+    ident_at(toks, sig, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn run(src: &str) -> Vec<(String, u32, String)> {
+        let tokens = lex(src);
+        let ast = parse(&tokens);
+        let mut out = Vec::new();
+        check(&ast, &tokens.all, &|_| false, &mut |rule, line, msg| {
+            out.push((rule.to_string(), line, msg))
+        });
+        out
+    }
+
+    #[test]
+    fn parse_to_raw_add_is_flagged_with_chain() {
+        let hits = run("fn f(s: &str) -> u64 { let n: u64 = s.parse().ok()?; n + 1 }\n");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, "taint-arith");
+        assert!(hits[0].2.contains("`n`"), "{}", hits[0].2);
+        assert!(hits[0].2.contains("parse"), "{}", hits[0].2);
+    }
+
+    #[test]
+    fn checked_construction_is_clean() {
+        assert!(run(
+            "fn f(s: &str) -> Option<u64> { let n: u64 = s.parse().ok()?; n.checked_add(1) }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn try_from_sanitizes_the_binding() {
+        assert!(run(
+            "fn f(s: &str) -> usize { let n: u64 = s.parse().ok()?; let i = usize::try_from(n).ok()?; i + 1 }\n"
+        )
+        .iter()
+        .all(|(r, _, _)| r != "taint-arith"));
+    }
+
+    #[test]
+    fn taint_propagates_through_bindings() {
+        let hits = run(
+            "fn f(s: &str) { let n: u64 = s.parse().ok()?; let m = n; let v = m * 2; keep(v); }\n",
+        );
+        assert!(
+            hits.iter()
+                .any(|(r, _, m)| r == "taint-arith" && m.contains("`m`")),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn unguarded_index_flagged_guarded_clean() {
+        let bad = "fn f(s: &str, v: &[u8]) { let i: usize = s.parse().ok()?; use_it(v[i]); }\n";
+        let hits = run(bad);
+        assert!(hits.iter().any(|(r, _, _)| r == "taint-index"), "{hits:?}");
+        let good = "fn f(s: &str, v: &[u8]) { let i: usize = s.parse().ok()?; \
+                    if i < v.len() { use_it(v[i]); } }\n";
+        assert!(
+            run(good).iter().all(|(r, _, _)| r != "taint-index"),
+            "guard must clear the index sink"
+        );
+    }
+
+    #[test]
+    fn slice_call_sinks_flagged() {
+        let bad = "fn f(s: &str, v: &[u8]) { let n: usize = s.parse().ok()?; \
+                   let (a, b) = v.split_at(n); use_it(a, b); }\n";
+        let hits = run(bad);
+        assert!(hits
+            .iter()
+            .any(|(r, _, m)| r == "taint-index" && m.contains("split_at")));
+    }
+
+    #[test]
+    fn derived_source_functions_taint_their_callers() {
+        let src = "fn num(tok: &str) -> u64 { tok.parse().unwrap_or(0) }\n\
+                   fn f(s: &str) -> u64 { let t = num(s); t + 1 }\n";
+        let hits = run(src);
+        assert!(
+            hits.iter()
+                .any(|(r, _, m)| r == "taint-arith" && m.contains("num")),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn untainted_arithmetic_is_clean() {
+        assert!(run("fn f(a: u64, b: u64) -> u64 { a + b * 2 }\n").is_empty());
+    }
+}

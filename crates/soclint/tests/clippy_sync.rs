@@ -1,0 +1,123 @@
+//! Sync pin between the two lint layers: every ban in `clippy.toml` must
+//! map onto a soclint determinism rule, and every reason string must name
+//! the soclint rule id it mirrors. The layers drifted silently before
+//! this test existed; now drift is a test failure in either direction —
+//! a clippy ban with no soclint counterpart fails here, and loosening a
+//! soclint ban list without updating `clippy.toml` fails here too.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+
+use soclint::{BANNED_CLOCK_TYPES, BANNED_HASH_TYPES, RULE_IDS};
+
+/// One `{ path = "...", reason = "..." }` entry from a clippy.toml array.
+#[derive(Debug)]
+struct Entry {
+    path: String,
+    reason: String,
+}
+
+fn read_clippy_toml() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../clippy.toml");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("clippy.toml must exist at the workspace root: {e}"))
+}
+
+/// Extracts the entries of one `key = [ ... ]` array. The file is ours
+/// and machine-formatted, so quoted-string scanning is enough — no TOML
+/// dependency needed offline.
+fn entries(toml: &str, key: &str) -> Vec<Entry> {
+    let start = toml
+        .find(&format!("{key} = ["))
+        .unwrap_or_else(|| panic!("clippy.toml must define `{key}`"));
+    let body = &toml[start..];
+    let end = body.find(']').expect("unterminated array");
+    let body = &body[..end];
+
+    let mut out = Vec::new();
+    for line in body.lines() {
+        let Some(path) = quoted_value(line, "path") else {
+            continue;
+        };
+        let reason = quoted_value(line, "reason")
+            .unwrap_or_else(|| panic!("entry for `{path}` has no reason"));
+        out.push(Entry { path, reason });
+    }
+    out
+}
+
+/// The first `key = "..."` quoted value on the line.
+fn quoted_value(line: &str, key: &str) -> Option<String> {
+    let at = line.find(&format!("{key} = \""))?;
+    let rest = &line[at + key.len() + 4..];
+    rest.split('"').next().map(str::to_string)
+}
+
+/// The `(soclint: rule-id)` tag inside a reason string.
+fn soclint_tag(reason: &str) -> &str {
+    let at = reason
+        .find("(soclint: ")
+        .unwrap_or_else(|| panic!("reason must cite its soclint rule: {reason:?}"));
+    reason[at + "(soclint: ".len()..]
+        .split(')')
+        .next()
+        .expect("unterminated soclint tag")
+}
+
+#[test]
+fn disallowed_methods_are_a_subset_of_soclint_clock_bans() {
+    let toml = read_clippy_toml();
+    let methods = entries(&toml, "disallowed-methods");
+    assert!(!methods.is_empty(), "disallowed-methods must not be empty");
+    for e in &methods {
+        let mut segments = e.path.rsplit("::");
+        let method = segments.next().expect("path has segments");
+        let type_name = segments.next().expect("path has a type segment");
+        assert_eq!(
+            method, "now",
+            "clippy method ban `{}` has no soclint counterpart: soclint's wall-clock \
+             rule only covers `::now` constructors",
+            e.path
+        );
+        assert!(
+            BANNED_CLOCK_TYPES.contains(&type_name),
+            "clippy bans `{}` but soclint::BANNED_CLOCK_TYPES does not list `{type_name}` — \
+             the layers drifted",
+            e.path
+        );
+        assert_eq!(soclint_tag(&e.reason), "wall-clock");
+    }
+}
+
+#[test]
+fn disallowed_types_are_a_subset_of_soclint_hash_bans() {
+    let toml = read_clippy_toml();
+    let types = entries(&toml, "disallowed-types");
+    assert!(!types.is_empty(), "disallowed-types must not be empty");
+    for e in &types {
+        let type_name = e.path.rsplit("::").next().expect("path has segments");
+        assert!(
+            BANNED_HASH_TYPES.contains(&type_name),
+            "clippy bans `{}` but soclint::BANNED_HASH_TYPES does not list `{type_name}` — \
+             the layers drifted",
+            e.path
+        );
+        assert_eq!(soclint_tag(&e.reason), "hash-collections");
+    }
+}
+
+#[test]
+fn every_cited_rule_id_is_a_real_soclint_rule() {
+    let toml = read_clippy_toml();
+    for key in ["disallowed-methods", "disallowed-types"] {
+        for e in entries(&toml, key) {
+            let tag = soclint_tag(&e.reason).to_string();
+            assert!(
+                RULE_IDS.contains(&tag.as_str()),
+                "clippy.toml reason for `{}` cites unknown soclint rule `{tag}`",
+                e.path
+            );
+        }
+    }
+}

@@ -3,6 +3,8 @@
 //! (scoping is path-based, so the path picks which contracts apply). The
 //! final test self-applies the linter to the shipped workspace.
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::path::Path;
 
@@ -14,7 +16,10 @@ fn emulated_path(rule: &str) -> &'static str {
         "hash-collections" | "wall-clock" | "allow-syntax" => "crates/tam/src/fixture.rs",
         "os-entropy" => "crates/parpool/src/fixture.rs",
         "nan-compare" => "crates/selenc/src/fixture.rs",
-        "panic-path" | "unchecked-index" => "crates/tdcsoc/src/planfile.rs",
+        "panic-path" | "unchecked-index" | "taint-arith" => "crates/tdcsoc/src/planfile.rs",
+        "taint-index" => "crates/tdcsoc/src/vectors.rs",
+        "capture-mut" | "relaxed-ordering" => "crates/parpool/src/fixture.rs",
+        "order-sensitive-reduce" => "crates/tam/src/fixture.rs",
         "as-narrowing" => "crates/soc-model/src/itc02.rs",
         "deny-header" => "crates/tam/src/lib.rs",
         "cfg-test-gate" => "crates/wrapper/src/fit.rs",

@@ -1,0 +1,9 @@
+use std::sync::Mutex;
+
+pub fn run_jobs(pool: &Pool, items: Vec<u64>, log: &Mutex<Vec<u64>>) {
+    for item in items {
+        pool.submit(move || {
+            log.lock().unwrap().push(item);
+        });
+    }
+}

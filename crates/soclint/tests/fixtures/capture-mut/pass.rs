@@ -1,0 +1,7 @@
+pub fn run_jobs(pool: &Pool, items: Vec<u64>) -> Vec<u64> {
+    let tasks: Vec<_> = items
+        .into_iter()
+        .map(|item| move || cost_of(item))
+        .collect();
+    pool.run(tasks)
+}

@@ -1,0 +1,5 @@
+use std::sync::mpsc::Receiver;
+
+pub fn best_of(rx: &Receiver<(u64, usize)>) -> Option<(u64, usize)> {
+    rx.try_iter().min()
+}

@@ -1,0 +1,7 @@
+pub fn best_of(results: &[(u64, usize)]) -> Option<(u64, usize)> {
+    results
+        .iter()
+        .enumerate()
+        .min_by_key(|(i, r)| (r.0, *i))
+        .map(|(_, r)| *r)
+}

@@ -1,0 +1,5 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish_bound(shared: &AtomicU64, value: u64) {
+    shared.fetch_min(value, Ordering::Relaxed);
+}

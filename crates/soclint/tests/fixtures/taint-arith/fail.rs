@@ -1,0 +1,4 @@
+pub fn start_cycle(field: &str) -> Result<u64, std::num::ParseIntError> {
+    let base: u64 = field.trim().parse()?;
+    Ok(base + 1)
+}

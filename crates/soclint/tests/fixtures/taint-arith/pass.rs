@@ -1,0 +1,4 @@
+pub fn start_cycle(field: &str) -> Option<u64> {
+    let base: u64 = field.trim().parse().ok()?;
+    base.checked_add(1)
+}

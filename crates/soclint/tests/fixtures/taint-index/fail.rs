@@ -1,0 +1,4 @@
+pub fn split_payload(header: &str, bytes: &[u8]) -> Option<(&[u8], &[u8])> {
+    let n: usize = header.trim().parse().ok()?;
+    Some(bytes.split_at(n))
+}

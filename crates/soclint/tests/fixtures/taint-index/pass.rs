@@ -1,0 +1,8 @@
+pub fn split_payload(header: &str, bytes: &[u8]) -> Option<(&[u8], &[u8])> {
+    let n: usize = header.trim().parse().ok()?;
+    if n <= bytes.len() {
+        Some(bytes.split_at(n))
+    } else {
+        None
+    }
+}

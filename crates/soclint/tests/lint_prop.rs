@@ -1,0 +1,197 @@
+//! Property tests for the lint front end: the lexer and the pass-1
+//! parser must never panic and must produce in-bounds, well-formed spans
+//! on *any* input — arbitrary byte garbage and mutated copies of real
+//! workspace sources alike. This fuzzes the tuple-index class of bug a
+//! previous audit hit in the lexer (an off-by-one span on `x.0.min(y)`
+//! chains) and holds the whole `lint_source` pipeline to the same
+//! no-panic bar the parsers it lints are held to.
+
+#![forbid(unsafe_code)]
+
+use proptest::prelude::*;
+
+use soclint::lexer::lex;
+use soclint::lint_source;
+use soclint::parse::{parse, Closure, FnItem, SigRange};
+
+/// Real sources to mutate: the linter's own front end (dense with string
+/// escapes and punctuation) and an untrusted-input parser (dense with
+/// the constructs the flow rules match on).
+const REAL_SOURCES: &[&str] = &[
+    include_str!("../src/lexer.rs"),
+    include_str!("../src/parse.rs"),
+    include_str!("../../tdcsoc/src/planfile.rs"),
+];
+
+/// Paths covering every scope combination rules dispatch on.
+const EMULATED_PATHS: &[&str] = &[
+    "crates/tdcsoc/src/planfile.rs", // untrusted parser + determinism + captures
+    "crates/parpool/src/fixture.rs", // captures + determinism
+    "crates/tam/src/lib.rs",         // determinism + lib root
+    "tests/smoke.rs",                // bin root, all-test
+    "crates/robust/src/lib.rs",      // wall-clock exempt
+];
+
+fn check_range(what: &str, (start, end): SigRange, sig_len: usize) {
+    assert!(start <= end, "{what}: start {start} > end {end}");
+    assert!(
+        end <= sig_len,
+        "{what}: end {end} out of bounds (sig len {sig_len})"
+    );
+}
+
+fn check_closure(c: &Closure, sig_len: usize) {
+    check_range("closure body", c.body, sig_len);
+    for l in &c.lets {
+        check_range("closure let init", l.init, sig_len);
+    }
+    for nested in &c.closures {
+        check_closure(nested, sig_len);
+    }
+}
+
+fn check_fn(f: &FnItem, sig_len: usize) {
+    check_range("fn body", f.body, sig_len);
+    for l in &f.lets {
+        check_range("let init", l.init, sig_len);
+    }
+    for c in &f.closures {
+        check_closure(c, sig_len);
+    }
+}
+
+/// The full front-end invariant: lex, parse, and lint never panic; token
+/// lines are non-decreasing; every span is in bounds.
+fn assert_front_end_total(src: &str) {
+    let tokens = lex(src);
+    let mut last_line = 1u32;
+    for t in &tokens.all {
+        assert!(
+            t.line >= last_line,
+            "token lines must be non-decreasing: {} after {last_line}",
+            t.line
+        );
+        last_line = t.line;
+    }
+    let ast = parse(&tokens);
+    for &i in &ast.sig {
+        assert!(i < tokens.all.len(), "sig index {i} out of bounds");
+    }
+    for f in &ast.fns {
+        check_fn(f, ast.sig.len());
+    }
+    for path in EMULATED_PATHS {
+        // Diagnostics may be anything; the property is "returns".
+        let _ = lint_source(path, src);
+    }
+}
+
+/// Applies one byte-level mutation, then repairs UTF-8 lossily — the
+/// front end consumes `&str`, so the lossy repair mirrors what any file
+/// reader in the pipeline would do with a corrupt file.
+fn mutate(source: &str, pos: usize, byte: u8, mode: u8) -> String {
+    let mut bytes = source.as_bytes().to_vec();
+    if bytes.is_empty() {
+        return String::new();
+    }
+    let pos = pos % bytes.len();
+    match mode % 4 {
+        0 => bytes.truncate(pos),
+        1 => bytes[pos] = byte,
+        2 => bytes.insert(pos, byte),
+        _ => {
+            bytes.remove(pos);
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_front_end_total(&src);
+    }
+
+    #[test]
+    fn rust_flavored_soup_never_panics(
+        pieces in proptest::collection::vec(0usize..TOKEN_SOUP.len(), 0..120),
+    ) {
+        // Dense valid-token soup reaches deeper parser paths than raw
+        // bytes (real keywords, balanced-ish punctuation, comments).
+        let src: String = pieces.iter().map(|&i| TOKEN_SOUP[i]).collect();
+        assert_front_end_total(&src);
+    }
+
+    #[test]
+    fn mutated_real_sources_never_panic(
+        which in 0usize..REAL_SOURCES.len(),
+        pos in any::<usize>(),
+        byte in any::<u8>(),
+        mode in any::<u8>(),
+    ) {
+        let src = mutate(REAL_SOURCES[which], pos, byte, mode);
+        assert_front_end_total(&src);
+    }
+}
+
+/// Fragments biased toward the constructs pass 1 actually parses.
+const TOKEN_SOUP: &[&str] = &[
+    "fn ",
+    "f",
+    "(",
+    ")",
+    "{",
+    "}",
+    "|",
+    "||",
+    "move ",
+    "let ",
+    "x",
+    ": u32",
+    " = ",
+    ";",
+    ".",
+    "::",
+    "<",
+    ">",
+    "->",
+    "parse",
+    "unwrap",
+    "0.5",
+    "\"s\"",
+    "'a'",
+    "'static ",
+    "// c\n",
+    "\n",
+    "/* b */",
+    "#[test]\n",
+    "match ",
+    "if ",
+    "else ",
+    "b\"raw\"",
+    "r#\"raw\"#",
+    "1_000",
+    "x.0",
+    "+",
+    "*",
+    "&mut ",
+    "[",
+    "]",
+    ",",
+    "?",
+    "=>",
+    "..",
+    "tuple.1.min",
+    "try_from",
+    "\\",
+];
+
+#[test]
+fn real_sources_unmutated_hold_the_invariant() {
+    for src in REAL_SOURCES {
+        assert_front_end_total(src);
+    }
+}

@@ -283,6 +283,7 @@ fn run_chain(
         current_time = time;
         if current_time < local_time {
             local_time = current_time;
+            // soclint: allow(relaxed-ordering) -- advisory cross-chain bound: a stale value only delays sharing a better bound; the returned best is picked by the index-ordered reduction, not this atomic
             let prev = shared.fetch_min(current_time, Ordering::Relaxed);
             if current_time <= prev {
                 best = Some((current_time, widths.clone()));

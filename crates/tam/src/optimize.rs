@@ -140,6 +140,7 @@ pub fn optimize_architecture_with(
                 move || {
                     if opts.prune
                         && cost.lower_bound_for_k(total_width, k)
+                            // soclint: allow(relaxed-ordering) -- pruning bound only: a stale read keeps a k the exact pass would skip, which costs time but cannot change the selected plan
                             > incumbent.load(Ordering::Relaxed)
                     {
                         return KOutcome::Pruned;
@@ -240,6 +241,7 @@ fn optimize_for_k(
         SweepOutcome::Infeasible(core) => return Err(ScheduleError::CoreUnschedulable { core }),
         SweepOutcome::Cutoff => unreachable!("unbounded run cannot cut off"),
     };
+    // soclint: allow(relaxed-ordering) -- publishes a pruning bound other tasks may or may not see in time; plan selection is the deterministic index-ordered reduction downstream
     incumbent.fetch_min(makespan, Ordering::Relaxed);
     let mut status = SearchStatus::Complete;
 
@@ -287,6 +289,7 @@ fn optimize_for_k(
                 let refreshed = sweep.run(&widths, None);
                 debug_assert_eq!(refreshed, SweepOutcome::Exact(m));
                 makespan = m;
+                // soclint: allow(relaxed-ordering) -- same advisory pruning bound as above; never read back into this task's own result
                 incumbent.fetch_min(makespan, Ordering::Relaxed);
             }
             None => break,

@@ -3,6 +3,8 @@
 //! *execution*, never the deterministic reduction) and under pruning
 //! (the per-`k` lower bound may only skip `k` values that cannot win).
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 
 use tam::{

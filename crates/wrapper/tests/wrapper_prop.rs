@@ -2,6 +2,8 @@
 //! monotone scan-in lengths, balance quality, and slice coverage, over
 //! arbitrary core geometries.
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 
 use soc_model::{Core, ScanArchitecture, Trit, TritVec};

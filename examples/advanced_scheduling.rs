@@ -4,6 +4,8 @@
 //!
 //! Run with `cargo run --release --example advanced_scheduling`.
 
+#![forbid(unsafe_code)]
+
 use soc_tdc::model::benchmarks::Design;
 use soc_tdc::model::compaction::compact;
 use soc_tdc::planner::{CompressionMode, DecisionConfig, DecisionTable};

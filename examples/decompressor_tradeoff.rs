@@ -5,6 +5,8 @@
 //!
 //! Run with `cargo run --release --example decompressor_tradeoff`.
 
+#![forbid(unsafe_code)]
+
 use soc_tdc::model::{benchmarks, generator::synthesize_missing_test_sets, Soc};
 use soc_tdc::selenc::{evaluate_point, CoreProfile, ProfileConfig, SliceCode};
 

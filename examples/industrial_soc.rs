@@ -7,6 +7,8 @@
 //!
 //! Run with `cargo run --release --example industrial_soc`.
 
+#![forbid(unsafe_code)]
+
 use soc_tdc::model::benchmarks::Design;
 use soc_tdc::planner::{AteSpec, DecisionConfig, PlanRequest, Planner};
 use soc_tdc::report::{group_digits, mbits};

@@ -7,6 +7,8 @@
 //!
 //! Run with `cargo run --release --example power_budget`.
 
+#![forbid(unsafe_code)]
+
 use soc_tdc::model::benchmarks::Design;
 use soc_tdc::planner::{DecisionConfig, PlanRequest, Planner};
 use soc_tdc::report::group_digits;

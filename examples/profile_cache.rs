@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo run --release --example profile_cache`.
 
+#![forbid(unsafe_code)]
 // Demo timing build-vs-load: reading the wall clock is the point.
 #![allow(clippy::disallowed_methods)]
 

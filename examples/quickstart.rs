@@ -3,6 +3,8 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
+#![forbid(unsafe_code)]
+
 use soc_tdc::model::format::parse_soc;
 use soc_tdc::model::generator::synthesize_missing_test_sets;
 use soc_tdc::planner::{PlanRequest, Planner};

@@ -9,6 +9,8 @@
 //!
 //! Run with `cargo run --release --example technique_selection`.
 
+#![forbid(unsafe_code)]
+
 use soc_tdc::model::generator::synthesize_missing_test_sets;
 use soc_tdc::model::{Core, Soc};
 use soc_tdc::planner::{DecisionConfig, PlanRequest, Planner};

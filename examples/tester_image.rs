@@ -4,6 +4,8 @@
 //!
 //! Run with `cargo run --release --example tester_image`.
 
+#![forbid(unsafe_code)]
+
 use soc_tdc::model::generator::synthesize_missing_test_sets;
 use soc_tdc::model::itc02::parse_itc02;
 use soc_tdc::planner::{export_image, verify_image, AteSpec, PlanRequest, Planner};

@@ -19,6 +19,8 @@
 //! full plan); results are identical at any value, only the wall clock
 //! moves, and every JSON entry records the count it ran with.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -87,6 +89,21 @@ fn cost_model(soc: &Soc, width: u32) -> CostModel {
     cost
 }
 
+/// Nearest ancestor directory holding a `[workspace]` manifest — the
+/// tree the soclint entries scan.
+fn workspace_root() -> std::path::PathBuf {
+    let mut dir = std::env::current_dir().expect("current dir");
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        assert!(dir.pop(), "bench_profile must run inside the workspace");
+    }
+}
+
 fn main() {
     let mut label = String::from("run");
     let mut out: Option<String> = None;
@@ -146,6 +163,27 @@ fn main() {
     entries.push(timed("tables_d695_w32", 1, 1, || {
         build_tables(&d695, 32, &fast());
     }));
+
+    // Lint self-benchmark: the full workspace scan (lex + parse + all
+    // rule families on every file), sequential and pooled, so lint cost
+    // is tracked in BENCH_profile.json like the planner kernels.
+    let lint_root = workspace_root();
+    let lint_iters = if smoke { 1 } else { 3 };
+    entries.push(timed("soclint_workspace_w1", lint_iters, 1, || {
+        let diags = soclint::lint_workspace_with(&lint_root, 1).expect("workspace scan");
+        assert!(diags.is_empty(), "workspace must lint clean: {diags:?}");
+    }));
+    let lint_workers = workers.max(2);
+    entries.push(timed(
+        "soclint_workspace_par",
+        lint_iters,
+        lint_workers,
+        || {
+            let diags =
+                soclint::lint_workspace_with(&lint_root, lint_workers).expect("workspace scan");
+            assert!(diags.is_empty(), "workspace must lint clean: {diags:?}");
+        },
+    ));
 
     // Architecture search: the pruned hill-climb portfolio and the
     // multi-chain anneal over the d695 cost model.

@@ -3,6 +3,8 @@
 //!
 //! Regenerate with `cargo run --release --bin fig3`.
 
+#![forbid(unsafe_code)]
+
 use soc_tdc::model::{benchmarks, generator::synthesize_missing_test_sets, Soc};
 use soc_tdc::report::group_digits;
 use soc_tdc::selenc::{CoreProfile, ProfileConfig};

@@ -8,6 +8,8 @@
 //!
 //! Regenerate with `cargo run --release --bin fig4`.
 
+#![forbid(unsafe_code)]
+
 use soc_tdc::model::{benchmarks, generator::synthesize_missing_test_sets, Soc};
 use soc_tdc::planner::{PlanRequest, Planner};
 use soc_tdc::report::group_digits;

@@ -4,6 +4,8 @@
 //!
 //! Regenerate with `cargo run --release --bin selection`.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 
 use soc_tdc::model::benchmarks::Design;

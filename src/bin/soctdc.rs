@@ -3,6 +3,8 @@
 //!
 //! Run `soctdc help` for usage.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use soc_tdc::cli::{parse_args, run, CliError};

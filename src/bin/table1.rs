@@ -7,6 +7,8 @@
 //!
 //! Regenerate with `cargo run --release --bin table1`.
 
+#![forbid(unsafe_code)]
+
 use soc_tdc::model::benchmarks::Design;
 use soc_tdc::planner::{DecisionConfig, PlanRequest, Planner};
 use soc_tdc::report::{group_digits, ratio};

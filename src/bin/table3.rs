@@ -4,6 +4,8 @@
 //!
 //! Regenerate with `cargo run --release --bin table3`.
 
+#![forbid(unsafe_code)]
+
 use soc_tdc::model::benchmarks::Design;
 use soc_tdc::planner::{DecisionConfig, PlanRequest, Planner};
 use soc_tdc::report::{group_digits, mbits, ratio};

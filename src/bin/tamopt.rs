@@ -6,6 +6,8 @@
 //!
 //! Regenerate with `cargo run --release --bin tamopt`.
 
+#![forbid(unsafe_code)]
+
 use soc_tdc::model::benchmarks::Design;
 use soc_tdc::planner::{CompressionMode, DecisionConfig, DecisionTable};
 use soc_tdc::report::group_digits;

@@ -2,6 +2,8 @@
 //! cores, the per-width operating points must honor the structural
 //! invariants the scheduler depends on.
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 
 use soc_tdc::model::{Core, CubeSynthesis};

@@ -2,6 +2,8 @@
 //! cube synthesis → wrapper/decompressor co-design → TAM optimization →
 //! schedule, checked for internal consistency and determinism.
 
+#![forbid(unsafe_code)]
+
 use soc_tdc::model::benchmarks::{self, Design};
 use soc_tdc::model::format::{parse_soc, write_soc};
 use soc_tdc::model::{generator::synthesize_missing_test_sets, Core, Soc};

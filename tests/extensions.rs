@@ -2,6 +2,8 @@
 //! planner output: response compaction, truncation with quality tracking,
 //! multi-frequency TAMs, conflict groups, and RTL emission.
 
+#![forbid(unsafe_code)]
+
 use soc_tdc::model::benchmarks::Design;
 use soc_tdc::model::compaction::{compact, covers};
 use soc_tdc::planner::{

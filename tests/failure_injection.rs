@@ -1,6 +1,8 @@
 //! Failure-injection tests: corrupted artifacts must be *detected*, never
 //! silently accepted and never cause panics in parsing paths.
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 
 use soc_tdc::model::generator::synthesize_missing_test_sets;

@@ -3,6 +3,8 @@
 //! emission, plus the scheduling extensions (precedence, annealing) driven
 //! from planner outputs.
 
+#![forbid(unsafe_code)]
+
 use soc_tdc::model::generator::synthesize_missing_test_sets;
 use soc_tdc::model::itc02::{parse_itc02, write_itc02};
 use soc_tdc::planner::{export_image, verify_image, DecisionConfig, PlanRequest, Planner};

@@ -2,6 +2,8 @@
 //! cores, cached profile CSVs answering the same queries, and plan files
 //! replayed through verification.
 
+#![forbid(unsafe_code)]
+
 use soc_tdc::model::format::parse_soc;
 use soc_tdc::model::patfile::{parse_patterns, write_patterns};
 use soc_tdc::planner::{parse_plan, write_plan, DecisionConfig, PlanRequest, Planner};

@@ -2,6 +2,8 @@
 //! and wrapper geometries, the decompressor must reproduce every care bit,
 //! and the fast cost path must agree with the real encoder.
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 
 use soc_tdc::model::{Core, Trit, TritVec};

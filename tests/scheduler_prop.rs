@@ -3,6 +3,8 @@
 //! never lose to its own starting point, and power-aware schedules must
 //! respect their budget.
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 
 use soc_tdc::tam::{
