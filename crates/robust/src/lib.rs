@@ -13,6 +13,10 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod bounded;
+
+pub use bounded::{BoundedCache, CacheLimits, CacheStats};
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -62,8 +62,10 @@ pub use code::{Codeword, SliceCode};
 pub use decoder::{DecodeError, Decompressor};
 pub use encoder::Encoder;
 pub use integrity::{verify_stream, StreamError};
-pub use lut::{profile_entry_for_width, CoreProfile, Interrupted, ProfileConfig, ProfileEntry};
-pub use memo::EvalCache;
+pub use lut::{
+    profile_entry_for_width, CoreProfile, Interrupted, ProfileConfig, ProfileCsvError, ProfileEntry,
+};
+pub use memo::{EvalCache, DEFAULT_EVAL_BYTES, DEFAULT_EVAL_ENTRIES};
 pub use rtl::{generate_testbench, generate_verilog};
 pub use stream::{
     compress_sampled, compress_test_set, cube_cost, cube_cost_policy, cube_cost_scalar,

@@ -480,60 +480,225 @@ mod tests {
     }
 }
 
+/// Why a profile CSV was rejected. Corruption of an on-disk cache entry —
+/// truncation, bit flips, stray edits — must surface as one of these typed
+/// errors so callers can quarantine the file and rebuild, never parse a
+/// bogus profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileCsvError {
+    /// A data row did not have exactly 4 comma-separated fields.
+    FieldCount {
+        /// 1-based line number of the offending row.
+        line: usize,
+    },
+    /// A field failed to parse as an unsigned number.
+    Number {
+        /// 1-based line number of the offending row.
+        line: usize,
+    },
+    /// A width or chain count exceeded `u32`.
+    Overflow {
+        /// 1-based line number of the offending row.
+        line: usize,
+    },
+    /// Widths were not strictly increasing.
+    NonMonotonic {
+        /// 1-based line number of the offending row.
+        line: usize,
+    },
+    /// The integrity trailer was present but unparsable.
+    BadTrailer {
+        /// 1-based line number of the trailer.
+        line: usize,
+    },
+    /// The trailer's entry count disagrees with the rows actually read —
+    /// the classic truncated-write signature.
+    Truncated {
+        /// Entry count the trailer promised.
+        expected: usize,
+        /// Entries actually present.
+        found: usize,
+    },
+    /// The trailer's checksum disagrees with the rows — a bit flip or
+    /// stray edit somewhere in the data.
+    ChecksumMismatch,
+    /// No integrity trailer at all, in a context that requires one
+    /// ([`CoreProfile::from_csv_checked`]).
+    MissingTrailer,
+}
+
+impl fmt::Display for ProfileCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileCsvError::FieldCount { line } => {
+                write!(f, "line {line}: expected 4 fields")
+            }
+            ProfileCsvError::Number { line } => write!(f, "line {line}: invalid number"),
+            ProfileCsvError::Overflow { line } => {
+                write!(f, "line {line}: width or chain count exceeds u32")
+            }
+            ProfileCsvError::NonMonotonic { line } => {
+                write!(f, "line {line}: widths must be strictly increasing")
+            }
+            ProfileCsvError::BadTrailer { line } => {
+                write!(f, "line {line}: malformed integrity trailer")
+            }
+            ProfileCsvError::Truncated { expected, found } => {
+                write!(
+                    f,
+                    "truncated: trailer promises {expected} entries, found {found}"
+                )
+            }
+            ProfileCsvError::ChecksumMismatch => f.write_str("checksum mismatch"),
+            ProfileCsvError::MissingTrailer => f.write_str("missing integrity trailer"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileCsvError {}
+
+/// FNV-1a 64-bit over `bytes`, continuing from `acc`.
+fn fnv1a(acc: u64, bytes: &[u8]) -> u64 {
+    let mut h = acc;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
 impl CoreProfile {
     /// Serializes the profile as CSV (`w,m,test_time,volume_bits` rows
     /// with a header), for caching — profile construction is the expensive
-    /// step of planning, and the table is tiny.
+    /// step of planning, and the table is tiny. The final line is an
+    /// integrity trailer (`# end <n> fnv <hex>`) covering the data rows,
+    /// letting [`from_csv_checked`](Self::from_csv_checked) detect
+    /// truncation and bit flips.
     pub fn to_csv(&self) -> String {
         use std::fmt::Write as _;
         let mut out = format!("# profile of {}\nw,m,test_time,volume_bits\n", self.name);
+        let mut sum = FNV_OFFSET;
         for e in &self.entries {
-            let _ = writeln!(
-                out,
+            let row = format!(
                 "{},{},{},{}",
                 e.tam_width, e.chains, e.test_time, e.volume_bits
             );
+            sum = fnv1a(sum, row.as_bytes());
+            sum = fnv1a(sum, b"\n");
+            let _ = writeln!(out, "{row}");
         }
+        let _ = writeln!(out, "# end {} fnv {sum:016x}", self.entries.len());
         out
     }
 
     /// Parses a profile previously written by [`to_csv`](Self::to_csv).
     ///
+    /// Lenient about the integrity trailer: hand-written CSVs without one
+    /// parse fine, but a trailer that *is* present must agree with the
+    /// data. Cache readers that only ever see [`to_csv`](Self::to_csv)
+    /// output should use [`from_csv_checked`](Self::from_csv_checked),
+    /// which demands the trailer and therefore catches truncation.
+    ///
     /// # Errors
     ///
-    /// Returns a message naming the offending line when the CSV is
-    /// malformed or the widths are not strictly increasing.
-    pub fn from_csv(name: impl Into<String>, csv: &str) -> Result<Self, String> {
+    /// A [`ProfileCsvError`] naming the offending line when the CSV is
+    /// malformed, the widths are not strictly increasing, or a present
+    /// trailer disagrees with the rows.
+    pub fn from_csv(name: impl Into<String>, csv: &str) -> Result<Self, ProfileCsvError> {
+        CoreProfile::parse_csv(name, csv, false)
+    }
+
+    /// Parses a profile written by [`to_csv`](Self::to_csv), *requiring*
+    /// the integrity trailer.
+    ///
+    /// This is the right entry point for on-disk cache reads: a truncated
+    /// file (trailer lost) fails with [`ProfileCsvError::MissingTrailer`]
+    /// or [`ProfileCsvError::Truncated`], and a bit-flipped digit — which
+    /// would parse into a numerically plausible but wrong entry — fails
+    /// with [`ProfileCsvError::ChecksumMismatch`].
+    ///
+    /// # Errors
+    ///
+    /// As [`from_csv`](Self::from_csv), plus
+    /// [`ProfileCsvError::MissingTrailer`] when no trailer is present.
+    pub fn from_csv_checked(name: impl Into<String>, csv: &str) -> Result<Self, ProfileCsvError> {
+        CoreProfile::parse_csv(name, csv, true)
+    }
+
+    fn parse_csv(
+        name: impl Into<String>,
+        csv: &str,
+        require_trailer: bool,
+    ) -> Result<Self, ProfileCsvError> {
         let mut entries: Vec<ProfileEntry> = Vec::new();
+        let mut sum = FNV_OFFSET;
+        let mut trailer: Option<(usize, u64)> = None;
         for (idx, raw) in csv.lines().enumerate() {
             let line = raw.trim();
+            if let Some(rest) = line.strip_prefix("# end ") {
+                let bad = ProfileCsvError::BadTrailer { line: idx + 1 };
+                let mut parts = rest.split_whitespace();
+                let count: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(bad.clone())?;
+                if parts.next() != Some("fnv") {
+                    return Err(bad);
+                }
+                let hex = parts.next().ok_or(bad.clone())?;
+                let checksum = u64::from_str_radix(hex, 16).map_err(|_| bad.clone())?;
+                if parts.next().is_some() {
+                    return Err(bad);
+                }
+                trailer = Some((count, checksum));
+                continue;
+            }
             if line.is_empty() || line.starts_with('#') || line.starts_with("w,") {
                 continue;
             }
             let fields: Vec<&str> = line.split(',').collect();
             if fields.len() != 4 {
-                return Err(format!("line {}: expected 4 fields", idx + 1));
+                return Err(ProfileCsvError::FieldCount { line: idx + 1 });
             }
-            let parse = |s: &str| -> Result<u64, String> {
+            let parse = |s: &str| -> Result<u64, ProfileCsvError> {
                 s.trim()
                     .parse()
-                    .map_err(|_| format!("line {}: invalid number `{s}`", idx + 1))
+                    .map_err(|_| ProfileCsvError::Number { line: idx + 1 })
+            };
+            let narrow = |v: u64| -> Result<u32, ProfileCsvError> {
+                u32::try_from(v).map_err(|_| ProfileCsvError::Overflow { line: idx + 1 })
             };
             let entry = ProfileEntry {
-                tam_width: parse(fields[0])? as u32,
-                chains: parse(fields[1])? as u32,
+                tam_width: narrow(parse(fields[0])?)?,
+                chains: narrow(parse(fields[1])?)?,
                 test_time: parse(fields[2])?,
                 volume_bits: parse(fields[3])?,
             };
             if let Some(last) = entries.last() {
                 if entry.tam_width <= last.tam_width {
-                    return Err(format!(
-                        "line {}: widths must be strictly increasing",
-                        idx + 1
-                    ));
+                    return Err(ProfileCsvError::NonMonotonic { line: idx + 1 });
                 }
             }
+            sum = fnv1a(sum, line.as_bytes());
+            sum = fnv1a(sum, b"\n");
             entries.push(entry);
+        }
+        match trailer {
+            Some((count, _)) if count != entries.len() => {
+                return Err(ProfileCsvError::Truncated {
+                    expected: count,
+                    found: entries.len(),
+                });
+            }
+            Some((_, checksum)) if checksum != sum => {
+                return Err(ProfileCsvError::ChecksumMismatch);
+            }
+            Some(_) => {}
+            None if require_trailer => return Err(ProfileCsvError::MissingTrailer),
+            None => {}
         }
         Ok(CoreProfile::from_entries(name, entries))
     }
@@ -587,5 +752,83 @@ mod csv_tests {
                 q.best_at_most(w).map(|e| e.test_time)
             );
         }
+    }
+
+    #[test]
+    fn checked_roundtrip_and_trailer_required() {
+        let p = profile();
+        let csv = p.to_csv();
+        assert_eq!(CoreProfile::from_csv_checked("csv", &csv).unwrap(), p);
+        // Hand-written CSV without a trailer: lenient parse passes, the
+        // checked parse demands the trailer.
+        let bare = "3,4,100,50\n5,6,90,60\n";
+        assert!(CoreProfile::from_csv("x", bare).is_ok());
+        assert_eq!(
+            CoreProfile::from_csv_checked("x", bare),
+            Err(ProfileCsvError::MissingTrailer)
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let p = profile();
+        let csv = p.to_csv();
+        // Drop one data row but keep the trailer: entry count disagrees.
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines.len() >= 4, "need rows to drop");
+        let mut cut = lines.clone();
+        cut.remove(2);
+        let err = CoreProfile::from_csv_checked("csv", &cut.join("\n")).unwrap_err();
+        assert!(matches!(err, ProfileCsvError::Truncated { .. }), "{err}");
+        // Chop the file mid-way (trailer lost entirely).
+        let half = &csv[..csv.len() / 2];
+        assert!(CoreProfile::from_csv_checked("csv", half).is_err());
+    }
+
+    #[test]
+    fn bit_flips_are_detected() {
+        let p = profile();
+        let csv = p.to_csv();
+        // Flip the last digit of a data row's volume field: still perfectly
+        // parsable, numerically plausible — only the checksum catches it.
+        let mut offset = 0usize;
+        let mut pos = None;
+        for line in csv.lines() {
+            if !line.starts_with('#') && !line.starts_with("w,") && !line.is_empty() {
+                pos = Some(offset + line.len() - 1);
+                break;
+            }
+            offset += line.len() + 1;
+        }
+        let pos = pos.expect("profile has a data row");
+        let mut bytes = csv.into_bytes();
+        assert!(bytes[pos].is_ascii_digit());
+        bytes[pos] = if bytes[pos] == b'9' { b'8' } else { b'9' };
+        let flipped = String::from_utf8(bytes).unwrap();
+        assert_eq!(
+            CoreProfile::from_csv_checked("csv", &flipped),
+            Err(ProfileCsvError::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn overflowing_widths_are_typed_errors() {
+        let row = format!("{},3,10,50\n", u64::from(u32::MAX) + 1);
+        assert_eq!(
+            CoreProfile::from_csv("x", &row),
+            Err(ProfileCsvError::Overflow { line: 1 })
+        );
+        assert!(matches!(
+            CoreProfile::from_csv("x", "1,2,3\n"),
+            Err(ProfileCsvError::FieldCount { line: 1 })
+        ));
+        assert!(matches!(
+            CoreProfile::from_csv("x", "a,b,c,d\n"),
+            Err(ProfileCsvError::Number { line: 1 })
+        ));
+        assert!(matches!(
+            CoreProfile::from_csv("x", "# end banana\n"),
+            Err(ProfileCsvError::BadTrailer { line: 1 })
+        ));
     }
 }

@@ -9,16 +9,28 @@
 //! operating point is compressed exactly once per core, no matter how many
 //! widths, modes or threads ask for it.
 
-use std::collections::BTreeMap;
 use std::sync::Mutex;
 
+use robust::{BoundedCache, CacheLimits, CacheStats};
 use soc_model::Core;
 use wrapper::DesignCache;
 
 use crate::stream::{compress_sampled, Compressed};
 
-/// Per-core memo of sampled compression results, keyed by the effective
-/// chain count and sample size.
+/// Default entry cap for the per-core evaluation memo. An evaluation is
+/// keyed by (chain count, sample), so even exhaustive profile sweeps stay
+/// far below this; the cap is a backstop for long-lived servers.
+pub const DEFAULT_EVAL_ENTRIES: usize = 65_536;
+
+/// Default byte cap for the per-core evaluation memo (4 MiB of
+/// [`Compressed`] summaries).
+pub const DEFAULT_EVAL_BYTES: usize = 4 << 20;
+
+/// Per-core bounded memo of sampled compression results, keyed by the
+/// effective chain count and sample size. Entries are evicted
+/// least-recently-used once the entry or byte cap is hit; eviction only
+/// ever costs recomputation, never changes a result
+/// ([`compress_sampled`] is deterministic in its key).
 ///
 /// Shared by reference across planner worker threads; all methods take
 /// `&self`.
@@ -34,22 +46,54 @@ use crate::stream::{compress_sampled, Compressed};
 /// let cache = EvalCache::new(core);
 /// assert_eq!(cache.evaluate_point(8, Some(4)), evaluate_point(core, 8, Some(4)));
 /// ```
-// BTreeMap, not HashMap: the memo is lookup-only today, but it is shared
+// BoundedCache is BTreeMap-backed, not hash-backed: the memo is shared
 // across planner threads and a hash-ordered drain sneaking in later would
 // be a worker-count-dependent bug. Compression dominates the lookup cost.
 #[derive(Debug)]
 pub struct EvalCache<'a> {
     designs: DesignCache<'a>,
-    evals: Mutex<BTreeMap<(u32, Option<usize>), Compressed>>,
+    evals: Mutex<BoundedCache<(u32, Option<usize>), Compressed>>,
 }
 
+/// Approximate bytes one memoized evaluation pins (key + value + tree
+/// node overhead, rounded up).
+const EVAL_ENTRY_BYTES: usize =
+    std::mem::size_of::<(u32, Option<usize>)>() + std::mem::size_of::<Compressed>() + 64;
+
 impl<'a> EvalCache<'a> {
-    /// Creates an empty cache for `core`. Nothing is computed up front.
+    /// Creates an empty cache for `core` with the default bounds
+    /// ([`DEFAULT_EVAL_ENTRIES`] / [`DEFAULT_EVAL_BYTES`] for evaluations,
+    /// the [`DesignCache`] defaults for designs). Nothing is computed up
+    /// front.
     pub fn new(core: &'a Core) -> Self {
+        EvalCache::with_limits(
+            core,
+            CacheLimits::new(
+                wrapper::DEFAULT_DESIGN_ENTRIES,
+                wrapper::DEFAULT_DESIGN_BYTES,
+            ),
+            CacheLimits::new(DEFAULT_EVAL_ENTRIES, DEFAULT_EVAL_BYTES),
+        )
+    }
+
+    /// Creates an empty cache with explicit caps for the design memo and
+    /// the evaluation memo. Tighter caps trade recomputation for memory;
+    /// they never change any returned evaluation.
+    pub fn with_limits(core: &'a Core, designs: CacheLimits, evals: CacheLimits) -> Self {
         EvalCache {
-            designs: DesignCache::new(core),
-            evals: Mutex::new(BTreeMap::new()),
+            designs: DesignCache::with_limits(core, designs),
+            evals: Mutex::new(BoundedCache::new(evals)),
         }
+    }
+
+    /// Hit/miss/eviction counters of the evaluation memo.
+    pub fn stats(&self) -> CacheStats {
+        self.evals.lock().expect("eval memo poisoned").stats()
+    }
+
+    /// Bytes currently pinned by memoized evaluations.
+    pub fn resident_bytes(&self) -> usize {
+        self.evals.lock().expect("eval memo poisoned").bytes()
     }
 
     /// The underlying wrapper-design memo.
@@ -86,7 +130,7 @@ impl<'a> EvalCache<'a> {
         self.evals
             .lock()
             .expect("eval memo poisoned")
-            .insert(key, result);
+            .insert(key, result, EVAL_ENTRY_BYTES);
         result
     }
 
@@ -154,5 +198,47 @@ mod tests {
         assert_eq!(a, b);
         let memo = cache.evals.lock().unwrap();
         assert_eq!(memo.len(), 1, "saturating samples must share a key");
+    }
+
+    /// A thrashing-tight eval memo returns the same results as an
+    /// unbounded one — eviction recomputes, never corrupts.
+    #[test]
+    fn tiny_caps_preserve_evaluation_identity() {
+        let core = prepared();
+        let unbounded =
+            EvalCache::with_limits(&core, CacheLimits::unbounded(), CacheLimits::unbounded());
+        let tight = EvalCache::with_limits(
+            &core,
+            CacheLimits::new(2, usize::MAX),
+            CacheLimits::new(2, usize::MAX),
+        );
+        let ms: Vec<u32> = (1..=12).chain((1..=12).rev()).collect();
+        for m in ms {
+            for sample in [None, Some(3)] {
+                assert_eq!(
+                    tight.evaluate_point(m, sample),
+                    unbounded.evaluate_point(m, sample),
+                    "m={m} sample={sample:?}"
+                );
+            }
+        }
+        assert!(tight.stats().evictions > 0, "cap must actually bite");
+        assert!(tight.evals.lock().unwrap().len() <= 2);
+    }
+
+    /// The eval memo's byte cap is respected under a sustained sweep.
+    #[test]
+    fn eval_byte_cap_holds() {
+        let core = prepared();
+        let cap = 3 * EVAL_ENTRY_BYTES;
+        let cache = EvalCache::with_limits(
+            &core,
+            CacheLimits::unbounded(),
+            CacheLimits::new(usize::MAX, cap),
+        );
+        for m in 1..=40 {
+            let _ = cache.evaluate_clamped(m, Some(4));
+            assert!(cache.resident_bytes() <= cap);
+        }
     }
 }

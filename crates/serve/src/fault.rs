@@ -1,0 +1,90 @@
+//! Injectable fault hooks for crash testing the daemon.
+//!
+//! The fault-injection suite needs to kill the daemon at *precise* points
+//! — after a request is journaled but before planning, after planning but
+//! before the plan is written — to prove restart recovery. [`FaultPlan`]
+//! reads the `SOCTDC_FAULT` environment variable once at startup and
+//! aborts the process (simulating `kill -9`: no destructors, no flushing)
+//! when execution crosses an armed point.
+//!
+//! Syntax: a comma-separated list of `abort:<point>` directives, e.g.
+//! `SOCTDC_FAULT=abort:plan-started,abort:before-plan-write`. Unknown
+//! directives are ignored so a newer test matrix degrades gracefully on an
+//! older binary. Production runs simply leave the variable unset; every
+//! hook is then a branch on an empty set.
+
+use std::collections::BTreeSet;
+
+/// Name of the fault-directive environment variable.
+pub const FAULT_ENV: &str = "SOCTDC_FAULT";
+
+/// The set of armed crash points for this process.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    aborts: BTreeSet<String>,
+}
+
+impl FaultPlan {
+    /// A plan with no armed faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Parses the [`FAULT_ENV`] variable; unset or unparsable directives
+    /// yield no armed faults.
+    pub fn from_env() -> Self {
+        match std::env::var(FAULT_ENV) {
+            Ok(spec) => FaultPlan::parse(&spec),
+            Err(_) => FaultPlan::none(),
+        }
+    }
+
+    /// Parses a directive list (`abort:a,abort:b`).
+    pub fn parse(spec: &str) -> Self {
+        let mut aborts = BTreeSet::new();
+        for directive in spec.split(',') {
+            if let Some(point) = directive.trim().strip_prefix("abort:") {
+                if !point.is_empty() {
+                    aborts.insert(point.to_string());
+                }
+            }
+        }
+        FaultPlan { aborts }
+    }
+
+    /// Whether any fault is armed (used to skip bookkeeping fast paths).
+    pub fn is_armed(&self) -> bool {
+        !self.aborts.is_empty()
+    }
+
+    /// Crash point: aborts the process when `point` is armed, otherwise
+    /// does nothing. `abort` is the closest in-process stand-in for
+    /// `SIGKILL` — no unwinding, no buffered writes flushed.
+    pub fn point(&self, point: &str) {
+        if self.aborts.contains(point) {
+            eprintln!("fault injection: aborting at `{point}`");
+            std::process::abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_directives() {
+        let plan = FaultPlan::parse("abort:a, abort:b,nonsense,abort:");
+        assert!(plan.is_armed());
+        assert!(plan.aborts.contains("a"));
+        assert!(plan.aborts.contains("b"));
+        assert_eq!(plan.aborts.len(), 2);
+        assert!(!FaultPlan::parse("").is_armed());
+    }
+
+    #[test]
+    fn unarmed_points_are_noops() {
+        FaultPlan::none().point("anything");
+        FaultPlan::parse("abort:x").point("y");
+    }
+}

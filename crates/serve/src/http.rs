@@ -1,0 +1,216 @@
+//! A minimal HTTP/1.1 request reader and response writer.
+//!
+//! Only what the daemon needs: one request per connection, `GET`/`POST`,
+//! `Content-Length` bodies. The parser reads untrusted sockets and is held
+//! to the untrusted-parser contract: typed errors, hard caps on line
+//! count, line length and body size, and no input-derived value used in
+//! unchecked arithmetic or indexing.
+
+use std::fmt;
+use std::io::BufRead;
+
+/// Maximum accepted request-line or header-line length.
+const MAX_LINE_BYTES: usize = 16 * 1024;
+/// Maximum accepted header count.
+const MAX_HEADERS: usize = 128;
+/// Maximum accepted body size (16 MiB, matching the JSON input cap).
+pub const MAX_BODY_BYTES: usize = 16 << 20;
+
+/// A parsed HTTP request head plus body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercased as received.
+    pub method: String,
+    /// Request target path, e.g. `/session/s1/plan`.
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Why a request was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Socket closed or errored mid-request.
+    Io,
+    /// Malformed request line.
+    BadRequestLine,
+    /// Malformed header line.
+    BadHeader,
+    /// More than [`MAX_HEADERS`] headers or an over-long line.
+    TooLarge,
+    /// `Content-Length` missing, unparsable, or above [`MAX_BODY_BYTES`].
+    BadLength,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io => f.write_str("connection error"),
+            HttpError::BadRequestLine => f.write_str("malformed request line"),
+            HttpError::BadHeader => f.write_str("malformed header"),
+            HttpError::TooLarge => f.write_str("request too large"),
+            HttpError::BadLength => f.write_str("bad content length"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one line capped at [`MAX_LINE_BYTES`], stripping `\r\n`.
+fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => return Err(HttpError::Io),
+            Ok(_) => {
+                let Some(&b) = byte.first() else {
+                    return Err(HttpError::Io);
+                };
+                if b == b'\n' {
+                    break;
+                }
+                if raw.len() >= MAX_LINE_BYTES {
+                    return Err(HttpError::TooLarge);
+                }
+                raw.push(b);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(HttpError::Io),
+        }
+    }
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw).map_err(|_| HttpError::BadHeader)
+}
+
+/// Reads one request (head + body) from `reader`.
+///
+/// # Errors
+///
+/// A typed [`HttpError`]; never panics on any input.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    let line = read_line(reader)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or(HttpError::BadRequestLine)?.to_string();
+    let path = parts.next().ok_or(HttpError::BadRequestLine)?.to_string();
+    let version = parts.next().ok_or(HttpError::BadRequestLine)?;
+    if !version.starts_with("HTTP/1.") || parts.next().is_some() || !path.starts_with('/') {
+        return Err(HttpError::BadRequestLine);
+    }
+
+    let mut content_length: Option<usize> = None;
+    for _ in 0..MAX_HEADERS {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            let body = match content_length {
+                None | Some(0) => Vec::new(),
+                Some(len) => {
+                    // `len` is already validated against MAX_BODY_BYTES.
+                    let mut body = vec![0u8; len];
+                    reader.read_exact(&mut body).map_err(|_| HttpError::Io)?;
+                    body
+                }
+            };
+            return Ok(Request { method, path, body });
+        }
+        let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            let len: usize = value.trim().parse().map_err(|_| HttpError::BadLength)?;
+            if len > MAX_BODY_BYTES {
+                return Err(HttpError::BadLength);
+            }
+            content_length = Some(len);
+        }
+    }
+    Err(HttpError::TooLarge)
+}
+
+/// Serializes an HTTP/1.1 response with the given status, optional
+/// `Retry-After` (seconds) header, and a JSON body.
+pub fn response(status: u16, reason: &str, retry_after_s: Option<u64>, body: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, "HTTP/1.1 {status} {reason}\r\n");
+    out.push_str("Content-Type: application/json\r\n");
+    let _ = write!(out, "Content-Length: {}\r\n", body.len());
+    if let Some(secs) = retry_after_s {
+        let _ = write!(out, "Retry-After: {secs}\r\n");
+    }
+    out.push_str("Connection: close\r\n\r\n");
+    out.push_str(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_and_post() {
+        let r = parse("GET /status HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!((r.method.as_str(), r.path.as_str()), ("GET", "/status"));
+        assert!(r.body.is_empty());
+
+        let r = parse("POST /plan HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        assert_eq!(parse(""), Err(HttpError::Io));
+        assert_eq!(parse("GET\r\n\r\n"), Err(HttpError::BadRequestLine));
+        assert_eq!(
+            parse("GET nopath HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadRequestLine)
+        );
+        assert_eq!(
+            parse("GET / HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(HttpError::BadHeader)
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+            Err(HttpError::BadLength)
+        );
+        assert_eq!(
+            parse(&format!(
+                "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )),
+            Err(HttpError::BadLength)
+        );
+    }
+
+    #[test]
+    fn caps_hold() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE_BYTES + 10));
+        assert_eq!(parse(&long), Err(HttpError::TooLarge));
+        let many = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            "X-H: 1\r\n".repeat(MAX_HEADERS + 1)
+        );
+        assert_eq!(parse(&many), Err(HttpError::TooLarge));
+    }
+
+    #[test]
+    fn truncated_bodies_fail_io() {
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Io)
+        );
+    }
+
+    #[test]
+    fn response_shape() {
+        let r = response(429, "Too Many Requests", Some(3), "{}");
+        assert!(r.starts_with("HTTP/1.1 429"));
+        assert!(r.contains("Retry-After: 3\r\n"));
+        assert!(r.ends_with("\r\n\r\n{}"));
+    }
+}

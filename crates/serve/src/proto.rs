@@ -1,0 +1,269 @@
+//! The daemon's request/response schema.
+//!
+//! One JSON object per request. Over stdio each line is a request and the
+//! daemon answers with one acknowledgment line per request (matched by
+//! `id`) plus, for plans, a later completion event line. Over HTTP the
+//! same operations map onto paths and the response is synchronous.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"id":1,"op":"ping"}
+//! {"id":2,"op":"open","session":"s1","benchmark":"d695","seed":1,"density":0.5}
+//! {"id":3,"op":"open","session":"s2","itc02":"<ITC'02 text>","density":0.5}
+//! {"id":4,"op":"plan","session":"s1","mode":"per-core","width":16,"budget_ms":2000}
+//! {"id":5,"op":"get-plan","session":"s1","request":"0001"}
+//! {"id":6,"op":"sessions"}
+//! {"id":7,"op":"status"}
+//! {"id":8,"op":"shutdown"}
+//! ```
+
+use crate::json::{obj, JsonError, Value};
+use crate::session::DesignSource;
+
+/// A decoded protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Daemon status: queue depth, cache counters, session count.
+    Status,
+    /// List sessions.
+    Sessions,
+    /// Create (or replace) a session.
+    Open {
+        /// Session name.
+        session: String,
+        /// Design source.
+        source: DesignSource,
+        /// Cube-synthesis seed (default 1).
+        seed: u64,
+        /// Care-bit density (default 0.5).
+        density: f64,
+    },
+    /// Queue a planning run on a session.
+    Plan {
+        /// Session name.
+        session: String,
+        /// Planner mode keyword (`per-core`, `no-tdc`, …).
+        mode: String,
+        /// External TAM width budget.
+        width: u32,
+        /// Wall-clock budget in ms; `None` uses the server default and
+        /// `0` disables the deadline entirely (deterministic plan).
+        budget_ms: Option<u64>,
+    },
+    /// Fetch a completed plan's text.
+    GetPlan {
+        /// Session name.
+        session: String,
+        /// Request id returned by the `plan` acknowledgment.
+        request: String,
+    },
+    /// Graceful shutdown: drain the queue, then exit.
+    Shutdown,
+}
+
+/// Why a wire request could not be decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeError {
+    /// The line was not valid JSON.
+    Json(JsonError),
+    /// Structurally valid JSON that is not a valid request.
+    Invalid(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Json(e) => write!(f, "json: {e}"),
+            DecodeError::Invalid(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes one request line. Returns the caller-chosen correlation id
+/// (0 when absent) alongside the request so errors can still be matched.
+///
+/// # Errors
+///
+/// [`DecodeError`] naming the problem; the id is best-effort extracted
+/// even from invalid requests.
+pub fn decode(line: &str) -> (u64, Result<Request, DecodeError>) {
+    let value = match crate::json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return (0, Err(DecodeError::Json(e))),
+    };
+    let id = value.field("id").and_then(Value::as_u64).unwrap_or(0);
+    (id, decode_value(&value))
+}
+
+fn decode_value(value: &Value) -> Result<Request, DecodeError> {
+    let op = value
+        .field("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| DecodeError::Invalid("missing `op`".into()))?;
+    let need_str = |key: &str| -> Result<String, DecodeError> {
+        value
+            .field(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| DecodeError::Invalid(format!("missing `{key}`")))
+    };
+    match op {
+        "ping" => Ok(Request::Ping),
+        "status" => Ok(Request::Status),
+        "sessions" => Ok(Request::Sessions),
+        "shutdown" => Ok(Request::Shutdown),
+        "open" => {
+            let session = need_str("session")?;
+            let source = match (
+                value.field("benchmark").and_then(Value::as_str),
+                value.field("itc02").and_then(Value::as_str),
+            ) {
+                (Some(b), None) => DesignSource::Benchmark(b.to_string()),
+                (None, Some(t)) => DesignSource::Itc02(t.to_string()),
+                _ => {
+                    return Err(DecodeError::Invalid(
+                        "`open` needs exactly one of `benchmark` or `itc02`".into(),
+                    ))
+                }
+            };
+            let seed = match value.field("seed") {
+                None => 1,
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    DecodeError::Invalid("`seed` must be a non-negative integer".into())
+                })?,
+            };
+            let density = match value.field("density") {
+                None => 0.5,
+                Some(v) => v
+                    .as_f64()
+                    .filter(|d| (0.0..=1.0).contains(d))
+                    .ok_or_else(|| DecodeError::Invalid("`density` must be in [0,1]".into()))?,
+            };
+            Ok(Request::Open {
+                session,
+                source,
+                seed,
+                density,
+            })
+        }
+        "plan" => {
+            let session = need_str("session")?;
+            let mode = match value.field("mode") {
+                None => "per-core".to_string(),
+                Some(v) => v
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| DecodeError::Invalid("`mode` must be a string".into()))?,
+            };
+            let width = value
+                .field("width")
+                .and_then(Value::as_u64)
+                .and_then(|w| u32::try_from(w).ok())
+                .filter(|&w| (1..=4096).contains(&w))
+                .ok_or_else(|| DecodeError::Invalid("`width` must be in 1..=4096".into()))?;
+            let budget_ms = match value.field("budget_ms") {
+                None => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    DecodeError::Invalid("`budget_ms` must be a non-negative integer".into())
+                })?),
+            };
+            Ok(Request::Plan {
+                session,
+                mode,
+                width,
+                budget_ms,
+            })
+        }
+        "get-plan" => Ok(Request::GetPlan {
+            session: need_str("session")?,
+            request: need_str("request")?,
+        }),
+        other => Err(DecodeError::Invalid(format!("unknown op `{other}`"))),
+    }
+}
+
+/// A successful acknowledgment: `{"id":N,"ok":true,"result":...}`.
+pub fn ok(id: u64, result: Value) -> Value {
+    obj(vec![
+        ("id", Value::Int(i64::try_from(id).unwrap_or(0))),
+        ("ok", Value::Bool(true)),
+        ("result", result),
+    ])
+}
+
+/// An error response; `retry_after_ms` is set only for shed load.
+pub fn err(id: u64, message: &str, retry_after_ms: Option<u64>) -> Value {
+    let mut pairs = vec![
+        ("id", Value::Int(i64::try_from(id).unwrap_or(0))),
+        ("ok", Value::Bool(false)),
+        ("error", Value::Str(message.to_string())),
+    ];
+    if let Some(ms) = retry_after_ms {
+        pairs.push(("retry_after_ms", Value::Int(i64::try_from(ms).unwrap_or(0))));
+    }
+    obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_the_documented_shapes() {
+        let (id, req) = decode(r#"{"id":1,"op":"ping"}"#);
+        assert_eq!((id, req.unwrap()), (1, Request::Ping));
+
+        let (_, req) = decode(r#"{"id":2,"op":"open","session":"s1","benchmark":"d695","seed":3}"#);
+        assert_eq!(
+            req.unwrap(),
+            Request::Open {
+                session: "s1".into(),
+                source: DesignSource::Benchmark("d695".into()),
+                seed: 3,
+                density: 0.5,
+            }
+        );
+
+        let (_, req) = decode(r#"{"id":4,"op":"plan","session":"s1","width":16,"budget_ms":500}"#);
+        assert_eq!(
+            req.unwrap(),
+            Request::Plan {
+                session: "s1".into(),
+                mode: "per-core".into(),
+                width: 16,
+                budget_ms: Some(500),
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_requests_keep_their_id() {
+        let (id, req) = decode(r#"{"id":9,"op":"warp"}"#);
+        assert_eq!(id, 9);
+        assert!(req.is_err());
+        let (id, req) = decode("not json at all");
+        assert_eq!(id, 0);
+        assert!(matches!(req, Err(DecodeError::Json(_))));
+        let (_, req) = decode(r#"{"op":"plan","session":"s","width":0}"#);
+        assert!(req.is_err(), "zero width rejected");
+        let (_, req) = decode(r#"{"op":"open","session":"s"}"#);
+        assert!(req.is_err(), "open needs a source");
+    }
+
+    #[test]
+    fn responses_serialize_deterministically() {
+        assert_eq!(
+            ok(3, Value::Str("pong".into())).to_json(),
+            r#"{"id":3,"ok":true,"result":"pong"}"#
+        );
+        assert_eq!(
+            err(4, "queue full", Some(1500)).to_json(),
+            r#"{"error":"queue full","id":4,"ok":false,"retry_after_ms":1500}"#
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! A bounded MPMC request queue with explicit load shedding.
+//!
+//! The daemon accepts work only through [`BoundedQueue::try_push`], which
+//! *fails fast* with [`QueueFull`] when the queue is at capacity — the
+//! caller turns that into a reject-with-retry-after response instead of
+//! buffering unboundedly. Workers block on [`BoundedQueue::pop`] until
+//! work arrives or the queue is closed for shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Returned by [`BoundedQueue::try_push`] when the queue cannot accept
+/// more work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; shed load and ask the client to retry.
+    Full {
+        /// Current depth (== capacity).
+        depth: usize,
+    },
+    /// The queue was closed for shutdown.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO shared between the protocol front ends (producers) and
+/// the planning workers (consumers).
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item`, or rejects it when full/closed. On success returns
+    /// the new depth (for retry-after estimation by the caller).
+    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full {
+                depth: state.items.len(),
+            });
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available (returning it) or the queue is
+    /// closed *and* drained (returning `None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new pushes fail, and
+    /// blocked workers wake up once the backlog is empty.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Drains and discards everything queued, returning how many items
+    /// were dropped. Used on fast shutdown.
+    pub fn drain(&self) -> usize {
+        let mut state = self.state.lock().expect("queue poisoned");
+        let dropped = state.items.len();
+        state.items.clear();
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_load_when_full() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full { depth: 2 }));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(2));
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_backlog() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.close();
+        assert_eq!(q.try_push("b"), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn workers_wake_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        for i in 0..5 {
+            while q.try_push(i).is_err() {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -22,6 +22,10 @@ pub const DETERMINISM_CRATES: &[&str] = &[
     "soc-model",
     "fdr",
     "soclint",
+    // The daemon takes all time through `robust::Deadline` and keeps its
+    // own state in ordered containers, so its request handling is as
+    // reproducible as the planner underneath it.
+    "serve",
 ];
 
 /// Crates allowed to read the wall clock: `robust` owns deadlines, the
@@ -37,6 +41,8 @@ pub const UNTRUSTED_PARSER_FILES: &[&str] = &[
     "crates/tdcsoc/src/vectors.rs",
     "crates/soc-model/src/itc02.rs",
     "crates/soc-model/src/patfile.rs",
+    "crates/serve/src/json.rs",
+    "crates/serve/src/http.rs",
 ];
 
 /// Crates that build or submit `parpool` job closures; the closure-capture
@@ -296,6 +302,12 @@ mod tests {
 
         let planfile = classify("crates/tdcsoc/src/planfile.rs");
         assert!(planfile.untrusted_parser && planfile.determinism);
+
+        let wire_json = classify("crates/serve/src/json.rs");
+        assert!(wire_json.untrusted_parser && wire_json.determinism);
+        let wire_http = classify("crates/serve/src/http.rs");
+        assert!(wire_http.untrusted_parser && wire_http.determinism);
+        assert!(!classify("crates/serve/src/server.rs").untrusted_parser);
 
         let bench_bin = classify("src/bin/bench_profile.rs");
         assert!(!bench_bin.wall_clock_banned && !bench_bin.determinism);

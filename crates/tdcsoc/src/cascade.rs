@@ -74,7 +74,8 @@ pub struct PlanControl {
     pub profile_cache: Option<ProfileCacheConfig>,
 }
 
-/// Where [`PlanControl::profile_cache`] keeps per-core profile CSVs.
+/// Where [`PlanControl::profile_cache`] keeps per-core profile CSVs, and
+/// how large it may grow.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProfileCacheConfig {
     /// Cache directory (created on demand).
@@ -84,6 +85,33 @@ pub struct ProfileCacheConfig {
     /// changing any generation input misses cleanly instead of reusing a
     /// wrong profile.
     pub tag: String,
+    /// Entry (file-count) and byte caps for the on-disk cache. After each
+    /// write the oldest cached profiles — by write order, tracked in an
+    /// index journal, never by file mtime — are deleted until the caps
+    /// hold again.
+    pub limits: robust::CacheLimits,
+}
+
+impl ProfileCacheConfig {
+    /// Default file-count cap for an on-disk profile cache.
+    pub const DEFAULT_FILES: usize = 4096;
+    /// Default byte cap for an on-disk profile cache (64 MiB).
+    pub const DEFAULT_BYTES: usize = 64 << 20;
+
+    /// A cache under `dir` keyed by `tag` with the default caps.
+    pub fn new(dir: impl Into<PathBuf>, tag: impl Into<String>) -> Self {
+        ProfileCacheConfig {
+            dir: dir.into(),
+            tag: tag.into(),
+            limits: robust::CacheLimits::new(Self::DEFAULT_FILES, Self::DEFAULT_BYTES),
+        }
+    }
+
+    /// Overrides the file-count/byte caps.
+    pub fn with_limits(mut self, limits: robust::CacheLimits) -> Self {
+        self.limits = limits;
+        self
+    }
 }
 
 impl PlanControl {
@@ -107,12 +135,10 @@ impl PlanControl {
         self
     }
 
-    /// Caches per-core profiles as CSVs under `dir`, keyed by `tag`.
+    /// Caches per-core profiles as CSVs under `dir`, keyed by `tag`, with
+    /// the default size caps.
     pub fn cache_profiles_in(mut self, dir: impl Into<PathBuf>, tag: impl Into<String>) -> Self {
-        self.profile_cache = Some(ProfileCacheConfig {
-            dir: dir.into(),
-            tag: tag.into(),
-        });
+        self.profile_cache = Some(ProfileCacheConfig::new(dir, tag));
         self
     }
 }

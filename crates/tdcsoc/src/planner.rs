@@ -480,8 +480,15 @@ fn profile_cache_file(
         .join(format!("{tag}-{core}-w{width}-s{sample}-m{mcand}.csv"))
 }
 
-/// Reads a cached profile, or `None` on any miss, parse failure, or name
-/// mismatch — the cache can only ever save work, never corrupt a plan.
+/// Reads a cached profile, or `None` on any miss — the cache can only
+/// ever save work, never corrupt a plan.
+///
+/// Reads are *checked*: the CSV must carry a valid integrity trailer
+/// ([`CoreProfile::from_csv_checked`]), so a truncated write or a
+/// bit-flipped digit is rejected instead of parsed into a numerically
+/// plausible but wrong profile. A file that fails the check is moved into
+/// the cache's `quarantine/` subdirectory (best-effort) and the profile is
+/// rebuilt and rewritten by the normal miss path.
 fn read_cached_profile(
     cache: &ProfileCacheConfig,
     core: &str,
@@ -489,12 +496,36 @@ fn read_cached_profile(
     config: &DecisionConfig,
 ) -> Option<CoreProfile> {
     let path = profile_cache_file(cache, core, width, config);
-    let csv = std::fs::read_to_string(path).ok()?;
-    CoreProfile::from_csv(core, &csv).ok()
+    let csv = std::fs::read_to_string(&path).ok()?;
+    match CoreProfile::from_csv_checked(core, &csv) {
+        Ok(profile) => Some(profile),
+        Err(_) => {
+            quarantine_cache_file(cache, &path);
+            None
+        }
+    }
+}
+
+/// Moves a corrupt cache file out of the lookup path, preserving it for
+/// post-mortems under `quarantine/`. Falls back to deletion when the move
+/// fails (a corrupt file must never be re-read as cache), and gives up
+/// silently if even that fails — the rebuild path doesn't depend on it.
+fn quarantine_cache_file(cache: &ProfileCacheConfig, path: &Path) {
+    let Some(name) = path.file_name() else {
+        return;
+    };
+    let dir = cache.dir.join("quarantine");
+    let moved =
+        std::fs::create_dir_all(&dir).is_ok() && std::fs::rename(path, dir.join(name)).is_ok();
+    if !moved {
+        let _ = std::fs::remove_file(path);
+    }
 }
 
 /// Best-effort cache write (atomic via rename); I/O failures are
-/// swallowed — caching must never fail the plan.
+/// swallowed — caching must never fail the plan. Each write is recorded
+/// in the cache's index journal and followed by cap enforcement, so the
+/// on-disk cache stays within [`ProfileCacheConfig::limits`].
 fn write_cached_profile(
     cache: &ProfileCacheConfig,
     profile: &CoreProfile,
@@ -506,8 +537,98 @@ fn write_cached_profile(
     }
     let path = profile_cache_file(cache, profile.name(), width, config);
     let tmp = path.with_extension("csv.tmp");
-    if std::fs::write(&tmp, profile.to_csv()).is_ok() {
-        let _ = std::fs::rename(&tmp, path);
+    if std::fs::write(&tmp, profile.to_csv()).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+        enforce_disk_cache_caps(cache, &path);
+    }
+}
+
+/// Name of the write-order journal inside a profile-cache directory.
+const CACHE_JOURNAL: &str = "index.log";
+
+/// Evicts the oldest cached profiles until the directory is back under
+/// its file-count and byte caps.
+///
+/// "Oldest" is write order as recorded in the cache's journal — never
+/// file mtimes, which would make eviction depend on filesystem clocks.
+/// Cache files present but missing from the journal (a lost or truncated
+/// journal) are treated as oldest, in file-name order, so a damaged
+/// journal degrades to a deterministic fallback instead of unbounded
+/// growth. All I/O is best-effort.
+fn enforce_disk_cache_caps(cache: &ProfileCacheConfig, just_written: &Path) {
+    let journal_path = cache.dir.join(CACHE_JOURNAL);
+    let written_name = just_written
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned());
+
+    // Live cache files and their sizes, by name.
+    let mut sizes: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let Ok(entries) = std::fs::read_dir(&cache.dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.ends_with(".csv") {
+            continue;
+        }
+        if let Ok(meta) = entry.metadata() {
+            if meta.is_file() {
+                sizes.insert(name, meta.len());
+            }
+        }
+    }
+
+    // Reconstruct write order: journal entries that still exist, oldest
+    // first, preceded by any unjournaled files (name order) as "oldest",
+    // followed by the file just written.
+    let journal = std::fs::read_to_string(&journal_path).unwrap_or_default();
+    let mut order: Vec<String> = Vec::new();
+    let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let push =
+        |name: &str, order: &mut Vec<String>, seen: &mut std::collections::BTreeSet<String>| {
+            if sizes.contains_key(name) && seen.insert(name.to_string()) {
+                order.push(name.to_string());
+            }
+        };
+    let journaled: std::collections::BTreeSet<&str> = journal.lines().map(str::trim).collect();
+    for name in sizes.keys() {
+        if !journaled.contains(name.as_str()) && Some(name) != written_name.as_ref() {
+            push(name, &mut order, &mut seen);
+        }
+    }
+    for line in journal.lines() {
+        let name = line.trim();
+        if Some(name) != written_name.as_deref() {
+            push(name, &mut order, &mut seen);
+        }
+    }
+    if let Some(name) = &written_name {
+        push(name, &mut order, &mut seen);
+    }
+
+    // Evict oldest-first until both caps hold.
+    let mut total: u64 = order.iter().filter_map(|n| sizes.get(n)).sum();
+    let mut keep_from = 0usize;
+    for (i, name) in order.iter().enumerate() {
+        let over_files = order.len() - i > cache.limits.max_entries;
+        let over_bytes = usize::try_from(total).unwrap_or(usize::MAX) > cache.limits.max_bytes;
+        if !over_files && !over_bytes {
+            keep_from = i;
+            break;
+        }
+        let _ = std::fs::remove_file(cache.dir.join(name));
+        total -= sizes.get(name).copied().unwrap_or(0);
+        keep_from = i + 1;
+    }
+
+    // Rewrite the journal to the surviving order (atomic via rename).
+    let mut text = String::new();
+    for name in &order[keep_from..] {
+        text.push_str(name);
+        text.push('\n');
+    }
+    let tmp = journal_path.with_extension("log.tmp");
+    if std::fs::write(&tmp, text).is_ok() {
+        let _ = std::fs::rename(&tmp, &journal_path);
     }
 }
 

@@ -4,16 +4,33 @@
 //! for the same designs over and over: every profile width, every decision
 //! table mode, and every raw-access fallback re-derives operating points
 //! from the same few hundred distinct chain counts. [`DesignCache`] computes
-//! each design at most once and shares it behind an [`Arc`], and answers
-//! the `best design with ≤ m chains` query from an incrementally extended
-//! prefix minimum instead of re-scanning `1..=m` designs per call (the
-//! raw-decision path is quadratic in the TAM width without it).
+//! each design at most once while it stays resident and shares it behind an
+//! [`Arc`], and answers the `best design with ≤ m chains` query from an
+//! incrementally extended prefix minimum instead of re-scanning `1..=m`
+//! designs per call (the raw-decision path is quadratic in the TAM width
+//! without it).
+//!
+//! The memo is bounded (entry + byte caps, LRU eviction via
+//! [`robust::BoundedCache`]) so a long-lived process planning many designs
+//! cannot grow without bound. Eviction only ever costs recomputation:
+//! `design_wrapper` is a pure function of `(core, m)`, so a re-derived
+//! point is bit-identical to the evicted one and plans are unaffected by
+//! the cap — the tests below prove it.
 
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
+use robust::{BoundedCache, CacheLimits, CacheStats};
 use soc_model::Core;
 
 use crate::design::{design_wrapper, WrapperDesign};
+
+/// Default per-core entry cap. Chain counts are capped by the core's
+/// stitchable units, almost always far below this, so CLI runs never evict
+/// in practice — the cap is a backstop for pathological cores.
+pub const DEFAULT_DESIGN_ENTRIES: usize = 4096;
+
+/// Default per-core byte cap (16 MiB of design layouts).
+pub const DEFAULT_DESIGN_BYTES: usize = 16 << 20;
 
 /// One memoized wrapper operating point: the design and its uncompressed
 /// test time for the core's full pattern count.
@@ -25,12 +42,20 @@ pub struct DesignPoint {
     pub test_time: u64,
 }
 
-/// Per-core memo of [`design_wrapper`] results, keyed by chain count.
+impl DesignPoint {
+    /// Approximate bytes this point pins in the cache.
+    fn weight(&self) -> usize {
+        std::mem::size_of::<Self>() + self.design.approx_bytes()
+    }
+}
+
+/// Per-core bounded memo of [`design_wrapper`] results, keyed by chain
+/// count.
 ///
 /// Chain counts above [`Core::max_wrapper_chains`] produce the same design
 /// as the cap itself (every stitchable unit already has its own chain), so
-/// they share the cap's slot. All methods take `&self` and are safe to call
-/// from several worker threads at once.
+/// they share the cap's entry. All methods take `&self` and are safe to
+/// call from several worker threads at once.
 ///
 /// # Examples
 ///
@@ -43,7 +68,7 @@ pub struct DesignPoint {
 /// let cache = DesignCache::new(&core);
 /// let a = cache.design_at(4);
 /// let b = cache.design_at(4);
-/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // computed once
+/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // computed once while resident
 /// let best = cache.best_up_to(16);
 /// assert_eq!(best.test_time, best_design_up_to(&core, 16).1);
 /// # Ok::<(), soc_model::BuildCoreError>(())
@@ -51,25 +76,35 @@ pub struct DesignPoint {
 #[derive(Debug)]
 pub struct DesignCache<'a> {
     core: &'a Core,
-    /// `max_wrapper_chains().max(1)`; slot index `m - 1` for `m ∈ 1..=cap`.
+    /// `max_wrapper_chains().max(1)`; every key is clamped to `1..=cap`.
     cap: u32,
-    slots: Vec<OnceLock<Arc<DesignPoint>>>,
+    points: Mutex<BoundedCache<u32, Arc<DesignPoint>>>,
     /// `prefix[i]` = (chain count, test time) of the best design over
     /// `m ∈ 1..=i+1`, ties keeping the smallest chain count. Extended
-    /// lazily as wider queries arrive.
+    /// lazily as wider queries arrive. Stores plain values, so evicting a
+    /// design never invalidates an already-computed prefix.
     prefix: Mutex<Vec<(u32, u64)>>,
 }
 
 impl<'a> DesignCache<'a> {
-    /// Creates an empty cache for `core`. Nothing is computed up front.
+    /// Creates an empty cache for `core` with the default bounds
+    /// ([`DEFAULT_DESIGN_ENTRIES`] / [`DEFAULT_DESIGN_BYTES`]). Nothing is
+    /// computed up front.
     pub fn new(core: &'a Core) -> Self {
-        let cap = core.max_wrapper_chains().max(1);
-        let mut slots = Vec::new();
-        slots.resize_with(cap as usize, OnceLock::new);
+        DesignCache::with_limits(
+            core,
+            CacheLimits::new(DEFAULT_DESIGN_ENTRIES, DEFAULT_DESIGN_BYTES),
+        )
+    }
+
+    /// Creates an empty cache with explicit entry/byte caps. Tighter caps
+    /// trade recomputation for memory; they never change any returned
+    /// design.
+    pub fn with_limits(core: &'a Core, limits: CacheLimits) -> Self {
         DesignCache {
             core,
-            cap,
-            slots,
+            cap: core.max_wrapper_chains().max(1),
+            points: Mutex::new(BoundedCache::new(limits)),
             prefix: Mutex::new(Vec::new()),
         }
     }
@@ -79,17 +114,37 @@ impl<'a> DesignCache<'a> {
         self.core
     }
 
+    /// Hit/miss/eviction counters of the design memo.
+    pub fn stats(&self) -> CacheStats {
+        self.points.lock().expect("design memo poisoned").stats()
+    }
+
+    /// Bytes currently pinned by memoized designs.
+    pub fn resident_bytes(&self) -> usize {
+        self.points.lock().expect("design memo poisoned").bytes()
+    }
+
     /// The memoized design at chain count `m` (clamped to `1..=cap`),
-    /// identical to [`design_wrapper(core, m)`](design_wrapper).
+    /// identical to [`design_wrapper(core, m)`](design_wrapper) whether it
+    /// comes from the memo or is (re)computed after an eviction.
     pub fn design_at(&self, m: u32) -> Arc<DesignPoint> {
         let key = m.clamp(1, self.cap);
-        self.slots[key as usize - 1]
-            .get_or_init(|| {
-                let design = design_wrapper(self.core, key);
-                let test_time = design.test_time(u64::from(self.core.pattern_count()));
-                Arc::new(DesignPoint { design, test_time })
-            })
-            .clone()
+        if let Some(hit) = self.points.lock().expect("design memo poisoned").get(&key) {
+            return Arc::clone(hit);
+        }
+        // Compute outside the lock: design_wrapper is pure, so two racing
+        // threads at worst both derive the same point and the second
+        // insert replaces the first with an identical value.
+        let design = design_wrapper(self.core, key);
+        let test_time = design.test_time(u64::from(self.core.pattern_count()));
+        let point = Arc::new(DesignPoint { design, test_time });
+        let weight = point.weight();
+        let mut memo = self.points.lock().expect("design memo poisoned");
+        if let Some(hit) = memo.get(&key) {
+            return Arc::clone(hit);
+        }
+        memo.insert(key, Arc::clone(&point), weight);
+        point
     }
 
     /// The best (lowest uncompressed test time) design using at most
@@ -174,5 +229,54 @@ mod tests {
             cache.design_at(cap + 50).design.chain_count(),
             design_wrapper(&c, cap + 50).chain_count()
         );
+    }
+
+    /// Eviction under a tiny cap costs recomputation only: every design a
+    /// bounded cache hands out is bit-identical to the unbounded cache's
+    /// and to a fresh derivation, across an access pattern that forces
+    /// constant thrashing.
+    #[test]
+    fn tiny_caps_preserve_design_identity() {
+        let c = core();
+        let unbounded = DesignCache::with_limits(&c, CacheLimits::unbounded());
+        let tight = DesignCache::with_limits(&c, CacheLimits::new(2, usize::MAX));
+        let pattern: Vec<u32> = (1..=16)
+            .chain((1..=16).rev())
+            .chain([5, 9, 1, 16])
+            .collect();
+        for m in pattern {
+            let a = tight.design_at(m);
+            let b = unbounded.design_at(m);
+            assert_eq!(a.design, b.design, "m={m}");
+            assert_eq!(a.test_time, b.test_time);
+            assert_eq!(
+                tight.best_up_to(m).test_time,
+                unbounded.best_up_to(m).test_time
+            );
+        }
+        assert!(tight.stats().evictions > 0, "cap must actually bite");
+        assert!(tight.points.lock().unwrap().len() <= 2);
+    }
+
+    /// The byte cap is respected: resident bytes never exceed the cap even
+    /// while every design is queried, and queries keep answering correctly.
+    #[test]
+    fn byte_cap_holds_while_serving() {
+        let c = core();
+        let one_point = DesignCache::new(&c).design_at(4).weight();
+        let cache = DesignCache::with_limits(&c, CacheLimits::new(usize::MAX, 3 * one_point));
+        for m in 1..=c.max_wrapper_chains() {
+            let point = cache.design_at(m);
+            assert_eq!(
+                point.design.chain_count(),
+                design_wrapper(&c, m).chain_count()
+            );
+            assert!(
+                cache.resident_bytes() <= 3 * one_point,
+                "resident {} over cap {}",
+                cache.resident_bytes(),
+                3 * one_point
+            );
+        }
     }
 }

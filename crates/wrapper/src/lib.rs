@@ -41,7 +41,7 @@ mod pareto;
 mod power;
 mod slicemat;
 
-pub use cache::{DesignCache, DesignPoint};
+pub use cache::{DesignCache, DesignPoint, DEFAULT_DESIGN_BYTES, DEFAULT_DESIGN_ENTRIES};
 pub use design::{design_wrapper, ChainLayout, Slices, WrapperDesign};
 pub use ieee1500::{reconfiguration_overhead, tam_time_with_control, Wir, WrapperMode, WIR_LENGTH};
 pub use pareto::{best_design_up_to, pareto_points, test_time_at, WrapperPoint};

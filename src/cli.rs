@@ -40,8 +40,25 @@ pub enum Command {
     /// Fit a test to a tester memory budget by truncation
     /// (`soctdc truncate …`).
     Truncate(TruncateArgs),
+    /// Run the persistent planning daemon (`soctdc serve …`).
+    Serve(ServeArgs),
     /// Print usage (`soctdc help`).
     Help,
+}
+
+/// Arguments of `soctdc serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Persistent state root (sessions, caches, quarantine).
+    pub root: String,
+    /// Optional `host:port` for the HTTP listener.
+    pub http: Option<String>,
+    /// Planning worker threads (`None` = daemon default).
+    pub workers: Option<usize>,
+    /// Request-queue capacity (`None` = daemon default).
+    pub queue_cap: Option<usize>,
+    /// Default wall-clock budget (ms) for plan requests without one.
+    pub default_budget_ms: Option<u64>,
 }
 
 /// Where an SOC comes from.
@@ -223,6 +240,8 @@ USAGE:
   soctdc truncate (--soc FILE | --itc02 FILE | --design NAME) --depth N
                  [--width N | --ate N] [--mode …] [--seed N] [--density F]
   soctdc info    (--soc FILE | --itc02 FILE | --design NAME) [--density F]
+  soctdc serve   --root DIR [--http ADDR] [--workers N] [--queue-cap N]
+                 [--deadline MS]
   soctdc designs
   soctdc help
 
@@ -262,6 +281,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut resume: Option<String> = None;
     let mut workers: Option<usize> = None;
     let mut profile_cache: Option<String> = None;
+    let mut root: Option<String> = None;
+    let mut http: Option<String> = None;
+    let mut queue_cap: Option<usize> = None;
 
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -313,6 +335,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 workers = Some(n);
             }
             "--profile-cache" => profile_cache = Some(value("--profile-cache")?),
+            "--root" => root = Some(value("--root")?),
+            "--http" => http = Some(value("--http")?),
+            "--queue-cap" => {
+                let n: usize = parse_num(&value("--queue-cap")?, "--queue-cap")?;
+                if n == 0 {
+                    return Err(usage("--queue-cap needs at least 1"));
+                }
+                queue_cap = Some(n);
+            }
             other => return Err(usage(&format!("unknown flag `{other}`"))),
         }
     }
@@ -398,6 +429,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 density,
             }))
         }
+        "serve" => Ok(Command::Serve(ServeArgs {
+            root: root.ok_or_else(|| usage("serve needs --root DIR"))?,
+            http,
+            workers,
+            queue_cap,
+            default_budget_ms: deadline_ms,
+        })),
         "info" => Ok(Command::Info(InfoArgs {
             source: need_source(source)?,
             density,
@@ -462,6 +500,27 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
     let io_err = |e: std::io::Error| CliError::Run(Box::new(e));
     match command {
         Command::Help => writeln!(out, "{USAGE}").map_err(io_err),
+        Command::Serve(args) => {
+            let mut config = serve::ServeConfig::new(&args.root);
+            config.http = args.http.clone();
+            if let Some(w) = args.workers {
+                config.workers = w;
+            }
+            if let Some(cap) = args.queue_cap {
+                config.queue_cap = cap;
+            }
+            if let Some(ms) = args.default_budget_ms {
+                config.default_budget_ms = ms;
+            }
+            // The daemon owns the process stdio (NDJSON protocol); `out`
+            // is not used so the wire format stays line-exact.
+            match serve::run(&config) {
+                0 => Ok(()),
+                code => Err(CliError::Run(
+                    format!("serve exited with code {code}").into(),
+                )),
+            }
+        }
         Command::Designs => {
             for d in Design::ALL {
                 let soc = d.build();

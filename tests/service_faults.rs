@@ -1,0 +1,415 @@
+//! Fault-injection harness for `soctdc serve`: kill the daemon at armed
+//! crash points, corrupt its persistent state, drop client connections —
+//! and assert that a restart recovers every session and finishes every
+//! journaled request.
+//!
+//! The daemon is exercised as a real subprocess over its stdio NDJSON
+//! protocol (and, for the disconnect test, its HTTP listener), so these
+//! tests cover the full wire → journal → plan → persist path.
+
+#![forbid(unsafe_code)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn soctdc() -> &'static str {
+    env!("CARGO_BIN_EXE_soctdc")
+}
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("service-faults-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A running daemon with line-based access to its stdio protocol.
+struct Daemon {
+    child: Child,
+    stdin: std::process::ChildStdin,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(root: &Path, extra_args: &[&str], fault: Option<&str>) -> Daemon {
+        let mut cmd = Command::new(soctdc());
+        cmd.arg("serve")
+            .arg("--root")
+            .arg(root)
+            .args(extra_args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        match fault {
+            Some(spec) => cmd.env("SOCTDC_FAULT", spec),
+            None => cmd.env_remove("SOCTDC_FAULT"),
+        };
+        let mut child = cmd.spawn().expect("spawn soctdc serve");
+        let stdin = child.stdin.take().expect("daemon stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("daemon stdout"));
+        Daemon {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        let _ = writeln!(self.stdin, "{line}");
+        let _ = self.stdin.flush();
+    }
+
+    /// Reads lines until one contains `needle`, returning it. Panics on
+    /// EOF — callers expecting a crash use [`Daemon::wait_for_exit`].
+    fn read_until(&mut self, needle: &str) -> String {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self
+                .stdout
+                .read_line(&mut line)
+                .expect("daemon stdout read");
+            assert!(n > 0, "daemon closed stdout while waiting for {needle:?}");
+            if line.contains(needle) {
+                return line.trim().to_string();
+            }
+        }
+    }
+
+    /// Waits (bounded) for the process to exit, e.g. after an armed abort.
+    fn wait_for_exit(&mut self) {
+        for _ in 0..600 {
+            if self.child.try_wait().expect("try_wait").is_some() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        panic!("daemon did not exit");
+    }
+
+    fn shutdown(mut self) {
+        self.send(r#"{"id":999,"op":"shutdown"}"#);
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn open_session(daemon: &mut Daemon, name: &str) {
+    daemon.send(&format!(
+        r#"{{"id":1,"op":"open","session":"{name}","benchmark":"d695","seed":1,"density":0.5}}"#
+    ));
+    let ack = daemon.read_until(r#""id":1"#);
+    assert!(ack.contains(r#""ok":true"#), "open failed: {ack}");
+}
+
+/// Happy path across a restart: a session and its plans survive a clean
+/// shutdown, and the re-served plan text is byte-identical.
+#[test]
+fn sessions_and_plans_survive_restart() {
+    let root = tmp_root("restart");
+    let mut daemon = Daemon::spawn(&root, &[], None);
+    daemon.read_until(r#""event":"ready""#);
+    open_session(&mut daemon, "s1");
+    daemon.send(r#"{"id":2,"op":"plan","session":"s1","mode":"no-tdc","width":16,"budget_ms":0}"#);
+    let ack = daemon.read_until(r#""id":2"#);
+    assert!(ack.contains(r#""request":"0001""#), "{ack}");
+    let done = daemon.read_until(r#""event":"plan-done""#);
+    assert!(done.contains(r#""outcome":"optimal""#), "{done}");
+    daemon.send(r#"{"id":3,"op":"get-plan","session":"s1","request":"0001"}"#);
+    let first = daemon.read_until(r#""id":3"#);
+    daemon.shutdown();
+
+    let mut daemon = Daemon::spawn(&root, &[], None);
+    let ready = daemon.read_until(r#""event":"ready""#);
+    assert!(ready.contains(r#""recovered_sessions":1"#), "{ready}");
+    assert!(ready.contains(r#""recovered_inflight":0"#), "{ready}");
+    daemon.send(r#"{"id":3,"op":"get-plan","session":"s1","request":"0001"}"#);
+    let second = daemon.read_until(r#""id":3"#);
+    assert_eq!(first, second, "re-served plan differs after restart");
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Kill -9 (process abort) right after the request is journaled: the
+/// restarted daemon must re-execute the journaled request to completion.
+#[test]
+fn abort_after_journal_is_replayed_on_restart() {
+    let root = tmp_root("journal-abort");
+    let mut daemon = Daemon::spawn(&root, &[], None);
+    daemon.read_until(r#""event":"ready""#);
+    open_session(&mut daemon, "s1");
+    daemon.shutdown();
+
+    // Arm the abort and submit a plan: the daemon dies after journaling,
+    // before acknowledging or planning.
+    let mut daemon = Daemon::spawn(&root, &[], Some("abort:after-journal"));
+    daemon.read_until(r#""event":"ready""#);
+    daemon.send(r#"{"id":2,"op":"plan","session":"s1","mode":"no-tdc","width":16,"budget_ms":0}"#);
+    daemon.wait_for_exit();
+    let inflight = root.join("sessions/s1/inflight/0001.json");
+    assert!(inflight.exists(), "journal entry missing after abort");
+    assert!(
+        !root.join("sessions/s1/plans/0001.plan").exists(),
+        "no plan may exist yet"
+    );
+
+    // Clean restart: recovery re-enqueues and finishes the request.
+    let mut daemon = Daemon::spawn(&root, &[], None);
+    let ready = daemon.read_until(r#""event":"ready""#);
+    assert!(ready.contains(r#""recovered_inflight":1"#), "{ready}");
+    let done = daemon.read_until(r#""event":"plan-done""#);
+    assert!(done.contains(r#""request":"0001""#), "{done}");
+    assert!(root.join("sessions/s1/plans/0001.plan").exists());
+    assert!(!inflight.exists(), "journal entry must be cleared");
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Abort after planning but *before* the plan is persisted: the journal
+/// entry survives, so the restarted daemon plans again and the final plan
+/// is identical to an uninterrupted run.
+#[test]
+fn abort_before_plan_write_is_replayed_bit_identically() {
+    let root = tmp_root("write-abort");
+    let mut daemon = Daemon::spawn(&root, &[], Some("abort:before-plan-write"));
+    daemon.read_until(r#""event":"ready""#);
+    open_session(&mut daemon, "s1");
+    daemon.send(r#"{"id":2,"op":"plan","session":"s1","mode":"no-tdc","width":16,"budget_ms":0}"#);
+    daemon.wait_for_exit();
+    assert!(root.join("sessions/s1/inflight/0001.json").exists());
+
+    let mut daemon = Daemon::spawn(&root, &[], None);
+    daemon.read_until(r#""event":"ready""#);
+    daemon.read_until(r#""event":"plan-done""#);
+    let replayed = std::fs::read_to_string(root.join("sessions/s1/plans/0001.plan")).unwrap();
+
+    // Reference: the same request through an unfaulted daemon.
+    daemon.send(r#"{"id":3,"op":"plan","session":"s1","mode":"no-tdc","width":16,"budget_ms":0}"#);
+    daemon.read_until(r#""event":"plan-done""#);
+    let fresh = std::fs::read_to_string(root.join("sessions/s1/plans/0002.plan")).unwrap();
+    assert_eq!(replayed, fresh, "replayed plan differs from a fresh run");
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Corrupt persistent state: a flipped byte in a cached profile CSV and a
+/// broken session descriptor must both be quarantined on the next use —
+/// and the rebuilt plan must be bit-identical to the pre-corruption one.
+#[test]
+fn corrupt_state_is_quarantined_and_rebuilt() {
+    let root = tmp_root("corrupt");
+    let mut daemon = Daemon::spawn(&root, &[], None);
+    daemon.read_until(r#""event":"ready""#);
+    open_session(&mut daemon, "good");
+    open_session(&mut daemon, "doomed");
+    // per-core planning populates the on-disk profile cache.
+    daemon.send(
+        r#"{"id":2,"op":"plan","session":"good","mode":"per-core","width":16,"budget_ms":0}"#,
+    );
+    daemon.read_until(r#""event":"plan-done""#);
+    let baseline = std::fs::read_to_string(root.join("sessions/good/plans/0001.plan")).unwrap();
+    daemon.shutdown();
+
+    // Flip one data-row digit in every cached profile CSV. Comment lines
+    // are outside the integrity checksum, so the corruption must land on
+    // a real `w,m,test_time,volume_bits` row to be detectable.
+    let mut flipped = 0;
+    for entry in std::fs::read_dir(root.join("cache")).unwrap().flatten() {
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "csv") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut done = false;
+        let out: Vec<String> = text
+            .lines()
+            .map(|line| {
+                if done || line.starts_with('#') || !line.contains(',') {
+                    return line.to_string();
+                }
+                line.chars()
+                    .map(|c| {
+                        if !done && c.is_ascii_digit() {
+                            done = true;
+                            if c == '9' {
+                                '8'
+                            } else {
+                                '9'
+                            }
+                        } else {
+                            c
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        if done {
+            std::fs::write(&path, out.join("\n") + "\n").unwrap();
+            flipped += 1;
+        }
+    }
+    assert!(flipped > 0, "per-core planning must have cached profiles");
+    // …and break one session's descriptor outright.
+    std::fs::write(root.join("sessions/doomed/meta.json"), "{not json").unwrap();
+
+    let mut daemon = Daemon::spawn(&root, &[], None);
+    let ready = daemon.read_until(r#""event":"ready""#);
+    assert!(ready.contains(r#""recovered_sessions":1"#), "{ready}");
+    assert!(!ready.contains(r#""quarantined":0"#), "{ready}");
+    // Replanning sees the corrupt cache files, quarantines them, rebuilds
+    // the profiles, and lands on the identical plan.
+    daemon.send(
+        r#"{"id":2,"op":"plan","session":"good","mode":"per-core","width":16,"budget_ms":0}"#,
+    );
+    daemon.read_until(r#""event":"plan-done""#);
+    let rebuilt = std::fs::read_to_string(root.join("sessions/good/plans/0002.plan")).unwrap();
+    assert_eq!(baseline, rebuilt, "plan changed after cache corruption");
+    let quarantined = std::fs::read_dir(root.join("cache/quarantine"))
+        .map(|d| d.count())
+        .unwrap_or(0);
+    assert!(quarantined >= flipped, "corrupt profiles not quarantined");
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Load shedding: with a single worker and a one-deep queue, a burst of
+/// requests must produce at least one reject carrying `retry_after_ms`,
+/// and every accepted request must still complete.
+#[test]
+fn full_queue_sheds_with_retry_after() {
+    let root = tmp_root("shed");
+    let mut daemon = Daemon::spawn(&root, &["--workers", "1", "--queue-cap", "1"], None);
+    daemon.read_until(r#""event":"ready""#);
+    open_session(&mut daemon, "s1");
+    let burst = 6;
+    for i in 0..burst {
+        daemon.send(&format!(
+            r#"{{"id":{},"op":"plan","session":"s1","mode":"per-core","width":16,"budget_ms":0}}"#,
+            10 + i
+        ));
+    }
+    let mut queued = 0;
+    let mut shed = 0;
+    let mut done = 0;
+    let mut acks = 0;
+    while acks < burst {
+        let mut line = String::new();
+        daemon.stdout.read_line(&mut line).unwrap();
+        if line.contains(r#""state":"queued""#) {
+            queued += 1;
+            acks += 1;
+        } else if line.contains("retry_after_ms") {
+            shed += 1;
+            acks += 1;
+        } else if line.contains(r#""ok":false"#) {
+            acks += 1;
+        } else if line.contains(r#""event":"plan-done""#) {
+            done += 1;
+        }
+    }
+    assert!(shed >= 1, "burst of {burst} produced no shed responses");
+    assert!(
+        queued >= 1,
+        "burst of {burst} produced no accepted requests"
+    );
+    // Every accepted request finishes.
+    while done < queued {
+        daemon.read_until(r#""event":"plan-done""#);
+        done += 1;
+    }
+    daemon.shutdown();
+    // Shed requests left no journal entries behind.
+    let inflight = std::fs::read_dir(root.join("sessions/s1/inflight"))
+        .map(|d| d.count())
+        .unwrap_or(0);
+    assert_eq!(inflight, 0, "shed requests leaked journal entries");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Dropping an HTTP connection mid-plan cancels the request's token; the
+/// worker persists the best incumbent instead of wedging, and the plan is
+/// fetchable afterwards over stdio.
+#[test]
+fn dropped_http_connection_cancels_but_persists() {
+    let root = tmp_root("drop");
+    let mut daemon = Daemon::spawn(&root, &["--http", "127.0.0.1:0", "--workers", "1"], None);
+    daemon.read_until(r#""event":"ready""#);
+    let listening = daemon.read_until(r#""event":"http-listening""#);
+    let addr = listening
+        .split(r#""addr":""#)
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("listen address")
+        .to_string();
+    open_session(&mut daemon, "s1");
+
+    // Submit a long-budget plan over HTTP and hang up immediately.
+    let body =
+        r#"{"id":7,"op":"plan","session":"s1","mode":"per-core","width":16,"budget_ms":120000}"#;
+    {
+        let mut conn = std::net::TcpStream::connect(&addr).expect("connect");
+        let request = format!(
+            "POST /rpc HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        conn.write_all(request.as_bytes()).unwrap();
+        conn.flush().unwrap();
+        // Give the daemon a moment to journal and start planning, then drop.
+        std::thread::sleep(Duration::from_millis(300));
+    }
+    // The worker notices the disconnect (cancel) or simply finishes; either
+    // way a plan file must appear and the journal must drain.
+    let deadline = 1200; // 60 s of 50 ms polls
+    let plan_path = root.join("sessions/s1/plans/0001.plan");
+    for i in 0..=deadline {
+        if plan_path.exists() {
+            break;
+        }
+        assert!(i < deadline, "plan never persisted after client disconnect");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    daemon.send(r#"{"id":8,"op":"get-plan","session":"s1","request":"0001"}"#);
+    let fetched = daemon.read_until(r#""id":8"#);
+    assert!(fetched.contains(r#""ok":true"#), "{fetched}");
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// HTTP status/sessions endpoints answer; unknown paths 404; a queue-full
+/// plan over HTTP returns 429 with a Retry-After header.
+#[test]
+fn http_surface_smoke() {
+    let root = tmp_root("http");
+    let mut daemon = Daemon::spawn(&root, &["--http", "127.0.0.1:0"], None);
+    daemon.read_until(r#""event":"ready""#);
+    let listening = daemon.read_until(r#""event":"http-listening""#);
+    let addr = listening
+        .split(r#""addr":""#)
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("listen address")
+        .to_string();
+
+    let get = |path: &str| -> String {
+        let mut conn = std::net::TcpStream::connect(&addr).expect("connect");
+        conn.write_all(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        let _ = BufReader::new(conn).read_to_string(&mut out);
+        out
+    };
+    let status = get("/status");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert!(status.contains(r#""queue_capacity""#), "{status}");
+    assert!(get("/nope").starts_with("HTTP/1.1 404"));
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
