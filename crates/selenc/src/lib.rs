@@ -10,6 +10,8 @@
 //! * [`Encoder`] — the compressor (single-bit and group-copy modes),
 //! * [`Decompressor`] — the executable hardware model used to verify that
 //!   every encoding reproduces every care bit,
+//! * [`Emulator`] — the batched bit-parallel equivalent (64 chains per
+//!   `u64` lane), fast enough to stream-verify whole SOC plans,
 //! * [`compress_test_set`] / [`evaluate_point`] — test-time and volume
 //!   evaluation of whole test sets at a `(w, m)` operating point,
 //! * [`CoreProfile`] — the per-core lookup table the SOC planner consumes,
@@ -49,6 +51,7 @@ mod analysis;
 mod area;
 mod code;
 mod decoder;
+mod emulate;
 mod encoder;
 mod integrity;
 mod lut;
@@ -60,10 +63,15 @@ pub use analysis::SliceStats;
 pub use area::{decompressor_area, DecompressorArea};
 pub use code::{Codeword, SliceCode};
 pub use decoder::{DecodeError, Decompressor};
+pub use emulate::{
+    encode_slices_packed, verify_cube_stream, verify_operating_point, verify_stream_packed,
+    verify_test_set_stream, Emulator, StreamReport,
+};
 pub use encoder::Encoder;
 pub use integrity::{verify_stream, StreamError};
 pub use lut::{
-    profile_entry_for_width, CoreProfile, Interrupted, ProfileConfig, ProfileCsvError, ProfileEntry,
+    core_fingerprint, fnv1a, profile_entry_for_width, CoreProfile, Interrupted, ProfileConfig,
+    ProfileCsvError, ProfileEntry, FNV_OFFSET,
 };
 pub use memo::{EvalCache, DEFAULT_EVAL_BYTES, DEFAULT_EVAL_ENTRIES};
 pub use rtl::{generate_testbench, generate_verilog};

@@ -557,8 +557,12 @@ impl fmt::Display for ProfileCsvError {
 
 impl std::error::Error for ProfileCsvError {}
 
-/// FNV-1a 64-bit over `bytes`, continuing from `acc`.
-fn fnv1a(acc: u64, bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit over `bytes`, continuing from `acc`. Seed the first call
+/// with [`FNV_OFFSET`]. This is the deterministic (machine- and
+/// run-independent) hash every cache key and integrity trailer in the
+/// workspace is built from — hash-collection hashers are banned by the
+/// determinism contract, this is the sanctioned replacement.
+pub fn fnv1a(acc: u64, bytes: &[u8]) -> u64 {
     let mut h = acc;
     for &b in bytes {
         h ^= u64::from(b);
@@ -568,7 +572,63 @@ fn fnv1a(acc: u64, bytes: &[u8]) -> u64 {
 }
 
 /// FNV-1a offset basis.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Content fingerprint of a core: a 64-bit FNV-1a digest over its name,
+/// terminal/scan geometry, and the care/value planes of every attached
+/// test cube.
+///
+/// Two cores share a fingerprint exactly when every input that profile
+/// construction reads is identical, so the digest is the dirty-tracking
+/// key for incremental table/profile rebuilds: edit one core's cubes or
+/// scan structure and only that core's fingerprint moves, leaving every
+/// other core's cached profile valid. The digest is independent of the
+/// machine, the process, and the pattern *sampling* configuration (which
+/// is keyed separately in cache file names).
+pub fn core_fingerprint(core: &Core) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, core.name().as_bytes());
+    // Terminator so (name, geometry) concatenations cannot alias.
+    h = fnv1a(h, &[0xff]);
+    for v in [
+        u64::from(core.inputs()),
+        u64::from(core.outputs()),
+        u64::from(core.bidirs()),
+        u64::from(core.pattern_count()),
+    ] {
+        h = fnv1a(h, &v.to_le_bytes());
+    }
+    match core.scan() {
+        soc_model::ScanArchitecture::Combinational => h = fnv1a(h, &[1]),
+        soc_model::ScanArchitecture::Fixed { chain_lengths } => {
+            h = fnv1a(h, &[2]);
+            for &len in chain_lengths {
+                h = fnv1a(h, &u64::from(len).to_le_bytes());
+            }
+        }
+        soc_model::ScanArchitecture::Flexible { cells, max_chains } => {
+            h = fnv1a(h, &[3]);
+            h = fnv1a(h, &u64::from(*cells).to_le_bytes());
+            h = fnv1a(h, &u64::from(*max_chains).to_le_bytes());
+        }
+    }
+    match core.test_set() {
+        None => h = fnv1a(h, &[4]),
+        Some(ts) => {
+            h = fnv1a(h, &[5]);
+            h = fnv1a(h, &(ts.pattern_count() as u64).to_le_bytes());
+            for cube in ts.iter() {
+                h = fnv1a(h, &(cube.len() as u64).to_le_bytes());
+                for &w in cube.care_words() {
+                    h = fnv1a(h, &w.to_le_bytes());
+                }
+                for &w in cube.value_words() {
+                    h = fnv1a(h, &w.to_le_bytes());
+                }
+            }
+        }
+    }
+    h
+}
 
 impl CoreProfile {
     /// Serializes the profile as CSV (`w,m,test_time,volume_bits` rows

@@ -9,7 +9,7 @@
 //! operating point is compressed exactly once per core, no matter how many
 //! widths, modes or threads ask for it.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use robust::{BoundedCache, CacheLimits, CacheStats};
 use soc_model::Core;
@@ -53,6 +53,10 @@ pub const DEFAULT_EVAL_BYTES: usize = 4 << 20;
 pub struct EvalCache<'a> {
     designs: DesignCache<'a>,
     evals: Mutex<BoundedCache<(u32, Option<usize>), Compressed>>,
+    /// Lazily computed [`core_fingerprint`](crate::core_fingerprint) of
+    /// the core — the dirty-tracking key for everything derived from this
+    /// cache (on-disk profiles, incremental rebuilds).
+    stamp: OnceLock<u64>,
 }
 
 /// Approximate bytes one memoized evaluation pins (key + value + tree
@@ -83,7 +87,21 @@ impl<'a> EvalCache<'a> {
         EvalCache {
             designs: DesignCache::with_limits(core, designs),
             evals: Mutex::new(BoundedCache::new(evals)),
+            stamp: OnceLock::new(),
         }
+    }
+
+    /// Content fingerprint of the core this cache evaluates
+    /// ([`core_fingerprint`](crate::core_fingerprint)), computed at most
+    /// once per cache lifetime. Everything memoized here — and every
+    /// profile derived from it — is a pure function of the fingerprinted
+    /// inputs plus the sampling configuration, so equal stamps mean a
+    /// cached profile is still valid and differing stamps mean the core
+    /// was edited and its entries are dirty.
+    pub fn content_stamp(&self) -> u64 {
+        *self
+            .stamp
+            .get_or_init(|| crate::lut::core_fingerprint(self.core()))
     }
 
     /// Hit/miss/eviction counters of the evaluation memo.

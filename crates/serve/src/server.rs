@@ -233,8 +233,8 @@ fn run_job(ctx: &Arc<Ctx>, job: &PlanJob) -> Value {
         ..PlanControl::default()
     };
     let request = PlanRequest::tam_width(job.width);
-    let plan = match planner.plan_with(&soc, &request, &control) {
-        Ok(plan) => plan,
+    let (plan, stats) = match planner.plan_with_stats(&soc, &request, &control) {
+        Ok(result) => result,
         Err(e) => return fail(format!("plan: {e}")),
     };
     let text = tdcsoc::write_plan(&plan);
@@ -271,6 +271,30 @@ fn run_job(ctx: &Arc<Ctx>, job: &PlanJob) -> Value {
         (
             "volume_bits",
             Value::Int(i64::try_from(plan.volume_bits).unwrap_or(i64::MAX)),
+        ),
+        // Plan-time stream verification totals (0 streams would mean an
+        // uncompressed plan, not a skipped check — serve never opts out).
+        (
+            "verified_streams",
+            Value::Int(i64::try_from(stats.streams_verified).unwrap_or(i64::MAX)),
+        ),
+        (
+            "verified_words",
+            Value::Int(i64::try_from(stats.stream_words).unwrap_or(i64::MAX)),
+        ),
+        // Profile-cache effectiveness: how much of the plan was answered
+        // from prior requests' work (incremental rebuilds across sessions).
+        (
+            "profile_hits",
+            Value::Int(i64::try_from(stats.profile_hits).unwrap_or(i64::MAX)),
+        ),
+        (
+            "profile_partial",
+            Value::Int(i64::try_from(stats.profile_partial_hits).unwrap_or(i64::MAX)),
+        ),
+        (
+            "profile_misses",
+            Value::Int(i64::try_from(stats.profile_misses).unwrap_or(i64::MAX)),
         ),
     ])
 }

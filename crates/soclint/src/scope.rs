@@ -313,6 +313,22 @@ mod tests {
         assert!(!bench_bin.wall_clock_banned && !bench_bin.determinism);
         assert_eq!(bench_bin.crate_name, "soc-tdc");
 
+        // The batched decompressor emulator replays plan-verified streams;
+        // it must stay under the determinism and wall-clock bans like the
+        // scalar decoder it mirrors.
+        let emulate = classify("crates/selenc/src/emulate.rs");
+        assert!(emulate.determinism && emulate.wall_clock_banned);
+        // Dirty-tracking: content fingerprints (lut), the memoized stamp
+        // (memo), and the fingerprint-keyed profile cache (planner) decide
+        // what gets rebuilt — hash-order or clock leaks there would make
+        // incremental and cold rebuilds diverge.
+        let fingerprint = classify("crates/selenc/src/lut.rs");
+        assert!(fingerprint.determinism && fingerprint.wall_clock_banned);
+        let memo = classify("crates/selenc/src/memo.rs");
+        assert!(memo.determinism && memo.wall_clock_banned);
+        let incr = classify("crates/tdcsoc/src/planner.rs");
+        assert!(incr.determinism && incr.wall_clock_banned && incr.capture_checked);
+
         let itest = classify("crates/tam/tests/portfolio_prop.rs");
         assert!(itest.all_test && !itest.determinism);
 

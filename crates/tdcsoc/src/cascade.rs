@@ -72,6 +72,14 @@ pub struct PlanControl {
     /// had to build. All cache traffic is best-effort — an unreadable or
     /// stale file simply means rebuilding, never a worse plan.
     pub profile_cache: Option<ProfileCacheConfig>,
+    /// Opts out of stream verification. By default (`false`) every
+    /// selective-encoding operating point a finished plan instantiates is
+    /// re-encoded and replayed through the batched decompressor emulator
+    /// ([`selenc::verify_test_set_stream`]) before the plan is returned, so
+    /// a plan in hand is a plan whose compressed streams provably
+    /// reconstruct every care bit. Skipping trades that guarantee for the
+    /// (emulator-cheap) verification time.
+    pub skip_stream_verification: bool,
 }
 
 /// Where [`PlanControl::profile_cache`] keeps per-core profile CSVs, and
@@ -139,6 +147,13 @@ impl PlanControl {
     /// the default size caps.
     pub fn cache_profiles_in(mut self, dir: impl Into<PathBuf>, tag: impl Into<String>) -> Self {
         self.profile_cache = Some(ProfileCacheConfig::new(dir, tag));
+        self
+    }
+
+    /// Disables plan-time stream verification (see
+    /// [`skip_stream_verification`](PlanControl::skip_stream_verification)).
+    pub fn without_stream_verification(mut self) -> Self {
+        self.skip_stream_verification = true;
         self
     }
 }

@@ -231,6 +231,21 @@ pub(crate) enum WidthWork {
     },
 }
 
+/// A previously built profile plus the width range it is authoritative
+/// for. Profiles are cached per *core content* (fingerprint-keyed), not
+/// per width budget, so a profile built for width 16 legitimately answers
+/// a width-24 build for its first 16 widths — the remaining widths are the
+/// only ones recomputed (the incremental rebuild).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CachedProfile {
+    /// The cached per-core lookup table.
+    pub(crate) profile: CoreProfile,
+    /// Widths `1..=covered` were searched when this profile was built; an
+    /// absent entry below this bound means the width class is infeasible,
+    /// while widths above it simply were never evaluated.
+    pub(crate) covered: u32,
+}
+
 /// The results of one width chunk of a [`TableJob`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct TablePart {
@@ -273,11 +288,12 @@ pub(crate) struct TableJob<'a> {
     config: &'a DecisionConfig,
     profile_cfg: ProfileConfig,
     cache: EvalCache<'a>,
-    /// A previously built profile for exactly this (core, width budget,
-    /// sampling) configuration: widths answer from it instead of running
-    /// the per-width operating-point search. The caller owns the cache
-    /// keying — a mismatched profile here produces a wrong table.
-    cached: Option<CoreProfile>,
+    /// A previously built profile for exactly this (core content,
+    /// sampling) configuration: widths up to its covered bound answer from
+    /// it instead of running the per-width operating-point search, wider
+    /// widths are computed and merged. The caller owns the cache keying —
+    /// a mismatched profile here produces a wrong table.
+    cached: Option<CachedProfile>,
 }
 
 impl<'a> TableJob<'a> {
@@ -315,9 +331,16 @@ impl<'a> TableJob<'a> {
 
     /// Supplies a cached profile (see the `cached` field). Only the
     /// profile-driven modes (`PerCore`, `Select`) consult it.
-    pub(crate) fn with_cached_profile(mut self, profile: Option<CoreProfile>) -> Self {
+    pub(crate) fn with_cached_profile(mut self, profile: Option<CachedProfile>) -> Self {
         self.cached = profile;
         self
+    }
+
+    /// Content fingerprint of the core, via the shared [`EvalCache`] so it
+    /// is computed at most once per job (the planner uses it to key the
+    /// on-disk profile cache).
+    pub(crate) fn content_stamp(&self) -> u64 {
+        self.cache.content_stamp()
     }
 
     /// As [`new`](TableJob::new), but for the shared-decompressor mode
@@ -386,10 +409,10 @@ impl<'a> TableJob<'a> {
                     // No slice code fits; raw bypass decides these widths.
                     return WidthWork::Entry(None);
                 }
-                if let Some(profile) = &self.cached {
-                    // An absent entry in a complete profile means the
+                if let Some(cached) = self.cached.as_ref().filter(|c| w <= c.covered) {
+                    // An absent entry below the covered bound means the
                     // width is infeasible, exactly like `Ok(None)` below.
-                    return WidthWork::Entry(profile.entry_at(w).copied());
+                    return WidthWork::Entry(cached.profile.entry_at(w).copied());
                 }
                 match profile_entry_for_width(&self.cache, w, &self.profile_cfg, &cancelled) {
                     Ok(entry) => WidthWork::Entry(entry),
@@ -416,8 +439,8 @@ impl<'a> TableJob<'a> {
             CompressionMode::Select => {
                 let entry = if w < SliceCode::MIN_TAM_WIDTH {
                     None
-                } else if let Some(profile) = &self.cached {
-                    profile.entry_at(w).copied()
+                } else if let Some(cached) = self.cached.as_ref().filter(|c| w <= c.covered) {
+                    cached.profile.entry_at(w).copied()
                 } else {
                     match profile_entry_for_width(&self.cache, w, &self.profile_cfg, &cancelled) {
                         Ok(entry) => entry,

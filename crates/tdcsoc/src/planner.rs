@@ -13,7 +13,7 @@ use tam::{Architecture, ArchitectureOptions, CostModel, Schedule, ScheduleError}
 
 use crate::cascade::{self, PlanControl, PlanOutcome, ProfileCacheConfig, SolverStage};
 use crate::decisions::{
-    CompressionMode, DecisionConfig, DecisionTable, TableJob, TablePart, Technique,
+    CachedProfile, CompressionMode, DecisionConfig, DecisionTable, TableJob, TablePart, Technique,
 };
 use selenc::CoreProfile;
 
@@ -190,13 +190,33 @@ impl Planner {
     /// As [`plan`](Planner::plan), plus
     /// [`ScheduleError::Interrupted`] (wrapped in [`PlanError::Schedule`])
     /// when the token was cancelled before *any* feasible architecture was
-    /// found.
+    /// found, and [`PlanError::StreamVerification`] when the default
+    /// plan-time stream check fails (see
+    /// [`PlanControl::skip_stream_verification`]).
     pub fn plan_with(
         &self,
         soc: &Soc,
         request: &PlanRequest,
         control: &PlanControl,
     ) -> Result<Plan, PlanError> {
+        self.plan_with_stats(soc, request, control)
+            .map(|(plan, _)| plan)
+    }
+
+    /// [`plan_with`](Planner::plan_with), additionally reporting
+    /// [`PlanStats`]: how effective the on-disk profile cache was (full
+    /// hits, prefix reuse, misses, widths recomputed) and how much stream
+    /// verification the finished plan underwent.
+    ///
+    /// # Errors
+    ///
+    /// As [`plan_with`](Planner::plan_with).
+    pub fn plan_with_stats(
+        &self,
+        soc: &Soc,
+        request: &PlanRequest,
+        control: &PlanControl,
+    ) -> Result<(Plan, PlanStats), PlanError> {
         // soclint: allow(wall-clock) -- stamps the reported cpu_time only; no search decision reads it
         #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
@@ -237,30 +257,46 @@ impl Planner {
         // core and width order, so the plan stays deterministic at any
         // worker count.
         // The profile cache applies only to the profile-driven modes with
-        // an external width budget; a hit skips the per-width operating-
-        // point search entirely, a miss is recorded after assembly.
+        // an external width budget. Entries are keyed by each core's
+        // content fingerprint (computed once per job, via the shared
+        // evaluation cache) rather than the width budget: a cached profile
+        // covering at least `width` widths is a full hit that skips the
+        // per-width operating-point search entirely, a shorter one answers
+        // its prefix and only the remaining widths are computed, and a
+        // miss rebuilds from scratch — the incremental-rebuild contract.
         let cacheable_mode = !internal_budget
             && matches!(
                 self.mode,
                 CompressionMode::PerCore | CompressionMode::Select
             );
         let profile_cache = control.profile_cache.as_ref().filter(|_| cacheable_mode);
-        let mut cache_hit: Vec<bool> = Vec::with_capacity(soc.cores().len());
+        let mut stats = PlanStats::default();
+        let mut cache_use: Vec<CacheUse> = Vec::with_capacity(soc.cores().len());
         let jobs: Vec<TableJob> = soc
             .cores()
             .iter()
             .map(|core| {
                 if internal_budget {
-                    cache_hit.push(false);
-                    TableJob::per_tam_internal(core, width, &request.decisions)
-                } else {
-                    let cached = profile_cache.and_then(|cache| {
-                        read_cached_profile(cache, core.name(), width, &request.decisions)
-                    });
-                    cache_hit.push(cached.is_some());
-                    TableJob::new(core, self.mode, width, &request.decisions)
-                        .with_cached_profile(cached)
+                    cache_use.push(CacheUse::Uncached);
+                    return TableJob::per_tam_internal(core, width, &request.decisions);
                 }
+                let job = TableJob::new(core, self.mode, width, &request.decisions);
+                let Some(cache) = profile_cache else {
+                    cache_use.push(CacheUse::Uncached);
+                    return job;
+                };
+                let cached = read_cached_profile(
+                    cache,
+                    core.name(),
+                    job.content_stamp(),
+                    &request.decisions,
+                );
+                cache_use.push(match &cached {
+                    Some(c) if c.covered >= width => CacheUse::Full,
+                    Some(c) => CacheUse::Partial(c.covered),
+                    None => CacheUse::Miss,
+                });
+                job.with_cached_profile(cached)
             })
             .collect();
         let chunks: Vec<(usize, Range<u32>)> = jobs
@@ -293,11 +329,38 @@ impl Planner {
         let tables: Vec<DecisionTable> = jobs
             .iter()
             .zip(per_core)
-            .zip(&cache_hit)
-            .map(|((job, parts), &hit)| {
+            .zip(&cache_use)
+            .map(|((job, parts), use_)| {
                 let (table, profile) = job.assemble_with_profile(parts);
-                if let (Some(cache), Some(profile), false) = (profile_cache, profile, hit) {
-                    write_cached_profile(cache, &profile, width, &request.decisions);
+                match *use_ {
+                    CacheUse::Full => {
+                        stats.profile_hits += 1;
+                        stats.widths_reused += u64::from(width);
+                    }
+                    CacheUse::Partial(covered) => {
+                        stats.profile_partial_hits += 1;
+                        stats.widths_reused += u64::from(covered);
+                        stats.widths_computed += u64::from(width - covered);
+                    }
+                    CacheUse::Miss => {
+                        stats.profile_misses += 1;
+                        stats.widths_computed += u64::from(width);
+                    }
+                    CacheUse::Uncached => {}
+                }
+                // A full hit is already on disk verbatim; partial hits and
+                // misses store the (merged) profile under the new covered
+                // bound, so the next run with the same content hits fully.
+                if let (Some(cache), Some(profile), false) =
+                    (profile_cache, profile, matches!(use_, CacheUse::Full))
+                {
+                    write_cached_profile(
+                        cache,
+                        &profile,
+                        job.content_stamp(),
+                        width,
+                        &request.decisions,
+                    );
                 }
                 table
             })
@@ -372,8 +435,86 @@ impl Planner {
         if let Some(path) = &control.checkpoint {
             write_checkpoint(path, &plan);
         }
-        Ok(plan)
+        if !control.skip_stream_verification {
+            verify_plan_streams(soc, &plan, &mut stats)?;
+        }
+        Ok((plan, stats))
     }
+}
+
+/// Replays every selective-encoding operating point the plan instantiates
+/// through the batched decompressor emulator
+/// ([`selenc::verify_operating_point`]): each core's cubes are re-encoded
+/// at its chosen `(w, m)` and the codeword stream decoded back, failing if
+/// any care bit is not reconstructed. This is the verify-at-plan-time
+/// contract — a returned plan's compressed streams are known-good, not
+/// merely cost-estimated.
+fn verify_plan_streams(soc: &Soc, plan: &Plan, stats: &mut PlanStats) -> Result<(), PlanError> {
+    for setting in &plan.core_settings {
+        if setting.technique != Technique::SelectiveEncoding {
+            continue;
+        }
+        let Some((_, m)) = setting.decompressor else {
+            continue;
+        };
+        let core = &soc.cores()[setting.core.0];
+        match selenc::verify_operating_point(core, m) {
+            Ok(report) => {
+                stats.streams_verified += 1;
+                stats.stream_words += report.codewords;
+            }
+            Err(error) => {
+                return Err(PlanError::StreamVerification {
+                    core: setting.name.clone(),
+                    error,
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Work accounting for one [`Planner::plan_with_stats`] run: on-disk
+/// profile-cache effectiveness and plan-time stream-verification totals.
+///
+/// Cache counters cover only cores the cache applies to (profile-driven
+/// modes under an external width budget, with
+/// [`PlanControl::profile_cache`] set); other cores count nowhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Cores whose cached profile covered the full width budget (no
+    /// operating-point search ran, nothing was rewritten).
+    pub profile_hits: usize,
+    /// Cores whose cached profile covered a strict prefix of the width
+    /// budget; only the widths above the covered bound were computed and
+    /// the merged profile was rewritten.
+    pub profile_partial_hits: usize,
+    /// Cores with no valid cache entry — built from scratch (a corrupt
+    /// entry is quarantined first and counts here).
+    pub profile_misses: usize,
+    /// Table widths answered from cached profiles.
+    pub widths_reused: u64,
+    /// Table widths whose operating-point search actually ran.
+    pub widths_computed: u64,
+    /// Selective-encoding streams replayed through the emulator at plan
+    /// time (one per compressed core in the final plan).
+    pub streams_verified: usize,
+    /// Total codewords those verifications consumed.
+    pub stream_words: u64,
+}
+
+/// How one core's on-disk profile lookup went (the per-core input to
+/// [`PlanStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheUse {
+    /// Cached profile covered the full width budget.
+    Full,
+    /// Cached profile covered only widths `1..=covered`.
+    Partial(u32),
+    /// No valid cache entry for this core's content.
+    Miss,
+    /// The mode or configuration does not consult the on-disk cache.
+    Uncached,
 }
 
 /// Fraction of the overall budget the decision-table builds may consume
@@ -446,13 +587,17 @@ fn write_checkpoint(path: &Path, plan: &Plan) {
 }
 
 /// Cache file for one core's profile. Every input that shapes the profile
-/// — the caller's generation tag (design, pattern seed), the width
-/// budget, and both sampling knobs — is part of the name, so changing any
-/// of them misses cleanly instead of reusing a stale profile.
+/// is part of the name: the caller's generation tag, the core's *content
+/// fingerprint* ([`selenc::core_fingerprint`] — name, geometry, cubes),
+/// and both sampling knobs, so editing a core or changing the sampling
+/// misses cleanly instead of reusing a stale profile. The width budget is
+/// deliberately *not* in the name: the file's `# cover` header records how
+/// many widths the stored profile spans, so one entry serves every budget
+/// up to that bound and a wider budget extends the same entry in place.
 fn profile_cache_file(
     cache: &ProfileCacheConfig,
     core: &str,
-    width: u32,
+    stamp: u64,
     config: &DecisionConfig,
 ) -> std::path::PathBuf {
     let sample = config
@@ -477,33 +622,71 @@ fn profile_cache_file(
     let (tag, core) = (sanitize(&cache.tag), sanitize(core));
     cache
         .dir
-        .join(format!("{tag}-{core}-w{width}-s{sample}-m{mcand}.csv"))
+        .join(format!("{tag}-{core}-{stamp:016x}-s{sample}-m{mcand}.csv"))
+}
+
+/// The self-checksummed first line of a cached profile file:
+/// `# cover <n> fnv <hex>` records that widths `1..=n` were fully searched
+/// when the profile was stored, so an absent entry at a width `≤ n` means
+/// that width class is infeasible while widths `> n` were simply never
+/// evaluated. The digest covers the `cover <n>` payload itself — the
+/// profile body's own trailer cannot vouch for this line, so it carries
+/// its own.
+fn cover_line(covered: u32) -> String {
+    let payload = format!("cover {covered}");
+    let sum = selenc::fnv1a(selenc::FNV_OFFSET, payload.as_bytes());
+    format!("# {payload} fnv {sum:016x}\n")
+}
+
+/// Parses and verifies a [`cover_line`], returning the covered bound.
+fn parse_cover_line(line: &str) -> Option<u32> {
+    let rest = line.trim().strip_prefix("# cover ")?;
+    let mut parts = rest.split_whitespace();
+    let covered: u32 = parts.next()?.parse().ok()?;
+    if parts.next()? != "fnv" {
+        return None;
+    }
+    let sum = u64::from_str_radix(parts.next()?, 16).ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    let payload = format!("cover {covered}");
+    (selenc::fnv1a(selenc::FNV_OFFSET, payload.as_bytes()) == sum).then_some(covered)
 }
 
 /// Reads a cached profile, or `None` on any miss — the cache can only
 /// ever save work, never corrupt a plan.
 ///
-/// Reads are *checked*: the CSV must carry a valid integrity trailer
+/// Reads are *checked* twice over: the first line must be a valid
+/// [`cover_line`] and the body must carry a valid integrity trailer
 /// ([`CoreProfile::from_csv_checked`]), so a truncated write or a
 /// bit-flipped digit is rejected instead of parsed into a numerically
-/// plausible but wrong profile. A file that fails the check is moved into
-/// the cache's `quarantine/` subdirectory (best-effort) and the profile is
-/// rebuilt and rewritten by the normal miss path.
+/// plausible but wrong profile. A file that fails either check is moved
+/// into the cache's `quarantine/` subdirectory (best-effort) and the
+/// profile is rebuilt and rewritten by the normal miss path — affecting
+/// only this core, never its neighbours.
 fn read_cached_profile(
     cache: &ProfileCacheConfig,
     core: &str,
-    width: u32,
+    stamp: u64,
     config: &DecisionConfig,
-) -> Option<CoreProfile> {
-    let path = profile_cache_file(cache, core, width, config);
+) -> Option<CachedProfile> {
+    let path = profile_cache_file(cache, core, stamp, config);
     let csv = std::fs::read_to_string(&path).ok()?;
-    match CoreProfile::from_csv_checked(core, &csv) {
-        Ok(profile) => Some(profile),
-        Err(_) => {
-            quarantine_cache_file(cache, &path);
-            None
-        }
+    let parsed = csv
+        .lines()
+        .next()
+        .and_then(parse_cover_line)
+        .and_then(|covered| {
+            let body = csv.split_once('\n').map_or("", |(_, rest)| rest);
+            CoreProfile::from_csv_checked(core, body)
+                .ok()
+                .map(|profile| CachedProfile { profile, covered })
+        });
+    if parsed.is_none() {
+        quarantine_cache_file(cache, &path);
     }
+    parsed
 }
 
 /// Moves a corrupt cache file out of the lookup path, preserving it for
@@ -529,15 +712,17 @@ fn quarantine_cache_file(cache: &ProfileCacheConfig, path: &Path) {
 fn write_cached_profile(
     cache: &ProfileCacheConfig,
     profile: &CoreProfile,
-    width: u32,
+    stamp: u64,
+    covered: u32,
     config: &DecisionConfig,
 ) {
     if std::fs::create_dir_all(&cache.dir).is_err() {
         return;
     }
-    let path = profile_cache_file(cache, profile.name(), width, config);
+    let path = profile_cache_file(cache, profile.name(), stamp, config);
+    let text = format!("{}{}", cover_line(covered), profile.to_csv());
     let tmp = path.with_extension("csv.tmp");
-    if std::fs::write(&tmp, profile.to_csv()).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+    if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
         enforce_disk_cache_caps(cache, &path);
     }
 }
@@ -787,6 +972,18 @@ pub enum PlanError {
     },
     /// The architecture/scheduling layer failed.
     Schedule(ScheduleError),
+    /// Plan-time stream verification failed: replaying a core's encoded
+    /// test set through the decompressor emulator did not reconstruct
+    /// every care bit (or produced a malformed stream). This signals an
+    /// encoder/decoder defect or corrupted state — never a merely
+    /// suboptimal plan — so the plan is withheld rather than returned
+    /// unsound.
+    StreamVerification {
+        /// The offending core's name.
+        core: String,
+        /// The verifier's verdict.
+        error: selenc::StreamError,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -797,6 +994,10 @@ impl fmt::Display for PlanError {
                 "core {core:?} has no test set; synthesize or attach cubes first"
             ),
             PlanError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+            PlanError::StreamVerification { core, error } => write!(
+                f,
+                "core {core:?} failed plan-time stream verification: {error}"
+            ),
         }
     }
 }
@@ -805,6 +1006,7 @@ impl std::error::Error for PlanError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PlanError::Schedule(e) => Some(e),
+            PlanError::StreamVerification { error, .. } => Some(error),
             _ => None,
         }
     }
@@ -1036,6 +1238,178 @@ mod tests {
             .unwrap();
         assert!(matches!(plan.outcome, PlanOutcome::Interrupted(_)));
         assert_eq!(plan.core_settings.len(), soc.core_count());
+    }
+
+    /// A fresh, empty cache directory unique to `name` (removed first, so
+    /// reruns start cold).
+    fn cache_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tdcsoc-plancache-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cached_control(dir: &Path) -> PlanControl {
+        PlanControl::default().cache_profiles_in(dir, "t")
+    }
+
+    #[test]
+    fn cover_line_roundtrips_and_rejects_tampering() {
+        for covered in [0u32, 1, 16, u32::MAX] {
+            let line = cover_line(covered);
+            assert_eq!(parse_cover_line(line.trim_end()), Some(covered));
+        }
+        // A flipped bound no longer matches its own checksum.
+        let line = cover_line(16).replace("cover 16", "cover 17");
+        assert_eq!(parse_cover_line(line.trim_end()), None);
+        assert_eq!(parse_cover_line("# cover banana fnv 0"), None);
+        assert_eq!(parse_cover_line("# profile of x"), None);
+        assert_eq!(parse_cover_line(""), None);
+    }
+
+    #[test]
+    fn profile_cache_misses_cold_and_hits_warm() {
+        let soc = industrial_soc();
+        let req = fast(PlanRequest::tam_width(16));
+        let dir = cache_dir("warm");
+        let control = cached_control(&dir);
+        let (cold, s1) = Planner::per_core_tdc()
+            .plan_with_stats(&soc, &req, &control)
+            .unwrap();
+        assert_eq!(s1.profile_misses, soc.core_count());
+        assert_eq!(s1.profile_hits, 0);
+        assert_eq!(s1.widths_computed, 16 * soc.core_count() as u64);
+        let (warm, s2) = Planner::per_core_tdc()
+            .plan_with_stats(&soc, &req, &control)
+            .unwrap();
+        assert_eq!(s2.profile_hits, soc.core_count());
+        assert_eq!(s2.profile_misses, 0);
+        assert_eq!(s2.widths_computed, 0);
+        assert_eq!(cold.test_time, warm.test_time);
+        assert_eq!(cold.core_settings, warm.core_settings);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wider_budget_extends_cached_profiles_in_place() {
+        let soc = industrial_soc();
+        let dir = cache_dir("extend");
+        let control = cached_control(&dir);
+        let planner = Planner::per_core_tdc();
+        planner
+            .plan_with(&soc, &fast(PlanRequest::tam_width(12)), &control)
+            .unwrap();
+        // The wider run reuses the 12 cached widths per core and computes
+        // only the new ones — the width budget is not part of the key.
+        let (wide, stats) = planner
+            .plan_with_stats(&soc, &fast(PlanRequest::tam_width(20)), &control)
+            .unwrap();
+        assert_eq!(stats.profile_partial_hits, soc.core_count());
+        assert_eq!(stats.widths_reused, 12 * soc.core_count() as u64);
+        assert_eq!(stats.widths_computed, 8 * soc.core_count() as u64);
+        // Bit-identical to a cold wide plan.
+        let cold = planner
+            .plan(&soc, &fast(PlanRequest::tam_width(20)))
+            .unwrap();
+        assert_eq!(wide.core_settings, cold.core_settings);
+        assert_eq!(wide.test_time, cold.test_time);
+        // And now fully covered: a third run is all hits.
+        let (_, s3) = planner
+            .plan_with_stats(&soc, &fast(PlanRequest::tam_width(20)), &control)
+            .unwrap();
+        assert_eq!(s3.profile_hits, soc.core_count());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_entry_rebuilds_only_that_core() {
+        let soc = industrial_soc();
+        let req = fast(PlanRequest::tam_width(16));
+        let dir = cache_dir("corrupt");
+        let control = cached_control(&dir);
+        let planner = Planner::per_core_tdc();
+        let baseline = planner.plan_with(&soc, &req, &control).unwrap();
+
+        // Corrupt exactly one core's entry (flip a digit in a data row; the
+        // body checksum catches it) and snapshot the others.
+        let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+            .collect();
+        entries.sort();
+        assert_eq!(entries.len(), soc.core_count());
+        let victim = &entries[0];
+        let text = std::fs::read_to_string(victim).unwrap();
+        let flipped: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with('#') || l.starts_with("w,") || l.is_empty() {
+                    l.to_string()
+                } else {
+                    let mut s = l.to_string();
+                    let last = s.pop().unwrap();
+                    s.push(if last == '9' { '8' } else { '9' });
+                    s
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(victim, flipped).unwrap();
+        let untouched: Vec<(std::path::PathBuf, String)> = entries[1..]
+            .iter()
+            .map(|p| (p.clone(), std::fs::read_to_string(p).unwrap()))
+            .collect();
+
+        let (replan, stats) = planner.plan_with_stats(&soc, &req, &control).unwrap();
+        assert_eq!(stats.profile_misses, 1, "only the corrupt core rebuilds");
+        assert_eq!(stats.profile_hits, soc.core_count() - 1);
+        assert_eq!(replan.core_settings, baseline.core_settings);
+        // The corrupt file was quarantined, not silently re-read.
+        assert!(dir.join("quarantine").read_dir().unwrap().next().is_some());
+        // Every other entry is byte-identical (no gratuitous rewrites).
+        for (p, before) in untouched {
+            assert_eq!(std::fs::read_to_string(&p).unwrap(), before, "{p:?}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plans_are_stream_verified_by_default() {
+        let soc = industrial_soc();
+        let req = fast(PlanRequest::tam_width(24));
+        let (plan, stats) = Planner::per_core_tdc()
+            .plan_with_stats(&soc, &req, &PlanControl::default())
+            .unwrap();
+        assert_eq!(stats.streams_verified, plan.compressed_core_count());
+        assert!(stats.streams_verified > 0, "industrial cores compress");
+        assert!(stats.stream_words > 0);
+        // Opting out skips the replay but changes nothing else.
+        let (same, none) = Planner::per_core_tdc()
+            .plan_with_stats(
+                &soc,
+                &req,
+                &PlanControl::default().without_stream_verification(),
+            )
+            .unwrap();
+        assert_eq!(none.streams_verified, 0);
+        assert_eq!(none.stream_words, 0);
+        assert_eq!(same.core_settings, plan.core_settings);
+    }
+
+    #[test]
+    fn stream_verification_error_displays_core_name() {
+        let err = PlanError::StreamVerification {
+            core: "ckt-9".into(),
+            error: selenc::StreamError::SliceCountMismatch {
+                expected: 4,
+                decoded: 3,
+            },
+        };
+        let s = err.to_string();
+        assert!(s.contains("ckt-9"), "{s}");
+        assert!(s.contains("verification"), "{s}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

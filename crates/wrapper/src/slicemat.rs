@@ -91,6 +91,34 @@ impl SliceMatrix {
         self.value.row(depth)
     }
 
+    /// First chain whose care bit the packed slice `decoded` contradicts
+    /// at `depth`, or `None` when every care bit is satisfied.
+    ///
+    /// `decoded` is a packed slice row (bit `k % 64` of word `k / 64` =
+    /// chain `k`, at least [`chains`](Self::chains) bits). A chain
+    /// violates exactly where `care & (decoded ^ value)` is set, so a
+    /// clean row costs three word ops per 64 chains and the first
+    /// offender falls out of a trailing-zeros count — the word-parallel
+    /// heart of the batched stream verifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth >= self.depths()` or `decoded` holds fewer words
+    /// than the care plane's rows.
+    pub fn violating_chain(&self, depth: usize, decoded: &[u64]) -> Option<usize> {
+        let care = self.care.row(depth);
+        let value = self.value.row(depth);
+        for (i, (&cw, &vw)) in care.iter().zip(value).enumerate() {
+            // Bits past the chain count have care = 0, so padding in
+            // `decoded` can never produce a false positive.
+            let bad = cw & (decoded[i] ^ vw);
+            if bad != 0 {
+                return Some(i * 64 + bad.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
     /// Rebuilds the slice at `depth` as a `TritVec` — the slow reference
     /// view, for tests and diagnostics.
     ///

@@ -2,13 +2,15 @@
 //! is tabulating per-core operating points, so this binary times exactly
 //! that path (kernel → profile → decision tables → full plan) on the
 //! bundled benchmarks, plus the architecture-search portfolio that
-//! consumes the resulting cost models, and emits a JSON report for
-//! `BENCH_profile.json`.
+//! consumes the resulting cost models, the batched stream verifier, and
+//! the incremental (profile-cache) rebuild path, and emits a JSON report
+//! for `BENCH_profile.json`.
 //!
 //! Usage:
 //!
 //! ```text
 //! bench_profile [--label NAME] [--out FILE] [--smoke] [--workers N]
+//!               [--iters N] [--check BASELINE]
 //! ```
 //!
 //! `--smoke` runs a seconds-scale subset (used by CI to catch kernel
@@ -18,6 +20,19 @@
 //! pool-dispatched workloads (architecture search, anneal portfolio,
 //! full plan); results are identical at any value, only the wall clock
 //! moves, and every JSON entry records the count it ran with.
+//!
+//! `--iters N` re-times entries whose first measurement lands under
+//! 100 ms individually N times and reports the minimum — short entries
+//! are the ones scheduler noise distorts, and min-of-N is the standard
+//! noise-robust statistic for them. Longer entries keep their averaged
+//! measurement.
+//!
+//! `--check BASELINE` compares this run's `tables_*`/`plan_*` entries
+//! against the most recent run in a committed `BENCH_profile.json` that
+//! records the same entry, and exits non-zero when any is more than 20%
+//! slower — the CI perf-regression gate. Entries without a baseline are
+//! reported and skipped, so newly added benchmarks don't block the gate
+//! before their first committed run.
 
 #![forbid(unsafe_code)]
 
@@ -27,14 +42,23 @@ use std::time::Instant;
 use soc_tdc::model::benchmarks::{self, Design};
 use soc_tdc::model::generator::synthesize_missing_test_sets;
 use soc_tdc::model::Soc;
-use soc_tdc::planner::{CompressionMode, DecisionConfig, DecisionTable, PlanRequest, Planner};
-use soc_tdc::selenc::{cube_cost, CoreProfile, ProfileConfig, SliceCode};
+use soc_tdc::planner::{
+    CompressionMode, DecisionConfig, DecisionTable, PlanControl, PlanRequest, Planner,
+};
+use soc_tdc::selenc::{
+    cube_cost, encode_cube, verify_stream, verify_test_set_stream, CoreProfile, Encoder,
+    ProfileConfig, SliceCode,
+};
 use soc_tdc::tam::{
     anneal_architecture, optimize_architecture, AnnealOptions, ArchitectureOptions, CostModel,
 };
 use soc_tdc::wrapper::design_wrapper;
 
 const SEED: u64 = 2008;
+
+/// Regression threshold for `--check`: fail when an entry is more than
+/// this factor slower than its committed baseline.
+const CHECK_TOLERANCE: f64 = 1.20;
 
 struct Entry {
     name: &'static str,
@@ -43,7 +67,13 @@ struct Entry {
     workers: usize,
 }
 
-fn timed<F: FnMut()>(name: &'static str, iters: u32, workers: usize, mut f: F) -> Entry {
+fn timed<F: FnMut()>(
+    name: &'static str,
+    iters: u32,
+    workers: usize,
+    min_of: Option<u32>,
+    mut f: F,
+) -> Entry {
     // One warm-up pass so lazily synthesized cubes and allocator warm-up
     // don't pollute the first measurement.
     f();
@@ -53,12 +83,26 @@ fn timed<F: FnMut()>(name: &'static str, iters: u32, workers: usize, mut f: F) -
     for _ in 0..iters {
         f();
     }
-    let millis = t0.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
+    let mut millis = t0.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
+    let mut reported_iters = iters;
+    // Short entries are dominated by scheduler noise; re-time them
+    // individually and keep the minimum (the least-disturbed observation).
+    if let Some(n) = min_of.filter(|&n| n > 1) {
+        if millis < 100.0 {
+            for _ in 0..n {
+                #[allow(clippy::disallowed_methods)]
+                let t = Instant::now();
+                f();
+                millis = millis.min(t.elapsed().as_secs_f64() * 1e3);
+            }
+            reported_iters = n;
+        }
+    }
     eprintln!("  {name}: {millis:.1} ms");
     Entry {
         name,
         millis,
-        iters,
+        iters: reported_iters,
         workers,
     }
 }
@@ -89,6 +133,40 @@ fn cost_model(soc: &Soc, width: u32) -> CostModel {
     cost
 }
 
+/// Stream-verifies every core of `soc` at `m = min(64, max chains)` with
+/// the scalar oracle: encode each cube, decode it with the reference
+/// [`Decompressor`](soc_tdc::selenc::Decompressor), compare slice by
+/// slice against materialized `TritVec` slices.
+fn verify_soc_scalar(soc: &Soc) -> u64 {
+    let mut total = 0u64;
+    for core in soc.cores() {
+        let m = 64.min(core.max_wrapper_chains());
+        let design = design_wrapper(core, m);
+        let code = SliceCode::for_chains(design.chain_count());
+        let encoder = Encoder::new(code);
+        for cube in core.test_set().expect("cubes attached").iter() {
+            let words = encode_cube(&encoder, &design, cube);
+            total += words.len() as u64;
+            let expected: Vec<_> = design.slices(cube).collect();
+            verify_stream(code, words, &expected).expect("stream verifies");
+        }
+    }
+    total
+}
+
+/// The same verification through the batched bit-parallel emulator.
+fn verify_soc_packed(soc: &Soc) -> u64 {
+    let mut total = 0u64;
+    for core in soc.cores() {
+        let m = 64.min(core.max_wrapper_chains());
+        let design = design_wrapper(core, m);
+        let report = verify_test_set_stream(&design, core.test_set().expect("cubes attached"))
+            .expect("stream verifies");
+        total += report.codewords;
+    }
+    total
+}
+
 /// Nearest ancestor directory holding a `[workspace]` manifest — the
 /// tree the soclint entries scan.
 fn workspace_root() -> std::path::PathBuf {
@@ -104,11 +182,77 @@ fn workspace_root() -> std::path::PathBuf {
     }
 }
 
+/// Extracts `(name, millis)` pairs from a `BENCH_profile.json` in file
+/// order. Line-oriented on purpose: it accepts both the committed
+/// multi-run layout (fields on separate lines) and this binary's one-line
+/// entry output, without a JSON parser dependency.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut pairs = Vec::new();
+    let mut pending: Option<String> = None;
+    for line in text.lines() {
+        if let Some(at) = line.find("\"name\"") {
+            let rest = &line[at + "\"name\"".len()..];
+            if let Some(v) = rest.split('"').nth(1) {
+                pending = Some(v.to_string());
+            }
+        }
+        if let Some(at) = line.find("\"millis\"") {
+            let rest = line[at + "\"millis\"".len()..]
+                .trim_start_matches([':', ' '])
+                .trim_start();
+            let num: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            if let (Some(name), Ok(ms)) = (pending.take(), num.parse::<f64>()) {
+                pairs.push((name, ms));
+            }
+        }
+    }
+    pairs
+}
+
+/// The perf-regression gate behind `--check`: compares this run's
+/// `tables_*`/`plan_*` entries against the *latest* committed run that
+/// records the same entry name. Returns the failure messages (empty =
+/// gate passes).
+fn check_regressions(entries: &[Entry], baseline_text: &str) -> Vec<String> {
+    let baseline = parse_baseline(baseline_text);
+    let mut failures = Vec::new();
+    for e in entries {
+        if !(e.name.starts_with("tables_") || e.name.starts_with("plan_")) {
+            continue;
+        }
+        let Some((_, base)) = baseline.iter().rev().find(|(n, _)| n.as_str() == e.name) else {
+            eprintln!("  check: {} has no committed baseline, skipping", e.name);
+            continue;
+        };
+        let ratio = e.millis / base;
+        if ratio > CHECK_TOLERANCE {
+            failures.push(format!(
+                "{}: {:.1} ms vs baseline {:.1} ms ({:+.0}%)",
+                e.name,
+                e.millis,
+                base,
+                (ratio - 1.0) * 100.0
+            ));
+        } else {
+            eprintln!(
+                "  check: {} {:.1} ms vs baseline {:.1} ms ok",
+                e.name, e.millis, base
+            );
+        }
+    }
+    failures
+}
+
 fn main() {
     let mut label = String::from("run");
     let mut out: Option<String> = None;
     let mut smoke = false;
     let mut workers = 1usize;
+    let mut min_of: Option<u32> = None;
+    let mut check: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -123,6 +267,16 @@ fn main() {
                     .expect("--workers needs a number");
                 assert!(workers >= 1, "--workers needs at least 1");
             }
+            "--iters" => {
+                let n: u32 = args
+                    .next()
+                    .expect("--iters needs a value")
+                    .parse()
+                    .expect("--iters needs a number");
+                assert!(n >= 1, "--iters needs at least 1");
+                min_of = Some(n);
+            }
+            "--check" => check = Some(args.next().expect("--check needs a baseline file")),
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
@@ -146,22 +300,28 @@ fn main() {
         } else {
             "cube_cost_ckt7_m256"
         };
-        entries.push(timed(name, if smoke { 1 } else { 3 }, 1, || {
+        entries.push(timed(name, if smoke { 1 } else { 3 }, 1, min_of, || {
             let total: u64 = ts.iter().map(|c| cube_cost(code, &design, c)).sum();
             assert!(total > 0);
         }));
     }
 
     // Profile build of one industrial core at production fidelity.
-    entries.push(timed("profile_ckt7_w16", 1, 1, || {
+    entries.push(timed("profile_ckt7_w16", 1, 1, min_of, || {
         let p = CoreProfile::build(core7, &ProfileConfig::industrial(16));
         assert!(!p.entries().is_empty());
     }));
 
     // Decision tables over a whole SOC (the planner's table phase).
     let d695 = Design::D695.build_with_cubes(SEED);
-    entries.push(timed("tables_d695_w32", 1, 1, || {
+    entries.push(timed("tables_d695_w32", 1, 1, min_of, || {
         build_tables(&d695, 32, &fast());
+    }));
+
+    // Batched stream verification at smoke scale: the whole d695 test set
+    // replayed through the bit-parallel emulator.
+    entries.push(timed("verify_d695_packed", 1, 1, min_of, || {
+        assert!(verify_soc_packed(&d695) > 0);
     }));
 
     // Lint self-benchmark: the full workspace scan (lex + parse + all
@@ -169,7 +329,7 @@ fn main() {
     // is tracked in BENCH_profile.json like the planner kernels.
     let lint_root = workspace_root();
     let lint_iters = if smoke { 1 } else { 3 };
-    entries.push(timed("soclint_workspace_w1", lint_iters, 1, || {
+    entries.push(timed("soclint_workspace_w1", lint_iters, 1, min_of, || {
         let diags = soclint::lint_workspace_with(&lint_root, 1).expect("workspace scan");
         assert!(diags.is_empty(), "workspace must lint clean: {diags:?}");
     }));
@@ -178,6 +338,7 @@ fn main() {
         "soclint_workspace_par",
         lint_iters,
         lint_workers,
+        min_of,
         || {
             let diags =
                 soclint::lint_workspace_with(&lint_root, lint_workers).expect("workspace scan");
@@ -188,7 +349,7 @@ fn main() {
     // Architecture search: the pruned hill-climb portfolio and the
     // multi-chain anneal over the d695 cost model.
     let cost_d695 = cost_model(&d695, 32);
-    entries.push(timed("arch_d695_w32", 3, workers, || {
+    entries.push(timed("arch_d695_w32", 3, workers, min_of, || {
         let opts = ArchitectureOptions {
             workers: Some(workers),
             ..Default::default()
@@ -196,7 +357,7 @@ fn main() {
         let a = optimize_architecture(&cost_d695, 32, &opts).unwrap();
         assert!(a.test_time > 0);
     }));
-    entries.push(timed("anneal_d695_w32", 3, workers, || {
+    entries.push(timed("anneal_d695_w32", 3, workers, min_of, || {
         let opts = AnnealOptions {
             chains: 4,
             workers: Some(workers),
@@ -209,17 +370,59 @@ fn main() {
     if !smoke {
         // The largest bundled SOC: p93791-class, 32 cores, ~98k scan FFs.
         let p93791 = Design::P93791.build_with_cubes(SEED);
-        entries.push(timed("tables_p93791_w24", 1, 1, || {
+        entries.push(timed("tables_p93791_w24", 1, 1, min_of, || {
             build_tables(&p93791, 24, &fast());
         }));
-        entries.push(timed("tables_p93791_w32_default", 1, 1, || {
+        entries.push(timed("tables_p93791_w32_default", 1, 1, min_of, || {
             build_tables(&p93791, 32, &DecisionConfig::default());
         }));
+
+        // Full-stream verification of every p93791 core, scalar oracle vs
+        // batched emulator — the emulator's reason to exist is this ratio.
+        entries.push(timed("verify_p93791_scalar", 1, 1, min_of, || {
+            assert!(verify_soc_scalar(&p93791) > 0);
+        }));
+        entries.push(timed("verify_p93791_packed", 1, 1, min_of, || {
+            assert!(verify_soc_packed(&p93791) > 0);
+        }));
+
+        // Incremental rebuild: a full plan at default fidelity with the
+        // on-disk profile cache, cold (every core rebuilt and written)
+        // versus warm after a single-core edit (one cache entry dirtied —
+        // removing it is exactly what a content change does to the
+        // fingerprint-keyed key). Stream verification is skipped so both
+        // entries time the table/search path the cache accelerates.
+        let cache_root = std::env::temp_dir().join("bench-profile-incr-cache");
+        let _ = std::fs::remove_dir_all(&cache_root);
+        let planner = Planner::per_core_tdc();
+        let req = PlanRequest::tam_width(32);
+        let control = PlanControl::default()
+            .cache_profiles_in(&cache_root, "bench")
+            .without_stream_verification();
+        entries.push(timed("tables_p93791_w32_incr_cold", 1, 1, min_of, || {
+            let _ = std::fs::remove_dir_all(&cache_root);
+            let plan = planner.plan_with(&p93791, &req, &control).unwrap();
+            assert!(plan.test_time > 0);
+        }));
+        // The cold closure's final run left the cache fully populated.
+        entries.push(timed("tables_p93791_w32_incr_warm", 1, 1, min_of, || {
+            let mut files: Vec<_> = std::fs::read_dir(&cache_root)
+                .expect("cache populated")
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+                .collect();
+            files.sort();
+            std::fs::remove_file(&files[0]).expect("dirty one core");
+            let plan = planner.plan_with(&p93791, &req, &control).unwrap();
+            assert!(plan.test_time > 0);
+        }));
+        let _ = std::fs::remove_dir_all(&cache_root);
 
         // Anneal portfolio on the big SOC's cost model (the dominant
         // architecture-search workload).
         let cost_p = cost_model(&p93791, 32);
-        entries.push(timed("anneal_p93791_w32", 3, workers, || {
+        entries.push(timed("anneal_p93791_w32", 3, workers, min_of, || {
             let opts = AnnealOptions {
                 iterations: 4000,
                 chains: 4,
@@ -230,9 +433,10 @@ fn main() {
             assert!(a.test_time > 0);
         }));
 
-        // End-to-end plan on the industrial System1.
+        // End-to-end plan on the industrial System1 (includes the default
+        // plan-time stream verification, like any production plan).
         let system1 = Design::System1.build_with_cubes(SEED);
-        entries.push(timed("plan_system1_w32", 1, workers, || {
+        entries.push(timed("plan_system1_w32", 1, workers, min_of, || {
             let req = PlanRequest {
                 architecture: ArchitectureOptions {
                     workers: Some(workers),
@@ -263,5 +467,18 @@ fn main() {
     match out {
         Some(path) => std::fs::write(&path, &json).expect("write report"),
         None => print!("{json}"),
+    }
+
+    if let Some(path) = check {
+        let baseline = std::fs::read_to_string(&path).expect("read --check baseline");
+        let failures = check_regressions(&entries, &baseline);
+        if !failures.is_empty() {
+            eprintln!("performance regression (>20% over committed baseline):");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("perf check passed against {path}");
     }
 }

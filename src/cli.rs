@@ -693,12 +693,32 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
                 let prev = parse_plan(&text).map_err(|e| CliError::Run(Box::new(e)))?;
                 control = control.resume_from(prev);
             }
-            let plan = planner
-                .plan_with(&soc, &request, &control)
+            let (plan, stats) = planner
+                .plan_with_stats(&soc, &request, &control)
                 .map_err(|e| CliError::Run(Box::new(e)))?;
             write!(out, "{plan}").map_err(io_err)?;
             if !plan.outcome.is_complete() {
                 writeln!(out, "search {}: best incumbent shown", plan.outcome).map_err(io_err)?;
+            }
+            if stats.streams_verified > 0 {
+                writeln!(
+                    out,
+                    "verified {} compressed streams ({} codewords) at plan time",
+                    stats.streams_verified, stats.stream_words
+                )
+                .map_err(io_err)?;
+            }
+            if args.profile_cache.is_some() {
+                writeln!(
+                    out,
+                    "profile cache: {} hits, {} partial, {} misses ({} widths reused, {} computed)",
+                    stats.profile_hits,
+                    stats.profile_partial_hits,
+                    stats.profile_misses,
+                    stats.widths_reused,
+                    stats.widths_computed
+                )
+                .map_err(io_err)?;
             }
             if let Some(path) = &args.plan_out {
                 std::fs::write(path, write_plan(&plan))
@@ -826,15 +846,31 @@ mod tests {
         assert!(files > 0, "cold run wrote no profile CSVs");
         let mut warm = Vec::new();
         run(&cmd, &mut warm).unwrap();
-        // The header's elapsed-time annotation legitimately differs (the
-        // warm run is the fast one); everything else must be identical.
-        let strip_elapsed = |bytes: Vec<u8>| -> String {
-            let text = String::from_utf8(bytes).unwrap();
+        // The header's elapsed-time annotation and the cache-stats line
+        // legitimately differ (the warm run is the fast, all-hits one);
+        // everything else must be identical.
+        let strip_varying = |bytes: &[u8]| -> String {
+            let text = std::str::from_utf8(bytes).unwrap();
             let (head, rest) = text.split_once('\n').unwrap();
             let head = head.rsplit_once(" (").map_or(head, |(h, _)| h);
+            let rest: String = rest
+                .lines()
+                .filter(|l| !l.starts_with("profile cache:"))
+                .collect::<Vec<_>>()
+                .join("\n");
             format!("{head}\n{rest}")
         };
-        assert_eq!(strip_elapsed(cold), strip_elapsed(warm));
+        assert_eq!(strip_varying(&cold), strip_varying(&warm));
+        let cold_text = String::from_utf8(cold).unwrap();
+        let warm_text = String::from_utf8(warm).unwrap();
+        assert!(
+            cold_text.contains("profile cache: 0 hits, 0 partial, 10 misses"),
+            "{cold_text}"
+        );
+        assert!(
+            warm_text.contains("profile cache: 10 hits, 0 partial, 0 misses"),
+            "{warm_text}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

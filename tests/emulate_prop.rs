@@ -1,0 +1,246 @@
+//! Property-based tests of the batched bit-parallel decompressor emulator
+//! and the incremental (fingerprint-keyed) profile rebuild path: for
+//! arbitrary cores, cube sets, decompressor widths, and encoder policies,
+//! the packed paths must be bit-identical to their scalar oracles —
+//! including which error a corrupted stream reports — and a warm
+//! incremental plan after a single-core edit must equal a cold rebuild.
+
+#![forbid(unsafe_code)]
+
+use proptest::prelude::*;
+
+use soc_tdc::model::generator::synthesize_missing_test_sets;
+use soc_tdc::model::{Core, Soc, Trit, TritVec};
+use soc_tdc::planner::{DecisionConfig, PlanControl, PlanRequest, Planner};
+use soc_tdc::selenc::{
+    encode_cube, encode_slices_packed, verify_cube_stream, verify_stream, verify_stream_packed,
+    Encoder, SliceCode,
+};
+use soc_tdc::wrapper::{design_wrapper, SliceMatrix};
+
+/// Strategy: a ternary cube of the given length with ~`density` care bits.
+fn cube(len: usize, density: f64) -> impl Strategy<Value = TritVec> {
+    let x_weight = ((1.0 - density) * 50.0) as u32 + 1;
+    let care_weight = (density * 25.0) as u32 + 1;
+    proptest::collection::vec(
+        prop_oneof![
+            x_weight => Just(Trit::X),
+            care_weight => Just(Trit::Zero),
+            care_weight => Just(Trit::One),
+        ],
+        len,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+/// A small hard core with arbitrary chain structure, plus a cube set.
+fn core_and_cubes() -> impl Strategy<Value = (Core, Vec<TritVec>)> {
+    (
+        proptest::collection::vec(1u32..40, 1..6), // scan chains
+        0u32..12,                                  // inputs
+        0u32..12,                                  // outputs
+        0.02f64..0.9,                              // care density
+    )
+        .prop_flat_map(|(chains, inputs, outputs, density)| {
+            let core = Core::builder("prop")
+                .inputs(inputs)
+                .outputs(outputs)
+                .fixed_chains(chains)
+                .pattern_count(1)
+                .build()
+                .expect("valid core");
+            let len = core.scan_load_bits() as usize;
+            proptest::collection::vec(cube(len, density), 1..4)
+                .prop_map(move |cs| (core.clone(), cs))
+        })
+}
+
+/// Per-core spec for the incremental-rebuild property: chain lengths and
+/// a synthesized pattern count.
+type CoreSpec = (Vec<u32>, u32, u32, u32);
+
+fn build_soc(specs: &[CoreSpec], seed: u64) -> Soc {
+    let cores = specs
+        .iter()
+        .enumerate()
+        .map(|(i, (chains, inputs, outputs, patterns))| {
+            Core::builder(format!("c{i}"))
+                .inputs(*inputs)
+                .outputs(*outputs)
+                .fixed_chains(chains.clone())
+                .pattern_count(*patterns)
+                .build()
+                .expect("valid core")
+        })
+        .collect();
+    let mut soc = Soc::new("prop", cores);
+    synthesize_missing_test_sets(&mut soc, seed);
+    soc
+}
+
+fn small_decisions() -> DecisionConfig {
+    DecisionConfig {
+        pattern_sample: Some(4),
+        m_candidates: 4,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The packed slice emitter is bit-identical to the scalar encoder for
+    /// both encoder policies (group copy on and off).
+    #[test]
+    fn packed_emitter_matches_scalar_encoder(
+        (core, cubes) in core_and_cubes(),
+        m in 1u32..24,
+    ) {
+        let design = design_wrapper(&core, m);
+        let code = SliceCode::for_chains(design.chain_count());
+        let mut mat = SliceMatrix::new();
+        for cube in &cubes {
+            design.fill_slice_matrix(cube, &mut mat);
+            for group_copy in [true, false] {
+                let enc = if group_copy {
+                    Encoder::new(code)
+                } else {
+                    Encoder::single_bit_only(code)
+                };
+                let scalar = encode_cube(&enc, &design, cube);
+                let mut packed = Vec::new();
+                encode_slices_packed(code, group_copy, &mat, &mut packed);
+                prop_assert_eq!(packed, scalar, "group_copy={}", group_copy);
+            }
+        }
+    }
+
+    /// On valid streams the packed verifier accepts exactly when the scalar
+    /// oracle does, and reports the true codeword count.
+    #[test]
+    fn packed_verifier_accepts_valid_streams(
+        (core, cubes) in core_and_cubes(),
+        m in 1u32..24,
+    ) {
+        let design = design_wrapper(&core, m);
+        let code = SliceCode::for_chains(design.chain_count());
+        let enc = Encoder::new(code);
+        for cube in &cubes {
+            let words = encode_cube(&enc, &design, cube);
+            let expected: Vec<TritVec> = design.slices(cube).collect();
+            prop_assert_eq!(verify_stream(code, words.iter().copied(), &expected), Ok(()));
+            let n = verify_cube_stream(&design, cube).expect("packed path verifies");
+            prop_assert_eq!(n, words.len() as u64);
+        }
+    }
+
+    /// Corrupting one codeword anywhere in the stream produces the *same*
+    /// verdict from both verifiers — same acceptance, or the same
+    /// `StreamError` variant with the same payload (error priority is part
+    /// of the contract).
+    #[test]
+    fn packed_verifier_matches_scalar_on_corrupted_streams(
+        (core, cubes) in core_and_cubes(),
+        m in 1u32..24,
+        pick in 0usize..1024,
+        kind in 0u8..3,
+        mask in 1u32..u32::MAX,
+    ) {
+        let design = design_wrapper(&core, m);
+        let code = SliceCode::for_chains(design.chain_count());
+        let enc = Encoder::new(code);
+        for cube in &cubes {
+            let mut words = encode_cube(&enc, &design, cube);
+            prop_assert!(!words.is_empty());
+            let i = pick % words.len();
+            match kind {
+                0 => words[i].mode = !words[i].mode,
+                1 => words[i].last = !words[i].last,
+                _ => {
+                    let keep = (1u32 << code.data_bits()) - 1;
+                    let flip = mask & keep;
+                    words[i].data ^= if flip == 0 { 1 } else { flip };
+                }
+            }
+            let expected: Vec<TritVec> = design.slices(cube).collect();
+            let scalar = verify_stream(code, words.iter().copied(), &expected);
+            let mut mat = SliceMatrix::new();
+            design.fill_slice_matrix(cube, &mut mat);
+            let packed = verify_stream_packed(code, words.iter().copied(), &mat);
+            prop_assert_eq!(scalar, packed);
+        }
+    }
+}
+
+proptest! {
+    // Each case runs three full plans; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// After a random single-core edit (content change) and a random width
+    /// change, a warm incremental plan over the surviving cache entries is
+    /// identical to a cold rebuild, and only the edited core misses.
+    #[test]
+    fn incremental_rebuild_matches_cold_rebuild(
+        specs in proptest::collection::vec(
+            (
+                proptest::collection::vec(2u32..24, 1..4), // chains
+                0u32..6,                                   // inputs
+                0u32..6,                                   // outputs
+                2u32..5,                                   // patterns
+            ),
+            2..4,
+        ),
+        w1 in 6u32..11,
+        w2 in 6u32..11,
+        edit in 0usize..16,
+        seed in 1u64..1_000,
+    ) {
+        let planner = Planner::per_core_tdc();
+        let cache = std::env::temp_dir().join("soctdc-emulate-prop-cache");
+        let _ = std::fs::remove_dir_all(&cache);
+        let warm_control = PlanControl::default().cache_profiles_in(&cache, "p");
+
+        // Populate the cache at width w1.
+        let soc = build_soc(&specs, seed);
+        let req1 = PlanRequest::tam_width(w1).with_decisions(small_decisions());
+        let (_, stats) = planner
+            .plan_with_stats(&soc, &req1, &warm_control)
+            .expect("baseline plan");
+        prop_assert_eq!(stats.profile_misses, specs.len());
+
+        // Edit one core's content (its synthesized test set changes with
+        // the pattern count) and replan at w2 against the warm cache.
+        let mut edited = specs.clone();
+        edited[edit % specs.len()].3 += 3;
+        let soc2 = build_soc(&edited, seed);
+        let req2 = PlanRequest::tam_width(w2).with_decisions(small_decisions());
+        let (warm_plan, warm_stats) = planner
+            .plan_with_stats(&soc2, &req2, &warm_control)
+            .expect("incremental plan");
+
+        // Cold rebuild of the edited SOC in a fresh cache.
+        let cold_dir = std::env::temp_dir().join("soctdc-emulate-prop-cache-cold");
+        let _ = std::fs::remove_dir_all(&cold_dir);
+        let cold_control = PlanControl::default().cache_profiles_in(&cold_dir, "p");
+        let (cold_plan, _) = planner
+            .plan_with_stats(&soc2, &req2, &cold_control)
+            .expect("cold plan");
+
+        // `cpu_time` is wall-clock bookkeeping, not plan content.
+        let mut warm_plan = warm_plan;
+        let mut cold_plan = cold_plan;
+        warm_plan.cpu_time = std::time::Duration::ZERO;
+        cold_plan.cpu_time = std::time::Duration::ZERO;
+        prop_assert_eq!(warm_plan, cold_plan);
+        prop_assert_eq!(warm_stats.profile_misses, 1, "only the edited core misses");
+        let untouched = specs.len() - 1;
+        if w2 <= w1 {
+            prop_assert_eq!(warm_stats.profile_hits, untouched);
+            prop_assert_eq!(warm_stats.profile_partial_hits, 0);
+        } else {
+            prop_assert_eq!(warm_stats.profile_hits + warm_stats.profile_partial_hits, untouched);
+        }
+
+        let _ = std::fs::remove_dir_all(&cache);
+        let _ = std::fs::remove_dir_all(&cold_dir);
+    }
+}

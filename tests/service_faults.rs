@@ -279,6 +279,95 @@ fn corrupt_state_is_quarantined_and_rebuilt() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Corrupt exactly ONE core's cached profile: the incremental rebuild
+/// must quarantine and recompute that entry alone — every other core's
+/// cache file stays byte-identical, the plan-done event reports exactly
+/// one miss, and the plan matches the pre-corruption baseline.
+#[test]
+fn corrupt_single_core_cache_entry_rebuilds_only_that_core() {
+    let root = tmp_root("corrupt-one");
+    let mut daemon = Daemon::spawn(&root, &[], None);
+    daemon.read_until(r#""event":"ready""#);
+    open_session(&mut daemon, "s1");
+    daemon
+        .send(r#"{"id":2,"op":"plan","session":"s1","mode":"per-core","width":16,"budget_ms":0}"#);
+    daemon.read_until(r#""event":"plan-done""#);
+    let baseline = std::fs::read_to_string(root.join("sessions/s1/plans/0001.plan")).unwrap();
+    daemon.shutdown();
+
+    // Snapshot every cached profile, then flip one data-row digit in the
+    // lexicographically first file only.
+    let mut cached: Vec<(PathBuf, Vec<u8>)> = std::fs::read_dir(root.join("cache"))
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "csv"))
+        .map(|p| {
+            let bytes = std::fs::read(&p).unwrap();
+            (p, bytes)
+        })
+        .collect();
+    cached.sort();
+    assert!(cached.len() >= 2, "need multiple cores cached");
+    let victim = cached[0].0.clone();
+    let text = std::fs::read_to_string(&victim).unwrap();
+    let mut done = false;
+    let out: Vec<String> = text
+        .lines()
+        .map(|line| {
+            if done || line.starts_with('#') || !line.contains(',') {
+                return line.to_string();
+            }
+            line.chars()
+                .map(|c| {
+                    if !done && c.is_ascii_digit() {
+                        done = true;
+                        if c == '9' {
+                            '8'
+                        } else {
+                            '9'
+                        }
+                    } else {
+                        c
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    assert!(done, "no data row to corrupt in {victim:?}");
+    std::fs::write(&victim, out.join("\n") + "\n").unwrap();
+
+    let mut daemon = Daemon::spawn(&root, &[], None);
+    daemon.read_until(r#""event":"ready""#);
+    daemon
+        .send(r#"{"id":3,"op":"plan","session":"s1","mode":"per-core","width":16,"budget_ms":0}"#);
+    let done_event = daemon.read_until(r#""event":"plan-done""#);
+    // Exactly the corrupted core missed; everything else was served from
+    // the cache untouched.
+    assert!(done_event.contains(r#""profile_misses":1"#), "{done_event}");
+    assert!(
+        done_event.contains(&format!(r#""profile_hits":{}"#, cached.len() - 1)),
+        "{done_event}"
+    );
+    let rebuilt = std::fs::read_to_string(root.join("sessions/s1/plans/0002.plan")).unwrap();
+    assert_eq!(
+        baseline, rebuilt,
+        "plan changed after single-entry corruption"
+    );
+    // The untouched entries are byte-identical — full hits are never
+    // rewritten — and the victim was quarantined before its rebuild.
+    for (path, before) in &cached[1..] {
+        let after = std::fs::read(path).unwrap();
+        assert_eq!(&after, before, "untouched cache entry rewritten: {path:?}");
+    }
+    let quarantined = std::fs::read_dir(root.join("cache/quarantine"))
+        .map(|d| d.count())
+        .unwrap_or(0);
+    assert_eq!(quarantined, 1, "exactly the victim must be quarantined");
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Load shedding: with a single worker and a one-deep queue, a burst of
 /// requests must produce at least one reject carrying `retry_after_ms`,
 /// and every accepted request must still complete.
