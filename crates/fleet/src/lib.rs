@@ -1,0 +1,35 @@
+//! Batch planning over manifests of design instances (the "fleet").
+//!
+//! A fleet run plans hundreds or thousands of independent design
+//! instances — ITC'02 benchmark files × width sweeps × synthetic-generator
+//! seeds — in one process, with **two-level scheduling**: work-stealing at
+//! design granularity on an outer [`parpool::Pool`], layered on the
+//! planner's existing per-design table parallelism (the inner pool). The
+//! split of the worker budget between the two levels is the deterministic
+//! [`parpool::split_budget`] policy, and results are reported in manifest
+//! order at any worker count, so a fleet run is bit-identical to planning
+//! each instance alone, sequentially.
+//!
+//! Memory stays bounded: design instances built from the same source are
+//! shared through an LRU [`robust::BoundedCache`], planner memo caches are
+//! bounded per design, and the shared on-disk profile cache uses the
+//! sharded concurrent-writer-safe layout from `tdcsoc` — so instances that
+//! share cores (the same ITC'02 file at several widths) reuse each other's
+//! operating-point profiles across the whole batch.
+//!
+//! ```
+//! let manifest = fleet::Manifest::parse("design d695 widths=12 sample=4 mcand=4\n").unwrap();
+//! let report = fleet::run_fleet(&manifest, &fleet::FleetOptions::default());
+//! assert_eq!(report.summary.planned, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod manifest;
+mod runner;
+
+pub use manifest::{Instance, Manifest, ManifestError, SocSource};
+pub use runner::{
+    run_fleet, FleetOptions, FleetReport, FleetSummary, InstanceOutcome, InstanceReport,
+};

@@ -1,0 +1,482 @@
+//! The two-level fleet driver: outer work-stealing over design instances,
+//! inner per-design table parallelism, shared bounded caches.
+//!
+//! Determinism argument (DESIGN.md §16): the outer [`parpool::Pool`]
+//! returns results in task order at any worker count; each instance's
+//! plan depends only on its own `(SOC, request, control)` inputs (the
+//! planner's worker-count independence contract); and every shared cache
+//! is *semantically transparent* — a hit returns exactly what a rebuild
+//! would produce, and eviction merely forces the rebuild — so the worker
+//! split and cache interleaving can change throughput and counters, never
+//! plans.
+
+use std::collections::BTreeMap;
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+// soclint: allow(wall-clock) -- fleet latency/throughput reporting only; no plan content derives from time
+use std::time::Instant;
+
+use parpool::{split_budget, Pool};
+use robust::{BoundedCache, CacheLimits, CacheStats};
+use soc_model::benchmarks::Design;
+use soc_model::{format::parse_soc, generator::synthesize_missing_test_sets, itc02, Soc};
+use tdcsoc::{Plan, PlanControl, PlanOutcome, PlanRequest, PlanStats, Planner};
+
+use crate::manifest::{Instance, Manifest, SocSource};
+
+/// Knobs for one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Total worker budget across both scheduling levels; `0` auto-detects
+    /// via [`std::thread::available_parallelism`]. The deterministic
+    /// [`parpool::split_budget`] policy divides it into
+    /// `outer × inner ≤ budget`.
+    pub workers: usize,
+    /// Root of the shared sharded on-disk profile cache, if any. Safe for
+    /// concurrent writers — every fleet worker (and other processes) may
+    /// point at the same root.
+    pub profile_cache: Option<PathBuf>,
+    /// LRU bounds on the shared in-memory design-instance cache (built
+    /// SOCs with synthesized test sets, reused across width sweeps).
+    pub soc_cache: CacheLimits,
+    /// Skip the per-plan compressed-stream replay (faster; plans are
+    /// unchanged — verification never alters a plan).
+    pub skip_stream_verification: bool,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        FleetOptions {
+            workers: 0,
+            profile_cache: None,
+            soc_cache: CacheLimits::new(32, 256 << 20),
+            skip_stream_verification: false,
+        }
+    }
+}
+
+/// How one instance concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceOutcome {
+    /// The planner returned a plan (with its search outcome).
+    Planned(PlanOutcome),
+    /// The instance failed — unreadable source file, planning error. The
+    /// rest of the fleet is unaffected.
+    Failed(String),
+}
+
+impl InstanceOutcome {
+    /// Stable keyword for per-outcome tallies (`optimal`, `degraded …`,
+    /// `failed`).
+    pub fn keyword(&self) -> String {
+        match self {
+            InstanceOutcome::Planned(o) => o.to_string(),
+            InstanceOutcome::Failed(_) => "failed".to_string(),
+        }
+    }
+}
+
+/// One instance's result, in manifest order.
+#[derive(Debug, Clone)]
+pub struct InstanceReport {
+    /// The instance's manifest id.
+    pub id: String,
+    /// How it concluded.
+    pub outcome: InstanceOutcome,
+    /// Wall-clock planning latency in milliseconds (reporting only; varies
+    /// run to run, unlike the plan itself).
+    pub latency_ms: f64,
+    /// The planner's work accounting (zeroed for failed instances).
+    pub stats: PlanStats,
+    /// The finished plan (`None` for failed instances).
+    pub plan: Option<Plan>,
+}
+
+/// Whole-run totals, computed deterministically from the ordered reports.
+#[derive(Debug, Clone)]
+pub struct FleetSummary {
+    /// Instances in the manifest.
+    pub instances: usize,
+    /// Instances that produced a plan.
+    pub planned: usize,
+    /// Instances that failed.
+    pub failed: usize,
+    /// Tally of [`InstanceOutcome::keyword`] values.
+    pub outcomes: BTreeMap<String, usize>,
+    /// Total wall-clock seconds for the batch.
+    pub elapsed_s: f64,
+    /// Successfully planned designs per second.
+    pub designs_per_sec: f64,
+    /// Median per-design plan latency (nearest rank over sorted
+    /// latencies — deterministic given the latency multiset).
+    pub p50_ms: f64,
+    /// 99th-percentile per-design plan latency (nearest rank).
+    pub p99_ms: f64,
+    /// Rolled-up [`PlanStats`] across every instance: profile-cache
+    /// hits/misses/evictions, memo-cache counters, verification totals.
+    pub stats: PlanStats,
+    /// Counters of the shared design-instance cache (hits mean a SOC
+    /// build + test-set synthesis was skipped).
+    pub soc_cache: CacheStats,
+    /// Outer (design-granularity) worker count actually used.
+    pub outer_workers: usize,
+    /// Inner (per-design table) worker count handed to each plan.
+    pub inner_workers: usize,
+    /// The resolved total budget (`outer × inner ≤ budget`).
+    pub budget: usize,
+}
+
+impl std::fmt::Display for FleetSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fleet: {} instances, {} planned, {} failed in {:.2}s ({:.2} designs/sec)",
+            self.instances, self.planned, self.failed, self.elapsed_s, self.designs_per_sec
+        )?;
+        writeln!(
+            f,
+            "workers: budget {} = {} outer x {} inner",
+            self.budget, self.outer_workers, self.inner_workers
+        )?;
+        writeln!(
+            f,
+            "latency: p50 {:.1} ms, p99 {:.1} ms",
+            self.p50_ms, self.p99_ms
+        )?;
+        let outcomes: Vec<String> = self
+            .outcomes
+            .iter()
+            .map(|(k, n)| format!("{k} {n}"))
+            .collect();
+        writeln!(f, "outcomes: {}", outcomes.join(", "))?;
+        writeln!(
+            f,
+            "profile cache: {} hits, {} partial, {} misses, {} evictions",
+            self.stats.profile_hits,
+            self.stats.profile_partial_hits,
+            self.stats.profile_misses,
+            self.stats.profile_evictions
+        )?;
+        writeln!(
+            f,
+            "memo caches: {} hits, {} misses, {} evictions",
+            self.stats.memo.hits, self.stats.memo.misses, self.stats.memo.evictions
+        )?;
+        write!(
+            f,
+            "soc cache: {} hits, {} misses, {} evictions",
+            self.soc_cache.hits, self.soc_cache.misses, self.soc_cache.evictions
+        )
+    }
+}
+
+/// A finished fleet run: per-instance reports in manifest order plus the
+/// aggregate summary.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// One report per manifest instance, in manifest order at any worker
+    /// count.
+    pub instances: Vec<InstanceReport>,
+    /// Aggregate totals.
+    pub summary: FleetSummary,
+}
+
+/// Key of the shared design-instance cache: everything that shapes the
+/// built SOC (density keyed by bit pattern — `f64` has no `Ord`).
+type SocKey = (SocSource, u64, u64);
+
+/// Plans every instance of `manifest` under `opts`, two-level scheduled.
+///
+/// The report's instances are in manifest order and each plan is
+/// bit-identical to a standalone single-design run of the same instance,
+/// at any worker budget — see the module docs for the argument.
+pub fn run_fleet(manifest: &Manifest, opts: &FleetOptions) -> FleetReport {
+    // soclint: allow(wall-clock) -- batch throughput reporting only
+    #[allow(clippy::disallowed_methods)]
+    let t0 = Instant::now();
+    let budget = if opts.workers == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        opts.workers
+    };
+    let (outer, inner) = split_budget(budget, manifest.len());
+
+    let socs: Mutex<BoundedCache<SocKey, Arc<Soc>>> = Mutex::new(BoundedCache::new(opts.soc_cache));
+    let tasks: Vec<_> = manifest
+        .instances
+        .iter()
+        .map(|inst| {
+            let socs = &socs;
+            move || plan_instance(inst, inner, opts, socs)
+        })
+        .collect();
+    let instances = Pool::with_workers(outer).run(tasks);
+
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let soc_cache = socs.lock().map(|cache| cache.stats()).unwrap_or_default();
+    let summary = summarize(&instances, elapsed_s, soc_cache, outer, inner, budget);
+    FleetReport { instances, summary }
+}
+
+/// Builds the aggregate summary from the ordered per-instance reports.
+fn summarize(
+    instances: &[InstanceReport],
+    elapsed_s: f64,
+    soc_cache: CacheStats,
+    outer: usize,
+    inner: usize,
+    budget: usize,
+) -> FleetSummary {
+    let mut outcomes: BTreeMap<String, usize> = BTreeMap::new();
+    let mut stats = PlanStats::default();
+    let mut latencies: Vec<f64> = Vec::with_capacity(instances.len());
+    let mut planned = 0usize;
+    for report in instances {
+        *outcomes.entry(report.outcome.keyword()).or_default() += 1;
+        stats.absorb(&report.stats);
+        latencies.push(report.latency_ms);
+        if matches!(report.outcome, InstanceOutcome::Planned(_)) {
+            planned += 1;
+        }
+    }
+    latencies.sort_by(f64::total_cmp);
+    let designs_per_sec = if elapsed_s > 0.0 {
+        to_f64(planned) / elapsed_s
+    } else {
+        0.0
+    };
+    FleetSummary {
+        instances: instances.len(),
+        planned,
+        failed: instances.len() - planned,
+        outcomes,
+        elapsed_s,
+        designs_per_sec,
+        p50_ms: nearest_rank(&latencies, 50),
+        p99_ms: nearest_rank(&latencies, 99),
+        stats,
+        soc_cache,
+        outer_workers: outer,
+        inner_workers: inner,
+        budget,
+    }
+}
+
+/// Lossless `usize → f64` for the counts this crate handles (bounded by
+/// [`Manifest::MAX_INSTANCES`], far under `2^32`), without an `as` cast.
+fn to_f64(n: usize) -> f64 {
+    f64::from(u32::try_from(n).unwrap_or(u32::MAX))
+}
+
+/// Nearest-rank percentile over latencies already sorted with
+/// [`f64::total_cmp`]: index `round(p/100 × (n-1))`, in pure integer
+/// arithmetic so the pick is exact.
+fn nearest_rank(sorted: &[f64], percent: usize) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (percent * (sorted.len() - 1) + 50) / 100;
+    sorted.get(idx).copied().unwrap_or(0.0)
+}
+
+/// Plans one instance with `inner` table workers, reusing the shared SOC
+/// cache. Failures are confined to this instance's report.
+fn plan_instance(
+    inst: &Instance,
+    inner: usize,
+    opts: &FleetOptions,
+    socs: &Mutex<BoundedCache<SocKey, Arc<Soc>>>,
+) -> InstanceReport {
+    // soclint: allow(wall-clock) -- per-design latency reporting only
+    #[allow(clippy::disallowed_methods)]
+    let t0 = Instant::now();
+    let failed = |message: String, t0: Instant| InstanceReport {
+        id: inst.id.clone(),
+        outcome: InstanceOutcome::Failed(message),
+        latency_ms: t0.elapsed().as_secs_f64() * 1e3,
+        stats: PlanStats::default(),
+        plan: None,
+    };
+    let soc = match shared_soc(socs, inst) {
+        Ok(soc) => soc,
+        Err(message) => return failed(message, t0),
+    };
+    let planner = match planner_for(&inst.mode) {
+        Some(planner) => planner,
+        None => return failed(format!("unknown mode `{}`", inst.mode), t0),
+    };
+    let mut request = PlanRequest::tam_width(inst.width);
+    request.decisions = inst.decisions.clone();
+    request.architecture.workers = Some(inner);
+    let mut control = PlanControl::default();
+    if opts.skip_stream_verification {
+        control = control.without_stream_verification();
+    }
+    if let Some(dir) = &opts.profile_cache {
+        // Same tag the CLI's `plan --profile-cache` uses, so fleet runs
+        // and single-design runs share entries.
+        let tag = format!("{}-seed{}-d{:.3}", soc.name(), inst.seed, inst.density);
+        control = control.cache_profiles_in(dir, tag);
+    }
+    match planner.plan_with_stats(&soc, &request, &control) {
+        Ok((plan, stats)) => InstanceReport {
+            id: inst.id.clone(),
+            outcome: InstanceOutcome::Planned(plan.outcome),
+            latency_ms: t0.elapsed().as_secs_f64() * 1e3,
+            stats,
+            plan: Some(plan),
+        },
+        Err(e) => failed(e.to_string(), t0),
+    }
+}
+
+/// Fetches (or builds and caches) the instance's SOC. The cache is
+/// semantically transparent: builds are deterministic, so a hit, a miss,
+/// or an eviction-forced rebuild all yield the identical SOC — racing
+/// workers can at worst build the same SOC twice.
+fn shared_soc(
+    socs: &Mutex<BoundedCache<SocKey, Arc<Soc>>>,
+    inst: &Instance,
+) -> Result<Arc<Soc>, String> {
+    let key: SocKey = (inst.source.clone(), inst.seed, inst.density.to_bits());
+    // soclint: allow(capture-mut) -- LRU bookkeeping only: a hit returns exactly what a rebuild would, so lock interleaving never reaches plan content
+    if let Ok(mut cache) = socs.lock() {
+        if let Some(soc) = cache.get(&key) {
+            return Ok(Arc::clone(soc));
+        }
+    }
+    let soc = Arc::new(build_soc(inst)?);
+    // Weight ≈ the dominant allocation: the synthesized test cubes.
+    let weight = usize::try_from(soc.initial_volume_bits() / 8)
+        .unwrap_or(usize::MAX)
+        .saturating_add(4096);
+    // soclint: allow(capture-mut) -- same transparency argument as the lookup above
+    if let Ok(mut cache) = socs.lock() {
+        cache.insert(key, Arc::clone(&soc), weight);
+    }
+    Ok(soc)
+}
+
+/// Builds an instance's SOC from its source and synthesizes missing test
+/// sets — exactly what the CLI does for a single `plan` run.
+fn build_soc(inst: &Instance) -> Result<Soc, String> {
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let mut soc = match &inst.source {
+        SocSource::Builtin(name) => Design::ALL
+            .into_iter()
+            .find(|d| d.name().eq_ignore_ascii_case(name))
+            .map(|d| d.build())
+            .ok_or_else(|| format!("unknown design `{name}`"))?,
+        SocSource::Itc02File(path) => {
+            itc02::parse_itc02(&read(path)?, inst.density)
+                .map_err(|e| format!("{path}: {e}"))?
+                .soc
+        }
+        SocSource::SimpleFile(path) => {
+            parse_soc(&read(path)?).map_err(|e| format!("{path}: {e}"))?
+        }
+    };
+    synthesize_missing_test_sets(&mut soc, inst.seed);
+    Ok(soc)
+}
+
+/// The CLI's mode keywords (mirrored; the manifest validates these at
+/// parse time, this is the defensive second check).
+fn planner_for(mode: &str) -> Option<Planner> {
+    Some(match mode {
+        "no-tdc" => Planner::no_tdc(),
+        "per-core" => Planner::per_core_tdc(),
+        "per-tam" => Planner::per_tam_tdc(),
+        "fixed4" => Planner::fixed_width_tdc(4),
+        "reseed" => Planner::reseeding_tdc(),
+        "fdr" => Planner::fdr_tdc(),
+        "select" => Planner::select_tdc(),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_picks_deterministically() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(nearest_rank(&sorted, 50), 3.0);
+        assert_eq!(nearest_rank(&sorted, 99), 5.0);
+        assert_eq!(nearest_rank(&sorted, 0), 1.0);
+        assert_eq!(nearest_rank(&[], 50), 0.0);
+        assert_eq!(nearest_rank(&[7.5], 99), 7.5);
+    }
+
+    #[test]
+    fn failed_sources_do_not_sink_the_fleet() {
+        let manifest = Manifest::parse(
+            "soc /nonexistent/fleet-test.soc widths=8\n\
+             design d695 widths=10 sample=4 mcand=4\n",
+        )
+        .unwrap();
+        let report = run_fleet(&manifest, &FleetOptions::default());
+        assert_eq!(report.summary.instances, 2);
+        assert_eq!(report.summary.planned, 1);
+        assert_eq!(report.summary.failed, 1);
+        assert!(matches!(
+            report.instances[0].outcome,
+            InstanceOutcome::Failed(ref m) if m.contains("cannot read")
+        ));
+        assert!(report.instances[1].plan.is_some());
+        assert_eq!(report.summary.outcomes.get("failed"), Some(&1));
+        assert_eq!(report.summary.outcomes.get("optimal"), Some(&1));
+    }
+
+    #[test]
+    fn width_sweeps_share_the_cached_soc() {
+        let manifest = Manifest::parse("design d695 widths=8,10,12 sample=4 mcand=4\n").unwrap();
+        // One outer worker: the cache counters are exact (concurrent
+        // outer workers may race to the first build, which is harmless
+        // but makes hit counts host-dependent).
+        let opts = FleetOptions {
+            workers: 1,
+            ..FleetOptions::default()
+        };
+        let report = run_fleet(&manifest, &opts);
+        assert_eq!(report.summary.planned, 3);
+        // One build, two hits: all three widths reuse the same instance.
+        assert_eq!(report.summary.soc_cache.misses, 1);
+        assert_eq!(report.summary.soc_cache.hits, 2);
+        // Summary display mentions the load-bearing numbers.
+        let text = report.summary.to_string();
+        assert!(text.contains("3 planned"), "{text}");
+        assert!(text.contains("designs/sec"), "{text}");
+    }
+
+    #[test]
+    fn summary_is_a_pure_function_of_reports() {
+        let reports = vec![
+            InstanceReport {
+                id: "a".into(),
+                outcome: InstanceOutcome::Planned(PlanOutcome::Optimal),
+                latency_ms: 10.0,
+                stats: PlanStats::default(),
+                plan: None,
+            },
+            InstanceReport {
+                id: "b".into(),
+                outcome: InstanceOutcome::Failed("x".into()),
+                latency_ms: 30.0,
+                stats: PlanStats::default(),
+                plan: None,
+            },
+        ];
+        let s = summarize(&reports, 2.0, CacheStats::default(), 2, 1, 2);
+        assert_eq!(s.planned, 1);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.designs_per_sec, 0.5);
+        assert_eq!(s.p50_ms, 30.0, "nearest rank of [10, 30] at 50%");
+        assert_eq!(s.p99_ms, 30.0);
+    }
+}

@@ -158,10 +158,63 @@ impl Pool {
     }
 }
 
+/// Splits a total worker `budget` between two nested pool levels: an
+/// outer pool of `jobs` coarse-grained tasks (e.g. whole designs) whose
+/// tasks each run an inner pool (e.g. per-design table chunks).
+///
+/// The policy is a pure function of its arguments — no clocks, no machine
+/// probing — so a given `(budget, jobs)` always yields the same split on
+/// any host, and the nested run schedules identically. The outer level is
+/// saturated first (design-granularity stealing hides more latency skew
+/// than intra-design chunking), then whatever budget remains multiplies
+/// into the inner level:
+///
+/// * `outer = min(jobs, budget)` (each ≥ 1), so no outer worker idles
+///   without a job;
+/// * `inner = budget / outer` (≥ 1), so `outer × inner ≤ max(budget, 1)`.
+///
+/// ```
+/// assert_eq!(parpool::split_budget(8, 100), (8, 1)); // many jobs: all outer
+/// assert_eq!(parpool::split_budget(8, 2), (2, 4));   // few jobs: go inner
+/// assert_eq!(parpool::split_budget(0, 5), (1, 1));   // degenerate: serial
+/// ```
+pub fn split_budget(budget: usize, jobs: usize) -> (usize, usize) {
+    let budget = budget.max(1);
+    let outer = jobs.clamp(1, budget);
+    let inner = (budget / outer).max(1);
+    (outer, inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn split_budget_saturates_outer_then_inner() {
+        assert_eq!(split_budget(4, 200), (4, 1));
+        assert_eq!(split_budget(4, 4), (4, 1));
+        assert_eq!(split_budget(4, 3), (3, 1));
+        assert_eq!(split_budget(4, 2), (2, 2));
+        assert_eq!(split_budget(4, 1), (1, 4));
+        assert_eq!(split_budget(1, 9), (1, 1));
+        assert_eq!(split_budget(0, 0), (1, 1));
+    }
+
+    #[test]
+    fn split_budget_product_never_exceeds_budget() {
+        for budget in 0..=17usize {
+            for jobs in 0..=23usize {
+                let (outer, inner) = split_budget(budget, jobs);
+                assert!(outer >= 1 && inner >= 1);
+                assert!(
+                    outer * inner <= budget.max(1),
+                    "split_budget({budget}, {jobs}) = ({outer}, {inner})"
+                );
+                assert!(outer <= jobs.max(1), "outer workers beyond job count");
+            }
+        }
+    }
 
     #[test]
     fn results_keep_task_order_at_any_worker_count() {

@@ -67,6 +67,17 @@ pub struct CacheStats {
     pub rejected: u64,
 }
 
+impl CacheStats {
+    /// Adds another counter set into this one (saturating), for rolling
+    /// per-cache or per-run stats up into a fleet-wide total.
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.hits = self.hits.saturating_add(other.hits);
+        self.misses = self.misses.saturating_add(other.misses);
+        self.evictions = self.evictions.saturating_add(other.evictions);
+        self.rejected = self.rejected.saturating_add(other.rejected);
+    }
+}
+
 #[derive(Debug)]
 struct Slot<V> {
     tick: u64,
@@ -267,6 +278,32 @@ mod tests {
         c.insert(1, "y", 30);
         assert_eq!(c.bytes(), 30);
         assert_eq!(c.get(&1), Some(&"y"));
+    }
+
+    #[test]
+    fn absorb_sums_and_saturates() {
+        let mut a = CacheStats {
+            hits: 3,
+            misses: 2,
+            evictions: 1,
+            rejected: 0,
+        };
+        a.absorb(CacheStats {
+            hits: 10,
+            misses: 20,
+            evictions: 30,
+            rejected: 40,
+        });
+        assert_eq!(a.hits, 13);
+        assert_eq!(a.misses, 22);
+        assert_eq!(a.evictions, 31);
+        assert_eq!(a.rejected, 40);
+        let mut top = CacheStats {
+            hits: u64::MAX,
+            ..CacheStats::default()
+        };
+        top.absorb(a);
+        assert_eq!(top.hits, u64::MAX);
     }
 
     #[test]

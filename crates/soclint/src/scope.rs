@@ -26,6 +26,10 @@ pub const DETERMINISM_CRATES: &[&str] = &[
     // own state in ordered containers, so its request handling is as
     // reproducible as the planner underneath it.
     "serve",
+    // The batch driver's ordered reports and plans must be identical at
+    // any worker split; its latency/throughput reporting reads the clock
+    // through explicit per-line allows.
+    "fleet",
 ];
 
 /// Crates allowed to read the wall clock: `robust` owns deadlines, the
@@ -43,11 +47,12 @@ pub const UNTRUSTED_PARSER_FILES: &[&str] = &[
     "crates/soc-model/src/patfile.rs",
     "crates/serve/src/json.rs",
     "crates/serve/src/http.rs",
+    "crates/fleet/src/manifest.rs",
 ];
 
 /// Crates that build or submit `parpool` job closures; the closure-capture
 /// rules (`capture-mut`, `order-sensitive-reduce`) run here.
-pub const CAPTURE_CRATES: &[&str] = &["parpool", "tam", "tdcsoc"];
+pub const CAPTURE_CRATES: &[&str] = &["parpool", "tam", "tdcsoc", "fleet"];
 
 /// Everything soclint knows about one file before rules run.
 #[derive(Debug, Clone)]
@@ -328,6 +333,14 @@ mod tests {
         assert!(memo.determinism && memo.wall_clock_banned);
         let incr = classify("crates/tdcsoc/src/planner.rs");
         assert!(incr.determinism && incr.wall_clock_banned && incr.capture_checked);
+
+        // The fleet batch driver: determinism- and capture-checked like
+        // the planner it drives; its manifest parser takes untrusted input.
+        let fleet_runner = classify("crates/fleet/src/runner.rs");
+        assert!(fleet_runner.determinism && fleet_runner.capture_checked);
+        assert!(fleet_runner.wall_clock_banned && !fleet_runner.untrusted_parser);
+        let fleet_manifest = classify("crates/fleet/src/manifest.rs");
+        assert!(fleet_manifest.untrusted_parser && fleet_manifest.determinism);
 
         let itest = classify("crates/tam/tests/portfolio_prop.rs");
         assert!(itest.all_test && !itest.determinism);

@@ -93,10 +93,11 @@ pub struct ProfileCacheConfig {
     /// changing any generation input misses cleanly instead of reusing a
     /// wrong profile.
     pub tag: String,
-    /// Entry (file-count) and byte caps for the on-disk cache. After each
-    /// write the oldest cached profiles — by write order, tracked in an
-    /// index journal, never by file mtime — are deleted until the caps
-    /// hold again.
+    /// Entry (file-count) and byte caps for the on-disk cache, divided
+    /// evenly across its 16 fingerprint-keyed shards. After each write
+    /// the oldest cached profiles in the written shard — by write order,
+    /// tracked in a per-shard index journal, never by file mtime — are
+    /// deleted until that shard's caps hold again.
     pub limits: robust::CacheLimits,
 }
 

@@ -343,6 +343,15 @@ impl<'a> TableJob<'a> {
         self.cache.content_stamp()
     }
 
+    /// Combined hit/miss/eviction counters of this job's in-memory memo
+    /// caches (the wrapper-design cache plus the operating-point
+    /// evaluation memo), for [`PlanStats`](crate::PlanStats) rollup.
+    pub(crate) fn memo_stats(&self) -> robust::CacheStats {
+        let mut stats = self.cache.designs().stats();
+        stats.absorb(self.cache.stats());
+        stats
+    }
+
     /// As [`new`](TableJob::new), but for the shared-decompressor mode
     /// under an *internal* wire budget: `table[m - 1]` is the operating
     /// point when the TAM's internal width is `m` (the decompressor input

@@ -48,7 +48,10 @@ pub use ate::{AteFit, AteSpec};
 pub use cascade::{PlanControl, PlanOutcome, ProfileCacheConfig, SolverStage};
 pub use decisions::{CompressionMode, Decision, DecisionConfig, DecisionTable, Technique};
 pub use planfile::{parse_plan, write_plan, ParsePlanError};
-pub use planner::{Budget, CoreSetting, Plan, PlanError, PlanRequest, PlanStats, Planner};
+pub use planner::{
+    profile_cache_entries, quarantined_profiles, Budget, CoreSetting, Plan, PlanError, PlanRequest,
+    PlanStats, Planner,
+};
 pub use response::{plan_response_compaction, CompactorSetting, ResponsePlan};
 pub use truncate::{truncate_to_fit, TruncateError, Truncation};
 pub use vectors::{export_image, verify_image, ImageError, TamImage, TesterImage};

@@ -27,10 +27,14 @@
 //! noise-robust statistic for them. Longer entries keep their averaged
 //! measurement.
 //!
-//! `--check BASELINE` compares this run's `tables_*`/`plan_*` entries
-//! against the most recent run in a committed `BENCH_profile.json` that
-//! records the same entry, and exits non-zero when any is more than 20%
-//! slower — the CI perf-regression gate. Entries without a baseline are
+//! `--check BASELINE` compares this run's `tables_*`/`plan_*`/`fleet_*`
+//! entries against the most recent run in a committed
+//! `BENCH_profile.json` that records the same entry, and exits non-zero
+//! when any is more than 20% worse — the CI perf-regression gate. Each
+//! entry carries its comparison direction explicitly: time entries
+//! (`"millis"`, `"direction": "lower"`) fail when slower, throughput
+//! entries (`"designs_per_sec"`, `"direction": "higher"`) fail when
+//! fewer designs per second come out. Entries without a baseline are
 //! reported and skipped, so newly added benchmarks don't block the gate
 //! before their first committed run.
 
@@ -39,6 +43,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use soc_tdc::fleet;
 use soc_tdc::model::benchmarks::{self, Design};
 use soc_tdc::model::generator::synthesize_missing_test_sets;
 use soc_tdc::model::Soc;
@@ -60,9 +65,40 @@ const SEED: u64 = 2008;
 /// this factor slower than its committed baseline.
 const CHECK_TOLERANCE: f64 = 1.20;
 
+/// Which way an entry's number is supposed to move.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Direction {
+    /// Time-like entries: smaller is better.
+    Lower,
+    /// Throughput entries: bigger is better.
+    Higher,
+}
+
+impl Direction {
+    fn keyword(self) -> &'static str {
+        match self {
+            Direction::Lower => "lower",
+            Direction::Higher => "higher",
+        }
+    }
+
+    /// Normalized "how much worse" ratio: `> 1.0` means this run regressed
+    /// relative to `base`, whichever way the metric points.
+    fn regression_ratio(self, value: f64, base: f64) -> f64 {
+        match self {
+            Direction::Lower => value / base,
+            Direction::Higher => base / value,
+        }
+    }
+}
+
 struct Entry {
     name: &'static str,
-    millis: f64,
+    /// Measured value in `unit`s.
+    value: f64,
+    /// JSON key the value is emitted under (`millis`, `designs_per_sec`).
+    unit: &'static str,
+    direction: Direction,
     iters: u32,
     workers: usize,
 }
@@ -101,8 +137,37 @@ fn timed<F: FnMut()>(
     eprintln!("  {name}: {millis:.1} ms");
     Entry {
         name,
-        millis,
+        value: millis,
+        unit: "millis",
+        direction: Direction::Lower,
         iters: reported_iters,
+        workers,
+    }
+}
+
+/// Times one fleet batch run and reports its throughput (a
+/// higher-is-better entry). One warm-up pass, then the measured run; the
+/// summary's own elapsed clock is the measurement.
+fn fleet_entry(name: &'static str, manifest_text: &str, workers: usize) -> Entry {
+    let manifest = fleet::Manifest::parse(manifest_text).expect("fleet manifest");
+    let opts = fleet::FleetOptions {
+        workers,
+        skip_stream_verification: true,
+        ..Default::default()
+    };
+    let _ = fleet::run_fleet(&manifest, &opts);
+    let report = fleet::run_fleet(&manifest, &opts);
+    assert_eq!(report.summary.failed, 0, "fleet bench manifest must plan");
+    eprintln!(
+        "  {name}: {:.2} designs/sec ({} outer x {} inner)",
+        report.summary.designs_per_sec, report.summary.outer_workers, report.summary.inner_workers
+    );
+    Entry {
+        name,
+        value: report.summary.designs_per_sec,
+        unit: "designs_per_sec",
+        direction: Direction::Higher,
+        iters: 1,
         workers,
     }
 }
@@ -182,64 +247,116 @@ fn workspace_root() -> std::path::PathBuf {
     }
 }
 
-/// Extracts `(name, millis)` pairs from a `BENCH_profile.json` in file
-/// order. Line-oriented on purpose: it accepts both the committed
-/// multi-run layout (fields on separate lines) and this binary's one-line
-/// entry output, without a JSON parser dependency.
-fn parse_baseline(text: &str) -> Vec<(String, f64)> {
-    let mut pairs = Vec::new();
-    let mut pending: Option<String> = None;
-    for line in text.lines() {
-        if let Some(at) = line.find("\"name\"") {
-            let rest = &line[at + "\"name\"".len()..];
-            if let Some(v) = rest.split('"').nth(1) {
-                pending = Some(v.to_string());
-            }
+/// One committed measurement recovered from `BENCH_profile.json`.
+struct BaselineEntry {
+    name: String,
+    value: f64,
+    direction: Direction,
+}
+
+/// Pulls the quoted string value of `key` out of a JSON-ish line.
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let at = line.find(key)?;
+    line[at + key.len()..].split('"').nth(1).map(str::to_string)
+}
+
+/// Pulls the numeric value of `key` out of a JSON-ish line.
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let at = line.find(key)?;
+    let rest = line[at + key.len()..]
+        .trim_start_matches([':', ' '])
+        .trim_start();
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// Extracts named measurements with their comparison direction from a
+/// `BENCH_profile.json` in file order. Line-oriented on purpose: it
+/// accepts both the committed multi-run layout (fields on separate lines)
+/// and this binary's one-line entry output, without a JSON parser
+/// dependency. The direction comes from an explicit `"direction"` key
+/// when present, else from the value key itself (`"millis"` entries
+/// predate the key and are all lower-is-better).
+fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
+    let mut entries = Vec::new();
+    let mut name: Option<String> = None;
+    let mut value: Option<(f64, Direction)> = None;
+    let mut explicit: Option<Direction> = None;
+    let mut flush = |name: &mut Option<String>,
+                     value: &mut Option<(f64, Direction)>,
+                     explicit: &mut Option<Direction>| {
+        if let (Some(name), Some((value, implied))) = (name.take(), value.take()) {
+            entries.push(BaselineEntry {
+                name,
+                value,
+                direction: explicit.take().unwrap_or(implied),
+            });
         }
-        if let Some(at) = line.find("\"millis\"") {
-            let rest = line[at + "\"millis\"".len()..]
-                .trim_start_matches([':', ' '])
-                .trim_start();
-            let num: String = rest
-                .chars()
-                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-                .collect();
-            if let (Some(name), Ok(ms)) = (pending.take(), num.parse::<f64>()) {
-                pairs.push((name, ms));
-            }
+        *explicit = None;
+    };
+    for line in text.lines() {
+        if let Some(n) = extract_str(line, "\"name\"") {
+            flush(&mut name, &mut value, &mut explicit);
+            name = Some(n);
+        }
+        if let Some(v) = extract_num(line, "\"millis\"") {
+            value = Some((v, Direction::Lower));
+        }
+        if let Some(v) = extract_num(line, "\"designs_per_sec\"") {
+            value = Some((v, Direction::Higher));
+        }
+        match extract_str(line, "\"direction\"").as_deref() {
+            Some("lower") => explicit = Some(Direction::Lower),
+            Some("higher") => explicit = Some(Direction::Higher),
+            _ => {}
         }
     }
-    pairs
+    flush(&mut name, &mut value, &mut explicit);
+    entries
 }
 
 /// The perf-regression gate behind `--check`: compares this run's
-/// `tables_*`/`plan_*` entries against the *latest* committed run that
-/// records the same entry name. Returns the failure messages (empty =
-/// gate passes).
+/// `tables_*`/`plan_*`/`fleet_*` entries against the *latest* committed
+/// run that records the same entry name, each in its own direction.
+/// Returns the failure messages (empty = gate passes).
 fn check_regressions(entries: &[Entry], baseline_text: &str) -> Vec<String> {
     let baseline = parse_baseline(baseline_text);
     let mut failures = Vec::new();
     for e in entries {
-        if !(e.name.starts_with("tables_") || e.name.starts_with("plan_")) {
+        let gated = e.name.starts_with("tables_")
+            || e.name.starts_with("plan_")
+            || e.name.starts_with("fleet_");
+        if !gated {
             continue;
         }
-        let Some((_, base)) = baseline.iter().rev().find(|(n, _)| n.as_str() == e.name) else {
+        let Some(base) = baseline.iter().rev().find(|b| b.name == e.name) else {
             eprintln!("  check: {} has no committed baseline, skipping", e.name);
             continue;
         };
-        let ratio = e.millis / base;
+        if base.direction != e.direction {
+            eprintln!(
+                "  check: {} baseline recorded direction {:?}, this build says {:?}; using this build's",
+                e.name, base.direction, e.direction
+            );
+        }
+        let ratio = e.direction.regression_ratio(e.value, base.value);
         if ratio > CHECK_TOLERANCE {
             failures.push(format!(
-                "{}: {:.1} ms vs baseline {:.1} ms ({:+.0}%)",
+                "{}: {:.2} {} vs baseline {:.2} ({:.0}% worse, {} is better)",
                 e.name,
-                e.millis,
-                base,
-                (ratio - 1.0) * 100.0
+                e.value,
+                e.unit,
+                base.value,
+                (ratio - 1.0) * 100.0,
+                e.direction.keyword()
             ));
         } else {
             eprintln!(
-                "  check: {} {:.1} ms vs baseline {:.1} ms ok",
-                e.name, e.millis, base
+                "  check: {} {:.2} {} vs baseline {:.2} ok",
+                e.name, e.value, e.unit, base.value
             );
         }
     }
@@ -406,13 +523,8 @@ fn main() {
         }));
         // The cold closure's final run left the cache fully populated.
         entries.push(timed("tables_p93791_w32_incr_warm", 1, 1, min_of, || {
-            let mut files: Vec<_> = std::fs::read_dir(&cache_root)
-                .expect("cache populated")
-                .flatten()
-                .map(|e| e.path())
-                .filter(|p| p.extension().is_some_and(|x| x == "csv"))
-                .collect();
-            files.sort();
+            let files = soc_tdc::planner::profile_cache_entries(&cache_root);
+            assert!(!files.is_empty(), "cache populated");
             std::fs::remove_file(&files[0]).expect("dirty one core");
             let plan = planner.plan_with(&p93791, &req, &control).unwrap();
             assert!(plan.test_time > 0);
@@ -449,6 +561,21 @@ fn main() {
         }));
     }
 
+    // Fleet batch throughput (higher-is-better entries): the same width ×
+    // seed sweep at a 1-worker and a 4-worker budget, so the committed
+    // baseline records how batching scales on the measurement host.
+    if smoke {
+        entries.push(fleet_entry(
+            "fleet_smoke_w2",
+            "design d695 widths=10,12 sample=4 mcand=4\n",
+            2,
+        ));
+    } else {
+        const FLEET_SWEEP: &str = "design d695 widths=8..19 seeds=2008,2009 sample=8 mcand=8\n";
+        entries.push(fleet_entry("fleet_sweep_w1", FLEET_SWEEP, 1));
+        entries.push(fleet_entry("fleet_sweep_w4", FLEET_SWEEP, 4));
+    }
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"suite\": \"profile-fastpath\",");
     let _ = writeln!(json, "  \"label\": \"{label}\",");
@@ -457,8 +584,13 @@ fn main() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{ \"name\": \"{}\", \"millis\": {:.1}, \"iters\": {}, \"workers\": {} }}{comma}",
-            e.name, e.millis, e.iters, e.workers
+            "    {{ \"name\": \"{}\", \"{}\": {:.2}, \"direction\": \"{}\", \"iters\": {}, \"workers\": {} }}{comma}",
+            e.name,
+            e.unit,
+            e.value,
+            e.direction.keyword(),
+            e.iters,
+            e.workers
         );
     }
     let _ = writeln!(json, "  ]");
@@ -480,5 +612,77 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("perf check passed against {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = "\
+        { \"name\": \"tables_x\", \"millis\": 100.0, \"iters\": 1, \"workers\": 1 },\n\
+        { \"name\": \"fleet_y\", \"designs_per_sec\": 10.00, \"direction\": \"higher\", \"iters\": 1, \"workers\": 4 },\n\
+        { \"name\": \"tables_x\", \"millis\": 50.0, \"iters\": 1, \"workers\": 1 }\n";
+
+    fn entry(name: &'static str, value: f64, unit: &'static str, direction: Direction) -> Entry {
+        Entry {
+            name,
+            value,
+            unit,
+            direction,
+            iters: 1,
+            workers: 1,
+        }
+    }
+
+    #[test]
+    fn baseline_parsing_reads_both_units_and_directions() {
+        let parsed = parse_baseline(BASELINE);
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].name, "tables_x");
+        assert_eq!(parsed[0].value, 100.0);
+        assert_eq!(
+            parsed[0].direction,
+            Direction::Lower,
+            "millis implies lower"
+        );
+        assert_eq!(parsed[1].name, "fleet_y");
+        assert_eq!(parsed[1].value, 10.0);
+        assert_eq!(parsed[1].direction, Direction::Higher);
+        assert_eq!(parsed[2].value, 50.0, "later runs appear later");
+    }
+
+    #[test]
+    fn multiline_baseline_layout_parses_too() {
+        let text = "{\n  \"name\": \"plan_z\",\n  \"millis\": 7.5,\n  \"iters\": 1\n}";
+        let parsed = parse_baseline(text);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "plan_z");
+        assert_eq!(parsed[0].value, 7.5);
+        assert_eq!(parsed[0].direction, Direction::Lower);
+    }
+
+    #[test]
+    fn check_compares_against_latest_run_in_each_direction() {
+        // Time entry: compared against the *latest* 50 ms, not the stale 100.
+        let ok = entry("tables_x", 55.0, "millis", Direction::Lower);
+        assert!(check_regressions(&[ok], BASELINE).is_empty());
+        let slow = entry("tables_x", 70.0, "millis", Direction::Lower);
+        assert_eq!(check_regressions(&[slow], BASELINE).len(), 1);
+
+        // Throughput entry: *fewer* designs/sec is the regression.
+        let ok = entry("fleet_y", 9.0, "designs_per_sec", Direction::Higher);
+        assert!(check_regressions(&[ok], BASELINE).is_empty());
+        let faster = entry("fleet_y", 20.0, "designs_per_sec", Direction::Higher);
+        assert!(check_regressions(&[faster], BASELINE).is_empty());
+        let slow = entry("fleet_y", 5.0, "designs_per_sec", Direction::Higher);
+        let failures = check_regressions(&[slow], BASELINE);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("higher is better"), "{failures:?}");
+
+        // Ungated and baseline-less entries never fail the gate.
+        let ungated = entry("cube_cost_q", 9e9, "millis", Direction::Lower);
+        let unknown = entry("fleet_new", 0.01, "designs_per_sec", Direction::Higher);
+        assert!(check_regressions(&[ungated, unknown], BASELINE).is_empty());
     }
 }

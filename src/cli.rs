@@ -42,8 +42,24 @@ pub enum Command {
     Truncate(TruncateArgs),
     /// Run the persistent planning daemon (`soctdc serve …`).
     Serve(ServeArgs),
+    /// Plan a whole manifest of design instances (`soctdc fleet …`).
+    Fleet(FleetArgs),
     /// Print usage (`soctdc help`).
     Help,
+}
+
+/// Arguments of `soctdc fleet`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetArgs {
+    /// Manifest file path (one design instance sweep per line).
+    pub manifest: String,
+    /// Total worker budget across both scheduling levels
+    /// (`0` = auto-detect one per available CPU).
+    pub workers: usize,
+    /// Shared sharded profile-cache root (safe for concurrent fleets).
+    pub profile_cache: Option<String>,
+    /// Write each instance's plan file as `ID.plan` into this directory.
+    pub plan_dir: Option<String>,
 }
 
 /// Arguments of `soctdc serve`.
@@ -98,7 +114,8 @@ pub struct PlanArgs {
     /// Resume from a previously checkpointed plan file.
     pub resume: Option<String>,
     /// Worker threads for table building and architecture search
-    /// (`None` = one per available CPU; results are identical either way).
+    /// (`None` or `Some(0)` = one per available CPU; results are
+    /// identical either way).
     pub workers: Option<usize>,
     /// Cache per-core profiles as CSVs in this directory, so repeated
     /// planning runs over the same design skip the profile rebuild.
@@ -242,11 +259,14 @@ USAGE:
   soctdc info    (--soc FILE | --itc02 FILE | --design NAME) [--density F]
   soctdc serve   --root DIR [--http ADDR] [--workers N] [--queue-cap N]
                  [--deadline MS]
+  soctdc fleet   --manifest FILE [--workers N] [--profile-cache DIR]
+                 [--plan-dir DIR]
   soctdc designs
   soctdc help
 
 Defaults: --width 32, --mode per-core, --seed 2008, --sample 24, --mcand 16,
-          --density 0.66 (for ITC'02 inputs).";
+          --density 0.66 (for ITC'02 inputs).
+--workers 0 auto-detects one worker per available CPU (plan, serve, fleet).";
 
 /// Parses a `soctdc` command line (without the program name).
 ///
@@ -284,6 +304,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut root: Option<String> = None;
     let mut http: Option<String> = None;
     let mut queue_cap: Option<usize> = None;
+    let mut manifest: Option<String> = None;
+    let mut plan_dir: Option<String> = None;
 
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -327,14 +349,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--deadline" => deadline_ms = Some(parse_num(&value("--deadline")?, "--deadline")?),
             "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
             "--resume" => resume = Some(value("--resume")?),
-            "--workers" => {
-                let n: usize = parse_num(&value("--workers")?, "--workers")?;
-                if n == 0 {
-                    return Err(usage("--workers needs at least 1"));
-                }
-                workers = Some(n);
-            }
+            // `0` is meaningful: auto-detect one worker per available CPU.
+            "--workers" => workers = Some(parse_num(&value("--workers")?, "--workers")?),
             "--profile-cache" => profile_cache = Some(value("--profile-cache")?),
+            "--manifest" => manifest = Some(value("--manifest")?),
+            "--plan-dir" => plan_dir = Some(value("--plan-dir")?),
             "--root" => root = Some(value("--root")?),
             "--http" => http = Some(value("--http")?),
             "--queue-cap" => {
@@ -436,6 +455,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             queue_cap,
             default_budget_ms: deadline_ms,
         })),
+        "fleet" => Ok(Command::Fleet(FleetArgs {
+            manifest: manifest.ok_or_else(|| usage("fleet needs --manifest FILE"))?,
+            workers: workers.unwrap_or(0),
+            profile_cache,
+            plan_dir,
+        })),
         "info" => Ok(Command::Info(InfoArgs {
             source: need_source(source)?,
             density,
@@ -491,6 +516,15 @@ fn planner_for(mode: &str) -> Result<Planner, CliError> {
     })
 }
 
+/// Resolves a `--workers` value: `0` means one per available CPU.
+fn resolve_workers(n: usize) -> usize {
+    if n == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        n
+    }
+}
+
 /// Executes a parsed command, writing human-readable output to `out`.
 ///
 /// # Errors
@@ -504,7 +538,7 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
             let mut config = serve::ServeConfig::new(&args.root);
             config.http = args.http.clone();
             if let Some(w) = args.workers {
-                config.workers = w;
+                config.workers = resolve_workers(w);
             }
             if let Some(cap) = args.queue_cap {
                 config.queue_cap = cap;
@@ -520,6 +554,50 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
                     format!("serve exited with code {code}").into(),
                 )),
             }
+        }
+        Command::Fleet(args) => {
+            let text = std::fs::read_to_string(&args.manifest)
+                .map_err(|e| CliError::Run(format!("cannot read {}: {e}", args.manifest).into()))?;
+            let manifest = fleet::Manifest::parse(&text).map_err(|e| CliError::Run(Box::new(e)))?;
+            let opts = fleet::FleetOptions {
+                workers: args.workers,
+                profile_cache: args.profile_cache.clone().map(Into::into),
+                ..Default::default()
+            };
+            let report = fleet::run_fleet(&manifest, &opts);
+            for r in &report.instances {
+                let note = match &r.outcome {
+                    fleet::InstanceOutcome::Planned(_) => r.outcome.keyword(),
+                    fleet::InstanceOutcome::Failed(m) => format!("failed: {m}"),
+                };
+                writeln!(out, "{:<32} {:>9.1} ms  {note}", r.id, r.latency_ms).map_err(io_err)?;
+            }
+            if let Some(dir) = &args.plan_dir {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| CliError::Run(format!("cannot create {dir}: {e}").into()))?;
+                let mut written = 0usize;
+                for r in &report.instances {
+                    if let Some(plan) = &r.plan {
+                        let path = std::path::Path::new(dir).join(format!("{}.plan", r.id));
+                        std::fs::write(&path, write_plan(plan)).map_err(|e| {
+                            CliError::Run(format!("cannot write {}: {e}", path.display()).into())
+                        })?;
+                        written += 1;
+                    }
+                }
+                writeln!(out, "{written} plan files written to {dir}").map_err(io_err)?;
+            }
+            writeln!(out, "{}", report.summary).map_err(io_err)?;
+            if report.summary.failed > 0 {
+                return Err(CliError::Run(
+                    format!(
+                        "{} of {} instances failed",
+                        report.summary.failed, report.summary.instances
+                    )
+                    .into(),
+                ));
+            }
+            Ok(())
         }
         Command::Designs => {
             for d in Design::ALL {
@@ -669,7 +747,7 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
                 budget: args.budget,
                 decisions: args.decisions.clone(),
                 architecture: ArchitectureOptions {
-                    workers: args.workers,
+                    workers: args.workers.map(resolve_workers),
                     ..Default::default()
                 },
             };
@@ -825,8 +903,91 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert!(parse_args(&argv("plan --design d695 --workers 0")).is_err());
+        // `--workers 0` is the documented auto-detect spelling.
+        match parse_args(&argv("plan --design d695 --workers 0")).unwrap() {
+            Command::Plan(a) => assert_eq!(a.workers, Some(0)),
+            other => panic!("unexpected {other:?}"),
+        }
         assert!(parse_args(&argv("plan --design d695 --workers lots")).is_err());
+    }
+
+    #[test]
+    fn workers_zero_resolves_to_detected_parallelism() {
+        assert!(resolve_workers(0) >= 1);
+        assert_eq!(resolve_workers(3), 3);
+    }
+
+    #[test]
+    fn parses_fleet_command() {
+        let cmd = parse_args(&argv(
+            "fleet --manifest batch.txt --workers 4 --profile-cache pc --plan-dir plans",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Fleet(a) => {
+                assert_eq!(a.manifest, "batch.txt");
+                assert_eq!(a.workers, 4);
+                assert_eq!(a.profile_cache.as_deref(), Some("pc"));
+                assert_eq!(a.plan_dir.as_deref(), Some("plans"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_args(&argv("fleet --manifest batch.txt")).unwrap() {
+            Command::Fleet(a) => {
+                assert_eq!(a.workers, 0, "defaults to auto-detect");
+                assert_eq!(a.profile_cache, None);
+                assert_eq!(a.plan_dir, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&argv("fleet")).is_err(), "manifest is required");
+    }
+
+    #[test]
+    fn run_fleet_reports_instances_and_summary() {
+        let dir = std::env::temp_dir().join(format!("soctdc-fleet-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("batch.txt");
+        std::fs::write(&manifest, "design d695 widths=10,12 sample=4 mcand=4\n").unwrap();
+        let plans = dir.join("plans");
+        let cmd = parse_args(&argv(&format!(
+            "fleet --manifest {} --workers 2 --plan-dir {}",
+            manifest.display(),
+            plans.display()
+        )))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("d695-w10-seed2008"), "{text}");
+        assert!(text.contains("2 instances, 2 planned, 0 failed"), "{text}");
+        assert!(text.contains("budget 2 ="), "{text}");
+        assert!(text.contains("2 plan files written"), "{text}");
+        assert!(plans.join("d695-w12-seed2008.plan").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_with_failures_exits_with_error_after_reporting() {
+        let dir = std::env::temp_dir().join(format!("soctdc-fleet-fail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("batch.txt");
+        std::fs::write(
+            &manifest,
+            "design d695 widths=10 sample=4 mcand=4\n\
+             soc /nonexistent/missing.soc widths=8\n",
+        )
+        .unwrap();
+        let cmd = parse_args(&argv(&format!("fleet --manifest {}", manifest.display()))).unwrap();
+        let mut out = Vec::new();
+        let err = run(&cmd, &mut out).unwrap_err();
+        assert!(err.to_string().contains("1 of 2 instances failed"));
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("failed: cannot read"), "{text}");
+        assert!(text.contains("1 failed"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

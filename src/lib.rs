@@ -16,6 +16,8 @@
 //! * [`lfsr`] — LFSR-reseeding compression baseline.
 //! * [`tam`] — TAM partitioning and SOC test scheduling.
 //! * [`planner`] — the paper's co-optimization of all of the above.
+//! * [`fleet`] — batch planning of design-instance manifests with
+//!   two-level work-stealing and shared bounded caches.
 //!
 //! # Examples
 //!
@@ -35,6 +37,7 @@
 pub mod cli;
 pub mod report;
 
+pub use fleet;
 pub use lfsr;
 pub use selenc;
 pub use soc_model as model;

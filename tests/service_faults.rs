@@ -221,11 +221,7 @@ fn corrupt_state_is_quarantined_and_rebuilt() {
     // are outside the integrity checksum, so the corruption must land on
     // a real `w,m,test_time,volume_bits` row to be detectable.
     let mut flipped = 0;
-    for entry in std::fs::read_dir(root.join("cache")).unwrap().flatten() {
-        let path = entry.path();
-        if path.extension().is_none_or(|e| e != "csv") {
-            continue;
-        }
+    for path in soc_tdc::planner::profile_cache_entries(&root.join("cache")) {
         let text = std::fs::read_to_string(&path).unwrap();
         let mut done = false;
         let out: Vec<String> = text
@@ -271,9 +267,7 @@ fn corrupt_state_is_quarantined_and_rebuilt() {
     daemon.read_until(r#""event":"plan-done""#);
     let rebuilt = std::fs::read_to_string(root.join("sessions/good/plans/0002.plan")).unwrap();
     assert_eq!(baseline, rebuilt, "plan changed after cache corruption");
-    let quarantined = std::fs::read_dir(root.join("cache/quarantine"))
-        .map(|d| d.count())
-        .unwrap_or(0);
+    let quarantined = soc_tdc::planner::quarantined_profiles(&root.join("cache")).len();
     assert!(quarantined >= flipped, "corrupt profiles not quarantined");
     daemon.shutdown();
     let _ = std::fs::remove_dir_all(&root);
@@ -297,16 +291,14 @@ fn corrupt_single_core_cache_entry_rebuilds_only_that_core() {
 
     // Snapshot every cached profile, then flip one data-row digit in the
     // lexicographically first file only.
-    let mut cached: Vec<(PathBuf, Vec<u8>)> = std::fs::read_dir(root.join("cache"))
-        .unwrap()
-        .flatten()
-        .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|e| e == "csv"))
-        .map(|p| {
-            let bytes = std::fs::read(&p).unwrap();
-            (p, bytes)
-        })
-        .collect();
+    let mut cached: Vec<(PathBuf, Vec<u8>)> =
+        soc_tdc::planner::profile_cache_entries(&root.join("cache"))
+            .into_iter()
+            .map(|p| {
+                let bytes = std::fs::read(&p).unwrap();
+                (p, bytes)
+            })
+            .collect();
     cached.sort();
     assert!(cached.len() >= 2, "need multiple cores cached");
     let victim = cached[0].0.clone();
@@ -360,9 +352,7 @@ fn corrupt_single_core_cache_entry_rebuilds_only_that_core() {
         let after = std::fs::read(path).unwrap();
         assert_eq!(&after, before, "untouched cache entry rewritten: {path:?}");
     }
-    let quarantined = std::fs::read_dir(root.join("cache/quarantine"))
-        .map(|d| d.count())
-        .unwrap_or(0);
+    let quarantined = soc_tdc::planner::quarantined_profiles(&root.join("cache")).len();
     assert_eq!(quarantined, 1, "exactly the victim must be quarantined");
     daemon.shutdown();
     let _ = std::fs::remove_dir_all(&root);
