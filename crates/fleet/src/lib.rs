@@ -31,5 +31,6 @@ mod runner;
 
 pub use manifest::{Instance, Manifest, ManifestError, SocSource};
 pub use runner::{
-    run_fleet, FleetOptions, FleetReport, FleetSummary, InstanceOutcome, InstanceReport,
+    ndjson_line, run_fleet, run_fleet_with, FleetHooks, FleetOptions, FleetReport, FleetSummary,
+    InstanceOutcome, InstanceReport,
 };

@@ -43,6 +43,23 @@ pub struct FleetOptions {
     /// Skip the per-plan compressed-stream replay (faster; plans are
     /// unchanged — verification never alters a plan).
     pub skip_stream_verification: bool,
+    /// Directory of plan files from a previous run (`soctdc fleet
+    /// --resume`). An instance whose `ID.plan` round-trips byte-identical
+    /// through `parse_plan → write_plan` is taken as already done and
+    /// skipped; anything else — missing file, parse error, stale format —
+    /// is planned from scratch.
+    pub resume_plan_dir: Option<PathBuf>,
+}
+
+/// Streaming observers for a fleet run. Separate from [`FleetOptions`] so
+/// the options stay plain data (`Debug + Clone`).
+#[derive(Default)]
+pub struct FleetHooks<'a> {
+    /// Called once per instance **in completion order**, from the worker
+    /// thread that finished it — this is how `--ndjson` streams progress
+    /// while the batch is still running. The final report is still in
+    /// manifest order.
+    pub on_report: Option<&'a (dyn Fn(&InstanceReport) + Sync)>,
 }
 
 impl Default for FleetOptions {
@@ -52,6 +69,7 @@ impl Default for FleetOptions {
             profile_cache: None,
             soc_cache: CacheLimits::new(32, 256 << 20),
             skip_stream_verification: false,
+            resume_plan_dir: None,
         }
     }
 }
@@ -61,6 +79,10 @@ impl Default for FleetOptions {
 pub enum InstanceOutcome {
     /// The planner returned a plan (with its search outcome).
     Planned(PlanOutcome),
+    /// A previous run's plan file round-tripped byte-identical, so the
+    /// instance was skipped (`--resume`). The parsed plan is carried in
+    /// the report like a freshly planned one.
+    Resumed,
     /// The instance failed — unreadable source file, planning error. The
     /// rest of the fleet is unaffected.
     Failed(String),
@@ -68,10 +90,11 @@ pub enum InstanceOutcome {
 
 impl InstanceOutcome {
     /// Stable keyword for per-outcome tallies (`optimal`, `degraded …`,
-    /// `failed`).
+    /// `resumed`, `failed`).
     pub fn keyword(&self) -> String {
         match self {
             InstanceOutcome::Planned(o) => o.to_string(),
+            InstanceOutcome::Resumed => "resumed".to_string(),
             InstanceOutcome::Failed(_) => "failed".to_string(),
         }
     }
@@ -98,10 +121,13 @@ pub struct InstanceReport {
 pub struct FleetSummary {
     /// Instances in the manifest.
     pub instances: usize,
-    /// Instances that produced a plan.
+    /// Instances that produced a plan (freshly planned or resumed).
     pub planned: usize,
     /// Instances that failed.
     pub failed: usize,
+    /// Instances skipped because a previous run's plan file round-tripped
+    /// byte-identical (`--resume`). A subset of `planned`.
+    pub resumed: usize,
     /// Tally of [`InstanceOutcome::keyword`] values.
     pub outcomes: BTreeMap<String, usize>,
     /// Total wall-clock seconds for the batch.
@@ -131,8 +157,13 @@ impl std::fmt::Display for FleetSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "fleet: {} instances, {} planned, {} failed in {:.2}s ({:.2} designs/sec)",
-            self.instances, self.planned, self.failed, self.elapsed_s, self.designs_per_sec
+            "fleet: {} instances, {} planned, {} failed, {} resumed in {:.2}s ({:.2} designs/sec)",
+            self.instances,
+            self.planned,
+            self.failed,
+            self.resumed,
+            self.elapsed_s,
+            self.designs_per_sec
         )?;
         writeln!(
             f,
@@ -192,6 +223,11 @@ type SocKey = (SocSource, u64, u64);
 /// bit-identical to a standalone single-design run of the same instance,
 /// at any worker budget — see the module docs for the argument.
 pub fn run_fleet(manifest: &Manifest, opts: &FleetOptions) -> FleetReport {
+    run_fleet_with(manifest, opts, &FleetHooks::default())
+}
+
+/// [`run_fleet`] with streaming observers attached.
+pub fn run_fleet_with(manifest: &Manifest, opts: &FleetOptions, hooks: &FleetHooks) -> FleetReport {
     // soclint: allow(wall-clock) -- batch throughput reporting only
     #[allow(clippy::disallowed_methods)]
     let t0 = Instant::now();
@@ -210,7 +246,13 @@ pub fn run_fleet(manifest: &Manifest, opts: &FleetOptions) -> FleetReport {
         .iter()
         .map(|inst| {
             let socs = &socs;
-            move || plan_instance(inst, inner, opts, socs)
+            move || {
+                let report = plan_instance(inst, inner, opts, socs);
+                if let Some(on_report) = hooks.on_report {
+                    on_report(&report);
+                }
+                report
+            }
         })
         .collect();
     let instances = Pool::with_workers(outer).run(tasks);
@@ -234,12 +276,18 @@ fn summarize(
     let mut stats = PlanStats::default();
     let mut latencies: Vec<f64> = Vec::with_capacity(instances.len());
     let mut planned = 0usize;
+    let mut resumed = 0usize;
     for report in instances {
         *outcomes.entry(report.outcome.keyword()).or_default() += 1;
         stats.absorb(&report.stats);
         latencies.push(report.latency_ms);
-        if matches!(report.outcome, InstanceOutcome::Planned(_)) {
-            planned += 1;
+        match report.outcome {
+            InstanceOutcome::Planned(_) => planned += 1,
+            InstanceOutcome::Resumed => {
+                planned += 1;
+                resumed += 1;
+            }
+            InstanceOutcome::Failed(_) => {}
         }
     }
     latencies.sort_by(f64::total_cmp);
@@ -252,6 +300,7 @@ fn summarize(
         instances: instances.len(),
         planned,
         failed: instances.len() - planned,
+        resumed,
         outcomes,
         elapsed_s,
         designs_per_sec,
@@ -300,6 +349,17 @@ fn plan_instance(
         stats: PlanStats::default(),
         plan: None,
     };
+    if let Some(dir) = &opts.resume_plan_dir {
+        if let Some(plan) = try_resume(dir, &inst.id) {
+            return InstanceReport {
+                id: inst.id.clone(),
+                outcome: InstanceOutcome::Resumed,
+                latency_ms: t0.elapsed().as_secs_f64() * 1e3,
+                stats: PlanStats::default(),
+                plan: Some(plan),
+            };
+        }
+    }
     let soc = match shared_soc(socs, inst) {
         Ok(soc) => soc,
         Err(message) => return failed(message, t0),
@@ -331,6 +391,59 @@ fn plan_instance(
         },
         Err(e) => failed(e.to_string(), t0),
     }
+}
+
+/// The `--resume` probe: accept a previous run's `ID.plan` only if it
+/// round-trips **byte-identical** through `parse_plan → write_plan`.
+/// That single check subsumes "parses", "current format version", and
+/// "not truncated mid-write" — any drift re-plans the instance.
+fn try_resume(dir: &std::path::Path, id: &str) -> Option<Plan> {
+    let text = std::fs::read_to_string(dir.join(format!("{id}.plan"))).ok()?;
+    let plan = tdcsoc::parse_plan(&text).ok()?;
+    (tdcsoc::write_plan(&plan) == text).then_some(plan)
+}
+
+/// Renders one instance report as a single NDJSON line (`--ndjson`):
+/// stable key order, no trailing newline. Latency is wall-clock telemetry
+/// and varies run to run; everything else is deterministic.
+pub fn ndjson_line(r: &InstanceReport) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"id\":{},\"outcome\":{},\"latency_ms\":{:.3}",
+        json_escape(&r.id),
+        json_escape(&r.outcome.keyword()),
+        r.latency_ms
+    ));
+    if let Some(plan) = &r.plan {
+        out.push_str(&format!(
+            ",\"test_time\":{},\"volume_bits\":{}",
+            plan.test_time, plan.volume_bits
+        ));
+    }
+    if let InstanceOutcome::Failed(message) = &r.outcome {
+        out.push_str(&format!(",\"error\":{}", json_escape(message)));
+    }
+    out.push('}');
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Fetches (or builds and caches) the instance's SOC. The cache is
@@ -452,6 +565,103 @@ mod tests {
         let text = report.summary.to_string();
         assert!(text.contains("3 planned"), "{text}");
         assert!(text.contains("designs/sec"), "{text}");
+    }
+
+    #[test]
+    fn resume_skips_round_trip_identical_plans_only() {
+        let dir = std::env::temp_dir().join(format!("fleet-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = Manifest::parse("design d695 widths=8,10 sample=4 mcand=4\n").unwrap();
+        let opts = FleetOptions {
+            workers: 1,
+            ..FleetOptions::default()
+        };
+
+        // Cold run: everything planned fresh; persist the plan files.
+        let cold = run_fleet(&manifest, &opts);
+        assert_eq!((cold.summary.planned, cold.summary.resumed), (2, 0));
+        for r in &cold.instances {
+            let text = tdcsoc::write_plan(r.plan.as_ref().unwrap());
+            std::fs::write(dir.join(format!("{}.plan", r.id)), text).unwrap();
+        }
+
+        // Corrupt one file: it must be re-planned, the other resumed.
+        let victim = dir.join(format!("{}.plan", cold.instances[0].id));
+        let mut text = std::fs::read_to_string(&victim).unwrap();
+        text.push_str("# trailing note breaks the byte-identical round-trip\n");
+        std::fs::write(&victim, text).unwrap();
+
+        let warm = run_fleet(
+            &manifest,
+            &FleetOptions {
+                resume_plan_dir: Some(dir.clone()),
+                ..opts
+            },
+        );
+        assert_eq!((warm.summary.planned, warm.summary.resumed), (2, 1));
+        assert!(matches!(
+            warm.instances[0].outcome,
+            InstanceOutcome::Planned(_)
+        ));
+        assert_eq!(warm.instances[1].outcome, InstanceOutcome::Resumed);
+        // The resumed plan is the cold run's plan, bit for bit.
+        assert_eq!(
+            tdcsoc::write_plan(warm.instances[1].plan.as_ref().unwrap()),
+            tdcsoc::write_plan(cold.instances[1].plan.as_ref().unwrap())
+        );
+        let text = warm.summary.to_string();
+        assert!(text.contains("2 planned, 0 failed, 1 resumed"), "{text}");
+        assert_eq!(warm.summary.outcomes.get("resumed"), Some(&1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hooks_stream_reports_in_completion_order() {
+        let manifest = Manifest::parse("design d695 widths=8,10 sample=4 mcand=4\n").unwrap();
+        let seen: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let on_report = |r: &InstanceReport| {
+            if let Ok(mut v) = seen.lock() {
+                v.push(ndjson_line(r));
+            }
+        };
+        let report = run_fleet_with(
+            &manifest,
+            &FleetOptions {
+                workers: 1,
+                ..FleetOptions::default()
+            },
+            &FleetHooks {
+                on_report: Some(&on_report),
+            },
+        );
+        let lines = seen.into_inner().unwrap();
+        assert_eq!(lines.len(), report.instances.len());
+        for (line, r) in lines.iter().zip(&report.instances) {
+            // One worker: completion order is manifest order.
+            assert!(line.contains(&format!("\"id\":\"{}\"", r.id)), "{line}");
+            assert!(line.contains("\"outcome\":\"optimal\""), "{line}");
+            assert!(line.contains("\"test_time\":"), "{line}");
+            assert!(!line.contains('\n'), "one line per instance: {line}");
+        }
+    }
+
+    #[test]
+    fn ndjson_lines_escape_hostile_failure_text() {
+        let r = InstanceReport {
+            id: "bad \"id\"".into(),
+            outcome: InstanceOutcome::Failed("line1\nline2 \\ \"x\"".into()),
+            latency_ms: 1.5,
+            stats: PlanStats::default(),
+            plan: None,
+        };
+        let line = ndjson_line(&r);
+        assert_eq!(
+            line,
+            "{\"id\":\"bad \\\"id\\\"\",\"outcome\":\"failed\",\"latency_ms\":1.500,\
+             \"error\":\"line1\\nline2 \\\\ \\\"x\\\"\"}"
+        );
+        assert!(!line.contains('\n'));
     }
 
     #[test]

@@ -343,6 +343,7 @@ fn encode_one_slice(
             // Iterate set bits only: minority masks are sparse by
             // construction, so this beats a walk over every group position.
             let mut rest = mask;
+            // soclint: allow(cancel-coverage) -- bounded: iterates the set bits of one u32 mask
             while rest != 0 {
                 scratch.singles.push(start + rest.trailing_zeros());
                 rest &= rest - 1;

@@ -1,0 +1,971 @@
+//! Pass 1b: per-file **facts** for the workspace call-graph analyses.
+//!
+//! [`crate::rules::lint_source`] checks one file in isolation; the v3
+//! interprocedural rules (`cross-taint`, `cancel-coverage`, `panic-reach`)
+//! need a whole-workspace view. This module extracts, from one file,
+//! everything those rules consume — so the expensive per-file work can be
+//! cached by content fingerprint while the cheap global fixpoints in
+//! [`crate::graph`] re-run every time:
+//!
+//! - every function with its **call sites** (free, path-qualified, and
+//!   method calls, with receiver names for the resolution heuristics);
+//! - every `loop`/`while`/`for` with the call sites inside its body and
+//!   whether the body polls `Deadline::expired` / `CancelToken` directly;
+//! - the first **panic site** per function (`unwrap`/`expect`,
+//!   `panic!`-family macros, unguarded `expr[…]` indexing);
+//! - per-parameter **sink summaries** (parameter reaches raw arithmetic or
+//!   an unguarded index locally) plus **argument flows**: which call-site
+//!   argument positions carry a parameter onward or carry same-file
+//!   source taint (`parse`/`read_*`), with the rendered chain;
+//! - `use` imports (crate hints for call resolution) and the file's
+//!   suppression table for the workspace rules.
+//!
+//! Facts exclude test-span code entirely, so the global analyses never
+//! need span information. Extraction reuses the pass-1 tree and the v2
+//! taint helpers; like them it never panics on garbage input.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{lex, Token, TokenKind, Tokens};
+use crate::parse::{match_group, parse, Ast, FnItem, LetBinding};
+use crate::rules::{lint_tokens, parse_allows, Diagnostic, WORKSPACE_RULE_IDS};
+use crate::scope::{classify, test_spans};
+use crate::taint;
+
+/// Method names whose call counts as polling the cancellation contract
+/// (`robust::Deadline::expired`, `CancelToken::is_cancelled` /
+/// `cancel_requested`).
+pub const POLL_NAMES: &[&str] = &["expired", "is_cancelled", "cancel_requested"];
+
+/// One call site inside a function body (test spans excluded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallFact {
+    /// 1-based line of the callee name token.
+    pub line: u32,
+    /// Callee name (the ident directly before the argument list).
+    pub name: String,
+    /// Path qualifier for `Qual::name(…)` calls.
+    pub qual: Option<String>,
+    /// True for method calls (`recv.name(…)`).
+    pub method: bool,
+    /// Receiver ident for method calls whose receiver is a plain name.
+    pub recv: Option<String>,
+}
+
+/// Loop kinds; the cancellation rule only audits `loop` and `while`
+/// (`for` iterates a bounded iterator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// A bare `loop { … }`.
+    Loop,
+    /// `while …` / `while let …`.
+    While,
+    /// `for … in …`.
+    For,
+}
+
+impl LoopKind {
+    /// The keyword, for messages and serialization.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            LoopKind::Loop => "loop",
+            LoopKind::While => "while",
+            LoopKind::For => "for",
+        }
+    }
+}
+
+/// One loop statement and what its body contains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopFact {
+    /// 1-based line of the loop keyword.
+    pub line: u32,
+    /// Which loop form.
+    pub kind: LoopKind,
+    /// The body polls a cancellation primitive directly.
+    pub polls: bool,
+    /// Indices into the owning [`FnFact::calls`] for call sites whose
+    /// name token sits inside the loop body.
+    pub calls: Vec<u32>,
+}
+
+/// The first panic-capable site in a function (outside test spans).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicFact {
+    /// 1-based line of the site.
+    pub line: u32,
+    /// Human-readable description (`` `.unwrap()` ``, `` `panic!` ``,
+    /// `slice indexing`).
+    pub what: String,
+}
+
+/// Local sink summary for one parameter: the first line where the
+/// parameter (or a binding derived from it) reaches a raw arithmetic or
+/// unguarded index sink in this function's own body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSink {
+    /// Parameter name.
+    pub param: String,
+    /// First raw `+`/`-`/`*` line, if any.
+    pub arith: Option<u32>,
+    /// First unguarded index / slice-sink line, if any.
+    pub index: Option<u32>,
+}
+
+/// One tainted argument at a call site: either a parameter being
+/// forwarded (`root = Some(param)`) or same-file source taint reaching the
+/// call (`root = None`, with the rendered chain for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgFlow {
+    /// Index into the owning [`FnFact::calls`].
+    pub call: u32,
+    /// 0-based argument position.
+    pub pos: u32,
+    /// `Some(param)` when the taint root is the enclosing function's
+    /// parameter; `None` when it originates from a source call.
+    pub root: Option<String>,
+    /// Rendered taint chain (`` `n` ← `parse(…)` at line 12 ``).
+    pub chain: String,
+    /// The carrying binding was bounds-guarded before the call.
+    pub guarded: bool,
+}
+
+/// Everything the global analyses know about one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnFact {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Parameter binding names, in order.
+    pub params: Vec<String>,
+    /// The body polls a cancellation primitive directly.
+    pub polls: bool,
+    /// First panic-capable site, if any.
+    pub panic: Option<PanicFact>,
+    /// Call sites, in source order.
+    pub calls: Vec<CallFact>,
+    /// Loop statements, in source order.
+    pub loops: Vec<LoopFact>,
+    /// Per-parameter local sink summaries (parameters with no sink are
+    /// omitted).
+    pub param_sinks: Vec<ParamSink>,
+    /// Tainted call arguments, in source order.
+    pub arg_flows: Vec<ArgFlow>,
+}
+
+/// Suppression table for the workspace-level rules only.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GlobalAllows {
+    /// Rules suppressed file-wide.
+    pub file_wide: BTreeSet<String>,
+    /// Rule → suppressed lines.
+    pub lines: BTreeMap<String, BTreeSet<u32>>,
+}
+
+impl GlobalAllows {
+    /// True when `rule` is suppressed on `line`.
+    pub fn permits(&self, rule: &str, line: u32) -> bool {
+        self.file_wide.contains(rule) || self.lines.get(rule).is_some_and(|l| l.contains(&line))
+    }
+}
+
+/// All facts for one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileFacts {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Functions outside test spans (empty for all-test files).
+    pub fns: Vec<FnFact>,
+    /// `use` imports as (root segment, leaf name) pairs — crate hints for
+    /// call resolution.
+    pub uses: Vec<(String, String)>,
+    /// Suppressions for the workspace rules.
+    pub allows: GlobalAllows,
+}
+
+/// One file's complete per-file analysis: the local diagnostics plus the
+/// facts for the global passes. This is the unit the incremental cache
+/// stores and restores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileAnalysis {
+    /// Local (single-file) diagnostics from [`crate::rules`].
+    pub diags: Vec<Diagnostic>,
+    /// Facts for [`crate::graph`].
+    pub facts: FileFacts,
+}
+
+/// Runs the full per-file analysis: lex once, then local rules and fact
+/// extraction over the same token stream.
+pub fn analyze_file(path: &str, source: &str) -> FileAnalysis {
+    let tokens = lex(source);
+    FileAnalysis {
+        diags: lint_tokens(path, &tokens),
+        facts: extract_tokens(path, &tokens),
+    }
+}
+
+/// Extracts facts from one file's source.
+pub fn extract(path: &str, source: &str) -> FileFacts {
+    extract_tokens(path, &lex(source))
+}
+
+/// [`extract`] over pre-lexed tokens.
+pub(crate) fn extract_tokens(path: &str, tokens: &Tokens) -> FileFacts {
+    let scope = classify(path);
+    let spans = test_spans(tokens);
+    let sig = tokens.significant();
+    let toks = &tokens.all;
+
+    let raw = parse_allows(tokens);
+    let mut allows = GlobalAllows::default();
+    for rule in WORKSPACE_RULE_IDS {
+        if raw.file_wide.contains(*rule) {
+            allows.file_wide.insert((*rule).to_string());
+        }
+        if let Some(lines) = raw.lines.get(*rule) {
+            allows.lines.insert((*rule).to_string(), lines.clone());
+        }
+    }
+
+    let mut fns = Vec::new();
+    if !scope.all_test {
+        let ast = parse(tokens);
+        let sources = taint::derived_sources(&ast, toks);
+        let in_test = |line: u32| spans.contains(line);
+        for f in &ast.fns {
+            if in_test(f.line) {
+                continue;
+            }
+            fns.push(extract_fn(f, &ast, toks, &sources, &in_test));
+        }
+    }
+
+    FileFacts {
+        path: path.to_string(),
+        fns,
+        uses: extract_uses(toks, &sig),
+        allows,
+    }
+}
+
+/// Taint state for the facts walk: where the value came from.
+#[derive(Debug, Clone)]
+struct FTaint {
+    /// `Some(param)` for parameter-rooted taint, `None` for source taint.
+    root: Option<String>,
+    chain: String,
+}
+
+/// Control-flow keywords that can directly precede `(` without being a
+/// call.
+fn is_ctrl_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "while"
+            | "for"
+            | "loop"
+            | "match"
+            | "return"
+            | "break"
+            | "continue"
+            | "in"
+            | "as"
+            | "move"
+            | "else"
+            | "let"
+            | "fn"
+            | "where"
+    )
+}
+
+/// Keeps at most two links of a chain so messages stay readable.
+fn truncate_chain(chain: &str) -> String {
+    let mut parts: Vec<&str> = chain.split(" ← ").collect();
+    if parts.len() > 2 {
+        parts.truncate(2);
+        format!("{} ← …", parts.join(" ← "))
+    } else {
+        chain.to_string()
+    }
+}
+
+/// `let` bindings of the function **and** its closures, flattened in
+/// source order — the facts walk is linear over the whole body range, so
+/// closure-local bindings must participate.
+fn flattened_lets(f: &FnItem) -> Vec<&LetBinding> {
+    fn rec<'a>(c: &'a crate::parse::Closure, out: &mut Vec<&'a LetBinding>) {
+        out.extend(c.lets.iter());
+        for n in &c.closures {
+            rec(n, out);
+        }
+    }
+    let mut out: Vec<&LetBinding> = f.lets.iter().collect();
+    for c in &f.closures {
+        rec(c, &mut out);
+    }
+    out.sort_by_key(|l| l.init.0);
+    out
+}
+
+/// Taint for a `let` initializer under the facts walk. Mirrors the v2
+/// rule: a sanitizer call anywhere in the initializer cleans the binding;
+/// otherwise the first source call or tainted ident propagates.
+fn init_taint(
+    l: &LetBinding,
+    toks: &[Token],
+    sig: &[usize],
+    sources: &BTreeSet<String>,
+    tainted: &BTreeMap<String, FTaint>,
+) -> Option<FTaint> {
+    let (start, end) = l.init;
+    // Source calls outrank tainted idents: `s.parse()` yields a *parsed*
+    // value, so the binding's root is the source, not the receiver.
+    let mut source: Option<FTaint> = None;
+    let mut ident: Option<FTaint> = None;
+    for j in start..end.min(sig.len()) {
+        let Some(name) = taint::ident_at(toks, sig, j) else {
+            continue;
+        };
+        if taint::is_call(toks, sig, j) {
+            if taint::is_sanitizer_name(name) {
+                return None;
+            }
+            if (taint::is_source_name(name) || sources.contains(name)) && source.is_none() {
+                source = Some(FTaint {
+                    root: None,
+                    chain: format!("← `{name}(…)` at line {}", toks[sig[j]].line),
+                });
+            }
+        } else if let Some(t) = tainted.get(name) {
+            if ident.is_none() {
+                ident = Some(FTaint {
+                    root: t.root.clone(),
+                    chain: format!("← `{name}` {}", truncate_chain(&t.chain)),
+                });
+            }
+        }
+    }
+    source.or(ident)
+}
+
+/// The per-function facts walk: one linear pass over the body range
+/// (closures included — their calls and sinks are attributed to the
+/// enclosing function, which is exactly what the job-thunk analyses
+/// want).
+fn extract_fn(
+    f: &FnItem,
+    ast: &Ast,
+    toks: &[Token],
+    sources: &BTreeSet<String>,
+    in_test: &dyn Fn(u32) -> bool,
+) -> FnFact {
+    let sig = &ast.sig;
+    let (start, end) = f.body;
+    let end = end.min(sig.len());
+
+    let mut tainted: BTreeMap<String, FTaint> = BTreeMap::new();
+    for p in &f.params {
+        tainted.insert(
+            p.clone(),
+            FTaint {
+                root: Some(p.clone()),
+                chain: format!("parameter `{p}`"),
+            },
+        );
+    }
+    let mut guarded: BTreeSet<String> = BTreeSet::new();
+
+    let mut calls: Vec<CallFact> = Vec::new();
+    let mut call_sigs: Vec<usize> = Vec::new();
+    let mut loop_heads: Vec<(u32, LoopKind, usize, usize)> = Vec::new(); // line, kind, body sig range
+    let mut polls = false;
+    let mut first_explicit: Option<PanicFact> = None;
+    let mut first_index: Option<PanicFact> = None;
+    let mut sinks: BTreeMap<String, (Option<u32>, Option<u32>)> = BTreeMap::new();
+    let mut arg_flows: Vec<ArgFlow> = Vec::new();
+
+    let all_lets = flattened_lets(f);
+    let mut lets = all_lets.iter().peekable();
+
+    let mut j = start;
+    while j < end {
+        while let Some(l) = lets.peek() {
+            if l.init.1 <= j {
+                let l: &LetBinding = lets.next().expect("peeked");
+                if let Some(t) = init_taint(l, toks, sig, sources, &tainted) {
+                    for name in &l.names {
+                        tainted.insert(name.clone(), t.clone());
+                        guarded.remove(name);
+                    }
+                } else {
+                    for name in &l.names {
+                        tainted.remove(name);
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+
+        let t = &toks[sig[j]];
+        let line = t.line;
+        let test_line = in_test(line);
+        match &t.kind {
+            TokenKind::Ident(name) => {
+                if taint::is_comparison_neighbor(toks, sig, j) {
+                    guarded.insert(name.clone());
+                }
+                if (name == "get" || name == "min" || name == "max")
+                    && taint::at(toks, sig, j + 1, '(')
+                {
+                    for a in taint::idents_in_group(toks, sig, j + 1) {
+                        guarded.insert(a);
+                    }
+                }
+                // Loop statements.
+                if !test_line {
+                    let kind = match name.as_str() {
+                        "loop" => Some(LoopKind::Loop),
+                        "while" => Some(LoopKind::While),
+                        // `for<'a>` higher-ranked bounds are not loops.
+                        "for" if !taint::at(toks, sig, j + 1, '<') => Some(LoopKind::For),
+                        _ => None,
+                    };
+                    if let Some(kind) = kind {
+                        if let Some((bs, be)) = loop_body(toks, sig, j, end) {
+                            loop_heads.push((line, kind, bs, be));
+                        }
+                    }
+                }
+                // Cancellation polls.
+                if POLL_NAMES.contains(&name.as_str()) && taint::is_call(toks, sig, j) && !test_line
+                {
+                    polls = true;
+                }
+                // Panic sites (explicit).
+                if !test_line && first_explicit.is_none() {
+                    const PANIC_METHODS: &[&str] =
+                        &["unwrap", "expect", "unwrap_err", "expect_err"];
+                    const PANIC_MACROS: &[&str] =
+                        &["panic", "unreachable", "todo", "unimplemented"];
+                    if PANIC_METHODS.contains(&name.as_str())
+                        && j > 0
+                        && toks[sig[j - 1]].is_punct('.')
+                        && taint::at(toks, sig, j + 1, '(')
+                    {
+                        first_explicit = Some(PanicFact {
+                            line,
+                            what: format!("`.{name}()`"),
+                        });
+                    }
+                    if PANIC_MACROS.contains(&name.as_str()) && taint::at(toks, sig, j + 1, '!') {
+                        first_explicit = Some(PanicFact {
+                            line,
+                            what: format!("`{name}!`"),
+                        });
+                    }
+                }
+                // Slice call sinks for the parameter summaries.
+                if taint::SLICE_SINKS.contains(&name.as_str())
+                    && taint::at(toks, sig, j + 1, '(')
+                    && !test_line
+                {
+                    for a in taint::idents_in_group(toks, sig, j + 1) {
+                        if let Some(ft) = tainted.get(&a) {
+                            if ft.root.is_some() && !guarded.contains(&a) {
+                                let root = ft.root.clone().unwrap_or_default();
+                                let e = sinks.entry(root).or_insert((None, None));
+                                e.1.get_or_insert(line);
+                            }
+                        }
+                    }
+                }
+                // Call sites.
+                if taint::is_call(toks, sig, j)
+                    && !test_line
+                    && !is_ctrl_keyword(name)
+                    && !name.starts_with(char::is_uppercase)
+                {
+                    let method = j > 0 && toks[sig[j - 1]].is_punct('.');
+                    let mut qual = None;
+                    let mut recv = None;
+                    if method {
+                        // `recv.name(` — only a plain-ident receiver that is
+                        // not itself a call result.
+                        if j >= 2 {
+                            if let TokenKind::Ident(r) = &toks[sig[j - 2]].kind {
+                                let chained = j >= 3 && toks[sig[j - 3]].is_punct('.');
+                                if !chained {
+                                    recv = Some(r.clone());
+                                }
+                            }
+                        }
+                    } else if j >= 3
+                        && toks[sig[j - 1]].is_punct(':')
+                        && toks[sig[j - 2]].is_punct(':')
+                    {
+                        if let TokenKind::Ident(q) = &toks[sig[j - 3]].kind {
+                            qual = Some(q.clone());
+                        }
+                    }
+                    let ci = calls.len() as u32;
+                    // Arguments of a sanitizer call are sanitized by
+                    // definition — no flow to record.
+                    if !taint::is_sanitizer_name(name) {
+                        if let Some(open) = call_open(toks, sig, j) {
+                            scan_call_args(
+                                toks,
+                                sig,
+                                open,
+                                ci,
+                                sources,
+                                &tainted,
+                                &guarded,
+                                &mut arg_flows,
+                            );
+                        }
+                    }
+                    calls.push(CallFact {
+                        line,
+                        name: name.clone(),
+                        qual,
+                        method,
+                        recv,
+                    });
+                    call_sigs.push(j);
+                }
+            }
+            TokenKind::Punct('[') if !test_line && taint::is_index_expr(toks, sig, j) => {
+                if first_index.is_none() {
+                    first_index = Some(PanicFact {
+                        line,
+                        what: "slice indexing".to_string(),
+                    });
+                }
+                for a in taint::idents_in_bracket_group(toks, sig, j) {
+                    if let Some(ft) = tainted.get(&a) {
+                        if ft.root.is_some() && !guarded.contains(&a) {
+                            let root = ft.root.clone().unwrap_or_default();
+                            let e = sinks.entry(root).or_insert((None, None));
+                            e.1.get_or_insert(line);
+                        }
+                    }
+                }
+            }
+            TokenKind::Punct('+' | '-' | '*')
+                if !test_line && taint::is_binary_arith(toks, sig, j) =>
+            {
+                for a in [
+                    taint::ident_at(toks, sig, j.wrapping_sub(1)),
+                    taint::arith_rhs(toks, sig, j),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    if let Some(ft) = tainted.get(a) {
+                        if let Some(root) = &ft.root {
+                            let e = sinks.entry(root.clone()).or_insert((None, None));
+                            e.0.get_or_insert(line);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+
+    // Associate loops with the calls and polls inside their body ranges.
+    let mut loops = Vec::new();
+    for (line, kind, bs, be) in loop_heads {
+        let in_body: Vec<u32> = call_sigs
+            .iter()
+            .enumerate()
+            .filter(|(_, &cs)| cs >= bs && cs < be)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut body_polls = false;
+        for k in bs..be.min(sig.len()) {
+            if let TokenKind::Ident(name) = &toks[sig[k]].kind {
+                if POLL_NAMES.contains(&name.as_str()) && taint::is_call(toks, sig, k) {
+                    body_polls = true;
+                    break;
+                }
+            }
+        }
+        loops.push(LoopFact {
+            line,
+            kind,
+            polls: body_polls,
+            calls: in_body,
+        });
+    }
+
+    let param_sinks = sinks
+        .into_iter()
+        .filter(|(p, _)| f.params.contains(p))
+        .map(|(param, (arith, index))| ParamSink {
+            param,
+            arith,
+            index,
+        })
+        .collect();
+
+    FnFact {
+        name: f.name.clone(),
+        line: f.line,
+        params: f.params.clone(),
+        polls,
+        panic: first_explicit.or(first_index),
+        calls,
+        loops,
+        param_sinks,
+        arg_flows,
+    }
+}
+
+/// The body range (inside the braces, half-open sig range) of the loop
+/// whose keyword sits at `j`. `None` when no `{` is found before the
+/// statement breaks (garbage input).
+fn loop_body(toks: &[Token], sig: &[usize], j: usize, end: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    let mut k = j + 1;
+    while k < end.min(sig.len()) {
+        match toks[sig[k]].kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth < 0 {
+                    return None;
+                }
+            }
+            TokenKind::Punct('{') if depth == 0 => {
+                let close = match_group(toks, sig, k, '{', '}');
+                return Some((k + 1, close.saturating_sub(1).max(k + 1)));
+            }
+            TokenKind::Punct(';') if depth == 0 => return None,
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// The sig index of the call's opening `(` for the callee name at `j`
+/// (stepping over a turbofish).
+fn call_open(toks: &[Token], sig: &[usize], j: usize) -> Option<usize> {
+    if taint::at(toks, sig, j + 1, '(') {
+        return Some(j + 1);
+    }
+    // `name::<…>(`
+    let mut depth = 0i32;
+    let mut k = j + 3;
+    while k < sig.len() {
+        match toks[sig[k]].kind {
+            TokenKind::Punct('<') => depth += 1,
+            TokenKind::Punct('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return taint::at(toks, sig, k + 1, '(').then_some(k + 1);
+                }
+            }
+            TokenKind::Punct(';') | TokenKind::Punct('{') => return None,
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Scans the argument list opened at `open`, recording one [`ArgFlow`]
+/// per tainted, unsanitized argument position.
+#[allow(clippy::too_many_arguments)]
+fn scan_call_args(
+    toks: &[Token],
+    sig: &[usize],
+    open: usize,
+    call: u32,
+    sources: &BTreeSet<String>,
+    tainted: &BTreeMap<String, FTaint>,
+    guarded: &BTreeSet<String>,
+    out: &mut Vec<ArgFlow>,
+) {
+    let mut pos = 0u32;
+    let mut depth = 0i32;
+    let mut k = open;
+    // Per-argument scratch: first source call, first tainted ident,
+    // whether sanitized. Sources outrank idents (as in `init_taint`).
+    let mut found_source: Option<(FTaint, String)> = None;
+    let mut found_ident: Option<(FTaint, String)> = None;
+    let mut sanitized = false;
+    let mut flush = |pos: u32,
+                     found_source: &mut Option<(FTaint, String)>,
+                     found_ident: &mut Option<(FTaint, String)>,
+                     sanitized: &mut bool| {
+        let src = found_source.take();
+        let idt = found_ident.take();
+        if let Some((ft, ident)) = src.or(idt) {
+            if !*sanitized {
+                let chain = if ident.is_empty() {
+                    ft.chain.clone()
+                } else {
+                    format!("`{ident}` {}", truncate_chain(&ft.chain))
+                };
+                out.push(ArgFlow {
+                    call,
+                    pos,
+                    root: ft.root,
+                    chain,
+                    guarded: !ident.is_empty() && guarded.contains(&ident),
+                });
+            }
+        }
+        *sanitized = false;
+    };
+    while k < sig.len() {
+        match &toks[sig[k]].kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    flush(pos, &mut found_source, &mut found_ident, &mut sanitized);
+                    return;
+                }
+            }
+            TokenKind::Punct(',') if depth == 1 => {
+                flush(pos, &mut found_source, &mut found_ident, &mut sanitized);
+                pos += 1;
+            }
+            TokenKind::Ident(name) if depth >= 1 => {
+                if taint::is_call(toks, sig, k) {
+                    if taint::is_sanitizer_name(name) {
+                        sanitized = true;
+                    } else if (taint::is_source_name(name) || sources.contains(name))
+                        && found_source.is_none()
+                    {
+                        found_source = Some((
+                            FTaint {
+                                root: None,
+                                chain: format!("`{name}(…)` at line {}", toks[sig[k]].line),
+                            },
+                            String::new(),
+                        ));
+                    }
+                } else if let Some(ft) = tainted.get(name) {
+                    if found_ident.is_none() {
+                        found_ident = Some((ft.clone(), name.clone()));
+                    }
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    flush(pos, &mut found_source, &mut found_ident, &mut sanitized);
+}
+
+/// Extracts `use` imports as (root segment, leaf name) pairs. Renames
+/// (`use a::b as c`) record the local name; brace groups contribute one
+/// leaf per element. Non-crate roots (`std`, `super`, …) are filtered by
+/// the graph, not here.
+fn extract_uses(toks: &[Token], sig: &[usize]) -> Vec<(String, String)> {
+    let mut out: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut j = 0usize;
+    while j < sig.len() {
+        if !toks[sig[j]].is_ident("use") {
+            j += 1;
+            continue;
+        }
+        let mut root: Option<String> = None;
+        let mut last: Option<String> = None;
+        let mut k = j + 1;
+        while k < sig.len() {
+            match &toks[sig[k]].kind {
+                TokenKind::Ident(n) if n == "as" => {
+                    if let Some(TokenKind::Ident(r)) = sig.get(k + 1).map(|&t| toks[t].kind.clone())
+                    {
+                        last = Some(r);
+                        k += 1;
+                    }
+                }
+                TokenKind::Ident(n) => {
+                    if root.is_none() {
+                        root = Some(n.clone());
+                    }
+                    last = Some(n.clone());
+                }
+                TokenKind::Punct(',') | TokenKind::Punct('}') => {
+                    if let (Some(r), Some(l)) = (&root, last.take()) {
+                        out.insert((r.clone(), l));
+                    }
+                }
+                TokenKind::Punct(';') => {
+                    if let (Some(r), Some(l)) = (&root, last.take()) {
+                        out.insert((r.clone(), l));
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        j = k + 1;
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(src: &str) -> FileFacts {
+        extract("crates/tam/src/search.rs", src)
+    }
+
+    #[test]
+    fn calls_loops_and_polls_extracted() {
+        let f = facts(
+            "fn search(d: &Deadline) {\n\
+             while improving() {\n\
+               if d.expired() { return; }\n\
+               step(1);\n\
+             }\n\
+             }\n",
+        );
+        assert_eq!(f.fns.len(), 1);
+        let g = &f.fns[0];
+        assert!(g.polls);
+        assert_eq!(g.loops.len(), 1);
+        assert_eq!(g.loops[0].kind, LoopKind::While);
+        assert!(g.loops[0].polls);
+        let names: Vec<_> = g.calls.iter().map(|c| c.name.as_str()).collect();
+        assert!(
+            names.contains(&"improving") && names.contains(&"step"),
+            "{names:?}"
+        );
+        // Calls inside the loop body are associated with the loop.
+        assert!(!g.loops[0].calls.is_empty());
+    }
+
+    #[test]
+    fn qualified_and_method_calls_keep_resolution_keys() {
+        let f = facts("fn f(p: &Planner) { let s = planfile::parse_plan(x); p.plan_with(y); }\n");
+        let g = &f.fns[0];
+        let parse = g
+            .calls
+            .iter()
+            .find(|c| c.name == "parse_plan")
+            .expect("call");
+        assert_eq!(parse.qual.as_deref(), Some("planfile"));
+        assert!(!parse.method);
+        let m = g
+            .calls
+            .iter()
+            .find(|c| c.name == "plan_with")
+            .expect("method");
+        assert!(m.method);
+        assert_eq!(m.recv.as_deref(), Some("p"));
+    }
+
+    #[test]
+    fn panic_sites_prefer_explicit_over_indexing() {
+        let f = facts("fn f(v: &[u32], i: usize) -> u32 { let x = v[0]; v.get(i).unwrap() + x }\n");
+        let p = f.fns[0].panic.as_ref().expect("panic site");
+        assert_eq!(p.what, "`.unwrap()`");
+        let f2 = facts("fn f(v: &[u32]) -> u32 { v[0] }\n");
+        assert_eq!(
+            f2.fns[0].panic.as_ref().map(|p| p.what.as_str()),
+            Some("slice indexing")
+        );
+    }
+
+    #[test]
+    fn param_sinks_and_forwarding_recorded() {
+        let f = facts("fn f(n: usize, v: &[u8]) -> u8 { helper(n); v[n] }\n");
+        let g = &f.fns[0];
+        let sink = g.param_sinks.iter().find(|s| s.param == "n").expect("sink");
+        assert!(sink.index.is_some());
+        let fwd = g
+            .arg_flows
+            .iter()
+            .find(|a| a.root.as_deref() == Some("n"))
+            .expect("forward edge");
+        assert_eq!(fwd.pos, 0);
+        assert_eq!(g.calls[fwd.call as usize].name, "helper");
+    }
+
+    #[test]
+    fn source_taint_reaches_call_args_with_chain() {
+        let f = extract(
+            "crates/tdcsoc/src/planfile.rs",
+            "fn f(s: &str) { let n: usize = s.parse().ok()?; helper(n); }\n",
+        );
+        let g = &f.fns[0];
+        let flow = g
+            .arg_flows
+            .iter()
+            .find(|a| a.root.is_none())
+            .expect("source flow");
+        assert!(flow.chain.contains("parse"), "{}", flow.chain);
+        assert!(!flow.guarded);
+    }
+
+    #[test]
+    fn sanitized_and_guarded_args_are_marked() {
+        let f = extract(
+            "crates/tdcsoc/src/planfile.rs",
+            "fn f(s: &str, v: &[u8]) { let n: usize = s.parse().ok()?; \
+             helper(usize::try_from(n).ok()?); \
+             if n < v.len() { helper(n); } }\n",
+        );
+        let g = &f.fns[0];
+        // First call's arg is sanitized (no flow); second is guarded.
+        let flows: Vec<_> = g.arg_flows.iter().filter(|a| a.root.is_none()).collect();
+        assert_eq!(flows.len(), 1, "{flows:?}");
+        assert!(flows[0].guarded);
+    }
+
+    #[test]
+    fn test_spans_and_test_files_are_excluded() {
+        let f = facts("#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\nfn real() {}\n");
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "real");
+        let t = extract("tests/smoke.rs", "fn main() { x.unwrap(); }\n");
+        assert!(t.fns.is_empty());
+    }
+
+    #[test]
+    fn uses_extracted_with_renames_and_groups() {
+        let f = facts(
+            "use tdcsoc::planfile;\nuse robust::{Deadline, CancelToken as Tok};\nfn f() {}\n",
+        );
+        assert!(f.uses.contains(&("tdcsoc".into(), "planfile".into())));
+        assert!(f.uses.contains(&("robust".into(), "Deadline".into())));
+        assert!(f.uses.contains(&("robust".into(), "Tok".into())));
+    }
+
+    #[test]
+    fn workspace_allows_captured() {
+        let f = facts(
+            "fn f() {\n while x() { } // soclint: allow(cancel-coverage) -- bounded by input\n}\n",
+        );
+        assert!(f.allows.permits("cancel-coverage", 2));
+        assert!(!f.allows.permits("cancel-coverage", 3));
+        assert!(!f.allows.permits("panic-reach", 2));
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        for src in [
+            "fn",
+            "fn f( { while ( {",
+            "}}}}((((",
+            "use ;;; as as",
+            "fn f() { for < }",
+        ] {
+            let _ = extract("crates/tam/src/x.rs", src);
+            let _ = extract("crates/tdcsoc/src/planfile.rs", src);
+        }
+    }
+}

@@ -292,7 +292,15 @@ fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
     while i < bytes.len() {
         match bytes[i] {
             b'"' => return i + 1,
-            b'\\' => i += 2,
+            b'\\' => {
+                // A line-continuation escape (`\` + newline) still ends a
+                // source line — count it, or every token after the string
+                // reports a stale line number.
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'\n' => {
                 *line += 1;
                 i += 1;
@@ -360,6 +368,23 @@ mod tests {
         let t = lex("a\nb\n\nc");
         let lines: Vec<u32> = t.all.iter().map(|t| t.line).collect();
         assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn string_line_continuations_count_lines() {
+        // `\` + newline inside a string still ends a source line; tokens
+        // after the literal must not report stale line numbers.
+        let t = lex("let s = \"a \\\n b \\\n c\";\nafter");
+        let after = t
+            .all
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("token after string");
+        assert_eq!(after.line, 4);
+        // Plain embedded newlines were already counted; unterminated
+        // strings still lex without panicking.
+        let t2 = lex("\"a\nb\nc");
+        assert!(!t2.all.is_empty());
     }
 
     #[test]

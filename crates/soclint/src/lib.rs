@@ -12,6 +12,14 @@
 //! `#![forbid(unsafe_code)]` / `#![deny(missing_docs)]` header and
 //! test-only code is `#[cfg(test)]`-gated.
 //!
+//! v3 proves the contracts **across** files: [`facts`] extracts per-file
+//! call/loop/taint facts alongside the per-file rules, [`graph`] builds a
+//! workspace call graph over them and runs the three interprocedural
+//! analyses (`cross-taint`, `cancel-coverage`, `panic-reach`), [`cache`]
+//! keys the per-file stage by content fingerprint so warm runs only
+//! re-analyze edited files, and [`sarif`] renders findings for CI code
+//! scanning.
+//!
 //! The tool is offline and dependency-free: a token-level lexer
 //! ([`lexer`]) plus a lightweight attribute/span scanner ([`scope`]) stand
 //! in for `syn`, which the build environment cannot fetch. Rules and the
@@ -21,18 +29,24 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod captures;
+pub mod facts;
+pub mod graph;
 pub mod lexer;
 pub mod parse;
 pub mod rules;
+pub mod sarif;
 pub mod scope;
+pub mod sha;
 pub mod taint;
 
 use std::path::{Path, PathBuf};
 
+pub use graph::GraphStats;
 pub use rules::{
     lint_source, Diagnostic, BANNED_CLOCK_TYPES, BANNED_ENTROPY_SOURCES, BANNED_HASH_TYPES,
-    RULE_IDS,
+    RULE_DESCRIPTIONS, RULE_IDS, WORKSPACE_RULE_IDS,
 };
 
 /// Directories under the workspace root that contain lintable Rust code.
@@ -59,6 +73,33 @@ impl std::fmt::Display for WalkError {
 
 impl std::error::Error for WalkError {}
 
+/// Knobs for a workspace lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Worker count for the per-file stage (0 → 1).
+    pub workers: usize,
+    /// Directory for fingerprint-keyed per-file artifacts; `None`
+    /// disables the incremental cache.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// Outcome of a workspace lint run: the findings plus the observability
+/// counters CI asserts on.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// All diagnostics (per-file rules + workspace analyses), sorted by
+    /// (file, line, rule) — byte-identical at any worker count.
+    pub diags: Vec<Diagnostic>,
+    /// Call-graph resolution counters.
+    pub stats: GraphStats,
+    /// `.rs` files analyzed.
+    pub files: usize,
+    /// Files served from the incremental cache.
+    pub cache_hits: usize,
+    /// Files (re-)analyzed this run (`files - cache_hits`).
+    pub reanalyzed: usize,
+}
+
 /// Lints every workspace `.rs` file under `root`. Returns diagnostics
 /// sorted by (file, line, rule) — deterministic regardless of directory
 /// enumeration order.
@@ -80,6 +121,26 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, WalkError> {
 ///
 /// Fails on unreadable directories or files, like [`lint_workspace`].
 pub fn lint_workspace_with(root: &Path, workers: usize) -> Result<Vec<Diagnostic>, WalkError> {
+    let report = lint_workspace_report(
+        root,
+        &LintOptions {
+            workers,
+            cache_dir: None,
+        },
+    )?;
+    Ok(report.diags)
+}
+
+/// The full v3 pipeline: walk → per-file analysis (parallel, cacheable)
+/// → workspace call-graph analyses (sequential, deterministic).
+///
+/// # Errors
+///
+/// Fails on unreadable directories or files. Cache I/O failures are
+/// never fatal: an unreadable artifact is a miss, an unwritable cache
+/// directory silently disables caching for that file.
+pub fn lint_workspace_report(root: &Path, opts: &LintOptions) -> Result<LintReport, WalkError> {
+    let workers = opts.workers.max(1);
     let mut files = Vec::new();
     for dir in LINT_ROOTS {
         let base = root.join(dir);
@@ -88,8 +149,8 @@ pub fn lint_workspace_with(root: &Path, workers: usize) -> Result<Vec<Diagnostic
         }
     }
     files.sort();
-    // Read sequentially (I/O errors must abort deterministically), lint
-    // in parallel (pure CPU per file).
+    // Read sequentially (I/O errors must abort deterministically),
+    // analyze in parallel (pure CPU per file).
     let mut sources = Vec::with_capacity(files.len());
     for rel in &files {
         let full = root.join(rel);
@@ -99,15 +160,57 @@ pub fn lint_workspace_with(root: &Path, workers: usize) -> Result<Vec<Diagnostic
         })?;
         sources.push(source);
     }
+
+    // Cache probe: each slot is either a hit (served artifact) or None
+    // (goes to the pool).
+    let mut slots: Vec<Option<facts::FileAnalysis>> = Vec::with_capacity(files.len());
+    let mut cache_hits = 0usize;
+    for (rel, source) in files.iter().zip(&sources) {
+        let hit = opts
+            .cache_dir
+            .as_deref()
+            .and_then(|dir| cache::load(dir, rel, source));
+        if hit.is_some() {
+            cache_hits += 1;
+        }
+        slots.push(hit);
+    }
+
     let pool = parpool::Pool::with_workers(workers);
     let tasks: Vec<_> = files
         .iter()
         .zip(&sources)
-        .map(|(rel, source)| move || lint_source(rel, source))
+        .zip(&slots)
+        .filter(|(_, slot)| slot.is_none())
+        .map(|((rel, source), _)| move || facts::analyze_file(rel, source))
         .collect();
-    let mut out: Vec<Diagnostic> = pool.run(tasks).into_iter().flatten().collect();
-    out.sort();
-    Ok(out)
+    let reanalyzed = tasks.len();
+    let mut fresh = pool.run(tasks).into_iter();
+    for (slot, (rel, source)) in slots.iter_mut().zip(files.iter().zip(&sources)) {
+        if slot.is_none() {
+            let analysis = fresh.next().expect("one pool result per miss");
+            if let Some(dir) = opts.cache_dir.as_deref() {
+                cache::store(dir, rel, source, &analysis);
+            }
+            *slot = Some(analysis);
+        }
+    }
+
+    let analyses: Vec<facts::FileAnalysis> =
+        slots.into_iter().map(|s| s.expect("slot filled")).collect();
+    let mut diags: Vec<Diagnostic> = analyses.iter().flat_map(|a| a.diags.clone()).collect();
+    let file_facts: Vec<facts::FileFacts> = analyses.into_iter().map(|a| a.facts).collect();
+    let (global, stats) = graph::analyze(&file_facts);
+    diags.extend(global);
+    diags.sort();
+    diags.dedup();
+    Ok(LintReport {
+        diags,
+        stats,
+        files: files.len(),
+        cache_hits,
+        reanalyzed,
+    })
 }
 
 /// Recursively collects workspace-relative `.rs` paths under `dir`.
@@ -168,7 +271,7 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
     out
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -214,5 +317,16 @@ mod tests {
             !diags.iter().any(|d| d.file.contains("tests/fixtures/")),
             "fixtures must be excluded from the workspace walk"
         );
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = lint_workspace_report(&root, &LintOptions::default()).expect("workspace walk");
+        assert!(report.files > 10);
+        assert_eq!(report.cache_hits, 0, "no cache dir → no hits");
+        assert_eq!(report.reanalyzed, report.files);
+        assert!(report.stats.fns > 50, "{}", report.stats);
+        assert!(report.stats.resolved > 50, "{}", report.stats);
     }
 }

@@ -1,9 +1,10 @@
 //! CLI for the workspace contract linter.
 //!
 //! ```text
-//! cargo run -p soclint -- --workspace            # lint the whole tree
-//! cargo run -p soclint -- --workspace --json     # machine-readable report
-//! cargo run -p soclint -- crates/tam/src/anneal.rs   # lint specific files
+//! cargo run -p soclint -- --workspace                  # lint the whole tree
+//! cargo run -p soclint -- --workspace --format sarif   # CI code scanning
+//! cargo run -p soclint -- --workspace --cache target/soclint-cache
+//! cargo run -p soclint -- crates/tam/src/anneal.rs     # lint specific files
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
@@ -11,39 +12,62 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use std::path::PathBuf;
+use std::path::{Component, Path, PathBuf};
 use std::process::ExitCode;
 
-use soclint::{lint_source, lint_workspace_with, to_json, Diagnostic, RULE_IDS};
+use soclint::{
+    lint_source, lint_workspace_report, sarif, to_json, Diagnostic, LintOptions, RULE_DESCRIPTIONS,
+};
+
+/// Output formats for the final report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
     let mut files: Vec<String> = Vec::new();
     let mut workspace = false;
     let mut at: Option<String> = None;
     let mut workers = 1usize;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut graph_stats = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                _ => return usage("--format needs one of: text, json, sarif"),
+            },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage("--root needs a path"),
             },
             "--at" => match args.next() {
-                Some(p) => at = Some(p.replace('\\', "/")),
+                Some(p) => at = Some(p),
                 None => return usage("--at needs a workspace-relative path"),
             },
             "--workers" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => workers = n,
                 _ => return usage("--workers needs a positive integer"),
             },
+            "--cache" => match args.next() {
+                Some(p) => cache_dir = Some(PathBuf::from(p)),
+                None => return usage("--cache needs a directory"),
+            },
+            "--graph-stats" => graph_stats = true,
             "--list-rules" => {
-                for id in RULE_IDS {
-                    println!("{id}");
+                for (id, desc) in RULE_DESCRIPTIONS {
+                    println!("{id:<22} {desc}");
                 }
                 return ExitCode::SUCCESS;
             }
@@ -65,8 +89,18 @@ fn main() -> ExitCode {
     let mut diags: Vec<Diagnostic> = Vec::new();
 
     if workspace {
-        match lint_workspace_with(&root, workers) {
-            Ok(d) => diags.extend(d),
+        let opts = LintOptions { workers, cache_dir };
+        match lint_workspace_report(&root, &opts) {
+            Ok(report) => {
+                eprintln!(
+                    "soclint: cache: hits={} reanalyzed={} files={}",
+                    report.cache_hits, report.reanalyzed, report.files
+                );
+                if graph_stats {
+                    eprintln!("soclint: {}", report.stats);
+                }
+                diags.extend(report.diags);
+            }
             Err(e) => {
                 eprintln!("soclint: {e}");
                 return ExitCode::from(2);
@@ -77,10 +111,20 @@ fn main() -> ExitCode {
         return usage("--at applies to exactly one file");
     }
     for rel in &files {
-        let full = root.join(rel);
-        let lint_as = at.as_deref().unwrap_or(rel);
+        // File arguments resolve like any CLI tool's: relative to the
+        // invoking directory first, the workspace root as a fallback.
+        let cwd_path = PathBuf::from(rel);
+        let full = if cwd_path.is_file() {
+            cwd_path
+        } else {
+            root.join(rel)
+        };
+        let lint_as = match &at {
+            Some(p) => workspace_rel(&root, p),
+            None => workspace_rel(&root, rel),
+        };
         match std::fs::read_to_string(&full) {
-            Ok(source) => diags.extend(lint_source(&lint_as.replace('\\', "/"), &source)),
+            Ok(source) => diags.extend(lint_source(&lint_as, &source)),
             Err(e) => {
                 eprintln!("soclint: {}: {e}", full.display());
                 return ExitCode::from(2);
@@ -90,16 +134,18 @@ fn main() -> ExitCode {
     diags.sort();
     diags.dedup();
 
-    if json {
-        print!("{}", to_json(&diags));
-    } else {
-        for d in &diags {
-            println!("{d}");
-        }
-        if diags.is_empty() {
-            eprintln!("soclint: clean");
-        } else {
-            eprintln!("soclint: {} violation(s)", diags.len());
+    match format {
+        Format::Json => print!("{}", to_json(&diags)),
+        Format::Sarif => print!("{}", sarif::to_sarif(&diags)),
+        Format::Text => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                eprintln!("soclint: clean");
+            } else {
+                eprintln!("soclint: {} violation(s)", diags.len());
+            }
         }
     }
     if diags.is_empty() {
@@ -107,6 +153,48 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Lexically resolves `.` / `..` components without touching the
+/// filesystem.
+fn lexical_clean(path: &Path) -> PathBuf {
+    let mut out = PathBuf::new();
+    for c in path.components() {
+        match c {
+            Component::CurDir => {}
+            Component::ParentDir => {
+                out.pop();
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Canonicalizes `given` to the workspace-relative, `/`-separated path
+/// used for rule scoping. Absolute paths and paths that resolve (via the
+/// invoking directory) to an existing file inside the workspace are
+/// rebased onto `root`; anything else is taken as already
+/// workspace-relative — so `--at` means the same scope set no matter
+/// which subdirectory soclint runs from.
+fn workspace_rel(root: &Path, given: &str) -> String {
+    let given = given.replace('\\', "/");
+    let root_abs = lexical_clean(&root.canonicalize().unwrap_or_else(|_| root.to_path_buf()));
+    let p = Path::new(&given);
+    let cand = if p.is_absolute() {
+        lexical_clean(p)
+    } else {
+        let cwd = std::env::current_dir().unwrap_or_default();
+        lexical_clean(&cwd.join(p))
+    };
+    if let Ok(rel) = cand.strip_prefix(&root_abs) {
+        if p.is_absolute() || cand.is_file() {
+            if let Some(s) = rel.to_str() {
+                return s.replace('\\', "/");
+            }
+        }
+    }
+    given
 }
 
 /// Walks upward from the current directory to the first directory holding
@@ -133,22 +221,30 @@ fn usage(message: &str) -> ExitCode {
 }
 
 const HELP: &str = "\
-soclint — workspace contract linter (determinism / robustness / hygiene)
+soclint — workspace contract linter (determinism / robustness / hygiene /
+interprocedural: cross-taint, cancel-coverage, panic-reach)
 
 USAGE:
-    soclint --workspace [--json] [--root PATH] [--workers N]
+    soclint --workspace [--format F] [--root PATH] [--workers N] [--cache DIR]
     soclint [--root PATH] [--at PATH] FILE...
 
 OPTIONS:
-    --workspace    Lint every .rs file under crates/, src/, tests/, examples/
-    --json         Emit a JSON array instead of text diagnostics
-    --workers N    Lint files on N parpool workers (default 1; the report
-                   is byte-identical at any worker count)
+    --workspace    Lint every .rs file under crates/, src/, tests/, examples/,
+                   including the workspace call-graph analyses
+    --format F     Output format: text (default), json, or sarif (2.1.0)
+    --json         Alias for --format json
+    --workers N    Per-file analysis on N parpool workers (default 1; the
+                   report is byte-identical at any worker count)
+    --cache DIR    Fingerprint-keyed per-file cache; warm runs re-analyze
+                   only edited files (stderr reports hits/reanalyzed)
+    --graph-stats  Print call-graph resolution counters to stderr
     --root PATH    Workspace root (default: nearest [workspace] Cargo.toml)
     --at PATH      Lint the (single) FILE as if it lived at this
                    workspace-relative path; rule scoping is path-based, so
-                   this is how fixtures emulate in-tree locations
-    --list-rules   Print the rule ids and exit
+                   this is how fixtures emulate in-tree locations. The path
+                   is normalized to workspace-relative form, so absolute or
+                   subdirectory-relative spellings scope identically
+    --list-rules   Print the rule ids with descriptions and exit
     -h, --help     This help
 
 Suppress a finding with an auditable scoped comment:
@@ -165,5 +261,34 @@ mod tests {
         let root = find_workspace_root();
         let manifest = std::fs::read_to_string(root.join("Cargo.toml")).unwrap_or_default();
         assert!(manifest.contains("[workspace]") || root == std::path::Path::new("."));
+    }
+
+    #[test]
+    fn lexical_clean_resolves_dots() {
+        assert_eq!(
+            lexical_clean(Path::new("/a/b/../c/./d")),
+            PathBuf::from("/a/c/d")
+        );
+        assert_eq!(lexical_clean(Path::new("a/../../b")), PathBuf::from("b"));
+    }
+
+    #[test]
+    fn workspace_rel_keeps_relative_and_rebases_absolute() {
+        let root = find_workspace_root();
+        // A plain workspace-relative path is unchanged.
+        assert_eq!(
+            workspace_rel(&root, "crates/tam/src/lib.rs"),
+            "crates/tam/src/lib.rs"
+        );
+        // An absolute in-tree path is rebased.
+        let abs = root.join("crates/tam/src/lib.rs");
+        if abs.is_file() {
+            assert_eq!(
+                workspace_rel(&root, abs.to_str().expect("utf8 path")),
+                "crates/tam/src/lib.rs"
+            );
+        }
+        // A path outside the workspace stays as given.
+        assert_eq!(workspace_rel(&root, "/nowhere/x.rs"), "/nowhere/x.rs");
     }
 }

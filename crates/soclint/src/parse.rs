@@ -504,7 +504,13 @@ fn param_names(toks: &[Token], sig: &[usize], start: usize, end: usize) -> Vec<S
 
 /// Index just past the matching `close` for the `open` at `s`. Returns
 /// `sig.len()` when unbalanced (truncated input).
-fn match_group(toks: &[Token], sig: &[usize], s: usize, open: char, close: char) -> usize {
+pub(crate) fn match_group(
+    toks: &[Token],
+    sig: &[usize],
+    s: usize,
+    open: char,
+    close: char,
+) -> usize {
     let mut depth = 0i32;
     let mut j = s;
     while j < sig.len() {

@@ -33,7 +33,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::lexer::{lex, Token, TokenKind};
+use crate::lexer::{lex, Token, TokenKind, Tokens};
 use crate::scope::{classify, test_spans, FileScope, TestSpans};
 
 /// Identifiers of every rule, in reporting order.
@@ -53,6 +53,92 @@ pub const RULE_IDS: &[&str] = &[
     "deny-header",
     "cfg-test-gate",
     "allow-syntax",
+    "cross-taint",
+    "cancel-coverage",
+    "panic-reach",
+];
+
+/// The workspace-level (interprocedural) rules: they run on the call
+/// graph in [`crate::graph`], not on a single file, so `--workspace` (or
+/// [`crate::lint_workspace`]) is the only mode that reports them.
+pub const WORKSPACE_RULE_IDS: &[&str] = &["cross-taint", "cancel-coverage", "panic-reach"];
+
+/// One-line description per rule id, for `--list-rules` and the SARIF
+/// `tool.driver.rules` metadata. Kept 1:1 with [`RULE_IDS`] (pinned by a
+/// test).
+pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
+    (
+        "hash-collections",
+        "no hash-ordered collections in determinism-scoped crates",
+    ),
+    (
+        "wall-clock",
+        "no Instant::now/SystemTime::now outside robust/bench code",
+    ),
+    (
+        "os-entropy",
+        "no OS entropy or thread identity in library code",
+    ),
+    (
+        "nan-compare",
+        "no NaN-unsafe partial_cmp in determinism-scoped crates",
+    ),
+    (
+        "panic-path",
+        "no unwrap/expect/panic! in untrusted-input parsers",
+    ),
+    (
+        "unchecked-index",
+        "no expr[..] indexing in untrusted-input parsers",
+    ),
+    (
+        "as-narrowing",
+        "no narrowing as casts in untrusted-input parsers",
+    ),
+    (
+        "taint-arith",
+        "parsed values must not reach raw +/-/* unchecked",
+    ),
+    (
+        "taint-index",
+        "parsed values must not reach index sinks unguarded",
+    ),
+    (
+        "capture-mut",
+        "job thunks must not mutate captured shared state",
+    ),
+    (
+        "relaxed-ordering",
+        "no Ordering::Relaxed in determinism-scoped crates",
+    ),
+    (
+        "order-sensitive-reduce",
+        "no reductions over completion-order streams",
+    ),
+    (
+        "deny-header",
+        "crate/bin/test roots carry the agreed lint header",
+    ),
+    ("cfg-test-gate", "mod tests must be #[cfg(test)]-gated"),
+    (
+        "allow-syntax",
+        "suppressions must name known rules and carry a reason",
+    ),
+    (
+        "cross-taint",
+        "parsed values must not flow into callees whose parameters reach \
+         arithmetic/index sinks (interprocedural)",
+    ),
+    (
+        "cancel-coverage",
+        "loops reachable from the cascade/serve request path must poll \
+         Deadline/CancelToken transitively",
+    ),
+    (
+        "panic-reach",
+        "untrusted-input parsers must not transitively call panic-capable \
+         functions",
+    ),
 ];
 
 /// Hash-ordered collection types banned in determinism crates
@@ -109,13 +195,13 @@ impl std::fmt::Display for Diagnostic {
 
 /// Parsed suppressions for one file.
 #[derive(Debug, Default)]
-struct Allows {
+pub(crate) struct Allows {
     /// rule id -> lines on which it is suppressed.
-    lines: BTreeMap<String, BTreeSet<u32>>,
+    pub(crate) lines: BTreeMap<String, BTreeSet<u32>>,
     /// rule ids suppressed for the whole file.
-    file_wide: BTreeSet<String>,
+    pub(crate) file_wide: BTreeSet<String>,
     /// Malformed directives found while parsing.
-    errors: Vec<(u32, String)>,
+    pub(crate) errors: Vec<(u32, String)>,
 }
 
 impl Allows {
@@ -134,10 +220,15 @@ impl Allows {
 /// is path-based, so the same source text can lint differently at
 /// different paths (the fixture suite leans on this).
 pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    lint_tokens(path, &lex(source))
+}
+
+/// [`lint_source`] over pre-lexed tokens, so callers that also extract
+/// facts ([`crate::facts`]) lex only once.
+pub(crate) fn lint_tokens(path: &str, tokens: &Tokens) -> Vec<Diagnostic> {
     let scope = classify(path);
-    let tokens = lex(source);
-    let spans = test_spans(&tokens);
-    let allows = parse_allows(&tokens);
+    let spans = test_spans(tokens);
+    let allows = parse_allows(tokens);
 
     let mut out = Vec::new();
     let mut push = |rule: &str, line: u32, message: String| {
@@ -174,7 +265,7 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
     // some flow rule actually scopes to — the token rules above don't
     // need it.
     if scope.untrusted_parser || scope.capture_checked {
-        let ast = crate::parse::parse(&tokens);
+        let ast = crate::parse::parse(tokens);
         if scope.untrusted_parser {
             crate::taint::check(&ast, toks, &in_test, &mut push);
         }
@@ -188,9 +279,9 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
     }
 
     if scope.lib_root {
-        check_deny_header(&tokens, true, &mut push);
+        check_deny_header(tokens, true, &mut push);
     } else if scope.bin_root {
-        check_deny_header(&tokens, false, &mut push);
+        check_deny_header(tokens, false, &mut push);
     }
 
     out.sort();
@@ -474,7 +565,7 @@ fn next_is(toks: &[Token], sig: &[usize], si: usize, c: char) -> bool {
 }
 
 /// Extracts `soclint: allow(...)` directives from comment tokens.
-fn parse_allows(tokens: &crate::lexer::Tokens) -> Allows {
+pub(crate) fn parse_allows(tokens: &crate::lexer::Tokens) -> Allows {
     let mut allows = Allows::default();
     // Per code line: the first and last significant token, to decide
     // whether a directive is trailing (suppresses its own line) or

@@ -1,0 +1,94 @@
+//! SARIF 2.1.0 output (`soclint --format sarif`), shaped for GitHub code
+//! scanning: one run, the full rule table on `tool.driver`, one result
+//! per diagnostic with a physical location. Rendered by hand like
+//! [`crate::to_json`] — stable field order, no dependencies.
+
+use crate::json_string;
+use crate::rules::{Diagnostic, RULE_DESCRIPTIONS, RULE_IDS};
+
+/// The schema GitHub's SARIF ingestion validates against.
+pub const SCHEMA_URI: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Renders diagnostics as a SARIF 2.1.0 log.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"$schema\": {},\n", json_string(SCHEMA_URI)));
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"soclint\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/soc-tdc/soclint\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, (id, desc)) in RULE_DESCRIPTIONS.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}\n",
+            json_string(id),
+            json_string(desc),
+            if i + 1 < RULE_DESCRIPTIONS.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let rule_index = RULE_IDS
+            .iter()
+            .position(|r| *r == d.rule)
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "-1".to_string());
+        out.push_str(&format!(
+            "        {{\"ruleId\": {}, \"ruleIndex\": {}, \"level\": \"error\", \
+             \"message\": {{\"text\": {}}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": {}, \"uriBaseId\": \"%SRCROOT%\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            json_string(&d.rule),
+            rule_index,
+            json_string(&d.message),
+            json_string(&d.file),
+            d.line.max(1),
+            if i + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_log_has_tool_and_no_results() {
+        let s = to_sarif(&[]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"soclint\""));
+        assert!(s.contains("sarif-schema-2.1.0.json"));
+        // All rules are declared even with no findings.
+        for id in RULE_IDS {
+            assert!(s.contains(&format!("\"id\": \"{id}\"")), "{id}");
+        }
+    }
+
+    #[test]
+    fn results_carry_location_and_rule_index() {
+        let d = Diagnostic {
+            file: "crates/tam/src/lib.rs".into(),
+            line: 7,
+            rule: "cancel-coverage".into(),
+            message: "a \"quoted\" message".into(),
+        };
+        let s = to_sarif(&[d]);
+        assert!(s.contains("\"uri\": \"crates/tam/src/lib.rs\""));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("\\\"quoted\\\""));
+        let idx = RULE_IDS
+            .iter()
+            .position(|r| *r == "cancel-coverage")
+            .expect("rule");
+        assert!(s.contains(&format!("\"ruleIndex\": {idx}")));
+    }
+}

@@ -32,7 +32,7 @@ use crate::lexer::{Token, TokenKind};
 use crate::parse::{Ast, FnItem};
 
 /// Method/function names that introduce taint when called.
-fn is_source_name(name: &str) -> bool {
+pub(crate) fn is_source_name(name: &str) -> bool {
     name == "parse"
         || name == "from_str"
         || name.starts_with("read_")
@@ -44,7 +44,7 @@ fn is_source_name(name: &str) -> bool {
 /// Names whose call *sanitizes* its result: a binding built through one
 /// of these is range-checked (or explicitly wrapping) and no longer
 /// attacker-steerable into a panic/overflow.
-fn is_sanitizer_name(name: &str) -> bool {
+pub(crate) fn is_sanitizer_name(name: &str) -> bool {
     name == "try_from"
         || name == "try_into"
         || name == "clamp"
@@ -56,7 +56,8 @@ fn is_sanitizer_name(name: &str) -> bool {
 }
 
 /// Call sinks that panic on out-of-range lengths/indices.
-const SLICE_SINKS: &[&str] = &["copy_from_slice", "split_at", "split_at_mut", "split_off"];
+pub(crate) const SLICE_SINKS: &[&str] =
+    &["copy_from_slice", "split_at", "split_at_mut", "split_off"];
 
 /// Where a binding's taint came from, for chain rendering.
 #[derive(Debug, Clone)]
@@ -80,7 +81,7 @@ pub fn check(
 
 /// Same-file source summary: seed with the builtin source names, then a
 /// fixpoint over function bodies — a fn that calls a source is a source.
-fn derived_sources(ast: &Ast, toks: &[Token]) -> BTreeSet<String> {
+pub(crate) fn derived_sources(ast: &Ast, toks: &[Token]) -> BTreeSet<String> {
     let mut sources: BTreeSet<String> = BTreeSet::new();
     loop {
         let mut changed = false;
@@ -112,7 +113,7 @@ fn derived_sources(ast: &Ast, toks: &[Token]) -> BTreeSet<String> {
 
 /// True when the ident at sig index `j` is called: followed by `(`,
 /// optionally through a turbofish (`parse::<u32>(`).
-fn is_call(toks: &[Token], sig: &[usize], j: usize) -> bool {
+pub(crate) fn is_call(toks: &[Token], sig: &[usize], j: usize) -> bool {
     if at(toks, sig, j + 1, '(') {
         return true;
     }
@@ -138,11 +139,11 @@ fn is_call(toks: &[Token], sig: &[usize], j: usize) -> bool {
     false
 }
 
-fn at(toks: &[Token], sig: &[usize], j: usize, c: char) -> bool {
+pub(crate) fn at(toks: &[Token], sig: &[usize], j: usize, c: char) -> bool {
     sig.get(j).is_some_and(|&t| toks[t].is_punct(c))
 }
 
-fn ident_at<'t>(toks: &'t [Token], sig: &[usize], j: usize) -> Option<&'t str> {
+pub(crate) fn ident_at<'t>(toks: &'t [Token], sig: &[usize], j: usize) -> Option<&'t str> {
     sig.get(j).and_then(|&t| toks[t].ident())
 }
 
@@ -333,7 +334,7 @@ fn truncate_chain(chain: &str) -> String {
 
 /// True when the token adjacent to `j` (either side) is a comparison
 /// operator (`<`, `>`, `<=`, `>=`, `==`, `!=`).
-fn is_comparison_neighbor(toks: &[Token], sig: &[usize], j: usize) -> bool {
+pub(crate) fn is_comparison_neighbor(toks: &[Token], sig: &[usize], j: usize) -> bool {
     let cmp_at = |k: usize| -> bool {
         let Some(&t) = sig.get(k) else { return false };
         match toks[t].kind {
@@ -355,12 +356,12 @@ fn is_comparison_neighbor(toks: &[Token], sig: &[usize], j: usize) -> bool {
 }
 
 /// Idents inside the group opened at sig index `open` (a `(`).
-fn idents_in_group(toks: &[Token], sig: &[usize], open: usize) -> Vec<String> {
+pub(crate) fn idents_in_group(toks: &[Token], sig: &[usize], open: usize) -> Vec<String> {
     idents_in_matched(toks, sig, open, '(', ')')
 }
 
 /// Idents inside the bracket group opened at sig index `open` (a `[`).
-fn idents_in_bracket_group(toks: &[Token], sig: &[usize], open: usize) -> Vec<String> {
+pub(crate) fn idents_in_bracket_group(toks: &[Token], sig: &[usize], open: usize) -> Vec<String> {
     idents_in_matched(toks, sig, open, '[', ']')
 }
 
@@ -392,7 +393,7 @@ fn idents_in_matched(
 }
 
 /// Mirrors the `unchecked-index` heuristic: `[` right after an operand.
-fn is_index_expr(toks: &[Token], sig: &[usize], j: usize) -> bool {
+pub(crate) fn is_index_expr(toks: &[Token], sig: &[usize], j: usize) -> bool {
     j > 0
         && match &toks[sig[j - 1]].kind {
             TokenKind::Ident(prev) => {
@@ -421,7 +422,7 @@ fn is_index_expr(toks: &[Token], sig: &[usize], j: usize) -> bool {
 /// True when the `+`/`-`/`*` at `j` is a binary operator (an operand on
 /// the left) rather than a unary minus, deref, arrow, or attribute
 /// position. Compound assignment (`x += y`) counts: it is arithmetic.
-fn is_binary_arith(toks: &[Token], sig: &[usize], j: usize) -> bool {
+pub(crate) fn is_binary_arith(toks: &[Token], sig: &[usize], j: usize) -> bool {
     let Some(p) = j.checked_sub(1) else {
         return false;
     };
@@ -454,7 +455,7 @@ fn is_keywordish(name: &str) -> bool {
 
 /// The right-hand operand ident of the operator at `j`: the next ident,
 /// stepping over a compound-assign `=`.
-fn arith_rhs<'t>(toks: &'t [Token], sig: &[usize], j: usize) -> Option<&'t str> {
+pub(crate) fn arith_rhs<'t>(toks: &'t [Token], sig: &[usize], j: usize) -> Option<&'t str> {
     let mut k = j + 1;
     if at(toks, sig, k, '=') {
         k += 1;

@@ -8,7 +8,7 @@
 use std::fs;
 use std::path::Path;
 
-use soclint::{lint_source, lint_workspace, RULE_IDS};
+use soclint::{lint_source, lint_workspace, RULE_IDS, WORKSPACE_RULE_IDS};
 
 /// The workspace-relative path each rule's fixtures pretend to live at.
 fn emulated_path(rule: &str) -> &'static str {
@@ -38,6 +38,9 @@ fn fixture(rule: &str, which: &str) -> String {
 #[test]
 fn every_rule_has_a_tripping_fixture() {
     for &rule in RULE_IDS {
+        if WORKSPACE_RULE_IDS.contains(&rule) {
+            continue; // interprocedural rules use workspace fixture trees below
+        }
         let diags = lint_source(emulated_path(rule), &fixture(rule, "fail"));
         assert!(
             diags.iter().any(|d| d.rule == rule),
@@ -53,6 +56,9 @@ fn every_rule_has_a_tripping_fixture() {
 #[test]
 fn every_rule_has_a_clean_fixture() {
     for &rule in RULE_IDS {
+        if WORKSPACE_RULE_IDS.contains(&rule) {
+            continue; // interprocedural rules use workspace fixture trees below
+        }
         let diags = lint_source(emulated_path(rule), &fixture(rule, "pass"));
         assert!(
             diags.is_empty(),
@@ -72,6 +78,39 @@ fn diagnostics_carry_file_line_and_known_rule() {
         d.to_string(),
         format!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message)
     );
+}
+
+/// Interprocedural rules need more than one file, so their fixtures are
+/// miniature workspace trees under `fixtures/<rule>/{trip,clean,allowed}/`,
+/// linted with the full pipeline rooted at the fixture directory.
+#[test]
+fn every_workspace_rule_has_trip_clean_and_allowed_trees() {
+    for &rule in WORKSPACE_RULE_IDS {
+        for which in ["trip", "clean", "allowed"] {
+            let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("tests/fixtures")
+                .join(rule)
+                .join(which);
+            assert!(root.is_dir(), "missing fixture tree {}", root.display());
+            let diags =
+                lint_workspace(&root).unwrap_or_else(|e| panic!("lint {}: {e}", root.display()));
+            if which == "trip" {
+                assert!(
+                    diags.iter().any(|d| d.rule == rule),
+                    "fixtures/{rule}/trip must trip `{rule}`, got: {diags:?}"
+                );
+                assert!(
+                    diags.iter().all(|d| d.rule == rule),
+                    "fixtures/{rule}/trip must trip only `{rule}`, got: {diags:?}"
+                );
+            } else {
+                assert!(
+                    diags.is_empty(),
+                    "fixtures/{rule}/{which} must lint clean, got: {diags:?}"
+                );
+            }
+        }
+    }
 }
 
 /// The acceptance gate: the tree as shipped carries zero violations, so any

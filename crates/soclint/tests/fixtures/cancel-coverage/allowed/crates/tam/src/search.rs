@@ -1,0 +1,17 @@
+//! Fixture: the loop is bounded, recorded with a reasoned allow.
+pub fn search_tams(d: &Deadline) -> u32 {
+    let mut best = 0;
+    // soclint: allow(cancel-coverage) -- bounded: improving() caps at 100 iterations
+    while improving(best) {
+        best = step(best);
+    }
+    best
+}
+
+fn improving(best: u32) -> bool {
+    best < 100
+}
+
+fn step(best: u32) -> u32 {
+    best
+}

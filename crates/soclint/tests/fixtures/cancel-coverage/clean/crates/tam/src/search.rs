@@ -1,0 +1,19 @@
+//! Fixture: the improvement loop polls the deadline each iteration.
+pub fn search_tams(d: &Deadline) -> u32 {
+    let mut best = 0;
+    while improving(best) {
+        if d.expired() {
+            break;
+        }
+        best = step(best);
+    }
+    best
+}
+
+fn improving(best: u32) -> bool {
+    best < 100
+}
+
+fn step(best: u32) -> u32 {
+    best
+}

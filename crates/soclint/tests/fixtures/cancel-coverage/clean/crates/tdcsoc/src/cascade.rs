@@ -1,0 +1,6 @@
+//! Fixture root: the planning cascade entry.
+use tam::search_tams;
+
+pub fn solve(d: &Deadline) -> u32 {
+    search_tams(d)
+}

@@ -1,0 +1,16 @@
+//! Fixture: an unbounded improvement loop with no cancellation poll.
+pub fn search_tams(d: &Deadline) -> u32 {
+    let mut best = 0;
+    while improving(best) {
+        best = step(best);
+    }
+    best
+}
+
+fn improving(best: u32) -> bool {
+    best < 100
+}
+
+fn step(best: u32) -> u32 {
+    best
+}

@@ -1,0 +1,4 @@
+//! Fixture helper: multiplies its argument without any bound check.
+pub fn scaled_bits(n: u64) -> u64 {
+    n * 8
+}

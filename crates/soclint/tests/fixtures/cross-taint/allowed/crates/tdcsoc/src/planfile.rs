@@ -1,0 +1,8 @@
+//! Fixture: the flow is acknowledged with a reasoned allow.
+use soc_model::scaled_bits;
+
+fn read_count(line: &str) -> Option<u64> {
+    let n: u64 = line.parse().ok()?;
+    // soclint: allow(cross-taint) -- n is range-checked by the caller's schema
+    Some(scaled_bits(n))
+}

@@ -1,0 +1,7 @@
+//! Fixture: a parsed count crosses the crate boundary unsanitized.
+use soc_model::scaled_bits;
+
+fn read_count(line: &str) -> Option<u64> {
+    let n: u64 = line.parse().ok()?;
+    Some(scaled_bits(n))
+}

@@ -1,0 +1,7 @@
+//! Fixture: the call is acknowledged with a reasoned allow.
+use selenc::first_code;
+
+fn parse_field(s: &str) -> u32 {
+    // soclint: allow(panic-reach) -- s is checked non-empty by the tokenizer
+    first_code(s)
+}

@@ -1,0 +1,4 @@
+//! Fixture helper: total on empty input.
+pub fn first_code(s: &str) -> Option<u32> {
+    s.bytes().next().map(u32::from)
+}

@@ -1,0 +1,6 @@
+//! Fixture: the parser uses the fallible decoder.
+use selenc::first_code;
+
+fn parse_field(s: &str) -> Option<u32> {
+    first_code(s)
+}

@@ -1,0 +1,4 @@
+//! Fixture helper: panics on empty input.
+pub fn first_code(s: &str) -> u32 {
+    u32::from(s.bytes().next().unwrap())
+}

@@ -1,0 +1,6 @@
+//! Fixture: the parser trusts a panicking decoder.
+use selenc::first_code;
+
+fn parse_field(s: &str) -> u32 {
+    first_code(s)
+}

@@ -183,6 +183,7 @@ fn best_assignment(
         }
         // Odometer increment.
         let mut i = 0;
+        // soclint: allow(cancel-coverage) -- bounded odometer carry: at most n digits per increment
         loop {
             if i == n {
                 let arch = best.map(|(makespan, a)| build_architecture(cost, widths, &a, makespan));

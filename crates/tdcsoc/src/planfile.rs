@@ -257,6 +257,12 @@ fn parse_core_line<'a>(
             "decomp" => {
                 let w: u32 = num(t.next(), idx)?;
                 let m: u32 = num(t.next(), idx)?;
+                // A zero width or chain count would panic deep inside the
+                // wrapper designer when the plan is later expanded into a
+                // vector image — reject it here, at the trust boundary.
+                if w == 0 || m == 0 {
+                    return Err(err(idx + 1, "decomp width and chains must be positive"));
+                }
                 decompressor = Some((w, m));
             }
             "lfsr" => lfsr_len = Some(num(t.next(), idx)?),
@@ -390,6 +396,29 @@ mod tests {
         let text = write_plan(&a_plan());
         let broken = text.replace("budget tam 16", "budget bogus 16");
         assert!(parse_plan(&broken).is_err());
+    }
+
+    #[test]
+    fn zero_decompressor_dimensions_are_rejected_at_parse() {
+        // A crafted plan file with `decomp W 0` (or `0 M`) used to parse
+        // and then panic deep in the wrapper designer, which asserts
+        // `m > 0`. The trust boundary is here, so the parser rejects it.
+        let text = write_plan(&a_plan());
+        assert!(text.contains(" decomp "), "fixture plan carries a TDC");
+        let first_decomp = |t: &str, sub: &str, to: String| t.replacen(sub, &to, 1);
+        let (w, m) = {
+            let line = text.lines().find(|l| l.contains(" decomp ")).unwrap();
+            let mut it = line.rsplit(' ');
+            let m: u32 = it.next().unwrap().parse().unwrap();
+            let w: u32 = it.next().unwrap().parse().unwrap();
+            (w, m)
+        };
+        let zero_m = first_decomp(&text, &format!("decomp {w} {m}"), format!("decomp {w} 0"));
+        let zero_w = first_decomp(&text, &format!("decomp {w} {m}"), format!("decomp 0 {m}"));
+        for broken in [zero_m, zero_w] {
+            let e = parse_plan(&broken).unwrap_err();
+            assert!(e.to_string().contains("must be positive"), "got: {e}");
+        }
     }
 
     #[test]

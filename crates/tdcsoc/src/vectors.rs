@@ -284,11 +284,13 @@ fn layout_for(soc: &Soc, setting: &CoreSetting) -> Result<CoreLayout, ImageError
     })?;
     match setting.decompressor {
         Some((_, m)) => {
+            // soclint: allow(panic-reach) -- m >= 1 enforced at the planfile trust boundary (decomp rejects 0)
             let design = design_wrapper(core, m);
             let code = SliceCode::for_chains(design.chain_count());
             let enc = Encoder::new(code);
             let shift_cycles: u64 = test_set
                 .iter()
+                // soclint: allow(panic-reach) -- encoder invariant: encode_slice always emits a header codeword
                 .map(|cube| encode_cube(&enc, &design, cube).len() as u64)
                 .sum();
             Ok(CoreLayout {
@@ -298,6 +300,7 @@ fn layout_for(soc: &Soc, setting: &CoreSetting) -> Result<CoreLayout, ImageError
             })
         }
         None => {
+            // soclint: allow(panic-reach) -- cap is clamped to >= 1, so the pareto sweep always yields a design
             let (design, _) = best_design_up_to(core, setting.tam_width);
             let shift_cycles = design.scan_in_length() * u64::from(core.pattern_count());
             Ok(CoreLayout {
@@ -357,6 +360,7 @@ pub fn export_image(soc: &Soc, plan: &Plan) -> Result<TesterImage, ImageError> {
             Some(code) => {
                 let enc = Encoder::new(code);
                 for cube in test_set.iter() {
+                    // soclint: allow(panic-reach) -- encoder invariant: encode_slice always emits a header codeword
                     for cw in encode_cube(&enc, &layout.design, cube) {
                         image.set_word(cycle, cw.pack(code))?;
                         cycle += 1;

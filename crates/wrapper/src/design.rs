@@ -71,7 +71,12 @@ impl ChainLayout {
             }
             remaining -= len;
         }
-        unreachable!("load_len covers all segments")
+        // `load_len` equals the segment sum by construction, so this is
+        // unreachable for designs built by `design_wrapper`; degrade to an
+        // idle cycle rather than panicking — `position_at` sits on the
+        // untrusted vector-image verification path.
+        debug_assert!(false, "load_len covers all segments");
+        None
     }
 }
 

@@ -27,8 +27,9 @@
 //! noise-robust statistic for them. Longer entries keep their averaged
 //! measurement.
 //!
-//! `--check BASELINE` compares this run's `tables_*`/`plan_*`/`fleet_*`
-//! entries against the most recent run in a committed
+//! `--check BASELINE` compares this run's
+//! `tables_*`/`plan_*`/`fleet_*`/`soclint_*` entries against the most
+//! recent run in a committed
 //! `BENCH_profile.json` that records the same entry, and exits non-zero
 //! when any is more than 20% worse — the CI perf-regression gate. Each
 //! entry carries its comparison direction explicitly: time entries
@@ -319,7 +320,8 @@ fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
 }
 
 /// The perf-regression gate behind `--check`: compares this run's
-/// `tables_*`/`plan_*`/`fleet_*` entries against the *latest* committed
+/// `tables_*`/`plan_*`/`fleet_*`/`soclint_*` entries against the
+/// *latest* committed
 /// run that records the same entry name, each in its own direction.
 /// Returns the failure messages (empty = gate passes).
 fn check_regressions(entries: &[Entry], baseline_text: &str) -> Vec<String> {
@@ -328,7 +330,8 @@ fn check_regressions(entries: &[Entry], baseline_text: &str) -> Vec<String> {
     for e in entries {
         let gated = e.name.starts_with("tables_")
             || e.name.starts_with("plan_")
-            || e.name.starts_with("fleet_");
+            || e.name.starts_with("fleet_")
+            || e.name.starts_with("soclint_");
         if !gated {
             continue;
         }
@@ -462,6 +465,45 @@ fn main() {
             assert!(diags.is_empty(), "workspace must lint clean: {diags:?}");
         },
     ));
+
+    // Incremental lint: the same scan through the fingerprint-keyed lint
+    // cache, cold (empty cache, every file analyzed and stored) versus
+    // warm (every file a hit; only the cross-file graph phase re-runs).
+    // The cold/warm ratio is the cache's reason to exist, gated like the
+    // profile cache's incr entries.
+    let lint_cache = std::env::temp_dir().join("bench-profile-lint-cache");
+    let _ = std::fs::remove_dir_all(&lint_cache);
+    let lint_opts = soclint::LintOptions {
+        workers: 1,
+        cache_dir: Some(lint_cache.clone()),
+    };
+    entries.push(timed(
+        "soclint_workspace_cold",
+        lint_iters,
+        1,
+        min_of,
+        || {
+            let _ = std::fs::remove_dir_all(&lint_cache);
+            let report =
+                soclint::lint_workspace_report(&lint_root, &lint_opts).expect("workspace scan");
+            assert!(report.diags.is_empty(), "workspace must lint clean");
+            assert_eq!(report.cache_hits, 0, "cold runs start empty");
+        },
+    ));
+    // The cold closure's final run left the cache fully populated.
+    entries.push(timed(
+        "soclint_workspace_warm",
+        lint_iters,
+        1,
+        min_of,
+        || {
+            let report =
+                soclint::lint_workspace_report(&lint_root, &lint_opts).expect("workspace scan");
+            assert!(report.diags.is_empty(), "workspace must lint clean");
+            assert_eq!(report.reanalyzed, 0, "warm runs are all hits");
+        },
+    ));
+    let _ = std::fs::remove_dir_all(&lint_cache);
 
     // Architecture search: the pruned hill-climb portfolio and the
     // multi-chain anneal over the d695 cost model.

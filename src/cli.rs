@@ -60,6 +60,12 @@ pub struct FleetArgs {
     pub profile_cache: Option<String>,
     /// Write each instance's plan file as `ID.plan` into this directory.
     pub plan_dir: Option<String>,
+    /// Skip instances whose `--plan-dir` plan file round-trips
+    /// byte-identical from a previous run.
+    pub resume: bool,
+    /// Stream one JSON line per instance (in completion order) to this
+    /// file while the batch runs.
+    pub ndjson: Option<String>,
 }
 
 /// Arguments of `soctdc serve`.
@@ -260,7 +266,7 @@ USAGE:
   soctdc serve   --root DIR [--http ADDR] [--workers N] [--queue-cap N]
                  [--deadline MS]
   soctdc fleet   --manifest FILE [--workers N] [--profile-cache DIR]
-                 [--plan-dir DIR]
+                 [--plan-dir DIR] [--resume] [--ndjson FILE]
   soctdc designs
   soctdc help
 
@@ -306,9 +312,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut queue_cap: Option<usize> = None;
     let mut manifest: Option<String> = None;
     let mut plan_dir: Option<String> = None;
+    let mut resume_flag = false;
+    let mut ndjson: Option<String> = None;
 
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
+        // `--resume` is overloaded: `plan --resume FILE` resumes from a
+        // checkpoint, bare `fleet --resume` skips already-planned
+        // instances. Peek so a following flag is not eaten as the value.
+        if flag == "--resume" {
+            match it.clone().next() {
+                Some(v) if !v.starts_with("--") => {
+                    resume = Some(v.clone());
+                    it.next();
+                }
+                _ => resume_flag = true,
+            }
+            continue;
+        }
         let mut value = |name: &str| -> Result<String, CliError> {
             it.next()
                 .cloned()
@@ -348,7 +369,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--depth" => depth = Some(parse_num(&value("--depth")?, "--depth")?),
             "--deadline" => deadline_ms = Some(parse_num(&value("--deadline")?, "--deadline")?),
             "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
-            "--resume" => resume = Some(value("--resume")?),
+            "--ndjson" => ndjson = Some(value("--ndjson")?),
             // `0` is meaningful: auto-detect one worker per available CPU.
             "--workers" => workers = Some(parse_num(&value("--workers")?, "--workers")?),
             "--profile-cache" => profile_cache = Some(value("--profile-cache")?),
@@ -387,6 +408,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 (_, Some(a)) => Budget::AteChannels(a),
                 (w, None) => Budget::TamWidth(w.unwrap_or(32)),
             };
+            if resume_flag {
+                return Err(usage("plan --resume needs a checkpoint FILE"));
+            }
             Ok(Command::Plan(PlanArgs {
                 source: need_source(source)?,
                 budget,
@@ -455,12 +479,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             queue_cap,
             default_budget_ms: deadline_ms,
         })),
-        "fleet" => Ok(Command::Fleet(FleetArgs {
-            manifest: manifest.ok_or_else(|| usage("fleet needs --manifest FILE"))?,
-            workers: workers.unwrap_or(0),
-            profile_cache,
-            plan_dir,
-        })),
+        "fleet" => {
+            if resume.is_some() {
+                return Err(usage(
+                    "fleet --resume takes no value (plans come from --plan-dir)",
+                ));
+            }
+            if resume_flag && plan_dir.is_none() {
+                return Err(usage("fleet --resume needs --plan-dir DIR"));
+            }
+            Ok(Command::Fleet(FleetArgs {
+                manifest: manifest.ok_or_else(|| usage("fleet needs --manifest FILE"))?,
+                workers: workers.unwrap_or(0),
+                profile_cache,
+                plan_dir,
+                resume: resume_flag,
+                ndjson,
+            }))
+        }
         "info" => Ok(Command::Info(InfoArgs {
             source: need_source(source)?,
             density,
@@ -562,13 +598,42 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
             let opts = fleet::FleetOptions {
                 workers: args.workers,
                 profile_cache: args.profile_cache.clone().map(Into::into),
+                resume_plan_dir: args
+                    .resume
+                    .then(|| args.plan_dir.clone().map(Into::into))
+                    .flatten(),
                 ..Default::default()
             };
-            let report = fleet::run_fleet(&manifest, &opts);
+            // `--ndjson` streams one line per instance as workers finish
+            // it — progress is observable while the batch runs, so the
+            // writer flushes per line.
+            let ndjson = match &args.ndjson {
+                Some(path) => Some(std::sync::Mutex::new(
+                    std::fs::File::create(path)
+                        .map_err(|e| CliError::Run(format!("cannot create {path}: {e}").into()))?,
+                )),
+                None => None,
+            };
+            let on_report = |r: &fleet::InstanceReport| {
+                use std::io::Write as _;
+                if let Some(file) = &ndjson {
+                    // soclint: allow(capture-mut) -- append-only telemetry stream; line order is completion order by design
+                    if let Ok(mut f) = file.lock() {
+                        let _ = writeln!(f, "{}", fleet::ndjson_line(r));
+                    }
+                }
+            };
+            let hooks = fleet::FleetHooks {
+                on_report: args
+                    .ndjson
+                    .as_ref()
+                    .map(|_| &on_report as &(dyn Fn(&fleet::InstanceReport) + Sync)),
+            };
+            let report = fleet::run_fleet_with(&manifest, &opts, &hooks);
             for r in &report.instances {
                 let note = match &r.outcome {
-                    fleet::InstanceOutcome::Planned(_) => r.outcome.keyword(),
                     fleet::InstanceOutcome::Failed(m) => format!("failed: {m}"),
+                    _ => r.outcome.keyword(),
                 };
                 writeln!(out, "{:<32} {:>9.1} ms  {note}", r.id, r.latency_ms).map_err(io_err)?;
             }
@@ -577,6 +642,11 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
                     .map_err(|e| CliError::Run(format!("cannot create {dir}: {e}").into()))?;
                 let mut written = 0usize;
                 for r in &report.instances {
+                    // Resumed plans are already on disk byte-identical;
+                    // rewriting would only churn mtimes.
+                    if matches!(r.outcome, fleet::InstanceOutcome::Resumed) {
+                        continue;
+                    }
                     if let Some(plan) = &r.plan {
                         let path = std::path::Path::new(dir).join(format!("{}.plan", r.id));
                         std::fs::write(&path, write_plan(plan)).map_err(|e| {
@@ -585,7 +655,12 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
                         written += 1;
                     }
                 }
-                writeln!(out, "{written} plan files written to {dir}").map_err(io_err)?;
+                writeln!(
+                    out,
+                    "{written} plan files written to {dir} ({} resumed in place)",
+                    report.summary.resumed
+                )
+                .map_err(io_err)?;
             }
             writeln!(out, "{}", report.summary).map_err(io_err)?;
             if report.summary.failed > 0 {
@@ -941,6 +1016,89 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse_args(&argv("fleet")).is_err(), "manifest is required");
+    }
+
+    #[test]
+    fn parses_fleet_resume_and_ndjson() {
+        // Bare `--resume` is a flag for fleet, even when other flags
+        // follow it.
+        match parse_args(&argv(
+            "fleet --resume --manifest b.txt --plan-dir plans --ndjson prog.ndjson",
+        ))
+        .unwrap()
+        {
+            Command::Fleet(a) => {
+                assert!(a.resume);
+                assert_eq!(a.ndjson.as_deref(), Some("prog.ndjson"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // `plan --resume FILE` still takes its checkpoint argument.
+        match parse_args(&argv("plan --design d695 --resume old.plan")).unwrap() {
+            Command::Plan(a) => assert_eq!(a.resume.as_deref(), Some("old.plan")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Misuse is caught, not silently reinterpreted.
+        assert!(
+            parse_args(&argv("fleet --manifest b.txt --resume plans")).is_err(),
+            "fleet --resume takes no value"
+        );
+        assert!(
+            parse_args(&argv("fleet --manifest b.txt --resume")).is_err(),
+            "fleet --resume needs --plan-dir"
+        );
+        assert!(
+            parse_args(&argv("plan --design d695 --resume")).is_err(),
+            "plan --resume needs a file"
+        );
+    }
+
+    #[test]
+    fn fleet_resume_skips_written_plans_and_streams_ndjson() {
+        let dir = std::env::temp_dir().join(format!("soctdc-fleet-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("batch.txt");
+        std::fs::write(&manifest, "design d695 widths=10,12 sample=4 mcand=4\n").unwrap();
+        let plans = dir.join("plans");
+        let ndjson = dir.join("progress.ndjson");
+
+        // Cold run writes the plan files.
+        let cold = parse_args(&argv(&format!(
+            "fleet --manifest {} --workers 1 --plan-dir {}",
+            manifest.display(),
+            plans.display()
+        )))
+        .unwrap();
+        run(&cold, &mut Vec::new()).unwrap();
+
+        // Warm run resumes both and streams NDJSON progress.
+        let warm = parse_args(&argv(&format!(
+            "fleet --resume --manifest {} --workers 1 --plan-dir {} --ndjson {}",
+            manifest.display(),
+            plans.display(),
+            ndjson.display()
+        )))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&warm, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("2 instances, 2 planned, 0 failed, 2 resumed"),
+            "{text}"
+        );
+        assert!(text.contains("0 plan files written"), "{text}");
+        assert!(text.contains("(2 resumed in place)"), "{text}");
+
+        let stream = std::fs::read_to_string(&ndjson).unwrap();
+        let lines: Vec<&str> = stream.lines().collect();
+        assert_eq!(lines.len(), 2, "{stream}");
+        for line in lines {
+            assert!(line.starts_with("{\"id\":\"d695-w1"), "{line}");
+            assert!(line.contains("\"outcome\":\"resumed\""), "{line}");
+            assert!(line.contains("\"test_time\":"), "{line}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
