@@ -13,11 +13,11 @@
 use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 // soclint: allow(wall-clock) -- fleet latency/throughput reporting only; no plan content derives from time
 use std::time::Instant;
 
-use parpool::{split_budget, Pool};
+use parpool::{dsan, split_budget, Pool};
 use robust::{BoundedCache, CacheLimits, CacheStats};
 use soc_model::benchmarks::Design;
 use soc_model::{format::parse_soc, generator::synthesize_missing_test_sets, itc02, Soc};
@@ -132,12 +132,16 @@ pub struct FleetSummary {
     pub outcomes: BTreeMap<String, usize>,
     /// Total wall-clock seconds for the batch.
     pub elapsed_s: f64,
-    /// Successfully planned designs per second.
+    /// Freshly planned designs per second. Resumed instances are
+    /// excluded: they skipped planning entirely, so counting them would
+    /// inflate throughput.
     pub designs_per_sec: f64,
     /// Median per-design plan latency (nearest rank over sorted
-    /// latencies — deterministic given the latency multiset).
+    /// latencies — deterministic given the latency multiset). Resumed
+    /// instances contribute no latency sample; planned and failed do.
     pub p50_ms: f64,
-    /// 99th-percentile per-design plan latency (nearest rank).
+    /// 99th-percentile per-design plan latency (nearest rank, same
+    /// sample set as `p50_ms`).
     pub p99_ms: f64,
     /// Rolled-up [`PlanStats`] across every instance: profile-cache
     /// hits/misses/evictions, memo-cache counters, verification totals.
@@ -240,7 +244,13 @@ pub fn run_fleet_with(manifest: &Manifest, opts: &FleetOptions, hooks: &FleetHoo
     };
     let (outer, inner) = split_budget(budget, manifest.len());
 
-    let socs: Mutex<BoundedCache<SocKey, Arc<Soc>>> = Mutex::new(BoundedCache::new(opts.soc_cache));
+    // Advisory dsan shadow: outer jobs race on this cache by design, and
+    // a hit is equivalent to a rebuild (the transparency argument below).
+    let socs: dsan::Cell<BoundedCache<SocKey, Arc<Soc>>> = dsan::Cell::new(
+        "fleet.soc-cache",
+        dsan::Policy::Advisory,
+        BoundedCache::new(opts.soc_cache),
+    );
     let tasks: Vec<_> = manifest
         .instances
         .iter()
@@ -255,10 +265,10 @@ pub fn run_fleet_with(manifest: &Manifest, opts: &FleetOptions, hooks: &FleetHoo
             }
         })
         .collect();
-    let instances = Pool::with_workers(outer).run(tasks);
+    let instances = Pool::with_workers(outer).labeled("fleet").run(tasks);
 
     let elapsed_s = t0.elapsed().as_secs_f64();
-    let soc_cache = socs.lock().map(|cache| cache.stats()).unwrap_or_default();
+    let soc_cache = socs.read(|cache| cache.stats());
     let summary = summarize(&instances, elapsed_s, soc_cache, outer, inner, budget);
     FleetReport { instances, summary }
 }
@@ -280,19 +290,24 @@ fn summarize(
     for report in instances {
         *outcomes.entry(report.outcome.keyword()).or_default() += 1;
         stats.absorb(&report.stats);
-        latencies.push(report.latency_ms);
         match report.outcome {
-            InstanceOutcome::Planned(_) => planned += 1,
+            InstanceOutcome::Planned(_) => {
+                planned += 1;
+                latencies.push(report.latency_ms);
+            }
             InstanceOutcome::Resumed => {
+                // A resumed instance only read a plan file back; counting
+                // its (near-zero) latency would sink p50/p99, and counting
+                // it as planning throughput would inflate designs/s.
                 planned += 1;
                 resumed += 1;
             }
-            InstanceOutcome::Failed(_) => {}
+            InstanceOutcome::Failed(_) => latencies.push(report.latency_ms),
         }
     }
     latencies.sort_by(f64::total_cmp);
     let designs_per_sec = if elapsed_s > 0.0 {
-        to_f64(planned) / elapsed_s
+        to_f64(planned - resumed) / elapsed_s
     } else {
         0.0
     };
@@ -337,7 +352,7 @@ fn plan_instance(
     inst: &Instance,
     inner: usize,
     opts: &FleetOptions,
-    socs: &Mutex<BoundedCache<SocKey, Arc<Soc>>>,
+    socs: &dsan::Cell<BoundedCache<SocKey, Arc<Soc>>>,
 ) -> InstanceReport {
     // soclint: allow(wall-clock) -- per-design latency reporting only
     #[allow(clippy::disallowed_methods)]
@@ -451,15 +466,13 @@ fn json_escape(s: &str) -> String {
 /// or an eviction-forced rebuild all yield the identical SOC — racing
 /// workers can at worst build the same SOC twice.
 fn shared_soc(
-    socs: &Mutex<BoundedCache<SocKey, Arc<Soc>>>,
+    socs: &dsan::Cell<BoundedCache<SocKey, Arc<Soc>>>,
     inst: &Instance,
 ) -> Result<Arc<Soc>, String> {
     let key: SocKey = (inst.source.clone(), inst.seed, inst.density.to_bits());
     // soclint: allow(capture-mut) -- LRU bookkeeping only: a hit returns exactly what a rebuild would, so lock interleaving never reaches plan content
-    if let Ok(mut cache) = socs.lock() {
-        if let Some(soc) = cache.get(&key) {
-            return Ok(Arc::clone(soc));
-        }
+    if let Some(soc) = socs.write(|cache| cache.get(&key).map(Arc::clone)) {
+        return Ok(soc);
     }
     let soc = Arc::new(build_soc(inst)?);
     // Weight ≈ the dominant allocation: the synthesized test cubes.
@@ -467,9 +480,7 @@ fn shared_soc(
         .unwrap_or(usize::MAX)
         .saturating_add(4096);
     // soclint: allow(capture-mut) -- same transparency argument as the lookup above
-    if let Ok(mut cache) = socs.lock() {
-        cache.insert(key, Arc::clone(&soc), weight);
-    }
+    socs.write(|cache| cache.insert(key, Arc::clone(&soc), weight));
     Ok(soc)
 }
 
@@ -688,5 +699,30 @@ mod tests {
         assert_eq!(s.designs_per_sec, 0.5);
         assert_eq!(s.p50_ms, 30.0, "nearest rank of [10, 30] at 50%");
         assert_eq!(s.p99_ms, 30.0);
+    }
+
+    #[test]
+    fn resumed_instances_skew_neither_latency_nor_throughput() {
+        // Two real plans (100 ms, 300 ms) plus two --resume skips whose
+        // "latency" is just the file round-trip. The skips must not drag
+        // the percentiles toward zero or double the reported throughput.
+        let report = |outcome, latency_ms| InstanceReport {
+            id: "x".into(),
+            outcome,
+            latency_ms,
+            stats: PlanStats::default(),
+            plan: None,
+        };
+        let reports = vec![
+            report(InstanceOutcome::Planned(PlanOutcome::Optimal), 100.0),
+            report(InstanceOutcome::Resumed, 0.01),
+            report(InstanceOutcome::Resumed, 0.02),
+            report(InstanceOutcome::Planned(PlanOutcome::Optimal), 300.0),
+        ];
+        let s = summarize(&reports, 2.0, CacheStats::default(), 2, 1, 2);
+        assert_eq!((s.planned, s.resumed, s.failed), (4, 2, 0));
+        assert_eq!(s.designs_per_sec, 1.0, "two fresh plans in 2 s");
+        assert_eq!(s.p50_ms, 300.0, "nearest rank of [100, 300] at 50%");
+        assert_eq!(s.p99_ms, 300.0, "resumed skips are not latency samples");
     }
 }

@@ -1,0 +1,662 @@
+//! `dsan` — a happens-before determinism sanitizer for pool jobs.
+//!
+//! The workspace's central guarantee is that every parallel phase is
+//! bit-identical at any worker count. soclint's capture rules certify that
+//! *syntactically*; `dsan` is the dynamic complement: it observes a real
+//! execution and proves (or refutes) that the happens-before structure is
+//! order-insensitive.
+//!
+//! # Model
+//!
+//! Orderedness is **structural**, not scheduler-observed: two jobs of the
+//! same [`Pool`](crate::Pool) run are mutually unordered *by construction*,
+//! whatever interleaving the OS happened to pick — even at one worker,
+//! where they in fact ran sequentially. Each context (the spawning caller,
+//! every job) carries a vector clock:
+//!
+//! * **spawn** — a job's clock starts as the caller's snapshot plus one
+//!   tick of the job's own component, so caller work *before* the run
+//!   happens-before every job;
+//! * **steal/recv** — claiming a task installs its context on the worker
+//!   thread, so nested runs inherit the enclosing job's clock and chain;
+//! * **merge** — collecting results joins every finished job's final clock
+//!   back into the caller, so jobs happen-before caller work *after* the
+//!   run.
+//!
+//! Sibling jobs never see each other's components — any conflicting pair
+//! of accesses from two siblings is unordered, and that verdict is
+//! independent of worker count. Reports are therefore byte-identical
+//! across runs and worker counts.
+//!
+//! # Shadowed state
+//!
+//! Shared state touched from pool jobs is declared through the
+//! instrumented accessors: [`Shadow`] (record-only handle), [`Cell`]
+//! (mutex-protected value), and [`AtomicCell`] (a shadowed `AtomicU64`).
+//! Every access records `(access kind, spawn chain, clock)` into a
+//! bounded shadow log; unordered conflicting pairs on a
+//! [`Policy::Checked`] cell become races. [`Policy::Advisory`] marks cells
+//! that are racy *by design* with an interleaving-independent outcome
+//! (e.g. a monotone pruning bound): their accesses are logged for
+//! coverage but never reported.
+//!
+//! # Cost
+//!
+//! Disabled (the default), every entry point is one relaxed atomic load.
+//! Enable with `SOCTDC_DSAN=1`, the `dsan` cargo feature, or
+//! [`set_enabled`].
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Per `(location, chain, kind)` cap on logged accesses. Per-chain program
+/// order is deterministic, so the kept prefix — and with it the report —
+/// does not depend on how chains interleave in real time.
+const PER_CHAIN_CAP: usize = 8;
+
+const UNKNOWN: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+
+static ENABLED: AtomicU8 = AtomicU8::new(UNKNOWN);
+static NEXT_CLOCK_ID: AtomicU32 = AtomicU32::new(0);
+static NEXT_SHADOW_ID: AtomicU64 = AtomicU64::new(0);
+
+/// True when the sanitizer is active for this process.
+///
+/// Resolved once from the `dsan` cargo feature or the `SOCTDC_DSAN=1`
+/// environment variable, then cached; [`set_enabled`] overrides either
+/// way.
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::SeqCst) {
+        ON => true,
+        OFF => false,
+        _ => {
+            let on =
+                cfg!(feature = "dsan") || std::env::var_os("SOCTDC_DSAN").is_some_and(|v| v == "1");
+            ENABLED.store(if on { ON } else { OFF }, Ordering::SeqCst);
+            on
+        }
+    }
+}
+
+/// Forces the sanitizer on or off, overriding feature and environment
+/// (used by test harnesses and the CLI).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { ON } else { OFF }, Ordering::SeqCst);
+}
+
+// --- Vector clocks ------------------------------------------------------
+
+/// A vector clock: sorted `(component id, count)` pairs; absent ids read
+/// as zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct VClock(Vec<(u32, u64)>);
+
+impl VClock {
+    fn get(&self, id: u32) -> u64 {
+        self.0
+            .binary_search_by_key(&id, |e| e.0)
+            .map(|i| self.0[i].1)
+            .unwrap_or(0)
+    }
+
+    fn tick(&mut self, id: u32) {
+        match self.0.binary_search_by_key(&id, |e| e.0) {
+            Ok(i) => self.0[i].1 += 1,
+            Err(i) => self.0.insert(i, (id, 1)),
+        }
+    }
+
+    fn join(&mut self, other: &VClock) {
+        for &(id, c) in &other.0 {
+            match self.0.binary_search_by_key(&id, |e| e.0) {
+                Ok(i) => self.0[i].1 = self.0[i].1.max(c),
+                Err(i) => self.0.insert(i, (id, c)),
+            }
+        }
+    }
+
+    /// `self` happens-before-or-equals `other`.
+    fn leq(&self, other: &VClock) -> bool {
+        self.0.iter().all(|&(id, c)| c <= other.get(id))
+    }
+
+    fn concurrent(a: &VClock, b: &VClock) -> bool {
+        !a.leq(b) && !b.leq(a)
+    }
+}
+
+// --- Spawn chains and contexts ------------------------------------------
+
+/// One link of a spawn chain: `portfolio[3]` whose parent might be
+/// `fleet[0]` whose parent is the root `main`.
+#[derive(Debug)]
+struct Chain {
+    label: String,
+    parent: Option<Arc<Chain>>,
+}
+
+impl Chain {
+    /// Renders `label ← via parent ← via … ← via main`.
+    fn render(&self) -> String {
+        let mut out = self.label.clone();
+        let mut cur = &self.parent;
+        while let Some(p) = cur {
+            out.push_str(" \u{2190} via ");
+            out.push_str(&p.label);
+            cur = &p.parent;
+        }
+        out
+    }
+}
+
+/// The context a thread currently executes under: its clock component id,
+/// spawn chain, and vector clock.
+struct Ctx {
+    id: u32,
+    chain: Arc<Chain>,
+    clock: VClock,
+}
+
+impl Ctx {
+    /// A fresh root context (`main`) for a thread that spawns pool runs
+    /// without itself being a pool job.
+    fn root() -> Ctx {
+        let id = NEXT_CLOCK_ID.fetch_add(1, Ordering::SeqCst);
+        let mut clock = VClock::default();
+        clock.tick(id);
+        Ctx {
+            id,
+            chain: Arc::new(Chain {
+                label: "main".to_string(),
+                parent: None,
+            }),
+            clock,
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` on the current context, installing a root context first if
+/// the thread has none.
+fn with_ctx<R>(f: impl FnOnce(&mut Ctx) -> R) -> R {
+    CURRENT.with(|cell| {
+        let mut cur = cell.borrow_mut();
+        f(cur.get_or_insert_with(Ctx::root))
+    })
+}
+
+// --- Run scopes: the spawn / steal / merge edges ------------------------
+
+/// Instrumentation handle for one pool run: one slot per job, created on
+/// the spawning thread ([`RunScope::enter`]), installed on whichever
+/// worker claims the job ([`job_enter`]), and joined back into the caller
+/// when results are merged ([`RunScope::merge`]).
+pub struct RunScope {
+    jobs: Vec<JobSlot>,
+}
+
+struct JobSlot {
+    id: u32,
+    chain: Arc<Chain>,
+    start: VClock,
+    done: Mutex<Option<VClock>>,
+}
+
+impl RunScope {
+    /// Opens a scope for `n` jobs labeled `label[i]`, children of the
+    /// calling context (the **spawn** edge). Returns `None` when the
+    /// sanitizer is disabled — the pool's only per-run cost in that case.
+    pub fn enter(label: &str, n: usize) -> Option<RunScope> {
+        if !enabled() {
+            return None;
+        }
+        let (parent, snapshot) = with_ctx(|ctx| (ctx.chain.clone(), ctx.clock.clone()));
+        let jobs = (0..n)
+            .map(|i| {
+                let id = NEXT_CLOCK_ID.fetch_add(1, Ordering::SeqCst);
+                let mut start = snapshot.clone();
+                start.tick(id);
+                JobSlot {
+                    id,
+                    chain: Arc::new(Chain {
+                        label: format!("{label}[{i}]"),
+                        parent: Some(parent.clone()),
+                    }),
+                    start,
+                    done: Mutex::new(None),
+                }
+            })
+            .collect();
+        Some(RunScope { jobs })
+    }
+
+    /// Joins every finished job's final clock back into the calling
+    /// context (the **merge** edge). Call on the spawning thread once all
+    /// results are collected; jobs that never ran (cancellation) are
+    /// skipped.
+    pub fn merge(self) {
+        with_ctx(|ctx| {
+            for slot in &self.jobs {
+                if let Some(done) = slot
+                    .done
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                {
+                    ctx.clock.join(&done);
+                }
+            }
+            let id = ctx.id;
+            ctx.clock.tick(id);
+        });
+    }
+}
+
+/// Installs job `i`'s context on the current thread (the **steal/recv**
+/// edge). The returned guard captures the job's final clock and restores
+/// the previous context when dropped — including on panic, so a panicking
+/// job cannot leak its context onto the worker.
+pub fn job_enter(scope: Option<&RunScope>, i: usize) -> Option<JobGuard<'_>> {
+    let scope = scope?;
+    let slot = &scope.jobs[i];
+    let prev = CURRENT.with(|cell| {
+        cell.borrow_mut().replace(Ctx {
+            id: slot.id,
+            chain: slot.chain.clone(),
+            clock: slot.start.clone(),
+        })
+    });
+    Some(JobGuard { slot, prev })
+}
+
+/// Guard returned by [`job_enter`]; see there.
+pub struct JobGuard<'a> {
+    slot: &'a JobSlot,
+    prev: Option<Ctx>,
+}
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        let finished = CURRENT.with(|cell| cell.borrow_mut().take());
+        if let Some(ctx) = finished {
+            *self
+                .slot
+                .done
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some(ctx.clock);
+        }
+        if let Some(prev) = self.prev.take() {
+            CURRENT.with(|cell| *cell.borrow_mut() = Some(prev));
+        }
+    }
+}
+
+// --- Shadowed cells -----------------------------------------------------
+
+/// How a shadowed cell participates in race detection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Unordered conflicting accesses are reported as races.
+    Checked,
+    /// Accesses are logged for coverage but never reported: the cell is
+    /// racy by design with an interleaving-independent outcome (e.g. a
+    /// monotone pruning bound, or a cache where a hit is equivalent to a
+    /// rebuild).
+    Advisory,
+}
+
+/// Access-tracking handle for one piece of shared state. Cheap to create;
+/// each instance owns a distinct shadow log (so equal names in unrelated
+/// runs — e.g. parallel tests — never cross-talk), and the log is
+/// released when the `Shadow` drops.
+#[derive(Debug)]
+pub struct Shadow {
+    id: u64,
+    name: String,
+    policy: Policy,
+}
+
+impl Shadow {
+    /// A new shadow named `name` (the location rendered in reports).
+    pub fn new(name: impl Into<String>, policy: Policy) -> Shadow {
+        Shadow {
+            id: NEXT_SHADOW_ID.fetch_add(1, Ordering::SeqCst),
+            name: name.into(),
+            policy,
+        }
+    }
+
+    /// The location name rendered in reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records a read of the shadowed state by the current context.
+    pub fn record_read(&self) {
+        record(self, AccessKind::Read);
+    }
+
+    /// Records a write of the shadowed state by the current context.
+    pub fn record_write(&self) {
+        record(self, AccessKind::Write);
+    }
+}
+
+impl Drop for Shadow {
+    fn drop(&mut self) {
+        if !enabled() {
+            return;
+        }
+        // Races were extracted at record time; the raw log can go.
+        if let Ok(mut reg) = registry().lock() {
+            reg.logs.remove(&self.id);
+        }
+    }
+}
+
+/// A mutex-protected value whose accesses flow through the shadow log:
+/// the instrumented replacement for a bare `Mutex<T>` shared across pool
+/// jobs.
+#[derive(Debug)]
+pub struct Cell<T> {
+    shadow: Shadow,
+    inner: Mutex<T>,
+}
+
+impl<T> Cell<T> {
+    /// Wraps `value` under a shadow named `name`.
+    pub fn new(name: impl Into<String>, policy: Policy, value: T) -> Cell<T> {
+        Cell {
+            shadow: Shadow::new(name, policy),
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Runs `f` on a shared view of the value, recording a read.
+    pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.shadow.record_read();
+        f(&self.inner.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Runs `f` on an exclusive view of the value, recording a write.
+    pub fn write<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.shadow.record_write();
+        f(&mut self.inner.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+/// A shadowed `AtomicU64`: the instrumented replacement for bare atomics
+/// shared across pool jobs (incumbents, counters). Orderings are the
+/// caller's to choose, exactly as on `AtomicU64`.
+#[derive(Debug)]
+pub struct AtomicCell {
+    shadow: Shadow,
+    value: AtomicU64,
+}
+
+impl AtomicCell {
+    /// Wraps `value` under a shadow named `name`.
+    pub fn new(name: impl Into<String>, policy: Policy, value: u64) -> AtomicCell {
+        AtomicCell {
+            shadow: Shadow::new(name, policy),
+            value: AtomicU64::new(value),
+        }
+    }
+
+    /// Shadowed `AtomicU64::load`.
+    pub fn load(&self, order: Ordering) -> u64 {
+        self.shadow.record_read();
+        self.value.load(order)
+    }
+
+    /// Shadowed `AtomicU64::store`.
+    pub fn store(&self, v: u64, order: Ordering) {
+        self.shadow.record_write();
+        self.value.store(v, order);
+    }
+
+    /// Shadowed `AtomicU64::fetch_min`; counts as a write.
+    pub fn fetch_min(&self, v: u64, order: Ordering) -> u64 {
+        self.shadow.record_write();
+        self.value.fetch_min(v, order)
+    }
+
+    /// Shadowed `AtomicU64::fetch_max`; counts as a write.
+    pub fn fetch_max(&self, v: u64, order: Ordering) -> u64 {
+        self.shadow.record_write();
+        self.value.fetch_max(v, order)
+    }
+}
+
+// --- The shadow log and race detection ----------------------------------
+
+/// Read or write; two accesses conflict when at least one is a write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AccessKind {
+    /// A shared (read) access.
+    Read,
+    /// An exclusive (write) access.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        })
+    }
+}
+
+/// One side of a race: the access kind plus the rendered spawn chain of
+/// the job that performed it.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AccessDesc {
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Spawn chain, rendered `label[i] ← via parent ← via main`.
+    pub chain: String,
+}
+
+/// One pair of unordered conflicting accesses to the same shadowed
+/// location. The pair is stored in sorted order so reports are
+/// byte-identical whichever access was recorded first.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Race {
+    /// The shadowed location's name.
+    pub location: String,
+    /// The lexicographically smaller access of the pair.
+    pub first: AccessDesc,
+    /// The other access.
+    pub second: AccessDesc,
+}
+
+struct Access {
+    kind: AccessKind,
+    chain: String,
+    clock: VClock,
+}
+
+struct CellLog {
+    name: String,
+    policy: Policy,
+    accesses: Vec<Access>,
+}
+
+#[derive(Default)]
+struct Registry {
+    /// Shadow instance id → its bounded access log.
+    logs: BTreeMap<u64, CellLog>,
+    /// Races found so far; a set keyed on rendered chains, so duplicate
+    /// access pairs from the same job pair collapse.
+    races: BTreeSet<Race>,
+    /// Accesses beyond [`PER_CHAIN_CAP`] that were checked but not kept.
+    dropped: u64,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn record(shadow: &Shadow, kind: AccessKind) {
+    if !enabled() {
+        return;
+    }
+    let (chain, clock) = with_ctx(|ctx| (ctx.chain.render(), ctx.clock.clone()));
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    let reg = &mut *reg;
+    let log = reg.logs.entry(shadow.id).or_insert_with(|| CellLog {
+        name: shadow.name.clone(),
+        policy: shadow.policy,
+        accesses: Vec::new(),
+    });
+    if log.policy == Policy::Checked {
+        for prior in &log.accesses {
+            let conflict = kind == AccessKind::Write || prior.kind == AccessKind::Write;
+            if conflict && VClock::concurrent(&prior.clock, &clock) {
+                let a = AccessDesc {
+                    kind: prior.kind,
+                    chain: prior.chain.clone(),
+                };
+                let b = AccessDesc {
+                    kind,
+                    chain: chain.clone(),
+                };
+                let (first, second) = if a <= b { (a, b) } else { (b, a) };
+                reg.races.insert(Race {
+                    location: log.name.clone(),
+                    first,
+                    second,
+                });
+            }
+        }
+    }
+    // Bound the log: keep the first PER_CHAIN_CAP accesses per
+    // (chain, kind). Later accesses are still checked (above) against
+    // everything kept, so a dropped access can reveal a race — only a
+    // race *among* dropped accesses of two long chains can be missed.
+    let kept = log
+        .accesses
+        .iter()
+        .filter(|a| a.kind == kind && a.chain == chain)
+        .count();
+    if kept < PER_CHAIN_CAP {
+        log.accesses.push(Access { kind, chain, clock });
+    } else {
+        reg.dropped += 1;
+    }
+}
+
+// --- Reports ------------------------------------------------------------
+
+/// Everything dsan found, drained by [`take_report`]. The `Display`
+/// rendering is deterministically sorted (location, then both chains) and
+/// byte-identical across runs and worker counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Unordered conflicting access pairs, sorted.
+    pub races: Vec<Race>,
+    /// Accesses beyond the shadow-log bound (checked but not kept).
+    pub dropped: u64,
+}
+
+impl Report {
+    /// True when no races were recorded.
+    pub fn is_clean(&self) -> bool {
+        self.races.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.races.is_empty() {
+            writeln!(f, "dsan: clean")?;
+        } else {
+            writeln!(
+                f,
+                "dsan: {} unordered conflicting access pair(s)",
+                self.races.len()
+            )?;
+            for r in &self.races {
+                writeln!(f, "race on `{}`:", r.location)?;
+                writeln!(f, "  {} by {}", r.first.kind, r.first.chain)?;
+                writeln!(f, "  {} by {}", r.second.kind, r.second.chain)?;
+            }
+        }
+        if self.dropped > 0 {
+            writeln!(
+                f,
+                "dsan: {} access(es) beyond the shadow-log bound",
+                self.dropped
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Drains the recorded races and drop counter into a [`Report`], leaving
+/// the registry empty (so sequential harness phases report independently).
+pub fn take_report() -> Report {
+    if !enabled() {
+        return Report::default();
+    }
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    Report {
+        races: std::mem::take(&mut reg.races).into_iter().collect(),
+        dropped: std::mem::take(&mut reg.dropped),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vclock_tick_join_leq() {
+        let mut a = VClock::default();
+        a.tick(1);
+        a.tick(1);
+        let mut b = a.clone();
+        b.tick(2);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        let mut c = a.clone();
+        c.tick(3);
+        assert!(VClock::concurrent(&b, &c));
+        b.join(&c);
+        assert!(c.leq(&b) && a.leq(&b));
+        assert_eq!(b.get(1), 2);
+        assert_eq!(b.get(2), 1);
+        assert_eq!(b.get(3), 1);
+        assert_eq!(b.get(9), 0);
+    }
+
+    #[test]
+    fn chain_renders_via_arrows() {
+        let main = Arc::new(Chain {
+            label: "main".into(),
+            parent: None,
+        });
+        let outer = Arc::new(Chain {
+            label: "fleet[0]".into(),
+            parent: Some(main),
+        });
+        let inner = Chain {
+            label: "tables[3]".into(),
+            parent: Some(outer),
+        };
+        assert_eq!(
+            inner.render(),
+            "tables[3] \u{2190} via fleet[0] \u{2190} via main"
+        );
+    }
+}

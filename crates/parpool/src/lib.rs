@@ -31,6 +31,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod dsan;
+
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -45,6 +47,7 @@ use robust::CancelToken;
 #[derive(Debug, Clone)]
 pub struct Pool {
     workers: usize,
+    label: &'static str,
 }
 
 impl Default for Pool {
@@ -68,7 +71,16 @@ impl Pool {
     pub fn with_workers(workers: usize) -> Self {
         Pool {
             workers: workers.max(1),
+            label: "pool",
         }
+    }
+
+    /// Names this pool's runs in [`dsan`] spawn chains: job `i` of a run
+    /// renders as `label[i]`. Purely diagnostic — scheduling is
+    /// unaffected, and without the sanitizer the label is never read.
+    pub fn labeled(mut self, label: &'static str) -> Self {
+        self.label = label;
+        self
     }
 
     /// The worker count.
@@ -106,12 +118,27 @@ impl Pool {
     {
         let n = tasks.len();
         let workers = self.workers.min(n);
+        // One atomic load when the sanitizer is off; a per-job clock/chain
+        // slot when it is on.
+        let sanitizer = dsan::RunScope::enter(self.label, n);
         if workers <= 1 {
-            // Inline fast path: no queue, no threads, same semantics.
-            return tasks
+            // Inline fast path: no queue, no threads, same semantics. The
+            // sanitizer still swaps job contexts in and out so races are
+            // detected structurally even in a sequential execution.
+            let out = tasks
                 .into_iter()
-                .map(|task| (!token.is_cancelled()).then(task))
+                .enumerate()
+                .map(|(i, task)| {
+                    (!token.is_cancelled()).then(|| {
+                        let _job = dsan::job_enter(sanitizer.as_ref(), i);
+                        task()
+                    })
+                })
                 .collect();
+            if let Some(scope) = sanitizer {
+                scope.merge();
+            }
+            return out;
         }
 
         let queue: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
@@ -122,23 +149,29 @@ impl Pool {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let (queue, results, next) = (&queue, &results, &next);
+                    let sanitizer = sanitizer.as_ref();
                     scope.spawn(move || loop {
                         if token.is_cancelled() {
                             break;
                         }
-                        // soclint: allow(capture-mut, relaxed-ordering) -- the ticket counter only decides which worker *claims* task i; every result lands in its own index slot, so the returned Vec is task-ordered for any claim order
+                        // soclint: allow(capture-mut, relaxed-ordering, dsan-escape) -- the ticket counter only decides which worker *claims* task i; every result lands in its own index slot, so the returned Vec is task-ordered for any claim order
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        // soclint: allow(capture-mut) -- per-index slot, taken exactly once by the claiming worker; no two workers touch the same slot
+                        // soclint: allow(capture-mut, dsan-escape) -- per-index slot, taken exactly once by the claiming worker; no two workers touch the same slot
                         let task = queue[i]
                             .lock()
                             .expect("task slot poisoned")
                             .take()
                             .expect("task claimed twice");
+                        // Steal edge: run the job under its own context;
+                        // the guard restores the worker's on the way out,
+                        // panic included.
+                        let job = dsan::job_enter(sanitizer, i);
                         let result = task();
-                        // soclint: allow(capture-mut) -- write-once into the claimed index's own slot; the pool is exactly the sanctioned reduce-by-job-index mechanism this rule steers users toward
+                        drop(job);
+                        // soclint: allow(capture-mut, dsan-escape) -- write-once into the claimed index's own slot; the pool is exactly the sanctioned reduce-by-job-index mechanism this rule steers users toward
                         *results[i].lock().expect("result slot poisoned") = Some(result);
                     })
                 })
@@ -150,6 +183,9 @@ impl Pool {
                 }
             }
         });
+        if let Some(scope) = sanitizer {
+            scope.merge();
+        }
 
         results
             .into_iter()

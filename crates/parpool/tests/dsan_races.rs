@@ -1,0 +1,239 @@
+//! Injected-race fixtures for the determinism sanitizer: every test
+//! builds a pool whose jobs touch shared state in a deliberately
+//! conflicting (or deliberately ordered) pattern and asserts the exact
+//! report — including the dual `← via` steal chains — dsan renders.
+//!
+//! The sanitizer's registry is process-global, so the tests serialize on
+//! one mutex and drain the report before each scenario.
+
+#![forbid(unsafe_code)]
+
+use std::sync::{Mutex, MutexGuard};
+
+use parpool::dsan::{self, Policy};
+use parpool::Pool;
+use robust::CancelToken;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Enables the sanitizer, serializes the test, and drains any prior
+/// report so each scenario starts from a clean registry.
+fn exclusive() -> MutexGuard<'static, ()> {
+    let guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    dsan::set_enabled(true);
+    let _ = dsan::take_report();
+    guard
+}
+
+#[test]
+fn sibling_writes_render_a_dual_chain_race() {
+    let _g = exclusive();
+    let cell = dsan::Shadow::new("fixture.counter", Policy::Checked);
+    let cref = &cell;
+    let tasks: Vec<_> = (0..2).map(|_| move || cref.record_write()).collect();
+    Pool::with_workers(2).labeled("racer").run(tasks);
+    let report = dsan::take_report();
+    assert_eq!(report.races.len(), 1, "{report}");
+    assert_eq!(report.races[0].location, "fixture.counter");
+    assert_eq!(report.races[0].first.chain, "racer[0] ← via main");
+    assert_eq!(report.races[0].second.chain, "racer[1] ← via main");
+    assert_eq!(
+        report.to_string(),
+        "dsan: 1 unordered conflicting access pair(s)\n\
+         race on `fixture.counter`:\n\
+         \u{20}\u{20}write by racer[0] ← via main\n\
+         \u{20}\u{20}write by racer[1] ← via main\n"
+    );
+}
+
+#[test]
+fn read_write_conflicts_are_races_but_read_read_is_not() {
+    let _g = exclusive();
+    let cell = dsan::Shadow::new("fixture.mixed", Policy::Checked);
+    let cref = &cell;
+    let tasks: Vec<_> = (0..2)
+        .map(|i| {
+            move || {
+                if i == 0 {
+                    cref.record_read();
+                } else {
+                    cref.record_write();
+                }
+            }
+        })
+        .collect();
+    Pool::with_workers(2).labeled("mixed").run(tasks);
+    let report = dsan::take_report();
+    assert_eq!(report.races.len(), 1, "{report}");
+    assert_eq!(report.races[0].first.chain, "mixed[0] ← via main");
+    assert_eq!(report.races[0].second.chain, "mixed[1] ← via main");
+
+    let reads = dsan::Shadow::new("fixture.reads", Policy::Checked);
+    let rref = &reads;
+    let tasks: Vec<_> = (0..4).map(|_| move || rref.record_read()).collect();
+    Pool::with_workers(2).labeled("reader").run(tasks);
+    assert!(dsan::take_report().is_clean(), "read-read never conflicts");
+}
+
+#[test]
+fn spawn_and_merge_edges_order_caller_accesses() {
+    let _g = exclusive();
+    let cell = dsan::Shadow::new("fixture.ordered", Policy::Checked);
+    cell.record_write(); // before spawn: happens-before every job
+    let cref = &cell;
+    let tasks: Vec<_> = (0..3)
+        .map(|i| {
+            move || {
+                i == 0 && {
+                    cref.record_read();
+                    true
+                }
+            }
+        })
+        .collect();
+    Pool::with_workers(2).labeled("stage").run(tasks);
+    cell.record_write(); // after merge: every job happens-before this
+    let report = dsan::take_report();
+    assert!(
+        report.is_clean(),
+        "structural edges order the caller: {report}"
+    );
+}
+
+#[test]
+fn nested_runs_render_both_levels_of_the_steal_chain() {
+    let _g = exclusive();
+    let cell = dsan::Shadow::new("fixture.nested", Policy::Checked);
+    let cref = &cell;
+    let outer: Vec<_> = (0..2)
+        .map(|_| {
+            move || {
+                let inner: Vec<_> = (0..1).map(|_| move || cref.record_write()).collect();
+                Pool::with_workers(2).labeled("inner").run(inner);
+            }
+        })
+        .collect();
+    Pool::with_workers(2).labeled("outer").run(outer);
+    let report = dsan::take_report();
+    assert_eq!(report.races.len(), 1, "{report}");
+    assert_eq!(
+        report.races[0].first.chain,
+        "inner[0] ← via outer[0] ← via main"
+    );
+    assert_eq!(
+        report.races[0].second.chain,
+        "inner[0] ← via outer[1] ← via main"
+    );
+}
+
+#[test]
+fn reports_are_byte_identical_at_workers_1_2_4() {
+    let _g = exclusive();
+    let scenario = |workers: usize| {
+        let cell = dsan::Shadow::new("fixture.sweep", Policy::Checked);
+        let cref = &cell;
+        let tasks: Vec<_> = (0..4).map(|_| move || cref.record_write()).collect();
+        Pool::with_workers(workers).labeled("job").run(tasks);
+        dsan::take_report().to_string()
+    };
+    let reports: Vec<String> = [1, 2, 4].into_iter().map(scenario).collect();
+    assert_eq!(reports[0], reports[1]);
+    assert_eq!(reports[1], reports[2]);
+    // 4 mutually unordered writers: all 6 pairs, every one dual-chained.
+    assert!(reports[0].starts_with("dsan: 6 unordered conflicting access pair(s)\n"));
+    assert_eq!(reports[0].matches("← via main").count(), 12);
+}
+
+#[test]
+fn advisory_cells_are_logged_but_never_reported() {
+    let _g = exclusive();
+    let bound = dsan::AtomicCell::new("fixture.incumbent", Policy::Advisory, u64::MAX);
+    let bref = &bound;
+    let tasks: Vec<_> = (0..4)
+        .map(|i| move || bref.fetch_min(i, std::sync::atomic::Ordering::SeqCst))
+        .collect();
+    Pool::with_workers(2).labeled("prune").run(tasks);
+    assert_eq!(bound.load(std::sync::atomic::Ordering::SeqCst), 0);
+    assert!(
+        dsan::take_report().is_clean(),
+        "advisory policy never races"
+    );
+}
+
+#[test]
+fn checked_atomic_and_cell_wrappers_detect_races() {
+    let _g = exclusive();
+    let counter = dsan::AtomicCell::new("fixture.atomic", Policy::Checked, 0);
+    let aref = &counter;
+    let tasks: Vec<_> = (0..2)
+        .map(|i| move || aref.store(i, std::sync::atomic::Ordering::SeqCst))
+        .collect();
+    Pool::with_workers(2).labeled("atomic").run(tasks);
+    let report = dsan::take_report();
+    assert_eq!(report.races.len(), 1, "{report}");
+    assert_eq!(report.races[0].location, "fixture.atomic");
+
+    let log = dsan::Cell::new("fixture.log", Policy::Checked, Vec::<usize>::new());
+    let lref = &log;
+    let tasks: Vec<_> = (0..2).map(|i| move || lref.write(|v| v.push(i))).collect();
+    Pool::with_workers(2).labeled("cell").run(tasks);
+    let report = dsan::take_report();
+    assert_eq!(report.races.len(), 1, "{report}");
+    assert_eq!(report.races[0].location, "fixture.log");
+    assert_eq!(log.read(|v| v.len()), 2);
+}
+
+#[test]
+fn cancelled_jobs_are_skipped_without_spurious_races() {
+    let _g = exclusive();
+    let cell = dsan::Shadow::new("fixture.cancelled", Policy::Checked);
+    let cref = &cell;
+    let token = CancelToken::never();
+    token.cancel();
+    let tasks: Vec<_> = (0..4).map(|_| move || cref.record_write()).collect();
+    let results = Pool::with_workers(2)
+        .labeled("skipped")
+        .run_with(&token, tasks);
+    assert!(results.iter().all(Option::is_none));
+    let report = dsan::take_report();
+    assert!(
+        report.is_clean(),
+        "never-started jobs record nothing: {report}"
+    );
+}
+
+#[test]
+fn disabled_sanitizer_records_nothing() {
+    let _g = exclusive();
+    dsan::set_enabled(false);
+    let cell = dsan::Shadow::new("fixture.disabled", Policy::Checked);
+    let cref = &cell;
+    let tasks: Vec<_> = (0..2).map(|_| move || cref.record_write()).collect();
+    Pool::with_workers(2).labeled("off").run(tasks);
+    dsan::set_enabled(true);
+    let report = dsan::take_report();
+    assert!(report.is_clean(), "disabled mode must be silent: {report}");
+    assert_eq!(report.to_string(), "dsan: clean\n");
+}
+
+#[test]
+fn shadow_log_bound_drops_excess_but_still_detects() {
+    let _g = exclusive();
+    let cell = dsan::Shadow::new("fixture.flood", Policy::Checked);
+    let cref = &cell;
+    // Two chains, 32 writes each: far past the per-chain cap of 8, yet
+    // the pair-level race must still surface exactly once.
+    let tasks: Vec<_> = (0..2)
+        .map(|_| {
+            move || {
+                for _ in 0..32 {
+                    cref.record_write();
+                }
+            }
+        })
+        .collect();
+    Pool::with_workers(2).labeled("flood").run(tasks);
+    let report = dsan::take_report();
+    assert_eq!(report.races.len(), 1, "{report}");
+    assert!(report.dropped > 0, "the log bound engaged: {report}");
+}

@@ -1,0 +1,89 @@
+//! Property tests for the pool's two contracts that carry the rest of the
+//! workspace: the budget-split policy (pure, monotone, never degenerate)
+//! and exactly-once task execution even when cancellation lands mid-steal.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parpool::{split_budget, Pool};
+use proptest::prelude::*;
+use robust::CancelToken;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn split_budget_holds_its_invariants((budget, jobs) in (0usize..=64, 0usize..=64)) {
+        let (outer, inner) = split_budget(budget, jobs);
+        prop_assert!(outer >= 1 && inner >= 1, "never zero workers");
+        prop_assert!(
+            outer * inner <= budget.max(1),
+            "split_budget({budget}, {jobs}) = ({outer}, {inner}) oversubscribes"
+        );
+        prop_assert!(outer <= jobs.max(1), "outer workers beyond job count");
+
+        // Monotone in budget: one more worker of budget never shrinks the
+        // scheduled parallelism.
+        let (outer2, inner2) = split_budget(budget + 1, jobs);
+        prop_assert!(
+            outer2 * inner2 >= outer * inner,
+            "split_budget({budget}→{}, {jobs}): {} < {}",
+            budget + 1, outer2 * inner2, outer * inner
+        );
+
+        // Pure function: same inputs, same split.
+        prop_assert_eq!(split_budget(budget, jobs), (outer, inner));
+    }
+
+    #[test]
+    fn cancellation_mid_steal_loses_and_duplicates_nothing(
+        (workers, n, trigger) in (1usize..=8, 1usize..=24, 0usize..=63),
+    ) {
+        let trigger = trigger % n;
+        let token = CancelToken::never();
+        let ran: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let tasks: Vec<_> = (0..n)
+            .map(|i| {
+                let (token, ran) = (token.clone(), &ran);
+                move || {
+                    ran[i].fetch_add(1, Ordering::SeqCst);
+                    if i == trigger {
+                        // Cancellation lands while other workers may be
+                        // mid-claim on their next task.
+                        token.cancel();
+                    }
+                    i
+                }
+            })
+            .collect();
+        let results = Pool::with_workers(workers).run_with(&token, tasks);
+
+        prop_assert_eq!(results.len(), n);
+        let mut completed = 0usize;
+        for (i, slot) in results.iter().enumerate() {
+            let times = ran[i].load(Ordering::SeqCst);
+            prop_assert!(times <= 1, "task {i} ran {times} times");
+            match slot {
+                Some(v) => {
+                    // A claimed task's result lands in its own slot: not
+                    // lost, not moved, not duplicated.
+                    prop_assert_eq!(*v, i, "slot {i} holds task {v}'s result");
+                    prop_assert_eq!(times, 1, "result without execution at {i}");
+                    completed += 1;
+                }
+                None => prop_assert_eq!(times, 0, "task {i} ran but its result was lost"),
+            }
+        }
+        let executed: usize = ran.iter().map(|c| c.load(Ordering::SeqCst)).sum();
+        prop_assert_eq!(executed, completed, "every execution produced exactly one result");
+        // The trigger ran unless the pool never reached it; once it ran,
+        // cancellation is in force, so with one worker the tail after the
+        // trigger is entirely skipped.
+        if workers == 1 && ran[trigger].load(Ordering::SeqCst) == 1 {
+            for (i, slot) in results.iter().enumerate().skip(trigger + 1) {
+                prop_assert!(slot.is_none(), "inline pool started task {i} after cancellation");
+            }
+        }
+    }
+}

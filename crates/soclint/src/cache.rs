@@ -26,7 +26,7 @@ use crate::rules::Diagnostic;
 
 /// Format header; bump the version whenever record shapes or any
 /// analysis semantics change — a stale-version artifact is a miss.
-const HEADER: &str = "soclint-cache v1";
+const HEADER: &str = "soclint-cache v2";
 
 /// FNV-1a 64-bit over the file contents.
 fn fingerprint(source: &str) -> u64 {
@@ -112,6 +112,15 @@ fn render(analysis: &FileAnalysis) -> String {
             esc(&d.message),
         ]);
     }
+    for d in &analysis.allowed {
+        rec(&[
+            "N".into(),
+            esc(&d.file),
+            d.line.to_string(),
+            esc(&d.rule),
+            esc(&d.message),
+        ]);
+    }
     for f in &analysis.facts.fns {
         rec(&[
             "F".into(),
@@ -187,6 +196,7 @@ fn parse_artifact(text: &str, expect_path: &str) -> Option<FileAnalysis> {
         return None;
     }
     let mut diags = Vec::new();
+    let mut allowed = Vec::new();
     let mut facts = FileFacts {
         path: String::new(),
         fns: Vec::new(),
@@ -207,6 +217,12 @@ fn parse_artifact(text: &str, expect_path: &str) -> Option<FileAnalysis> {
         match fields.first().copied()? {
             "path" if fields.len() == 2 => facts.path = unesc(fields[1])?,
             "D" if fields.len() == 5 => diags.push(Diagnostic {
+                file: unesc(fields[1])?,
+                line: num(fields[2])?,
+                rule: unesc(fields[3])?,
+                message: unesc(fields[4])?,
+            }),
+            "N" if fields.len() == 5 => allowed.push(Diagnostic {
                 file: unesc(fields[1])?,
                 line: num(fields[2])?,
                 rule: unesc(fields[3])?,
@@ -306,7 +322,11 @@ fn parse_artifact(text: &str, expect_path: &str) -> Option<FileAnalysis> {
     if !ended || facts.path != expect_path {
         return None;
     }
-    Some(FileAnalysis { diags, facts })
+    Some(FileAnalysis {
+        diags,
+        allowed,
+        facts,
+    })
 }
 
 /// Loads the cached analysis for (`rel_path`, `source`); `None` on any

@@ -22,6 +22,13 @@
 //!   completion-order stream (`recv`, `try_recv`, `try_iter`, `steal`).
 //!   This is the exact bug class the index-ordered reduction in
 //!   `tam::optimize` was built to prevent.
+//! - `dsan-escape` — a captured binding reached from a job thunk through
+//!   a shared-access method (the mutation set above plus the read side:
+//!   `load`, `borrow`, `read`) whose declaration does not flow through
+//!   the `parpool::dsan` instrumented accessors (`dsan::Cell`,
+//!   `dsan::AtomicCell`, `dsan::Shadow`). Uninstrumented shared state is
+//!   invisible to the determinism sanitizer, so its races escape the
+//!   shadow log.
 //!
 //! Diagnostics render the capture chain (which closure, which line, how
 //! it is mutated) so a finding is auditable from the message alone.
@@ -30,7 +37,7 @@
 use std::collections::BTreeSet;
 
 use crate::lexer::{Token, TokenKind};
-use crate::parse::{Ast, Closure};
+use crate::parse::{Ast, Closure, LetBinding};
 
 /// Method names whose receiver is (or guards) shared mutable state.
 const SHARED_MUTATION_METHODS: &[&str] = &[
@@ -65,6 +72,11 @@ const REDUCERS: &[&str] = &[
     "reduce",
     "fold",
 ];
+
+/// Read-side shared-access methods: they don't mutate, but an
+/// uninstrumented read still races with a concurrent writer, so
+/// `dsan-escape` checks them alongside [`SHARED_MUTATION_METHODS`].
+const SHARED_READ_METHODS: &[&str] = &["load", "borrow", "read"];
 
 /// Channel/deque drains that yield in completion order, not job order.
 const COMPLETION_ORDER_SOURCES: &[&str] = &[
@@ -194,6 +206,160 @@ fn capture_msg(name: &str, closure_line: u32, line: u32, how: &str) -> String {
          line {line}: shared mutable state in a submitted job makes the outcome depend on worker \
          interleaving; return a value and reduce by job index instead"
     )
+}
+
+/// `dsan-escape`: captured state reached through a shared-access method
+/// from a job thunk must be *dsan-bound* — declared through the
+/// `parpool::dsan` instrumented accessors — so the determinism sanitizer
+/// sees every access. Binding is resolved by name across the whole file
+/// (no scope resolution): a `let` whose initializer mentions `dsan`, or a
+/// `name: [&]dsan::…` type ascription, binds that name everywhere. The
+/// over-approximation only suppresses findings, mirroring the local
+/// flattening in [`check_job_thunk`].
+pub fn check_dsan_escape(
+    ast: &Ast,
+    toks: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    push: &mut dyn FnMut(&str, u32, String),
+) {
+    let bound = dsan_bound_names(ast, toks);
+    for f in &ast.fns {
+        for c in &f.closures {
+            walk_dsan(c, ast, toks, &bound, in_test, push);
+        }
+    }
+}
+
+fn walk_dsan(
+    c: &Closure,
+    ast: &Ast,
+    toks: &[Token],
+    bound: &BTreeSet<&str>,
+    in_test: &dyn Fn(u32) -> bool,
+    push: &mut dyn FnMut(&str, u32, String),
+) {
+    if c.is_move && c.nullary {
+        check_dsan_thunk(c, ast, toks, bound, in_test, push);
+    }
+    for nested in &c.closures {
+        walk_dsan(nested, ast, toks, bound, in_test, push);
+    }
+}
+
+/// The thunk walk for `dsan-escape`: same skips as [`check_job_thunk`]
+/// (method names, path segments, locals, test code) plus dsan-bound
+/// names; flags `.m(…)` for `m` in the mutation *or* read access set.
+fn check_dsan_thunk(
+    c: &Closure,
+    ast: &Ast,
+    toks: &[Token],
+    bound: &BTreeSet<&str>,
+    in_test: &dyn Fn(u32) -> bool,
+    push: &mut dyn FnMut(&str, u32, String),
+) {
+    let mut locals: BTreeSet<&str> = BTreeSet::new();
+    collect_locals(c, &mut locals);
+
+    let sig = &ast.sig;
+    let (start, end) = c.body;
+    let mut j = start;
+    while j < end.min(sig.len()) {
+        let Some(name) = ident_at(toks, sig, j) else {
+            j += 1;
+            continue;
+        };
+        let line = toks[sig[j]].line;
+        let after_dot = j > 0 && (at(toks, sig, j - 1, '.') || at(toks, sig, j - 1, ':'));
+        let before_path = at(toks, sig, j + 1, ':') && at(toks, sig, j + 2, ':');
+        if after_dot
+            || before_path
+            || locals.contains(name)
+            || bound.contains(name)
+            || in_test(line)
+        {
+            j += 1;
+            continue;
+        }
+
+        let mut k = j + 1;
+        while at(toks, sig, k, '[') {
+            k = skip_group(toks, sig, k, '[', ']');
+        }
+        if at(toks, sig, k, '.') {
+            if let Some(m) = ident_at(toks, sig, k + 1) {
+                if (SHARED_MUTATION_METHODS.contains(&m) || SHARED_READ_METHODS.contains(&m))
+                    && at(toks, sig, k + 2, '(')
+                {
+                    push(
+                        "dsan-escape",
+                        line,
+                        format!(
+                            "`{name}` is captured by the `move ||` job closure at line {} and \
+                             reached via `.{m}(…)` at line {line} without dsan instrumentation: \
+                             shared state touched from pool jobs must flow through `dsan::Cell` / \
+                             `dsan::AtomicCell` / `dsan::Shadow` so the determinism sanitizer can \
+                             order-check the access; wrap the binding, or `allow` with a reason \
+                             explaining why the access cannot race",
+                            c.line
+                        ),
+                    );
+                }
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Names declared through the dsan accessors anywhere in the file: `let`
+/// bindings whose initializer mentions `dsan`, and `name: [&]dsan::…`
+/// type ascriptions (fn params, struct fields, annotated lets).
+fn dsan_bound_names<'a>(ast: &'a Ast, toks: &'a [Token]) -> BTreeSet<&'a str> {
+    let mut bound = BTreeSet::new();
+    let sig = &ast.sig;
+    for f in &ast.fns {
+        scan_dsan_lets(&f.lets, &f.closures, sig, toks, &mut bound);
+    }
+    // `name : dsan :: …` / `name : & dsan :: …` ascriptions.
+    for j in 0..sig.len() {
+        if ident_at(toks, sig, j) != Some("dsan")
+            || !at(toks, sig, j + 1, ':')
+            || !at(toks, sig, j + 2, ':')
+        {
+            continue;
+        }
+        let mut p = j;
+        if p >= 1 && at(toks, sig, p - 1, '&') {
+            p -= 1;
+        }
+        // A single `:` before (not `::` — that is a path like
+        // `parpool::dsan`), preceded by the ascribed name.
+        if p >= 2 && at(toks, sig, p - 1, ':') && !at(toks, sig, p.wrapping_sub(2), ':') {
+            if let Some(name) = ident_at(toks, sig, p - 2) {
+                bound.insert(name);
+            }
+        }
+    }
+    bound
+}
+
+fn scan_dsan_lets<'a>(
+    lets: &'a [LetBinding],
+    closures: &'a [Closure],
+    sig: &[usize],
+    toks: &'a [Token],
+    bound: &mut BTreeSet<&'a str>,
+) {
+    for l in lets {
+        let (s, e) = l.init;
+        if (s..e.min(sig.len())).any(|j| ident_at(toks, sig, j) == Some("dsan")) {
+            for n in &l.names {
+                bound.insert(n.as_str());
+            }
+        }
+    }
+    for c in closures {
+        scan_dsan_lets(&c.lets, &c.closures, sig, toks, bound);
+    }
 }
 
 /// Assignment detection at `k` (first token after the ident/index
@@ -528,5 +694,59 @@ mod tests {
         assert!(
             run_reductions("fn f() { let s = v.iter().fold(0u64, |a, b| a + b); }\n").is_empty()
         );
+    }
+
+    fn run_dsan(src: &str) -> Vec<(String, u32, String)> {
+        let tokens = lex(src);
+        let ast = parse(&tokens);
+        let mut out = Vec::new();
+        check_dsan_escape(&ast, &tokens.all, &|_| false, &mut |rule, line, msg| {
+            out.push((rule.to_string(), line, msg))
+        });
+        out
+    }
+
+    #[test]
+    fn uninstrumented_load_in_thunk_flagged() {
+        let src = "fn f() { let best = AtomicU64::new(0); pool.submit(move || { \
+                   best.load(Ordering::SeqCst) }); }\n";
+        let hits = run_dsan(src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, "dsan-escape");
+        assert!(hits[0].2.contains("`best`"), "{}", hits[0].2);
+        assert!(hits[0].2.contains("load"), "{}", hits[0].2);
+    }
+
+    #[test]
+    fn dsan_bound_let_is_clean() {
+        let src = "fn f() { let best = dsan::AtomicCell::new(\"best\", dsan::Policy::Advisory, \
+                   0); pool.submit(move || { best.load(Ordering::SeqCst) }); }\n";
+        assert!(run_dsan(src).is_empty(), "{:?}", run_dsan(src));
+    }
+
+    #[test]
+    fn dsan_bound_param_ascription_is_clean() {
+        let src = "fn f(best: &dsan::AtomicCell) { pool.submit(move || { \
+                   best.load(Ordering::SeqCst) }); }\n";
+        assert!(run_dsan(src).is_empty(), "{:?}", run_dsan(src));
+    }
+
+    #[test]
+    fn path_prefixed_dsan_type_does_not_bind_other_names() {
+        // `parpool::dsan` in a use-path must not mark anything bound.
+        let src = "use parpool::dsan;\nfn f() { let best = AtomicU64::new(0); \
+                   pool.submit(move || { best.load(Ordering::SeqCst) }); }\n";
+        assert_eq!(run_dsan(src).len(), 1);
+    }
+
+    #[test]
+    fn thunk_locals_and_mutation_methods_covered() {
+        // Locals stay exempt; mutation-set methods trip dsan-escape too.
+        let clean = "fn f() { pool.submit(move || { let n = AtomicU64::new(0); \
+                     n.load(Ordering::SeqCst) }); }\n";
+        assert!(run_dsan(clean).is_empty());
+        let dirty = "fn f() { let n = AtomicU64::new(0); pool.submit(move || { \
+                     n.fetch_min(1, Ordering::SeqCst) }); }\n";
+        assert_eq!(run_dsan(dirty).len(), 1);
     }
 }

@@ -191,6 +191,9 @@ pub struct FileFacts {
 pub struct FileAnalysis {
     /// Local (single-file) diagnostics from [`crate::rules`].
     pub diags: Vec<Diagnostic>,
+    /// Findings an `allow` directive suppressed — surfaced as
+    /// `note`-level SARIF results so suppressions stay auditable.
+    pub allowed: Vec<Diagnostic>,
     /// Facts for [`crate::graph`].
     pub facts: FileFacts,
 }
@@ -199,8 +202,10 @@ pub struct FileAnalysis {
 /// extraction over the same token stream.
 pub fn analyze_file(path: &str, source: &str) -> FileAnalysis {
     let tokens = lex(source);
+    let (diags, allowed) = lint_tokens(path, &tokens);
     FileAnalysis {
-        diags: lint_tokens(path, &tokens),
+        diags,
+        allowed,
         facts: extract_tokens(path, &tokens),
     }
 }

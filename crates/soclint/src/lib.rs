@@ -90,6 +90,10 @@ pub struct LintReport {
     /// All diagnostics (per-file rules + workspace analyses), sorted by
     /// (file, line, rule) — byte-identical at any worker count.
     pub diags: Vec<Diagnostic>,
+    /// Findings suppressed by `allow` directives in the per-file stage,
+    /// same sort. SARIF output renders these as `note`-level results so
+    /// every suppression stays visible in code scanning.
+    pub allowed: Vec<Diagnostic>,
     /// Call-graph resolution counters.
     pub stats: GraphStats,
     /// `.rs` files analyzed.
@@ -176,7 +180,7 @@ pub fn lint_workspace_report(root: &Path, opts: &LintOptions) -> Result<LintRepo
         slots.push(hit);
     }
 
-    let pool = parpool::Pool::with_workers(workers);
+    let pool = parpool::Pool::with_workers(workers).labeled("lint");
     let tasks: Vec<_> = files
         .iter()
         .zip(&sources)
@@ -199,13 +203,17 @@ pub fn lint_workspace_report(root: &Path, opts: &LintOptions) -> Result<LintRepo
     let analyses: Vec<facts::FileAnalysis> =
         slots.into_iter().map(|s| s.expect("slot filled")).collect();
     let mut diags: Vec<Diagnostic> = analyses.iter().flat_map(|a| a.diags.clone()).collect();
+    let mut allowed: Vec<Diagnostic> = analyses.iter().flat_map(|a| a.allowed.clone()).collect();
     let file_facts: Vec<facts::FileFacts> = analyses.into_iter().map(|a| a.facts).collect();
     let (global, stats) = graph::analyze(&file_facts);
     diags.extend(global);
     diags.sort();
     diags.dedup();
+    allowed.sort();
+    allowed.dedup();
     Ok(LintReport {
         diags,
+        allowed,
         stats,
         files: files.len(),
         cache_hits,

@@ -87,6 +87,7 @@ fn main() -> ExitCode {
 
     let root = root.unwrap_or_else(find_workspace_root);
     let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut allowed: Vec<Diagnostic> = Vec::new();
 
     if workspace {
         let opts = LintOptions { workers, cache_dir };
@@ -100,6 +101,7 @@ fn main() -> ExitCode {
                     eprintln!("soclint: {}", report.stats);
                 }
                 diags.extend(report.diags);
+                allowed.extend(report.allowed);
             }
             Err(e) => {
                 eprintln!("soclint: {e}");
@@ -133,10 +135,12 @@ fn main() -> ExitCode {
     }
     diags.sort();
     diags.dedup();
+    allowed.sort();
+    allowed.dedup();
 
     match format {
         Format::Json => print!("{}", to_json(&diags)),
-        Format::Sarif => print!("{}", sarif::to_sarif(&diags)),
+        Format::Sarif => print!("{}", sarif::to_sarif(&diags, &allowed)),
         Format::Text => {
             for d in &diags {
                 println!("{d}");

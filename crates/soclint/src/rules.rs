@@ -17,6 +17,7 @@
 //! | `capture-mut` | capture crates | job thunks must not mutate captured shared state |
 //! | `relaxed-ordering` | determinism crates | no `Ordering::Relaxed` — results may vary per run |
 //! | `order-sensitive-reduce` | capture crates | no reductions over completion-order streams |
+//! | `dsan-escape` | capture crates | shared state captured by job thunks flows through `dsan::` accessors |
 //! | `deny-header` | crate/bin/test roots | root carries the agreed `#![forbid]`(/`#![deny]`) header |
 //! | `cfg-test-gate` | all library code | `mod tests` must be `#[cfg(test)]`-gated |
 //! | `allow-syntax` | everywhere | suppressions must name known rules and carry `-- <reason>` |
@@ -50,6 +51,7 @@ pub const RULE_IDS: &[&str] = &[
     "capture-mut",
     "relaxed-ordering",
     "order-sensitive-reduce",
+    "dsan-escape",
     "deny-header",
     "cfg-test-gate",
     "allow-syntax",
@@ -114,6 +116,11 @@ pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     (
         "order-sensitive-reduce",
         "no reductions over completion-order streams",
+    ),
+    (
+        "dsan-escape",
+        "shared state captured by job thunks must flow through the dsan \
+         instrumented accessors",
     ),
     (
         "deny-header",
@@ -220,25 +227,32 @@ impl Allows {
 /// is path-based, so the same source text can lint differently at
 /// different paths (the fixture suite leans on this).
 pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
-    lint_tokens(path, &lex(source))
+    lint_tokens(path, &lex(source)).0
 }
 
 /// [`lint_source`] over pre-lexed tokens, so callers that also extract
-/// facts ([`crate::facts`]) lex only once.
-pub(crate) fn lint_tokens(path: &str, tokens: &Tokens) -> Vec<Diagnostic> {
+/// facts ([`crate::facts`]) lex only once. Returns `(reported,
+/// suppressed)`: findings an `allow` directive swallowed are kept so the
+/// SARIF renderer can surface them as `note`-level results — every
+/// suppression stays visible in code scanning instead of vanishing.
+pub(crate) fn lint_tokens(path: &str, tokens: &Tokens) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
     let scope = classify(path);
     let spans = test_spans(tokens);
     let allows = parse_allows(tokens);
 
     let mut out = Vec::new();
+    let mut allowed = Vec::new();
     let mut push = |rule: &str, line: u32, message: String| {
-        if !allows.permits(rule, line) {
-            out.push(Diagnostic {
-                file: path.to_string(),
-                line,
-                rule: rule.to_string(),
-                message,
-            });
+        let d = Diagnostic {
+            file: path.to_string(),
+            line,
+            rule: rule.to_string(),
+            message,
+        };
+        if allows.permits(rule, line) {
+            allowed.push(d);
+        } else {
+            out.push(d);
         }
     };
 
@@ -271,6 +285,7 @@ pub(crate) fn lint_tokens(path: &str, tokens: &Tokens) -> Vec<Diagnostic> {
         }
         if scope.capture_checked {
             crate::captures::check_captures(&ast, toks, &in_test, &mut push);
+            crate::captures::check_dsan_escape(&ast, toks, &in_test, &mut push);
             crate::captures::check_reductions(toks, &sig, &in_test, &mut push);
         }
     }
@@ -285,7 +300,8 @@ pub(crate) fn lint_tokens(path: &str, tokens: &Tokens) -> Vec<Diagnostic> {
     }
 
     out.sort();
-    out
+    allowed.sort();
+    (out, allowed)
 }
 
 /// Determinism rules: hash collections, wall clock, entropy, NaN-unsafe
@@ -892,12 +908,15 @@ mod tests {
 
     #[test]
     fn capture_rules_scope_to_capture_crates_only() {
+        // An uninstrumented `.lock()` on a capture trips both the mutation
+        // rule and the sanitizer-coverage rule; outside capture crates,
+        // neither applies.
         let src = "fn f() { s.spawn(move || { shared.lock().push(1); }); }\n";
         assert_eq!(
             rules_hit("crates/parpool/src/pool.rs", src),
-            ["capture-mut"]
+            ["capture-mut", "dsan-escape"]
         );
-        assert_eq!(rules_hit(SEARCH_PATH, src), ["capture-mut"]);
+        assert_eq!(rules_hit(SEARCH_PATH, src), ["capture-mut", "dsan-escape"]);
         assert!(rules_hit("crates/robust/src/x.rs", src).is_empty());
     }
 

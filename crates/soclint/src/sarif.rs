@@ -1,6 +1,10 @@
 //! SARIF 2.1.0 output (`soclint --format sarif`), shaped for GitHub code
-//! scanning: one run, the full rule table on `tool.driver`, one result
-//! per diagnostic with a physical location. Rendered by hand like
+//! scanning: one run, the full rule table on `tool.driver` (with
+//! per-rule `shortDescription` and `helpUri`), one result per finding
+//! with a physical location. Reported violations render at level
+//! `error`; findings a `// soclint: allow(...)` directive suppressed
+//! render at level `note`, so every suppression stays visible in code
+//! scanning instead of vanishing. Rendered by hand like
 //! [`crate::to_json`] — stable field order, no dependencies.
 
 use crate::json_string;
@@ -10,21 +14,33 @@ use crate::rules::{Diagnostic, RULE_DESCRIPTIONS, RULE_IDS};
 pub const SCHEMA_URI: &str =
     "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
 
-/// Renders diagnostics as a SARIF 2.1.0 log.
-pub fn to_sarif(diags: &[Diagnostic]) -> String {
+/// Base URI for rule documentation; each rule's `helpUri` is
+/// `<base>#<rule-id>` (the anchors match the rule table in `rules.rs`).
+pub const HELP_URI_BASE: &str = "https://example.invalid/soc-tdc/soclint";
+
+/// Renders reported and `allow`-suppressed findings as a SARIF 2.1.0
+/// log. `diags` become `error`-level results, `allowed` become
+/// `note`-level results (in that order, each pre-sorted by the caller —
+/// the log is byte-identical across runs and worker counts).
+pub fn to_sarif(diags: &[Diagnostic], allowed: &[Diagnostic]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"$schema\": {},\n", json_string(SCHEMA_URI)));
     out.push_str("  \"version\": \"2.1.0\",\n");
     out.push_str("  \"runs\": [\n    {\n");
     out.push_str("      \"tool\": {\n        \"driver\": {\n");
     out.push_str("          \"name\": \"soclint\",\n");
-    out.push_str("          \"informationUri\": \"https://example.invalid/soc-tdc/soclint\",\n");
+    out.push_str(&format!(
+        "          \"informationUri\": {},\n",
+        json_string(HELP_URI_BASE)
+    ));
     out.push_str("          \"rules\": [\n");
     for (i, (id, desc)) in RULE_DESCRIPTIONS.iter().enumerate() {
         out.push_str(&format!(
-            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}\n",
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}, \
+             \"helpUri\": {}}}{}\n",
             json_string(id),
             json_string(desc),
+            json_string(&format!("{HELP_URI_BASE}#{id}")),
             if i + 1 < RULE_DESCRIPTIONS.len() {
                 ","
             } else {
@@ -34,23 +50,30 @@ pub fn to_sarif(diags: &[Diagnostic]) -> String {
     }
     out.push_str("          ]\n        }\n      },\n");
     out.push_str("      \"results\": [\n");
-    for (i, d) in diags.iter().enumerate() {
+    let total = diags.len() + allowed.len();
+    for (i, (d, level)) in diags
+        .iter()
+        .map(|d| (d, "error"))
+        .chain(allowed.iter().map(|d| (d, "note")))
+        .enumerate()
+    {
         let rule_index = RULE_IDS
             .iter()
             .position(|r| *r == d.rule)
             .map(|p| p.to_string())
             .unwrap_or_else(|| "-1".to_string());
         out.push_str(&format!(
-            "        {{\"ruleId\": {}, \"ruleIndex\": {}, \"level\": \"error\", \
+            "        {{\"ruleId\": {}, \"ruleIndex\": {}, \"level\": \"{}\", \
              \"message\": {{\"text\": {}}}, \"locations\": [{{\"physicalLocation\": \
              {{\"artifactLocation\": {{\"uri\": {}, \"uriBaseId\": \"%SRCROOT%\"}}, \
              \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
             json_string(&d.rule),
             rule_index,
+            level,
             json_string(&d.message),
             json_string(&d.file),
             d.line.max(1),
-            if i + 1 < diags.len() { "," } else { "" }
+            if i + 1 < total { "," } else { "" }
         ));
     }
     out.push_str("      ]\n    }\n  ]\n}\n");
@@ -63,13 +86,18 @@ mod tests {
 
     #[test]
     fn empty_log_has_tool_and_no_results() {
-        let s = to_sarif(&[]);
+        let s = to_sarif(&[], &[]);
         assert!(s.contains("\"version\": \"2.1.0\""));
         assert!(s.contains("\"name\": \"soclint\""));
         assert!(s.contains("sarif-schema-2.1.0.json"));
-        // All rules are declared even with no findings.
+        // All rules are declared even with no findings, each with a
+        // rule-anchored helpUri.
         for id in RULE_IDS {
             assert!(s.contains(&format!("\"id\": \"{id}\"")), "{id}");
+            assert!(
+                s.contains(&format!("\"helpUri\": \"{HELP_URI_BASE}#{id}\"")),
+                "{id}"
+            );
         }
     }
 
@@ -81,7 +109,7 @@ mod tests {
             rule: "cancel-coverage".into(),
             message: "a \"quoted\" message".into(),
         };
-        let s = to_sarif(&[d]);
+        let s = to_sarif(&[d], &[]);
         assert!(s.contains("\"uri\": \"crates/tam/src/lib.rs\""));
         assert!(s.contains("\"startLine\": 7"));
         assert!(s.contains("\\\"quoted\\\""));
@@ -90,5 +118,26 @@ mod tests {
             .position(|r| *r == "cancel-coverage")
             .expect("rule");
         assert!(s.contains(&format!("\"ruleIndex\": {idx}")));
+    }
+
+    #[test]
+    fn allowed_findings_render_as_notes_after_errors() {
+        let err = Diagnostic {
+            file: "a.rs".into(),
+            line: 1,
+            rule: "capture-mut".into(),
+            message: "reported".into(),
+        };
+        let note = Diagnostic {
+            file: "b.rs".into(),
+            line: 2,
+            rule: "relaxed-ordering".into(),
+            message: "suppressed".into(),
+        };
+        let s = to_sarif(&[err], &[note]);
+        let err_pos = s.find("\"level\": \"error\"").expect("error result");
+        let note_pos = s.find("\"level\": \"note\"").expect("note result");
+        assert!(err_pos < note_pos);
+        assert!(s.contains("\"uri\": \"b.rs\""));
     }
 }

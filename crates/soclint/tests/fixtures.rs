@@ -18,7 +18,7 @@ fn emulated_path(rule: &str) -> &'static str {
         "nan-compare" => "crates/selenc/src/fixture.rs",
         "panic-path" | "unchecked-index" | "taint-arith" => "crates/tdcsoc/src/planfile.rs",
         "taint-index" => "crates/tdcsoc/src/vectors.rs",
-        "capture-mut" | "relaxed-ordering" => "crates/parpool/src/fixture.rs",
+        "capture-mut" | "relaxed-ordering" | "dsan-escape" => "crates/parpool/src/fixture.rs",
         "order-sensitive-reduce" => "crates/tam/src/fixture.rs",
         "as-narrowing" => "crates/soc-model/src/itc02.rs",
         "deny-header" => "crates/tam/src/lib.rs",

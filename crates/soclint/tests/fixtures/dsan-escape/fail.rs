@@ -1,0 +1,9 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn run_jobs(pool: &Pool, items: Vec<u64>, bound: &AtomicU64) -> Vec<u64> {
+    let tasks: Vec<_> = items
+        .into_iter()
+        .map(|item| move || cost_of(item, bound.load(Ordering::SeqCst)))
+        .collect();
+    pool.run(tasks)
+}

@@ -1,0 +1,11 @@
+use std::sync::atomic::Ordering;
+
+use parpool::dsan;
+
+pub fn run_jobs(pool: &Pool, items: Vec<u64>, bound: &dsan::AtomicCell) -> Vec<u64> {
+    let tasks: Vec<_> = items
+        .into_iter()
+        .map(|item| move || cost_of(item, bound.load(Ordering::SeqCst)))
+        .collect();
+    pool.run(tasks)
+}

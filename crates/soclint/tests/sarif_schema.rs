@@ -250,6 +250,11 @@ fn assert_valid_sarif(log: &Json) {
             !rule.get("shortDescription").get("text").str().is_empty(),
             "every rule carries a description"
         );
+        let help = rule.get("helpUri").str();
+        assert!(
+            help.ends_with(&format!("#{}", rule.get("id").str())),
+            "helpUri anchors on the rule id: {help}"
+        );
     }
 
     for result in run.get("results").arr() {
@@ -260,7 +265,11 @@ fn assert_valid_sarif(log: &Json) {
             Some(rule_id),
             "ruleIndex must point at ruleId's entry in the rule table"
         );
-        assert_eq!(result.get("level").str(), "error");
+        let level = result.get("level").str();
+        assert!(
+            level == "error" || level == "note",
+            "reported findings are errors, allow-suppressed ones notes: {level}"
+        );
         assert!(!result.get("message").get("text").str().is_empty());
         let locations = result.get("locations").arr();
         assert_eq!(locations.len(), 1);
@@ -279,7 +288,7 @@ fn assert_valid_sarif(log: &Json) {
 
 #[test]
 fn empty_log_is_schema_valid() {
-    let log = parse_json(&to_sarif(&[]));
+    let log = parse_json(&to_sarif(&[], &[]));
     assert_valid_sarif(&log);
     assert!(log.get("runs").arr()[0].get("results").arr().is_empty());
 }
@@ -296,7 +305,7 @@ fn results_with_hostile_text_stay_schema_valid() {
             message: format!("quote \" slash \\ newline \n tab \t unicode \u{2190} {rule}"),
         })
         .collect();
-    let log = parse_json(&to_sarif(&diags));
+    let log = parse_json(&to_sarif(&diags, &[]));
     assert_valid_sarif(&log);
     let results = log.get("runs").arr()[0].get("results").arr().to_vec();
     assert_eq!(results.len(), RULE_IDS.len());
@@ -313,5 +322,27 @@ fn real_workspace_sarif_is_schema_valid() {
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/panic-reach/trip");
     let diags = soclint::lint_workspace(&root).expect("fixture walk");
     assert!(!diags.is_empty(), "trip fixture produces results");
-    assert_valid_sarif(&parse_json(&to_sarif(&diags)));
+    assert_valid_sarif(&parse_json(&to_sarif(&diags, &[])));
+}
+
+#[test]
+fn suppressed_findings_surface_as_schema_valid_notes() {
+    // The shipped workspace is violation-free but carries audited
+    // `allow` directives; those must come back as note-level results.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root");
+    let report = soclint::lint_workspace_report(&root, &soclint::LintOptions::default())
+        .expect("workspace walk");
+    assert!(
+        !report.allowed.is_empty(),
+        "the workspace's allow directives suppress real findings"
+    );
+    let log = parse_json(&to_sarif(&report.diags, &report.allowed));
+    assert_valid_sarif(&log);
+    let results = log.get("runs").arr()[0].get("results").arr().to_vec();
+    assert!(results
+        .iter()
+        .any(|r| r.get("level").str() == "note" && r.get("ruleId").str() == "capture-mut"));
 }

@@ -24,9 +24,9 @@
 // soclint: allow(hash-collections) -- Evaluator::memo is lookup-only (get/insert, never iterated); hashing Vec<u32> keys is on the per-proposal hot path
 #[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
-use parpool::Pool;
+use parpool::{dsan, Pool};
 use robust::CancelToken;
 use soc_model::SplitMix64;
 
@@ -144,11 +144,16 @@ pub fn anneal_architecture_with(
     // can skip recording partitions that already lost. Purely an
     // allocation saver — see `run_chain` for why it never changes the
     // reduced winner.
-    let shared = AtomicU64::new(baseline_time);
+    let shared = dsan::AtomicCell::new(
+        "tam.anneal.incumbent",
+        dsan::Policy::Advisory,
+        baseline_time,
+    );
     let pool = match opts.workers {
         Some(w) => Pool::with_workers(w),
         None => Pool::new(),
-    };
+    }
+    .labeled("anneal");
     let tasks: Vec<_> = seeds
         .into_iter()
         .map(|seed| {
@@ -238,7 +243,7 @@ fn run_chain(
     opts: &AnnealOptions,
     seed: u64,
     max_tams: usize,
-    shared: &AtomicU64,
+    shared: &dsan::AtomicCell,
     token: &CancelToken,
 ) -> ChainOutcome {
     let mut widths = start.to_vec();

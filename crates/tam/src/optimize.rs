@@ -18,9 +18,9 @@
 //! bound exceeds an achieved incumbent are skipped, and candidate-move
 //! sweeps abort once their partial bottleneck proves them non-improving.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
-use parpool::Pool;
+use parpool::{dsan, Pool};
 use robust::CancelToken;
 
 use crate::cost::CostModel;
@@ -114,8 +114,11 @@ pub fn optimize_architecture_with(
 
     // Any published value is the makespan of an architecture some task
     // actually built, so the eventual winner's time is never above it —
-    // pruning against it can only discard strictly worse candidates.
-    let incumbent = AtomicU64::new(u64::MAX);
+    // pruning against it can only discard strictly worse candidates. The
+    // dsan shadow is advisory: cross-task timing on this cell is benign
+    // by the same argument.
+    let incumbent =
+        dsan::AtomicCell::new("tam.portfolio.incumbent", dsan::Policy::Advisory, u64::MAX);
 
     // k = 1 runs inline first so an expired deadline still yields the
     // single-TAM baseline rather than nothing at all (it also seeds the
@@ -133,7 +136,8 @@ pub fn optimize_architecture_with(
         let pool = match opts.workers {
             Some(w) => Pool::with_workers(w),
             None => Pool::new(),
-        };
+        }
+        .labeled("portfolio");
         let tasks: Vec<_> = (2..=k_max)
             .map(|k| {
                 let incumbent = &incumbent;
@@ -231,7 +235,7 @@ fn optimize_for_k(
     k: u32,
     refine_steps: u32,
     token: &CancelToken,
-    incumbent: &AtomicU64,
+    incumbent: &dsan::AtomicCell,
 ) -> Result<KResult, ScheduleError> {
     let mut widths = balanced_split(total_width, k);
     let mut sweep = GreedySweep::new(cost);

@@ -320,7 +320,8 @@ impl Planner {
         let pool = match request.architecture.workers {
             Some(w) => Pool::with_workers(w),
             None => Pool::new(),
-        };
+        }
+        .labeled("tables");
         let parts = pool.run_with(&table_token, tasks);
         let mut per_core: Vec<Vec<TablePart>> = (0..jobs.len()).map(|_| Vec::new()).collect();
         for ((i, range), part) in chunks.into_iter().zip(parts) {

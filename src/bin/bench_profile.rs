@@ -28,7 +28,8 @@
 //! measurement.
 //!
 //! `--check BASELINE` compares this run's
-//! `tables_*`/`plan_*`/`fleet_*`/`soclint_*` entries against the most
+//! `tables_*`/`plan_*`/`fleet_*`/`soclint_*`/`dsan_*` entries against the
+//! most
 //! recent run in a committed
 //! `BENCH_profile.json` that records the same entry, and exits non-zero
 //! when any is more than 20% worse — the CI perf-regression gate. Each
@@ -124,9 +125,17 @@ fn timed<F: FnMut()>(
     let mut reported_iters = iters;
     // Short entries are dominated by scheduler noise; re-time them
     // individually and keep the minimum (the least-disturbed observation).
+    // Eligibility is decided on the best observation so far, probed with
+    // one extra pass — a single scheduler stall during the batched loop
+    // must not disqualify a short entry from exactly the re-timing that
+    // would absorb it.
     if let Some(n) = min_of.filter(|&n| n > 1) {
+        #[allow(clippy::disallowed_methods)]
+        let t = Instant::now();
+        f();
+        millis = millis.min(t.elapsed().as_secs_f64() * 1e3);
         if millis < 100.0 {
-            for _ in 0..n {
+            for _ in 1..n {
                 #[allow(clippy::disallowed_methods)]
                 let t = Instant::now();
                 f();
@@ -331,7 +340,8 @@ fn check_regressions(entries: &[Entry], baseline_text: &str) -> Vec<String> {
         let gated = e.name.starts_with("tables_")
             || e.name.starts_with("plan_")
             || e.name.starts_with("fleet_")
-            || e.name.starts_with("soclint_");
+            || e.name.starts_with("soclint_")
+            || e.name.starts_with("dsan_");
         if !gated {
             continue;
         }
@@ -602,6 +612,27 @@ fn main() {
             assert!(plan.test_time > 0);
         }));
     }
+
+    // Determinism-sanitizer disabled-mode overhead: a pool-edge-heavy
+    // workload (many runs of small jobs) with dsan explicitly off. When
+    // disabled, every instrumented edge must cost one atomic load — this
+    // check-gated entry fails `--check` if that zero-cost contract rots.
+    parpool::dsan::set_enabled(false);
+    entries.push(timed(
+        "dsan_overhead_disabled",
+        if smoke { 1 } else { 3 },
+        2,
+        min_of,
+        || {
+            let pool = parpool::Pool::with_workers(2).labeled("bench-dsan");
+            let mut total = 0u64;
+            for round in 0..64u64 {
+                let tasks: Vec<_> = (0..8u64).map(|i| move || (round + 1) * (i + 1)).collect();
+                total += pool.run(tasks).into_iter().sum::<u64>();
+            }
+            assert!(total > 0);
+        },
+    ));
 
     // Fleet batch throughput (higher-is-better entries): the same width ×
     // seed sweep at a 1-worker and a 4-worker budget, so the committed

@@ -663,6 +663,29 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
                 .map_err(io_err)?;
             }
             writeln!(out, "{}", report.summary).map_err(io_err)?;
+            // Determinism-sanitizer drain: under `SOCTDC_DSAN=1` the pool
+            // edges and shadowed cells have been recording; surface the
+            // verdict, persist it when `SOCTDC_DSAN_REPORT` names a path
+            // (the CI artifact), and fail the run on any race.
+            if parpool::dsan::enabled() {
+                let dsan_report = parpool::dsan::take_report();
+                let rendered = dsan_report.to_string();
+                if let Some(path) = std::env::var_os("SOCTDC_DSAN_REPORT") {
+                    std::fs::write(&path, &rendered).map_err(|e| {
+                        CliError::Run(format!("cannot write dsan report: {e}").into())
+                    })?;
+                }
+                eprint!("{rendered}");
+                if !dsan_report.is_clean() {
+                    return Err(CliError::Run(
+                        format!(
+                            "determinism sanitizer: {} unordered conflicting access pair(s)",
+                            dsan_report.races.len()
+                        )
+                        .into(),
+                    ));
+                }
+            }
             if report.summary.failed > 0 {
                 return Err(CliError::Run(
                     format!(
